@@ -1,0 +1,230 @@
+// Benchmarks regenerating the paper's evaluation, one per table/figure.
+//
+// Each benchmark runs the corresponding experiment on the simulated
+// Chiba City cluster and reports the simulated aggregate bandwidth as
+// "sim-MB/s" (deterministic, independent of the host machine) next to
+// Go's usual wall-clock ns/op. The workload sizes here are reduced so
+// `go test -bench .` completes quickly; cmd/dtbench runs the full-scale
+// versions (its output is recorded in EXPERIMENTS.md).
+//
+//	Table 1 + Figure 8  -> BenchmarkTileRead/*
+//	Table 2 + Figure 10 -> BenchmarkBlock3DRead/*, BenchmarkBlock3DWrite/*
+//	Table 3 + Figure 12 -> BenchmarkFlashWrite/*
+//	Ablations A1-A3     -> BenchmarkAblate*/*
+//
+// Micro-benchmarks of the core engine (dataloop processing, codec,
+// striping) follow.
+package dtio
+
+import (
+	"fmt"
+	"testing"
+
+	"dtio/internal/bench"
+	"dtio/internal/dataloop"
+	"dtio/internal/datatype"
+	"dtio/internal/flatten"
+	"dtio/internal/mpiio"
+	"dtio/internal/striping"
+	"dtio/internal/workloads"
+)
+
+var allMethods = []mpiio.Method{mpiio.Posix, mpiio.Sieve, mpiio.TwoPhase, mpiio.ListIO, mpiio.DtypeIO}
+
+func reportSim(b *testing.B, r bench.Result) {
+	b.Helper()
+	if r.Err != nil {
+		b.Fatal(r.Err)
+	}
+	b.ReportMetric(r.BandwidthMBs(), "sim-MB/s")
+	b.ReportMetric(float64(r.PerClient.IOOps), "ops/client")
+}
+
+// BenchmarkTileRead is Table 1 / Figure 8 at reduced frame count.
+func BenchmarkTileRead(b *testing.B) {
+	tile := workloads.DefaultTile()
+	for _, m := range allMethods {
+		b.Run(m.String(), func(b *testing.B) {
+			var last bench.Result
+			for i := 0; i < b.N; i++ {
+				last = bench.TileRead(bench.DefaultConfig(6, 1), tile, m, 1)
+			}
+			reportSim(b, last)
+		})
+	}
+}
+
+// BenchmarkBlock3DRead is Table 2 / Figure 10 (read) on a 120^3 array.
+func BenchmarkBlock3DRead(b *testing.B) {
+	for _, p := range []int{8, 27} {
+		for _, m := range allMethods {
+			b.Run(fmt.Sprintf("p=%d/%s", p, m), func(b *testing.B) {
+				b3 := workloads.Block3DConfig{N: 120, ElemSize: 4, Procs: p}
+				var last bench.Result
+				for i := 0; i < b.N; i++ {
+					last = bench.Block3D(bench.DefaultConfig(p, 2), b3, m, false)
+				}
+				reportSim(b, last)
+			})
+		}
+	}
+}
+
+// BenchmarkBlock3DWrite is Figure 10 (write); sieving writes are
+// unsupported on PVFS, as in the paper.
+func BenchmarkBlock3DWrite(b *testing.B) {
+	for _, m := range []mpiio.Method{mpiio.Posix, mpiio.TwoPhase, mpiio.ListIO, mpiio.DtypeIO} {
+		b.Run(m.String(), func(b *testing.B) {
+			b3 := workloads.Block3DConfig{N: 120, ElemSize: 4, Procs: 8}
+			var last bench.Result
+			for i := 0; i < b.N; i++ {
+				last = bench.Block3D(bench.DefaultConfig(8, 2), b3, m, true)
+			}
+			reportSim(b, last)
+		})
+	}
+}
+
+// BenchmarkFlashWrite is Table 3 / Figure 12 at reduced block count.
+func BenchmarkFlashWrite(b *testing.B) {
+	for _, p := range []int{4, 16} {
+		for _, m := range []mpiio.Method{mpiio.TwoPhase, mpiio.ListIO, mpiio.DtypeIO} {
+			b.Run(fmt.Sprintf("p=%d/%s", p, m), func(b *testing.B) {
+				fc := workloads.FlashConfig{Blocks: 8, NB: 8, Guard: 4, Vars: 24, ElemSize: 8, Procs: p}
+				var last bench.Result
+				for i := 0; i < b.N; i++ {
+					last = bench.Flash(bench.DefaultConfig(p, 2), fc, m)
+				}
+				reportSim(b, last)
+			})
+		}
+	}
+}
+
+// BenchmarkAblateListCap is ablation A1: the 64-regions-per-request
+// bound swept.
+func BenchmarkAblateListCap(b *testing.B) {
+	tile := workloads.DefaultTile()
+	for _, cap := range []int{16, 64, 256} {
+		b.Run(fmt.Sprintf("cap=%d", cap), func(b *testing.B) {
+			cfg := bench.DefaultConfig(6, 1)
+			cfg.Hints.ListCap = cap
+			var last bench.Result
+			for i := 0; i < b.N; i++ {
+				last = bench.TileRead(cfg, tile, mpiio.ListIO, 1)
+			}
+			reportSim(b, last)
+		})
+	}
+}
+
+// BenchmarkAblateCoalesce is ablation A2: datatype I/O with and without
+// adjacent-region coalescing, on block-described adjacent data.
+func BenchmarkAblateCoalesce(b *testing.B) {
+	for _, off := range []bool{false, true} {
+		name := "on"
+		if off {
+			name = "off"
+		}
+		b.Run(name, func(b *testing.B) {
+			var last bench.Result
+			for i := 0; i < b.N; i++ {
+				last = bench.AdjacentBlocks(bench.DefaultConfig(4, 2), 8192, 128, off)
+			}
+			reportSim(b, last)
+		})
+	}
+}
+
+// BenchmarkAblateSieveBuf is ablation A3: the data sieving buffer size.
+func BenchmarkAblateSieveBuf(b *testing.B) {
+	tile := workloads.DefaultTile()
+	for _, mb := range []int64{1, 4, 16} {
+		b.Run(fmt.Sprintf("%dMB", mb), func(b *testing.B) {
+			cfg := bench.DefaultConfig(6, 1)
+			cfg.Hints.SieveBufSize = mb << 20
+			var last bench.Result
+			for i := 0; i < b.N; i++ {
+				last = bench.TileRead(cfg, tile, mpiio.Sieve, 1)
+			}
+			reportSim(b, last)
+		})
+	}
+}
+
+// --- core engine micro-benchmarks ---
+
+// BenchmarkDataloopProcess measures offset-length pair generation
+// throughput for the tile view (the server-side hot loop).
+func BenchmarkDataloopProcess(b *testing.B) {
+	loop := dataloop.FromType(workloads.DefaultTile().View(0))
+	b.SetBytes(loop.Size)
+	for i := 0; i < b.N; i++ {
+		seg := dataloop.NewSegment(loop, 1)
+		seg.Process(-1, func(off, n int64) bool { return true })
+	}
+}
+
+// BenchmarkDataloopProcessFLASH: ~1M single-element pieces per instance.
+func BenchmarkDataloopProcessFLASH(b *testing.B) {
+	loop := dataloop.FromType(workloads.DefaultFlash(2).MemType())
+	b.SetBytes(loop.Size)
+	for i := 0; i < b.N; i++ {
+		seg := dataloop.NewSegment(loop, 1)
+		seg.Process(-1, func(off, n int64) bool { return true })
+	}
+}
+
+// BenchmarkDataloopCodec measures encode+decode of the 3-D block loop.
+func BenchmarkDataloopCodec(b *testing.B) {
+	loop := dataloop.FromType(workloads.DefaultBlock3D(8).View(0))
+	for i := 0; i < b.N; i++ {
+		enc := loop.Encode(nil)
+		if _, _, err := dataloop.Decode(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDualIter measures the file/memory lockstep walk.
+func BenchmarkDualIter(b *testing.B) {
+	fileLoop := dataloop.FromType(workloads.DefaultTile().View(0))
+	memLoop := dataloop.FromType(datatype.Bytes(fileLoop.Size))
+	b.SetBytes(fileLoop.Size)
+	for i := 0; i < b.N; i++ {
+		d := flatten.NewDual(
+			flatten.NewIter(fileLoop, 1, 0, true),
+			flatten.NewIter(memLoop, 1, 0, true),
+		)
+		for {
+			if _, _, _, ok := d.Next(); !ok {
+				break
+			}
+		}
+	}
+}
+
+// BenchmarkStripingSplit measures strip-boundary splitting.
+func BenchmarkStripingSplit(b *testing.B) {
+	lay := striping.Layout{StripSize: 64 * 1024, NServers: 16}
+	b.SetBytes(16 << 20)
+	for i := 0; i < b.N; i++ {
+		lay.Split(12345, 16<<20, func(p striping.Piece) bool { return true })
+	}
+}
+
+// BenchmarkPackUnpack measures the memory gather/scatter path.
+func BenchmarkPackUnpack(b *testing.B) {
+	ty := datatype.Vector(4096, 16, 32, datatype.Byte)
+	buf := make([]byte, ty.TrueExtent())
+	stream := make([]byte, ty.Size())
+	b.SetBytes(ty.Size())
+	for i := 0; i < b.N; i++ {
+		if err := datatype.Pack(buf, ty, 1, stream); err != nil {
+			b.Fatal(err)
+		}
+		if err := datatype.Unpack(stream, ty, 1, buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,287 @@
+package dtio
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"dtio/internal/mpi"
+	"dtio/internal/mpiio"
+	"dtio/internal/pvfs"
+	"dtio/internal/storage"
+	"dtio/internal/transport"
+)
+
+// ClusterConfig configures an in-process cluster.
+type ClusterConfig struct {
+	// Servers is the number of I/O servers (default 4).
+	Servers int
+	// StripSize is the default strip size for new files (default 64 KiB).
+	StripSize int64
+}
+
+// Cluster is an in-process parallel file system: a metadata server and N
+// I/O servers running as goroutines, talked to over an in-memory
+// transport. It is the quickest way to use the library; the cmd/ daemons
+// provide the same system over TCP.
+type Cluster struct {
+	cfg   ClusterConfig
+	env   transport.Env
+	net   *transport.MemNetwork
+	meta  *pvfs.MetaServer
+	srvs  []*pvfs.Server
+	addrs []string
+
+	mu      sync.Mutex
+	clients []*pvfs.Client
+}
+
+// NewCluster starts an in-process cluster and waits until it accepts
+// requests.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	if cfg.Servers <= 0 {
+		cfg.Servers = 4
+	}
+	if cfg.StripSize <= 0 {
+		cfg.StripSize = 64 * 1024
+	}
+	c := &Cluster{
+		cfg: cfg,
+		env: transport.NewRealEnv(),
+		net: transport.NewMemNetwork(),
+	}
+	c.meta = pvfs.NewMetaServer(c.net, "meta", cfg.Servers)
+	go c.meta.Serve(c.env)
+	for i := 0; i < cfg.Servers; i++ {
+		addr := fmt.Sprintf("io%d", i)
+		s := pvfs.NewServer(c.net, addr, i, pvfs.CostModel{})
+		s.NewStore = func(uint64) storage.Store { return storage.NewMem() }
+		c.srvs = append(c.srvs, s)
+		c.addrs = append(c.addrs, addr)
+		go s.Serve(c.env)
+	}
+	// Wait for every listener — metadata and all I/O servers — to come
+	// up: a Size call touches each server.
+	probe := pvfs.NewClient(c.net, "meta", c.addrs, pvfs.CostModel{})
+	defer probe.Close()
+	for i := 0; i < 5000; i++ {
+		f, err := probe.Create(c.env, "__probe__", cfg.StripSize, 0)
+		if err != nil {
+			f, err = probe.Open(c.env, "__probe__")
+		}
+		if err == nil {
+			if _, err := f.Size(c.env); err == nil {
+				probe.Remove(c.env, "__probe__")
+				return c, nil
+			}
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	c.Close()
+	return nil, fmt.Errorf("dtio: cluster did not start")
+}
+
+// Close shuts the cluster down.
+func (c *Cluster) Close() {
+	c.mu.Lock()
+	clients := c.clients
+	c.clients = nil
+	c.mu.Unlock()
+	for _, cl := range clients {
+		cl.Close()
+	}
+	if c.meta != nil {
+		c.meta.Close()
+	}
+	for _, s := range c.srvs {
+		s.Close()
+	}
+}
+
+// FS is one process's mount of the cluster. An FS and the Files opened
+// through it must be used from one goroutine at a time.
+type FS struct {
+	c    *Cluster
+	env  transport.Env
+	cl   *pvfs.Client
+	comm *mpi.Comm
+}
+
+// Mount returns a new file-system handle.
+func (c *Cluster) Mount() *FS {
+	cl := pvfs.NewClient(c.net, "meta", c.addrs, pvfs.CostModel{})
+	c.mu.Lock()
+	c.clients = append(c.clients, cl)
+	c.mu.Unlock()
+	return &FS{c: c, env: c.env, cl: cl}
+}
+
+// World runs fn concurrently on n ranks, each with its own FS whose
+// collective operations (TwoPhase, ReadAll/WriteAll) span the world.
+// It returns the first error any rank reported.
+func (c *Cluster) World(n int, fn func(rank int, fs *FS) error) error {
+	fabric := transport.NewMemFabric(n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		r := r
+		go func() {
+			defer wg.Done()
+			fs := c.Mount()
+			fs.comm = mpi.NewComm(fabric, r, n)
+			errs[r] = fn(r, fs)
+		}()
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			return fmt.Errorf("rank %d: %w", r, err)
+		}
+	}
+	return nil
+}
+
+// Rank reports this FS's rank within its world (0 if not in a world).
+func (fs *FS) Rank() int {
+	if fs.comm == nil {
+		return 0
+	}
+	return fs.comm.Rank()
+}
+
+// Barrier synchronizes the world (no-op outside a world).
+func (fs *FS) Barrier() {
+	if fs.comm != nil {
+		fs.comm.Barrier(fs.env)
+	}
+}
+
+// Create creates and opens a file.
+func (fs *FS) Create(name string) (*File, error) {
+	pf, err := fs.cl.Create(fs.env, name, fs.c.cfg.StripSize, 0)
+	if err != nil {
+		return nil, err
+	}
+	return fs.newFile(pf), nil
+}
+
+// Open opens an existing file.
+func (fs *FS) Open(name string) (*File, error) {
+	pf, err := fs.cl.Open(fs.env, name)
+	if err != nil {
+		return nil, err
+	}
+	return fs.newFile(pf), nil
+}
+
+// Remove deletes a file.
+func (fs *FS) Remove(name string) error { return fs.cl.Remove(fs.env, name) }
+
+// List returns the namespace contents.
+func (fs *FS) List() ([]string, error) { return fs.cl.ListNames(fs.env) }
+
+func (fs *FS) newFile(pf *pvfs.File) *File {
+	return &File{
+		fs:     fs,
+		pf:     pf,
+		method: DtypeIO,
+		mp:     mpiio.Open(pf, fs.comm, mpiio.DtypeIO, mpiio.DefaultHints()),
+	}
+}
+
+// File is an open file with a view and an access method. The default
+// view is the whole file as bytes; the default method is datatype I/O.
+type File struct {
+	fs     *FS
+	pf     *pvfs.File
+	mp     *mpiio.File
+	method Method
+	hints  Hints
+
+	disp     int64
+	etype    *Type
+	filetype *Type
+}
+
+// Name reports the file name.
+func (f *File) Name() string { return f.pf.Name() }
+
+// SetMethod selects the access method for subsequent operations.
+func (f *File) SetMethod(m Method) { f.setup(m, f.hints) }
+
+// SetHints replaces the access-method hints.
+func (f *File) SetHints(h Hints) { f.setup(f.method, h) }
+
+func (f *File) setup(m Method, h Hints) {
+	f.method = m
+	f.hints = h
+	if h == (Hints{}) {
+		h = DefaultHints()
+	}
+	f.mp = mpiio.Open(f.pf, f.fs.comm, m, h)
+	if f.etype != nil {
+		f.mp.SetView(f.disp, f.etype, f.filetype)
+	}
+}
+
+// SetView establishes the file view (MPI_File_set_view semantics).
+func (f *File) SetView(disp int64, etype, filetype *Type) error {
+	if err := f.mp.SetView(disp, etype, filetype); err != nil {
+		return err
+	}
+	f.disp, f.etype, f.filetype = disp, etype, filetype
+	return nil
+}
+
+// Read reads count instances of memType from the view at offset (in
+// etypes) into buf, independently.
+func (f *File) Read(offset int64, buf []byte, memType *Type, count int) error {
+	return f.mp.ReadAt(f.fs.env, offset, buf, memType, count)
+}
+
+// Write writes count instances of memType from buf into the view at
+// offset, independently.
+func (f *File) Write(offset int64, buf []byte, memType *Type, count int) error {
+	return f.mp.WriteAt(f.fs.env, offset, buf, memType, count)
+}
+
+// ReadAll is the collective read: every rank of the world must call it.
+func (f *File) ReadAll(offset int64, buf []byte, memType *Type, count int) error {
+	return f.mp.ReadAtAll(f.fs.env, offset, buf, memType, count)
+}
+
+// WriteAll is the collective write.
+func (f *File) WriteAll(offset int64, buf []byte, memType *Type, count int) error {
+	return f.mp.WriteAtAll(f.fs.env, offset, buf, memType, count)
+}
+
+// Size reports the logical file size.
+func (f *File) Size() (int64, error) { return f.pf.Size(f.fs.env) }
+
+// Truncate sets the logical file size.
+func (f *File) Truncate(size int64) error { return f.pf.Truncate(f.fs.env, size) }
+
+// Seek moves the file's individual pointer (in etypes of the current
+// view); whence follows the io package constants.
+func (f *File) Seek(offset int64, whence int) (int64, error) {
+	return f.mp.Seek(f.fs.env, offset, whence)
+}
+
+// Tell reports the individual file pointer (in etypes).
+func (f *File) Tell() int64 { return f.mp.Tell() }
+
+// ReadNext reads at the individual file pointer and advances it.
+func (f *File) ReadNext(buf []byte, memType *Type, count int) error {
+	return f.mp.Read(f.fs.env, buf, memType, count)
+}
+
+// WriteNext writes at the individual file pointer and advances it.
+func (f *File) WriteNext(buf []byte, memType *Type, count int) error {
+	return f.mp.Write(f.fs.env, buf, memType, count)
+}
+
+// Preallocate ensures the file is at least size bytes.
+func (f *File) Preallocate(size int64) error {
+	return f.mp.Preallocate(f.fs.env, size)
+}

@@ -1,0 +1,29 @@
+// pvfs-meta is the metadata server daemon: it owns the namespace and
+// striping parameters for a cluster of pvfs-server daemons.
+//
+// Usage:
+//
+//	pvfs-meta -addr :7000 -servers 4
+package main
+
+import (
+	"flag"
+	"log"
+
+	"dtio/internal/pvfs"
+	"dtio/internal/transport"
+)
+
+func main() {
+	addr := flag.String("addr", ":7000", "listen address")
+	servers := flag.Int("servers", 4, "number of I/O servers in the cluster")
+	flag.Parse()
+	if *servers <= 0 {
+		log.Fatal("pvfs-meta: -servers must be positive")
+	}
+	m := pvfs.NewMetaServer(transport.NewTCPNetwork(), *addr, *servers)
+	log.Printf("pvfs-meta: serving namespace for %d I/O servers on %s", *servers, *addr)
+	if err := m.Serve(transport.NewRealEnv()); err != nil {
+		log.Fatalf("pvfs-meta: %v", err)
+	}
+}

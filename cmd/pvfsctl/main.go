@@ -1,0 +1,128 @@
+// pvfsctl is a shell for a running pvfs cluster (pvfs-meta +
+// pvfs-server daemons over TCP).
+//
+// Usage:
+//
+//	pvfsctl -meta host:7000 -io host:7001,host:7002 <command> [args]
+//
+// Commands:
+//
+//	ls                      list files
+//	create <name>           create an empty file
+//	rm <name>               remove a file
+//	stat <name>             print file size and layout
+//	put <local> <name>      copy a local file in
+//	get <name> <local>      copy a file out
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strings"
+
+	"dtio/internal/pvfs"
+	"dtio/internal/transport"
+)
+
+const copyChunk = 4 << 20
+
+func main() {
+	meta := flag.String("meta", "127.0.0.1:7000", "metadata server address")
+	ioServers := flag.String("io", "127.0.0.1:7001", "comma-separated I/O server addresses, in index order")
+	strip := flag.Int64("strip", 64*1024, "strip size for created files")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	env := transport.NewRealEnv()
+	client := pvfs.NewClient(transport.NewTCPNetwork(), *meta, strings.Split(*ioServers, ","), pvfs.CostModel{})
+	defer client.Close()
+
+	fail := func(err error) {
+		if err != nil {
+			log.Fatalf("pvfsctl: %v", err)
+		}
+	}
+	switch args[0] {
+	case "ls":
+		names, err := client.ListNames(env)
+		fail(err)
+		for _, n := range names {
+			fmt.Println(n)
+		}
+	case "create":
+		need(args, 2)
+		_, err := client.Create(env, args[1], *strip, 0)
+		fail(err)
+	case "rm":
+		need(args, 2)
+		fail(client.Remove(env, args[1]))
+	case "stat":
+		need(args, 2)
+		f, err := client.Open(env, args[1])
+		fail(err)
+		size, err := f.Size(env)
+		fail(err)
+		lay := f.Layout()
+		fmt.Printf("%s: %d bytes, %d servers, %d-byte strips\n",
+			args[1], size, lay.NServers, lay.StripSize)
+	case "put":
+		need(args, 3)
+		src, err := os.Open(args[1])
+		fail(err)
+		defer src.Close()
+		f, err := client.Create(env, args[2], *strip, 0)
+		if err != nil {
+			f, err = client.Open(env, args[2])
+			fail(err)
+		}
+		buf := make([]byte, copyChunk)
+		var off int64
+		for {
+			n, err := src.Read(buf)
+			if n > 0 {
+				fail(f.WriteContig(env, off, buf[:n]))
+				off += int64(n)
+			}
+			if err == io.EOF {
+				break
+			}
+			fail(err)
+		}
+		fmt.Printf("put %s -> %s (%d bytes)\n", args[1], args[2], off)
+	case "get":
+		need(args, 3)
+		f, err := client.Open(env, args[1])
+		fail(err)
+		size, err := f.Size(env)
+		fail(err)
+		dst, err := os.Create(args[2])
+		fail(err)
+		defer dst.Close()
+		buf := make([]byte, copyChunk)
+		for off := int64(0); off < size; {
+			n := int64(len(buf))
+			if off+n > size {
+				n = size - off
+			}
+			fail(f.ReadContig(env, off, buf[:n]))
+			_, err := dst.Write(buf[:n])
+			fail(err)
+			off += n
+		}
+		fmt.Printf("get %s -> %s (%d bytes)\n", args[1], args[2], size)
+	default:
+		log.Fatalf("pvfsctl: unknown command %q", args[0])
+	}
+}
+
+func need(args []string, n int) {
+	if len(args) < n {
+		log.Fatalf("pvfsctl: %s needs %d argument(s)", args[0], n-1)
+	}
+}

@@ -1,0 +1,158 @@
+// Package dtio is a Go reproduction of "Efficient Structured Data Access
+// in Parallel File Systems" (Ching, Choudhary, Liao, Ross, Gropp; IEEE
+// Cluster 2003): a PVFS-style parallel file system with datatype I/O —
+// shipping concise dataloop descriptions of structured, noncontiguous
+// accesses to I/O servers — alongside the four access methods the paper
+// compares it against (POSIX I/O, data sieving, two-phase collective I/O,
+// and list I/O).
+//
+// The package offers three ways to run the system:
+//
+//   - an in-process cluster (NewCluster) for applications and tests;
+//   - real TCP daemons (cmd/pvfs-meta, cmd/pvfs-server, cmd/pvfsctl);
+//   - a simulated cluster in virtual time (cmd/dtbench, internal/bench)
+//     that reproduces the paper's evaluation.
+//
+// Structured layouts are described with MPI-style datatypes built from
+// the constructors re-exported here (Vector, Indexed, Struct, Subarray,
+// ...); file views follow MPI-IO semantics (displacement + etype +
+// filetype).
+package dtio
+
+import (
+	"dtio/internal/datatype"
+	"dtio/internal/mpiio"
+)
+
+// Type is an MPI-style derived datatype describing a structured byte
+// layout.
+type Type = datatype.Type
+
+// Order selects array storage order for Subarray.
+type Order = datatype.Order
+
+// Storage orders.
+const (
+	OrderC       = datatype.OrderC
+	OrderFortran = datatype.OrderFortran
+)
+
+// Region is a contiguous byte run (offset, length).
+type Region = datatype.Region
+
+// Common fixed-size element types.
+var (
+	Byte    = datatype.Byte
+	Int32   = datatype.Int32
+	Int64   = datatype.Int64
+	Float32 = datatype.Float32
+	Float64 = datatype.Float64
+)
+
+// Bytes returns a basic type of n contiguous bytes.
+func Bytes(n int64) *Type { return datatype.Bytes(n) }
+
+// Contiguous returns count repetitions of old laid end to end.
+func Contiguous(count int, old *Type) *Type { return datatype.Contiguous(count, old) }
+
+// Vector returns count blocks of blocklen olds with an element stride
+// (MPI_Type_vector).
+func Vector(count, blocklen, stride int, old *Type) *Type {
+	return datatype.Vector(count, blocklen, stride, old)
+}
+
+// HVector is Vector with the stride in bytes.
+func HVector(count, blocklen int, strideBytes int64, old *Type) *Type {
+	return datatype.HVector(count, blocklen, strideBytes, old)
+}
+
+// Indexed returns variable-size blocks at element displacements
+// (MPI_Type_indexed).
+func Indexed(lens, displs []int, old *Type) *Type { return datatype.Indexed(lens, displs, old) }
+
+// HIndexed is Indexed with byte displacements.
+func HIndexed(lens []int64, displs []int64, old *Type) *Type {
+	return datatype.HIndexed(lens, displs, old)
+}
+
+// BlockIndexed returns equal-size blocks at element displacements.
+func BlockIndexed(blocklen int, displs []int, old *Type) *Type {
+	return datatype.BlockIndexed(blocklen, displs, old)
+}
+
+// HBlockIndexed is BlockIndexed with byte displacements.
+func HBlockIndexed(blocklen int, displs []int64, old *Type) *Type {
+	return datatype.HBlockIndexed(blocklen, displs, old)
+}
+
+// Struct returns a heterogeneous type (MPI_Type_create_struct).
+func Struct(lens []int, displs []int64, types []*Type) *Type {
+	return datatype.Struct(lens, displs, types)
+}
+
+// Resized overrides a type's lower bound and extent.
+func Resized(old *Type, lb, extent int64) *Type { return datatype.Resized(old, lb, extent) }
+
+// Subarray describes an n-dimensional subarray of an n-dimensional array
+// (MPI_Type_create_subarray).
+func Subarray(sizes, subsizes, starts []int, order Order, old *Type) *Type {
+	return datatype.Subarray(sizes, subsizes, starts, order, old)
+}
+
+// Pack gathers the data bytes of count instances of t from buf into a
+// contiguous stream.
+func Pack(buf []byte, t *Type, count int, stream []byte) error {
+	return datatype.Pack(buf, t, count, stream)
+}
+
+// Unpack scatters a contiguous stream into the data bytes of count
+// instances of t inside buf.
+func Unpack(stream []byte, t *Type, count int, buf []byte) error {
+	return datatype.Unpack(stream, t, count, buf)
+}
+
+// Method selects the noncontiguous access strategy for a file.
+type Method = mpiio.Method
+
+// The five access methods of the paper's evaluation.
+const (
+	Posix    = mpiio.Posix
+	Sieve    = mpiio.Sieve
+	TwoPhase = mpiio.TwoPhase
+	ListIO   = mpiio.ListIO
+	DtypeIO  = mpiio.DtypeIO
+)
+
+// Hints mirror the ROMIO hints the paper used (buffer sizes, list cap).
+type Hints = mpiio.Hints
+
+// DefaultHints returns the paper's configuration (4 MB buffers, list cap
+// 64).
+func DefaultHints() Hints { return mpiio.DefaultHints() }
+
+// Errors re-exported from the MPI-IO layer.
+var (
+	// ErrSieveWrite: data sieving writes need file locking, which this
+	// file system (like PVFS) does not provide.
+	ErrSieveWrite = mpiio.ErrSieveWrite
+	// ErrCollectiveOnly: two-phase requires the collective calls.
+	ErrCollectiveOnly = mpiio.ErrCollectiveOnly
+)
+
+// Distribution selects how a dimension of a distributed array is split
+// among processes (for Darray).
+type Distribution = datatype.Distribution
+
+// Distribution kinds and the default distribution argument.
+const (
+	DistNone      = datatype.DistNone
+	DistBlock     = datatype.DistBlock
+	DistCyclic    = datatype.DistCyclic
+	DarrayDefault = datatype.DarrayDefault
+)
+
+// Darray builds one process's filetype for a block/cyclic-distributed
+// n-dimensional array (MPI_Type_create_darray).
+func Darray(size, rank int, gsizes []int, distribs []Distribution, dargs, psizes []int, old *Type) (*Type, error) {
+	return datatype.Darray(size, rank, gsizes, distribs, dargs, psizes, old)
+}

@@ -1,0 +1,274 @@
+package dtio
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func newTestCluster(t *testing.T) *Cluster {
+	t.Helper()
+	c, err := NewCluster(ClusterConfig{Servers: 4, StripSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+func TestFacadeQuickPath(t *testing.T) {
+	c := newTestCluster(t)
+	fs := c.Mount()
+	f, err := fs.Create("demo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Strided view: every other int32 of a grid.
+	if err := f.SetView(0, Int32, Vector(100, 1, 2, Int32)); err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 400)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	if err := f.Write(0, data, Bytes(400), 1); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 400)
+	if err := f.Read(0, got, Bytes(400), 1); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("round trip failed")
+	}
+	size, err := f.Size()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size != 100*8-4 {
+		t.Fatalf("size=%d", size)
+	}
+	names, err := fs.List()
+	if err != nil || len(names) != 1 {
+		t.Fatalf("names=%v err=%v", names, err)
+	}
+	if err := fs.Remove("demo"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeAllMethodsAgree(t *testing.T) {
+	c := newTestCluster(t)
+	fs := c.Mount()
+	f, err := fs.Create("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	view := Subarray([]int{16, 32}, []int{8, 16}, []int{4, 8}, OrderC, Byte)
+	if err := f.SetView(0, Byte, view); err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, view.Size())
+	for i := range data {
+		data[i] = byte(i*7 + 1)
+	}
+	if err := f.Write(0, data, Bytes(view.Size()), 1); err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []Method{Posix, Sieve, ListIO, DtypeIO} {
+		f.SetMethod(m)
+		got := make([]byte, len(data))
+		if err := f.Read(0, got, Bytes(view.Size()), 1); err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("%v read differs", m)
+		}
+	}
+}
+
+func TestFacadeWorldCollective(t *testing.T) {
+	c := newTestCluster(t)
+	const n = 4
+	// Every rank writes its row band collectively with two-phase.
+	err := c.World(n, func(rank int, fs *FS) error {
+		var f *File
+		var err error
+		if rank == 0 {
+			f, err = fs.Create("coll")
+		}
+		fs.Barrier()
+		if rank != 0 {
+			f, err = fs.Open("coll")
+		}
+		if err != nil {
+			return err
+		}
+		f.SetMethod(TwoPhase)
+		view := Subarray([]int{n, 64}, []int{1, 64}, []int{rank, 0}, OrderC, Byte)
+		if err := f.SetView(0, Byte, view); err != nil {
+			return err
+		}
+		row := bytes.Repeat([]byte{byte(rank + 1)}, 64)
+		return f.WriteAll(0, row, Bytes(64), 1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := c.Mount()
+	f, err := fs.Open("coll")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, n*64)
+	if err := f.Read(0, got, Bytes(int64(n*64)), 1); err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range got {
+		if b != byte(i/64+1) {
+			t.Fatalf("byte %d = %d", i, b)
+		}
+	}
+}
+
+func TestFacadeSieveWriteError(t *testing.T) {
+	c := newTestCluster(t)
+	fs := c.Mount()
+	f, _ := fs.Create("sv")
+	f.SetMethod(Sieve)
+	err := f.Write(0, make([]byte, 4), Int32, 1)
+	if err != ErrSieveWrite {
+		t.Fatalf("err=%v", err)
+	}
+}
+
+func TestFacadeManyFiles(t *testing.T) {
+	c := newTestCluster(t)
+	fs := c.Mount()
+	for i := 0; i < 20; i++ {
+		f, err := fs.Create(fmt.Sprintf("f%02d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Write(0, []byte{byte(i)}, Byte, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	names, err := fs.List()
+	if err != nil || len(names) != 20 {
+		t.Fatalf("names=%d err=%v", len(names), err)
+	}
+	for i := 0; i < 20; i++ {
+		f, err := fs.Open(fmt.Sprintf("f%02d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make([]byte, 1)
+		if err := f.Read(0, got, Byte, 1); err != nil {
+			t.Fatal(err)
+		}
+		if got[0] != byte(i) {
+			t.Fatalf("file %d contains %d", i, got[0])
+		}
+	}
+}
+
+func TestFacadeFilePointer(t *testing.T) {
+	c := newTestCluster(t)
+	fs := c.Mount()
+	f, _ := fs.Create("seq")
+	// Append three records through the pointer interface.
+	for i := 0; i < 3; i++ {
+		rec := bytes.Repeat([]byte{byte(i + 1)}, 16)
+		if err := f.WriteNext(rec, Bytes(16), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if f.Tell() != 48 {
+		t.Fatalf("ptr=%d", f.Tell())
+	}
+	if _, err := f.Seek(16, 0); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 16)
+	if err := f.ReadNext(got, Bytes(16), 1); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, bytes.Repeat([]byte{2}, 16)) {
+		t.Fatalf("got %v", got)
+	}
+	if err := f.Preallocate(1000); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := f.Size(); n != 1000 {
+		t.Fatalf("size=%d", n)
+	}
+}
+
+func TestFacadeSetHints(t *testing.T) {
+	c := newTestCluster(t)
+	fs := c.Mount()
+	f, _ := fs.Create("h")
+	// Strided view with 20 regions; ListCap 5 -> 4 list calls.
+	if err := f.SetView(0, Byte, Vector(20, 1, 2, Byte)); err != nil {
+		t.Fatal(err)
+	}
+	f.SetMethod(ListIO)
+	h := DefaultHints()
+	h.ListCap = 5
+	f.SetHints(h)
+	buf := make([]byte, 20)
+	if err := f.Read(0, buf, Bytes(20), 1); err != nil {
+		t.Fatal(err)
+	}
+	// The view must have survived the hint change.
+	if err := f.Write(0, buf, Bytes(20), 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeDarrayWorld(t *testing.T) {
+	c := newTestCluster(t)
+	const ranks = 4
+	err := c.World(ranks, func(rank int, fs *FS) error {
+		var f *File
+		var err error
+		if rank == 0 {
+			f, err = fs.Create("da")
+		}
+		fs.Barrier()
+		if rank != 0 {
+			f, err = fs.Open("da")
+		}
+		if err != nil {
+			return err
+		}
+		// 8x8 bytes, cyclic(1) rows over 4 ranks.
+		ty, err := Darray(ranks, rank, []int{8, 8},
+			[]Distribution{DistCyclic, DistNone},
+			[]int{1, DarrayDefault}, []int{ranks, 1}, Byte)
+		if err != nil {
+			return err
+		}
+		if err := f.SetView(0, Byte, ty); err != nil {
+			return err
+		}
+		data := bytes.Repeat([]byte{byte(rank + 1)}, 16)
+		return f.Write(0, data, Bytes(16), 1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := c.Mount()
+	f, _ := fs.Open("da")
+	got := make([]byte, 64)
+	f.Read(0, got, Bytes(64), 1)
+	for row := 0; row < 8; row++ {
+		want := byte(row%4 + 1)
+		for colByte := 0; colByte < 8; colByte++ {
+			if got[row*8+colByte] != want {
+				t.Fatalf("row %d byte %d = %d want %d", row, colByte, got[row*8+colByte], want)
+			}
+		}
+	}
+}

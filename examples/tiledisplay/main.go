@@ -1,0 +1,108 @@
+// Tiledisplay reproduces the paper's tile reader scenario (§4.2) as an
+// application: six clients, each driving one tile of a 3x2 display wall,
+// read their overlapping portions of rendered frames — the file access
+// is a 2-D subarray per client, described once and read with datatype
+// I/O.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"dtio"
+)
+
+func main() {
+	var (
+		tilesX  = flag.Int("tx", 3, "tiles across")
+		tilesY  = flag.Int("ty", 2, "tiles down")
+		tileW   = flag.Int("tw", 256, "tile width (px)")
+		tileH   = flag.Int("th", 192, "tile height (px)")
+		overX   = flag.Int("ox", 64, "horizontal overlap (px)")
+		overY   = flag.Int("oy", 32, "vertical overlap (px)")
+		frames  = flag.Int("frames", 4, "frames to play")
+		methods = flag.String("method", "dtype", "posix|sieve|twophase|listio|dtype")
+	)
+	flag.Parse()
+	const depth = 3 // 24-bit colour
+
+	frameW := *tilesX**tileW - (*tilesX-1)**overX
+	frameH := *tilesY**tileH - (*tilesY-1)**overY
+	frameBytes := frameW * frameH * depth
+	tileBytes := *tileW * *tileH * depth
+	nClients := *tilesX * *tilesY
+	fmt.Printf("display %dx%d tiles; frame %dx%d px = %d bytes; %d clients\n",
+		*tilesX, *tilesY, frameW, frameH, frameBytes, nClients)
+
+	method := map[string]dtio.Method{
+		"posix": dtio.Posix, "sieve": dtio.Sieve, "twophase": dtio.TwoPhase,
+		"listio": dtio.ListIO, "dtype": dtio.DtypeIO,
+	}[*methods]
+
+	cluster, err := dtio.NewCluster(dtio.ClusterConfig{Servers: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+
+	// The render farm: write the frames contiguously.
+	fs := cluster.Mount()
+	f, err := fs.Create("frames.raw")
+	if err != nil {
+		log.Fatal(err)
+	}
+	frame := make([]byte, frameBytes)
+	for fr := 0; fr < *frames; fr++ {
+		for i := range frame {
+			frame[i] = pixel(fr, i)
+		}
+		if err := f.Write(int64(fr*frameBytes), frame, dtio.Bytes(int64(frameBytes)), 1); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// The display wall: each client reads its tile from every frame.
+	start := time.Now()
+	err = cluster.World(nClients, func(rank int, fs *dtio.FS) error {
+		tf, err := fs.Open("frames.raw")
+		if err != nil {
+			return err
+		}
+		tf.SetMethod(method)
+		tx, ty := rank%*tilesX, rank / *tilesX
+		view := dtio.Subarray(
+			[]int{frameH, frameW * depth},
+			[]int{*tileH, *tileW * depth},
+			[]int{ty * (*tileH - *overY), tx * (*tileW - *overX) * depth},
+			dtio.OrderC, dtio.Byte)
+		if err := tf.SetView(0, dtio.Byte, view); err != nil {
+			return err
+		}
+		buf := make([]byte, tileBytes)
+		for fr := 0; fr < *frames; fr++ {
+			if err := tf.ReadAll(int64(fr*tileBytes), buf, dtio.Bytes(int64(tileBytes)), 1); err != nil {
+				return err
+			}
+			// Spot-check the tile's first row against the renderer.
+			rowStart := (ty*(*tileH-*overY)*frameW + tx*(*tileW-*overX)) * depth
+			for i := 0; i < *tileW*depth; i++ {
+				if buf[i] != pixel(fr, rowStart+i) {
+					return fmt.Errorf("tile (%d,%d) frame %d: pixel %d wrong", tx, ty, fr, i)
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	total := nClients * *frames * tileBytes
+	fmt.Printf("method=%s: %d clients played %d frames (%.1f MB of tile data) in %v\n",
+		*methods, nClients, *frames, float64(total)/1e6, elapsed.Round(time.Millisecond))
+}
+
+// pixel is the renderer's deterministic pattern.
+func pixel(frame, i int) byte { return byte(frame*131 + i*7 + i>>11) }

@@ -1,0 +1,3 @@
+module dtio
+
+go 1.22

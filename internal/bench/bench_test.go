@@ -1,0 +1,162 @@
+package bench
+
+import (
+	"testing"
+
+	"dtio/internal/mpiio"
+	"dtio/internal/workloads"
+)
+
+// verifyCfg is a small correctness-mode cluster.
+func verifyCfg(clients, procsPerNode int) Config {
+	cfg := DefaultConfig(clients, procsPerNode)
+	cfg.Discard = false
+	cfg.Verify = true
+	cfg.Servers = 4
+	return cfg
+}
+
+// smallTile is a scaled-down tile display for verified runs.
+func smallTile() workloads.TileConfig {
+	return workloads.TileConfig{
+		TilesX: 3, TilesY: 2,
+		TileW: 32, TileH: 24, Depth: 3,
+		OverlapX: 8, OverlapY: 4,
+		Frames: 2,
+	}
+}
+
+func TestTileReadAllMethodsVerified(t *testing.T) {
+	for _, m := range []mpiio.Method{mpiio.Posix, mpiio.Sieve, mpiio.TwoPhase, mpiio.ListIO, mpiio.DtypeIO} {
+		res := TileRead(verifyCfg(6, 1), smallTile(), m, 2)
+		if res.Err != nil {
+			t.Fatalf("%v: %v", m, res.Err)
+		}
+		if res.Elapsed <= 0 {
+			t.Fatalf("%v: no elapsed time", m)
+		}
+		if res.PerClient.DesiredBytes != smallTile().TileBytes() {
+			t.Fatalf("%v: desired/client/frame = %d", m, res.PerClient.DesiredBytes)
+		}
+	}
+}
+
+func TestBlock3DAllMethodsVerified(t *testing.T) {
+	b3 := workloads.Block3DConfig{N: 24, ElemSize: 4, Procs: 8}
+	for _, m := range []mpiio.Method{mpiio.Posix, mpiio.Sieve, mpiio.TwoPhase, mpiio.ListIO, mpiio.DtypeIO} {
+		res := Block3D(verifyCfg(8, 2), b3, m, false)
+		if res.Err != nil {
+			t.Fatalf("read %v: %v", m, res.Err)
+		}
+	}
+	for _, m := range []mpiio.Method{mpiio.Posix, mpiio.TwoPhase, mpiio.ListIO, mpiio.DtypeIO} {
+		res := Block3D(verifyCfg(8, 2), b3, m, true)
+		if res.Err != nil {
+			t.Fatalf("write %v: %v", m, res.Err)
+		}
+	}
+}
+
+func TestFlashAllMethodsVerified(t *testing.T) {
+	fc := workloads.FlashConfig{Blocks: 4, NB: 4, Guard: 2, Vars: 6, ElemSize: 8, Procs: 4}
+	for _, m := range []mpiio.Method{mpiio.Posix, mpiio.TwoPhase, mpiio.ListIO, mpiio.DtypeIO} {
+		res := Flash(verifyCfg(4, 2), fc, m)
+		if res.Err != nil {
+			t.Fatalf("%v: %v", m, res.Err)
+		}
+	}
+}
+
+func TestTileCharacteristicsMatchPaper(t *testing.T) {
+	// Full-size tile pattern, 1 frame, discard storage: the Table 1
+	// numbers must come out exactly.
+	cfg := DefaultConfig(6, 1)
+	tile := workloads.DefaultTile()
+	posix := TileRead(cfg, tile, mpiio.Posix, 1)
+	list := TileRead(cfg, tile, mpiio.ListIO, 1)
+	dtype := TileRead(cfg, tile, mpiio.DtypeIO, 1)
+	sieve := TileRead(cfg, tile, mpiio.Sieve, 1)
+	two := TileRead(cfg, tile, mpiio.TwoPhase, 1)
+	for _, r := range []Result{posix, list, dtype, sieve, two} {
+		if r.Err != nil {
+			t.Fatalf("%v: %v", r.Method, r.Err)
+		}
+		if r.PerClient.DesiredBytes != 2359296 { // 2.25 MB
+			t.Errorf("%v desired=%d", r.Method, r.PerClient.DesiredBytes)
+		}
+	}
+	if posix.PerClient.IOOps != 768 {
+		t.Errorf("posix ops=%d want 768", posix.PerClient.IOOps)
+	}
+	if list.PerClient.IOOps != 12 {
+		t.Errorf("list ops=%d want 12", list.PerClient.IOOps)
+	}
+	if dtype.PerClient.IOOps != 1 {
+		t.Errorf("dtype ops=%d want 1", dtype.PerClient.IOOps)
+	}
+	if sieve.PerClient.IOOps != 2 {
+		t.Errorf("sieve ops=%d want 2", sieve.PerClient.IOOps)
+	}
+	// Sieve accessed ~5.56 MB.
+	if a := sieve.PerClient.AccessedBytes; a < 5_500_000 || a > 6_000_000 {
+		t.Errorf("sieve accessed=%d want ~5.56MB", a)
+	}
+	// Two-phase: 1 op, ~1.70 MB accessed, ~1.5 MB resent.
+	if two.PerClient.IOOps != 1 {
+		t.Errorf("twophase ops=%d want 1", two.PerClient.IOOps)
+	}
+	if a := two.PerClient.AccessedBytes; a < 1_600_000 || a > 1_900_000 {
+		t.Errorf("twophase accessed=%d want ~1.70MB", a)
+	}
+	if r := two.PerClient.ResentBytes; r < 1_300_000 || r > 1_700_000 {
+		t.Errorf("twophase resent=%d want ~1.50MB", r)
+	}
+	// Request payload: dtype (one fixed-size loop per server) stays well
+	// below list (16 bytes per region).
+	if dtype.PerClient.ReqBytes*3 > list.PerClient.ReqBytes {
+		t.Errorf("dtype req=%d not well below list req=%d",
+			dtype.PerClient.ReqBytes, list.PerClient.ReqBytes)
+	}
+}
+
+func TestTilePerformanceShape(t *testing.T) {
+	// Figure 8 shape: dtype > list > two-phase; posix and sieve trail.
+	cfg := DefaultConfig(6, 1)
+	tile := workloads.DefaultTile()
+	const frames = 3
+	bw := map[mpiio.Method]float64{}
+	for _, m := range []mpiio.Method{mpiio.Posix, mpiio.Sieve, mpiio.TwoPhase, mpiio.ListIO, mpiio.DtypeIO} {
+		res := TileRead(cfg, tile, m, frames)
+		if res.Err != nil {
+			t.Fatalf("%v: %v", m, res.Err)
+		}
+		bw[m] = res.BandwidthMBs()
+		t.Logf("%-9v %7.2f MB/s", m, res.BandwidthMBs())
+	}
+	if !(bw[mpiio.DtypeIO] > bw[mpiio.ListIO]) {
+		t.Errorf("dtype (%.2f) should beat list (%.2f)", bw[mpiio.DtypeIO], bw[mpiio.ListIO])
+	}
+	if !(bw[mpiio.ListIO] > bw[mpiio.Posix]) {
+		t.Errorf("list (%.2f) should beat posix (%.2f)", bw[mpiio.ListIO], bw[mpiio.Posix])
+	}
+	if !(bw[mpiio.DtypeIO] > bw[mpiio.TwoPhase]) {
+		t.Errorf("dtype (%.2f) should beat twophase (%.2f)", bw[mpiio.DtypeIO], bw[mpiio.TwoPhase])
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	cfg := DefaultConfig(6, 1)
+	tile := smallTile()
+	rs := []Result{
+		TileRead(cfg, tile, mpiio.DtypeIO, 1),
+		TileRead(cfg, tile, mpiio.ListIO, 1),
+	}
+	ct := CharacteristicsTable("tile", rs)
+	if len(ct) == 0 || ct[0] != 't' {
+		t.Fatal("empty characteristics table")
+	}
+	bt := BandwidthTable("tile", rs)
+	if len(bt) == 0 {
+		t.Fatal("empty bandwidth table")
+	}
+}

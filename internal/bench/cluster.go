@@ -1,0 +1,283 @@
+// Package bench reproduces the paper's evaluation: it builds a simulated
+// Chiba City cluster (16 I/O servers, 100 Mbit/s fast ethernet, one disk
+// per server) and runs the three benchmarks — tile reader, ROMIO 3-D
+// block, FLASH I/O — under each access method, reporting bandwidth
+// figures and the per-client I/O characteristics tables.
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"dtio/internal/iostats"
+	"dtio/internal/mpi"
+	"dtio/internal/mpiio"
+	"dtio/internal/pvfs"
+	"dtio/internal/storage"
+	"dtio/internal/transport"
+	"dtio/internal/vtime"
+)
+
+// Config describes one simulated cluster.
+type Config struct {
+	Servers      int // I/O servers (16 in the paper)
+	Clients      int // compute processes
+	ProcsPerNode int // client processes per node (paper: 1 tile, 2 others)
+	StripSize    int64
+	SimCfg       transport.SimConfig
+	Cost         pvfs.CostModel
+	Hints        mpiio.Hints
+	// Discard makes servers track sizes without storing bytes: used for
+	// full-scale performance runs where contents don't matter.
+	Discard bool
+	// Verify enables data verification inside workloads (requires
+	// Discard to be false).
+	Verify bool
+	// LoopCache enables server-side dataloop caching (the paper's §5
+	// future-work extension). Off by default so headline numbers match
+	// the paper's prototype, which decodes per request.
+	LoopCache bool
+}
+
+// DefaultConfig is the paper's testbed: 16 I/O servers, 64 KiB strips,
+// Chiba City hardware model, discard storage (performance runs).
+func DefaultConfig(clients, procsPerNode int) Config {
+	return Config{
+		Servers:      16,
+		Clients:      clients,
+		ProcsPerNode: procsPerNode,
+		StripSize:    64 * 1024,
+		SimCfg:       transport.DefaultSimConfig(),
+		Cost:         pvfs.DefaultCostModel(),
+		Hints:        mpiio.DefaultHints(),
+		Discard:      true,
+	}
+}
+
+// Rank is the per-process context handed to workload functions.
+type Rank struct {
+	ID    int
+	Env   transport.Env
+	FS    *pvfs.Client
+	Comm  *mpi.Comm
+	Stats *iostats.Stats
+
+	c *Cluster
+}
+
+// TimePhase runs work between two barriers and records the window (rank
+// 0's measurement defines it, as is conventional).
+func (r *Rank) TimePhase(work func() error) error {
+	r.Comm.Barrier(r.Env)
+	start := r.Env.Now()
+	err := work()
+	r.Comm.Barrier(r.Env)
+	if r.ID == 0 {
+		r.c.winStart = start
+		r.c.winEnd = r.Env.Now()
+	}
+	return err
+}
+
+// Utilization summarizes how busy the modeled hardware was over the
+// whole run (fractions of elapsed virtual time, averaged per node) — it
+// identifies each method's bottleneck.
+type Utilization struct {
+	ServerDisk float64
+	ServerNIC  float64 // max of TX/RX direction averages
+	ServerCPU  float64
+	ClientNIC  float64
+	ClientCPU  float64
+}
+
+// Result is one experiment cell.
+type Result struct {
+	Name      string
+	Method    mpiio.Method
+	Clients   int
+	Elapsed   time.Duration // measured (virtual) time of the timed phase
+	Bytes     int64         // application bytes moved in the timed phase
+	PerClient iostats.Snapshot
+	Util      Utilization
+	Err       error
+}
+
+// BandwidthMBs reports aggregate bandwidth in MB/s (10^6 bytes, as the
+// paper plots).
+func (r Result) BandwidthMBs() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Bytes) / r.Elapsed.Seconds() / 1e6
+}
+
+// Cluster is a simulated cluster ready to run one workload.
+type Cluster struct {
+	cfg      Config
+	sched    *vtime.Scheduler
+	net      *transport.SimNet
+	fabric   *transport.SimFabric
+	metaAddr string
+	addrs    []string
+
+	meta    *pvfs.MetaServer
+	servers []*pvfs.Server
+
+	serverNodes []*transport.SimNode
+	rankNodes   []*transport.SimNode
+
+	winStart, winEnd time.Duration
+	stats            []*iostats.Stats
+	errs             []error
+}
+
+// NewCluster builds the simulated cluster: server nodes first (their
+// listeners register deterministically before any client process runs),
+// then client nodes with ProcsPerNode ranks each. The metadata server
+// doubles up on I/O server node 0, as in the paper.
+func NewCluster(cfg Config) *Cluster {
+	if cfg.ProcsPerNode <= 0 {
+		cfg.ProcsPerNode = 1
+	}
+	if cfg.StripSize <= 0 {
+		cfg.StripSize = 64 * 1024
+	}
+	c := &Cluster{
+		cfg:   cfg,
+		sched: vtime.New(),
+		stats: make([]*iostats.Stats, cfg.Clients),
+		errs:  make([]error, cfg.Clients),
+	}
+	c.net = transport.NewSimNet(c.sched, cfg.SimCfg)
+
+	serverNodes := make([]*transport.SimNode, cfg.Servers)
+	for i := range serverNodes {
+		serverNodes[i] = c.net.NewNode()
+	}
+	c.serverNodes = serverNodes
+	c.metaAddr = transport.Addr(serverNodes[0], "meta")
+	c.meta = pvfs.NewMetaServer(c.net, c.metaAddr, cfg.Servers)
+	c.net.Spawn("meta", serverNodes[0], func(env transport.Env) {
+		c.meta.Serve(env)
+	})
+	for i := range serverNodes {
+		addr := transport.Addr(serverNodes[i], "io")
+		c.addrs = append(c.addrs, addr)
+		srv := pvfs.NewServer(c.net, addr, i, cfg.Cost)
+		srv.DisableLoopCache = !cfg.LoopCache
+		if cfg.Discard {
+			srv.NewStore = func(uint64) storage.Store { return storage.NewDiscard() }
+		}
+		c.servers = append(c.servers, srv)
+		c.net.Spawn(fmt.Sprintf("ioserver%d", i), serverNodes[i], func(env transport.Env) {
+			srv.Serve(env)
+		})
+	}
+
+	nClientNodes := (cfg.Clients + cfg.ProcsPerNode - 1) / cfg.ProcsPerNode
+	clientNodes := make([]*transport.SimNode, nClientNodes)
+	for i := range clientNodes {
+		clientNodes[i] = c.net.NewNode()
+	}
+	c.rankNodes = make([]*transport.SimNode, cfg.Clients)
+	for r := 0; r < cfg.Clients; r++ {
+		c.rankNodes[r] = clientNodes[r/cfg.ProcsPerNode]
+	}
+	c.fabric = transport.NewSimFabric(c.net, c.rankNodes)
+	return c
+}
+
+// Run executes fn on every rank, runs the simulation to completion, and
+// returns the elapsed window recorded by TimePhase plus averaged
+// per-client statistics. Server processes are shut down when every rank
+// finishes.
+func (c *Cluster) Run(fn func(r *Rank) error) (time.Duration, iostats.Snapshot, error) {
+	wg := c.sched.NewWaitGroup()
+	wg.Add(c.cfg.Clients)
+	for id := 0; id < c.cfg.Clients; id++ {
+		id := id
+		st := &iostats.Stats{}
+		c.stats[id] = st
+		c.net.Spawn(fmt.Sprintf("rank%d", id), c.rankNodes[id], func(env transport.Env) {
+			defer wg.Done()
+			fs := pvfs.NewClient(c.net, c.metaAddr, c.addrs, c.cfg.Cost)
+			fs.Stats = st
+			defer fs.Close()
+			r := &Rank{
+				ID:    id,
+				Env:   env,
+				FS:    fs,
+				Comm:  mpi.NewComm(c.fabric, id, c.cfg.Clients),
+				Stats: st,
+				c:     c,
+			}
+			c.errs[id] = fn(r)
+		})
+	}
+	// Controller: shut the servers down once all ranks are done, so the
+	// simulation drains instead of deadlocking on idle Accept loops.
+	c.net.Spawn("controller", c.rankNodes[0], func(env transport.Env) {
+		wg.Wait(env.(*transport.SimEnv).Proc())
+		c.fabric.Close()
+		c.meta.Close()
+		for _, s := range c.servers {
+			s.Close()
+		}
+	})
+	if err := c.sched.Run(); err != nil {
+		return 0, iostats.Snapshot{}, err
+	}
+	for id, err := range c.errs {
+		if err != nil {
+			return 0, iostats.Snapshot{}, fmt.Errorf("rank %d: %w", id, err)
+		}
+	}
+	var agg iostats.Snapshot
+	for _, st := range c.stats {
+		agg = agg.Add(st.Snapshot())
+	}
+	return c.winEnd - c.winStart, agg.Div(int64(c.cfg.Clients)), nil
+}
+
+// Utilization reports average busy fractions of the modeled hardware
+// relative to the total simulated time (call after Run).
+func (c *Cluster) Utilization() Utilization {
+	total := c.sched.Now()
+	if total <= 0 {
+		return Utilization{}
+	}
+	frac := func(nodes []*transport.SimNode, pick func(n *transport.SimNode) time.Duration, slots float64) float64 {
+		if len(nodes) == 0 {
+			return 0
+		}
+		var busy time.Duration
+		for _, n := range nodes {
+			busy += pick(n)
+		}
+		return busy.Seconds() / (total.Seconds() * float64(len(nodes)) * slots)
+	}
+	nicMax := func(nodes []*transport.SimNode) float64 {
+		tx := frac(nodes, func(n *transport.SimNode) time.Duration { return n.TX.BusyTime() }, 1)
+		rx := frac(nodes, func(n *transport.SimNode) time.Duration { return n.RX.BusyTime() }, 1)
+		if tx > rx {
+			return tx
+		}
+		return rx
+	}
+	cpuSlots := float64(c.cfg.SimCfg.CPUSlots)
+	uniqueClients := map[*transport.SimNode]bool{}
+	var clientNodes []*transport.SimNode
+	for _, n := range c.rankNodes {
+		if !uniqueClients[n] {
+			uniqueClients[n] = true
+			clientNodes = append(clientNodes, n)
+		}
+	}
+	return Utilization{
+		ServerDisk: frac(c.serverNodes, func(n *transport.SimNode) time.Duration { return n.Disk.BusyTime() }, 1),
+		ServerNIC:  nicMax(c.serverNodes),
+		ServerCPU:  frac(c.serverNodes, func(n *transport.SimNode) time.Duration { return n.CPU.BusyTime() }, cpuSlots),
+		ClientNIC:  nicMax(clientNodes),
+		ClientCPU:  frac(clientNodes, func(n *transport.SimNode) time.Duration { return n.CPU.BusyTime() }, cpuSlots),
+	}
+}

@@ -1,0 +1,224 @@
+package dataloop
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Wire format (little endian). Each node:
+//
+//	u8  kind
+//	u8  flags (bit 0: has child / has children)
+//	i64 count
+//	i64 elsize, i64 elextent
+//	i64 size, i64 extent
+//	kind-specific:
+//	  vector:        i64 blocklen, i64 stride
+//	  blockindexed:  i64 blocklen, u32 n, n×i64 offsets
+//	  indexed:       u32 n, n×i64 blocklens, n×i64 offsets
+//	  struct:        u32 n, n×i64 offsets, then n child nodes
+//	child node follows for non-struct non-leaf loops.
+//
+// The encoding is the "concise datatype representation" shipped inside
+// datatype I/O requests; its small size relative to flattened
+// offset-length lists is the point of the paper.
+
+const flagChild = 1
+
+// EncodedSize reports the exact number of bytes Encode will produce.
+func (l *Loop) EncodedSize() int {
+	n := 1 + 1 + 5*8
+	switch l.Kind {
+	case Vector:
+		n += 16
+	case BlockIndexed:
+		n += 8 + 4 + 8*len(l.Offsets)
+	case Indexed:
+		n += 4 + 16*len(l.Offsets)
+	case Struct:
+		n += 4 + 8*len(l.Offsets)
+		for _, c := range l.Children {
+			n += c.EncodedSize()
+		}
+		return n
+	}
+	if l.Child != nil {
+		n += l.Child.EncodedSize()
+	}
+	return n
+}
+
+// Encode appends the wire encoding of the loop to dst and returns the
+// extended slice.
+func (l *Loop) Encode(dst []byte) []byte {
+	var flags byte
+	if l.Child != nil || l.Children != nil {
+		flags |= flagChild
+	}
+	dst = append(dst, byte(l.Kind), flags)
+	dst = appendI64(dst, l.Count)
+	dst = appendI64(dst, l.ElSize)
+	dst = appendI64(dst, l.ElExtent)
+	dst = appendI64(dst, l.Size)
+	dst = appendI64(dst, l.Extent)
+	switch l.Kind {
+	case Vector:
+		dst = appendI64(dst, l.BlockLen)
+		dst = appendI64(dst, l.Stride)
+	case BlockIndexed:
+		dst = appendI64(dst, l.BlockLen)
+		dst = appendU32(dst, uint32(len(l.Offsets)))
+		for _, o := range l.Offsets {
+			dst = appendI64(dst, o)
+		}
+	case Indexed:
+		dst = appendU32(dst, uint32(len(l.Offsets)))
+		for _, b := range l.BlockLens {
+			dst = appendI64(dst, b)
+		}
+		for _, o := range l.Offsets {
+			dst = appendI64(dst, o)
+		}
+	case Struct:
+		dst = appendU32(dst, uint32(len(l.Offsets)))
+		for _, o := range l.Offsets {
+			dst = appendI64(dst, o)
+		}
+		for _, c := range l.Children {
+			dst = c.Encode(dst)
+		}
+		return dst
+	}
+	if l.Child != nil {
+		dst = l.Child.Encode(dst)
+	}
+	return dst
+}
+
+// Decode parses a loop from b, validates it, and returns it along with
+// the number of bytes consumed.
+func Decode(b []byte) (*Loop, int, error) {
+	l, n, err := decode(b, 0)
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := l.Validate(); err != nil {
+		return nil, 0, err
+	}
+	return l, n, nil
+}
+
+// maxListLen bounds decoded offset lists; dataloop requests are supposed
+// to be concise, and this protects servers from hostile allocations.
+const maxListLen = 1 << 22
+
+func decode(b []byte, depth int) (*Loop, int, error) {
+	if depth > maxDepth {
+		return nil, 0, fmt.Errorf("dataloop: decode nesting deeper than %d", maxDepth)
+	}
+	if len(b) < 2+5*8 {
+		return nil, 0, fmt.Errorf("dataloop: truncated node header")
+	}
+	l := &Loop{Kind: Kind(b[0])}
+	if l.Kind > Struct {
+		return nil, 0, fmt.Errorf("dataloop: unknown kind %d", b[0])
+	}
+	flags := b[1]
+	p := 2
+	l.Count = readI64(b, &p)
+	l.ElSize = readI64(b, &p)
+	l.ElExtent = readI64(b, &p)
+	l.Size = readI64(b, &p)
+	l.Extent = readI64(b, &p)
+	switch l.Kind {
+	case Vector:
+		if len(b) < p+16 {
+			return nil, 0, fmt.Errorf("dataloop: truncated vector node")
+		}
+		l.BlockLen = readI64(b, &p)
+		l.Stride = readI64(b, &p)
+	case BlockIndexed:
+		if len(b) < p+12 {
+			return nil, 0, fmt.Errorf("dataloop: truncated blockindexed node")
+		}
+		l.BlockLen = readI64(b, &p)
+		n := int(readU32(b, &p))
+		if n > maxListLen || len(b) < p+8*n {
+			return nil, 0, fmt.Errorf("dataloop: bad blockindexed offset list")
+		}
+		l.Offsets = make([]int64, n)
+		for i := range l.Offsets {
+			l.Offsets[i] = readI64(b, &p)
+		}
+		l.Count = int64(n)
+	case Indexed:
+		if len(b) < p+4 {
+			return nil, 0, fmt.Errorf("dataloop: truncated indexed node")
+		}
+		n := int(readU32(b, &p))
+		if n > maxListLen || len(b) < p+16*n {
+			return nil, 0, fmt.Errorf("dataloop: bad indexed lists")
+		}
+		l.BlockLens = make([]int64, n)
+		for i := range l.BlockLens {
+			l.BlockLens[i] = readI64(b, &p)
+		}
+		l.Offsets = make([]int64, n)
+		for i := range l.Offsets {
+			l.Offsets[i] = readI64(b, &p)
+		}
+		l.Count = int64(n)
+	case Struct:
+		if len(b) < p+4 {
+			return nil, 0, fmt.Errorf("dataloop: truncated struct node")
+		}
+		n := int(readU32(b, &p))
+		if n > maxListLen || len(b) < p+8*n {
+			return nil, 0, fmt.Errorf("dataloop: bad struct offset list")
+		}
+		l.Offsets = make([]int64, n)
+		for i := range l.Offsets {
+			l.Offsets[i] = readI64(b, &p)
+		}
+		l.Count = int64(n)
+		l.Children = make([]*Loop, n)
+		for i := range l.Children {
+			c, used, err := decode(b[p:], depth+1)
+			if err != nil {
+				return nil, 0, err
+			}
+			l.Children[i] = c
+			p += used
+		}
+		return l, p, nil
+	}
+	if flags&flagChild != 0 {
+		c, used, err := decode(b[p:], depth+1)
+		if err != nil {
+			return nil, 0, err
+		}
+		l.Child = c
+		p += used
+	}
+	return l, p, nil
+}
+
+func appendI64(dst []byte, v int64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, uint64(v))
+}
+
+func appendU32(dst []byte, v uint32) []byte {
+	return binary.LittleEndian.AppendUint32(dst, v)
+}
+
+func readI64(b []byte, p *int) int64 {
+	v := int64(binary.LittleEndian.Uint64(b[*p:]))
+	*p += 8
+	return v
+}
+
+func readU32(b []byte, p *int) uint32 {
+	v := binary.LittleEndian.Uint32(b[*p:])
+	*p += 4
+	return v
+}

@@ -1,0 +1,150 @@
+package dataloop
+
+import (
+	"dtio/internal/datatype"
+)
+
+// FromType converts an MPI-style datatype into its dataloop
+// representation. The conversion collapses regularity where possible —
+// contigs of contigs merge, vectors over dense elements become leaf
+// vectors — so the result is as concise as the type's structure allows.
+// This mirrors what the paper's prototype does with
+// MPI_Type_get_envelope/MPI_Type_get_contents, but operates directly on
+// our datatype package.
+func FromType(t *datatype.Type) *Loop {
+	l := convert(t)
+	l.Extent = t.Extent() // honor resized outer extents
+	return l
+}
+
+// denseElement reports whether instances of t can serve as opaque leaf
+// elements: a single run of t.Size() bytes starting at the origin.
+func denseElement(t *datatype.Type) bool {
+	return t.OneRun() && t.TrueLB() == 0
+}
+
+func convert(t *datatype.Type) *Loop {
+	switch t.Kind() {
+	case datatype.KindBasic:
+		return &Loop{
+			Kind: Contig, Count: 1,
+			ElSize: t.Size(), ElExtent: t.Extent(),
+			Size: t.Size(), Extent: t.Extent(),
+		}
+
+	case datatype.KindResized:
+		l := convert(t.Child())
+		nl := *l
+		nl.Extent = t.Extent()
+		return &nl
+
+	case datatype.KindContig:
+		child := t.Child()
+		if denseElement(child) {
+			return &Loop{
+				Kind: Contig, Count: t.Count(),
+				ElSize: child.Size(), ElExtent: child.Extent(),
+				Size: t.Size(), Extent: t.Extent(),
+			}
+		}
+		c := convert(child)
+		// contig(N, contig-leaf(C)) -> contig-leaf(N*C) when repetitions
+		// continue the same element grid.
+		if c.leaf() && c.Kind == Contig && c.Extent == c.Count*c.ElExtent {
+			return &Loop{
+				Kind: Contig, Count: t.Count() * c.Count,
+				ElSize: c.ElSize, ElExtent: c.ElExtent,
+				Size: t.Size(), Extent: t.Extent(),
+			}
+		}
+		// contig(N, vector-leaf(C)) -> vector-leaf(N*C) when block grid
+		// continues across instances.
+		if c.leaf() && c.Kind == Vector && c.Extent == c.Count*c.Stride {
+			return &Loop{
+				Kind: Vector, Count: t.Count() * c.Count,
+				BlockLen: c.BlockLen, Stride: c.Stride,
+				ElSize: c.ElSize, ElExtent: c.ElExtent,
+				Size: t.Size(), Extent: t.Extent(),
+			}
+		}
+		return &Loop{
+			Kind: Contig, Count: t.Count(),
+			ElSize: c.Size, ElExtent: c.Extent,
+			Child: c, Size: t.Size(), Extent: t.Extent(),
+		}
+
+	case datatype.KindVector:
+		child := t.Child()
+		if denseElement(child) {
+			return &Loop{
+				Kind: Vector, Count: t.Count(),
+				BlockLen: t.BlockLen(), Stride: t.StrideBytes(),
+				ElSize: child.Size(), ElExtent: child.Extent(),
+				Size: t.Size(), Extent: t.Extent(),
+			}
+		}
+		c := convert(child)
+		return &Loop{
+			Kind: Vector, Count: t.Count(),
+			BlockLen: t.BlockLen(), Stride: t.StrideBytes(),
+			ElSize: c.Size, ElExtent: c.Extent,
+			Child: c, Size: t.Size(), Extent: t.Extent(),
+		}
+
+	case datatype.KindBlockIndexed:
+		child := t.Child()
+		offs := append([]int64(nil), t.Displs()...)
+		if denseElement(child) {
+			return &Loop{
+				Kind: BlockIndexed, BlockLen: t.BlockLen(), Offsets: offs,
+				Count:  int64(len(offs)),
+				ElSize: child.Size(), ElExtent: child.Extent(),
+				Size: t.Size(), Extent: t.Extent(),
+			}
+		}
+		c := convert(child)
+		return &Loop{
+			Kind: BlockIndexed, BlockLen: t.BlockLen(), Offsets: offs,
+			Count:  int64(len(offs)),
+			ElSize: c.Size, ElExtent: c.Extent,
+			Child: c, Size: t.Size(), Extent: t.Extent(),
+		}
+
+	case datatype.KindIndexed:
+		child := t.Child()
+		offs := append([]int64(nil), t.Displs()...)
+		lens := append([]int64(nil), t.Lens()...)
+		if denseElement(child) {
+			return &Loop{
+				Kind: Indexed, BlockLens: lens, Offsets: offs,
+				Count:  int64(len(offs)),
+				ElSize: child.Size(), ElExtent: child.Extent(),
+				Size: t.Size(), Extent: t.Extent(),
+			}
+		}
+		c := convert(child)
+		return &Loop{
+			Kind: Indexed, BlockLens: lens, Offsets: offs,
+			Count:  int64(len(offs)),
+			ElSize: c.Size, ElExtent: c.Extent,
+			Child: c, Size: t.Size(), Extent: t.Extent(),
+		}
+
+	case datatype.KindStruct:
+		types := t.Children()
+		lens := t.Lens()
+		offs := append([]int64(nil), t.Displs()...)
+		children := make([]*Loop, len(types))
+		for i := range types {
+			// Fold the per-field repetition into the child loop.
+			field := datatype.Contiguous(int(lens[i]), types[i])
+			children[i] = FromType(field)
+		}
+		return &Loop{
+			Kind: Struct, Count: int64(len(children)),
+			Offsets: offs, Children: children,
+			Size: t.Size(), Extent: t.Extent(),
+		}
+	}
+	panic("dataloop: unknown datatype kind")
+}

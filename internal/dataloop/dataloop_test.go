@@ -1,0 +1,398 @@
+package dataloop
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"dtio/internal/datatype"
+)
+
+// collect materializes all pieces of count instances without coalescing.
+func collect(l *Loop, count int64) []datatype.Region {
+	var out []datatype.Region
+	seg := NewSegment(l, count)
+	seg.Process(-1, func(off, n int64) bool {
+		out = append(out, datatype.Region{Off: off, Len: n})
+		return true
+	})
+	return out
+}
+
+// coalesce merges adjacent regions.
+func coalesce(in []datatype.Region) []datatype.Region {
+	var out []datatype.Region
+	for _, r := range in {
+		if r.Len == 0 {
+			continue
+		}
+		if len(out) > 0 && out[len(out)-1].Off+out[len(out)-1].Len == r.Off {
+			out[len(out)-1].Len += r.Len
+		} else {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// typeRegions is the datatype-package reference flattening.
+func typeRegions(t *datatype.Type, count int) []datatype.Region {
+	return t.Flatten(0, count)
+}
+
+func TestConvertBasic(t *testing.T) {
+	l := FromType(datatype.Int32)
+	if l.Kind != Contig || !l.leaf() || l.ElSize != 4 || l.Size != 4 {
+		t.Fatalf("basic loop: %s", l)
+	}
+}
+
+func TestConvertContigCollapses(t *testing.T) {
+	// contig(10, contig(5, int32)) must become a single dense leaf.
+	ty := datatype.Contiguous(10, datatype.Contiguous(5, datatype.Int32))
+	l := FromType(ty)
+	if !l.leaf() || l.Kind != Contig {
+		t.Fatalf("not collapsed: %s", l)
+	}
+	if l.Size != 200 {
+		t.Fatalf("size=%d", l.Size)
+	}
+	if l.NumNodes() != 1 {
+		t.Fatalf("nodes=%d", l.NumNodes())
+	}
+}
+
+func TestConvertVectorLeaf(t *testing.T) {
+	ty := datatype.Vector(768, 3072, 7596, datatype.Byte) // tile view
+	l := FromType(ty)
+	if l.Kind != Vector || !l.leaf() {
+		t.Fatalf("tile loop should be a leaf vector: %s", l)
+	}
+	if l.Count != 768 || l.BlockLen != 3072 || l.Stride != 7596 {
+		t.Fatalf("loop fields: %s", l)
+	}
+	if l.EncodedSize() > 100 {
+		t.Fatalf("tile dataloop encodes to %d bytes; should be tiny", l.EncodedSize())
+	}
+}
+
+func TestConvertContigOfVectorCollapses(t *testing.T) {
+	// A vector whose extent is count*stride tiles seamlessly; contig of it
+	// collapses into a longer vector.
+	v := datatype.HVector(4, 2, 16, datatype.Int32)
+	v = datatype.Resized(v, 0, 64) // extent 4*16
+	ty := datatype.Contiguous(3, v)
+	l := FromType(ty)
+	if l.Kind != Vector || !l.leaf() || l.Count != 12 {
+		t.Fatalf("want leaf vector count 12, got %s", l)
+	}
+}
+
+func TestConvertSubarrayIsCompact(t *testing.T) {
+	// 3-D block subarray: nested vectors, a handful of nodes regardless of
+	// array size.
+	ty := datatype.Subarray([]int{600, 600, 600}, []int{300, 300, 300}, []int{0, 0, 0}, datatype.OrderC, datatype.Int32)
+	l := FromType(ty)
+	if l.NumNodes() > 4 {
+		t.Fatalf("3-D block loop has %d nodes: %s", l.NumNodes(), l)
+	}
+	if l.EncodedSize() > 300 {
+		t.Fatalf("encoded %d bytes", l.EncodedSize())
+	}
+	if l.Size != 300*300*300*4 {
+		t.Fatalf("size=%d", l.Size)
+	}
+}
+
+func TestSegmentMatchesTypeWalk(t *testing.T) {
+	cases := []*datatype.Type{
+		datatype.Int32,
+		datatype.Contiguous(7, datatype.Int64),
+		datatype.Vector(5, 3, 7, datatype.Int32),
+		datatype.HVector(4, 2, 100, datatype.Contiguous(3, datatype.Byte)),
+		datatype.Indexed([]int{2, 1, 3}, []int{5, 0, 10}, datatype.Int32),
+		datatype.BlockIndexed(2, []int{0, 4, 9}, datatype.Int32),
+		datatype.Struct([]int{1, 2}, []int64{0, 8}, []*datatype.Type{datatype.Int32, datatype.Float64}),
+		datatype.Subarray([]int{6, 8}, []int{3, 4}, []int{1, 2}, datatype.OrderC, datatype.Int32),
+		datatype.Resized(datatype.Int32, 0, 12),
+		datatype.Vector(3, 2, 4, datatype.Vector(2, 1, 2, datatype.Int32)),
+	}
+	for i, ty := range cases {
+		l := FromType(ty)
+		if err := l.Validate(); err != nil {
+			t.Fatalf("case %d: validate: %v", i, err)
+		}
+		for _, count := range []int64{1, 3} {
+			got := coalesce(collect(l, count))
+			want := typeRegions(ty, int(count))
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("case %d count %d:\n got %v\nwant %v\nloop %s", i, count, got, want, l)
+			}
+		}
+	}
+}
+
+func TestSegmentByteBudgetSplitsPieces(t *testing.T) {
+	ty := datatype.Vector(3, 2, 4, datatype.Int32) // pieces of 8 bytes
+	l := FromType(ty)
+	seg := NewSegment(l, 1)
+	var got []datatype.Region
+	for !seg.Done() {
+		consumed, _ := seg.Process(5, func(off, n int64) bool {
+			got = append(got, datatype.Region{Off: off, Len: n})
+			return true
+		})
+		if consumed == 0 && !seg.Done() {
+			t.Fatal("no progress")
+		}
+	}
+	// 24 bytes in <=5-byte chunks: every chunk at most 5 bytes; coalesced
+	// coverage must equal the full flattening.
+	for _, r := range got {
+		if r.Len > 5 {
+			t.Fatalf("piece %v exceeds budget", r)
+		}
+	}
+	if !reflect.DeepEqual(coalesce(got), typeRegions(ty, 1)) {
+		t.Fatalf("coverage mismatch: %v", coalesce(got))
+	}
+}
+
+func TestSegmentRefusalDoesNotConsume(t *testing.T) {
+	ty := datatype.Vector(4, 1, 2, datatype.Int32)
+	l := FromType(ty)
+	seg := NewSegment(l, 1)
+	calls := 0
+	consumed, done := seg.Process(-1, func(off, n int64) bool {
+		calls++
+		return calls <= 2 // refuse the third piece
+	})
+	if done || consumed != 8 {
+		t.Fatalf("consumed=%d done=%v", consumed, done)
+	}
+	// Resume: the refused piece must be offered again.
+	var first datatype.Region
+	seg.Process(-1, func(off, n int64) bool {
+		first = datatype.Region{Off: off, Len: n}
+		return false
+	})
+	if first.Off != 16 || first.Len != 4 {
+		t.Fatalf("resume offered %v, want {16 4}", first)
+	}
+}
+
+func TestSegmentResumeAcrossInstances(t *testing.T) {
+	ty := datatype.Vector(2, 1, 2, datatype.Int32) // 8 bytes/instance
+	l := FromType(ty)
+	seg := NewSegment(l, 3)
+	if seg.Total() != 24 {
+		t.Fatalf("total=%d", seg.Total())
+	}
+	var got []datatype.Region
+	for !seg.Done() {
+		seg.Process(3, func(off, n int64) bool {
+			got = append(got, datatype.Region{Off: off, Len: n})
+			return true
+		})
+	}
+	if !reflect.DeepEqual(coalesce(got), typeRegions(ty, 3)) {
+		t.Fatalf("mismatch: %v vs %v", coalesce(got), typeRegions(ty, 3))
+	}
+}
+
+func TestSegmentSetPos(t *testing.T) {
+	ty := datatype.Contiguous(4, datatype.Resized(datatype.Int32, 0, 10))
+	l := FromType(ty)
+	seg := NewSegment(l, 1)
+	seg.SetPos(6) // into element 1 (bytes 4..8 are element 1)
+	var first datatype.Region
+	seg.Process(-1, func(off, n int64) bool {
+		first = datatype.Region{Off: off, Len: n}
+		return false
+	})
+	// element 1 at offset 10, skip 2 bytes in: off 12, len 2
+	if first.Off != 12 || first.Len != 2 {
+		t.Fatalf("got %v", first)
+	}
+}
+
+func TestSegmentZeroSize(t *testing.T) {
+	ty := datatype.Contiguous(0, datatype.Int32)
+	seg := NewSegment(FromType(ty), 5)
+	consumed, done := seg.Process(-1, func(off, n int64) bool { return true })
+	if consumed != 0 || !done {
+		t.Fatalf("consumed=%d done=%v", consumed, done)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	cases := []*datatype.Type{
+		datatype.Int32,
+		datatype.Vector(768, 3072, 7596, datatype.Byte),
+		datatype.Indexed([]int{2, 1, 3}, []int{5, 0, 10}, datatype.Int32),
+		datatype.BlockIndexed(3, []int{0, 5, 11}, datatype.Int64),
+		datatype.Struct([]int{1, 2, 1}, []int64{0, 8, 32}, []*datatype.Type{
+			datatype.Int32, datatype.Float64, datatype.Vector(2, 1, 2, datatype.Int32)}),
+		datatype.Subarray([]int{10, 10, 10}, []int{5, 5, 5}, []int{2, 2, 2}, datatype.OrderC, datatype.Int32),
+	}
+	for i, ty := range cases {
+		l := FromType(ty)
+		enc := l.Encode(nil)
+		if len(enc) != l.EncodedSize() {
+			t.Fatalf("case %d: EncodedSize=%d actual=%d", i, l.EncodedSize(), len(enc))
+		}
+		dec, used, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("case %d: decode: %v", i, err)
+		}
+		if used != len(enc) {
+			t.Fatalf("case %d: used %d of %d", i, used, len(enc))
+		}
+		if !reflect.DeepEqual(collect(dec, 2), collect(l, 2)) {
+			t.Fatalf("case %d: decoded loop walks differently", i)
+		}
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{0xFF},
+		make([]byte, 10),
+		{99, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0},
+	}
+	for i, b := range cases {
+		if _, _, err := Decode(b); err == nil {
+			t.Fatalf("case %d: garbage decoded", i)
+		}
+	}
+}
+
+func TestDecodeRejectsTamperedSize(t *testing.T) {
+	l := FromType(datatype.Vector(4, 2, 3, datatype.Int32))
+	enc := l.Encode(nil)
+	// Size field is at byte offset 2+8+8+8 = 26.
+	enc[26] ^= 0x01
+	if _, _, err := Decode(enc); err == nil {
+		t.Fatal("tampered size accepted")
+	}
+}
+
+func TestDecodeRejectsTruncation(t *testing.T) {
+	l := FromType(datatype.Indexed([]int{2, 1, 3}, []int{5, 0, 10}, datatype.Int32))
+	enc := l.Encode(nil)
+	for cut := 1; cut < len(enc); cut += 7 {
+		if _, _, err := Decode(enc[:cut]); err == nil {
+			t.Fatalf("truncated at %d accepted", cut)
+		}
+	}
+}
+
+func TestValidateRejectsNegativeCount(t *testing.T) {
+	l := &Loop{Kind: Contig, Count: -1, ElSize: 4, ElExtent: 4, Size: -4, Extent: -4}
+	if err := l.Validate(); err == nil {
+		t.Fatal("negative count accepted")
+	}
+}
+
+func TestDepthAndNodes(t *testing.T) {
+	ty := datatype.Vector(3, 2, 4, datatype.Vector(2, 1, 3, datatype.Vector(2, 1, 2, datatype.Int32)))
+	l := FromType(ty)
+	if l.Depth() != 3 {
+		t.Fatalf("depth=%d loop=%s", l.Depth(), l)
+	}
+}
+
+func TestPropertyLoopMatchesType(t *testing.T) {
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		ty := datatype.RandomType(rr, 1+rr.Intn(3))
+		l := FromType(ty)
+		if err := l.Validate(); err != nil {
+			return false
+		}
+		if l.Size != ty.Size() || l.Extent != ty.Extent() {
+			return false
+		}
+		count := 1 + rr.Intn(3)
+		return reflect.DeepEqual(coalesce(collect(l, int64(count))), typeRegions(ty, count))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyPartialEqualsFull(t *testing.T) {
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		ty := datatype.RandomType(rr, 1+rr.Intn(3))
+		l := FromType(ty)
+		count := int64(1 + rr.Intn(3))
+		full := coalesce(collect(l, count))
+		// Re-process with random byte budgets.
+		seg := NewSegment(l, count)
+		var parts []datatype.Region
+		for !seg.Done() {
+			budget := int64(1 + rr.Intn(17))
+			consumed, done := seg.Process(budget, func(off, n int64) bool {
+				parts = append(parts, datatype.Region{Off: off, Len: n})
+				return true
+			})
+			if consumed == 0 && !done {
+				return false
+			}
+		}
+		return reflect.DeepEqual(coalesce(parts), full)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyCodecRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		ty := datatype.RandomType(rr, 1+rr.Intn(3))
+		l := FromType(ty)
+		enc := l.Encode(nil)
+		dec, used, err := Decode(enc)
+		if err != nil || used != len(enc) {
+			return false
+		}
+		return reflect.DeepEqual(collect(dec, 1), collect(l, 1))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsDeepNesting(t *testing.T) {
+	// Build a loop nested past the decode depth limit.
+	l := &Loop{Kind: Contig, Count: 1, ElSize: 1, ElExtent: 1, Size: 1, Extent: 1}
+	for i := 0; i < 80; i++ {
+		l = &Loop{Kind: Contig, Count: 1, ElSize: l.Size, ElExtent: l.Extent,
+			Child: l, Size: l.Size, Extent: l.Extent}
+	}
+	if err := l.Validate(); err == nil {
+		t.Fatal("deep nesting accepted")
+	}
+	if _, _, err := Decode(l.Encode(nil)); err == nil {
+		t.Fatal("deep nesting decoded")
+	}
+}
+
+func TestDecodeRejectsHugeLists(t *testing.T) {
+	// A forged indexed node declaring 2^30 entries must be rejected
+	// before allocation.
+	enc := FromType(datatype.Indexed([]int{1}, []int{0}, datatype.Int32)).Encode(nil)
+	// count field of the indexed list: locate the u32 after the header.
+	// header: kind(1) flags(1) count(8) elsize(8) elextent(8) size(8) extent(8) = 42
+	enc[42] = 0xFF
+	enc[43] = 0xFF
+	enc[44] = 0xFF
+	enc[45] = 0x3F
+	if _, _, err := Decode(enc); err == nil {
+		t.Fatal("huge list accepted")
+	}
+}

@@ -1,0 +1,240 @@
+package dataloop
+
+import "math"
+
+// Segment is a resumable cursor over the offset/length pieces of a
+// dataloop. It supports the partial-processing contract the paper relies
+// on: process some pieces now (bounded by bytes or by the consumer
+// refusing a piece), keep the position, resume later. Resumption costs
+// O(depth + blocks skipped) arithmetic, not a re-walk of emitted pieces.
+//
+// Pieces are emitted in data-stream order: the k-th stream byte of the
+// type maps to the k-th byte covered by the emitted pieces.
+type Segment struct {
+	top   *Loop
+	count int64 // instances of top, spaced by top.Extent
+	pos   int64 // stream position consumed so far
+
+	remaining int64 // byte budget for the current Process call
+}
+
+// NewSegment creates a cursor over count instances of l.
+func NewSegment(l *Loop, count int64) *Segment {
+	return &Segment{top: l, count: count}
+}
+
+// Total reports the total stream bytes (count * loop size).
+func (s *Segment) Total() int64 { return s.count * s.top.Size }
+
+// Pos reports the stream position consumed so far.
+func (s *Segment) Pos() int64 { return s.pos }
+
+// Done reports whether the whole stream has been consumed.
+func (s *Segment) Done() bool { return s.pos >= s.Total() }
+
+// SetPos repositions the cursor to an absolute stream offset.
+func (s *Segment) SetPos(pos int64) {
+	if pos < 0 || pos > s.Total() {
+		panic("dataloop: position out of range")
+	}
+	s.pos = pos
+}
+
+// Process emits pieces starting at the current position. Each piece is a
+// contiguous byte run (off, n) relative to the placement origin of
+// instance 0. Processing stops when:
+//
+//   - the stream is exhausted (returns consumed, true),
+//   - maxBytes (>0) of stream have been emitted — the final piece is
+//     split if needed (returns consumed, false), or
+//   - emit returns false, which REFUSES the offered piece: it is not
+//     consumed and will be offered again on the next call
+//     (returns consumed, false).
+//
+// maxBytes <= 0 means no byte bound.
+func (s *Segment) Process(maxBytes int64, emit func(off, n int64) bool) (consumed int64, done bool) {
+	if s.top.Size == 0 || s.count == 0 {
+		s.pos = s.Total()
+		return 0, true
+	}
+	s.remaining = math.MaxInt64
+	if maxBytes > 0 {
+		s.remaining = maxBytes
+	}
+	start := s.pos
+	inst := s.pos / s.top.Size
+	skip := s.pos % s.top.Size
+	for ; inst < s.count; inst++ {
+		if !s.walk(s.top, inst*s.top.Extent, skip, emit) {
+			return s.pos - start, false
+		}
+		skip = 0
+	}
+	return s.pos - start, true
+}
+
+// piece offers one contiguous run to emit, honoring the byte budget.
+// It reports whether walking should continue.
+func (s *Segment) piece(off, n int64, emit func(off, n int64) bool) bool {
+	if n == 0 {
+		return true
+	}
+	if s.remaining <= 0 {
+		return false
+	}
+	give := n
+	if give > s.remaining {
+		give = s.remaining
+	}
+	if !emit(off, give) {
+		return false // refused: nothing consumed
+	}
+	s.remaining -= give
+	s.pos += give
+	return give == n // a split piece exhausts the budget
+}
+
+// walk processes one instance of l placed at base, skipping the first
+// skip stream bytes of it. It reports whether the instance completed.
+func (s *Segment) walk(l *Loop, base, skip int64, emit func(off, n int64) bool) bool {
+	if skip >= l.Size {
+		return skip == l.Size || l.Size == 0
+	}
+	switch l.Kind {
+	case Contig:
+		i := skip / l.ElSize
+		rem := skip % l.ElSize
+		if l.leaf() {
+			if l.ElExtent == l.ElSize { // dense: one long run
+				return s.pieceLong(base+skip, l.Count*l.ElSize-skip, emit)
+			}
+			for ; i < l.Count; i++ {
+				if !s.piece(base+i*l.ElExtent+rem, l.ElSize-rem, emit) {
+					return false
+				}
+				rem = 0
+			}
+			return true
+		}
+		for ; i < l.Count; i++ {
+			if !s.walk(l.Child, base+i*l.ElExtent, rem, emit) {
+				return false
+			}
+			rem = 0
+		}
+		return true
+
+	case Vector:
+		blockBytes := l.BlockLen * l.ElSize
+		b := skip / blockBytes
+		rem := skip % blockBytes
+		for ; b < l.Count; b++ {
+			if !s.block(l, base+b*l.Stride, rem, l.BlockLen, emit) {
+				return false
+			}
+			rem = 0
+		}
+		return true
+
+	case BlockIndexed:
+		blockBytes := l.BlockLen * l.ElSize
+		b := skip / blockBytes
+		rem := skip % blockBytes
+		for ; b < int64(len(l.Offsets)); b++ {
+			if !s.block(l, base+l.Offsets[b], rem, l.BlockLen, emit) {
+				return false
+			}
+			rem = 0
+		}
+		return true
+
+	case Indexed:
+		// Skip whole blocks, then process the remainder.
+		b := int64(0)
+		for b < int64(len(l.BlockLens)) {
+			bb := l.BlockLens[b] * l.ElSize
+			if skip < bb {
+				break
+			}
+			skip -= bb
+			b++
+		}
+		for ; b < int64(len(l.BlockLens)); b++ {
+			if !s.block(l, base+l.Offsets[b], skip, l.BlockLens[b], emit) {
+				return false
+			}
+			skip = 0
+		}
+		return true
+
+	case Struct:
+		f := 0
+		for f < len(l.Children) {
+			if skip < l.Children[f].Size {
+				break
+			}
+			skip -= l.Children[f].Size
+			f++
+		}
+		for ; f < len(l.Children); f++ {
+			if !s.walk(l.Children[f], base+l.Offsets[f], skip, emit) {
+				return false
+			}
+			skip = 0
+		}
+		return true
+	}
+	panic("dataloop: unknown kind")
+}
+
+// block processes one block of n elements of l (leaf or child elements)
+// starting at blockBase, skipping the first skip bytes of the block.
+func (s *Segment) block(l *Loop, blockBase, skip, n int64, emit func(off, n int64) bool) bool {
+	j := skip / l.ElSize
+	rem := skip % l.ElSize
+	if l.leaf() {
+		// Dense blocks emit a single piece.
+		if l.ElExtent == l.ElSize {
+			return s.pieceLong(blockBase+skip, n*l.ElSize-skip, emit)
+		}
+		for ; j < n; j++ {
+			if !s.piece(blockBase+j*l.ElExtent+rem, l.ElSize-rem, emit) {
+				return false
+			}
+			rem = 0
+		}
+		return true
+	}
+	for ; j < n; j++ {
+		if !s.walk(l.Child, blockBase+j*l.ElExtent, rem, emit) {
+			return false
+		}
+		rem = 0
+	}
+	return true
+}
+
+// pieceLong emits a run that may exceed the budget repeatedly (used for
+// dense blocks, which can be large).
+func (s *Segment) pieceLong(off, n int64, emit func(off, n int64) bool) bool {
+	for n > 0 {
+		give := n
+		if give > s.remaining {
+			give = s.remaining
+		}
+		if give <= 0 {
+			return false
+		}
+		if !emit(off, give) {
+			return false
+		}
+		s.remaining -= give
+		s.pos += give
+		off += give
+		n -= give
+		if n > 0 && s.remaining == 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,29 @@
+package datatype
+
+// Structural accessors used by the dataloop converter (and by tooling that
+// prints type trees). They expose the constructor arguments in normalized
+// (byte-displacement) form.
+
+// Count reports the repetition count for contig/vector kinds.
+func (t *Type) Count() int64 { return t.count }
+
+// BlockLen reports elements per block for vector/blockindexed kinds.
+func (t *Type) BlockLen() int64 { return t.blocklen }
+
+// StrideBytes reports the byte stride between vector blocks.
+func (t *Type) StrideBytes() int64 { return t.stride }
+
+// Lens returns the per-block element counts for indexed/struct kinds.
+// The caller must not modify the returned slice.
+func (t *Type) Lens() []int64 { return t.lens }
+
+// Displs returns the per-block byte displacements for indexed,
+// blockindexed and struct kinds. The caller must not modify it.
+func (t *Type) Displs() []int64 { return t.displs }
+
+// Child returns the element type for non-struct composite kinds.
+func (t *Type) Child() *Type { return t.child }
+
+// Children returns the field types of a struct kind. The caller must not
+// modify the returned slice.
+func (t *Type) Children() []*Type { return t.children }

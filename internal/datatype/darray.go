@@ -1,0 +1,126 @@
+package datatype
+
+import "fmt"
+
+// Distribution selects how one dimension of a distributed array is split
+// among processes (MPI_Type_create_darray semantics).
+type Distribution int
+
+// Distribution kinds.
+const (
+	// DistNone keeps the whole dimension on every process.
+	DistNone Distribution = iota
+	// DistBlock gives each process one contiguous block.
+	DistBlock
+	// DistCyclic deals blocks of the given argument size round-robin.
+	DistCyclic
+)
+
+// DarrayArg is the distribution argument for one dimension; use it for
+// DistCyclic block sizes. DarrayDefault picks the natural size.
+const DarrayDefault = -1
+
+// Darray builds the filetype of one process's portion of an
+// n-dimensional array distributed block/cyclic over a process grid
+// (MPI_Type_create_darray, C order). gsizes is the global shape in
+// elements, distribs/dargs/psizes describe the distribution per
+// dimension, and rank is the process's position in the C-order process
+// grid. The resulting type's extent covers the whole array.
+func Darray(size, rank int, gsizes []int, distribs []Distribution, dargs, psizes []int, old *Type) (*Type, error) {
+	n := len(gsizes)
+	if n == 0 || len(distribs) != n || len(dargs) != n || len(psizes) != n {
+		return nil, fmt.Errorf("datatype: darray argument arrays must share length")
+	}
+	grid := 1
+	for d, p := range psizes {
+		if p <= 0 {
+			return nil, fmt.Errorf("datatype: psizes[%d]=%d", d, p)
+		}
+		if distribs[d] == DistNone && p != 1 {
+			return nil, fmt.Errorf("datatype: dimension %d undistributed but psizes=%d", d, p)
+		}
+		grid *= p
+	}
+	if grid != size {
+		return nil, fmt.Errorf("datatype: process grid %d != size %d", grid, size)
+	}
+	if rank < 0 || rank >= size {
+		return nil, fmt.Errorf("datatype: rank %d out of range", rank)
+	}
+
+	// Process coordinates in C order (last dimension varies fastest).
+	coords := make([]int, n)
+	r := rank
+	for d := n - 1; d >= 0; d-- {
+		coords[d] = r % psizes[d]
+		r /= psizes[d]
+	}
+
+	// Build from the innermost dimension outward. The running type
+	// describes this process's elements of the trailing dimensions, with
+	// extent equal to the full trailing-subarray extent.
+	t := old
+	ext := old.Extent()
+	for d := n - 1; d >= 0; d-- {
+		g := gsizes[d]
+		if g <= 0 {
+			return nil, fmt.Errorf("datatype: gsizes[%d]=%d", d, g)
+		}
+		p := psizes[d]
+		c := coords[d]
+		var dim *Type
+		switch distribs[d] {
+		case DistNone:
+			dim = Contiguous(g, t)
+		case DistBlock:
+			b := dargs[d]
+			if b == DarrayDefault {
+				b = (g + p - 1) / p
+			}
+			if b <= 0 || b*p < g {
+				return nil, fmt.Errorf("datatype: block %d too small for dim %d", b, d)
+			}
+			start := c * b
+			count := g - start
+			if count > b {
+				count = b
+			}
+			if count < 0 {
+				count = 0
+			}
+			dim = HIndexed(
+				[]int64{int64(count)},
+				[]int64{int64(start) * t.Extent()},
+				t)
+			dim = Resized(dim, 0, int64(g)*t.Extent())
+		case DistCyclic:
+			b := dargs[d]
+			if b == DarrayDefault {
+				b = 1
+			}
+			if b <= 0 {
+				return nil, fmt.Errorf("datatype: cyclic block %d in dim %d", b, d)
+			}
+			// Blocks c*b, (c+p)*b, ... of size b (last may be short).
+			var lens, displs []int64
+			for at := c * b; at < g; at += p * b {
+				ln := b
+				if at+ln > g {
+					ln = g - at
+				}
+				lens = append(lens, int64(ln))
+				displs = append(displs, int64(at)*t.Extent())
+			}
+			if len(lens) == 0 {
+				lens, displs = []int64{0}, []int64{0}
+			}
+			dim = HIndexed(lens, displs, t)
+			dim = Resized(dim, 0, int64(g)*t.Extent())
+		default:
+			return nil, fmt.Errorf("datatype: unknown distribution %d", distribs[d])
+		}
+		t = dim
+		ext *= int64(g)
+	}
+	return Resized(t, 0, ext), nil
+}

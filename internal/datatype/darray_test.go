@@ -1,0 +1,226 @@
+package datatype
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// coverMap marks each element byte covered by rank's darray type.
+func coverMap(t *testing.T, size int, gsizes []int, distribs []Distribution, dargs, psizes []int, elem *Type) []int {
+	t.Helper()
+	total := elem.Size()
+	for _, g := range gsizes {
+		total *= int64(g)
+	}
+	seen := make([]int, total)
+	for rank := 0; rank < size; rank++ {
+		ty, err := Darray(size, rank, gsizes, distribs, dargs, psizes, elem)
+		if err != nil {
+			t.Fatalf("rank %d: %v", rank, err)
+		}
+		ty.Walk(0, func(off, n int64) bool {
+			for i := off; i < off+n; i++ {
+				seen[i]++
+			}
+			return true
+		})
+	}
+	return seen
+}
+
+func assertPartition(t *testing.T, seen []int) {
+	t.Helper()
+	for i, n := range seen {
+		if n != 1 {
+			t.Fatalf("byte %d covered %d times", i, n)
+		}
+	}
+}
+
+func TestDarrayBlock2D(t *testing.T) {
+	// 6x4 array of int32 over a 3x2 grid, block/block.
+	seen := coverMap(t, 6, []int{6, 4},
+		[]Distribution{DistBlock, DistBlock},
+		[]int{DarrayDefault, DarrayDefault},
+		[]int{3, 2}, Int32)
+	assertPartition(t, seen)
+	// Rank 0 owns rows 0-1, cols 0-1.
+	ty, _ := Darray(6, 0, []int{6, 4},
+		[]Distribution{DistBlock, DistBlock},
+		[]int{DarrayDefault, DarrayDefault},
+		[]int{3, 2}, Int32)
+	if ty.Size() != 2*2*4 {
+		t.Fatalf("rank 0 size=%d", ty.Size())
+	}
+	regions := ty.Flatten(0, 1)
+	want := []Region{{Off: 0, Len: 8}, {Off: 16, Len: 8}}
+	if len(regions) != 2 || regions[0] != want[0] || regions[1] != want[1] {
+		t.Fatalf("regions=%v", regions)
+	}
+}
+
+func TestDarrayCyclic1D(t *testing.T) {
+	// 10 elements over 3 procs, cyclic(1): rank 1 gets 1,4,7.
+	ty, err := Darray(3, 1, []int{10},
+		[]Distribution{DistCyclic}, []int{1}, []int{3}, Int32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regions := ty.Flatten(0, 1)
+	wantOffs := []int64{4, 16, 28}
+	if len(regions) != 3 {
+		t.Fatalf("regions=%v", regions)
+	}
+	for i, r := range regions {
+		if r.Off != wantOffs[i] || r.Len != 4 {
+			t.Fatalf("regions=%v", regions)
+		}
+	}
+	seen := coverMap(t, 3, []int{10}, []Distribution{DistCyclic}, []int{1}, []int{3}, Int32)
+	assertPartition(t, seen)
+}
+
+func TestDarrayBlockCyclicMix(t *testing.T) {
+	// 12x9 over 2x3 grid: block rows, cyclic(2) cols.
+	seen := coverMap(t, 6, []int{12, 9},
+		[]Distribution{DistBlock, DistCyclic},
+		[]int{DarrayDefault, 2},
+		[]int{2, 3}, Byte)
+	assertPartition(t, seen)
+}
+
+func TestDarrayDistNone(t *testing.T) {
+	// Undistributed first dimension: every rank sees all rows of its
+	// column block.
+	seen := coverMap(t, 2, []int{4, 6},
+		[]Distribution{DistNone, DistBlock},
+		[]int{DarrayDefault, DarrayDefault},
+		[]int{1, 2}, Int32)
+	assertPartition(t, seen)
+}
+
+func TestDarrayUnevenBlocks(t *testing.T) {
+	// 7 elements over 3 procs, block: sizes 3,3,1.
+	sizes := []int64{}
+	for r := 0; r < 3; r++ {
+		ty, err := Darray(3, r, []int{7}, []Distribution{DistBlock},
+			[]int{DarrayDefault}, []int{3}, Byte)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sizes = append(sizes, ty.Size())
+	}
+	if sizes[0] != 3 || sizes[1] != 3 || sizes[2] != 1 {
+		t.Fatalf("sizes=%v", sizes)
+	}
+}
+
+func TestDarrayMatchesSubarrayForBlock(t *testing.T) {
+	// Block/block darray equals the corresponding subarray.
+	const size = 8
+	g := []int{8, 8, 8}
+	ps := []int{2, 2, 2}
+	for rank := 0; rank < size; rank++ {
+		da, err := Darray(size, rank, g,
+			[]Distribution{DistBlock, DistBlock, DistBlock},
+			[]int{DarrayDefault, DarrayDefault, DarrayDefault},
+			ps, Int32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		z := rank % 2
+		y := (rank / 2) % 2
+		x := rank / 4
+		sa := Subarray(g, []int{4, 4, 4}, []int{x * 4, y * 4, z * 4}, OrderC, Int32)
+		if got, want := da.Flatten(0, 1), sa.Flatten(0, 1); len(got) != len(want) {
+			t.Fatalf("rank %d: %d vs %d regions", rank, len(got), len(want))
+		} else {
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("rank %d region %d: %v vs %v", rank, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestDarrayValidation(t *testing.T) {
+	if _, err := Darray(4, 0, []int{8}, []Distribution{DistBlock}, []int{DarrayDefault}, []int{3}, Byte); err == nil {
+		t.Fatal("grid/size mismatch accepted")
+	}
+	if _, err := Darray(2, 5, []int{8}, []Distribution{DistBlock}, []int{DarrayDefault}, []int{2}, Byte); err == nil {
+		t.Fatal("rank out of range accepted")
+	}
+	if _, err := Darray(2, 0, []int{8}, []Distribution{DistNone}, []int{DarrayDefault}, []int{2}, Byte); err == nil {
+		t.Fatal("DistNone with psize>1 accepted")
+	}
+	if _, err := Darray(2, 0, []int{8}, []Distribution{DistBlock}, []int{1}, []int{2}, Byte); err == nil {
+		t.Fatal("undersized explicit block accepted")
+	}
+}
+
+func TestPropertyDarrayPartitions(t *testing.T) {
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		n := 1 + rr.Intn(3)
+		gsizes := make([]int, n)
+		distribs := make([]Distribution, n)
+		dargs := make([]int, n)
+		psizes := make([]int, n)
+		size := 1
+		for d := 0; d < n; d++ {
+			gsizes[d] = 1 + rr.Intn(9)
+			switch rr.Intn(3) {
+			case 0:
+				distribs[d] = DistNone
+				psizes[d] = 1
+				dargs[d] = DarrayDefault
+			case 1:
+				distribs[d] = DistBlock
+				psizes[d] = 1 + rr.Intn(3)
+				dargs[d] = DarrayDefault
+			default:
+				distribs[d] = DistCyclic
+				psizes[d] = 1 + rr.Intn(3)
+				dargs[d] = 1 + rr.Intn(3)
+			}
+			size *= psizes[d]
+		}
+		elem := Bytes(int64(1 + rr.Intn(4)))
+		total := elem.Size()
+		for _, g := range gsizes {
+			total *= int64(g)
+		}
+		seen := make([]int, total)
+		for rank := 0; rank < size; rank++ {
+			ty, err := Darray(size, rank, gsizes, distribs, dargs, psizes, elem)
+			if err != nil {
+				return false
+			}
+			ok := true
+			ty.Walk(0, func(off, ln int64) bool {
+				for i := off; i < off+ln; i++ {
+					if i < 0 || i >= total {
+						ok = false
+						return false
+					}
+					seen[i]++
+				}
+				return true
+			})
+			if !ok {
+				return false
+			}
+		}
+		for _, c := range seen {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

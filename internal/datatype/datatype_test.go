@@ -1,0 +1,372 @@
+package datatype
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func regions(t *Type) []Region { return t.Flatten(0, 1) }
+
+func TestBytes(t *testing.T) {
+	b := Bytes(7)
+	if b.Size() != 7 || b.Extent() != 7 || b.TrueLB() != 0 || b.TrueUB() != 7 {
+		t.Fatalf("bytes(7): size=%d extent=%d tlb=%d tub=%d", b.Size(), b.Extent(), b.TrueLB(), b.TrueUB())
+	}
+	if !b.IsContig() {
+		t.Fatal("bytes not contiguous")
+	}
+}
+
+func TestContiguous(t *testing.T) {
+	c := Contiguous(3, Int32)
+	if c.Size() != 12 || c.Extent() != 12 {
+		t.Fatalf("size=%d extent=%d", c.Size(), c.Extent())
+	}
+	want := []Region{{0, 12}}
+	if got := regions(c); !reflect.DeepEqual(got, want) {
+		t.Fatalf("regions=%v", got)
+	}
+	if !c.IsContig() {
+		t.Fatal("contig of basic should be contiguous")
+	}
+}
+
+func TestContiguousZeroCount(t *testing.T) {
+	c := Contiguous(0, Int32)
+	if c.Size() != 0 || c.Extent() != 0 {
+		t.Fatalf("zero-count: size=%d extent=%d", c.Size(), c.Extent())
+	}
+	if got := regions(c); len(got) != 0 {
+		t.Fatalf("regions=%v", got)
+	}
+}
+
+func TestVector(t *testing.T) {
+	// 3 blocks of 2 int32s, stride 4 elements: offsets 0,16,32; each 8 bytes.
+	v := Vector(3, 2, 4, Int32)
+	if v.Size() != 24 {
+		t.Fatalf("size=%d", v.Size())
+	}
+	if v.Extent() != 2*16+8 {
+		t.Fatalf("extent=%d want 40", v.Extent())
+	}
+	want := []Region{{0, 8}, {16, 8}, {32, 8}}
+	if got := regions(v); !reflect.DeepEqual(got, want) {
+		t.Fatalf("regions=%v", got)
+	}
+}
+
+func TestVectorDenseCoalesces(t *testing.T) {
+	// stride == blocklen means fully dense.
+	v := Vector(4, 3, 3, Byte)
+	want := []Region{{0, 12}}
+	if got := regions(v); !reflect.DeepEqual(got, want) {
+		t.Fatalf("regions=%v", got)
+	}
+}
+
+func TestHVectorNegativeStride(t *testing.T) {
+	v := HVector(3, 1, -8, Int32)
+	// blocks at 0, -8, -16
+	if v.TrueLB() != -16 || v.TrueUB() != 4 {
+		t.Fatalf("tlb=%d tub=%d", v.TrueLB(), v.TrueUB())
+	}
+	if v.Size() != 12 {
+		t.Fatalf("size=%d", v.Size())
+	}
+}
+
+func TestIndexed(t *testing.T) {
+	// blocks: 2 elems at elem-offset 5, 1 elem at 0, 3 elems at 10
+	ix := Indexed([]int{2, 1, 3}, []int{5, 0, 10}, Int32)
+	if ix.Size() != 24 {
+		t.Fatalf("size=%d", ix.Size())
+	}
+	if ix.TrueLB() != 0 || ix.TrueUB() != 52 {
+		t.Fatalf("tlb=%d tub=%d", ix.TrueLB(), ix.TrueUB())
+	}
+	// Walk order follows block order, not offset order.
+	want := []Region{{20, 8}, {0, 4}, {40, 12}}
+	if got := regions(ix); !reflect.DeepEqual(got, want) {
+		t.Fatalf("regions=%v", got)
+	}
+}
+
+func TestIndexedZeroLengthBlocksIgnored(t *testing.T) {
+	ix := Indexed([]int{0, 2, 0}, []int{99, 1, -5}, Int32)
+	if ix.Size() != 8 {
+		t.Fatalf("size=%d", ix.Size())
+	}
+	if ix.TrueLB() != 4 || ix.TrueUB() != 12 {
+		t.Fatalf("tlb=%d tub=%d (zero blocks must not affect bounds)", ix.TrueLB(), ix.TrueUB())
+	}
+}
+
+func TestBlockIndexed(t *testing.T) {
+	b := BlockIndexed(2, []int{0, 4, 8}, Int32)
+	want := []Region{{0, 8}, {16, 8}, {32, 8}}
+	if got := regions(b); !reflect.DeepEqual(got, want) {
+		t.Fatalf("regions=%v", got)
+	}
+	if b.Kind() != KindBlockIndexed {
+		t.Fatalf("kind=%v", b.Kind())
+	}
+}
+
+func TestStruct(t *testing.T) {
+	// int32 at 0, 2 float64 at 8
+	st := Struct([]int{1, 2}, []int64{0, 8}, []*Type{Int32, Float64})
+	if st.Size() != 20 {
+		t.Fatalf("size=%d", st.Size())
+	}
+	if st.TrueLB() != 0 || st.TrueUB() != 24 {
+		t.Fatalf("tlb=%d tub=%d", st.TrueLB(), st.TrueUB())
+	}
+	want := []Region{{0, 4}, {8, 16}}
+	if got := regions(st); !reflect.DeepEqual(got, want) {
+		t.Fatalf("regions=%v", got)
+	}
+}
+
+func TestResized(t *testing.T) {
+	r := Resized(Int32, 0, 12)
+	if r.Extent() != 12 || r.Size() != 4 {
+		t.Fatalf("extent=%d size=%d", r.Extent(), r.Size())
+	}
+	c := Contiguous(3, r)
+	want := []Region{{0, 4}, {12, 4}, {24, 4}}
+	if got := regions(c); !reflect.DeepEqual(got, want) {
+		t.Fatalf("regions=%v", got)
+	}
+}
+
+func TestResizedNegativeLB(t *testing.T) {
+	r := Resized(Int32, -4, 16)
+	if r.LB() != -4 || r.UB() != 12 || r.TrueLB() != 0 {
+		t.Fatalf("lb=%d ub=%d tlb=%d", r.LB(), r.UB(), r.TrueLB())
+	}
+}
+
+func TestSubarray2D(t *testing.T) {
+	// 4x6 array of int32, subarray 2x3 at (1,2), C order.
+	s := Subarray([]int{4, 6}, []int{2, 3}, []int{1, 2}, OrderC, Int32)
+	if s.Size() != 24 {
+		t.Fatalf("size=%d", s.Size())
+	}
+	if s.Extent() != 4*6*4 {
+		t.Fatalf("extent=%d want full array %d", s.Extent(), 4*6*4)
+	}
+	// Row r of the block: offset ((1+r)*6+2)*4, length 12.
+	want := []Region{{32, 12}, {56, 12}}
+	if got := regions(s); !reflect.DeepEqual(got, want) {
+		t.Fatalf("regions=%v", got)
+	}
+}
+
+func TestSubarray2DFortran(t *testing.T) {
+	// Same block in Fortran order: first dim contiguous.
+	// Array 4x6 col-major = C-order 6x4; block 2x3 at (1,2) -> C block 3x2 at (2,1).
+	s := Subarray([]int{4, 6}, []int{2, 3}, []int{1, 2}, OrderFortran, Int32)
+	c := Subarray([]int{6, 4}, []int{3, 2}, []int{2, 1}, OrderC, Int32)
+	if !reflect.DeepEqual(regions(s), regions(c)) {
+		t.Fatalf("fortran=%v c=%v", regions(s), regions(c))
+	}
+}
+
+func TestSubarray3DTiling(t *testing.T) {
+	// Repeating a subarray tiles consecutive arrays (extent = full array).
+	s := Subarray([]int{4, 4, 4}, []int{2, 2, 2}, []int{0, 0, 0}, OrderC, Int32)
+	r := s.Flatten(0, 2)
+	if len(r) == 0 {
+		t.Fatal("no regions")
+	}
+	arrayBytes := int64(4 * 4 * 4 * 4)
+	// Second instance regions must be first instance regions + arrayBytes.
+	one := s.Flatten(0, 1)
+	for i := range one {
+		if r[len(one)+i].Off != one[i].Off+arrayBytes {
+			t.Fatalf("tiling broken at region %d: %v vs %v", i, r[len(one)+i], one[i])
+		}
+	}
+}
+
+func TestSubarrayFullArrayIsContig(t *testing.T) {
+	s := Subarray([]int{3, 5}, []int{3, 5}, []int{0, 0}, OrderC, Int32)
+	want := []Region{{0, 60}}
+	if got := regions(s); !reflect.DeepEqual(got, want) {
+		t.Fatalf("regions=%v", got)
+	}
+}
+
+func TestNestedVectorOfVector(t *testing.T) {
+	inner := Vector(2, 1, 2, Int32) // elems at 0, 8; extent 12
+	outer := HVector(2, 1, 100, inner)
+	want := []Region{{0, 4}, {8, 4}, {100, 4}, {108, 4}}
+	if got := regions(outer); !reflect.DeepEqual(got, want) {
+		t.Fatalf("regions=%v", got)
+	}
+}
+
+func TestFlattenMultipleCount(t *testing.T) {
+	v := Vector(2, 1, 2, Int32) // regions {0,4},{8,4}, extent 12
+	got := v.Flatten(0, 2)
+	// Instance 2 starts at extent 12; its first region {12,4} coalesces
+	// with instance 1's trailing region {8,4}.
+	want := []Region{{0, 4}, {8, 8}, {20, 4}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestFlattenCoalescesAcrossInstances(t *testing.T) {
+	c := Contiguous(2, Int32)
+	got := c.Flatten(0, 3)
+	want := []Region{{0, 24}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestNumRegions(t *testing.T) {
+	v := Vector(768, 3072, 7596, Byte) // tile reader view: 768 rows
+	if n := v.NumRegions(); n != 768 {
+		t.Fatalf("NumRegions=%d", n)
+	}
+}
+
+func TestWalkEarlyStop(t *testing.T) {
+	v := Vector(10, 1, 2, Int32)
+	calls := 0
+	done := v.Walk(0, func(_, _ int64) bool {
+		calls++
+		return calls < 3
+	})
+	if done || calls != 3 {
+		t.Fatalf("done=%v calls=%d", done, calls)
+	}
+}
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	v := Vector(3, 2, 4, Int32) // 24 data bytes over 40-byte span
+	buf := make([]byte, v.TrueExtent())
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	stream := make([]byte, v.Size())
+	if err := Pack(buf, v, 1, stream); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]byte, len(buf))
+	if err := Unpack(stream, v, 1, out); err != nil {
+		t.Fatal(err)
+	}
+	// Every data byte must round-trip; gap bytes stay zero.
+	for _, r := range regions(v) {
+		for i := r.Off; i < r.Off+r.Len; i++ {
+			if out[i] != buf[i] {
+				t.Fatalf("byte %d: got %d want %d", i, out[i], buf[i])
+			}
+		}
+	}
+}
+
+func TestPackSizeMismatch(t *testing.T) {
+	if err := Pack(make([]byte, 10), Int32, 1, make([]byte, 3)); err == nil {
+		t.Fatal("expected size mismatch error")
+	}
+	if err := Unpack(make([]byte, 3), Int32, 1, make([]byte, 10)); err == nil {
+		t.Fatal("expected size mismatch error")
+	}
+}
+
+func TestPackOutOfBounds(t *testing.T) {
+	if err := Pack(make([]byte, 2), Int32, 1, make([]byte, 4)); err == nil {
+		t.Fatal("expected bounds error")
+	}
+}
+
+func TestPropertySizeEqualsWalkSum(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		typ := RandomType(rr, 1+rr.Intn(3))
+		var sum int64
+		typ.Walk(0, func(_, n int64) bool { sum += n; return true })
+		return sum == typ.Size()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: r}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyBoundsContainAllRegions(t *testing.T) {
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		typ := RandomType(rr, 1+rr.Intn(3))
+		ok := true
+		typ.Walk(0, func(off, n int64) bool {
+			if off < typ.TrueLB() || off+n > typ.TrueUB() {
+				ok = false
+				return false
+			}
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyPackUnpackIdentityOnData(t *testing.T) {
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		typ := RandomType(rr, 1+rr.Intn(3))
+		if typ.TrueLB() < 0 {
+			return true // pack addresses from origin; skip negative-LB layouts
+		}
+		span := typ.TrueUB()
+		buf := make([]byte, span)
+		rr.Read(buf)
+		stream := make([]byte, typ.Size())
+		if err := Pack(buf, typ, 1, stream); err != nil {
+			return false
+		}
+		out := make([]byte, span)
+		if err := Unpack(stream, typ, 1, out); err != nil {
+			return false
+		}
+		ok := true
+		typ.Walk(0, func(off, n int64) bool {
+			for i := off; i < off+n; i++ {
+				if out[i] != buf[i] {
+					ok = false
+					return false
+				}
+			}
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyFlattenCoversSize(t *testing.T) {
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		typ := RandomType(rr, 1+rr.Intn(3))
+		count := 1 + rr.Intn(3)
+		var sum int64
+		for _, reg := range typ.Flatten(0, count) {
+			sum += reg.Len
+		}
+		return sum == typ.Size()*int64(count)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,56 @@
+package datatype
+
+import "fmt"
+
+// Pack gathers the data bytes of count instances of t from buf into a
+// contiguous stream, in data-stream order. buf is addressed with the
+// type's origin at buf[0]; regions with negative offsets (possible via
+// Resized/Struct displacements) are a caller error. The stream slice must
+// be exactly count*t.Size() bytes.
+func Pack(buf []byte, t *Type, count int, stream []byte) error {
+	need := int64(count) * t.Size()
+	if int64(len(stream)) != need {
+		return fmt.Errorf("datatype: pack stream is %d bytes, need %d", len(stream), need)
+	}
+	pos := int64(0)
+	ext := t.Extent()
+	for i := 0; i < count; i++ {
+		ok := t.Walk(int64(i)*ext, func(off, n int64) bool {
+			if off < 0 || off+n > int64(len(buf)) {
+				return false
+			}
+			copy(stream[pos:pos+n], buf[off:off+n])
+			pos += n
+			return true
+		})
+		if !ok {
+			return fmt.Errorf("datatype: pack region out of buffer bounds (buffer %d bytes)", len(buf))
+		}
+	}
+	return nil
+}
+
+// Unpack scatters a contiguous stream into the data bytes of count
+// instances of t inside buf (the inverse of Pack).
+func Unpack(stream []byte, t *Type, count int, buf []byte) error {
+	need := int64(count) * t.Size()
+	if int64(len(stream)) != need {
+		return fmt.Errorf("datatype: unpack stream is %d bytes, need %d", len(stream), need)
+	}
+	pos := int64(0)
+	ext := t.Extent()
+	for i := 0; i < count; i++ {
+		ok := t.Walk(int64(i)*ext, func(off, n int64) bool {
+			if off < 0 || off+n > int64(len(buf)) {
+				return false
+			}
+			copy(buf[off:off+n], stream[pos:pos+n])
+			pos += n
+			return true
+		})
+		if !ok {
+			return fmt.Errorf("datatype: unpack region out of buffer bounds (buffer %d bytes)", len(buf))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,46 @@
+package datatype
+
+import "math/rand"
+
+// RandomType builds a random nested type with bounded fan-out, for
+// property-based tests here and in dependent packages (dataloop, flatten,
+// mpiio). depth bounds the nesting; generated displacements are
+// non-negative and non-overlapping so the result is a valid, packable
+// layout.
+func RandomType(r *rand.Rand, depth int) *Type {
+	if depth == 0 {
+		return Bytes(1 + int64(r.Intn(8)))
+	}
+	child := RandomType(r, depth-1)
+	switch r.Intn(5) {
+	case 0:
+		return Contiguous(1+r.Intn(4), child)
+	case 1:
+		return Vector(1+r.Intn(4), 1+r.Intn(3), 1+r.Intn(6), child)
+	case 2:
+		n := 1 + r.Intn(4)
+		lens := make([]int, n)
+		displs := make([]int, n)
+		at := 0
+		for i := 0; i < n; i++ {
+			at += r.Intn(4)
+			displs[i] = at
+			lens[i] = 1 + r.Intn(3)
+			at += lens[i]
+		}
+		return Indexed(lens, displs, child)
+	case 3:
+		n := 1 + r.Intn(4)
+		displs := make([]int, n)
+		at := 0
+		bl := 1 + r.Intn(3)
+		for i := 0; i < n; i++ {
+			at += r.Intn(3)
+			displs[i] = at
+			at += bl
+		}
+		return BlockIndexed(bl, displs, child)
+	default:
+		return Resized(child, child.LB(), child.Extent()+int64(r.Intn(16)))
+	}
+}

@@ -1,0 +1,260 @@
+package flatten
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"dtio/internal/dataloop"
+	"dtio/internal/datatype"
+)
+
+func loopOf(t *datatype.Type) *dataloop.Loop { return dataloop.FromType(t) }
+
+func TestIterMatchesTypeFlatten(t *testing.T) {
+	ty := datatype.Vector(5, 3, 7, datatype.Int32)
+	got := NewIter(loopOf(ty), 2, 0, true).Collect()
+	want := ty.Flatten(0, 2)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+func TestIterBaseOffset(t *testing.T) {
+	ty := datatype.Contiguous(2, datatype.Int32)
+	got := NewIter(loopOf(ty), 1, 1000, true).Collect()
+	want := []Region{{Off: 1000, Len: 8}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestIterNoCoalesce(t *testing.T) {
+	ty := datatype.Contiguous(3, datatype.Resized(datatype.Int32, 0, 4))
+	// Resized to its own extent: still dense, should yield one run even
+	// uncoalesced (structural density).
+	got := NewIter(loopOf(ty), 1, 0, false).Collect()
+	if len(got) != 1 || got[0].Len != 12 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestIterAtWindow(t *testing.T) {
+	// Stream of 4 int32s with gaps; take bytes [6, 13) of the stream.
+	ty := datatype.Vector(4, 1, 2, datatype.Int32) // elems at 0,8,16,24
+	it := NewIterAt(loopOf(ty), 1, 0, 6, 7, true)
+	got := it.Collect()
+	// Stream byte 6 is element 1 byte 2 -> file 10; 7 bytes: {10,2},{16,4},{24,1}
+	want := []Region{{Off: 10, Len: 2}, {Off: 16, Len: 4}, {Off: 24, Len: 1}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestIterAtZeroBytes(t *testing.T) {
+	ty := datatype.Contiguous(4, datatype.Int32)
+	it := NewIterAt(loopOf(ty), 1, 0, 4, 0, true)
+	if got := it.Collect(); len(got) != 0 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestIterManyBatches(t *testing.T) {
+	// More pieces than one batch (256): 1000 single-element pieces.
+	ty := datatype.Vector(1000, 1, 2, datatype.Int32)
+	got := NewIter(loopOf(ty), 1, 0, true).Collect()
+	if len(got) != 1000 {
+		t.Fatalf("len=%d", len(got))
+	}
+	if got[999].Off != 999*8 {
+		t.Fatalf("last=%v", got[999])
+	}
+}
+
+func TestIterCoalesceAcrossBatchBoundary(t *testing.T) {
+	// 600 adjacent 4-byte pieces via blockindexed with touching blocks:
+	// they span batch refills but must coalesce to one region.
+	displs := make([]int, 600)
+	for i := range displs {
+		displs[i] = i
+	}
+	ty := datatype.BlockIndexed(1, displs, datatype.Int32)
+	got := NewIter(loopOf(ty), 1, 0, true).Collect()
+	if len(got) != 1 || got[0] != (Region{Off: 0, Len: 2400}) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestDualContigMemory(t *testing.T) {
+	fileTy := datatype.Vector(3, 1, 2, datatype.Int32) // file pieces 0,8,16
+	memTy := datatype.Contiguous(3, datatype.Int32)    // dense memory
+	d := NewDual(
+		NewIter(loopOf(fileTy), 1, 0, true),
+		NewIter(loopOf(memTy), 1, 0, true),
+	)
+	type trip struct{ f, m, n int64 }
+	var got []trip
+	for {
+		f, m, n, ok := d.Next()
+		if !ok {
+			break
+		}
+		got = append(got, trip{f, m, n})
+	}
+	want := []trip{{0, 0, 4}, {8, 4, 4}, {16, 8, 4}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestDualBothNoncontig(t *testing.T) {
+	// File: pieces of 6 bytes; memory: pieces of 4 bytes. Runs split at
+	// both boundaries: lcm pattern 4,2,2,4,...
+	fileTy := datatype.Vector(2, 1, 2, datatype.Bytes(6)) // file: {0,6},{12,6}
+	memTy := datatype.Vector(3, 1, 2, datatype.Int32)     // mem: {0,4},{8,4},{16,4}
+	d := NewDual(
+		NewIter(loopOf(fileTy), 1, 0, true),
+		NewIter(loopOf(memTy), 1, 0, true),
+	)
+	var total int64
+	var runs int
+	for {
+		_, _, n, ok := d.Next()
+		if !ok {
+			break
+		}
+		total += n
+		runs++
+	}
+	if total != 12 || runs != 4 {
+		t.Fatalf("total=%d runs=%d", total, runs)
+	}
+}
+
+func TestDualPreservesByteCorrespondence(t *testing.T) {
+	// The k-th stream byte in file space must pair with the k-th stream
+	// byte in memory space.
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		fileTy := datatype.RandomType(rr, 1+rr.Intn(2))
+		memTy := datatype.RandomType(rr, 1+rr.Intn(2))
+		// Make sizes equal by repeating each the other's size.
+		fCount := memTy.Size()
+		mCount := fileTy.Size()
+		d := NewDual(
+			NewIter(loopOf(fileTy), fCount, 0, true),
+			NewIter(loopOf(memTy), mCount, 0, true),
+		)
+		// Reference: byte-by-byte stream maps.
+		fileMap := streamMap(fileTy, fCount)
+		memMap := streamMap(memTy, mCount)
+		k := 0
+		for {
+			fo, mo, n, ok := d.Next()
+			if !ok {
+				break
+			}
+			for i := int64(0); i < n; i++ {
+				if fileMap[k] != fo+i || memMap[k] != mo+i {
+					return false
+				}
+				k++
+			}
+		}
+		return k == len(fileMap) && k == len(memMap)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// streamMap returns, for each stream byte index, its byte offset.
+func streamMap(ty *datatype.Type, count int64) []int64 {
+	var m []int64
+	ext := ty.Extent()
+	for i := int64(0); i < count; i++ {
+		ty.Walk(i*ext, func(off, n int64) bool {
+			for j := int64(0); j < n; j++ {
+				m = append(m, off+j)
+			}
+			return true
+		})
+	}
+	return m
+}
+
+func TestClip(t *testing.T) {
+	cases := []struct {
+		r      Region
+		lo, hi int64
+		want   Region
+		ok     bool
+	}{
+		{Region{Off: 10, Len: 20}, 0, 100, Region{Off: 10, Len: 20}, true},
+		{Region{Off: 10, Len: 20}, 15, 100, Region{Off: 15, Len: 15}, true},
+		{Region{Off: 10, Len: 20}, 0, 15, Region{Off: 10, Len: 5}, true},
+		{Region{Off: 10, Len: 20}, 12, 18, Region{Off: 12, Len: 6}, true},
+		{Region{Off: 10, Len: 20}, 30, 40, Region{}, false},
+		{Region{Off: 10, Len: 20}, 0, 10, Region{}, false},
+	}
+	for i, c := range cases {
+		got, ok := Clip(c.r, c.lo, c.hi)
+		if ok != c.ok || got != c.want {
+			t.Fatalf("case %d: got %v,%v", i, got, ok)
+		}
+	}
+}
+
+func TestCoalescer(t *testing.T) {
+	var out []Region
+	c := NewCoalescer(func(r Region) { out = append(out, r) })
+	c.Add(Region{Off: 0, Len: 4})
+	c.Add(Region{Off: 4, Len: 4})
+	c.Add(Region{Off: 10, Len: 2})
+	c.Add(Region{Off: 0, Len: 0}) // ignored
+	c.Add(Region{Off: 12, Len: 1})
+	c.Flush()
+	want := []Region{{Off: 0, Len: 8}, {Off: 10, Len: 3}}
+	if !reflect.DeepEqual(out, want) {
+		t.Fatalf("got %v", out)
+	}
+	c.Flush() // idempotent
+	if len(out) != 2 {
+		t.Fatalf("double flush emitted extra")
+	}
+}
+
+func TestPropertyIterAtEqualsWindowOfFull(t *testing.T) {
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		ty := datatype.RandomType(rr, 1+rr.Intn(3))
+		count := int64(1 + rr.Intn(3))
+		total := ty.Size() * count
+		if total == 0 {
+			return true
+		}
+		pos := rr.Int63n(total)
+		n := rr.Int63n(total - pos + 1)
+		// Reference: stream map slice.
+		m := streamMap(ty, count)[pos : pos+n]
+		it := NewIterAt(loopOf(ty), count, 0, pos, n, true)
+		k := 0
+		for {
+			r, ok := it.Next()
+			if !ok {
+				break
+			}
+			for j := int64(0); j < r.Len; j++ {
+				if k >= len(m) || m[k] != r.Off+j {
+					return false
+				}
+				k++
+			}
+		}
+		return k == len(m)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,134 @@
+// Package iostats collects the per-client I/O characteristics the paper
+// reports in Tables 1-3: desired data, data accessed, number of I/O
+// operations, and resent (redistributed) data, plus request-payload
+// accounting that motivates datatype I/O.
+package iostats
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Stats accumulates one client's counters. All methods are safe for
+// concurrent use.
+type Stats struct {
+	desired    atomic.Int64 // bytes the application asked for
+	accessed   atomic.Int64 // bytes moved between client and file system
+	ioOps      atomic.Int64 // logical file-system operations issued
+	wireMsgs   atomic.Int64 // request messages actually sent to servers
+	reqBytes   atomic.Int64 // request description payload (headers, lists, loops)
+	resent     atomic.Int64 // bytes redistributed between clients (two-phase)
+	lockWaits  atomic.Int64 // lock acquisitions (data sieving writes)
+	regionsCPU atomic.Int64 // offset-length pairs processed locally
+}
+
+// AddDesired records application-requested bytes.
+func (s *Stats) AddDesired(n int64) { s.desired.Add(n) }
+
+// AddAccessed records bytes transferred between this client and servers.
+func (s *Stats) AddAccessed(n int64) { s.accessed.Add(n) }
+
+// AddOps records logical file-system operations.
+func (s *Stats) AddOps(n int64) { s.ioOps.Add(n) }
+
+// AddWire records one request message carrying descBytes of description.
+func (s *Stats) AddWire(descBytes int64) {
+	s.wireMsgs.Add(1)
+	s.reqBytes.Add(descBytes)
+}
+
+// AddResent records client-to-client redistribution traffic.
+func (s *Stats) AddResent(n int64) { s.resent.Add(n) }
+
+// AddLock records a lock acquisition.
+func (s *Stats) AddLock() { s.lockWaits.Add(1) }
+
+// AddRegions records locally processed offset-length pairs.
+func (s *Stats) AddRegions(n int64) { s.regionsCPU.Add(n) }
+
+// Snapshot is an immutable copy of the counters.
+type Snapshot struct {
+	DesiredBytes  int64
+	AccessedBytes int64
+	IOOps         int64
+	WireMsgs      int64
+	ReqBytes      int64
+	ResentBytes   int64
+	LockWaits     int64
+	Regions       int64
+}
+
+// Snapshot copies the current counters.
+func (s *Stats) Snapshot() Snapshot {
+	return Snapshot{
+		DesiredBytes:  s.desired.Load(),
+		AccessedBytes: s.accessed.Load(),
+		IOOps:         s.ioOps.Load(),
+		WireMsgs:      s.wireMsgs.Load(),
+		ReqBytes:      s.reqBytes.Load(),
+		ResentBytes:   s.resent.Load(),
+		LockWaits:     s.lockWaits.Load(),
+		Regions:       s.regionsCPU.Load(),
+	}
+}
+
+// Reset zeroes all counters.
+func (s *Stats) Reset() {
+	s.desired.Store(0)
+	s.accessed.Store(0)
+	s.ioOps.Store(0)
+	s.wireMsgs.Store(0)
+	s.reqBytes.Store(0)
+	s.resent.Store(0)
+	s.lockWaits.Store(0)
+	s.regionsCPU.Store(0)
+}
+
+// Add accumulates another snapshot (for aggregating clients).
+func (a Snapshot) Add(b Snapshot) Snapshot {
+	return Snapshot{
+		DesiredBytes:  a.DesiredBytes + b.DesiredBytes,
+		AccessedBytes: a.AccessedBytes + b.AccessedBytes,
+		IOOps:         a.IOOps + b.IOOps,
+		WireMsgs:      a.WireMsgs + b.WireMsgs,
+		ReqBytes:      a.ReqBytes + b.ReqBytes,
+		ResentBytes:   a.ResentBytes + b.ResentBytes,
+		LockWaits:     a.LockWaits + b.LockWaits,
+		Regions:       a.Regions + b.Regions,
+	}
+}
+
+// Div divides every counter by n (averaging across clients).
+func (a Snapshot) Div(n int64) Snapshot {
+	if n == 0 {
+		return a
+	}
+	return Snapshot{
+		DesiredBytes:  a.DesiredBytes / n,
+		AccessedBytes: a.AccessedBytes / n,
+		IOOps:         a.IOOps / n,
+		WireMsgs:      a.WireMsgs / n,
+		ReqBytes:      a.ReqBytes / n,
+		ResentBytes:   a.ResentBytes / n,
+		LockWaits:     a.LockWaits / n,
+		Regions:       a.Regions / n,
+	}
+}
+
+// MB formats a byte count the way the paper's tables do.
+func MB(n int64) string {
+	switch {
+	case n == 0:
+		return "—"
+	case n < 1<<20:
+		return fmt.Sprintf("%.2f KB", float64(n)/1024)
+	default:
+		return fmt.Sprintf("%.2f MB", float64(n)/(1<<20))
+	}
+}
+
+func (s Snapshot) String() string {
+	return fmt.Sprintf("desired=%s accessed=%s ops=%d wire=%d req=%s resent=%s",
+		MB(s.DesiredBytes), MB(s.AccessedBytes), s.IOOps, s.WireMsgs,
+		MB(s.ReqBytes), MB(s.ResentBytes))
+}

@@ -1,0 +1,95 @@
+package iostats
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCountersAccumulate(t *testing.T) {
+	var s Stats
+	s.AddDesired(100)
+	s.AddAccessed(250)
+	s.AddOps(3)
+	s.AddWire(64)
+	s.AddWire(16)
+	s.AddResent(40)
+	s.AddLock()
+	s.AddRegions(7)
+	snap := s.Snapshot()
+	if snap.DesiredBytes != 100 || snap.AccessedBytes != 250 || snap.IOOps != 3 {
+		t.Fatalf("snap=%+v", snap)
+	}
+	if snap.WireMsgs != 2 || snap.ReqBytes != 80 {
+		t.Fatalf("wire=%d req=%d", snap.WireMsgs, snap.ReqBytes)
+	}
+	if snap.ResentBytes != 40 || snap.LockWaits != 1 || snap.Regions != 7 {
+		t.Fatalf("snap=%+v", snap)
+	}
+}
+
+func TestReset(t *testing.T) {
+	var s Stats
+	s.AddDesired(5)
+	s.AddWire(9)
+	s.Reset()
+	if s.Snapshot() != (Snapshot{}) {
+		t.Fatalf("reset left %+v", s.Snapshot())
+	}
+}
+
+func TestAddAndDiv(t *testing.T) {
+	a := Snapshot{DesiredBytes: 10, IOOps: 4, ResentBytes: 6}
+	b := Snapshot{DesiredBytes: 20, IOOps: 2, WireMsgs: 8}
+	sum := a.Add(b)
+	if sum.DesiredBytes != 30 || sum.IOOps != 6 || sum.WireMsgs != 8 || sum.ResentBytes != 6 {
+		t.Fatalf("sum=%+v", sum)
+	}
+	avg := sum.Div(2)
+	if avg.DesiredBytes != 15 || avg.IOOps != 3 || avg.WireMsgs != 4 {
+		t.Fatalf("avg=%+v", avg)
+	}
+	if sum.Div(0) != sum {
+		t.Fatal("div by zero should be identity")
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	var s Stats
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				s.AddOps(1)
+				s.AddDesired(2)
+			}
+		}()
+	}
+	wg.Wait()
+	snap := s.Snapshot()
+	if snap.IOOps != 8000 || snap.DesiredBytes != 16000 {
+		t.Fatalf("snap=%+v", snap)
+	}
+}
+
+func TestMBFormatting(t *testing.T) {
+	if MB(0) != "—" {
+		t.Fatalf("zero: %q", MB(0))
+	}
+	if got := MB(2048); got != "2.00 KB" {
+		t.Fatalf("2048: %q", got)
+	}
+	if got := MB(2359296); got != "2.25 MB" {
+		t.Fatalf("2.25MB: %q", got)
+	}
+}
+
+func TestSnapshotString(t *testing.T) {
+	s := Snapshot{DesiredBytes: 1 << 20, IOOps: 5}
+	str := s.String()
+	if !strings.Contains(str, "ops=5") || !strings.Contains(str, "1.00 MB") {
+		t.Fatalf("string: %q", str)
+	}
+}

@@ -1,0 +1,222 @@
+// Package mpi provides the message-passing substrate the MPI-IO layer
+// needs: ranks, ordered point-to-point messages, and the handful of
+// collectives two-phase I/O uses (barrier, broadcast, allgather,
+// alltoallv, allreduce).
+//
+// Ranks run as env threads over a transport.Fabric, so on the simulated
+// cluster MPI traffic contends for the same NICs as file-system traffic —
+// exactly the interaction the paper discusses for two-phase I/O.
+//
+// Tag matching is strict FIFO per source: a receive must name the tag of
+// the next message from that source, or the program has a protocol bug
+// and Recv panics. The collectives below are written for this discipline.
+package mpi
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"dtio/internal/transport"
+)
+
+// Comm is one rank's view of a communicator.
+type Comm struct {
+	fabric transport.Fabric
+	rank   int
+	size   int
+}
+
+// NewComm creates rank `rank` of a size-rank communicator over fabric.
+// All ranks must share the same fabric instance.
+func NewComm(fabric transport.Fabric, rank, size int) *Comm {
+	if rank < 0 || rank >= size {
+		panic(fmt.Sprintf("mpi: rank %d out of range [0,%d)", rank, size))
+	}
+	return &Comm{fabric: fabric, rank: rank, size: size}
+}
+
+// Rank reports this process's rank.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size reports the communicator size.
+func (c *Comm) Size() int { return c.size }
+
+// Reserved tag space for collectives.
+const (
+	tagBarrier = 1<<20 + iota
+	tagBcast
+	tagGather
+	tagAlltoallv
+	tagReduce
+)
+
+// Send delivers data to rank `to` with the given tag.
+func (c *Comm) Send(env transport.Env, to, tag int, data []byte) {
+	c.fabric.Send(env, c.rank, to, tag, data)
+}
+
+// Recv returns the next message from rank `from`, which must carry the
+// given tag.
+func (c *Comm) Recv(env transport.Env, from, tag int) []byte {
+	got, data := c.fabric.Recv(env, c.rank, from)
+	if got != tag {
+		panic(fmt.Sprintf("mpi: rank %d expected tag %d from %d, got %d", c.rank, tag, from, got))
+	}
+	return data
+}
+
+// Barrier blocks until all ranks arrive (linear gather + release).
+func (c *Comm) Barrier(env transport.Env) {
+	if c.size == 1 {
+		return
+	}
+	if c.rank == 0 {
+		for r := 1; r < c.size; r++ {
+			c.Recv(env, r, tagBarrier)
+		}
+		for r := 1; r < c.size; r++ {
+			c.Send(env, r, tagBarrier, nil)
+		}
+	} else {
+		c.Send(env, 0, tagBarrier, nil)
+		c.Recv(env, 0, tagBarrier)
+	}
+}
+
+// Bcast distributes root's data to all ranks and returns it.
+func (c *Comm) Bcast(env transport.Env, root int, data []byte) []byte {
+	if c.size == 1 {
+		return data
+	}
+	if c.rank == root {
+		for r := 0; r < c.size; r++ {
+			if r != root {
+				c.Send(env, r, tagBcast, data)
+			}
+		}
+		return data
+	}
+	return c.Recv(env, root, tagBcast)
+}
+
+// Gather collects every rank's data at root; non-roots return nil.
+func (c *Comm) Gather(env transport.Env, root int, data []byte) [][]byte {
+	if c.rank != root {
+		c.Send(env, root, tagGather, data)
+		return nil
+	}
+	out := make([][]byte, c.size)
+	out[root] = data
+	for r := 0; r < c.size; r++ {
+		if r != root {
+			out[r] = c.Recv(env, r, tagGather)
+		}
+	}
+	return out
+}
+
+// Allgather collects every rank's data everywhere (gather at 0 + bcast).
+func (c *Comm) Allgather(env transport.Env, data []byte) [][]byte {
+	if c.size == 1 {
+		return [][]byte{data}
+	}
+	parts := c.Gather(env, 0, data)
+	if c.rank == 0 {
+		flat := flattenParts(parts)
+		c.Bcast(env, 0, flat)
+		return parts
+	}
+	flat := c.Bcast(env, 0, nil)
+	return splitParts(flat, c.size)
+}
+
+// AllgatherI64 gathers one int64 per rank.
+func (c *Comm) AllgatherI64(env transport.Env, v int64) []int64 {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(v))
+	parts := c.Allgather(env, b[:])
+	out := make([]int64, c.size)
+	for i, p := range parts {
+		out[i] = int64(binary.LittleEndian.Uint64(p))
+	}
+	return out
+}
+
+// Alltoallv sends send[i] to rank i and returns recv where recv[i] came
+// from rank i. Empty (nil) entries are delivered as empty messages.
+// Messages to self are returned directly without fabric traffic.
+func (c *Comm) Alltoallv(env transport.Env, send [][]byte) [][]byte {
+	if len(send) != c.size {
+		panic("mpi: alltoallv send length != communicator size")
+	}
+	recv := make([][]byte, c.size)
+	recv[c.rank] = send[c.rank]
+	// Issue every send first (sends are buffered and never block on the
+	// receiver), then collect: this avoids convoy effects where a rank
+	// stalls waiting for a peer that is itself mid-exchange. Distances
+	// stagger the destinations so senders don't all target rank 0 first.
+	for d := 1; d < c.size; d++ {
+		dst := (c.rank + d) % c.size
+		c.Send(env, dst, tagAlltoallv, send[dst])
+	}
+	for d := 1; d < c.size; d++ {
+		src := (c.rank - d + c.size) % c.size
+		recv[src] = c.Recv(env, src, tagAlltoallv)
+	}
+	return recv
+}
+
+// AllreduceI64 combines one value per rank with op (which must be
+// associative and commutative) and returns the result everywhere.
+func (c *Comm) AllreduceI64(env transport.Env, v int64, op func(a, b int64) int64) int64 {
+	if c.size == 1 {
+		return v
+	}
+	var b [8]byte
+	if c.rank == 0 {
+		acc := v
+		for r := 1; r < c.size; r++ {
+			p := c.Recv(env, r, tagReduce)
+			acc = op(acc, int64(binary.LittleEndian.Uint64(p)))
+		}
+		binary.LittleEndian.PutUint64(b[:], uint64(acc))
+		c.Bcast(env, 0, b[:])
+		return acc
+	}
+	binary.LittleEndian.PutUint64(b[:], uint64(v))
+	c.Send(env, 0, tagReduce, b[:])
+	p := c.Bcast(env, 0, nil)
+	return int64(binary.LittleEndian.Uint64(p))
+}
+
+// flattenParts encodes a slice of byte slices into one buffer.
+func flattenParts(parts [][]byte) []byte {
+	n := 4
+	for _, p := range parts {
+		n += 4 + len(p)
+	}
+	out := make([]byte, 0, n)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(parts)))
+	for _, p := range parts {
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(p)))
+		out = append(out, p...)
+	}
+	return out
+}
+
+// splitParts reverses flattenParts.
+func splitParts(flat []byte, want int) [][]byte {
+	n := int(binary.LittleEndian.Uint32(flat))
+	if n != want {
+		panic(fmt.Sprintf("mpi: allgather expected %d parts, got %d", want, n))
+	}
+	out := make([][]byte, n)
+	at := 4
+	for i := 0; i < n; i++ {
+		ln := int(binary.LittleEndian.Uint32(flat[at:]))
+		at += 4
+		out[i] = flat[at : at+ln]
+		at += ln
+	}
+	return out
+}

@@ -1,0 +1,203 @@
+package mpi
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"dtio/internal/transport"
+	"dtio/internal/vtime"
+)
+
+// runRanks executes fn on n ranks over a MemFabric with real goroutines.
+func runRanks(t *testing.T, n int, fn func(env transport.Env, c *Comm)) {
+	t.Helper()
+	fab := transport.NewMemFabric(n)
+	env := transport.NewRealEnv()
+	var wg sync.WaitGroup
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		c := NewComm(fab, r, n)
+		go func() {
+			defer wg.Done()
+			fn(env, c)
+		}()
+	}
+	wg.Wait()
+}
+
+func TestSendRecv(t *testing.T) {
+	runRanks(t, 2, func(env transport.Env, c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(env, 1, 7, []byte("hi"))
+		} else {
+			got := c.Recv(env, 0, 7)
+			if string(got) != "hi" {
+				t.Errorf("got %q", got)
+			}
+		}
+	})
+}
+
+func TestRecvTagMismatchPanics(t *testing.T) {
+	runRanks(t, 2, func(env transport.Env, c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(env, 1, 7, nil)
+			return
+		}
+		defer func() {
+			if recover() == nil {
+				t.Error("no panic on tag mismatch")
+			}
+		}()
+		c.Recv(env, 0, 8)
+	})
+}
+
+func TestBarrier(t *testing.T) {
+	for _, n := range []int{1, 2, 5} {
+		runRanks(t, n, func(env transport.Env, c *Comm) {
+			for i := 0; i < 3; i++ {
+				c.Barrier(env)
+			}
+		})
+	}
+}
+
+func TestBcast(t *testing.T) {
+	runRanks(t, 4, func(env transport.Env, c *Comm) {
+		var data []byte
+		if c.Rank() == 2 {
+			data = []byte("payload")
+		}
+		got := c.Bcast(env, 2, data)
+		if string(got) != "payload" {
+			t.Errorf("rank %d got %q", c.Rank(), got)
+		}
+	})
+}
+
+func TestAllgather(t *testing.T) {
+	runRanks(t, 5, func(env transport.Env, c *Comm) {
+		mine := []byte(fmt.Sprintf("rank%d", c.Rank()))
+		parts := c.Allgather(env, mine)
+		if len(parts) != 5 {
+			t.Errorf("len=%d", len(parts))
+			return
+		}
+		for i, p := range parts {
+			if string(p) != fmt.Sprintf("rank%d", i) {
+				t.Errorf("part %d = %q", i, p)
+			}
+		}
+	})
+}
+
+func TestAllgatherI64(t *testing.T) {
+	runRanks(t, 4, func(env transport.Env, c *Comm) {
+		vals := c.AllgatherI64(env, int64(c.Rank()*100-7))
+		for i, v := range vals {
+			if v != int64(i*100-7) {
+				t.Errorf("vals=%v", vals)
+				return
+			}
+		}
+	})
+}
+
+func TestAlltoallv(t *testing.T) {
+	const n = 6
+	runRanks(t, n, func(env transport.Env, c *Comm) {
+		send := make([][]byte, n)
+		for to := 0; to < n; to++ {
+			if (c.Rank()+to)%3 == 0 {
+				continue // leave some entries empty
+			}
+			send[to] = []byte(fmt.Sprintf("%d->%d", c.Rank(), to))
+		}
+		recv := c.Alltoallv(env, send)
+		for from := 0; from < n; from++ {
+			want := ""
+			if (from+c.Rank())%3 != 0 {
+				want = fmt.Sprintf("%d->%d", from, c.Rank())
+			}
+			if string(recv[from]) != want {
+				t.Errorf("rank %d from %d: got %q want %q", c.Rank(), from, recv[from], want)
+			}
+		}
+	})
+}
+
+func TestAllreduce(t *testing.T) {
+	runRanks(t, 7, func(env transport.Env, c *Comm) {
+		mx := c.AllreduceI64(env, int64(c.Rank()*3), func(a, b int64) int64 {
+			if a > b {
+				return a
+			}
+			return b
+		})
+		if mx != 18 {
+			t.Errorf("max=%d", mx)
+		}
+		sum := c.AllreduceI64(env, 1, func(a, b int64) int64 { return a + b })
+		if sum != 7 {
+			t.Errorf("sum=%d", sum)
+		}
+	})
+}
+
+func TestCollectivesOnSimFabric(t *testing.T) {
+	sched := vtime.New()
+	net := transport.NewSimNet(sched, transport.DefaultSimConfig())
+	const n = 4
+	nodes := make([]*transport.SimNode, n)
+	for i := range nodes {
+		nodes[i] = net.NewNode()
+	}
+	fab := transport.NewSimFabric(net, nodes)
+	wg := sched.NewWaitGroup()
+	wg.Add(n)
+	net.Spawn("ctl", nodes[0], func(env transport.Env) {
+		wg.Wait(env.(*transport.SimEnv).Proc())
+		fab.Close()
+	})
+	ok := make([]bool, n)
+	for r := 0; r < n; r++ {
+		r := r
+		net.Spawn(fmt.Sprintf("rank%d", r), nodes[r], func(env transport.Env) {
+			c := NewComm(fab, r, n)
+			c.Barrier(env)
+			parts := c.Allgather(env, []byte{byte(r)})
+			send := make([][]byte, n)
+			for to := 0; to < n; to++ {
+				send[to] = bytes.Repeat([]byte{byte(r)}, to+1)
+			}
+			recv := c.Alltoallv(env, send)
+			good := len(parts) == n
+			for i := range parts {
+				good = good && len(parts[i]) == 1 && parts[i][0] == byte(i)
+			}
+			for from := range recv {
+				good = good && len(recv[from]) == r+1
+				for _, b := range recv[from] {
+					good = good && b == byte(from)
+				}
+			}
+			c.Barrier(env)
+			ok[r] = good
+			wg.Done()
+		})
+	}
+	if err := sched.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for r, g := range ok {
+		if !g {
+			t.Fatalf("rank %d failed", r)
+		}
+	}
+	if sched.Now() == 0 {
+		t.Fatal("sim collectives took zero time")
+	}
+}

@@ -1,0 +1,191 @@
+package mpiio
+
+import (
+	"bytes"
+	"testing"
+
+	"dtio/internal/datatype"
+	"dtio/internal/mpi"
+	"dtio/internal/pvfs"
+)
+
+func TestZeroSizeOperations(t *testing.T) {
+	r := newRig(t, 2, 1)
+	c := r.client()
+	defer c.Close()
+	pf, _ := c.Create(r.env, "z.dat", 64, 0)
+	for _, m := range []Method{Posix, Sieve, ListIO, DtypeIO} {
+		f := Open(pf, nil, m, DefaultHints())
+		if err := f.ReadAt(r.env, 0, nil, datatype.Int32, 0); err != nil {
+			t.Fatalf("%v zero read: %v", m, err)
+		}
+		if m == Sieve {
+			continue
+		}
+		if err := f.WriteAt(r.env, 0, nil, datatype.Int32, 0); err != nil {
+			t.Fatalf("%v zero write: %v", m, err)
+		}
+	}
+}
+
+func TestCollectiveWithEmptyRanks(t *testing.T) {
+	// Half the ranks write nothing; the collective must still complete
+	// and the other halves' data must land.
+	const nProcs = 4
+	r := newRig(t, 2, nProcs)
+	r.parallel(func(rank int, comm *mpi.Comm) {
+		cc := r.client()
+		defer cc.Close()
+		var pf *pvfsFile
+		var err error
+		if rank == 0 {
+			pf, err = clientCreate(cc, r, "e.dat")
+		}
+		comm.Barrier(r.env)
+		if rank != 0 {
+			pf, err = clientOpen(cc, r, "e.dat")
+		}
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		f := Open(pf, comm, TwoPhase, DefaultHints())
+		count := 0
+		if rank%2 == 0 {
+			count = 1
+		}
+		view := datatype.HIndexed([]int64{16}, []int64{int64(rank) * 16}, datatype.Byte)
+		if err := f.SetView(0, datatype.Byte, view); err != nil {
+			t.Error(err)
+			return
+		}
+		data := bytes.Repeat([]byte{byte('A' + rank)}, 16)
+		if err := f.WriteAtAll(r.env, 0, data, datatype.Bytes(16), count); err != nil {
+			t.Errorf("rank %d: %v", rank, err)
+		}
+	})
+	if t.Failed() {
+		return
+	}
+	c := r.client()
+	defer c.Close()
+	pf, _ := clientOpen(c, r, "e.dat")
+	got := make([]byte, 48)
+	pf.ReadContig(r.env, 0, got)
+	for i := 0; i < 16; i++ {
+		if got[i] != 'A' {
+			t.Fatalf("rank 0 data missing at %d", i)
+		}
+		if got[32+i] != 'C' {
+			t.Fatalf("rank 2 data missing at %d", 32+i)
+		}
+		if got[16+i] != 0 {
+			t.Fatalf("rank 1 wrote despite count 0")
+		}
+	}
+}
+
+func TestCollectiveAllEmpty(t *testing.T) {
+	const nProcs = 3
+	r := newRig(t, 2, nProcs)
+	r.parallel(func(rank int, comm *mpi.Comm) {
+		cc := r.client()
+		defer cc.Close()
+		var pf *pvfsFile
+		var err error
+		if rank == 0 {
+			pf, err = clientCreate(cc, r, "ae.dat")
+		}
+		comm.Barrier(r.env)
+		if rank != 0 {
+			pf, err = clientOpen(cc, r, "ae.dat")
+		}
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		f := Open(pf, comm, TwoPhase, DefaultHints())
+		if err := f.WriteAtAll(r.env, 0, nil, datatype.Byte, 0); err != nil {
+			t.Errorf("rank %d: %v", rank, err)
+		}
+	})
+}
+
+func TestViewDisplacement(t *testing.T) {
+	r := newRig(t, 2, 1)
+	c := r.client()
+	defer c.Close()
+	pf, _ := c.Create(r.env, "disp.dat", 64, 0)
+	for _, m := range []Method{Posix, ListIO, DtypeIO} {
+		f := Open(pf, nil, m, DefaultHints())
+		// A 16-byte header precedes the strided records.
+		if err := f.SetView(16, datatype.Int32, datatype.Vector(4, 1, 2, datatype.Int32)); err != nil {
+			t.Fatal(err)
+		}
+		data := []byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16}
+		if err := f.WriteAt(r.env, 0, data, datatype.Bytes(16), 1); err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		chk := make([]byte, 4)
+		pf.ReadContig(r.env, 16, chk) // element 0 lands right after the header
+		if !bytes.Equal(chk, data[:4]) {
+			t.Fatalf("%v: header displacement ignored: %v", m, chk)
+		}
+		pf.ReadContig(r.env, 16+8, chk) // element 1 at stride 2
+		if !bytes.Equal(chk, data[4:8]) {
+			t.Fatalf("%v: stride wrong: %v", m, chk)
+		}
+	}
+}
+
+func TestListCapHintChunksCalls(t *testing.T) {
+	r := newRig(t, 2, 1)
+	c := r.client()
+	defer c.Close()
+	st := newStats()
+	c.Stats = st
+	pf, _ := c.Create(r.env, "cap.dat", 4096, 0)
+	hints := DefaultHints()
+	hints.ListCap = 8
+	f := Open(pf, nil, ListIO, hints)
+	// 32 strided regions with cap 8 -> 4 list calls.
+	if err := f.SetView(0, datatype.Int32, datatype.Vector(32, 1, 2, datatype.Int32)); err != nil {
+		t.Fatal(err)
+	}
+	st.Reset()
+	buf := make([]byte, 128)
+	if err := f.ReadAt(r.env, 0, buf, datatype.Bytes(128), 1); err != nil {
+		t.Fatal(err)
+	}
+	if ops := st.Snapshot().IOOps; ops != 4 {
+		t.Fatalf("ops=%d want 4", ops)
+	}
+}
+
+func TestReadPastEOFZeroFills(t *testing.T) {
+	r := newRig(t, 2, 1)
+	c := r.client()
+	defer c.Close()
+	pf, _ := c.Create(r.env, "eof.dat", 64, 0)
+	pf.WriteContig(r.env, 0, []byte{1, 2, 3})
+	f := Open(pf, nil, DtypeIO, DefaultHints())
+	got := make([]byte, 10)
+	if err := f.ReadAt(r.env, 0, got, datatype.Bytes(10), 1); err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{1, 2, 3, 0, 0, 0, 0, 0, 0, 0}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+// Helpers keeping edge tests terse.
+type pvfsFile = pvfs.File
+
+func clientCreate(c *pvfs.Client, r *rig, name string) (*pvfs.File, error) {
+	return c.Create(r.env, name, 1024, 0)
+}
+
+func clientOpen(c *pvfs.Client, r *rig, name string) (*pvfs.File, error) {
+	return c.Open(r.env, name)
+}

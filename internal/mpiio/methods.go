@@ -1,0 +1,169 @@
+package mpiio
+
+import (
+	"fmt"
+	"time"
+
+	"dtio/internal/dataloop"
+	"dtio/internal/datatype"
+	"dtio/internal/flatten"
+	"dtio/internal/pvfs"
+	"dtio/internal/transport"
+)
+
+// posix breaks the access into one contiguous file-system operation per
+// run that is contiguous in both file and memory — the naive method of
+// paper §2.1.
+func (f *File) posix(env transport.Env, pos, nbytes int64, buf []byte, memType *datatype.Type, memCount int, write bool) error {
+	d := flatten.NewDual(f.fileWindow(pos, nbytes), memSource(memType, memCount))
+	for {
+		fo, mo, n, ok := d.Next()
+		if !ok {
+			return nil
+		}
+		if mo < 0 || mo+n > int64(len(buf)) {
+			return fmt.Errorf("mpiio: memory region [%d,%d) outside buffer", mo, mo+n)
+		}
+		var err error
+		if write {
+			err = f.pv.WriteContig(env, fo, buf[mo:mo+n])
+		} else {
+			err = f.pv.ReadContig(env, fo, buf[mo:mo+n])
+		}
+		if err != nil {
+			return err
+		}
+	}
+}
+
+// sieveRead reads large windows covering the noncontiguous regions into a
+// scratch buffer and extracts the desired bytes (paper §2.2). Windows
+// advance through the file; an out-of-window region simply starts a new
+// window (our evaluation patterns are monotone, as ROMIO's flattened
+// representations usually are).
+func (f *File) sieveRead(env transport.Env, pos, nbytes int64, buf []byte, memType *datatype.Type, memCount int) error {
+	last := f.lastFileByte(pos, nbytes)
+	bufSize := f.hints.SieveBufSize
+	if bufSize <= 0 {
+		bufSize = DefaultHints().SieveBufSize
+	}
+	var (
+		sbuf     []byte
+		wlo, whi int64
+	)
+	var pieces int64
+	d := flatten.NewDual(f.fileWindow(pos, nbytes), memSource(memType, memCount))
+	for {
+		fo, mo, n, ok := d.Next()
+		if !ok {
+			env.Compute(f.pv.Cost().MemcpyPerPiece * time.Duration(pieces))
+			return nil
+		}
+		pieces++
+		if mo < 0 || mo+n > int64(len(buf)) {
+			return fmt.Errorf("mpiio: memory region [%d,%d) outside buffer", mo, mo+n)
+		}
+		for n > 0 {
+			if sbuf == nil || fo < wlo || fo >= whi {
+				wlo = fo
+				whi = wlo + bufSize
+				if whi > last+1 {
+					whi = last + 1
+				}
+				sbuf = make([]byte, whi-wlo)
+				if err := f.pv.ReadContig(env, wlo, sbuf); err != nil {
+					return err
+				}
+			}
+			take := n
+			if fo+take > whi {
+				take = whi - fo
+			}
+			copy(buf[mo:mo+take], sbuf[fo-wlo:fo-wlo+take])
+			fo += take
+			mo += take
+			n -= take
+		}
+	}
+}
+
+// listIO flattens both sides into offset-length lists and issues list
+// I/O calls of at most MaxListRegions regions per side (paper §2.4).
+func (f *File) listIO(env transport.Env, pos, nbytes int64, buf []byte, memType *datatype.Type, memCount int, write bool) error {
+	maxRegs := f.hints.ListCap
+	if maxRegs <= 0 {
+		maxRegs = DefaultHints().ListCap
+	}
+	if maxRegs > pvfs.MaxListRegions {
+		maxRegs = pvfs.MaxListRegions
+	}
+	var (
+		fileRegs, memRegs []flatten.Region
+	)
+	flush := func() error {
+		if len(fileRegs) == 0 {
+			return nil
+		}
+		var err error
+		if write {
+			err = f.pv.WriteList(env, fileRegs, memRegs, buf)
+		} else {
+			err = f.pv.ReadList(env, fileRegs, memRegs, buf)
+		}
+		fileRegs = fileRegs[:0]
+		memRegs = memRegs[:0]
+		return err
+	}
+	add := func(regs []flatten.Region, off, n int64) []flatten.Region {
+		if k := len(regs); k > 0 && regs[k-1].Off+regs[k-1].Len == off {
+			regs[k-1].Len += n
+			return regs
+		}
+		return append(regs, flatten.Region{Off: off, Len: n})
+	}
+	wouldGrow := func(regs []flatten.Region, off int64) bool {
+		k := len(regs)
+		return k == 0 || regs[k-1].Off+regs[k-1].Len != off
+	}
+	d := flatten.NewDual(f.fileWindow(pos, nbytes), memSource(memType, memCount))
+	for {
+		fo, mo, n, ok := d.Next()
+		if !ok {
+			break
+		}
+		if mo < 0 || mo+n > int64(len(buf)) {
+			return fmt.Errorf("mpiio: memory region [%d,%d) outside buffer", mo, mo+n)
+		}
+		if (wouldGrow(fileRegs, fo) && len(fileRegs) == maxRegs) ||
+			(wouldGrow(memRegs, mo) && len(memRegs) == maxRegs) {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+		fileRegs = add(fileRegs, fo, n)
+		memRegs = add(memRegs, mo, n)
+	}
+	return flush()
+}
+
+// dtypeIO ships the view's dataloop to the servers (paper §3): a single
+// logical operation regardless of region count. Converting the memory
+// type to a dataloop at each call mirrors the prototype's per-operation
+// conversion cost.
+func (f *File) dtypeIO(env transport.Env, buf []byte, memType *datatype.Type, memCount int, pos int64, write bool) error {
+	// Model the per-operation type-conversion cost called out in §3.2.
+	env.Compute(time.Duration(f.floop.NumNodes()) * 2 * time.Microsecond)
+	a := &pvfs.DtypeAccess{
+		Mem:        buf,
+		MemLoop:    dataloop.FromType(memType),
+		MemCount:   int64(memCount),
+		FileLoop:   f.floop,
+		Disp:       f.disp,
+		Pos:        pos,
+		NoCoalesce: f.hints.DtypeNoCoalesce,
+	}
+	if write {
+		return f.pv.WriteDtype(env, a)
+	}
+	return f.pv.ReadDtype(env, a)
+}

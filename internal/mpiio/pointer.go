@@ -1,0 +1,147 @@
+package mpiio
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"dtio/internal/datatype"
+	"dtio/internal/flatten"
+	"dtio/internal/transport"
+)
+
+// Individual file pointer operations (MPI_File_read / write / seek
+// family). The pointer counts etypes within the current view, as the
+// standard specifies, and advances by the number of etypes accessed.
+
+// Seek whence values follow the io package (MPI_SEEK_SET/CUR/END).
+func (f *File) Seek(env transport.Env, offset int64, whence int) (int64, error) {
+	var base int64
+	switch whence {
+	case io.SeekStart:
+		base = 0
+	case io.SeekCurrent:
+		base = f.ptr
+	case io.SeekEnd:
+		end, err := f.sizeEtypes(env)
+		if err != nil {
+			return 0, err
+		}
+		base = end
+	default:
+		return 0, fmt.Errorf("mpiio: bad seek whence %d", whence)
+	}
+	pos := base + offset
+	if pos < 0 {
+		return 0, fmt.Errorf("mpiio: seek to negative offset %d", pos)
+	}
+	f.ptr = pos
+	return pos, nil
+}
+
+// Tell reports the individual file pointer (in etypes).
+func (f *File) Tell() int64 { return f.ptr }
+
+// sizeEtypes converts the file size to a view-relative etype count: the
+// number of whole etypes of the view stream that lie within the file.
+func (f *File) sizeEtypes(env transport.Env) (int64, error) {
+	size, err := f.pv.Size(env)
+	if err != nil {
+		return 0, err
+	}
+	if size <= f.disp {
+		return 0, nil
+	}
+	// Walk view tiles until the file end; count covered stream bytes.
+	// The view is periodic, so whole tiles can be skipped arithmetically.
+	tileExt := f.filetype.Extent()
+	tileSize := f.floop.Size
+	if tileExt <= 0 {
+		return 0, errors.New("mpiio: view has non-positive extent")
+	}
+	span := size - f.disp
+	whole := span / tileExt
+	stream := whole * tileSize
+	rem := span - whole*tileExt // bytes into the next tile
+	if rem > 0 {
+		it := flatten.NewIter(f.floop, 1, 0, false)
+		for {
+			r, ok := it.Next()
+			if !ok {
+				break
+			}
+			if r.Off+r.Len <= rem {
+				stream += r.Len
+			} else if r.Off < rem {
+				stream += rem - r.Off
+			}
+		}
+	}
+	return stream / f.etype.Size(), nil
+}
+
+// Read reads at the individual file pointer and advances it.
+func (f *File) Read(env transport.Env, buf []byte, memType *datatype.Type, memCount int) error {
+	if err := f.ReadAt(env, f.ptr, buf, memType, memCount); err != nil {
+		return err
+	}
+	f.advance(memType, memCount)
+	return nil
+}
+
+// Write writes at the individual file pointer and advances it.
+func (f *File) Write(env transport.Env, buf []byte, memType *datatype.Type, memCount int) error {
+	if err := f.WriteAt(env, f.ptr, buf, memType, memCount); err != nil {
+		return err
+	}
+	f.advance(memType, memCount)
+	return nil
+}
+
+// ReadAll / WriteAll are the pointer-relative collectives.
+func (f *File) ReadAll(env transport.Env, buf []byte, memType *datatype.Type, memCount int) error {
+	if err := f.ReadAtAll(env, f.ptr, buf, memType, memCount); err != nil {
+		return err
+	}
+	f.advance(memType, memCount)
+	return nil
+}
+
+// WriteAll is the pointer-relative collective write.
+func (f *File) WriteAll(env transport.Env, buf []byte, memType *datatype.Type, memCount int) error {
+	if err := f.WriteAtAll(env, f.ptr, buf, memType, memCount); err != nil {
+		return err
+	}
+	f.advance(memType, memCount)
+	return nil
+}
+
+func (f *File) advance(memType *datatype.Type, memCount int) {
+	bytes := int64(memCount) * memType.Size()
+	f.ptr += bytes / f.etype.Size()
+}
+
+// GetSize reports the file size in bytes (MPI_File_get_size).
+func (f *File) GetSize(env transport.Env) (int64, error) { return f.pv.Size(env) }
+
+// SetSize truncates or extends the file (MPI_File_set_size). The
+// individual file pointer is unchanged, as the standard specifies.
+func (f *File) SetSize(env transport.Env, size int64) error {
+	if size < 0 {
+		return fmt.Errorf("mpiio: negative size %d", size)
+	}
+	return f.pv.Truncate(env, size)
+}
+
+// Preallocate ensures the file is at least size bytes
+// (MPI_File_preallocate).
+func (f *File) Preallocate(env transport.Env, size int64) error {
+	cur, err := f.pv.Size(env)
+	if err != nil {
+		return err
+	}
+	if cur >= size {
+		return nil
+	}
+	return f.pv.Truncate(env, size)
+}

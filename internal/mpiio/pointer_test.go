@@ -1,0 +1,134 @@
+package mpiio
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"dtio/internal/datatype"
+)
+
+func TestFilePointerReadWrite(t *testing.T) {
+	r := newRig(t, 2, 1)
+	c := r.client()
+	defer c.Close()
+	pf, _ := c.Create(r.env, "ptr.dat", 64, 0)
+	f := Open(pf, nil, DtypeIO, DefaultHints())
+	if err := f.SetView(0, datatype.Int32, datatype.Contiguous(4, datatype.Int32)); err != nil {
+		t.Fatal(err)
+	}
+	// Three sequential writes advance the pointer by 2 etypes each.
+	for i := 0; i < 3; i++ {
+		data := bytes.Repeat([]byte{byte(i + 1)}, 8)
+		if err := f.Write(r.env, data, datatype.Bytes(8), 1); err != nil {
+			t.Fatal(err)
+		}
+		if f.Tell() != int64(2*(i+1)) {
+			t.Fatalf("ptr=%d after write %d", f.Tell(), i)
+		}
+	}
+	// Seek back and read the middle 8 bytes.
+	if _, err := f.Seek(r.env, 2, io.SeekStart); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 8)
+	if err := f.Read(r.env, got, datatype.Bytes(8), 1); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, bytes.Repeat([]byte{2}, 8)) {
+		t.Fatalf("got %v", got)
+	}
+	if f.Tell() != 4 {
+		t.Fatalf("ptr=%d after read", f.Tell())
+	}
+	// SeekCurrent and SeekEnd.
+	if pos, _ := f.Seek(r.env, -1, io.SeekCurrent); pos != 3 {
+		t.Fatalf("cur seek pos=%d", pos)
+	}
+	end, err := f.Seek(r.env, 0, io.SeekEnd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end != 6 { // 24 bytes written / 4-byte etype
+		t.Fatalf("end=%d", end)
+	}
+	if _, err := f.Seek(r.env, -100, io.SeekStart); err == nil {
+		t.Fatal("negative seek accepted")
+	}
+	if _, err := f.Seek(r.env, 0, 99); err == nil {
+		t.Fatal("bad whence accepted")
+	}
+}
+
+func TestSetViewResetsPointer(t *testing.T) {
+	r := newRig(t, 2, 1)
+	c := r.client()
+	defer c.Close()
+	pf, _ := c.Create(r.env, "rv.dat", 64, 0)
+	f := Open(pf, nil, DtypeIO, DefaultHints())
+	f.Write(r.env, []byte{1, 2, 3, 4}, datatype.Int32, 1)
+	if f.Tell() == 0 {
+		t.Fatal("pointer did not advance")
+	}
+	f.SetView(0, datatype.Byte, datatype.Byte)
+	if f.Tell() != 0 {
+		t.Fatal("SetView did not reset pointer")
+	}
+}
+
+func TestSeekEndWithStridedView(t *testing.T) {
+	r := newRig(t, 2, 1)
+	c := r.client()
+	defer c.Close()
+	pf, _ := c.Create(r.env, "sv.dat", 64, 0)
+	// File has 40 bytes; view sees every other int32 -> 5 etypes within
+	// the file.
+	pf.WriteContig(r.env, 0, make([]byte, 40))
+	f := Open(pf, nil, DtypeIO, DefaultHints())
+	if err := f.SetView(0, datatype.Int32, datatype.Vector(2, 1, 2, datatype.Int32)); err != nil {
+		t.Fatal(err)
+	}
+	end, err := f.Seek(r.env, 0, io.SeekEnd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tile extent is 12 B (elements at 0 and 8, UB 12) holding 2
+	// etypes: 40 bytes = 3 whole tiles (6 etypes) + 4 bytes into tile 4
+	// covering 1 more = 7 (elements at 0,8,12,20,24,32,36).
+	if end != 7 {
+		t.Fatalf("end=%d", end)
+	}
+}
+
+func TestGetSetSizePreallocate(t *testing.T) {
+	r := newRig(t, 2, 1)
+	c := r.client()
+	defer c.Close()
+	pf, _ := c.Create(r.env, "sz.dat", 64, 0)
+	f := Open(pf, nil, DtypeIO, DefaultHints())
+	f.WriteAt(r.env, 0, make([]byte, 100), datatype.Bytes(100), 1)
+	if n, _ := f.GetSize(r.env); n != 100 {
+		t.Fatalf("size=%d", n)
+	}
+	if err := f.SetSize(r.env, 40); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := f.GetSize(r.env); n != 40 {
+		t.Fatalf("size=%d after truncate", n)
+	}
+	if err := f.Preallocate(r.env, 200); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := f.GetSize(r.env); n != 200 {
+		t.Fatalf("size=%d after preallocate", n)
+	}
+	if err := f.Preallocate(r.env, 10); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := f.GetSize(r.env); n != 200 {
+		t.Fatal("preallocate shrank the file")
+	}
+	if err := f.SetSize(r.env, -1); err == nil {
+		t.Fatal("negative size accepted")
+	}
+}

@@ -1,0 +1,720 @@
+package pvfs
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"dtio/internal/dataloop"
+	"dtio/internal/datatype"
+	"dtio/internal/flatten"
+	"dtio/internal/iostats"
+	"dtio/internal/striping"
+	"dtio/internal/transport"
+	"dtio/internal/wire"
+)
+
+// Client is one process's connection to the file system. A Client (and
+// the Files opened through it) must be used from one logical thread at a
+// time — the usual PVFS library discipline.
+type Client struct {
+	net         transport.Network
+	metaAddr    string
+	serverAddrs []string
+	cost        CostModel
+
+	// Stats accumulates this client's I/O characteristics; may be nil.
+	Stats *iostats.Stats
+
+	meta  transport.Conn
+	conns []transport.Conn
+}
+
+// NewClient prepares a client for a cluster. Connections are established
+// lazily.
+func NewClient(net transport.Network, metaAddr string, serverAddrs []string, cost CostModel) *Client {
+	return &Client{
+		net:         net,
+		metaAddr:    metaAddr,
+		serverAddrs: serverAddrs,
+		cost:        cost,
+		conns:       make([]transport.Conn, len(serverAddrs)),
+	}
+}
+
+// Close tears down all connections.
+func (c *Client) Close() {
+	if c.meta != nil {
+		c.meta.Close()
+		c.meta = nil
+	}
+	for i, conn := range c.conns {
+		if conn != nil {
+			conn.Close()
+			c.conns[i] = nil
+		}
+	}
+}
+
+func (c *Client) stats() *iostats.Stats {
+	return c.Stats
+}
+
+func (c *Client) metaCall(env transport.Env, req []byte) (*wire.MetaResp, error) {
+	if c.meta == nil {
+		conn, err := c.net.Dial(env, c.metaAddr)
+		if err != nil {
+			return nil, err
+		}
+		c.meta = conn
+	}
+	if err := c.meta.Send(env, req); err != nil {
+		return nil, err
+	}
+	raw, err := c.meta.Recv(env)
+	if err != nil {
+		return nil, err
+	}
+	_, v, err := wire.DecodeMsg(raw)
+	if err != nil {
+		return nil, err
+	}
+	r, ok := v.(*wire.MetaResp)
+	if !ok {
+		return nil, errors.New("pvfs: unexpected metadata response")
+	}
+	if !r.OK {
+		return nil, errors.New("pvfs: " + r.Err)
+	}
+	return r, nil
+}
+
+// conn returns (dialing on demand) the connection to server i.
+func (c *Client) conn(env transport.Env, i int) (transport.Conn, error) {
+	if c.conns[i] == nil {
+		conn, err := c.net.Dial(env, c.serverAddrs[i])
+		if err != nil {
+			return nil, err
+		}
+		c.conns[i] = conn
+	}
+	return c.conns[i], nil
+}
+
+// File is an open file.
+type File struct {
+	c      *Client
+	name   string
+	handle uint64
+	layout striping.Layout
+}
+
+// Create creates and opens a file striped over nServers servers (0 = all)
+// with the given strip size.
+func (c *Client) Create(env transport.Env, name string, stripSize int64, nServers int) (*File, error) {
+	r, err := c.metaCall(env, wire.EncodeCreate(&wire.CreateReq{
+		Name: name, StripSize: stripSize, NServers: int32(nServers),
+	}))
+	if err != nil {
+		return nil, err
+	}
+	return c.fileOf(name, r)
+}
+
+// Open opens an existing file.
+func (c *Client) Open(env transport.Env, name string) (*File, error) {
+	r, err := c.metaCall(env, wire.EncodeOpen(&wire.OpenReq{Name: name}))
+	if err != nil {
+		return nil, err
+	}
+	return c.fileOf(name, r)
+}
+
+func (c *Client) fileOf(name string, r *wire.MetaResp) (*File, error) {
+	lay := striping.Layout{StripSize: r.StripSize, NServers: int(r.NServers), Base: int(r.Base)}
+	if err := lay.Validate(); err != nil {
+		return nil, err
+	}
+	if lay.NServers > len(c.serverAddrs) {
+		return nil, fmt.Errorf("pvfs: file needs %d servers, cluster has %d", lay.NServers, len(c.serverAddrs))
+	}
+	return &File{c: c, name: name, handle: r.Handle, layout: lay}, nil
+}
+
+// Remove deletes a file: metadata first, then each server's object.
+func (c *Client) Remove(env transport.Env, name string) error {
+	f, err := c.Open(env, name)
+	if err != nil {
+		return err
+	}
+	if _, err := c.metaCall(env, wire.EncodeRemove(&wire.RemoveReq{Name: name})); err != nil {
+		return err
+	}
+	servers := make([]int, f.layout.NServers)
+	reqs := make([][]byte, f.layout.NServers)
+	for i := 0; i < f.layout.NServers; i++ {
+		servers[i] = i
+		reqs[i] = wire.EncodeRemoveObj(&wire.RemoveObjReq{Layout: f.wireLayout(i)})
+	}
+	_, err = c.sendRecv(env, servers, reqs, nil)
+	return err
+}
+
+// ListNames returns the namespace contents.
+func (c *Client) ListNames(env transport.Env) ([]string, error) {
+	if c.meta == nil {
+		conn, err := c.net.Dial(env, c.metaAddr)
+		if err != nil {
+			return nil, err
+		}
+		c.meta = conn
+	}
+	if err := c.meta.Send(env, wire.EncodeListNames()); err != nil {
+		return nil, err
+	}
+	raw, err := c.meta.Recv(env)
+	if err != nil {
+		return nil, err
+	}
+	_, v, err := wire.DecodeMsg(raw)
+	if err != nil {
+		return nil, err
+	}
+	r, ok := v.(*wire.ListResp)
+	if !ok {
+		return nil, errors.New("pvfs: unexpected listing response")
+	}
+	if !r.OK {
+		return nil, errors.New("pvfs: " + r.Err)
+	}
+	return r.Names, nil
+}
+
+// Name reports the file name.
+func (f *File) Name() string { return f.name }
+
+// ClientStats returns the owning client's stats collector (may be nil).
+func (f *File) ClientStats() *iostats.Stats { return f.c.Stats }
+
+// Cost returns the owning client's cost model.
+func (f *File) Cost() CostModel { return f.c.cost }
+
+// Layout reports the striping layout.
+func (f *File) Layout() striping.Layout { return f.layout }
+
+func (f *File) wireLayout(serverIdx int) wire.FileLayout {
+	return wire.FileLayout{
+		Handle:    f.handle,
+		StripSize: f.layout.StripSize,
+		NServers:  int32(f.layout.NServers),
+		Base:      int32(f.layout.Base),
+		ServerIdx: int32(serverIdx),
+	}
+}
+
+// sendRecv sends one request per server and collects the responses, in
+// order. Any server-reported error aborts. dataLens (optional) reports
+// how many trailing bytes of each request are data payload, so the
+// request-description statistics exclude them.
+func (c *Client) sendRecv(env transport.Env, servers []int, reqs [][]byte, dataLens []int64) ([]*wire.IOResp, error) {
+	for i, s := range servers {
+		conn, err := c.conn(env, s)
+		if err != nil {
+			return nil, err
+		}
+		if err := conn.Send(env, reqs[i]); err != nil {
+			return nil, fmt.Errorf("pvfs: send to server %d: %w", s, err)
+		}
+		if st := c.stats(); st != nil {
+			desc := int64(len(reqs[i]))
+			if dataLens != nil {
+				desc -= dataLens[i]
+			}
+			st.AddWire(desc)
+		}
+	}
+	out := make([]*wire.IOResp, len(servers))
+	for i, s := range servers {
+		raw, err := c.conns[s].Recv(env)
+		if err != nil {
+			return nil, fmt.Errorf("pvfs: recv from server %d: %w", s, err)
+		}
+		_, v, err := wire.DecodeMsg(raw)
+		if err != nil {
+			return nil, err
+		}
+		r, ok := v.(*wire.IOResp)
+		if !ok {
+			return nil, errors.New("pvfs: unexpected I/O response")
+		}
+		if !r.OK {
+			return nil, fmt.Errorf("pvfs: server %d: %s", s, r.Err)
+		}
+		out[i] = r
+	}
+	return out, nil
+}
+
+// involvedServers reports which servers hold any byte of the given
+// regions (emitted in ascending server order).
+func (f *File) involvedServers(regions func(emit func(off, n int64))) []int {
+	present := make([]bool, f.layout.NServers)
+	regions(func(off, n int64) {
+		f.layout.Split(off, n, func(p striping.Piece) bool {
+			present[p.Server] = true
+			return true
+		})
+	})
+	var out []int
+	for s, p := range present {
+		if p {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// ReadContig reads len(buf) bytes at logical offset off. One logical I/O
+// operation; one request per involved server.
+func (f *File) ReadContig(env transport.Env, off int64, buf []byte) error {
+	n := int64(len(buf))
+	if n == 0 {
+		return nil
+	}
+	servers := f.involvedServers(func(emit func(off, n int64)) { emit(off, n) })
+	reqs := make([][]byte, len(servers))
+	for i, s := range servers {
+		reqs[i] = wire.EncodeContig(&wire.ContigReq{Layout: f.wireLayout(s), Off: off, N: n}, false)
+	}
+	resps, err := f.c.sendRecv(env, servers, reqs, nil)
+	if err != nil {
+		return err
+	}
+	for i, s := range servers {
+		data := resps[i].Data
+		cur := int64(0)
+		short := false
+		f.layout.ServerPieces(s, off, n, func(_, logical, ln int64) bool {
+			if cur+ln > int64(len(data)) {
+				short = true
+				return false
+			}
+			copy(buf[logical-off:logical-off+ln], data[cur:cur+ln])
+			cur += ln
+			return true
+		})
+		if short || cur != int64(len(data)) {
+			return fmt.Errorf("pvfs: server %d returned %d bytes, expected a different amount", s, len(data))
+		}
+	}
+	if st := f.c.stats(); st != nil {
+		st.AddOps(1)
+		st.AddAccessed(n)
+	}
+	return nil
+}
+
+// WriteContig writes data at logical offset off.
+func (f *File) WriteContig(env transport.Env, off int64, data []byte) error {
+	n := int64(len(data))
+	if n == 0 {
+		return nil
+	}
+	servers := f.involvedServers(func(emit func(off, n int64)) { emit(off, n) })
+	reqs := make([][]byte, len(servers))
+	dataLens := make([]int64, len(servers))
+	for i, s := range servers {
+		var payload []byte
+		f.layout.ServerPieces(s, off, n, func(_, logical, ln int64) bool {
+			payload = append(payload, data[logical-off:logical-off+ln]...)
+			return true
+		})
+		reqs[i] = wire.EncodeContig(&wire.ContigReq{
+			Layout: f.wireLayout(s), Off: off, N: n, Data: payload,
+		}, true)
+		dataLens[i] = int64(len(payload))
+	}
+	if _, err := f.c.sendRecv(env, servers, reqs, dataLens); err != nil {
+		return err
+	}
+	if st := f.c.stats(); st != nil {
+		st.AddOps(1)
+		st.AddAccessed(n)
+	}
+	return nil
+}
+
+// listTotal validates a list I/O call and returns the byte count.
+func listTotal(fileRegions, memRegions []flatten.Region, mem []byte) (int64, error) {
+	if len(fileRegions) > wire.MaxListRegions || len(memRegions) > wire.MaxListRegions {
+		return 0, fmt.Errorf("pvfs: list I/O limited to %d regions per call", wire.MaxListRegions)
+	}
+	var fn, mn int64
+	for _, r := range fileRegions {
+		if r.Off < 0 || r.Len < 0 {
+			return 0, fmt.Errorf("pvfs: bad file region %+v", r)
+		}
+		fn += r.Len
+	}
+	for _, r := range memRegions {
+		if r.Off < 0 || r.Len < 0 || r.Off+r.Len > int64(len(mem)) {
+			return 0, fmt.Errorf("pvfs: bad memory region %+v", r)
+		}
+		mn += r.Len
+	}
+	if fn != mn {
+		return 0, fmt.Errorf("pvfs: file list covers %d bytes, memory list %d", fn, mn)
+	}
+	return fn, nil
+}
+
+// splitRegions partitions logical file regions by server, clipping at
+// strip boundaries, preserving stream order within each server. This is
+// the client-side list building the paper identifies as list I/O's
+// overhead; it keeps each request carrying only that server's regions.
+func (f *File) splitRegions(fileRegions []flatten.Region) [][]flatten.Region {
+	out := make([][]flatten.Region, f.layout.NServers)
+	for _, reg := range fileRegions {
+		f.layout.Split(reg.Off, reg.Len, func(p striping.Piece) bool {
+			l := out[p.Server]
+			// Merge adjacent logical pieces on the same server.
+			if k := len(l); k > 0 && l[k-1].Off+l[k-1].Len == p.Logical {
+				l[k-1].Len += p.Len
+			} else {
+				l = append(l, flatten.Region{Off: p.Logical, Len: p.Len})
+			}
+			out[p.Server] = l
+			return true
+		})
+	}
+	return out
+}
+
+// walkMapped walks file-stream pieces split by server, pairing them with
+// memory offsets, via the dual cursor. fn is called in stream order.
+func (f *File) walkMapped(file, mem flatten.Source, fn func(server int, memOff, n int64) error) (pieces int64, err error) {
+	d := flatten.NewDual(file, mem)
+	for {
+		fo, mo, n, ok := d.Next()
+		if !ok {
+			return pieces, nil
+		}
+		var inner error
+		f.layout.Split(fo, n, func(p striping.Piece) bool {
+			delta := p.Logical - fo
+			if e := fn(p.Server, mo+delta, p.Len); e != nil {
+				inner = e
+				return false
+			}
+			pieces++
+			return true
+		})
+		if inner != nil {
+			return pieces, inner
+		}
+	}
+}
+
+// ReadList performs a list I/O read: file regions (logical byte ranges)
+// into memory regions of mem. At most wire.MaxListRegions regions per
+// call; callers chunk larger accesses (this is the interface bound the
+// paper discusses).
+func (f *File) ReadList(env transport.Env, fileRegions, memRegions []flatten.Region, mem []byte) error {
+	total, err := listTotal(fileRegions, memRegions, mem)
+	if err != nil {
+		return err
+	}
+	if total == 0 {
+		return nil
+	}
+	perServer := f.splitRegions(fileRegions)
+	var servers []int
+	var reqs [][]byte
+	for s, regs := range perServer {
+		if regs == nil {
+			continue
+		}
+		servers = append(servers, s)
+		reqs = append(reqs, wire.EncodeListIO(&wire.ListIOReq{Layout: f.wireLayout(s), Regions: regs}, false))
+	}
+	resps, err := f.c.sendRecv(env, servers, reqs, nil)
+	if err != nil {
+		return err
+	}
+	cursors := make([]int64, f.layout.NServers)
+	bufs := make([][]byte, f.layout.NServers)
+	for i, s := range servers {
+		bufs[s] = resps[i].Data
+	}
+	pieces, err := f.walkMapped(
+		flatten.NewSliceSource(fileRegions),
+		flatten.NewSliceSource(memRegions),
+		func(server int, memOff, n int64) error {
+			b := bufs[server]
+			cur := cursors[server]
+			if cur+n > int64(len(b)) {
+				return fmt.Errorf("pvfs: server %d returned short data", server)
+			}
+			copy(mem[memOff:memOff+n], b[cur:cur+n])
+			cursors[server] = cur + n
+			return nil
+		})
+	if err != nil {
+		return err
+	}
+	env.Compute(f.c.cost.PerRegionClient * time.Duration(pieces))
+	if st := f.c.stats(); st != nil {
+		st.AddOps(1)
+		st.AddAccessed(total)
+		st.AddRegions(pieces)
+	}
+	return nil
+}
+
+// WriteList performs a list I/O write.
+func (f *File) WriteList(env transport.Env, fileRegions, memRegions []flatten.Region, mem []byte) error {
+	total, err := listTotal(fileRegions, memRegions, mem)
+	if err != nil {
+		return err
+	}
+	if total == 0 {
+		return nil
+	}
+	bufs := make([][]byte, f.layout.NServers)
+	pieces, err := f.walkMapped(
+		flatten.NewSliceSource(fileRegions),
+		flatten.NewSliceSource(memRegions),
+		func(server int, memOff, n int64) error {
+			bufs[server] = append(bufs[server], mem[memOff:memOff+n]...)
+			return nil
+		})
+	if err != nil {
+		return err
+	}
+	env.Compute(f.c.cost.PerRegionClient * time.Duration(pieces))
+	perServer := f.splitRegions(fileRegions)
+	var servers []int
+	var reqs [][]byte
+	var dataLens []int64
+	for s := 0; s < f.layout.NServers; s++ {
+		if bufs[s] == nil {
+			continue
+		}
+		servers = append(servers, s)
+		reqs = append(reqs, wire.EncodeListIO(&wire.ListIOReq{
+			Layout: f.wireLayout(s), Regions: perServer[s], Data: bufs[s],
+		}, true))
+		dataLens = append(dataLens, int64(len(bufs[s])))
+	}
+	if _, err := f.c.sendRecv(env, servers, reqs, dataLens); err != nil {
+		return err
+	}
+	if st := f.c.stats(); st != nil {
+		st.AddOps(1)
+		st.AddAccessed(total)
+		st.AddRegions(pieces)
+	}
+	return nil
+}
+
+// DtypeAccess describes a datatype I/O operation: memory described by a
+// dataloop over the caller's buffer, file described by a dataloop view
+// (tiled at Disp), starting at stream position Pos.
+type DtypeAccess struct {
+	Mem      []byte
+	MemLoop  *dataloop.Loop
+	MemCount int64
+	FileLoop *dataloop.Loop
+	Disp     int64 // byte displacement of file tile 0
+	Pos      int64 // starting stream offset within the tiled file view
+	// NoCoalesce disables adjacent-region coalescing on both client and
+	// server (ablation A2).
+	NoCoalesce bool
+}
+
+func (a *DtypeAccess) validate() (nbytes, tiles int64, err error) {
+	if a.MemLoop == nil || a.FileLoop == nil {
+		return 0, 0, errors.New("pvfs: nil dataloop")
+	}
+	nbytes = a.MemCount * a.MemLoop.Size
+	if nbytes == 0 {
+		return 0, 0, nil
+	}
+	if a.FileLoop.Size <= 0 {
+		return 0, 0, errors.New("pvfs: file dataloop has zero size")
+	}
+	if a.Pos < 0 || a.Disp < 0 {
+		return 0, 0, errors.New("pvfs: negative position or displacement")
+	}
+	tiles = (a.Pos + nbytes + a.FileLoop.Size - 1) / a.FileLoop.Size
+	return nbytes, tiles, nil
+}
+
+// ReadDtype performs a datatype read: one logical operation; the file
+// dataloop ships to every server of the file, each of which expands it
+// locally.
+func (f *File) ReadDtype(env transport.Env, a *DtypeAccess) error {
+	return f.dtypeOp(env, a, false)
+}
+
+// WriteDtype performs a datatype write.
+func (f *File) WriteDtype(env transport.Env, a *DtypeAccess) error {
+	return f.dtypeOp(env, a, true)
+}
+
+func (f *File) dtypeOp(env transport.Env, a *DtypeAccess, write bool) error {
+	nbytes, tiles, err := a.validate()
+	if err != nil {
+		return err
+	}
+	if nbytes == 0 {
+		return nil
+	}
+	loopBytes := a.FileLoop.Encode(nil)
+	mkReq := func(s int, data []byte) []byte {
+		return wire.EncodeDtype(&wire.DtypeReq{
+			Layout:     f.wireLayout(s),
+			Loop:       loopBytes,
+			Count:      tiles,
+			Disp:       a.Disp,
+			Pos:        a.Pos,
+			NBytes:     nbytes,
+			NoCoalesce: a.NoCoalesce,
+			Data:       data,
+		}, write)
+	}
+	newDual := func() (flatten.Source, flatten.Source) {
+		return flatten.NewIterAt(a.FileLoop, tiles, a.Disp, a.Pos, nbytes, !a.NoCoalesce),
+			flatten.NewIter(a.MemLoop, a.MemCount, 0, !a.NoCoalesce)
+	}
+	servers := make([]int, f.layout.NServers)
+	for i := range servers {
+		servers[i] = i
+	}
+	if write {
+		bufs := make([][]byte, f.layout.NServers)
+		file, mem := newDual()
+		pieces, err := f.walkMapped(file, mem, func(server int, memOff, n int64) error {
+			if memOff < 0 || memOff+n > int64(len(a.Mem)) {
+				return fmt.Errorf("pvfs: memory region [%d,%d) outside buffer", memOff, memOff+n)
+			}
+			bufs[server] = append(bufs[server], a.Mem[memOff:memOff+n]...)
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		// The job/access building overlaps the transfer: real PVFS
+		// clients stream accesses as they are generated.
+		reqs := make([][]byte, len(servers))
+		dataLens := make([]int64, len(servers))
+		for i, s := range servers {
+			reqs[i] = mkReq(s, bufs[s])
+			dataLens[i] = int64(len(bufs[s]))
+		}
+		cpu := f.c.cost.PerRegionClient * time.Duration(pieces)
+		if err := env.Overlap(cpu, func() error {
+			_, err := f.c.sendRecv(env, servers, reqs, dataLens)
+			return err
+		}); err != nil {
+			return err
+		}
+		if st := f.c.stats(); st != nil {
+			st.AddOps(1)
+			st.AddAccessed(nbytes)
+			st.AddRegions(pieces)
+		}
+		return nil
+	}
+	reqs := make([][]byte, len(servers))
+	for i, s := range servers {
+		reqs[i] = mkReq(s, nil)
+	}
+	// Pre-count pieces so the scatter's job-build CPU can be charged
+	// overlapped with the transfer: real clients scatter each flow
+	// buffer as it arrives.
+	var pieces int64
+	{
+		file, mem := newDual()
+		var err error
+		pieces, err = f.walkMapped(file, mem, func(int, int64, int64) error { return nil })
+		if err != nil {
+			return err
+		}
+	}
+	cpu := f.c.cost.PerRegionClient * time.Duration(pieces)
+	err = env.Overlap(cpu, func() error {
+		resps, err := f.c.sendRecv(env, servers, reqs, nil)
+		if err != nil {
+			return err
+		}
+		bufs := make([][]byte, f.layout.NServers)
+		cursors := make([]int64, f.layout.NServers)
+		for i, s := range servers {
+			bufs[s] = resps[i].Data
+		}
+		file, mem := newDual()
+		_, err = f.walkMapped(file, mem, func(server int, memOff, n int64) error {
+			if memOff < 0 || memOff+n > int64(len(a.Mem)) {
+				return fmt.Errorf("pvfs: memory region [%d,%d) outside buffer", memOff, memOff+n)
+			}
+			b := bufs[server]
+			cur := cursors[server]
+			if cur+n > int64(len(b)) {
+				return fmt.Errorf("pvfs: server %d returned short data", server)
+			}
+			copy(a.Mem[memOff:memOff+n], b[cur:cur+n])
+			cursors[server] = cur + n
+			return nil
+		})
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	if st := f.c.stats(); st != nil {
+		st.AddOps(1)
+		st.AddAccessed(nbytes)
+		st.AddRegions(pieces)
+	}
+	return nil
+}
+
+// Size reports the logical file size (max over servers' local EOFs).
+func (f *File) Size(env transport.Env) (int64, error) {
+	servers := make([]int, f.layout.NServers)
+	reqs := make([][]byte, f.layout.NServers)
+	for i := 0; i < f.layout.NServers; i++ {
+		servers[i] = i
+		reqs[i] = wire.EncodeLocalSize(&wire.LocalSizeReq{Layout: f.wireLayout(i)})
+	}
+	resps, err := f.c.sendRecv(env, servers, reqs, nil)
+	if err != nil {
+		return 0, err
+	}
+	var size int64
+	for i, s := range servers {
+		if eof := f.layout.LocalEOF(s, resps[i].Size); eof > size {
+			size = eof
+		}
+	}
+	return size, nil
+}
+
+// Truncate sets the logical file size.
+func (f *File) Truncate(env transport.Env, size int64) error {
+	servers := make([]int, f.layout.NServers)
+	reqs := make([][]byte, f.layout.NServers)
+	for i := 0; i < f.layout.NServers; i++ {
+		servers[i] = i
+		reqs[i] = wire.EncodeTruncate(&wire.TruncateReq{Layout: f.wireLayout(i), Size: size})
+	}
+	_, err := f.c.sendRecv(env, servers, reqs, nil)
+	return err
+}
+
+// Regions re-exports the flatten region type for list I/O callers.
+type Region = datatype.Region
+
+// MaxListRegions re-exports the per-request list I/O region bound.
+const MaxListRegions = wire.MaxListRegions

@@ -1,0 +1,249 @@
+package pvfs
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"dtio/internal/dataloop"
+	"dtio/internal/datatype"
+	"dtio/internal/transport"
+	"dtio/internal/wire"
+)
+
+// TestTCPClusterEndToEnd runs a real TCP cluster on loopback and
+// exercises every access interface through it.
+func TestTCPClusterEndToEnd(t *testing.T) {
+	net := transport.NewTCPNetwork()
+	env := transport.NewRealEnv()
+	const nServers = 3
+
+	// Bind listeners on ephemeral ports first so addresses are known.
+	metaL, err := net.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metaAddr, _ := transport.BoundAddr(metaL)
+	metaL.Close()
+	meta := NewMetaServer(net, metaAddr, nServers)
+	go meta.Serve(env)
+	defer meta.Close()
+
+	var addrs []string
+	var servers []*Server
+	for i := 0; i < nServers; i++ {
+		l, err := net.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addr, _ := transport.BoundAddr(l)
+		l.Close()
+		s := NewServer(net, addr, i, CostModel{})
+		servers = append(servers, s)
+		addrs = append(addrs, addr)
+		go s.Serve(env)
+	}
+	defer func() {
+		for _, s := range servers {
+			s.Close()
+		}
+	}()
+
+	c := NewClient(net, metaAddr, addrs, CostModel{})
+	defer c.Close()
+	var f *File
+	for i := 0; i < 200; i++ {
+		f, err = c.Create(env, "tcp.dat", 128, 0)
+		if err == nil {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("create over TCP: %v", err)
+	}
+
+	// Contig across stripes.
+	data := make([]byte, 10000)
+	for i := range data {
+		data[i] = byte(i * 31)
+	}
+	if err := f.WriteContig(env, 123, data); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if err := f.ReadContig(env, 123, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("TCP contig round trip corrupted")
+	}
+
+	// Datatype I/O over TCP.
+	fileTy := datatype.Vector(50, 1, 3, datatype.Int32)
+	mem := make([]byte, 200)
+	for i := range mem {
+		mem[i] = byte(i + 7)
+	}
+	a := &DtypeAccess{
+		Mem: mem, MemLoop: dataloop.FromType(datatype.Bytes(200)), MemCount: 1,
+		FileLoop: dataloop.FromType(fileTy), Disp: 20000,
+	}
+	if err := f.WriteDtype(env, a); err != nil {
+		t.Fatal(err)
+	}
+	back := make([]byte, 200)
+	a2 := *a
+	a2.Mem = back
+	if err := f.ReadDtype(env, &a2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, mem) {
+		t.Fatal("TCP dtype round trip corrupted")
+	}
+
+	// List I/O over TCP.
+	lr := []Region{{Off: 50000, Len: 64}, {Off: 51000, Len: 36}}
+	mr := []Region{{Off: 0, Len: 100}}
+	if err := f.WriteList(env, lr, mr, mem[:100]); err != nil {
+		t.Fatal(err)
+	}
+	lg := make([]byte, 100)
+	if err := f.ReadList(env, lr, mr, lg); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(lg, mem[:100]) {
+		t.Fatal("TCP list round trip corrupted")
+	}
+
+	size, err := f.Size(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size != 51036 {
+		t.Fatalf("size=%d", size)
+	}
+}
+
+// TestServerGoneMidRun: killing a server makes client operations fail
+// with errors, not hang.
+func TestServerGoneMidRun(t *testing.T) {
+	tc := startCluster(t, 3)
+	c := tc.client()
+	defer c.Close()
+	env := tc.env
+	f, err := c.Create(env, "die.dat", 64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.WriteContig(env, 0, make([]byte, 1000)); err != nil {
+		t.Fatal(err)
+	}
+	// Kill server 1 (its listener and, via closed conns, its handlers).
+	tc.servers[1].Close()
+	// The client's cached connection dies with the handler after the
+	// server stops accepting; a fresh client cannot dial at all.
+	c2 := tc.client()
+	defer c2.Close()
+	f2, err := c2.Open(env, "die.dat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		buf := make([]byte, 1000)
+		done <- f2.ReadContig(env, 0, buf)
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("read succeeded with a dead server")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("read hung on dead server")
+	}
+}
+
+// TestResponseValidation: clients reject short server data.
+func TestClientRejectsShortData(t *testing.T) {
+	// A server handler that answers OK with truncated data.
+	net := transport.NewMemNetwork()
+	env := transport.NewRealEnv()
+	lis, err := net.Listen("evil")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		conn, err := lis.Accept(env)
+		if err != nil {
+			return
+		}
+		for {
+			if _, err := conn.Recv(env); err != nil {
+				return
+			}
+			// Always respond OK with 1 byte, whatever was asked.
+			conn.Send(env, encodeEvilResp())
+		}
+	}()
+	meta := NewMetaServer(net, "meta", 1)
+	go meta.Serve(env)
+	defer meta.Close()
+	c := NewClient(net, "meta", []string{"evil"}, CostModel{})
+	defer c.Close()
+	var f *File
+	for i := 0; i < 1000; i++ {
+		f, err = c.Create(env, "x", 64, 0)
+		if err == nil {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 100)
+	if err := f.ReadContig(env, 0, buf); err == nil {
+		t.Fatal("short response accepted")
+	}
+}
+
+func encodeEvilResp() []byte {
+	return wire.EncodeIOResp(&wire.IOResp{OK: true, Data: []byte{0}})
+}
+
+func TestDataloopCache(t *testing.T) {
+	tc := startCluster(t, 2)
+	c := tc.client()
+	defer c.Close()
+	env := tc.env
+	f, err := c.Create(env, "cache.dat", 64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := make([]byte, 64)
+	a := &DtypeAccess{
+		Mem: mem, MemLoop: dataloop.FromType(datatype.Bytes(64)), MemCount: 1,
+		FileLoop: dataloop.FromType(datatype.Vector(16, 1, 2, datatype.Int32)),
+	}
+	for i := 0; i < 5; i++ {
+		if err := f.WriteDtype(env, a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hits, misses := tc.servers[0].LoopCacheStats()
+	if misses != 1 || hits != 4 {
+		t.Fatalf("hits=%d misses=%d, want 4/1", hits, misses)
+	}
+	// Disabled cache decodes every time.
+	tc.servers[0].DisableLoopCache = true
+	for i := 0; i < 3; i++ {
+		if err := f.ReadDtype(env, a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h2, m2 := tc.servers[0].LoopCacheStats()
+	if h2 != hits || m2 != misses {
+		t.Fatalf("disabled cache still updated: %d/%d", h2, m2)
+	}
+}

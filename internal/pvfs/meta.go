@@ -1,0 +1,156 @@
+package pvfs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"dtio/internal/transport"
+	"dtio/internal/wire"
+)
+
+// fileMeta is one namespace entry.
+type fileMeta struct {
+	handle    uint64
+	stripSize int64
+	nServers  int32
+	base      int32
+}
+
+// MetaServer owns the namespace: file names, handles, and striping
+// parameters. It performs no data I/O.
+type MetaServer struct {
+	net      transport.Network
+	addr     string
+	nServers int32
+
+	mu     sync.Mutex
+	next   uint64
+	files  map[string]*fileMeta
+	closed bool
+	lis    transport.Listener
+}
+
+// NewMetaServer creates a metadata server for a cluster of nServers I/O
+// servers, listening at addr on net.
+func NewMetaServer(net transport.Network, addr string, nServers int) *MetaServer {
+	return &MetaServer{
+		net:      net,
+		addr:     addr,
+		nServers: int32(nServers),
+		next:     1,
+		files:    make(map[string]*fileMeta),
+	}
+}
+
+// Serve listens and handles requests until the listener is closed. Call
+// it from a dedicated thread (env.Go / SimNet.Spawn / goroutine).
+func (m *MetaServer) Serve(env transport.Env) error {
+	lis, err := m.net.Listen(m.addr)
+	if err != nil {
+		return err
+	}
+	m.mu.Lock()
+	m.lis = lis
+	closed := m.closed
+	m.mu.Unlock()
+	if closed {
+		lis.Close()
+		return nil
+	}
+	for {
+		conn, err := lis.Accept(env)
+		if err != nil {
+			return nil
+		}
+		c := conn
+		env.Go("meta-handler", func(env transport.Env) {
+			defer c.Close()
+			for {
+				msg, err := c.Recv(env)
+				if err != nil {
+					return
+				}
+				resp := m.handle(msg)
+				if err := c.Send(env, resp); err != nil {
+					return
+				}
+			}
+		})
+	}
+}
+
+// Close stops the listener.
+func (m *MetaServer) Close() {
+	m.mu.Lock()
+	m.closed = true
+	lis := m.lis
+	m.mu.Unlock()
+	if lis != nil {
+		lis.Close()
+	}
+}
+
+func (m *MetaServer) handle(msg []byte) []byte {
+	t, v, err := wire.DecodeMsg(msg)
+	if err != nil {
+		return wire.EncodeMetaResp(&wire.MetaResp{Err: "bad request: " + err.Error()})
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	switch t {
+	case wire.MTCreateReq:
+		r := v.(*wire.CreateReq)
+		if r.Name == "" {
+			return wire.EncodeMetaResp(&wire.MetaResp{Err: "empty file name"})
+		}
+		if _, ok := m.files[r.Name]; ok {
+			return wire.EncodeMetaResp(&wire.MetaResp{Err: fmt.Sprintf("file exists: %s", r.Name)})
+		}
+		if r.StripSize <= 0 {
+			return wire.EncodeMetaResp(&wire.MetaResp{Err: "strip size must be positive"})
+		}
+		n := r.NServers
+		if n <= 0 || n > m.nServers {
+			n = m.nServers
+		}
+		f := &fileMeta{
+			handle:    m.next,
+			stripSize: r.StripSize,
+			nServers:  n,
+			base:      0,
+		}
+		m.next++
+		m.files[r.Name] = f
+		return wire.EncodeMetaResp(&wire.MetaResp{
+			OK: true, Handle: f.handle, StripSize: f.stripSize,
+			NServers: f.nServers, Base: f.base,
+		})
+	case wire.MTOpenReq:
+		r := v.(*wire.OpenReq)
+		f, ok := m.files[r.Name]
+		if !ok {
+			return wire.EncodeMetaResp(&wire.MetaResp{Err: fmt.Sprintf("no such file: %s", r.Name)})
+		}
+		return wire.EncodeMetaResp(&wire.MetaResp{
+			OK: true, Handle: f.handle, StripSize: f.stripSize,
+			NServers: f.nServers, Base: f.base,
+		})
+	case wire.MTRemoveReq:
+		r := v.(*wire.RemoveReq)
+		if _, ok := m.files[r.Name]; !ok {
+			return wire.EncodeMetaResp(&wire.MetaResp{Err: fmt.Sprintf("no such file: %s", r.Name)})
+		}
+		delete(m.files, r.Name)
+		return wire.EncodeMetaResp(&wire.MetaResp{OK: true})
+	case wire.MTListReq:
+		names := make([]string, 0, len(m.files))
+		for n := range m.files {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		return wire.EncodeListResp(&wire.ListResp{OK: true, Names: names})
+	default:
+		return wire.EncodeMetaResp(&wire.MetaResp{Err: "unexpected message " + t.String()})
+	}
+}

@@ -1,0 +1,76 @@
+// Package pvfs implements a PVFS-style parallel file system: a metadata
+// server owning the namespace and striping parameters, I/O servers each
+// holding one object per file (its stripes), and a client library.
+//
+// Clients learn a file's layout at open time and then talk to I/O
+// servers directly. Servers are stateless about metadata: every I/O
+// request carries the file's layout, and each server derives its local
+// byte regions from the request description — a contiguous range, an
+// explicit region list (list I/O), or a dataloop it expands itself
+// (datatype I/O, the paper's contribution).
+package pvfs
+
+import (
+	"time"
+)
+
+// CostModel parameterizes the simulated processing costs (DESIGN.md §4).
+// The zero value disables all modeled costs (used on Mem/TCP transports,
+// where only functionality matters).
+type CostModel struct {
+	// RequestOverhead is server CPU charged per request (PVFS 1.x
+	// request decode + job setup + iod bookkeeping ran in the
+	// millisecond range on the testbed's hardware; this is what makes
+	// thousands of small requests expensive).
+	RequestOverhead time.Duration
+	// PerRegionServer is server CPU per offset-length pair produced
+	// while building the job/access structures.
+	PerRegionServer time.Duration
+	// PerRegionClient is client CPU per pair while building its side of
+	// the job/access structures (the heavyweight list building of the
+	// PVFS client library; list I/O and datatype I/O pay it).
+	PerRegionClient time.Duration
+	// MemcpyPerPiece is the lighter per-piece cost of plain buffer
+	// gather/scatter (data sieving extraction, two-phase staging).
+	MemcpyPerPiece time.Duration
+	// DataloopDecode is extra server CPU per datatype request (parsing
+	// and setting up dataloop processing).
+	DataloopDecode time.Duration
+	// DiskPerOp is charged once per request touching the disk.
+	DiskPerOp time.Duration
+	// DiskReadBytesPerSec is effective server read throughput. Reads in
+	// the paper's benchmarks are largely sequential or buffer-cache
+	// warm, so this is near the disk's streaming rate.
+	DiskReadBytesPerSec float64
+	// DiskWriteBytesPerSec is effective server write-ingestion
+	// throughput (write syscalls, FS overhead, interleaved client
+	// streams on one spindle) — far below the streaming rate on the
+	// paper's testbed.
+	DiskWriteBytesPerSec float64
+}
+
+// DefaultCostModel returns the Chiba City calibration from DESIGN.md §4.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		RequestOverhead:      2 * time.Millisecond,
+		PerRegionServer:      50 * time.Microsecond,
+		PerRegionClient:      15 * time.Microsecond,
+		MemcpyPerPiece:       4 * time.Microsecond,
+		DataloopDecode:       50 * time.Microsecond,
+		DiskPerOp:            time.Millisecond,
+		DiskReadBytesPerSec:  25e6,
+		DiskWriteBytesPerSec: 2.5e6,
+	}
+}
+
+// diskTime converts a byte count to disk occupancy under the model.
+func (c CostModel) diskTime(bytes int64, write bool) time.Duration {
+	bw := c.DiskReadBytesPerSec
+	if write {
+		bw = c.DiskWriteBytesPerSec
+	}
+	if bw <= 0 {
+		return c.DiskPerOp
+	}
+	return c.DiskPerOp + time.Duration(float64(bytes)/bw*float64(time.Second))
+}

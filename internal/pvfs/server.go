@@ -1,0 +1,414 @@
+package pvfs
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"dtio/internal/dataloop"
+	"dtio/internal/flatten"
+	"dtio/internal/storage"
+	"dtio/internal/striping"
+	"dtio/internal/transport"
+	"dtio/internal/wire"
+)
+
+// Server is one I/O server: a map of handle -> local object plus the
+// request processing that turns contiguous, list, and datatype requests
+// into local reads and writes.
+type Server struct {
+	net   transport.Network
+	addr  string
+	index int // this server's position in the cluster's server list
+	cost  CostModel
+	// NewStore creates backing storage for a new object (default:
+	// storage.NewMem).
+	NewStore func(handle uint64) storage.Store
+
+	mu      sync.Mutex
+	objects map[uint64]storage.Store
+	lis     transport.Listener
+	closed  bool
+
+	// loopCache memoizes decoded dataloops by their wire bytes: the
+	// datatype-caching extension the paper's §5 proposes ("datatype
+	// caching ... could boost the performance of PVFS datatype I/O by
+	// further reducing I/O request overhead"). Repeated accesses with
+	// the same view skip the decode cost. Disable with DisableLoopCache.
+	DisableLoopCache bool
+	cacheMu          sync.Mutex
+	loopCache        map[string]*dataloop.Loop
+	cacheHits        int64
+	cacheMisses      int64
+}
+
+// NewServer creates I/O server number index listening at addr.
+func NewServer(net transport.Network, addr string, index int, cost CostModel) *Server {
+	return &Server{
+		net:      net,
+		addr:     addr,
+		index:    index,
+		cost:     cost,
+		NewStore: func(uint64) storage.Store { return storage.NewMem() },
+		objects:  make(map[uint64]storage.Store),
+	}
+}
+
+// Serve listens and handles connections until Close.
+func (s *Server) Serve(env transport.Env) error {
+	lis, err := s.net.Listen(s.addr)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.lis = lis
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		lis.Close()
+		return nil
+	}
+	for {
+		conn, err := lis.Accept(env)
+		if err != nil {
+			return nil
+		}
+		c := conn
+		env.Go("io-handler", func(env transport.Env) {
+			defer c.Close()
+			for {
+				msg, err := c.Recv(env)
+				if err != nil {
+					return
+				}
+				resp := s.handle(env, msg)
+				if err := c.Send(env, resp); err != nil {
+					return
+				}
+			}
+		})
+	}
+}
+
+// Close stops the listener.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	lis := s.lis
+	s.mu.Unlock()
+	if lis != nil {
+		lis.Close()
+	}
+}
+
+// object returns (creating on demand) the local store for a handle.
+func (s *Server) object(handle uint64) storage.Store {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.objects[handle]
+	if !ok {
+		st = s.NewStore(handle)
+		s.objects[handle] = st
+	}
+	return st
+}
+
+func ioErr(format string, args ...any) []byte {
+	return wire.EncodeIOResp(&wire.IOResp{Err: fmt.Sprintf(format, args...)})
+}
+
+// layoutOf validates and converts the wire layout.
+func (s *Server) layoutOf(l wire.FileLayout) (striping.Layout, error) {
+	lay := striping.Layout{StripSize: l.StripSize, NServers: int(l.NServers), Base: int(l.Base)}
+	if err := lay.Validate(); err != nil {
+		return lay, err
+	}
+	// A file's server list is cluster servers 0..NServers-1, so a
+	// participating server's index within the file equals its cluster
+	// index.
+	if int(l.ServerIdx) != s.index || s.index >= int(l.NServers) {
+		return lay, fmt.Errorf("request for file server %d/%d arrived at cluster server %d",
+			l.ServerIdx, l.NServers, s.index)
+	}
+	return lay, nil
+}
+
+func (s *Server) handle(env transport.Env, msg []byte) []byte {
+	t, v, err := wire.DecodeMsg(msg)
+	if err != nil {
+		return ioErr("bad request: %v", err)
+	}
+	env.Compute(s.cost.RequestOverhead)
+	switch t {
+	case wire.MTReadContigReq, wire.MTWriteContigReq:
+		r := v.(*wire.ContigReq)
+		return s.contig(env, r, t == wire.MTWriteContigReq)
+	case wire.MTReadListReq, wire.MTWriteListReq:
+		r := v.(*wire.ListIOReq)
+		return s.list(env, r, t == wire.MTWriteListReq)
+	case wire.MTReadDtypeReq, wire.MTWriteDtypeReq:
+		r := v.(*wire.DtypeReq)
+		return s.dtype(env, r, t == wire.MTWriteDtypeReq)
+	case wire.MTLocalSizeReq:
+		r := v.(*wire.LocalSizeReq)
+		if _, err := s.layoutOf(r.Layout); err != nil {
+			return ioErr("%v", err)
+		}
+		return wire.EncodeIOResp(&wire.IOResp{OK: true, Size: s.object(r.Layout.Handle).Size()})
+	case wire.MTTruncateReq:
+		r := v.(*wire.TruncateReq)
+		lay, err := s.layoutOf(r.Layout)
+		if err != nil {
+			return ioErr("%v", err)
+		}
+		if r.Size < 0 {
+			return ioErr("negative size %d", r.Size)
+		}
+		local := lay.LocalLen(int(r.Layout.ServerIdx), r.Size)
+		if err := s.object(r.Layout.Handle).Truncate(local); err != nil {
+			return ioErr("truncate: %v", err)
+		}
+		return wire.EncodeIOResp(&wire.IOResp{OK: true})
+	case wire.MTRemoveObjReq:
+		r := v.(*wire.RemoveObjReq)
+		s.mu.Lock()
+		delete(s.objects, r.Layout.Handle)
+		s.mu.Unlock()
+		return wire.EncodeIOResp(&wire.IOResp{OK: true})
+	default:
+		return ioErr("unexpected message %s", t)
+	}
+}
+
+// pieces is the common server-side region walk: it yields this server's
+// (physical, length) runs for each requested logical region, in request
+// order, and accounts CPU + disk costs.
+type pieceFn func(phys, n int64) error
+
+func (s *Server) runPieces(env transport.Env, lay striping.Layout, idx int, write bool, regions func(emit func(off, n int64) error) error, fn pieceFn) (nPieces int64, nBytes int64, err error) {
+	err = regions(func(off, n int64) error {
+		var inner error
+		lay.ServerPieces(idx, off, n, func(phys, _, ln int64) bool {
+			if e := fn(phys, ln); e != nil {
+				inner = e
+				return false
+			}
+			nPieces++
+			nBytes += ln
+			return true
+		})
+		return inner
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	env.Compute(s.cost.PerRegionServer * time.Duration(nPieces))
+	if nBytes > 0 || s.cost.DiskPerOp > 0 {
+		env.DiskUse(s.cost.diskTime(nBytes, write))
+	}
+	return nPieces, nBytes, nil
+}
+
+// contig serves a contiguous read/write.
+func (s *Server) contig(env transport.Env, r *wire.ContigReq, write bool) []byte {
+	lay, err := s.layoutOf(r.Layout)
+	if err != nil {
+		return ioErr("%v", err)
+	}
+	if r.Off < 0 || r.N < 0 {
+		return ioErr("bad range off=%d n=%d", r.Off, r.N)
+	}
+	idx := int(r.Layout.ServerIdx)
+	st := s.object(r.Layout.Handle)
+	if write {
+		data := r.Data
+		_, _, err := s.runPieces(env, lay, idx, true, func(emit func(off, n int64) error) error {
+			return emit(r.Off, r.N)
+		}, func(phys, n int64) error {
+			if int64(len(data)) < n {
+				return fmt.Errorf("short write payload")
+			}
+			if err := st.WriteAt(data[:n], phys); err != nil {
+				return err
+			}
+			data = data[n:]
+			return nil
+		})
+		if err != nil {
+			return ioErr("%v", err)
+		}
+		if len(data) != 0 {
+			return ioErr("excess write payload (%d bytes)", len(data))
+		}
+		return wire.EncodeIOResp(&wire.IOResp{OK: true})
+	}
+	var out []byte
+	_, _, err = s.runPieces(env, lay, idx, false, func(emit func(off, n int64) error) error {
+		return emit(r.Off, r.N)
+	}, func(phys, n int64) error {
+		at := len(out)
+		out = append(out, make([]byte, n)...)
+		return st.ReadAt(out[at:], phys)
+	})
+	if err != nil {
+		return ioErr("%v", err)
+	}
+	return wire.EncodeIOResp(&wire.IOResp{OK: true, Data: out})
+}
+
+// list serves a list I/O read/write.
+func (s *Server) list(env transport.Env, r *wire.ListIOReq, write bool) []byte {
+	lay, err := s.layoutOf(r.Layout)
+	if err != nil {
+		return ioErr("%v", err)
+	}
+	idx := int(r.Layout.ServerIdx)
+	st := s.object(r.Layout.Handle)
+	regions := func(emit func(off, n int64) error) error {
+		for _, reg := range r.Regions {
+			if reg.Off < 0 || reg.Len < 0 {
+				return fmt.Errorf("bad region %+v", reg)
+			}
+			if err := emit(reg.Off, reg.Len); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if write {
+		data := r.Data
+		_, _, err := s.runPieces(env, lay, idx, true, regions, func(phys, n int64) error {
+			if int64(len(data)) < n {
+				return fmt.Errorf("short write payload")
+			}
+			if err := st.WriteAt(data[:n], phys); err != nil {
+				return err
+			}
+			data = data[n:]
+			return nil
+		})
+		if err != nil {
+			return ioErr("%v", err)
+		}
+		if len(data) != 0 {
+			return ioErr("excess write payload (%d bytes)", len(data))
+		}
+		return wire.EncodeIOResp(&wire.IOResp{OK: true})
+	}
+	var out []byte
+	_, _, err = s.runPieces(env, lay, idx, false, regions, func(phys, n int64) error {
+		at := len(out)
+		out = append(out, make([]byte, n)...)
+		return st.ReadAt(out[at:], phys)
+	})
+	if err != nil {
+		return ioErr("%v", err)
+	}
+	return wire.EncodeIOResp(&wire.IOResp{OK: true, Data: out})
+}
+
+// cachedLoop decodes a dataloop, memoizing by wire bytes, and reports
+// whether the decode was served from the cache.
+func (s *Server) cachedLoop(enc []byte) (*dataloop.Loop, bool, error) {
+	if s.DisableLoopCache {
+		l, _, err := dataloop.Decode(enc)
+		return l, false, err
+	}
+	key := string(enc)
+	s.cacheMu.Lock()
+	if s.loopCache == nil {
+		s.loopCache = make(map[string]*dataloop.Loop)
+	}
+	if l, ok := s.loopCache[key]; ok {
+		s.cacheHits++
+		s.cacheMu.Unlock()
+		return l, true, nil
+	}
+	s.cacheMu.Unlock()
+	l, _, err := dataloop.Decode(enc)
+	if err != nil {
+		return nil, false, err
+	}
+	s.cacheMu.Lock()
+	// Bound the cache; views are few, so plain reset on overflow is fine.
+	if len(s.loopCache) >= 1024 {
+		s.loopCache = make(map[string]*dataloop.Loop)
+	}
+	s.loopCache[key] = l
+	s.cacheMisses++
+	s.cacheMu.Unlock()
+	return l, false, nil
+}
+
+// LoopCacheStats reports (hits, misses) of the dataloop cache.
+func (s *Server) LoopCacheStats() (hits, misses int64) {
+	s.cacheMu.Lock()
+	defer s.cacheMu.Unlock()
+	return s.cacheHits, s.cacheMisses
+}
+
+// dtype serves a datatype read/write: the server itself expands the
+// dataloop into regions and extracts its local pieces.
+func (s *Server) dtype(env transport.Env, r *wire.DtypeReq, write bool) []byte {
+	lay, err := s.layoutOf(r.Layout)
+	if err != nil {
+		return ioErr("%v", err)
+	}
+	loop, hit, err := s.cachedLoop(r.Loop)
+	if err != nil {
+		return ioErr("bad dataloop: %v", err)
+	}
+	if r.Count < 0 || r.Pos < 0 || r.NBytes < 0 || r.Pos+r.NBytes > r.Count*loop.Size {
+		return ioErr("bad dtype range count=%d pos=%d n=%d", r.Count, r.Pos, r.NBytes)
+	}
+	if !hit {
+		env.Compute(s.cost.DataloopDecode)
+	}
+	idx := int(r.Layout.ServerIdx)
+	st := s.object(r.Layout.Handle)
+	regions := func(emit func(off, n int64) error) error {
+		it := flatten.NewIterAt(loop, r.Count, r.Disp, r.Pos, r.NBytes, !r.NoCoalesce)
+		for {
+			reg, ok := it.Next()
+			if !ok {
+				return nil
+			}
+			if reg.Off < 0 {
+				return fmt.Errorf("dataloop region at negative offset %d", reg.Off)
+			}
+			if err := emit(reg.Off, reg.Len); err != nil {
+				return err
+			}
+		}
+	}
+	if write {
+		data := r.Data
+		_, _, err := s.runPieces(env, lay, idx, true, regions, func(phys, n int64) error {
+			if int64(len(data)) < n {
+				return fmt.Errorf("short write payload")
+			}
+			if err := st.WriteAt(data[:n], phys); err != nil {
+				return err
+			}
+			data = data[n:]
+			return nil
+		})
+		if err != nil {
+			return ioErr("%v", err)
+		}
+		if len(data) != 0 {
+			return ioErr("excess write payload (%d bytes)", len(data))
+		}
+		return wire.EncodeIOResp(&wire.IOResp{OK: true})
+	}
+	var out []byte
+	_, _, err = s.runPieces(env, lay, idx, false, regions, func(phys, n int64) error {
+		at := len(out)
+		out = append(out, make([]byte, n)...)
+		return st.ReadAt(out[at:], phys)
+	})
+	if err != nil {
+		return ioErr("%v", err)
+	}
+	return wire.EncodeIOResp(&wire.IOResp{OK: true, Data: out})
+}

@@ -1,0 +1,233 @@
+// Package storage provides the byte stores backing I/O server objects.
+//
+// Three implementations share one interface: a sparse paged in-memory
+// store (the default for simulated and in-process clusters), a
+// size-tracking discard store for huge benchmark runs where the bytes
+// themselves don't matter, and a file-backed store for the real TCP
+// daemons.
+package storage
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// Store is a sparse random-access byte object. Reads beyond the current
+// size return zeros up to the requested length and no error (parallel
+// file system semantics for sparse objects: holes read as zeros, and
+// per-server objects grow independently).
+type Store interface {
+	// WriteAt stores p at offset off, growing the object as needed.
+	WriteAt(p []byte, off int64) error
+	// ReadAt fills p from offset off; holes and bytes past EOF read zero.
+	ReadAt(p []byte, off int64) error
+	// Size reports the current object size (highest written byte + 1).
+	Size() int64
+	// Truncate sets the object size, discarding data past it.
+	Truncate(size int64) error
+}
+
+// pageSize is the allocation granularity of the memory store.
+const pageSize = 64 * 1024
+
+// Mem is a sparse in-memory Store. It is safe for concurrent use.
+type Mem struct {
+	mu    sync.RWMutex
+	pages map[int64][]byte // page index -> pageSize bytes
+	size  int64
+}
+
+// NewMem returns an empty in-memory store.
+func NewMem() *Mem {
+	return &Mem{pages: make(map[int64][]byte)}
+}
+
+// WriteAt implements Store.
+func (m *Mem) WriteAt(p []byte, off int64) error {
+	if off < 0 {
+		return fmt.Errorf("storage: negative offset %d", off)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	end := off + int64(len(p))
+	if end > m.size {
+		m.size = end
+	}
+	for len(p) > 0 {
+		page := off / pageSize
+		in := off % pageSize
+		n := int64(len(p))
+		if n > pageSize-in {
+			n = pageSize - in
+		}
+		pg := m.pages[page]
+		if pg == nil {
+			pg = make([]byte, pageSize)
+			m.pages[page] = pg
+		}
+		copy(pg[in:in+n], p[:n])
+		p = p[n:]
+		off += n
+	}
+	return nil
+}
+
+// ReadAt implements Store.
+func (m *Mem) ReadAt(p []byte, off int64) error {
+	if off < 0 {
+		return fmt.Errorf("storage: negative offset %d", off)
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	for len(p) > 0 {
+		page := off / pageSize
+		in := off % pageSize
+		n := int64(len(p))
+		if n > pageSize-in {
+			n = pageSize - in
+		}
+		if pg := m.pages[page]; pg != nil {
+			copy(p[:n], pg[in:in+n])
+		} else {
+			zero(p[:n])
+		}
+		p = p[n:]
+		off += n
+	}
+	return nil
+}
+
+// Size implements Store.
+func (m *Mem) Size() int64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.size
+}
+
+// Truncate implements Store.
+func (m *Mem) Truncate(size int64) error {
+	if size < 0 {
+		return fmt.Errorf("storage: negative size %d", size)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if size < m.size {
+		firstDead := (size + pageSize - 1) / pageSize
+		for idx := range m.pages {
+			if idx >= firstDead {
+				delete(m.pages, idx)
+			}
+		}
+		// Zero the tail of the boundary page so regrowth reads zeros.
+		if pg := m.pages[size/pageSize]; pg != nil {
+			zero(pg[size%pageSize:])
+		}
+	}
+	m.size = size
+	return nil
+}
+
+// Discard tracks size only; data is dropped on write and reads as zeros.
+// It lets full-scale benchmark runs (hundreds of MB of file data) run
+// without holding the bytes, while the code paths stay identical.
+type Discard struct {
+	mu   sync.Mutex
+	size int64
+}
+
+// NewDiscard returns an empty discard store.
+func NewDiscard() *Discard { return &Discard{} }
+
+// WriteAt implements Store.
+func (d *Discard) WriteAt(p []byte, off int64) error {
+	if off < 0 {
+		return fmt.Errorf("storage: negative offset %d", off)
+	}
+	d.mu.Lock()
+	if end := off + int64(len(p)); end > d.size {
+		d.size = end
+	}
+	d.mu.Unlock()
+	return nil
+}
+
+// ReadAt implements Store.
+func (d *Discard) ReadAt(p []byte, off int64) error {
+	if off < 0 {
+		return fmt.Errorf("storage: negative offset %d", off)
+	}
+	zero(p)
+	return nil
+}
+
+// Size implements Store.
+func (d *Discard) Size() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.size
+}
+
+// Truncate implements Store.
+func (d *Discard) Truncate(size int64) error {
+	if size < 0 {
+		return fmt.Errorf("storage: negative size %d", size)
+	}
+	d.mu.Lock()
+	d.size = size
+	d.mu.Unlock()
+	return nil
+}
+
+// File is a Store backed by an *os.File (used by the TCP daemons).
+type File struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// OpenFile opens (creating if needed) a file-backed store at path.
+func OpenFile(path string) (*File, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &File{f: f}, nil
+}
+
+// WriteAt implements Store.
+func (s *File) WriteAt(p []byte, off int64) error {
+	_, err := s.f.WriteAt(p, off)
+	return err
+}
+
+// ReadAt implements Store.
+func (s *File) ReadAt(p []byte, off int64) error {
+	n, err := s.f.ReadAt(p, off)
+	if err == io.EOF || err == io.ErrUnexpectedEOF {
+		zero(p[n:])
+		return nil
+	}
+	return err
+}
+
+// Size implements Store.
+func (s *File) Size() int64 {
+	fi, err := s.f.Stat()
+	if err != nil {
+		return 0
+	}
+	return fi.Size()
+}
+
+// Truncate implements Store.
+func (s *File) Truncate(size int64) error { return s.f.Truncate(size) }
+
+// Close closes the underlying file.
+func (s *File) Close() error { return s.f.Close() }
+
+func zero(p []byte) {
+	for i := range p {
+		p[i] = 0
+	}
+}

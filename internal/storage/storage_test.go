@@ -1,0 +1,150 @@
+package storage
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func testStore(t *testing.T, s Store) {
+	t.Helper()
+	// Fresh store: reads are zeros, size 0.
+	buf := make([]byte, 16)
+	if err := s.ReadAt(buf, 100); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, make([]byte, 16)) {
+		t.Fatal("fresh store not zero")
+	}
+	if s.Size() != 0 {
+		t.Fatalf("size=%d", s.Size())
+	}
+	// Write grows size.
+	if err := s.WriteAt([]byte("hello"), 1000); err != nil {
+		t.Fatal(err)
+	}
+	if s.Size() != 1005 {
+		t.Fatalf("size=%d", s.Size())
+	}
+	// Negative offsets rejected (file store returns OS error).
+	if err := s.WriteAt([]byte("x"), -1); err == nil {
+		t.Fatal("negative write accepted")
+	}
+}
+
+func TestMemStoreBasics(t *testing.T) { testStore(t, NewMem()) }
+func TestFileStoreBasics(t *testing.T) {
+	f, err := OpenFile(filepath.Join(t.TempDir(), "obj"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	testStore(t, f)
+}
+
+func TestMemReadBack(t *testing.T) {
+	m := NewMem()
+	data := []byte("the quick brown fox")
+	m.WriteAt(data, 5)
+	got := make([]byte, len(data))
+	m.ReadAt(got, 5)
+	if !bytes.Equal(got, data) {
+		t.Fatalf("got %q", got)
+	}
+	// Hole before the data reads zero.
+	hole := make([]byte, 5)
+	m.ReadAt(hole, 0)
+	if !bytes.Equal(hole, make([]byte, 5)) {
+		t.Fatal("hole not zero")
+	}
+}
+
+func TestMemCrossPageWrite(t *testing.T) {
+	m := NewMem()
+	data := make([]byte, 3*pageSize+17)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	off := int64(pageSize - 9)
+	m.WriteAt(data, off)
+	got := make([]byte, len(data))
+	m.ReadAt(got, off)
+	if !bytes.Equal(got, data) {
+		t.Fatal("cross-page round trip failed")
+	}
+}
+
+func TestMemTruncate(t *testing.T) {
+	m := NewMem()
+	m.WriteAt(bytes.Repeat([]byte{0xAA}, 2*pageSize), 0)
+	if err := m.Truncate(100); err != nil {
+		t.Fatal(err)
+	}
+	if m.Size() != 100 {
+		t.Fatalf("size=%d", m.Size())
+	}
+	// Bytes past the new size read zero even after regrowth.
+	m.WriteAt([]byte{1}, 3*pageSize)
+	got := make([]byte, 50)
+	m.ReadAt(got, 100)
+	if !bytes.Equal(got, make([]byte, 50)) {
+		t.Fatal("truncated bytes leaked back")
+	}
+	if err := m.Truncate(-1); err == nil {
+		t.Fatal("negative truncate accepted")
+	}
+}
+
+func TestDiscardTracksSizeOnly(t *testing.T) {
+	d := NewDiscard()
+	d.WriteAt(make([]byte, 1000), 5000)
+	if d.Size() != 6000 {
+		t.Fatalf("size=%d", d.Size())
+	}
+	buf := []byte{1, 2, 3}
+	d.ReadAt(buf, 5000)
+	if !bytes.Equal(buf, make([]byte, 3)) {
+		t.Fatal("discard read not zero")
+	}
+	d.Truncate(10)
+	if d.Size() != 10 {
+		t.Fatalf("size=%d", d.Size())
+	}
+}
+
+func TestPropertyMemMatchesFlatBuffer(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := NewMem()
+		ref := make([]byte, 300000)
+		for i := 0; i < 30; i++ {
+			off := r.Int63n(250000)
+			n := 1 + r.Intn(70000)
+			if off+int64(n) > int64(len(ref)) {
+				n = int(int64(len(ref)) - off)
+			}
+			p := make([]byte, n)
+			r.Read(p)
+			copy(ref[off:], p)
+			m.WriteAt(p, off)
+		}
+		for i := 0; i < 30; i++ {
+			off := r.Int63n(250000)
+			n := 1 + r.Intn(70000)
+			if off+int64(n) > int64(len(ref)) {
+				n = int(int64(len(ref)) - off)
+			}
+			got := make([]byte, n)
+			m.ReadAt(got, off)
+			if !bytes.Equal(got, ref[off:off+int64(n)]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

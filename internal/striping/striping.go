@@ -1,0 +1,131 @@
+// Package striping implements PVFS-style round-robin file striping math:
+// the mapping between a file's logical byte space and the physical byte
+// spaces of the I/O servers that hold it.
+//
+// A file is split into fixed-size strips dealt round-robin across the
+// servers starting at Base: logical strip k lives on server
+// (Base + k) mod N, at physical strip index k / N.
+package striping
+
+import "fmt"
+
+// Layout describes a file's striping.
+type Layout struct {
+	StripSize int64 // bytes per strip
+	NServers  int   // servers holding the file
+	Base      int   // server index of strip 0
+}
+
+// Validate reports a descriptive error for nonsensical layouts.
+func (l Layout) Validate() error {
+	if l.StripSize <= 0 {
+		return fmt.Errorf("striping: strip size %d", l.StripSize)
+	}
+	if l.NServers <= 0 {
+		return fmt.Errorf("striping: %d servers", l.NServers)
+	}
+	if l.Base < 0 || l.Base >= l.NServers {
+		return fmt.Errorf("striping: base %d out of range [0,%d)", l.Base, l.NServers)
+	}
+	return nil
+}
+
+// StripeSize reports the bytes of one full stripe (a row across all
+// servers).
+func (l Layout) StripeSize() int64 { return l.StripSize * int64(l.NServers) }
+
+// Server reports which server holds logical byte offset off.
+func (l Layout) Server(off int64) int {
+	strip := off / l.StripSize
+	return (l.Base + int(strip%int64(l.NServers))) % l.NServers
+}
+
+// Physical converts a logical offset to the byte offset within its
+// server's local object.
+func (l Layout) Physical(off int64) int64 {
+	strip := off / l.StripSize
+	return (strip/int64(l.NServers))*l.StripSize + off%l.StripSize
+}
+
+// Logical converts (server, physical offset) back to the logical offset.
+func (l Layout) Logical(server int, phys int64) int64 {
+	localStrip := phys / l.StripSize
+	rank := (server - l.Base + l.NServers) % l.NServers
+	strip := localStrip*int64(l.NServers) + int64(rank)
+	return strip*l.StripSize + phys%l.StripSize
+}
+
+// Piece is a logical region mapped onto one server.
+type Piece struct {
+	Server  int
+	Phys    int64 // physical offset on that server
+	Logical int64 // logical offset of the piece start
+	Len     int64
+}
+
+// Split cuts the logical region [off, off+n) at strip boundaries and
+// reports each resulting piece in logical order. fn returns false to stop
+// early; Split reports whether iteration completed.
+func (l Layout) Split(off, n int64, fn func(p Piece) bool) bool {
+	for n > 0 {
+		inStrip := l.StripSize - off%l.StripSize
+		take := n
+		if take > inStrip {
+			take = inStrip
+		}
+		p := Piece{
+			Server:  l.Server(off),
+			Phys:    l.Physical(off),
+			Logical: off,
+			Len:     take,
+		}
+		if !fn(p) {
+			return false
+		}
+		off += take
+		n -= take
+	}
+	return true
+}
+
+// ServerPieces restricts Split to pieces on one server, reported as
+// (physical offset, logical offset, length).
+func (l Layout) ServerPieces(server int, off, n int64, fn func(phys, logical, ln int64) bool) bool {
+	return l.Split(off, n, func(p Piece) bool {
+		if p.Server != server {
+			return true
+		}
+		return fn(p.Phys, p.Logical, p.Len)
+	})
+}
+
+// LocalLen reports how many bytes of the logical prefix [0, size) live on
+// server (the local object length implied by a logical file size).
+func (l Layout) LocalLen(server int, size int64) int64 {
+	if size <= 0 {
+		return 0
+	}
+	stripe := l.StripeSize()
+	full := size / stripe
+	rem := size % stripe
+	rank := int64((server - l.Base + l.NServers) % l.NServers)
+	n := full * l.StripSize
+	tail := rem - rank*l.StripSize
+	if tail > l.StripSize {
+		tail = l.StripSize
+	}
+	if tail > 0 {
+		n += tail
+	}
+	return n
+}
+
+// LocalEOF reports the logical end-of-file implied by a server's local
+// object length: the smallest logical size that would produce exactly
+// localLen bytes on server.
+func (l Layout) LocalEOF(server int, localLen int64) int64 {
+	if localLen == 0 {
+		return 0
+	}
+	return l.Logical(server, localLen-1) + 1
+}

@@ -1,0 +1,207 @@
+package striping
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func layout() Layout { return Layout{StripSize: 64 * 1024, NServers: 16, Base: 0} }
+
+func TestValidate(t *testing.T) {
+	if err := layout().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Layout{
+		{StripSize: 0, NServers: 4},
+		{StripSize: 64, NServers: 0},
+		{StripSize: 64, NServers: 4, Base: 4},
+		{StripSize: 64, NServers: 4, Base: -1},
+	}
+	for i, l := range bad {
+		if err := l.Validate(); err == nil {
+			t.Fatalf("case %d accepted", i)
+		}
+	}
+}
+
+func TestServerRoundRobin(t *testing.T) {
+	l := Layout{StripSize: 10, NServers: 4, Base: 1}
+	wantServers := []int{1, 2, 3, 0, 1}
+	for k, want := range wantServers {
+		off := int64(k)*10 + 5
+		if got := l.Server(off); got != want {
+			t.Fatalf("strip %d: server=%d want %d", k, got, want)
+		}
+	}
+}
+
+func TestPhysicalMapping(t *testing.T) {
+	l := Layout{StripSize: 10, NServers: 4, Base: 0}
+	// Logical 45 = strip 4 (server 0, local strip 1) offset 5 -> phys 15.
+	if got := l.Physical(45); got != 15 {
+		t.Fatalf("phys=%d", got)
+	}
+	if got := l.Logical(0, 15); got != 45 {
+		t.Fatalf("logical=%d", got)
+	}
+}
+
+func TestSplitCountsAndCoverage(t *testing.T) {
+	l := Layout{StripSize: 10, NServers: 3, Base: 0}
+	var total int64
+	var pieces int
+	prevEnd := int64(7)
+	l.Split(7, 25, func(p Piece) bool {
+		if p.Logical != prevEnd {
+			t.Fatalf("gap at %d", p.Logical)
+		}
+		prevEnd = p.Logical + p.Len
+		total += p.Len
+		pieces++
+		return true
+	})
+	if total != 25 || pieces != 3 { // [7,10) [10,20) [20,30) then 2 more bytes -> wait: 7+25=32 -> [30,32): 4 pieces
+		if pieces != 4 {
+			t.Fatalf("total=%d pieces=%d", total, pieces)
+		}
+	}
+}
+
+func TestSplitEarlyStop(t *testing.T) {
+	l := Layout{StripSize: 10, NServers: 3, Base: 0}
+	n := 0
+	done := l.Split(0, 100, func(p Piece) bool {
+		n++
+		return n < 2
+	})
+	if done || n != 2 {
+		t.Fatalf("done=%v n=%d", done, n)
+	}
+}
+
+func TestServerPieces(t *testing.T) {
+	l := Layout{StripSize: 10, NServers: 2, Base: 0}
+	// Region [0,40): server 0 gets strips 0,2 -> phys [0,10),[10,20).
+	var got [][3]int64
+	l.ServerPieces(0, 0, 40, func(phys, logical, ln int64) bool {
+		got = append(got, [3]int64{phys, logical, ln})
+		return true
+	})
+	want := [][3]int64{{0, 0, 10}, {10, 20, 10}}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestLocalEOF(t *testing.T) {
+	l := Layout{StripSize: 10, NServers: 2, Base: 0}
+	if got := l.LocalEOF(0, 0); got != 0 {
+		t.Fatalf("empty: %d", got)
+	}
+	// Server 1, 15 local bytes: last byte is local off 14 = strip 1 off 4
+	// -> logical strip 3 -> logical byte 34 -> EOF 35.
+	if got := l.LocalEOF(1, 15); got != 35 {
+		t.Fatalf("eof=%d", got)
+	}
+}
+
+func TestPropertyPhysicalLogicalRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		l := Layout{
+			StripSize: int64(1 + r.Intn(1000)),
+			NServers:  1 + r.Intn(20),
+		}
+		l.Base = r.Intn(l.NServers)
+		off := r.Int63n(1 << 40)
+		return l.Logical(l.Server(off), l.Physical(off)) == off
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertySplitPartitions(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		l := Layout{StripSize: int64(1 + r.Intn(100)), NServers: 1 + r.Intn(8)}
+		off := r.Int63n(10000)
+		n := r.Int63n(5000)
+		var total int64
+		at := off
+		ok := true
+		l.Split(off, n, func(p Piece) bool {
+			if p.Logical != at || p.Len <= 0 || p.Len > l.StripSize {
+				ok = false
+				return false
+			}
+			if p.Server != l.Server(p.Logical) || p.Phys != l.Physical(p.Logical) {
+				ok = false
+				return false
+			}
+			// A piece never crosses a strip boundary.
+			if p.Logical/l.StripSize != (p.Logical+p.Len-1)/l.StripSize {
+				ok = false
+				return false
+			}
+			at += p.Len
+			total += p.Len
+			return true
+		})
+		return ok && total == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyLocalLenPartitionsSize(t *testing.T) {
+	// Sum of LocalLen over all servers equals the logical size, and each
+	// server's LocalLen matches a brute-force strip count.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		l := Layout{StripSize: int64(1 + r.Intn(64)), NServers: 1 + r.Intn(6)}
+		l.Base = r.Intn(l.NServers)
+		size := r.Int63n(5000)
+		var sum int64
+		for s := 0; s < l.NServers; s++ {
+			got := l.LocalLen(s, size)
+			var want int64
+			l.Split(0, size, func(p Piece) bool {
+				if p.Server == s {
+					want += p.Len
+				}
+				return true
+			})
+			if got != want {
+				return false
+			}
+			sum += got
+		}
+		return sum == size
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyLocalEOFConsistent(t *testing.T) {
+	// Writing logical prefix [0,size) gives each server LocalLen bytes;
+	// the max LocalEOF over servers recovers the size.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		l := Layout{StripSize: int64(1 + r.Intn(64)), NServers: 1 + r.Intn(6)}
+		size := 1 + r.Int63n(5000)
+		var eof int64
+		for s := 0; s < l.NServers; s++ {
+			if e := l.LocalEOF(s, l.LocalLen(s, size)); e > eof {
+				eof = e
+			}
+		}
+		return eof == size
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,117 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// maxFrame bounds a single message (1 GiB); larger transfers must be
+// chunked by the caller. Protects against corrupt or hostile length
+// prefixes.
+const maxFrame = 1 << 30
+
+// TCPNetwork implements Network over real sockets. Messages are framed
+// with a 4-byte little-endian length prefix.
+type TCPNetwork struct{}
+
+// NewTCPNetwork returns the TCP transport.
+func NewTCPNetwork() *TCPNetwork { return &TCPNetwork{} }
+
+type tcpListener struct {
+	l net.Listener
+}
+
+type tcpConn struct {
+	c        net.Conn
+	sendMu   sync.Mutex
+	recvMu   sync.Mutex
+	lenBuf   [4]byte
+	sendHead [4]byte
+}
+
+// Listen implements Network. addr is a standard host:port.
+func (n *TCPNetwork) Listen(addr string) (Listener, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &tcpListener{l: l}, nil
+}
+
+// Dial implements Network.
+func (n *TCPNetwork) Dial(env Env, addr string) (Conn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := c.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	return &tcpConn{c: c}, nil
+}
+
+func (l *tcpListener) Accept(env Env) (Conn, error) {
+	c, err := l.l.Accept()
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := c.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	return &tcpConn{c: c}, nil
+}
+
+func (l *tcpListener) Close() error { return l.l.Close() }
+
+// Addr reports the bound address (useful with ":0" listens).
+func (l *tcpListener) Addr() string { return l.l.Addr().String() }
+
+// BoundAddr returns the listen address if l is a TCP listener.
+func BoundAddr(l Listener) (string, bool) {
+	if tl, ok := l.(*tcpListener); ok {
+		return tl.Addr(), true
+	}
+	return "", false
+}
+
+// Send implements Conn.
+func (c *tcpConn) Send(env Env, msg []byte) error {
+	if len(msg) > maxFrame {
+		return fmt.Errorf("transport: frame of %d bytes exceeds limit", len(msg))
+	}
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
+	binary.LittleEndian.PutUint32(c.sendHead[:], uint32(len(msg)))
+	if _, err := c.c.Write(c.sendHead[:]); err != nil {
+		return err
+	}
+	_, err := c.c.Write(msg)
+	return err
+}
+
+// Recv implements Conn.
+func (c *tcpConn) Recv(env Env) ([]byte, error) {
+	c.recvMu.Lock()
+	defer c.recvMu.Unlock()
+	if _, err := io.ReadFull(c.c, c.lenBuf[:]); err != nil {
+		if err == io.EOF {
+			return nil, ErrClosed
+		}
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(c.lenBuf[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("transport: frame length %d exceeds limit", n)
+	}
+	msg := make([]byte, n)
+	if _, err := io.ReadFull(c.c, msg); err != nil {
+		return nil, err
+	}
+	return msg, nil
+}
+
+// Close implements Conn.
+func (c *tcpConn) Close() error { return c.c.Close() }

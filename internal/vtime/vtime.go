@@ -1,0 +1,384 @@
+// Package vtime implements a deterministic, cooperative discrete-event
+// scheduler used to simulate a cluster in virtual time.
+//
+// A Scheduler owns a set of processes (Proc). Exactly one process runs at
+// any instant; a process runs until it blocks on a virtual-time primitive
+// (Sleep, Resource, Mailbox, WaitGroup), at which point control returns to
+// the scheduler, which advances the clock to the next pending event and
+// resumes the corresponding process. Because scheduling is cooperative and
+// tie-breaking is FIFO by event sequence number, simulations are fully
+// deterministic and independent of wall-clock time or GOMAXPROCS.
+//
+// The kernel deliberately mirrors classic simulation kernels (e.g. CSIM,
+// SimPy): resources model contended hardware (NICs, disks, CPUs), and
+// mailboxes model message channels.
+package vtime
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Scheduler is a discrete-event simulation kernel. The zero value is not
+// usable; call New.
+type Scheduler struct {
+	now     time.Duration
+	seq     uint64
+	events  eventHeap
+	yield   chan struct{} // the running proc signals the scheduler here
+	live    int           // procs that have started and not yet exited
+	blocked map[*Proc]string
+	started bool
+}
+
+// Proc is a simulated process. A Proc must only be used from the goroutine
+// that the scheduler created for it.
+type Proc struct {
+	s      *Scheduler
+	name   string
+	resume chan struct{}
+	// handoff carries a value delivered directly by a waker (mailbox put,
+	// resource grant). It is only valid immediately after a wake.
+	handoff any
+}
+
+type event struct {
+	at  time.Duration
+	seq uint64
+	p   *Proc
+}
+
+type eventHeap []event
+
+func (h eventHeap) less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h *eventHeap) push(e event) {
+	*h = append(*h, e)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if (*h).less(parent, i) {
+			break
+		}
+		(*h)[parent], (*h)[i] = (*h)[i], (*h)[parent]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() event {
+	old := *h
+	top := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	*h = old[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && (*h).less(l, small) {
+			small = l
+		}
+		if r < n && (*h).less(r, small) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		(*h)[i], (*h)[small] = (*h)[small], (*h)[i]
+		i = small
+	}
+	return top
+}
+
+// New returns an empty scheduler with the clock at zero.
+func New() *Scheduler {
+	return &Scheduler{
+		yield:   make(chan struct{}),
+		blocked: map[*Proc]string{},
+	}
+}
+
+// Now reports the current virtual time.
+func (s *Scheduler) Now() time.Duration { return s.now }
+
+// Go registers a new process. It may be called before Run, or by a running
+// process (in which case the child starts at the current virtual time,
+// after the parent next yields).
+func (s *Scheduler) Go(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{s: s, name: name, resume: make(chan struct{})}
+	s.live++
+	s.schedule(p, 0)
+	go func() {
+		<-p.resume
+		fn(p)
+		s.live--
+		s.yield <- struct{}{}
+	}()
+	return p
+}
+
+// schedule enqueues a wake-up for p after delay d.
+func (s *Scheduler) schedule(p *Proc, d time.Duration) {
+	s.seq++
+	s.events.push(event{at: s.now + d, seq: s.seq, p: p})
+}
+
+// Run executes events until no process remains. It returns an error if
+// processes remain blocked with no pending events (deadlock).
+func (s *Scheduler) Run() error {
+	if s.started {
+		return fmt.Errorf("vtime: Run called twice")
+	}
+	s.started = true
+	for s.live > 0 {
+		if len(s.events) == 0 {
+			return s.deadlockError()
+		}
+		ev := s.events.pop()
+		if ev.at < s.now {
+			panic("vtime: time went backwards")
+		}
+		s.now = ev.at
+		delete(s.blocked, ev.p)
+		ev.p.resume <- struct{}{}
+		<-s.yield
+	}
+	return nil
+}
+
+func (s *Scheduler) deadlockError() error {
+	var names []string
+	for p, why := range s.blocked {
+		names = append(names, fmt.Sprintf("%s (%s)", p.name, why))
+	}
+	sort.Strings(names)
+	return fmt.Errorf("vtime: deadlock at %v: %d blocked process(es): %s",
+		s.now, len(names), strings.Join(names, ", "))
+}
+
+// block parks the calling process until some other party schedules a wake.
+// why describes the wait for deadlock diagnostics.
+func (p *Proc) block(why string) {
+	p.s.blocked[p] = why
+	p.s.yield <- struct{}{}
+	<-p.resume
+}
+
+// yieldAndWait is used when the process has already scheduled its own
+// wake-up event (Sleep).
+func (p *Proc) yieldAndWait() {
+	p.s.yield <- struct{}{}
+	<-p.resume
+}
+
+// Name reports the process name given to Go.
+func (p *Proc) Name() string { return p.name }
+
+// Now reports the current virtual time.
+func (p *Proc) Now() time.Duration { return p.s.now }
+
+// Sleep advances virtual time by d for this process.
+func (p *Proc) Sleep(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	p.s.schedule(p, d)
+	p.yieldAndWait()
+}
+
+// Yield reschedules the process at the current time, letting any other
+// runnable process at the same timestamp run first.
+func (p *Proc) Yield() {
+	p.s.schedule(p, 0)
+	p.yieldAndWait()
+}
+
+// wake schedules p to resume at the current virtual time with v as the
+// hand-off value.
+func (s *Scheduler) wake(p *Proc, v any) {
+	p.handoff = v
+	s.schedule(p, 0)
+}
+
+// Resource models a contended unit-service facility (a NIC direction, a
+// disk, a CPU) with an optional multiplicity. Waiters are served FIFO.
+type Resource struct {
+	s        *Scheduler
+	name     string
+	capacity int
+	inUse    int
+	waiters  []*Proc
+	// busyTime accumulates capacity-seconds of use for utilization stats.
+	busyTime time.Duration
+	lastAcq  time.Duration
+}
+
+// NewResource creates a resource with the given capacity (>= 1).
+func (s *Scheduler) NewResource(name string, capacity int) *Resource {
+	if capacity < 1 {
+		panic("vtime: resource capacity must be >= 1")
+	}
+	return &Resource{s: s, name: name, capacity: capacity}
+}
+
+// Acquire obtains one unit of the resource, blocking in FIFO order.
+func (r *Resource) Acquire(p *Proc) {
+	if r.inUse < r.capacity {
+		r.inUse++
+		return
+	}
+	r.waiters = append(r.waiters, p)
+	p.block("resource " + r.name)
+}
+
+// Release returns one unit. If processes are waiting, ownership transfers
+// directly to the first waiter.
+func (r *Resource) Release() {
+	if len(r.waiters) > 0 {
+		p := r.waiters[0]
+		r.waiters = r.waiters[1:]
+		r.s.wake(p, nil) // unit transfers; inUse unchanged
+		return
+	}
+	if r.inUse == 0 {
+		panic("vtime: release of idle resource " + r.name)
+	}
+	r.inUse--
+}
+
+// Use acquires the resource, holds it for service duration d, and releases
+// it. This is the common pattern for modeling a transfer or a computation.
+func (r *Resource) Use(p *Proc, d time.Duration) {
+	r.Acquire(p)
+	r.busyTime += d
+	p.Sleep(d)
+	r.Release()
+}
+
+// BusyTime reports accumulated service time (for utilization reporting).
+func (r *Resource) BusyTime() time.Duration { return r.busyTime }
+
+// Mailbox is an unbounded FIFO message queue between processes.
+type Mailbox struct {
+	s       *Scheduler
+	name    string
+	q       []any
+	waiters []*Proc
+	closed  bool
+}
+
+// NewMailbox creates an empty mailbox.
+func (s *Scheduler) NewMailbox(name string) *Mailbox {
+	return &Mailbox{s: s, name: name}
+}
+
+// Put deposits a message; it never blocks. If a process is waiting, the
+// message is handed to it directly and the process is scheduled.
+func (m *Mailbox) Put(v any) {
+	if m.closed {
+		panic("vtime: put on closed mailbox " + m.name)
+	}
+	if len(m.waiters) > 0 {
+		p := m.waiters[0]
+		m.waiters = m.waiters[1:]
+		m.s.wake(p, mailItem{v: v, ok: true})
+		return
+	}
+	m.q = append(m.q, v)
+}
+
+type mailItem struct {
+	v  any
+	ok bool
+}
+
+// Get removes the oldest message, blocking until one is available. The
+// second result is false if the mailbox was closed while (or before)
+// waiting and no message remains.
+func (m *Mailbox) Get(p *Proc) (any, bool) {
+	if len(m.q) > 0 {
+		v := m.q[0]
+		m.q = m.q[1:]
+		return v, true
+	}
+	if m.closed {
+		return nil, false
+	}
+	m.waiters = append(m.waiters, p)
+	p.block("mailbox " + m.name)
+	item := p.handoff.(mailItem)
+	p.handoff = nil
+	return item.v, item.ok
+}
+
+// TryGet removes a message if one is queued.
+func (m *Mailbox) TryGet() (any, bool) {
+	if len(m.q) == 0 {
+		return nil, false
+	}
+	v := m.q[0]
+	m.q = m.q[1:]
+	return v, true
+}
+
+// Len reports the number of queued messages.
+func (m *Mailbox) Len() int { return len(m.q) }
+
+// Closed reports whether Close has been called.
+func (m *Mailbox) Closed() bool { return m.closed }
+
+// Close wakes all waiters with ok=false; subsequent Gets drain the queue
+// then report closed. Put after Close panics.
+func (m *Mailbox) Close() {
+	if m.closed {
+		return
+	}
+	m.closed = true
+	for _, p := range m.waiters {
+		m.s.wake(p, mailItem{ok: false})
+	}
+	m.waiters = nil
+}
+
+// WaitGroup mirrors sync.WaitGroup in virtual time.
+type WaitGroup struct {
+	s       *Scheduler
+	n       int
+	waiters []*Proc
+}
+
+// NewWaitGroup creates a WaitGroup with counter zero.
+func (s *Scheduler) NewWaitGroup() *WaitGroup { return &WaitGroup{s: s} }
+
+// Add adjusts the counter; a transition to zero wakes all waiters.
+func (w *WaitGroup) Add(delta int) {
+	w.n += delta
+	if w.n < 0 {
+		panic("vtime: negative WaitGroup counter")
+	}
+	if w.n == 0 {
+		for _, p := range w.waiters {
+			w.s.wake(p, nil)
+		}
+		w.waiters = nil
+	}
+}
+
+// Done decrements the counter.
+func (w *WaitGroup) Done() { w.Add(-1) }
+
+// Wait blocks until the counter reaches zero.
+func (w *WaitGroup) Wait(p *Proc) {
+	if w.n == 0 {
+		return
+	}
+	w.waiters = append(w.waiters, p)
+	p.block("waitgroup")
+}

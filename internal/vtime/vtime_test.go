@@ -1,0 +1,414 @@
+package vtime
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSleepAdvancesClock(t *testing.T) {
+	s := New()
+	var at time.Duration
+	s.Go("a", func(p *Proc) {
+		p.Sleep(5 * time.Millisecond)
+		at = p.Now()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if at != 5*time.Millisecond {
+		t.Fatalf("got %v, want 5ms", at)
+	}
+}
+
+func TestSleepNegativeClampsToZero(t *testing.T) {
+	s := New()
+	s.Go("a", func(p *Proc) {
+		p.Sleep(-time.Second)
+		if p.Now() != 0 {
+			t.Errorf("negative sleep advanced clock to %v", p.Now())
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterministicInterleaving(t *testing.T) {
+	run := func() []string {
+		s := New()
+		var order []string
+		for _, nm := range []string{"a", "b", "c"} {
+			nm := nm
+			s.Go(nm, func(p *Proc) {
+				for i := 0; i < 3; i++ {
+					p.Sleep(time.Millisecond)
+					order = append(order, nm)
+				}
+			})
+		}
+		if err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return order
+	}
+	first := strings.Join(run(), "")
+	for i := 0; i < 10; i++ {
+		if got := strings.Join(run(), ""); got != first {
+			t.Fatalf("nondeterministic: %q vs %q", got, first)
+		}
+	}
+	if first != "abcabcabc" {
+		t.Fatalf("unexpected FIFO order %q", first)
+	}
+}
+
+func TestResourceSerializes(t *testing.T) {
+	s := New()
+	r := s.NewResource("disk", 1)
+	var ends []time.Duration
+	for i := 0; i < 3; i++ {
+		s.Go("u", func(p *Proc) {
+			r.Use(p, 10*time.Millisecond)
+			ends = append(ends, p.Now())
+		})
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond, 30 * time.Millisecond}
+	for i := range want {
+		if ends[i] != want[i] {
+			t.Fatalf("end[%d]=%v want %v", i, ends[i], want[i])
+		}
+	}
+	if r.BusyTime() != 30*time.Millisecond {
+		t.Fatalf("busy=%v", r.BusyTime())
+	}
+}
+
+func TestResourceCapacityTwoOverlaps(t *testing.T) {
+	s := New()
+	r := s.NewResource("cpu", 2)
+	var last time.Duration
+	for i := 0; i < 4; i++ {
+		s.Go("u", func(p *Proc) {
+			r.Use(p, 10*time.Millisecond)
+			last = p.Now()
+		})
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if last != 20*time.Millisecond {
+		t.Fatalf("4 jobs on capacity-2 resource finished at %v, want 20ms", last)
+	}
+}
+
+func TestResourceFIFOOrder(t *testing.T) {
+	s := New()
+	r := s.NewResource("r", 1)
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		s.Go("u", func(p *Proc) {
+			p.Sleep(time.Duration(i) * time.Microsecond) // stagger arrivals
+			r.Acquire(p)
+			order = append(order, i)
+			p.Sleep(time.Millisecond)
+			r.Release()
+		})
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order %v not FIFO", order)
+		}
+	}
+}
+
+func TestMailboxHandoff(t *testing.T) {
+	s := New()
+	m := s.NewMailbox("m")
+	var got []int
+	s.Go("recv", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			v, ok := m.Get(p)
+			if !ok {
+				t.Error("unexpected close")
+				return
+			}
+			got = append(got, v.(int))
+		}
+	})
+	s.Go("send", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			p.Sleep(time.Millisecond)
+			m.Put(i)
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("got %v", got)
+		}
+	}
+}
+
+func TestMailboxQueuedBeforeGet(t *testing.T) {
+	s := New()
+	m := s.NewMailbox("m")
+	m.Put("x")
+	m.Put("y")
+	if m.Len() != 2 {
+		t.Fatalf("len=%d", m.Len())
+	}
+	s.Go("r", func(p *Proc) {
+		a, _ := m.Get(p)
+		b, _ := m.Get(p)
+		if a != "x" || b != "y" {
+			t.Errorf("got %v,%v", a, b)
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMailboxClose(t *testing.T) {
+	s := New()
+	m := s.NewMailbox("m")
+	var closedSeen bool
+	s.Go("r", func(p *Proc) {
+		_, ok := m.Get(p)
+		closedSeen = !ok
+	})
+	s.Go("c", func(p *Proc) {
+		p.Sleep(time.Millisecond)
+		m.Close()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !closedSeen {
+		t.Fatal("waiter not released by Close")
+	}
+}
+
+func TestTryGet(t *testing.T) {
+	s := New()
+	m := s.NewMailbox("m")
+	if _, ok := m.TryGet(); ok {
+		t.Fatal("TryGet on empty returned ok")
+	}
+	m.Put(7)
+	if v, ok := m.TryGet(); !ok || v.(int) != 7 {
+		t.Fatalf("TryGet=%v,%v", v, ok)
+	}
+}
+
+func TestWaitGroup(t *testing.T) {
+	s := New()
+	wg := s.NewWaitGroup()
+	wg.Add(3)
+	var doneAt time.Duration
+	for i := 1; i <= 3; i++ {
+		i := i
+		s.Go("w", func(p *Proc) {
+			p.Sleep(time.Duration(i) * time.Millisecond)
+			wg.Done()
+		})
+	}
+	s.Go("waiter", func(p *Proc) {
+		wg.Wait(p)
+		doneAt = p.Now()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if doneAt != 3*time.Millisecond {
+		t.Fatalf("waiter released at %v, want 3ms", doneAt)
+	}
+}
+
+func TestWaitGroupZeroDoesNotBlock(t *testing.T) {
+	s := New()
+	wg := s.NewWaitGroup()
+	ran := false
+	s.Go("w", func(p *Proc) {
+		wg.Wait(p)
+		ran = true
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("waiter blocked on zero waitgroup")
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	s := New()
+	m := s.NewMailbox("never")
+	s.Go("stuck", func(p *Proc) {
+		m.Get(p)
+	})
+	err := s.Run()
+	if err == nil {
+		t.Fatal("expected deadlock error")
+	}
+	if !strings.Contains(err.Error(), "stuck") || !strings.Contains(err.Error(), "never") {
+		t.Fatalf("diagnostic missing proc/primitive name: %v", err)
+	}
+}
+
+func TestSpawnFromProc(t *testing.T) {
+	s := New()
+	var childTime time.Duration
+	s.Go("parent", func(p *Proc) {
+		p.Sleep(2 * time.Millisecond)
+		s.Go("child", func(c *Proc) {
+			c.Sleep(time.Millisecond)
+			childTime = c.Now()
+		})
+		p.Sleep(10 * time.Millisecond)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if childTime != 3*time.Millisecond {
+		t.Fatalf("child finished at %v, want 3ms", childTime)
+	}
+}
+
+func TestYield(t *testing.T) {
+	s := New()
+	var order []string
+	s.Go("a", func(p *Proc) {
+		order = append(order, "a1")
+		p.Yield()
+		order = append(order, "a2")
+	})
+	s.Go("b", func(p *Proc) {
+		order = append(order, "b1")
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := "a1,b1,a2"
+	if got := strings.Join(order, ","); got != want {
+		t.Fatalf("got %q want %q", got, want)
+	}
+}
+
+func TestRunTwiceFails(t *testing.T) {
+	s := New()
+	s.Go("a", func(p *Proc) {})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(); err == nil {
+		t.Fatal("second Run should fail")
+	}
+}
+
+func TestManyProcsStress(t *testing.T) {
+	s := New()
+	r := s.NewResource("link", 1)
+	const n = 500
+	finished := 0
+	for i := 0; i < n; i++ {
+		s.Go("p", func(p *Proc) {
+			for k := 0; k < 5; k++ {
+				r.Use(p, time.Microsecond)
+			}
+			finished++
+		})
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if finished != n {
+		t.Fatalf("finished %d/%d", finished, n)
+	}
+	if s.Now() != n*5*time.Microsecond {
+		t.Fatalf("clock %v, want %v", s.Now(), n*5*time.Microsecond)
+	}
+}
+
+func TestReleaseIdlePanics(t *testing.T) {
+	s := New()
+	r := s.NewResource("r", 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on idle release")
+		}
+	}()
+	r.Release()
+}
+
+func TestPutAfterClosePanics(t *testing.T) {
+	s := New()
+	m := s.NewMailbox("m")
+	m.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on put-after-close")
+		}
+	}()
+	m.Put(1)
+}
+
+func TestNegativeWaitGroupPanics(t *testing.T) {
+	s := New()
+	wg := s.NewWaitGroup()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on negative waitgroup")
+		}
+	}()
+	wg.Add(-1)
+}
+
+func TestResourceBadCapacityPanics(t *testing.T) {
+	s := New()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on zero capacity")
+		}
+	}()
+	s.NewResource("bad", 0)
+}
+
+func TestMailboxCloseIdempotent(t *testing.T) {
+	s := New()
+	m := s.NewMailbox("m")
+	m.Close()
+	m.Close() // must not panic
+	if !m.Closed() {
+		t.Fatal("not closed")
+	}
+}
+
+func TestGetDrainsQueueAfterClose(t *testing.T) {
+	s := New()
+	m := s.NewMailbox("m")
+	m.Put("a")
+	m.Close()
+	s.Go("r", func(p *Proc) {
+		v, ok := m.Get(p)
+		if !ok || v != "a" {
+			t.Errorf("got %v,%v", v, ok)
+		}
+		if _, ok := m.Get(p); ok {
+			t.Error("second get should report closed")
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

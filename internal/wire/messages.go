@@ -1,0 +1,369 @@
+package wire
+
+import (
+	"fmt"
+
+	"dtio/internal/datatype"
+)
+
+// FileLayout carries the striping parameters of a file inside every I/O
+// request, so I/O servers stay stateless about metadata (as in PVFS,
+// where clients learn the distribution at open time and servers derive
+// local regions per request).
+type FileLayout struct {
+	Handle    uint64
+	StripSize int64
+	NServers  int32
+	Base      int32
+	ServerIdx int32 // index of the addressed server in the file's list
+}
+
+func (l FileLayout) encode(e *Enc) {
+	e.I64(int64(l.Handle))
+	e.I64(l.StripSize)
+	e.U32(uint32(l.NServers))
+	e.U32(uint32(l.Base))
+	e.U32(uint32(l.ServerIdx))
+}
+
+func decodeLayout(d *Dec) FileLayout {
+	return FileLayout{
+		Handle:    uint64(d.I64()),
+		StripSize: d.I64(),
+		NServers:  int32(d.U32()),
+		Base:      int32(d.U32()),
+		ServerIdx: int32(d.U32()),
+	}
+}
+
+// CreateReq asks the metadata server to create a file.
+type CreateReq struct {
+	Name      string
+	StripSize int64
+	NServers  int32
+}
+
+// OpenReq asks the metadata server to look up a file.
+type OpenReq struct{ Name string }
+
+// RemoveReq asks the metadata server to delete a file's metadata.
+type RemoveReq struct{ Name string }
+
+// MetaResp answers create/open/remove.
+type MetaResp struct {
+	OK        bool
+	Err       string
+	Handle    uint64
+	StripSize int64
+	NServers  int32
+	Base      int32
+	Size      int64
+}
+
+// ListResp answers MTListReq with the namespace contents.
+type ListResp struct {
+	OK    bool
+	Err   string
+	Names []string
+}
+
+// ContigReq is a contiguous read or write of logical range [Off, Off+N).
+// For writes, Data carries exactly the addressed server's bytes of the
+// range, in logical order.
+type ContigReq struct {
+	Layout FileLayout
+	Off    int64
+	N      int64
+	Data   []byte // writes only
+}
+
+// ListIOReq is a list read or write: logical file regions, at most
+// MaxListRegions per request. For writes, Data carries the addressed
+// server's bytes in list order.
+type ListIOReq struct {
+	Layout  FileLayout
+	Regions []datatype.Region
+	Data    []byte // writes only
+}
+
+// MaxListRegions is the protocol bound on regions per list request. The
+// operational cap the paper describes ("in our implementation by a factor
+// of 64") is mpiio.Hints.ListCap, which defaults to 64; the protocol
+// limit exists so ablations can sweep the cap.
+const MaxListRegions = 4096
+
+// DtypeReq is a datatype read or write: the file access is described by
+// a serialized dataloop tiled Count times at displacement Disp, starting
+// at stream position Pos, covering NBytes of stream. For writes, Data
+// carries the addressed server's bytes in stream order.
+type DtypeReq struct {
+	Layout FileLayout
+	Loop   []byte // encoded dataloop
+	Count  int64  // tiles of the loop in the view
+	Disp   int64  // byte displacement of tile 0
+	Pos    int64  // starting stream offset
+	NBytes int64  // stream bytes covered
+	// NoCoalesce disables server-side adjacent-region coalescing (the
+	// ablation of paper §3.2's optimization).
+	NoCoalesce bool
+	Data       []byte // writes only
+}
+
+// LocalSizeReq asks an I/O server for its local object size.
+type LocalSizeReq struct{ Layout FileLayout }
+
+// TruncateReq sets the local object size implied by logical Size.
+type TruncateReq struct {
+	Layout FileLayout
+	Size   int64 // logical file size
+}
+
+// RemoveObjReq deletes the local object.
+type RemoveObjReq struct{ Layout FileLayout }
+
+// IOResp answers every I/O server request.
+type IOResp struct {
+	OK   bool
+	Err  string
+	Size int64  // LocalSizeReq answer
+	Data []byte // read answers: the server's bytes in request order
+}
+
+// EncodeCreate marshals a CreateReq.
+func EncodeCreate(r *CreateReq) []byte {
+	e := NewEnc(MTCreateReq)
+	e.Str(r.Name)
+	e.I64(r.StripSize)
+	e.U32(uint32(r.NServers))
+	return e.B
+}
+
+// EncodeOpen marshals an OpenReq.
+func EncodeOpen(r *OpenReq) []byte {
+	e := NewEnc(MTOpenReq)
+	e.Str(r.Name)
+	return e.B
+}
+
+// EncodeRemove marshals a RemoveReq.
+func EncodeRemove(r *RemoveReq) []byte {
+	e := NewEnc(MTRemoveReq)
+	e.Str(r.Name)
+	return e.B
+}
+
+// EncodeListNames marshals a namespace listing request.
+func EncodeListNames() []byte { return NewEnc(MTListReq).B }
+
+// EncodeMetaResp marshals a MetaResp.
+func EncodeMetaResp(r *MetaResp) []byte {
+	e := NewEnc(MTMetaResp)
+	e.U8(b2u(r.OK))
+	e.Str(r.Err)
+	e.I64(int64(r.Handle))
+	e.I64(r.StripSize)
+	e.U32(uint32(r.NServers))
+	e.U32(uint32(r.Base))
+	e.I64(r.Size)
+	return e.B
+}
+
+// EncodeListResp marshals a ListResp.
+func EncodeListResp(r *ListResp) []byte {
+	e := NewEnc(MTListResp)
+	e.U8(b2u(r.OK))
+	e.Str(r.Err)
+	e.U32(uint32(len(r.Names)))
+	for _, n := range r.Names {
+		e.Str(n)
+	}
+	return e.B
+}
+
+// EncodeContig marshals a ContigReq as a read (MTReadContigReq) or write.
+func EncodeContig(r *ContigReq, write bool) []byte {
+	t := MTReadContigReq
+	if write {
+		t = MTWriteContigReq
+	}
+	e := NewEnc(t)
+	r.Layout.encode(e)
+	e.I64(r.Off)
+	e.I64(r.N)
+	if write {
+		e.Bytes(r.Data)
+	}
+	return e.B
+}
+
+// EncodeListIO marshals a ListIOReq.
+func EncodeListIO(r *ListIOReq, write bool) []byte {
+	t := MTReadListReq
+	if write {
+		t = MTWriteListReq
+	}
+	e := NewEnc(t)
+	r.Layout.encode(e)
+	e.U32(uint32(len(r.Regions)))
+	for _, reg := range r.Regions {
+		e.I64(reg.Off)
+		e.I64(reg.Len)
+	}
+	if write {
+		e.Bytes(r.Data)
+	}
+	return e.B
+}
+
+// EncodeDtype marshals a DtypeReq.
+func EncodeDtype(r *DtypeReq, write bool) []byte {
+	t := MTReadDtypeReq
+	if write {
+		t = MTWriteDtypeReq
+	}
+	e := NewEnc(t)
+	r.Layout.encode(e)
+	e.Bytes(r.Loop)
+	e.I64(r.Count)
+	e.I64(r.Disp)
+	e.I64(r.Pos)
+	e.I64(r.NBytes)
+	e.U8(b2u(r.NoCoalesce))
+	if write {
+		e.Bytes(r.Data)
+	}
+	return e.B
+}
+
+// EncodeLocalSize marshals a LocalSizeReq.
+func EncodeLocalSize(r *LocalSizeReq) []byte {
+	e := NewEnc(MTLocalSizeReq)
+	r.Layout.encode(e)
+	return e.B
+}
+
+// EncodeTruncate marshals a TruncateReq.
+func EncodeTruncate(r *TruncateReq) []byte {
+	e := NewEnc(MTTruncateReq)
+	r.Layout.encode(e)
+	e.I64(r.Size)
+	return e.B
+}
+
+// EncodeRemoveObj marshals a RemoveObjReq.
+func EncodeRemoveObj(r *RemoveObjReq) []byte {
+	e := NewEnc(MTRemoveObjReq)
+	r.Layout.encode(e)
+	return e.B
+}
+
+// EncodeIOResp marshals an IOResp.
+func EncodeIOResp(r *IOResp) []byte {
+	e := NewEnc(MTIOResp)
+	e.U8(b2u(r.OK))
+	e.Str(r.Err)
+	e.I64(r.Size)
+	e.Bytes(r.Data)
+	return e.B
+}
+
+// DecodeMsg parses any message, returning its type and the decoded
+// struct (a pointer to one of the *Req/*Resp types above).
+func DecodeMsg(b []byte) (MsgType, any, error) {
+	d := NewDec(b)
+	t := d.Type()
+	var v any
+	switch t {
+	case MTCreateReq:
+		r := &CreateReq{Name: d.Str(), StripSize: d.I64(), NServers: int32(d.U32())}
+		v = r
+	case MTOpenReq:
+		v = &OpenReq{Name: d.Str()}
+	case MTRemoveReq:
+		v = &RemoveReq{Name: d.Str()}
+	case MTListReq:
+		v = &struct{}{}
+	case MTMetaResp:
+		r := &MetaResp{}
+		r.OK = d.U8() != 0
+		r.Err = d.Str()
+		r.Handle = uint64(d.I64())
+		r.StripSize = d.I64()
+		r.NServers = int32(d.U32())
+		r.Base = int32(d.U32())
+		r.Size = d.I64()
+		v = r
+	case MTListResp:
+		r := &ListResp{}
+		r.OK = d.U8() != 0
+		r.Err = d.Str()
+		n := int(d.U32())
+		if n > len(b) { // names are at least 4 bytes each on the wire
+			d.fail()
+			break
+		}
+		r.Names = make([]string, 0, n)
+		for i := 0; i < n && d.Err == nil; i++ {
+			r.Names = append(r.Names, d.Str())
+		}
+		v = r
+	case MTReadContigReq, MTWriteContigReq:
+		r := &ContigReq{Layout: decodeLayout(d), Off: d.I64(), N: d.I64()}
+		if t == MTWriteContigReq {
+			r.Data = d.Bytes()
+		}
+		v = r
+	case MTReadListReq, MTWriteListReq:
+		r := &ListIOReq{Layout: decodeLayout(d)}
+		n := int(d.U32())
+		if n > MaxListRegions {
+			return t, nil, fmt.Errorf("wire: %d regions exceeds list cap %d", n, MaxListRegions)
+		}
+		r.Regions = make([]datatype.Region, 0, n)
+		for i := 0; i < n && d.Err == nil; i++ {
+			r.Regions = append(r.Regions, datatype.Region{Off: d.I64(), Len: d.I64()})
+		}
+		if t == MTWriteListReq {
+			r.Data = d.Bytes()
+		}
+		v = r
+	case MTReadDtypeReq, MTWriteDtypeReq:
+		r := &DtypeReq{Layout: decodeLayout(d)}
+		r.Loop = d.Bytes()
+		r.Count = d.I64()
+		r.Disp = d.I64()
+		r.Pos = d.I64()
+		r.NBytes = d.I64()
+		r.NoCoalesce = d.U8() != 0
+		if t == MTWriteDtypeReq {
+			r.Data = d.Bytes()
+		}
+		v = r
+	case MTLocalSizeReq:
+		v = &LocalSizeReq{Layout: decodeLayout(d)}
+	case MTTruncateReq:
+		v = &TruncateReq{Layout: decodeLayout(d), Size: d.I64()}
+	case MTRemoveObjReq:
+		v = &RemoveObjReq{Layout: decodeLayout(d)}
+	case MTIOResp:
+		r := &IOResp{}
+		r.OK = d.U8() != 0
+		r.Err = d.Str()
+		r.Size = d.I64()
+		r.Data = d.Bytes()
+		v = r
+	default:
+		return t, nil, fmt.Errorf("wire: unknown message type %d", uint8(t))
+	}
+	if err := d.Done(); err != nil {
+		return t, nil, err
+	}
+	return t, v, nil
+}
+
+func b2u(b bool) uint8 {
+	if b {
+		return 1
+	}
+	return 0
+}

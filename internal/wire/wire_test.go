@@ -1,0 +1,145 @@
+package wire
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"dtio/internal/datatype"
+)
+
+func roundTrip(t *testing.T, enc []byte, want any) {
+	t.Helper()
+	_, got, err := DecodeMsg(enc)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %+v\nwant %+v", got, want)
+	}
+}
+
+func sampleLayout() FileLayout {
+	return FileLayout{Handle: 42, StripSize: 65536, NServers: 16, Base: 3, ServerIdx: 7}
+}
+
+func TestCreateRoundTrip(t *testing.T) {
+	r := &CreateReq{Name: "checkpoint.dat", StripSize: 65536, NServers: 16}
+	roundTrip(t, EncodeCreate(r), r)
+}
+
+func TestOpenRemoveRoundTrip(t *testing.T) {
+	roundTrip(t, EncodeOpen(&OpenReq{Name: "f"}), &OpenReq{Name: "f"})
+	roundTrip(t, EncodeRemove(&RemoveReq{Name: "g"}), &RemoveReq{Name: "g"})
+}
+
+func TestMetaRespRoundTrip(t *testing.T) {
+	r := &MetaResp{OK: true, Handle: 9, StripSize: 1024, NServers: 4, Base: 1, Size: 1 << 40}
+	roundTrip(t, EncodeMetaResp(r), r)
+	r2 := &MetaResp{OK: false, Err: "no such file"}
+	roundTrip(t, EncodeMetaResp(r2), r2)
+}
+
+func TestListRespRoundTrip(t *testing.T) {
+	r := &ListResp{OK: true, Names: []string{"a", "bb", "ccc"}}
+	roundTrip(t, EncodeListResp(r), r)
+}
+
+func TestContigRoundTrip(t *testing.T) {
+	read := &ContigReq{Layout: sampleLayout(), Off: 100, N: 200}
+	roundTrip(t, EncodeContig(read, false), read)
+	write := &ContigReq{Layout: sampleLayout(), Off: 0, N: 3, Data: []byte{1, 2, 3}}
+	roundTrip(t, EncodeContig(write, true), write)
+}
+
+func TestListIORoundTrip(t *testing.T) {
+	r := &ListIOReq{
+		Layout:  sampleLayout(),
+		Regions: []datatype.Region{{Off: 0, Len: 10}, {Off: 100, Len: 5}},
+		Data:    []byte("0123456789abcde"),
+	}
+	roundTrip(t, EncodeListIO(r, true), r)
+}
+
+func TestListIOCapEnforced(t *testing.T) {
+	regions := make([]datatype.Region, MaxListRegions+1)
+	for i := range regions {
+		regions[i] = datatype.Region{Off: int64(i) * 10, Len: 4}
+	}
+	enc := EncodeListIO(&ListIOReq{Layout: sampleLayout(), Regions: regions}, false)
+	if _, _, err := DecodeMsg(enc); err == nil {
+		t.Fatal("over-cap list accepted")
+	}
+}
+
+func TestDtypeRoundTrip(t *testing.T) {
+	r := &DtypeReq{
+		Layout: sampleLayout(),
+		Loop:   []byte{1, 2, 3, 4},
+		Count:  7, Disp: 1000, Pos: 64, NBytes: 4096,
+		Data: []byte("xyz"),
+	}
+	roundTrip(t, EncodeDtype(r, true), r)
+	read := &DtypeReq{Layout: sampleLayout(), Loop: []byte{9}, Count: 1, NBytes: 10}
+	roundTrip(t, EncodeDtype(read, false), read)
+}
+
+func TestAdminRoundTrips(t *testing.T) {
+	roundTrip(t, EncodeLocalSize(&LocalSizeReq{Layout: sampleLayout()}), &LocalSizeReq{Layout: sampleLayout()})
+	roundTrip(t, EncodeTruncate(&TruncateReq{Layout: sampleLayout(), Size: 77}), &TruncateReq{Layout: sampleLayout(), Size: 77})
+	roundTrip(t, EncodeRemoveObj(&RemoveObjReq{Layout: sampleLayout()}), &RemoveObjReq{Layout: sampleLayout()})
+}
+
+func TestIORespRoundTrip(t *testing.T) {
+	r := &IOResp{OK: true, Size: 12, Data: []byte("payload")}
+	roundTrip(t, EncodeIOResp(r), r)
+	e := &IOResp{OK: false, Err: "boom", Data: []byte{}}
+	roundTrip(t, EncodeIOResp(e), e)
+}
+
+func TestDecodeGarbageAndTruncation(t *testing.T) {
+	if _, _, err := DecodeMsg(nil); err == nil {
+		t.Fatal("nil decoded")
+	}
+	if _, _, err := DecodeMsg([]byte{200}); err == nil {
+		t.Fatal("unknown type decoded")
+	}
+	good := EncodeDtype(&DtypeReq{Layout: sampleLayout(), Loop: []byte{1, 2}, Count: 1, NBytes: 5, Data: []byte("abcde")}, true)
+	for cut := 1; cut < len(good); cut++ {
+		if _, _, err := DecodeMsg(good[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	// Trailing garbage rejected too.
+	if _, _, err := DecodeMsg(append(good, 0)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}
+
+func TestPropertyContigFuzzRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		req := &ContigReq{
+			Layout: FileLayout{
+				Handle:    r.Uint64(),
+				StripSize: r.Int63(),
+				NServers:  int32(r.Intn(1000)),
+				Base:      int32(r.Intn(1000)),
+				ServerIdx: int32(r.Intn(1000)),
+			},
+			Off: r.Int63(), N: r.Int63(),
+		}
+		if r.Intn(2) == 0 {
+			req.Data = make([]byte, r.Intn(100))
+			r.Read(req.Data)
+			_, got, err := DecodeMsg(EncodeContig(req, true))
+			return err == nil && reflect.DeepEqual(got, req)
+		}
+		_, got, err := DecodeMsg(EncodeContig(req, false))
+		return err == nil && reflect.DeepEqual(got, req)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

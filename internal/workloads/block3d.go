@@ -1,0 +1,81 @@
+package workloads
+
+import (
+	"fmt"
+
+	"dtio/internal/datatype"
+)
+
+// Block3DConfig describes the ROMIO coll_perf.c three-dimensional block
+// test (paper §4.3): an N³ array of 4-byte elements block-decomposed over
+// a k³ process cube; each process reads or writes its block with a
+// contiguous memory buffer.
+type Block3DConfig struct {
+	N        int // array edge (600)
+	ElemSize int // element bytes (4)
+	Procs    int // process count; must be a perfect cube
+}
+
+// DefaultBlock3D returns the paper's configuration for p processes.
+func DefaultBlock3D(p int) Block3DConfig {
+	return Block3DConfig{N: 600, ElemSize: 4, Procs: p}
+}
+
+// cubeRoot returns k with k³ = p, or 0 if p is not a perfect cube.
+func cubeRoot(p int) int {
+	for k := 1; k*k*k <= p; k++ {
+		if k*k*k == p {
+			return k
+		}
+	}
+	return 0
+}
+
+// Validate reports configuration errors.
+func (c Block3DConfig) Validate() error {
+	k := cubeRoot(c.Procs)
+	if k == 0 {
+		return fmt.Errorf("workloads: %d processes is not a perfect cube", c.Procs)
+	}
+	if c.N%k != 0 {
+		return fmt.Errorf("workloads: array edge %d not divisible by cube edge %d", c.N, k)
+	}
+	if c.ElemSize <= 0 {
+		return fmt.Errorf("workloads: bad element size %d", c.ElemSize)
+	}
+	return nil
+}
+
+// BlockEdge reports the per-process block edge in elements.
+func (c Block3DConfig) BlockEdge() int { return c.N / cubeRoot(c.Procs) }
+
+// BlockBytes reports the bytes each process accesses.
+func (c Block3DConfig) BlockBytes() int64 {
+	e := int64(c.BlockEdge())
+	return e * e * e * int64(c.ElemSize)
+}
+
+// TotalBytes reports the full array size.
+func (c Block3DConfig) TotalBytes() int64 {
+	n := int64(c.N)
+	return n * n * n * int64(c.ElemSize)
+}
+
+// View returns rank's file view: its subarray block of the N³ array.
+// Blocks are assigned in C order over the process cube.
+func (c Block3DConfig) View(rank int) *datatype.Type {
+	k := cubeRoot(c.Procs)
+	b := c.BlockEdge()
+	z := rank % k
+	y := (rank / k) % k
+	x := rank / (k * k)
+	return datatype.Subarray(
+		[]int{c.N, c.N, c.N},
+		[]int{b, b, b},
+		[]int{x * b, y * b, z * b},
+		datatype.OrderC, datatype.Bytes(int64(c.ElemSize)))
+}
+
+// Elem returns the oracle value of the array element at linear index i
+// (in elements) — used to verify block reads and writes.
+func Block3DElem(i int64) byte { return byte(i*2654435761 + (i >> 13)) }

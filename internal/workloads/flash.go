@@ -1,0 +1,164 @@
+package workloads
+
+import (
+	"fmt"
+
+	"dtio/internal/datatype"
+)
+
+// FlashConfig describes the FLASH I/O checkpoint simulation (paper
+// §4.4). Each process holds Blocks AMR blocks; a block is an
+// (NB+2G)³ allocation of cells whose interior is NB³; every cell holds
+// Vars variables of ElemSize bytes, variable-minor in memory. The
+// checkpoint file is variable-major: all of variable 0 (for every
+// process, then every block), then variable 1, and so on — so memory
+// regions are single elements and file regions are whole-block runs.
+type FlashConfig struct {
+	Blocks   int // blocks per process (80)
+	NB       int // interior cells per dimension (8)
+	Guard    int // guard cells per side (4)
+	Vars     int // variables per cell (24)
+	ElemSize int // bytes per variable (8)
+	Procs    int // number of clients
+}
+
+// DefaultFlash returns the paper's configuration for p clients.
+func DefaultFlash(p int) FlashConfig {
+	return FlashConfig{Blocks: 80, NB: 8, Guard: 4, Vars: 24, ElemSize: 8, Procs: p}
+}
+
+// Validate reports configuration errors.
+func (c FlashConfig) Validate() error {
+	if c.Blocks <= 0 || c.NB <= 0 || c.Guard < 0 || c.Vars <= 0 || c.ElemSize <= 0 || c.Procs <= 0 {
+		return fmt.Errorf("workloads: bad FLASH config %+v", c)
+	}
+	return nil
+}
+
+// side reports the allocated block edge including guard cells.
+func (c FlashConfig) side() int { return c.NB + 2*c.Guard }
+
+// CellBytes reports the bytes of one cell (all variables).
+func (c FlashConfig) CellBytes() int64 { return int64(c.Vars) * int64(c.ElemSize) }
+
+// BlockAllocBytes reports the in-memory bytes of one block allocation.
+func (c FlashConfig) BlockAllocBytes() int64 {
+	s := int64(c.side())
+	return s * s * s * c.CellBytes()
+}
+
+// MemBytes reports the in-memory buffer size per process.
+func (c FlashConfig) MemBytes() int64 {
+	return int64(c.Blocks) * c.BlockAllocBytes()
+}
+
+// InteriorElems reports the interior cells of one block.
+func (c FlashConfig) InteriorElems() int64 {
+	n := int64(c.NB)
+	return n * n * n
+}
+
+// BytesPerClient reports the checkpoint bytes each process writes
+// (7.5 MB in the paper's configuration).
+func (c FlashConfig) BytesPerClient() int64 {
+	return int64(c.Blocks) * c.InteriorElems() * c.CellBytes()
+}
+
+// TotalBytes reports the full checkpoint size.
+func (c FlashConfig) TotalBytes() int64 {
+	return c.BytesPerClient() * int64(c.Procs)
+}
+
+// MemType returns the memory datatype of one process's checkpoint data,
+// in file-stream order (variable-major, then block, then z, y, x): the
+// noncontiguous-in-memory side of the paper's hardest pattern. Every
+// leaf region is a single element.
+func (c FlashConfig) MemType() *datatype.Type {
+	elem := datatype.Bytes(int64(c.ElemSize))
+	s := int64(c.side())
+	cell := c.CellBytes()
+	// One variable of one block's interior: NB³ single elements strided
+	// by cell within rows, rows strided by s*cell, planes by s²*cell.
+	row := datatype.HVector(c.NB, 1, cell, elem)
+	plane := datatype.HVector(c.NB, 1, s*cell, row)
+	cube := datatype.HVector(c.NB, 1, s*s*cell, plane)
+	// Guard offset of the first interior cell.
+	g := int64(c.Guard)
+	guardOff := ((g*s+g)*s + g) * cell
+	// Variable-major over (var, block).
+	displs := make([]int64, 0, c.Vars*c.Blocks)
+	for v := 0; v < c.Vars; v++ {
+		for b := 0; b < c.Blocks; b++ {
+			displs = append(displs, int64(b)*c.BlockAllocBytes()+guardOff+int64(v)*int64(c.ElemSize))
+		}
+	}
+	return datatype.HBlockIndexed(1, displs, cube)
+}
+
+// FileType returns rank's file datatype: for each variable, a contiguous
+// run of this rank's Blocks×NB³ elements at the variable-major offset.
+func (c FlashConfig) FileType(rank int) *datatype.Type {
+	perRankVar := int64(c.Blocks) * c.InteriorElems() * int64(c.ElemSize)
+	lens := make([]int64, c.Vars)
+	displs := make([]int64, c.Vars)
+	for v := 0; v < c.Vars; v++ {
+		lens[v] = int64(c.Blocks) * c.InteriorElems()
+		displs[v] = (int64(v)*int64(c.Procs) + int64(rank)) * perRankVar
+	}
+	t := datatype.HIndexed(lens, displs, datatype.Bytes(int64(c.ElemSize)))
+	// Extent covers the whole checkpoint so the view could tile.
+	return datatype.Resized(t, 0, perRankVar*int64(c.Vars)*int64(c.Procs))
+}
+
+// FillMemory writes the oracle pattern into a process's block buffer:
+// interior element (b, v, z, y, x) gets a value derived from its global
+// identity; guard cells get 0xFF so leaks are visible.
+func (c FlashConfig) FillMemory(rank int, buf []byte) {
+	for i := range buf {
+		buf[i] = 0xFF
+	}
+	s := c.side()
+	cell := int(c.CellBytes())
+	for b := 0; b < c.Blocks; b++ {
+		base := b * int(c.BlockAllocBytes())
+		for z := 0; z < c.NB; z++ {
+			for y := 0; y < c.NB; y++ {
+				for x := 0; x < c.NB; x++ {
+					cellOff := base + (((z+c.Guard)*s+(y+c.Guard))*s+(x+c.Guard))*cell
+					for v := 0; v < c.Vars; v++ {
+						val := c.OracleElem(rank, b, v, z, y, x)
+						for e := 0; e < c.ElemSize; e++ {
+							buf[cellOff+v*c.ElemSize+e] = val + byte(e)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// OracleElem returns the first byte of the oracle value for an interior
+// element.
+func (c FlashConfig) OracleElem(rank, b, v, z, y, x int) byte {
+	return byte(rank*31 + b*17 + v*5 + z*3 + y*2 + x)
+}
+
+// FileOracle computes the expected checkpoint byte at file offset off.
+func (c FlashConfig) FileOracle(off int64) byte {
+	es := int64(c.ElemSize)
+	elem := off / es
+	e := off % es
+	perVar := int64(c.Procs) * int64(c.Blocks) * c.InteriorElems()
+	v := elem / perVar
+	rest := elem % perVar
+	perRank := int64(c.Blocks) * c.InteriorElems()
+	rank := rest / perRank
+	rest %= perRank
+	b := rest / c.InteriorElems()
+	rest %= c.InteriorElems()
+	n := int64(c.NB)
+	z := rest / (n * n)
+	y := (rest / n) % n
+	x := rest % n
+	return c.OracleElem(int(rank), int(b), int(v), int(z), int(y), int(x)) + byte(e)
+}

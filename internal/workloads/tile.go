@@ -1,0 +1,90 @@
+// Package workloads constructs the three evaluation workloads of the
+// paper — the tile reader, the ROMIO three-dimensional block test, and
+// the FLASH I/O checkpoint — as MPI datatypes plus verification oracles.
+package workloads
+
+import (
+	"fmt"
+
+	"dtio/internal/datatype"
+)
+
+// TileConfig describes the tile reader benchmark (paper §4.2): an array
+// of display tiles, each backed by one compute node reading its portion
+// of every frame, with horizontal and vertical overlap between tiles.
+type TileConfig struct {
+	TilesX, TilesY int // display grid (3 x 2)
+	TileW, TileH   int // pixels per tile (1024 x 768)
+	Depth          int // bytes per pixel (3: 24-bit colour)
+	OverlapX       int // horizontal pixel overlap (270)
+	OverlapY       int // vertical pixel overlap (128)
+	Frames         int // frames in the set (100)
+}
+
+// DefaultTile returns the paper's configuration.
+func DefaultTile() TileConfig {
+	return TileConfig{
+		TilesX: 3, TilesY: 2,
+		TileW: 1024, TileH: 768,
+		Depth:    3,
+		OverlapX: 270, OverlapY: 128,
+		Frames: 100,
+	}
+}
+
+// Validate reports configuration errors.
+func (c TileConfig) Validate() error {
+	if c.TilesX <= 0 || c.TilesY <= 0 || c.TileW <= 0 || c.TileH <= 0 || c.Depth <= 0 || c.Frames <= 0 {
+		return fmt.Errorf("workloads: non-positive tile dimension: %+v", c)
+	}
+	if c.OverlapX < 0 || c.OverlapX >= c.TileW || c.OverlapY < 0 || c.OverlapY >= c.TileH {
+		return fmt.Errorf("workloads: overlap out of range: %+v", c)
+	}
+	return nil
+}
+
+// NumClients reports the number of compute nodes (one per tile).
+func (c TileConfig) NumClients() int { return c.TilesX * c.TilesY }
+
+// FrameW reports frame width in pixels (tiles minus overlaps).
+func (c TileConfig) FrameW() int { return c.TilesX*c.TileW - (c.TilesX-1)*c.OverlapX }
+
+// FrameH reports frame height in pixels.
+func (c TileConfig) FrameH() int { return c.TilesY*c.TileH - (c.TilesY-1)*c.OverlapY }
+
+// FrameBytes reports the bytes of one frame.
+func (c TileConfig) FrameBytes() int64 {
+	return int64(c.FrameW()) * int64(c.FrameH()) * int64(c.Depth)
+}
+
+// TileBytes reports the bytes one client reads per frame.
+func (c TileConfig) TileBytes() int64 {
+	return int64(c.TileW) * int64(c.TileH) * int64(c.Depth)
+}
+
+// View returns rank's file view for one frame: a 2-D byte subarray of
+// the frame whose extent is the full frame, so consecutive frames tile.
+// Rank r drives tile (r % TilesX, r / TilesX).
+func (c TileConfig) View(rank int) *datatype.Type {
+	tx := rank % c.TilesX
+	ty := rank / c.TilesX
+	rowBytes := c.FrameW() * c.Depth
+	return datatype.Subarray(
+		[]int{c.FrameH(), rowBytes},
+		[]int{c.TileH, c.TileW * c.Depth},
+		[]int{ty * (c.TileH - c.OverlapY), tx * (c.TileW - c.OverlapX) * c.Depth},
+		datatype.OrderC, datatype.Byte)
+}
+
+// FramePixel returns the deterministic byte value of byte i of frame f,
+// the verification oracle for tile reads.
+func FramePixel(f int, i int64) byte {
+	return byte(int64(f)*131 + i*7 + (i >> 11))
+}
+
+// FillFrame writes the oracle pattern for frame f into buf.
+func FillFrame(f int, buf []byte) {
+	for i := range buf {
+		buf[i] = FramePixel(f, int64(i))
+	}
+}

@@ -1,0 +1,233 @@
+package workloads
+
+import (
+	"testing"
+
+	"dtio/internal/datatype"
+)
+
+func TestTilePaperNumbers(t *testing.T) {
+	c := DefaultTile()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.FrameW() != 2532 || c.FrameH() != 1408 {
+		t.Fatalf("frame %dx%d, paper says 2532x1408", c.FrameW(), c.FrameH())
+	}
+	// Paper: "Each frame is 10.2 MBytes".
+	if c.FrameBytes() != 10695168 {
+		t.Fatalf("frame bytes %d", c.FrameBytes())
+	}
+	// Paper Table 1: desired data per client 2.25 MB.
+	if c.TileBytes() != 1024*768*3 {
+		t.Fatalf("tile bytes %d", c.TileBytes())
+	}
+	// Paper Table 1: POSIX I/O requires 768 ops per client per frame.
+	view := c.View(0)
+	if n := view.NumRegions(); n != 768 {
+		t.Fatalf("tile view has %d regions, want 768", n)
+	}
+	if view.Size() != c.TileBytes() {
+		t.Fatalf("view size %d", view.Size())
+	}
+	if view.Extent() != c.FrameBytes() {
+		t.Fatalf("view extent %d != frame %d", view.Extent(), c.FrameBytes())
+	}
+}
+
+func TestTileViewsCoverFrame(t *testing.T) {
+	c := DefaultTile()
+	// The union of all tiles covers every frame byte (overlaps included).
+	covered := make([]bool, c.FrameBytes())
+	for r := 0; r < c.NumClients(); r++ {
+		c.View(r).Walk(0, func(off, n int64) bool {
+			for i := off; i < off+n; i++ {
+				covered[i] = true
+			}
+			return true
+		})
+	}
+	for i, b := range covered {
+		if !b {
+			t.Fatalf("frame byte %d uncovered", i)
+		}
+	}
+}
+
+func TestTileOverlapSharedBytes(t *testing.T) {
+	c := DefaultTile()
+	// Tiles 0 and 1 overlap by OverlapX pixels per row.
+	a := regionsSet(c.View(0))
+	b := regionsSet(c.View(1))
+	shared := int64(0)
+	for off := range a {
+		if b[off] {
+			shared++
+		}
+	}
+	want := int64(c.OverlapX) * int64(c.Depth) * int64(c.TileH)
+	if shared != want {
+		t.Fatalf("shared bytes %d want %d", shared, want)
+	}
+}
+
+func regionsSet(ty *datatype.Type) map[int64]bool {
+	m := make(map[int64]bool)
+	ty.Walk(0, func(off, n int64) bool {
+		for i := off; i < off+n; i++ {
+			m[i] = true
+		}
+		return true
+	})
+	return m
+}
+
+func TestBlock3DPaperNumbers(t *testing.T) {
+	for _, tc := range []struct {
+		p        int
+		desired  int64 // Table 2 "Desired Data per Client"
+		posixOps int64 // Table 2 POSIX ops
+	}{
+		{8, 108000000, 90000},
+		{27, 32000000, 40000},
+		{64, 13500000, 22500},
+	} {
+		c := DefaultBlock3D(tc.p)
+		if err := c.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if c.BlockBytes() != tc.desired {
+			t.Errorf("p=%d: block bytes %d want %d", tc.p, c.BlockBytes(), tc.desired)
+		}
+		view := c.View(0)
+		if n := view.NumRegions(); n != tc.posixOps {
+			t.Errorf("p=%d: regions %d want %d", tc.p, n, tc.posixOps)
+		}
+	}
+}
+
+func TestBlock3DBlocksPartitionArray(t *testing.T) {
+	c := Block3DConfig{N: 12, ElemSize: 4, Procs: 8}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	seen := make([]int, c.TotalBytes())
+	for r := 0; r < c.Procs; r++ {
+		c.View(r).Walk(0, func(off, n int64) bool {
+			for i := off; i < off+n; i++ {
+				seen[i]++
+			}
+			return true
+		})
+	}
+	for i, n := range seen {
+		if n != 1 {
+			t.Fatalf("byte %d covered %d times", i, n)
+		}
+	}
+}
+
+func TestBlock3DRejectsBadProcs(t *testing.T) {
+	if err := DefaultBlock3D(10).Validate(); err == nil {
+		t.Fatal("10 procs accepted")
+	}
+	if err := (Block3DConfig{N: 10, ElemSize: 4, Procs: 27}).Validate(); err == nil {
+		t.Fatal("indivisible edge accepted")
+	}
+}
+
+func TestFlashPaperNumbers(t *testing.T) {
+	c := DefaultFlash(2)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Paper: desired 7.50 MB/client; POSIX ops 983,040; adds 7 MB... per
+	// client ("Every processor adds 7 MBytes to the file": 7.5 MB data).
+	if c.BytesPerClient() != 7864320 {
+		t.Fatalf("bytes/client %d", c.BytesPerClient())
+	}
+	mem := c.MemType()
+	if mem.Size() != c.BytesPerClient() {
+		t.Fatalf("mem type size %d", mem.Size())
+	}
+	if n := mem.NumRegions(); n != 983040 {
+		t.Fatalf("mem regions %d want 983040", n)
+	}
+	ft := c.FileType(0)
+	if ft.Size() != c.BytesPerClient() {
+		t.Fatalf("file type size %d", ft.Size())
+	}
+	if n := ft.NumRegions(); n != int64(c.Vars) {
+		t.Fatalf("file regions %d want %d", n, c.Vars)
+	}
+}
+
+func TestFlashFileTypesPartitionCheckpoint(t *testing.T) {
+	c := FlashConfig{Blocks: 3, NB: 2, Guard: 1, Vars: 4, ElemSize: 8, Procs: 3}
+	seen := make([]int, c.TotalBytes())
+	for r := 0; r < c.Procs; r++ {
+		c.FileType(r).Walk(0, func(off, n int64) bool {
+			for i := off; i < off+n; i++ {
+				seen[i]++
+			}
+			return true
+		})
+	}
+	for i, n := range seen {
+		if n != 1 {
+			t.Fatalf("checkpoint byte %d covered %d times", i, n)
+		}
+	}
+}
+
+func TestFlashMemOracleMatchesFileOracle(t *testing.T) {
+	// Packing the memory buffer through MemType in stream order must
+	// produce exactly the FileOracle bytes at the FileType offsets.
+	c := FlashConfig{Blocks: 2, NB: 2, Guard: 1, Vars: 3, ElemSize: 4, Procs: 2}
+	for rank := 0; rank < c.Procs; rank++ {
+		buf := make([]byte, c.MemBytes())
+		c.FillMemory(rank, buf)
+		mem := c.MemType()
+		stream := make([]byte, mem.Size())
+		if err := datatype.Pack(buf, mem, 1, stream); err != nil {
+			t.Fatal(err)
+		}
+		//
+
+		pos := int64(0)
+		ok := true
+		c.FileType(rank).Walk(0, func(off, n int64) bool {
+			for i := int64(0); i < n; i++ {
+				if stream[pos+i] != c.FileOracle(off+i) {
+					t.Errorf("rank %d: stream byte %d != oracle at file offset %d", rank, pos+i, off+i)
+					ok = false
+					return false
+				}
+			}
+			pos += n
+			return true
+		})
+		if !ok {
+			return
+		}
+		if pos != mem.Size() {
+			t.Fatalf("stream walk covered %d of %d", pos, mem.Size())
+		}
+	}
+}
+
+func TestFlashGuardCellsUntouched(t *testing.T) {
+	c := FlashConfig{Blocks: 1, NB: 2, Guard: 1, Vars: 2, ElemSize: 4, Procs: 1}
+	buf := make([]byte, c.MemBytes())
+	c.FillMemory(0, buf)
+	// The memory type must only touch non-0xFF bytes... i.e. every byte
+	// the type covers was set by FillMemory's interior loop.
+	c.MemType().Walk(0, func(off, n int64) bool {
+		for i := off; i < off+n; i++ {
+			if buf[i] == 0xFF {
+				t.Fatalf("mem type touches guard byte %d", i)
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,321 @@
+// Package sdf implements a minimal HDF5-like Structured Data Format on
+// top of the dtio parallel file system: named n-dimensional datasets
+// with attributes inside one container file, accessed by hyperslab
+// (start/count/stride per dimension).
+//
+// The paper's introduction motivates exactly this stack: scientists use
+// high-level libraries (HDF5, netCDF) whose structured selections flow
+// down through MPI-IO to the file system. Here a hyperslab becomes a
+// derived datatype, and a single datatype I/O operation moves it —
+// the paper notes "nothing precludes using the same approach to directly
+// describe datatypes from other APIs, such as HDF5 hyperslabs" (§3).
+//
+// Container layout:
+//
+//	[0, 8)            magic "SDFv1\0\0\0"
+//	[8, 12)           little-endian u32 header capacity H
+//	[12, 12+H)        JSON header: datasets, dims, attributes, allocation
+//	[12+H, ...)       dataset bodies, allocated sequentially
+package sdf
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+
+	"dtio"
+)
+
+const (
+	magic     = "SDFv1\x00\x00\x00"
+	headerCap = 64 * 1024
+	dataBase  = int64(len(magic)) + 4 + headerCap
+)
+
+// header is the container metadata, stored as JSON.
+type header struct {
+	Next     int64               `json:"next"` // next free data offset
+	Datasets map[string]*dsEntry `json:"datasets"`
+}
+
+type dsEntry struct {
+	Dims     []int64           `json:"dims"`
+	ElemSize int64             `json:"elem_size"`
+	Offset   int64             `json:"offset"`
+	Attrs    map[string]string `json:"attrs,omitempty"`
+}
+
+func (e *dsEntry) elems() int64 {
+	n := int64(1)
+	for _, d := range e.Dims {
+		n *= d
+	}
+	return n
+}
+
+// Store is an open container.
+type Store struct {
+	fs   *dtio.FS
+	f    *dtio.File
+	name string
+	hdr  header
+}
+
+// Create creates a new container file on fs.
+func Create(fs *dtio.FS, name string) (*Store, error) {
+	f, err := fs.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{
+		fs:   fs,
+		f:    f,
+		name: name,
+		hdr:  header{Next: dataBase, Datasets: map[string]*dsEntry{}},
+	}
+	if err := s.Flush(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Open opens an existing container.
+func Open(fs *dtio.FS, name string) (*Store, error) {
+	f, err := fs.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{fs: fs, f: f, name: name}
+	if err := s.readHeader(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Flush writes the header back; call it after creating datasets or
+// setting attributes (Close does it too).
+func (s *Store) Flush() error {
+	body, err := json.Marshal(&s.hdr)
+	if err != nil {
+		return err
+	}
+	if len(body) > headerCap {
+		return fmt.Errorf("sdf: header is %d bytes, capacity %d", len(body), headerCap)
+	}
+	buf := make([]byte, dataBase)
+	copy(buf, magic)
+	binary.LittleEndian.PutUint32(buf[len(magic):], uint32(len(body)))
+	copy(buf[len(magic)+4:], body)
+	return s.f.Write(0, buf, dtio.Bytes(dataBase), 1)
+}
+
+// Close flushes the header.
+func (s *Store) Close() error { return s.Flush() }
+
+func (s *Store) readHeader() error {
+	buf := make([]byte, dataBase)
+	if err := s.f.Read(0, buf, dtio.Bytes(dataBase), 1); err != nil {
+		return err
+	}
+	if string(buf[:len(magic)]) != magic {
+		return fmt.Errorf("sdf: %s is not an SDF container", s.name)
+	}
+	n := binary.LittleEndian.Uint32(buf[len(magic):])
+	if n > headerCap {
+		return errors.New("sdf: corrupt header length")
+	}
+	if err := json.Unmarshal(buf[len(magic)+4:len(magic)+4+int(n)], &s.hdr); err != nil {
+		return fmt.Errorf("sdf: corrupt header: %w", err)
+	}
+	if s.hdr.Datasets == nil {
+		s.hdr.Datasets = map[string]*dsEntry{}
+	}
+	return nil
+}
+
+// SetMethod selects the access method used for dataset I/O.
+func (s *Store) SetMethod(m dtio.Method) { s.f.SetMethod(m) }
+
+// Datasets lists dataset names, sorted.
+func (s *Store) Datasets() []string {
+	out := make([]string, 0, len(s.hdr.Datasets))
+	for n := range s.hdr.Datasets {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Dataset is a named n-dimensional array in a container.
+type Dataset struct {
+	s     *Store
+	name  string
+	entry *dsEntry
+}
+
+// CreateDataset adds a dataset with the given element size and shape
+// (C order) and flushes the header.
+func (s *Store) CreateDataset(name string, elemSize int64, dims ...int64) (*Dataset, error) {
+	if name == "" {
+		return nil, errors.New("sdf: empty dataset name")
+	}
+	if _, ok := s.hdr.Datasets[name]; ok {
+		return nil, fmt.Errorf("sdf: dataset exists: %s", name)
+	}
+	if elemSize <= 0 || len(dims) == 0 {
+		return nil, fmt.Errorf("sdf: bad shape (elem %d, %d dims)", elemSize, len(dims))
+	}
+	total := elemSize
+	for _, d := range dims {
+		if d <= 0 {
+			return nil, fmt.Errorf("sdf: non-positive dimension %d", d)
+		}
+		total *= d
+	}
+	e := &dsEntry{
+		Dims:     append([]int64(nil), dims...),
+		ElemSize: elemSize,
+		Offset:   s.hdr.Next,
+	}
+	s.hdr.Next += total
+	s.hdr.Datasets[name] = e
+	if err := s.Flush(); err != nil {
+		delete(s.hdr.Datasets, name)
+		s.hdr.Next = e.Offset
+		return nil, err
+	}
+	return &Dataset{s: s, name: name, entry: e}, nil
+}
+
+// Dataset opens an existing dataset.
+func (s *Store) Dataset(name string) (*Dataset, error) {
+	e, ok := s.hdr.Datasets[name]
+	if !ok {
+		return nil, fmt.Errorf("sdf: no such dataset: %s", name)
+	}
+	return &Dataset{s: s, name: name, entry: e}, nil
+}
+
+// Name reports the dataset name.
+func (d *Dataset) Name() string { return d.name }
+
+// Dims reports the shape (a copy).
+func (d *Dataset) Dims() []int64 { return append([]int64(nil), d.entry.Dims...) }
+
+// ElemSize reports the element size in bytes.
+func (d *Dataset) ElemSize() int64 { return d.entry.ElemSize }
+
+// SetAttr records a string attribute; Flush/Close persists it.
+func (d *Dataset) SetAttr(key, value string) {
+	if d.entry.Attrs == nil {
+		d.entry.Attrs = map[string]string{}
+	}
+	d.entry.Attrs[key] = value
+}
+
+// Attr reads an attribute.
+func (d *Dataset) Attr(key string) (string, bool) {
+	v, ok := d.entry.Attrs[key]
+	return v, ok
+}
+
+// Slab selects a hyperslab: per dimension, Count elements starting at
+// Start with the given Stride (in elements; stride 0 or 1 means dense).
+type Slab struct {
+	Start  []int64
+	Count  []int64
+	Stride []int64
+}
+
+// Dense returns the slab covering the whole dataset.
+func (d *Dataset) Dense() Slab {
+	n := len(d.entry.Dims)
+	s := Slab{Start: make([]int64, n), Count: d.Dims(), Stride: make([]int64, n)}
+	for i := range s.Stride {
+		s.Stride[i] = 1
+	}
+	return s
+}
+
+// Elems reports the number of elements a slab selects.
+func (sl Slab) Elems() int64 {
+	n := int64(1)
+	for _, c := range sl.Count {
+		n *= c
+	}
+	return n
+}
+
+// datatype builds the derived datatype of the slab over the dataset,
+// with extent equal to the full dataset.
+func (d *Dataset) datatype(sl Slab) (*dtio.Type, error) {
+	dims := d.entry.Dims
+	n := len(dims)
+	if len(sl.Start) != n || len(sl.Count) != n || len(sl.Stride) != n {
+		return nil, fmt.Errorf("sdf: slab rank %d != dataset rank %d", len(sl.Start), n)
+	}
+	// rowBytes[d] = bytes per step of dimension d.
+	rowBytes := make([]int64, n)
+	b := d.entry.ElemSize
+	for i := n - 1; i >= 0; i-- {
+		rowBytes[i] = b
+		b *= dims[i]
+	}
+	t := dtio.Bytes(d.entry.ElemSize)
+	for i := n - 1; i >= 0; i-- {
+		start, count, stride := sl.Start[i], sl.Count[i], sl.Stride[i]
+		if stride <= 0 {
+			stride = 1
+		}
+		if start < 0 || count <= 0 || start+(count-1)*stride+1 > dims[i] {
+			return nil, fmt.Errorf("sdf: slab out of range in dim %d (start %d count %d stride %d of %d)",
+				i, start, count, stride, dims[i])
+		}
+		dim := dtio.HVector(int(count), 1, stride*rowBytes[i], t)
+		if start > 0 {
+			dim = dtio.HIndexed([]int64{1}, []int64{start * rowBytes[i]}, dim)
+		}
+		t = dtio.Resized(dim, 0, dims[i]*rowBytes[i])
+	}
+	return t, nil
+}
+
+// rw performs the slab access; collective selects the *All path.
+func (d *Dataset) rw(sl Slab, buf []byte, write, collective bool) error {
+	ty, err := d.datatype(sl)
+	if err != nil {
+		return err
+	}
+	nbytes := sl.Elems() * d.entry.ElemSize
+	if int64(len(buf)) < nbytes {
+		return fmt.Errorf("sdf: buffer is %d bytes, slab needs %d", len(buf), nbytes)
+	}
+	if err := d.s.f.SetView(d.entry.Offset, dtio.Bytes(d.entry.ElemSize), ty); err != nil {
+		return err
+	}
+	mem := dtio.Bytes(nbytes)
+	switch {
+	case write && collective:
+		return d.s.f.WriteAll(0, buf[:nbytes], mem, 1)
+	case write:
+		return d.s.f.Write(0, buf[:nbytes], mem, 1)
+	case collective:
+		return d.s.f.ReadAll(0, buf[:nbytes], mem, 1)
+	default:
+		return d.s.f.Read(0, buf[:nbytes], mem, 1)
+	}
+}
+
+// WriteSlab writes buf (dense, C order) into the hyperslab.
+func (d *Dataset) WriteSlab(sl Slab, buf []byte) error { return d.rw(sl, buf, true, false) }
+
+// ReadSlab reads the hyperslab into buf (dense, C order).
+func (d *Dataset) ReadSlab(sl Slab, buf []byte) error { return d.rw(sl, buf, false, false) }
+
+// WriteSlabAll is the collective write (call on every rank of a world).
+func (d *Dataset) WriteSlabAll(sl Slab, buf []byte) error { return d.rw(sl, buf, true, true) }
+
+// ReadSlabAll is the collective read.
+func (d *Dataset) ReadSlabAll(sl Slab, buf []byte) error { return d.rw(sl, buf, false, true) }

@@ -1,0 +1,324 @@
+package sdf
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dtio"
+)
+
+func newStore(t *testing.T) (*dtio.Cluster, *Store) {
+	t.Helper()
+	c, err := dtio.NewCluster(dtio.ClusterConfig{Servers: 4, StripSize: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	s, err := Create(c.Mount(), "data.sdf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, s
+}
+
+func TestCreateOpenRoundTrip(t *testing.T) {
+	c, s := newStore(t)
+	ds, err := s.CreateDataset("temperature", 8, 10, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds.SetAttr("units", "kelvin")
+	ds.SetAttr("source", "sensor-7")
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(c.Mount(), "data.sdf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.Datasets(); len(got) != 1 || got[0] != "temperature" {
+		t.Fatalf("datasets=%v", got)
+	}
+	ds2, err := s2.Dataset("temperature")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds2.ElemSize() != 8 || len(ds2.Dims()) != 2 || ds2.Dims()[0] != 10 || ds2.Dims()[1] != 20 {
+		t.Fatalf("shape %v x %d", ds2.Dims(), ds2.ElemSize())
+	}
+	if v, ok := ds2.Attr("units"); !ok || v != "kelvin" {
+		t.Fatalf("attr=%q,%v", v, ok)
+	}
+}
+
+func TestOpenRejectsNonContainer(t *testing.T) {
+	c, _ := newStore(t)
+	fs := c.Mount()
+	f, _ := fs.Create("junk")
+	f.Write(0, []byte("not an sdf file at all........"), dtio.Bytes(30), 1)
+	if _, err := Open(fs, "junk"); err == nil {
+		t.Fatal("junk accepted as container")
+	}
+}
+
+func TestDenseWriteRead(t *testing.T) {
+	_, s := newStore(t)
+	ds, err := s.CreateDataset("m", 4, 6, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 6*8*4)
+	for i := range data {
+		data[i] = byte(i * 3)
+	}
+	if err := ds.WriteSlab(ds.Dense(), data); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if err := ds.ReadSlab(ds.Dense(), got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("dense round trip corrupted")
+	}
+}
+
+func TestHyperslabColumn(t *testing.T) {
+	_, s := newStore(t)
+	ds, _ := s.CreateDataset("grid", 1, 4, 6)
+	full := make([]byte, 24)
+	for i := range full {
+		full[i] = byte(i)
+	}
+	ds.WriteSlab(ds.Dense(), full)
+	// Column 2: elements (0,2),(1,2),(2,2),(3,2) -> bytes 2,8,14,20.
+	col := Slab{Start: []int64{0, 2}, Count: []int64{4, 1}, Stride: []int64{1, 1}}
+	got := make([]byte, 4)
+	if err := ds.ReadSlab(col, got); err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{2, 8, 14, 20}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("column=%v want %v", got, want)
+	}
+	// Overwrite the column and check neighbors untouched.
+	if err := ds.WriteSlab(col, []byte{100, 101, 102, 103}); err != nil {
+		t.Fatal(err)
+	}
+	ds.ReadSlab(ds.Dense(), full)
+	if full[2] != 100 || full[8] != 101 || full[1] != 1 || full[3] != 3 {
+		t.Fatalf("after column write: %v", full[:10])
+	}
+}
+
+func TestHyperslabStride(t *testing.T) {
+	_, s := newStore(t)
+	ds, _ := s.CreateDataset("v", 2, 12)
+	full := make([]byte, 24)
+	for i := range full {
+		full[i] = byte(i + 1)
+	}
+	ds.WriteSlab(ds.Dense(), full)
+	// Every third element starting at 1: elements 1,4,7,10.
+	sl := Slab{Start: []int64{1}, Count: []int64{4}, Stride: []int64{3}}
+	got := make([]byte, 8)
+	if err := ds.ReadSlab(sl, got); err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{3, 4, 9, 10, 15, 16, 21, 22}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+func TestSlabValidation(t *testing.T) {
+	_, s := newStore(t)
+	ds, _ := s.CreateDataset("x", 1, 4, 4)
+	buf := make([]byte, 64)
+	bad := []Slab{
+		{Start: []int64{0}, Count: []int64{4}, Stride: []int64{1}},           // wrong rank
+		{Start: []int64{0, 0}, Count: []int64{5, 1}, Stride: []int64{1, 1}},  // too long
+		{Start: []int64{2, 0}, Count: []int64{2, 1}, Stride: []int64{2, 1}},  // stride overruns
+		{Start: []int64{-1, 0}, Count: []int64{1, 1}, Stride: []int64{1, 1}}, // negative start
+		{Start: []int64{0, 0}, Count: []int64{0, 1}, Stride: []int64{1, 1}},  // zero count
+	}
+	for i, sl := range bad {
+		if err := ds.ReadSlab(sl, buf); err == nil {
+			t.Fatalf("bad slab %d accepted", i)
+		}
+	}
+	// Short buffer.
+	if err := ds.ReadSlab(ds.Dense(), make([]byte, 3)); err == nil {
+		t.Fatal("short buffer accepted")
+	}
+}
+
+func TestMultipleDatasetsDoNotOverlap(t *testing.T) {
+	_, s := newStore(t)
+	a, _ := s.CreateDataset("a", 1, 100)
+	b, _ := s.CreateDataset("b", 1, 100)
+	aData := bytes.Repeat([]byte{0xAA}, 100)
+	bData := bytes.Repeat([]byte{0xBB}, 100)
+	a.WriteSlab(a.Dense(), aData)
+	b.WriteSlab(b.Dense(), bData)
+	got := make([]byte, 100)
+	a.ReadSlab(a.Dense(), got)
+	if !bytes.Equal(got, aData) {
+		t.Fatal("dataset a clobbered")
+	}
+	b.ReadSlab(b.Dense(), got)
+	if !bytes.Equal(got, bData) {
+		t.Fatal("dataset b clobbered")
+	}
+}
+
+func TestCreateDatasetValidation(t *testing.T) {
+	_, s := newStore(t)
+	if _, err := s.CreateDataset("", 4, 10); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if _, err := s.CreateDataset("z", 0, 10); err == nil {
+		t.Fatal("zero elem size accepted")
+	}
+	if _, err := s.CreateDataset("z", 4); err == nil {
+		t.Fatal("no dims accepted")
+	}
+	if _, err := s.CreateDataset("z", 4, 0); err == nil {
+		t.Fatal("zero dim accepted")
+	}
+	s.CreateDataset("dup", 4, 4)
+	if _, err := s.CreateDataset("dup", 4, 4); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+	if _, err := s.Dataset("missing"); err == nil {
+		t.Fatal("missing dataset opened")
+	}
+}
+
+func TestCollectiveSlabWrite(t *testing.T) {
+	c, err := dtio.NewCluster(dtio.ClusterConfig{Servers: 4, StripSize: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// Rank 0 creates the container + dataset; all ranks write their row
+	// band collectively with two-phase.
+	const ranks, rows, cols = 4, 8, 16
+	setup, err := Create(c.Mount(), "coll.sdf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := setup.CreateDataset("field", 1, rows, cols); err != nil {
+		t.Fatal(err)
+	}
+	err = c.World(ranks, func(rank int, fs *dtio.FS) error {
+		st, err := Open(fs, "coll.sdf")
+		if err != nil {
+			return err
+		}
+		st.SetMethod(dtio.TwoPhase)
+		ds, err := st.Dataset("field")
+		if err != nil {
+			return err
+		}
+		band := Slab{
+			Start:  []int64{int64(rank * rows / ranks), 0},
+			Count:  []int64{rows / ranks, cols},
+			Stride: []int64{1, 1},
+		}
+		data := bytes.Repeat([]byte{byte(rank + 1)}, int(band.Elems()))
+		return ds.WriteSlabAll(band, data)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ver, err := Open(c.Mount(), "coll.sdf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, _ := ver.Dataset("field")
+	got := make([]byte, rows*cols)
+	if err := ds.ReadSlab(ds.Dense(), got); err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range got {
+		if b != byte(i/(cols*rows/ranks)+1) {
+			t.Fatalf("byte %d = %d", i, b)
+		}
+	}
+}
+
+func TestPropertySlabMatchesOracle(t *testing.T) {
+	cl, err := dtio.NewCluster(dtio.ClusterConfig{Servers: 3, StripSize: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	fs := cl.Mount()
+	n := 0
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		n++
+		s, err := Create(fs, fmt.Sprintf("p%d.sdf", n))
+		if err != nil {
+			return false
+		}
+		rank := 1 + rr.Intn(3)
+		dims := make([]int64, rank)
+		total := int64(1)
+		for i := range dims {
+			dims[i] = int64(1 + rr.Intn(8))
+			total *= dims[i]
+		}
+		ds, err := s.CreateDataset("d", 1, dims...)
+		if err != nil {
+			return false
+		}
+		full := make([]byte, total)
+		rr.Read(full)
+		if err := ds.WriteSlab(ds.Dense(), full); err != nil {
+			return false
+		}
+		// Random valid slab.
+		sl := Slab{Start: make([]int64, rank), Count: make([]int64, rank), Stride: make([]int64, rank)}
+		for i := range dims {
+			sl.Start[i] = rr.Int63n(dims[i])
+			sl.Stride[i] = 1 + rr.Int63n(3)
+			maxCount := (dims[i]-sl.Start[i]-1)/sl.Stride[i] + 1
+			sl.Count[i] = 1 + rr.Int63n(maxCount)
+		}
+		got := make([]byte, sl.Elems())
+		if err := ds.ReadSlab(sl, got); err != nil {
+			return false
+		}
+		// Oracle: iterate the slab indices in C order.
+		want := make([]byte, 0, sl.Elems())
+		idx := make([]int64, rank)
+		var walk func(d int)
+		walk = func(d int) {
+			if d == rank {
+				off := int64(0)
+				mult := int64(1)
+				for i := rank - 1; i >= 0; i-- {
+					off += idx[i] * mult
+					mult *= dims[i]
+				}
+				want = append(want, full[off])
+				return
+			}
+			for k := int64(0); k < sl.Count[d]; k++ {
+				idx[d] = sl.Start[d] + k*sl.Stride[d]
+				walk(d + 1)
+			}
+		}
+		walk(0)
+		return bytes.Equal(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
