@@ -1,0 +1,10 @@
+#!/bin/sh
+# ci.sh — the repo's gate, in the order a failure is cheapest to catch:
+# vet, build, the full test suite under the race detector, then a
+# single-shot benchmark smoke run so the bench harness itself can't rot.
+set -eux
+
+go vet ./...
+go build ./...
+go test -race ./...
+go test -run 'XXX' -bench 'BenchmarkTileRead/dtype' -benchtime 1x -benchmem .

@@ -23,7 +23,8 @@ import (
 )
 
 var (
-	expFlag    = flag.String("exp", "all", "experiment: tile|block3d|flash|ablate-listcap|ablate-coalesce|ablate-sievebuf|ablate-loopcache|ablate-fullfeatured|all")
+	expFlag    = flag.String("exp", "all", "experiment: tile|block3d|flash|ablate-listcap|ablate-coalesce|ablate-sievebuf|ablate-loopcache|ablate-fullfeatured|pr1|all")
+	jsonFlag   = flag.String("json", "BENCH_PR1.json", "pr1: output path for the machine-readable report")
 	frames     = flag.Int("frames", 3, "tile: frames per timed run")
 	flashProcs = flag.String("flash-procs", "2,8,16,32,48,64,96,128", "flash: client counts")
 	b3Procs    = flag.String("block3d-procs", "8,27,64", "block3d: client counts (perfect cubes)")
@@ -51,6 +52,8 @@ func main() {
 		ablateLoopCache()
 	case "ablate-fullfeatured":
 		ablateFullFeatured()
+	case "pr1":
+		runPR1(*jsonFlag)
 	case "all":
 		runTile()
 		runBlock3D()

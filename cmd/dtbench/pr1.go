@@ -1,0 +1,186 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"dtio/internal/bench"
+	"dtio/internal/mpiio"
+	"dtio/internal/workloads"
+)
+
+// pr1Cell is one measurement of the streamed-I/O comparison: a workload
+// x method cell in one of three modes. "seed" rows are the pre-streaming
+// baseline recorded at the seed commit on the same machine; "plain" is
+// the current code with streaming disabled (isolating the allocation
+// fixes); "streamed" is the shipping configuration.
+type pr1Cell struct {
+	Workload    string  `json:"workload"`
+	Method      string  `json:"method"`
+	Mode        string  `json:"mode"`
+	SimSeconds  float64 `json:"sim_seconds"`
+	SimMBs      float64 `json:"sim_mb_per_s"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+type pr1Report struct {
+	Description string    `json:"description"`
+	SeedCommit  string    `json:"seed_commit"`
+	Note        string    `json:"note"`
+	Cells       []pr1Cell `json:"cells"`
+}
+
+// seedBaseline is the pre-streaming baseline, measured at the seed
+// commit with `go test -bench . -benchtime 1x -benchmem` (single-shot
+// wall numbers; simulated figures are deterministic).
+type seedRow struct {
+	simMBs  float64
+	nsPerOp int64
+	bytes   int64
+	allocs  int64
+}
+
+var seedBaseline = map[string]seedRow{
+	"tile-read/sieve":        {24.47, 513735002, 206620648, 16403},
+	"tile-read/twophase":     {38.05, 31136001, 90438272, 12507},
+	"tile-read/listio":       {49.54, 37571776, 94241448, 37680},
+	"tile-read/dtype":        {56.28, 44586256, 106722104, 13905},
+	"block3d-read/twophase":  {25.81, 23405863, 54858560, 14991},
+	"block3d-read/listio":    {12.40, 37520448, 55763064, 61083},
+	"block3d-read/dtype":     {36.59, 40568217, 53479416, 17873},
+	"block3d-write/twophase": {16.33, 35765310, 83250216, 14954},
+	"block3d-write/listio":   {8.308, 38877752, 56498520, 61114},
+	"block3d-write/dtype":    {22.67, 30352977, 53407880, 17908},
+	"flash-write/twophase":   {4.612, 26904524, 40205720, 6460},
+	"flash-write/listio":     {0.4482, 95407376, 30857040, 328287},
+	"flash-write/dtype":      {2.133, 21838443, 25923176, 8276},
+}
+
+// pr1Workloads mirrors the top-level `go test -bench` cells, so seed
+// numbers, ablation numbers, and streamed numbers describe one workload.
+func pr1Workloads() []struct {
+	name    string
+	methods []mpiio.Method
+	run     func(c bench.Config, m mpiio.Method) bench.Result
+} {
+	return []struct {
+		name    string
+		methods []mpiio.Method
+		run     func(c bench.Config, m mpiio.Method) bench.Result
+	}{
+		{"tile-read",
+			[]mpiio.Method{mpiio.Sieve, mpiio.TwoPhase, mpiio.ListIO, mpiio.DtypeIO},
+			func(c bench.Config, m mpiio.Method) bench.Result {
+				return bench.TileRead(c, workloads.DefaultTile(), m, 1)
+			}},
+		{"block3d-read",
+			[]mpiio.Method{mpiio.TwoPhase, mpiio.ListIO, mpiio.DtypeIO},
+			func(c bench.Config, m mpiio.Method) bench.Result {
+				return bench.Block3D(c, workloads.Block3DConfig{N: 120, ElemSize: 4, Procs: 8}, m, false)
+			}},
+		{"block3d-write",
+			[]mpiio.Method{mpiio.TwoPhase, mpiio.ListIO, mpiio.DtypeIO},
+			func(c bench.Config, m mpiio.Method) bench.Result {
+				return bench.Block3D(c, workloads.Block3DConfig{N: 120, ElemSize: 4, Procs: 8}, m, true)
+			}},
+		{"flash-write",
+			[]mpiio.Method{mpiio.TwoPhase, mpiio.ListIO, mpiio.DtypeIO},
+			func(c bench.Config, m mpiio.Method) bench.Result {
+				return bench.Flash(c, workloads.FlashConfig{Blocks: 8, NB: 8, Guard: 4, Vars: 24, ElemSize: 8, Procs: 4}, m)
+			}},
+	}
+}
+
+func pr1Clients(workload string) int {
+	switch workload {
+	case "tile-read":
+		return 6
+	case "flash-write":
+		return 4
+	default:
+		return 8
+	}
+}
+
+// runPR1 measures every cell in both modes and writes the streamed-I/O
+// comparison JSON.
+func runPR1(jsonPath string) {
+	fmt.Println("=== PR1: pipelined (flow-controlled) server I/O vs store-and-forward ===")
+	report := pr1Report{
+		Description: "Streamed server I/O comparison: simulated time and client-visible allocation cost per workload cell.",
+		SeedCommit:  "9c85d6a",
+		Note: "Modes: seed = pre-streaming baseline at the seed commit (single-shot wall numbers); " +
+			"plain = this code with streaming disabled (NoStreaming ablation, isolates the allocation and buffer-sizing fixes); " +
+			"streamed = the shipping flow-controlled pipeline. Simulated figures are deterministic; " +
+			"ns/bytes/allocs per op are host-dependent and cover the whole simulated cluster run " +
+			"(streamed mode exchanges more messages, each with simulator bookkeeping, so compare " +
+			"seed vs plain for allocation effects and seed vs streamed for simulated time).",
+	}
+	for _, w := range pr1Workloads() {
+		procsPerNode := 2
+		if w.name == "tile-read" {
+			procsPerNode = 1
+		}
+		for _, m := range w.methods {
+			key := fmt.Sprintf("%s/%s", w.name, m)
+			var simBytes int64
+			for _, mode := range []string{"plain", "streamed"} {
+				cfg := bench.DefaultConfig(pr1Clients(w.name), procsPerNode)
+				cfg.NoStreaming = mode == "plain"
+				var last bench.Result
+				br := testing.Benchmark(func(b *testing.B) {
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						last = w.run(cfg, m)
+					}
+				})
+				if last.Err != nil {
+					fmt.Fprintf(os.Stderr, "dtbench: %s (%s): %v\n", key, mode, last.Err)
+					os.Exit(1)
+				}
+				simBytes = last.Bytes
+				report.Cells = append(report.Cells, pr1Cell{
+					Workload:    w.name,
+					Method:      m.String(),
+					Mode:        mode,
+					SimSeconds:  last.Elapsed.Seconds(),
+					SimMBs:      last.BandwidthMBs(),
+					NsPerOp:     br.NsPerOp(),
+					BytesPerOp:  br.AllocedBytesPerOp(),
+					AllocsPerOp: br.AllocsPerOp(),
+				})
+				fmt.Printf("  %-24s %-9s %8.2f sim-MB/s  %10.4f sim-s  %9d allocs/op\n",
+					key, mode, last.BandwidthMBs(), last.Elapsed.Seconds(), br.AllocsPerOp())
+			}
+			if s, ok := seedBaseline[key]; ok {
+				report.Cells = append(report.Cells, pr1Cell{
+					Workload:    w.name,
+					Method:      m.String(),
+					Mode:        "seed",
+					SimSeconds:  float64(simBytes) / (s.simMBs * 1e6),
+					SimMBs:      s.simMBs,
+					NsPerOp:     s.nsPerOp,
+					BytesPerOp:  s.bytes,
+					AllocsPerOp: s.allocs,
+				})
+				fmt.Printf("  %-24s %-9s %8.2f sim-MB/s  %10.4f sim-s  %9d allocs/op\n",
+					key, "seed", s.simMBs, float64(simBytes)/(s.simMBs*1e6), s.allocs)
+			}
+		}
+	}
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dtbench: %v\n", err)
+		os.Exit(1)
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(jsonPath, out, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "dtbench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\nwrote %s\n\n", jsonPath)
+}

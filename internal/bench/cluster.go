@@ -37,6 +37,10 @@ type Config struct {
 	// future-work extension). Off by default so headline numbers match
 	// the paper's prototype, which decodes per request.
 	LoopCache bool
+	// NoStreaming disables pipelined (flow-controlled) transfers on both
+	// servers and clients, restoring store-and-forward I/O: the ablation
+	// that isolates the disk/network overlap win.
+	NoStreaming bool
 }
 
 // DefaultConfig is the paper's testbed: 16 I/O servers, 64 KiB strips,
@@ -165,6 +169,10 @@ func NewCluster(cfg Config) *Cluster {
 		c.addrs = append(c.addrs, addr)
 		srv := pvfs.NewServer(c.net, addr, i, cfg.Cost)
 		srv.DisableLoopCache = !cfg.LoopCache
+		// Streamed transfers segment at the modeled NIC's flow-control
+		// chunk size, as real PVFS flow buffers do.
+		srv.StreamChunkBytes = cfg.SimCfg.ChunkBytes
+		srv.DisableStreaming = cfg.NoStreaming
 		if cfg.Discard {
 			srv.NewStore = func(uint64) storage.Store { return storage.NewDiscard() }
 		}
@@ -202,6 +210,8 @@ func (c *Cluster) Run(fn func(r *Rank) error) (time.Duration, iostats.Snapshot, 
 			defer wg.Done()
 			fs := pvfs.NewClient(c.net, c.metaAddr, c.addrs, c.cfg.Cost)
 			fs.Stats = st
+			fs.StreamChunkBytes = c.cfg.SimCfg.ChunkBytes
+			fs.DisableStreaming = c.cfg.NoStreaming
 			defer fs.Close()
 			r := &Rank{
 				ID:    id,

@@ -26,6 +26,17 @@ type Client struct {
 	// Stats accumulates this client's I/O characteristics; may be nil.
 	Stats *iostats.Stats
 
+	// StreamChunkBytes is the flow-control segment size for streamed
+	// writes (0 = DefaultStreamChunkBytes); servers choose their own for
+	// streamed reads.
+	StreamChunkBytes int
+	// StreamWindow is the maximum number of unacknowledged segments in
+	// flight per streamed write (0 = DefaultStreamWindow).
+	StreamWindow int
+	// DisableStreaming forces store-and-forward writes regardless of
+	// size (the pre-streaming behavior, kept for ablations).
+	DisableStreaming bool
+
 	meta  transport.Conn
 	conns []transport.Conn
 }
@@ -215,7 +226,9 @@ func (f *File) wireLayout(serverIdx int) wire.FileLayout {
 // sendRecv sends one request per server and collects the responses, in
 // order. Any server-reported error aborts. dataLens (optional) reports
 // how many trailing bytes of each request are data payload, so the
-// request-description statistics exclude them.
+// request-description statistics exclude them. Responses are received
+// concurrently (one sibling thread per server), so a streamed response
+// draining from one server does not stall the others.
 func (c *Client) sendRecv(env transport.Env, servers []int, reqs [][]byte, dataLens []int64) ([]*wire.IOResp, error) {
 	for i, s := range servers {
 		conn, err := c.conn(env, s)
@@ -234,25 +247,202 @@ func (c *Client) sendRecv(env transport.Env, servers []int, reqs [][]byte, dataL
 		}
 	}
 	out := make([]*wire.IOResp, len(servers))
-	for i, s := range servers {
-		raw, err := c.conns[s].Recv(env)
-		if err != nil {
-			return nil, fmt.Errorf("pvfs: recv from server %d: %w", s, err)
-		}
-		_, v, err := wire.DecodeMsg(raw)
+	if len(servers) == 1 {
+		r, err := c.recvResp(env, servers[0])
 		if err != nil {
 			return nil, err
 		}
-		r, ok := v.(*wire.IOResp)
-		if !ok {
-			return nil, errors.New("pvfs: unexpected I/O response")
+		out[0] = r
+		return out, nil
+	}
+	fns := make([]func(transport.Env) error, len(servers))
+	for i, s := range servers {
+		i, s := i, s
+		fns[i] = func(env transport.Env) error {
+			r, err := c.recvResp(env, s)
+			if err != nil {
+				return err
+			}
+			out[i] = r
+			return nil
 		}
+	}
+	if err := env.Parallel("pvfs-recv", fns...); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// recvResp receives one I/O response from server s, reassembling a
+// streamed read into a single IOResp.
+func (c *Client) recvResp(env transport.Env, s int) (*wire.IOResp, error) {
+	conn := c.conns[s]
+	raw, err := conn.Recv(env)
+	if err != nil {
+		return nil, fmt.Errorf("pvfs: recv from server %d: %w", s, err)
+	}
+	t, v, err := wire.DecodeMsg(raw)
+	if err != nil {
+		return nil, err
+	}
+	switch t {
+	case wire.MTIOResp:
+		r := v.(*wire.IOResp)
 		if !r.OK {
 			return nil, fmt.Errorf("pvfs: server %d: %s", s, r.Err)
 		}
-		out[i] = r
+		return r, nil
+	case wire.MTReadStreamHdr:
+		data, err := c.recvStream(env, conn, v.(*wire.ReadStreamHdr))
+		if err != nil {
+			c.dropConn(s)
+			return nil, fmt.Errorf("pvfs: server %d: %w", s, err)
+		}
+		return &wire.IOResp{OK: true, Data: data}, nil
+	default:
+		return nil, errors.New("pvfs: unexpected I/O response")
 	}
-	return out, nil
+}
+
+// recvStream reassembles a streamed read response, granting credit as
+// segments are consumed. On error the caller must drop the connection.
+func (c *Client) recvStream(env transport.Env, conn transport.Conn, h *wire.ReadStreamHdr) ([]byte, error) {
+	if h.Total <= 0 || h.SegBytes <= 0 || h.Window <= 0 {
+		return nil, fmt.Errorf("bad stream header total=%d seg=%d window=%d", h.Total, h.SegBytes, h.Window)
+	}
+	total, seg, window := h.Total, int64(h.SegBytes), int64(h.Window)
+	nseg := (total + seg - 1) / seg
+	data := make([]byte, total)
+	ab := getBuf(16)
+	defer putBuf(ab)
+	var chunk wire.StreamChunk
+	for k := int64(0); k < nseg; k++ {
+		raw, err := conn.Recv(env)
+		if err != nil {
+			return nil, err
+		}
+		if err := wire.DecodeStreamChunk(raw, &chunk); err != nil {
+			return nil, err
+		}
+		if chunk.Err != "" {
+			return nil, errors.New(chunk.Err)
+		}
+		nk := segLen(total, seg, k)
+		if int64(chunk.Seq) != k || int64(len(chunk.Data)) != nk {
+			return nil, fmt.Errorf("stream chunk seq=%d len=%d, want seq=%d len=%d",
+				chunk.Seq, len(chunk.Data), k, nk)
+		}
+		copy(data[k*seg:], chunk.Data)
+		if k+window < nseg {
+			*ab = wire.AppendStreamAck(*ab, uint32(k))
+			if err := conn.Send(env, *ab); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return data, nil
+}
+
+// dropConn closes and forgets the cached connection to server s (after
+// a mid-stream failure leaves it out of protocol sync; the next request
+// redials).
+func (c *Client) dropConn(s int) {
+	if c.conns[s] != nil {
+		c.conns[s].Close()
+		c.conns[s] = nil
+	}
+}
+
+// writeAll issues one write request per involved server, streaming any
+// payload larger than the segment size so the servers' disks overlap
+// the network transfer, and waits for all responses. payloads is
+// indexed by server id; mkReq builds the (inline or inner) request.
+func (c *Client) writeAll(env transport.Env, servers []int, payloads [][]byte, mkReq func(s int, data []byte) []byte) error {
+	seg, window := streamParams(c.StreamChunkBytes, c.StreamWindow)
+	stream := false
+	if !c.DisableStreaming {
+		for _, s := range servers {
+			if int64(len(payloads[s])) > seg {
+				stream = true
+				break
+			}
+		}
+	}
+	if !stream {
+		reqs := make([][]byte, len(servers))
+		dataLens := make([]int64, len(servers))
+		for i, s := range servers {
+			reqs[i] = mkReq(s, payloads[s])
+			dataLens[i] = int64(len(payloads[s]))
+		}
+		_, err := c.sendRecv(env, servers, reqs, dataLens)
+		return err
+	}
+	// Pre-dial so the per-server transfers can proceed concurrently; a
+	// credit-window stall against one server must not serialize others.
+	for _, s := range servers {
+		if _, err := c.conn(env, s); err != nil {
+			return err
+		}
+	}
+	fns := make([]func(transport.Env) error, len(servers))
+	for i, s := range servers {
+		s := s
+		fns[i] = func(env transport.Env) error {
+			return c.writeOne(env, s, payloads[s], mkReq, seg, window)
+		}
+	}
+	return env.Parallel("pvfs-write", fns...)
+}
+
+// writeOne performs one server's write: inline when the payload fits a
+// single segment, streamed otherwise.
+func (c *Client) writeOne(env transport.Env, s int, payload []byte, mkReq func(int, []byte) []byte, seg, window int64) error {
+	conn := c.conns[s]
+	total := int64(len(payload))
+	if total <= seg {
+		req := mkReq(s, payload)
+		if err := conn.Send(env, req); err != nil {
+			return fmt.Errorf("pvfs: send to server %d: %w", s, err)
+		}
+		if st := c.stats(); st != nil {
+			st.AddWire(int64(len(req)) - total)
+		}
+		_, err := c.recvResp(env, s)
+		return err
+	}
+	inner := mkReq(s, nil)
+	hdr := wire.EncodeWriteStreamHdr(&wire.WriteStreamHdr{
+		Total: total, SegBytes: int32(seg), Window: int32(window), Inner: inner,
+	})
+	if err := conn.Send(env, hdr); err != nil {
+		return fmt.Errorf("pvfs: send to server %d: %w", s, err)
+	}
+	if st := c.stats(); st != nil {
+		st.AddWire(int64(len(hdr))) // the description; segments are payload
+	}
+	nseg := (total + seg - 1) / seg
+	fp := getBuf(13 + int(seg))
+	var err error
+	for k := int64(0); k < nseg; k++ {
+		if k >= window {
+			if err = recvAck(env, conn, uint32(k-window)); err != nil {
+				break
+			}
+		}
+		nk := segLen(total, seg, k)
+		*fp = wire.AppendStreamChunk((*fp), uint32(k), "", payload[k*seg:k*seg+nk])
+		if err = conn.Send(env, *fp); err != nil {
+			break
+		}
+	}
+	putBuf(fp)
+	if err != nil {
+		c.dropConn(s)
+		return fmt.Errorf("pvfs: server %d: %w", s, err)
+	}
+	_, err = c.recvResp(env, s)
+	return err
 }
 
 // involvedServers reports which servers hold any byte of the given
@@ -321,20 +511,26 @@ func (f *File) WriteContig(env transport.Env, off int64, data []byte) error {
 		return nil
 	}
 	servers := f.involvedServers(func(emit func(off, n int64)) { emit(off, n) })
-	reqs := make([][]byte, len(servers))
-	dataLens := make([]int64, len(servers))
-	for i, s := range servers {
-		var payload []byte
+	payloads := make([][]byte, f.layout.NServers)
+	for _, s := range servers {
+		var tot int64
+		f.layout.ServerPieces(s, off, n, func(_, _, ln int64) bool {
+			tot += ln
+			return true
+		})
+		payload := make([]byte, 0, tot)
 		f.layout.ServerPieces(s, off, n, func(_, logical, ln int64) bool {
 			payload = append(payload, data[logical-off:logical-off+ln]...)
 			return true
 		})
-		reqs[i] = wire.EncodeContig(&wire.ContigReq{
-			Layout: f.wireLayout(s), Off: off, N: n, Data: payload,
-		}, true)
-		dataLens[i] = int64(len(payload))
+		payloads[s] = payload
 	}
-	if _, err := f.c.sendRecv(env, servers, reqs, dataLens); err != nil {
+	err := f.c.writeAll(env, servers, payloads, func(s int, data []byte) []byte {
+		return wire.EncodeContig(&wire.ContigReq{
+			Layout: f.wireLayout(s), Off: off, N: n, Data: data,
+		}, true)
+	})
+	if err != nil {
 		return err
 	}
 	if st := f.c.stats(); st != nil {
@@ -494,19 +690,18 @@ func (f *File) WriteList(env transport.Env, fileRegions, memRegions []flatten.Re
 	env.Compute(f.c.cost.PerRegionClient * time.Duration(pieces))
 	perServer := f.splitRegions(fileRegions)
 	var servers []int
-	var reqs [][]byte
-	var dataLens []int64
 	for s := 0; s < f.layout.NServers; s++ {
 		if bufs[s] == nil {
 			continue
 		}
 		servers = append(servers, s)
-		reqs = append(reqs, wire.EncodeListIO(&wire.ListIOReq{
-			Layout: f.wireLayout(s), Regions: perServer[s], Data: bufs[s],
-		}, true))
-		dataLens = append(dataLens, int64(len(bufs[s])))
 	}
-	if _, err := f.c.sendRecv(env, servers, reqs, dataLens); err != nil {
+	err = f.c.writeAll(env, servers, bufs, func(s int, data []byte) []byte {
+		return wire.EncodeListIO(&wire.ListIOReq{
+			Layout: f.wireLayout(s), Regions: perServer[s], Data: data,
+		}, true)
+	})
+	if err != nil {
 		return err
 	}
 	if st := f.c.stats(); st != nil {
@@ -606,16 +801,9 @@ func (f *File) dtypeOp(env transport.Env, a *DtypeAccess, write bool) error {
 		}
 		// The job/access building overlaps the transfer: real PVFS
 		// clients stream accesses as they are generated.
-		reqs := make([][]byte, len(servers))
-		dataLens := make([]int64, len(servers))
-		for i, s := range servers {
-			reqs[i] = mkReq(s, bufs[s])
-			dataLens[i] = int64(len(bufs[s]))
-		}
 		cpu := f.c.cost.PerRegionClient * time.Duration(pieces)
 		if err := env.Overlap(cpu, func() error {
-			_, err := f.c.sendRecv(env, servers, reqs, dataLens)
-			return err
+			return f.c.writeAll(env, servers, bufs, mkReq)
 		}); err != nil {
 			return err
 		}

@@ -1,0 +1,121 @@
+package pvfs
+
+import (
+	"sync"
+	"testing"
+
+	"dtio/internal/dataloop"
+	"dtio/internal/datatype"
+	"dtio/internal/transport"
+)
+
+func cacheServer() *Server {
+	return NewServer(transport.NewMemNetwork(), "x", 0, CostModel{})
+}
+
+// distinctLoop returns the wire encoding of a loop unique to n.
+func distinctLoop(n int64) []byte {
+	return dataloop.FromType(datatype.Bytes(n)).Encode(nil)
+}
+
+func TestLoopCacheEvictionBound(t *testing.T) {
+	s := cacheServer()
+	for i := int64(1); i <= 1024; i++ {
+		if _, hit, err := s.cachedLoop(distinctLoop(i)); err != nil || hit {
+			t.Fatalf("i=%d hit=%v err=%v", i, hit, err)
+		}
+	}
+	if n := len(s.loopCache); n != 1024 {
+		t.Fatalf("cache holds %d entries, want 1024", n)
+	}
+	// The 1025th distinct loop trips the bound: the cache resets rather
+	// than growing without limit.
+	if _, hit, err := s.cachedLoop(distinctLoop(1025)); err != nil || hit {
+		t.Fatalf("hit=%v err=%v", hit, err)
+	}
+	if n := len(s.loopCache); n != 1 {
+		t.Fatalf("cache holds %d entries after reset, want 1", n)
+	}
+	// An early entry was evicted by the reset: requesting it misses.
+	if _, hit, _ := s.cachedLoop(distinctLoop(1)); hit {
+		t.Fatal("evicted entry reported as hit")
+	}
+	// The survivor of the reset still hits.
+	if _, hit, _ := s.cachedLoop(distinctLoop(1025)); !hit {
+		t.Fatal("fresh entry missed")
+	}
+	hits, misses := s.LoopCacheStats()
+	if hits != 1 || misses != 1026 {
+		t.Fatalf("stats hits=%d misses=%d", hits, misses)
+	}
+}
+
+func TestLoopCacheDisabled(t *testing.T) {
+	s := cacheServer()
+	s.DisableLoopCache = true
+	enc := distinctLoop(7)
+	for i := 0; i < 3; i++ {
+		l, hit, err := s.cachedLoop(enc)
+		if err != nil || l == nil || hit {
+			t.Fatalf("l=%v hit=%v err=%v", l, hit, err)
+		}
+	}
+	if hits, misses := s.LoopCacheStats(); hits != 0 || misses != 0 {
+		t.Fatalf("disabled cache counted hits=%d misses=%d", hits, misses)
+	}
+	if s.loopCache != nil {
+		t.Fatal("disabled cache stored entries")
+	}
+}
+
+func TestLoopCacheStatsConcurrent(t *testing.T) {
+	// Hammer the cache from many goroutines (meaningful under -race):
+	// every call is either a hit or a miss, and double-misses from
+	// check-then-insert races are bounded by goroutines x keys.
+	s := cacheServer()
+	const goroutines, calls, keys = 8, 200, 4
+	encs := make([][]byte, keys)
+	for i := range encs {
+		encs[i] = distinctLoop(int64(100 + i))
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < calls; i++ {
+				if _, _, err := s.cachedLoop(encs[(g+i)%keys]); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	hits, misses := s.LoopCacheStats()
+	if hits+misses != goroutines*calls {
+		t.Fatalf("hits=%d + misses=%d != %d calls", hits, misses, goroutines*calls)
+	}
+	if misses < keys || misses > goroutines*keys {
+		t.Fatalf("misses=%d outside [%d,%d]", misses, keys, goroutines*keys)
+	}
+}
+
+func TestLoopCacheHitPathAllocs(t *testing.T) {
+	// The hit path must be allocation-free: the []byte->string map lookup
+	// is elided by the compiler and the entry is returned as-is.
+	s := cacheServer()
+	enc := distinctLoop(42)
+	if _, hit, err := s.cachedLoop(enc); err != nil || hit {
+		t.Fatalf("warmup hit=%v err=%v", hit, err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		l, hit, err := s.cachedLoop(enc)
+		if err != nil || !hit || l == nil {
+			t.Fatalf("l=%v hit=%v err=%v", l, hit, err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("loop cache hit path allocates %.1f per lookup", allocs)
+	}
+}

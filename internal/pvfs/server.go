@@ -40,6 +40,17 @@ type Server struct {
 	loopCache        map[string]*dataloop.Loop
 	cacheHits        int64
 	cacheMisses      int64
+
+	// StreamChunkBytes is the flow-control segment size: transfers
+	// larger than this are streamed so disk and network overlap
+	// (0 = DefaultStreamChunkBytes).
+	StreamChunkBytes int
+	// StreamWindow is the maximum number of unacknowledged segments in
+	// flight per streamed transfer (0 = DefaultStreamWindow).
+	StreamWindow int
+	// DisableStreaming forces store-and-forward transfers regardless of
+	// size (the pre-streaming behavior, kept for ablations).
+	DisableStreaming bool
 }
 
 // NewServer creates I/O server number index listening at addr.
@@ -81,7 +92,15 @@ func (s *Server) Serve(env transport.Env) error {
 				if err != nil {
 					return
 				}
-				resp := s.handle(env, msg)
+				resp, err := s.handle(env, c, msg)
+				if err != nil {
+					// The connection is out of protocol sync (e.g. a
+					// failed stream); close it.
+					return
+				}
+				if resp == nil {
+					continue // fully answered by a stream
+				}
 				if err := c.Send(env, resp); err != nil {
 					return
 				}
@@ -133,134 +152,213 @@ func (s *Server) layoutOf(l wire.FileLayout) (striping.Layout, error) {
 	return lay, nil
 }
 
-func (s *Server) handle(env transport.Env, msg []byte) []byte {
+// handle services one request. A nil response with nil error means the
+// request was answered entirely by a stream; a non-nil error means the
+// connection is no longer usable and must close.
+func (s *Server) handle(env transport.Env, conn transport.Conn, msg []byte) ([]byte, error) {
 	t, v, err := wire.DecodeMsg(msg)
 	if err != nil {
-		return ioErr("bad request: %v", err)
+		return ioErr("bad request: %v", err), nil
 	}
 	env.Compute(s.cost.RequestOverhead)
 	switch t {
-	case wire.MTReadContigReq, wire.MTWriteContigReq:
+	case wire.MTReadContigReq:
+		return s.contig(env, conn, v.(*wire.ContigReq), nil)
+	case wire.MTWriteContigReq:
 		r := v.(*wire.ContigReq)
-		return s.contig(env, r, t == wire.MTWriteContigReq)
-	case wire.MTReadListReq, wire.MTWriteListReq:
+		return s.contig(env, conn, r, inlineSrc(r.Data))
+	case wire.MTReadListReq:
+		return s.list(env, conn, v.(*wire.ListIOReq), nil)
+	case wire.MTWriteListReq:
 		r := v.(*wire.ListIOReq)
-		return s.list(env, r, t == wire.MTWriteListReq)
-	case wire.MTReadDtypeReq, wire.MTWriteDtypeReq:
+		return s.list(env, conn, r, inlineSrc(r.Data))
+	case wire.MTReadDtypeReq:
+		return s.dtype(env, conn, v.(*wire.DtypeReq), nil)
+	case wire.MTWriteDtypeReq:
 		r := v.(*wire.DtypeReq)
-		return s.dtype(env, r, t == wire.MTWriteDtypeReq)
+		return s.dtype(env, conn, r, inlineSrc(r.Data))
+	case wire.MTWriteStreamHdr:
+		return s.streamedWrite(env, conn, v.(*wire.WriteStreamHdr))
 	case wire.MTLocalSizeReq:
 		r := v.(*wire.LocalSizeReq)
 		if _, err := s.layoutOf(r.Layout); err != nil {
-			return ioErr("%v", err)
+			return ioErr("%v", err), nil
 		}
-		return wire.EncodeIOResp(&wire.IOResp{OK: true, Size: s.object(r.Layout.Handle).Size()})
+		return wire.EncodeIOResp(&wire.IOResp{OK: true, Size: s.object(r.Layout.Handle).Size()}), nil
 	case wire.MTTruncateReq:
 		r := v.(*wire.TruncateReq)
 		lay, err := s.layoutOf(r.Layout)
 		if err != nil {
-			return ioErr("%v", err)
+			return ioErr("%v", err), nil
 		}
 		if r.Size < 0 {
-			return ioErr("negative size %d", r.Size)
+			return ioErr("negative size %d", r.Size), nil
 		}
 		local := lay.LocalLen(int(r.Layout.ServerIdx), r.Size)
 		if err := s.object(r.Layout.Handle).Truncate(local); err != nil {
-			return ioErr("truncate: %v", err)
+			return ioErr("truncate: %v", err), nil
 		}
-		return wire.EncodeIOResp(&wire.IOResp{OK: true})
+		return wire.EncodeIOResp(&wire.IOResp{OK: true}), nil
 	case wire.MTRemoveObjReq:
 		r := v.(*wire.RemoveObjReq)
 		s.mu.Lock()
 		delete(s.objects, r.Layout.Handle)
 		s.mu.Unlock()
-		return wire.EncodeIOResp(&wire.IOResp{OK: true})
+		return wire.EncodeIOResp(&wire.IOResp{OK: true}), nil
 	default:
-		return ioErr("unexpected message %s", t)
+		return ioErr("unexpected message %s", t), nil
 	}
 }
 
-// pieces is the common server-side region walk: it yields this server's
-// (physical, length) runs for each requested logical region, in request
-// order, and accounts CPU + disk costs.
-type pieceFn func(phys, n int64) error
+// streamedWrite unwraps a streamed write request and dispatches it with
+// a stream-backed payload source.
+func (s *Server) streamedWrite(env transport.Env, conn transport.Conn, h *wire.WriteStreamHdr) ([]byte, error) {
+	if h.Total <= 0 || h.SegBytes <= 0 || h.Window <= 0 || h.Total <= int64(h.SegBytes) {
+		// The framing itself is broken; there is no way to know how many
+		// chunks follow, so the connection cannot be salvaged.
+		return nil, fmt.Errorf("pvfs: bad stream header total=%d seg=%d window=%d", h.Total, h.SegBytes, h.Window)
+	}
+	seg := int64(h.SegBytes)
+	src := &writeSrc{stream: &srvStream{
+		conn: conn, cost: s.cost,
+		total: h.Total, seg: seg, window: int64(h.Window),
+		nseg: (h.Total + seg - 1) / seg,
+	}}
+	t, v, err := wire.DecodeMsg(h.Inner)
+	if err != nil {
+		return s.reqFail(env, src, "bad request: %v", err)
+	}
+	switch t {
+	case wire.MTWriteContigReq:
+		return s.contig(env, conn, v.(*wire.ContigReq), src)
+	case wire.MTWriteListReq:
+		return s.list(env, conn, v.(*wire.ListIOReq), src)
+	case wire.MTWriteDtypeReq:
+		return s.dtype(env, conn, v.(*wire.DtypeReq), src)
+	default:
+		return s.reqFail(env, src, "unexpected streamed message %s", t)
+	}
+}
 
-func (s *Server) runPieces(env transport.Env, lay striping.Layout, idx int, write bool, regions func(emit func(off, n int64) error) error, fn pieceFn) (nPieces int64, nBytes int64, err error) {
-	err = regions(func(off, n int64) error {
+// reqFail answers a failed request with an error IOResp, first draining
+// a streamed payload so the connection stays in protocol sync.
+func (s *Server) reqFail(env transport.Env, src *writeSrc, format string, args ...any) ([]byte, error) {
+	if src != nil {
+		if err := src.drain(env); err != nil {
+			return nil, err
+		}
+	}
+	return ioErr(format, args...), nil
+}
+
+// regionsFn enumerates one request's logical regions, in request order.
+type regionsFn func(emit func(off, n int64) error) error
+
+// applyWrite is the common write path: it walks the request's regions,
+// writing payload bytes (inline or streamed) to this server's physical
+// runs, then accounts CPU and (for inline payloads) disk costs.
+// Streamed payloads charge the disk per segment as they arrive.
+func (s *Server) applyWrite(env transport.Env, lay striping.Layout, idx int, st storage.Store, regions regionsFn, src *writeSrc) ([]byte, error) {
+	var nPieces int64
+	err := regions(func(off, n int64) error {
 		var inner error
 		lay.ServerPieces(idx, off, n, func(phys, _, ln int64) bool {
-			if e := fn(phys, ln); e != nil {
-				inner = e
-				return false
+			for rem := ln; rem > 0; {
+				b, e := src.next(env, rem)
+				if e != nil {
+					inner = e
+					return false
+				}
+				if e := st.WriteAt(b, phys); e != nil {
+					inner = e
+					return false
+				}
+				phys += int64(len(b))
+				rem -= int64(len(b))
 			}
 			nPieces++
-			nBytes += ln
 			return true
 		})
 		return inner
 	})
 	if err != nil {
-		return 0, 0, err
+		return s.reqFail(env, src, "%v", err)
 	}
 	env.Compute(s.cost.PerRegionServer * time.Duration(nPieces))
-	if nBytes > 0 || s.cost.DiskPerOp > 0 {
-		env.DiskUse(s.cost.diskTime(nBytes, write))
+	if src.stream == nil && (src.consumed > 0 || s.cost.DiskPerOp > 0) {
+		env.DiskUse(s.cost.diskTime(src.consumed, true))
 	}
-	return nPieces, nBytes, nil
+	if n := src.leftover(); n != 0 {
+		return s.reqFail(env, src, "excess write payload (%d bytes)", n)
+	}
+	return wire.EncodeIOResp(&wire.IOResp{OK: true}), nil
 }
 
-// contig serves a contiguous read/write.
-func (s *Server) contig(env transport.Env, r *wire.ContigReq, write bool) []byte {
+// readReply is the common read path: one walk collects this server's
+// physical runs and the byte total, then the response is either built
+// inline in a single pre-sized frame or streamed in flow-controlled
+// segments that overlap disk and network.
+func (s *Server) readReply(env transport.Env, conn transport.Conn, lay striping.Layout, idx int, st storage.Store, regions regionsFn) ([]byte, error) {
+	sp := spanPool.Get().(*[]span)
+	spans := (*sp)[:0]
+	defer func() { *sp = spans; spanPool.Put(sp) }()
+	var total int64
+	err := regions(func(off, n int64) error {
+		lay.ServerPieces(idx, off, n, func(phys, _, ln int64) bool {
+			spans = append(spans, span{phys, ln})
+			total += ln
+			return true
+		})
+		return nil
+	})
+	if err != nil {
+		return ioErr("%v", err), nil
+	}
+	env.Compute(s.cost.PerRegionServer * time.Duration(len(spans)))
+	seg, window := streamParams(s.StreamChunkBytes, s.StreamWindow)
+	if s.DisableStreaming || total <= seg {
+		// Build the OK response in place: one allocation sized from the
+		// known total, with storage reads landing directly in the frame.
+		out := wire.AppendIORespOK(nil, int(total))
+		h := len(out)
+		out = append(out, make([]byte, total)...)
+		cur := spanCursor{spans: spans}
+		if err := cur.fill(st, out[h:]); err != nil {
+			return ioErr("%v", err), nil
+		}
+		if total > 0 || s.cost.DiskPerOp > 0 {
+			env.DiskUse(s.cost.diskTime(total, false))
+		}
+		return out, nil
+	}
+	return nil, s.streamRead(env, conn, st, spans, total, seg, window)
+}
+
+// contig serves a contiguous read (src nil) or write.
+func (s *Server) contig(env transport.Env, conn transport.Conn, r *wire.ContigReq, src *writeSrc) ([]byte, error) {
 	lay, err := s.layoutOf(r.Layout)
 	if err != nil {
-		return ioErr("%v", err)
+		return s.reqFail(env, src, "%v", err)
 	}
 	if r.Off < 0 || r.N < 0 {
-		return ioErr("bad range off=%d n=%d", r.Off, r.N)
+		return s.reqFail(env, src, "bad range off=%d n=%d", r.Off, r.N)
 	}
 	idx := int(r.Layout.ServerIdx)
 	st := s.object(r.Layout.Handle)
-	if write {
-		data := r.Data
-		_, _, err := s.runPieces(env, lay, idx, true, func(emit func(off, n int64) error) error {
-			return emit(r.Off, r.N)
-		}, func(phys, n int64) error {
-			if int64(len(data)) < n {
-				return fmt.Errorf("short write payload")
-			}
-			if err := st.WriteAt(data[:n], phys); err != nil {
-				return err
-			}
-			data = data[n:]
-			return nil
-		})
-		if err != nil {
-			return ioErr("%v", err)
-		}
-		if len(data) != 0 {
-			return ioErr("excess write payload (%d bytes)", len(data))
-		}
-		return wire.EncodeIOResp(&wire.IOResp{OK: true})
-	}
-	var out []byte
-	_, _, err = s.runPieces(env, lay, idx, false, func(emit func(off, n int64) error) error {
+	regions := func(emit func(off, n int64) error) error {
 		return emit(r.Off, r.N)
-	}, func(phys, n int64) error {
-		at := len(out)
-		out = append(out, make([]byte, n)...)
-		return st.ReadAt(out[at:], phys)
-	})
-	if err != nil {
-		return ioErr("%v", err)
 	}
-	return wire.EncodeIOResp(&wire.IOResp{OK: true, Data: out})
+	if src != nil {
+		return s.applyWrite(env, lay, idx, st, regions, src)
+	}
+	return s.readReply(env, conn, lay, idx, st, regions)
 }
 
-// list serves a list I/O read/write.
-func (s *Server) list(env transport.Env, r *wire.ListIOReq, write bool) []byte {
+// list serves a list I/O read (src nil) or write.
+func (s *Server) list(env transport.Env, conn transport.Conn, r *wire.ListIOReq, src *writeSrc) ([]byte, error) {
 	lay, err := s.layoutOf(r.Layout)
 	if err != nil {
-		return ioErr("%v", err)
+		return s.reqFail(env, src, "%v", err)
 	}
 	idx := int(r.Layout.ServerIdx)
 	st := s.object(r.Layout.Handle)
@@ -275,36 +373,10 @@ func (s *Server) list(env transport.Env, r *wire.ListIOReq, write bool) []byte {
 		}
 		return nil
 	}
-	if write {
-		data := r.Data
-		_, _, err := s.runPieces(env, lay, idx, true, regions, func(phys, n int64) error {
-			if int64(len(data)) < n {
-				return fmt.Errorf("short write payload")
-			}
-			if err := st.WriteAt(data[:n], phys); err != nil {
-				return err
-			}
-			data = data[n:]
-			return nil
-		})
-		if err != nil {
-			return ioErr("%v", err)
-		}
-		if len(data) != 0 {
-			return ioErr("excess write payload (%d bytes)", len(data))
-		}
-		return wire.EncodeIOResp(&wire.IOResp{OK: true})
+	if src != nil {
+		return s.applyWrite(env, lay, idx, st, regions, src)
 	}
-	var out []byte
-	_, _, err = s.runPieces(env, lay, idx, false, regions, func(phys, n int64) error {
-		at := len(out)
-		out = append(out, make([]byte, n)...)
-		return st.ReadAt(out[at:], phys)
-	})
-	if err != nil {
-		return ioErr("%v", err)
-	}
-	return wire.EncodeIOResp(&wire.IOResp{OK: true, Data: out})
+	return s.readReply(env, conn, lay, idx, st, regions)
 }
 
 // cachedLoop decodes a dataloop, memoizing by wire bytes, and reports
@@ -314,12 +386,10 @@ func (s *Server) cachedLoop(enc []byte) (*dataloop.Loop, bool, error) {
 		l, _, err := dataloop.Decode(enc)
 		return l, false, err
 	}
-	key := string(enc)
 	s.cacheMu.Lock()
-	if s.loopCache == nil {
-		s.loopCache = make(map[string]*dataloop.Loop)
-	}
-	if l, ok := s.loopCache[key]; ok {
+	// The compiler elides the []byte->string conversion for a direct map
+	// lookup, so the hit path allocates nothing.
+	if l, ok := s.loopCache[string(enc)]; ok {
 		s.cacheHits++
 		s.cacheMu.Unlock()
 		return l, true, nil
@@ -329,7 +399,11 @@ func (s *Server) cachedLoop(enc []byte) (*dataloop.Loop, bool, error) {
 	if err != nil {
 		return nil, false, err
 	}
+	key := string(enc)
 	s.cacheMu.Lock()
+	if s.loopCache == nil {
+		s.loopCache = make(map[string]*dataloop.Loop)
+	}
 	// Bound the cache; views are few, so plain reset on overflow is fine.
 	if len(s.loopCache) >= 1024 {
 		s.loopCache = make(map[string]*dataloop.Loop)
@@ -347,19 +421,19 @@ func (s *Server) LoopCacheStats() (hits, misses int64) {
 	return s.cacheHits, s.cacheMisses
 }
 
-// dtype serves a datatype read/write: the server itself expands the
-// dataloop into regions and extracts its local pieces.
-func (s *Server) dtype(env transport.Env, r *wire.DtypeReq, write bool) []byte {
+// dtype serves a datatype read (src nil) or write: the server itself
+// expands the dataloop into regions and extracts its local pieces.
+func (s *Server) dtype(env transport.Env, conn transport.Conn, r *wire.DtypeReq, src *writeSrc) ([]byte, error) {
 	lay, err := s.layoutOf(r.Layout)
 	if err != nil {
-		return ioErr("%v", err)
+		return s.reqFail(env, src, "%v", err)
 	}
 	loop, hit, err := s.cachedLoop(r.Loop)
 	if err != nil {
-		return ioErr("bad dataloop: %v", err)
+		return s.reqFail(env, src, "bad dataloop: %v", err)
 	}
 	if r.Count < 0 || r.Pos < 0 || r.NBytes < 0 || r.Pos+r.NBytes > r.Count*loop.Size {
-		return ioErr("bad dtype range count=%d pos=%d n=%d", r.Count, r.Pos, r.NBytes)
+		return s.reqFail(env, src, "bad dtype range count=%d pos=%d n=%d", r.Count, r.Pos, r.NBytes)
 	}
 	if !hit {
 		env.Compute(s.cost.DataloopDecode)
@@ -381,34 +455,8 @@ func (s *Server) dtype(env transport.Env, r *wire.DtypeReq, write bool) []byte {
 			}
 		}
 	}
-	if write {
-		data := r.Data
-		_, _, err := s.runPieces(env, lay, idx, true, regions, func(phys, n int64) error {
-			if int64(len(data)) < n {
-				return fmt.Errorf("short write payload")
-			}
-			if err := st.WriteAt(data[:n], phys); err != nil {
-				return err
-			}
-			data = data[n:]
-			return nil
-		})
-		if err != nil {
-			return ioErr("%v", err)
-		}
-		if len(data) != 0 {
-			return ioErr("excess write payload (%d bytes)", len(data))
-		}
-		return wire.EncodeIOResp(&wire.IOResp{OK: true})
+	if src != nil {
+		return s.applyWrite(env, lay, idx, st, regions, src)
 	}
-	var out []byte
-	_, _, err = s.runPieces(env, lay, idx, false, regions, func(phys, n int64) error {
-		at := len(out)
-		out = append(out, make([]byte, n)...)
-		return st.ReadAt(out[at:], phys)
-	})
-	if err != nil {
-		return ioErr("%v", err)
-	}
-	return wire.EncodeIOResp(&wire.IOResp{OK: true, Data: out})
+	return s.readReply(env, conn, lay, idx, st, regions)
 }

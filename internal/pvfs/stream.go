@@ -1,0 +1,299 @@
+package pvfs
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"dtio/internal/storage"
+	"dtio/internal/transport"
+	"dtio/internal/wire"
+)
+
+// Streamed transfer parameters. Transfers strictly larger than the
+// segment size are pipelined: the payload moves as wire.StreamChunk
+// frames under the credit-window protocol documented in internal/wire,
+// so the data owner's disk work overlaps the network transfer instead
+// of store-and-forwarding the whole payload.
+const (
+	// DefaultStreamChunkBytes bounds the flow-control segment size (it
+	// matches transport.DefaultSimConfig().ChunkBytes).
+	DefaultStreamChunkBytes = 64 * 1024
+	// DefaultStreamWindow is the maximum number of unacknowledged
+	// segments in flight per transfer.
+	DefaultStreamWindow = 4
+)
+
+// streamParams applies defaults to configured segment/window values.
+func streamParams(chunk, window int) (seg, win int64) {
+	if chunk <= 0 {
+		chunk = DefaultStreamChunkBytes
+	}
+	if window <= 0 {
+		window = DefaultStreamWindow
+	}
+	return int64(chunk), int64(window)
+}
+
+// segLen is the byte count of segment k of a total-byte stream.
+func segLen(total, seg, k int64) int64 {
+	if n := total - k*seg; n < seg {
+		return n
+	}
+	return seg
+}
+
+// bufPool recycles the scratch buffers that stage stream segments and
+// frames, so steady-state streaming does not allocate per segment.
+var bufPool = sync.Pool{New: func() any { return new([]byte) }}
+
+// getBuf returns a pooled buffer with length n.
+func getBuf(n int) *[]byte {
+	bp := bufPool.Get().(*[]byte)
+	if cap(*bp) < n {
+		*bp = make([]byte, n)
+	}
+	*bp = (*bp)[:n]
+	return bp
+}
+
+func putBuf(bp *[]byte) { bufPool.Put(bp) }
+
+// span is one physical run of bytes on a server's local object.
+type span struct{ off, n int64 }
+
+// spanPool recycles the per-request span lists of server read paths.
+var spanPool = sync.Pool{New: func() any { return new([]span) }}
+
+// spanCursor feeds a span list's bytes into successive destination
+// buffers; spans may straddle segment boundaries.
+type spanCursor struct {
+	spans []span
+	i     int
+	off   int64 // bytes consumed of spans[i]
+}
+
+func (c *spanCursor) fill(st storage.Store, dst []byte) error {
+	for len(dst) > 0 {
+		sp := c.spans[c.i]
+		n := sp.n - c.off
+		if n > int64(len(dst)) {
+			n = int64(len(dst))
+		}
+		if err := st.ReadAt(dst[:n], sp.off+c.off); err != nil {
+			return err
+		}
+		dst = dst[n:]
+		c.off += n
+		if c.off == sp.n {
+			c.i++
+			c.off = 0
+		}
+	}
+	return nil
+}
+
+// recvAck consumes one StreamAck frame, verifying its sequence.
+func recvAck(env transport.Env, conn transport.Conn, want uint32) error {
+	raw, err := conn.Recv(env)
+	if err != nil {
+		return err
+	}
+	seq, err := wire.DecodeStreamAck(raw)
+	if err != nil {
+		return err
+	}
+	if seq != want {
+		return fmt.Errorf("stream ack for segment %d, want %d", seq, want)
+	}
+	return nil
+}
+
+// errShortPayload is the request-level error for a write whose payload
+// ends before the request's regions are covered.
+var errShortPayload = errors.New("short write payload")
+
+// srvStream is the server side of one streamed write: it receives
+// segments in order, grants credit as they are consumed, and charges
+// the disk per segment so applying overlaps later segments' arrival.
+type srvStream struct {
+	conn   transport.Conn
+	cost   CostModel
+	total  int64
+	seg    int64
+	window int64
+	nseg   int64
+	next   int64 // next expected segment
+	fatal  error // connection-level failure; the conn must close
+	ack    []byte
+	chunk  wire.StreamChunk
+}
+
+// nextChunk receives segment s.next, models its disk ingestion (unless
+// discarding after a request failure), and acks it per the credit rule.
+func (ss *srvStream) nextChunk(env transport.Env, discard bool) ([]byte, error) {
+	if ss.next >= ss.nseg {
+		return nil, errShortPayload
+	}
+	raw, err := ss.conn.Recv(env)
+	if err != nil {
+		ss.fatal = err
+		return nil, err
+	}
+	if err := wire.DecodeStreamChunk(raw, &ss.chunk); err != nil {
+		ss.fatal = err
+		return nil, err
+	}
+	k := ss.next
+	want := segLen(ss.total, ss.seg, k)
+	if int64(ss.chunk.Seq) != k || int64(len(ss.chunk.Data)) != want || ss.chunk.Err != "" {
+		ss.fatal = fmt.Errorf("pvfs: stream chunk seq=%d len=%d err=%q, want seq=%d len=%d",
+			ss.chunk.Seq, len(ss.chunk.Data), ss.chunk.Err, k, want)
+		return nil, ss.fatal
+	}
+	ss.next++
+	if !discard {
+		var d time.Duration
+		if bw := ss.cost.DiskWriteBytesPerSec; bw > 0 {
+			d = time.Duration(float64(want) / bw * float64(time.Second))
+		}
+		if k == 0 {
+			d += ss.cost.DiskPerOp
+		}
+		env.DiskUse(d)
+	}
+	if k+ss.window < ss.nseg {
+		ss.ack = wire.AppendStreamAck(ss.ack, uint32(k))
+		if err := ss.conn.Send(env, ss.ack); err != nil {
+			ss.fatal = err
+			return nil, err
+		}
+	}
+	return ss.chunk.Data, nil
+}
+
+// drain consumes and acks the rest of the stream after a request-level
+// failure, so the connection stays usable for the error response. It
+// returns only connection-level (fatal) errors.
+func (ss *srvStream) drain(env transport.Env) error {
+	if ss.fatal != nil {
+		return ss.fatal
+	}
+	for ss.next < ss.nseg {
+		if _, err := ss.nextChunk(env, true); err != nil {
+			return ss.fatal
+		}
+	}
+	return nil
+}
+
+// writeSrc supplies a write request's payload bytes, either from the
+// inline request data or pulled segment-by-segment off a stream.
+type writeSrc struct {
+	data     []byte // unconsumed inline payload / current segment
+	consumed int64
+	stream   *srvStream // nil when the payload is inline
+}
+
+func inlineSrc(data []byte) *writeSrc { return &writeSrc{data: data} }
+
+// next returns between 1 and want unconsumed payload bytes, receiving
+// the next segment when the current one is exhausted.
+func (p *writeSrc) next(env transport.Env, want int64) ([]byte, error) {
+	if len(p.data) == 0 && p.stream != nil {
+		b, err := p.stream.nextChunk(env, false)
+		if err != nil {
+			return nil, err
+		}
+		p.data = b
+	}
+	if len(p.data) == 0 {
+		return nil, errShortPayload
+	}
+	n := int64(len(p.data))
+	if n > want {
+		n = want
+	}
+	b := p.data[:n]
+	p.data = p.data[n:]
+	p.consumed += n
+	return b, nil
+}
+
+// leftover reports payload bytes beyond what the request consumed.
+func (p *writeSrc) leftover() int64 {
+	if p.stream != nil {
+		return p.stream.total - p.consumed
+	}
+	return int64(len(p.data))
+}
+
+// drain disposes of an aborted streamed payload; nil for inline.
+func (p *writeSrc) drain(env transport.Env) error {
+	if p.stream == nil {
+		return nil
+	}
+	return p.stream.drain(env)
+}
+
+// streamRead sends total bytes described by spans as a flow-controlled
+// segment stream: segment k+1 comes off the disk while segment k is on
+// the wire. A storage failure mid-stream sends a terminal error chunk
+// and returns an error, closing the connection.
+func (s *Server) streamRead(env transport.Env, conn transport.Conn, st storage.Store, spans []span, total, seg, window int64) error {
+	nseg := (total + seg - 1) / seg
+	hdr := wire.EncodeReadStreamHdr(&wire.ReadStreamHdr{
+		Total: total, SegBytes: int32(seg), Window: int32(window),
+	})
+	if err := conn.Send(env, hdr); err != nil {
+		return err
+	}
+	bw := s.cost.DiskReadBytesPerSec
+	diskFor := func(k int64) time.Duration {
+		var d time.Duration
+		if bw > 0 {
+			d = time.Duration(float64(segLen(total, seg, k)) / bw * float64(time.Second))
+		}
+		if k == 0 {
+			d += s.cost.DiskPerOp
+		}
+		return d
+	}
+	fp := getBuf(13 + int(seg)) // chunk frame: type+seq+err+len = 13 bytes of header
+	defer func() { putBuf(fp) }()
+	frame := *fp
+	cur := spanCursor{spans: spans}
+	// Segment 0 comes off the disk before anything is on the wire.
+	env.DiskUse(diskFor(0))
+	for k := int64(0); k < nseg; k++ {
+		nk := segLen(total, seg, k)
+		frame = wire.AppendStreamChunkHdr(frame[:0], uint32(k), int(nk))
+		h := len(frame)
+		frame = frame[:h+int(nk)]
+		*fp = frame
+		if err := cur.fill(st, frame[h:]); err != nil {
+			// Terminal error chunk, then fail the connection: the client
+			// cannot resynchronize a half-delivered stream.
+			conn.Send(env, wire.EncodeStreamChunk(&wire.StreamChunk{Seq: uint32(k), Err: err.Error()}))
+			return fmt.Errorf("pvfs: streamed read: %w", err)
+		}
+		var nextDisk time.Duration
+		if k+1 < nseg {
+			nextDisk = diskFor(k + 1)
+		}
+		k := k
+		err := env.OverlapDisk(nextDisk, func() error {
+			if k >= window {
+				if err := recvAck(env, conn, uint32(k-window)); err != nil {
+					return err
+				}
+			}
+			return conn.Send(env, frame)
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -160,6 +160,53 @@ func (e *SimEnv) Overlap(d time.Duration, fn func() error) error {
 	return err
 }
 
+// OverlapDisk implements Env: d of disk occupancy runs in a sibling
+// process while fn executes in this one; it returns after both complete.
+// This is the server-side pipelining primitive: segment k+1's disk time
+// is charged while segment k is on the wire.
+func (e *SimEnv) OverlapDisk(d time.Duration, fn func() error) error {
+	if d <= 0 {
+		return fn()
+	}
+	wg := e.net.sched.NewWaitGroup()
+	wg.Add(1)
+	e.Go("overlap-disk", func(env Env) {
+		env.DiskUse(d)
+		wg.Done()
+	})
+	err := fn()
+	wg.Wait(e.proc)
+	return err
+}
+
+// Parallel implements Env: each function runs as its own simulated
+// process on this node (the scheduler interleaves them in virtual time).
+func (e *SimEnv) Parallel(name string, fns ...func(env Env) error) error {
+	switch len(fns) {
+	case 0:
+		return nil
+	case 1:
+		return fns[0](e)
+	}
+	errs := make([]error, len(fns))
+	wg := e.net.sched.NewWaitGroup()
+	wg.Add(len(fns))
+	for i, fn := range fns {
+		i, fn := i, fn
+		e.Go(fmt.Sprintf("%s-%d", name, i), func(env Env) {
+			errs[i] = fn(env)
+			wg.Done()
+		})
+	}
+	wg.Wait(e.proc)
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Now implements Env.
 func (e *SimEnv) Now() time.Duration { return e.proc.Now() }
 

@@ -35,6 +35,16 @@ type Env interface {
 	// returns fn's error after both finish. Outside simulation it just
 	// runs fn.
 	Overlap(d time.Duration, fn func() error) error
+	// OverlapDisk runs fn while d of disk occupancy proceeds concurrently
+	// on this node (modeling the next flow segment being read or written
+	// while the current one is on the wire); it returns fn's error after
+	// both finish. Outside simulation it just runs fn.
+	OverlapDisk(d time.Duration, fn func() error) error
+	// Parallel runs the given functions as concurrent sibling threads on
+	// this node and returns after all complete; the result is the first
+	// non-nil error in argument order. Outside simulation the functions
+	// run on real goroutines.
+	Parallel(name string, fns ...func(env Env) error) error
 	// Now reports elapsed (modeled or wall) time since the environment
 	// started.
 	Now() time.Duration
@@ -88,6 +98,35 @@ func (e *RealEnv) DiskUse(d time.Duration) {}
 
 // Overlap implements Env (no modeled cost: just runs fn).
 func (e *RealEnv) Overlap(d time.Duration, fn func() error) error { return fn() }
+
+// OverlapDisk implements Env (no modeled cost: just runs fn).
+func (e *RealEnv) OverlapDisk(d time.Duration, fn func() error) error { return fn() }
+
+// Parallel implements Env: the functions run on real goroutines.
+func (e *RealEnv) Parallel(name string, fns ...func(env Env) error) error {
+	switch len(fns) {
+	case 0:
+		return nil
+	case 1:
+		return fns[0](e)
+	}
+	errs := make([]error, len(fns))
+	var wg sync.WaitGroup
+	for i, fn := range fns {
+		wg.Add(1)
+		go func(i int, fn func(env Env) error) {
+			defer wg.Done()
+			errs[i] = fn(e)
+		}(i, fn)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
 
 // Now implements Env.
 func (e *RealEnv) Now() time.Duration { return time.Since(e.start) }

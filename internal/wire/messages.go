@@ -352,6 +352,16 @@ func DecodeMsg(b []byte) (MsgType, any, error) {
 		r.Size = d.I64()
 		r.Data = d.Bytes()
 		v = r
+	case MTReadStreamHdr:
+		v = &ReadStreamHdr{Total: d.I64(), SegBytes: int32(d.U32()), Window: int32(d.U32())}
+	case MTWriteStreamHdr:
+		r := &WriteStreamHdr{Total: d.I64(), SegBytes: int32(d.U32()), Window: int32(d.U32())}
+		r.Inner = d.Bytes()
+		v = r
+	case MTStreamChunk:
+		v = &StreamChunk{Seq: d.U32(), Err: d.Str(), Data: d.Bytes()}
+	case MTStreamAck:
+		v = &StreamAck{Seq: d.U32()}
 	default:
 		return t, nil, fmt.Errorf("wire: unknown message type %d", uint8(t))
 	}

@@ -1,0 +1,142 @@
+package wire
+
+import "fmt"
+
+// Streamed transfers split a large payload into NSeg flow-control
+// segments of SegBytes (the last may be short), so whichever side owns
+// the data can overlap disk work with network transfer instead of
+// staging the whole payload. The credit rule, shared by both directions:
+//
+//   - the sender may have at most Window unacknowledged segments in
+//     flight: before sending segment k >= Window it waits for the ack of
+//     segment k-Window;
+//   - the receiver acks segment k after consuming it iff k+Window < NSeg
+//     (acks that could not unblock anything are never sent, so a
+//     completed stream leaves no stray messages on the connection).
+//
+// Errors: a read-side server failure mid-stream is reported in a
+// terminal chunk with Err set, after which the connection closes. A
+// write-side request failure is reported in the ordinary IOResp after
+// the server drains (and keeps acking) the remaining segments, leaving
+// the connection usable.
+
+// ReadStreamHdr announces a streamed read response: Total payload bytes
+// follow as chunks. It replaces the IOResp of an inline read (implying
+// OK; request errors detected before data moves use a plain IOResp).
+type ReadStreamHdr struct {
+	Total    int64
+	SegBytes int32
+	Window   int32
+}
+
+// WriteStreamHdr opens a streamed write: Inner is the encoded ordinary
+// write request (contig, list, or dtype) with empty payload; Total
+// payload bytes follow as chunks.
+type WriteStreamHdr struct {
+	Total    int64
+	SegBytes int32
+	Window   int32
+	Inner    []byte
+}
+
+// StreamChunk carries flow-control segment Seq. A non-empty Err is
+// terminal: the stream is abandoned and the connection closes.
+type StreamChunk struct {
+	Seq  uint32
+	Err  string
+	Data []byte
+}
+
+// StreamAck grants one segment of credit: the receiver has consumed
+// segment Seq.
+type StreamAck struct{ Seq uint32 }
+
+// EncodeReadStreamHdr marshals a ReadStreamHdr.
+func EncodeReadStreamHdr(r *ReadStreamHdr) []byte {
+	e := NewEnc(MTReadStreamHdr)
+	e.I64(r.Total)
+	e.U32(uint32(r.SegBytes))
+	e.U32(uint32(r.Window))
+	return e.B
+}
+
+// EncodeWriteStreamHdr marshals a WriteStreamHdr.
+func EncodeWriteStreamHdr(r *WriteStreamHdr) []byte {
+	e := NewEnc(MTWriteStreamHdr)
+	e.I64(r.Total)
+	e.U32(uint32(r.SegBytes))
+	e.U32(uint32(r.Window))
+	e.Bytes(r.Inner)
+	return e.B
+}
+
+// AppendStreamChunk marshals a StreamChunk into dst[:0] (growing it as
+// needed), so per-segment frames build into a reusable buffer.
+func AppendStreamChunk(dst []byte, seq uint32, errStr string, data []byte) []byte {
+	e := Enc{B: append(dst[:0], byte(MTStreamChunk))}
+	e.U32(seq)
+	e.Str(errStr)
+	e.Bytes(data)
+	return e.B
+}
+
+// AppendStreamChunkHdr marshals a StreamChunk frame for dataLen payload
+// bytes, leaving the payload area for the caller to extend and fill
+// (e.g. straight from storage, avoiding an intermediate copy).
+func AppendStreamChunkHdr(dst []byte, seq uint32, dataLen int) []byte {
+	e := Enc{B: append(dst[:0], byte(MTStreamChunk))}
+	e.U32(seq)
+	e.Str("")
+	e.U32(uint32(dataLen))
+	return e.B
+}
+
+// EncodeStreamChunk marshals a StreamChunk into a fresh buffer.
+func EncodeStreamChunk(c *StreamChunk) []byte {
+	return AppendStreamChunk(nil, c.Seq, c.Err, c.Data)
+}
+
+// AppendStreamAck marshals a StreamAck into dst[:0].
+func AppendStreamAck(dst []byte, seq uint32) []byte {
+	e := Enc{B: append(dst[:0], byte(MTStreamAck))}
+	e.U32(seq)
+	return e.B
+}
+
+// EncodeStreamAck marshals a StreamAck.
+func EncodeStreamAck(a *StreamAck) []byte { return AppendStreamAck(nil, a.Seq) }
+
+// DecodeStreamChunk parses a StreamChunk frame into c without interface
+// boxing (hot path: one frame per segment). Data aliases b.
+func DecodeStreamChunk(b []byte, c *StreamChunk) error {
+	d := NewDec(b)
+	if t := d.Type(); t != MTStreamChunk {
+		return fmt.Errorf("wire: expected stream chunk, got %s", t)
+	}
+	c.Seq = d.U32()
+	c.Err = d.Str()
+	c.Data = d.Bytes()
+	return d.Done()
+}
+
+// DecodeStreamAck parses a StreamAck frame.
+func DecodeStreamAck(b []byte) (uint32, error) {
+	d := NewDec(b)
+	if t := d.Type(); t != MTStreamAck {
+		return 0, fmt.Errorf("wire: expected stream ack, got %s", t)
+	}
+	seq := d.U32()
+	return seq, d.Done()
+}
+
+// AppendIORespOK marshals into dst[:0] an OK IOResp frame for dataLen
+// payload bytes, leaving the payload area for the caller to extend and
+// fill in place.
+func AppendIORespOK(dst []byte, dataLen int) []byte {
+	e := Enc{B: append(dst[:0], byte(MTIOResp))}
+	e.U8(1)
+	e.Str("")
+	e.I64(0)
+	e.U32(uint32(dataLen))
+	return e.B
+}

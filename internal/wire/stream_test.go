@@ -1,0 +1,100 @@
+package wire
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+func TestStreamHdrRoundTrips(t *testing.T) {
+	rh := &ReadStreamHdr{Total: 1 << 30, SegBytes: 65536, Window: 4}
+	roundTrip(t, EncodeReadStreamHdr(rh), rh)
+	wh := &WriteStreamHdr{Total: 200000, SegBytes: 65536, Window: 4, Inner: []byte{1, 2, 3}}
+	roundTrip(t, EncodeWriteStreamHdr(wh), wh)
+}
+
+func TestStreamChunkRoundTrip(t *testing.T) {
+	c := &StreamChunk{Seq: 7, Data: []byte("segment bytes")}
+	roundTrip(t, EncodeStreamChunk(c), c)
+	term := &StreamChunk{Seq: 3, Err: "disk on fire", Data: []byte{}}
+	roundTrip(t, EncodeStreamChunk(term), term)
+}
+
+func TestStreamAckRoundTrip(t *testing.T) {
+	a := &StreamAck{Seq: 41}
+	roundTrip(t, EncodeStreamAck(a), a)
+	seq, err := DecodeStreamAck(EncodeStreamAck(a))
+	if err != nil || seq != 41 {
+		t.Fatalf("seq=%d err=%v", seq, err)
+	}
+}
+
+func TestDecodeStreamChunkFast(t *testing.T) {
+	enc := EncodeStreamChunk(&StreamChunk{Seq: 9, Data: []byte("abc")})
+	var c StreamChunk
+	if err := DecodeStreamChunk(enc, &c); err != nil {
+		t.Fatal(err)
+	}
+	if c.Seq != 9 || c.Err != "" || string(c.Data) != "abc" {
+		t.Fatalf("decoded %+v", c)
+	}
+	// Wrong type rejected.
+	if err := DecodeStreamChunk(EncodeStreamAck(&StreamAck{Seq: 1}), &c); err == nil {
+		t.Fatal("ack decoded as chunk")
+	}
+	if _, err := DecodeStreamAck(enc); err == nil {
+		t.Fatal("chunk decoded as ack")
+	}
+	// Truncation rejected at every cut.
+	for cut := 1; cut < len(enc); cut++ {
+		if err := DecodeStreamChunk(enc[:cut], &c); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestAppendStreamChunkReusesBuffer(t *testing.T) {
+	buf := make([]byte, 0, 64)
+	a := AppendStreamChunk(buf, 1, "", []byte("first"))
+	if &a[0] != &buf[:1][0] {
+		t.Fatal("append did not reuse the buffer")
+	}
+	b := AppendStreamChunk(a, 2, "", []byte("second"))
+	var c StreamChunk
+	if err := DecodeStreamChunk(b, &c); err != nil || c.Seq != 2 || string(c.Data) != "second" {
+		t.Fatalf("reused-buffer frame decoded %+v err=%v", c, err)
+	}
+}
+
+func TestAppendStreamChunkHdrFraming(t *testing.T) {
+	// Header + caller-filled payload must equal the plain encoding.
+	data := []byte("0123456789abcdef")
+	frame := AppendStreamChunkHdr(nil, 5, len(data))
+	h := len(frame)
+	frame = append(frame, data...)
+	if !bytes.Equal(frame, EncodeStreamChunk(&StreamChunk{Seq: 5, Data: data})) {
+		t.Fatal("hdr+payload framing differs from EncodeStreamChunk")
+	}
+	if h != 13 { // type + seq + empty err + data length: the server's sizing assumption
+		t.Fatalf("chunk header is %d bytes", h)
+	}
+}
+
+func TestAppendIORespOKFraming(t *testing.T) {
+	data := []byte("read payload")
+	frame := AppendIORespOK(nil, len(data))
+	frame = append(frame, data...)
+	want := &IOResp{OK: true, Size: 0, Data: data}
+	_, got, err := DecodeMsg(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %+v want %+v", got, want)
+	}
+	// Zero-length payload too.
+	_, got, err = DecodeMsg(AppendIORespOK(nil, 0))
+	if err != nil || !got.(*IOResp).OK || len(got.(*IOResp).Data) != 0 {
+		t.Fatalf("empty IOResp got %+v err=%v", got, err)
+	}
+}

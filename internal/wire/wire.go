@@ -38,6 +38,17 @@ const (
 	MTTruncateReq
 	MTRemoveObjReq
 	MTIOResp
+
+	// Streamed (flow-controlled) transfers. A read response larger than
+	// the segment size arrives as MTReadStreamHdr followed by
+	// MTStreamChunk frames; a large write is sent as MTWriteStreamHdr
+	// (wrapping the ordinary write request, minus payload) followed by
+	// chunks. MTStreamAck grants one segment of credit in the reverse
+	// direction.
+	MTReadStreamHdr
+	MTWriteStreamHdr
+	MTStreamChunk
+	MTStreamAck
 )
 
 func (t MsgType) String() string {
@@ -49,6 +60,8 @@ func (t MsgType) String() string {
 		MTReadDtypeReq: "readdtype", MTWriteDtypeReq: "writedtype",
 		MTLocalSizeReq: "localsize", MTTruncateReq: "truncate",
 		MTRemoveObjReq: "removeobj", MTIOResp: "ioresp",
+		MTReadStreamHdr: "readstreamhdr", MTWriteStreamHdr: "writestreamhdr",
+		MTStreamChunk: "streamchunk", MTStreamAck: "streamack",
 	}
 	if s, ok := names[t]; ok {
 		return s
