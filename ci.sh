@@ -1,10 +1,22 @@
 #!/bin/sh
 # ci.sh — the repo's gate, in the order a failure is cheapest to catch:
-# vet, build, the full test suite under the race detector, then a
-# single-shot benchmark smoke run so the bench harness itself can't rot.
+# vet, build, the full test suite under the race detector, a dedicated
+# lock-contention stress pass, then a single-shot benchmark smoke run so
+# the bench harness itself can't rot. Every `go test` carries an
+# explicit -timeout: a lock-protocol bug shows up as a hang, and the
+# watchdog turns that into a failure with goroutine dumps instead of a
+# stuck CI job.
 set -eux
 
 go vet ./...
 go build ./...
-go test -race ./...
-go test -run 'XXX' -bench 'BenchmarkTileRead/dtype' -benchtime 1x -benchmem .
+go test -race -timeout 120s ./...
+# Lock-contention stress: concurrent sieving writers and atomic-mode
+# writers hammering overlapping byte ranges, repeated under -race with a
+# tight deadlock watchdog (see DESIGN.md §9).
+go test -race -timeout 60s -count 3 \
+	-run 'TestConcurrentSieveWriters|TestAtomicModeOverlappingWriters' ./internal/mpiio/
+go test -race -timeout 60s \
+	-run 'TestLockContentionVerified|TestLockProtocol|TestLockDisconnectReleases|TestLockLease' \
+	./internal/bench/ ./internal/pvfs/
+go test -timeout 120s -run 'XXX' -bench 'BenchmarkTileRead/dtype' -benchtime 1x -benchmem .

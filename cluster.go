@@ -198,6 +198,7 @@ type File struct {
 	mp     *mpiio.File
 	method Method
 	hints  Hints
+	atomic bool
 
 	disp     int64
 	etype    *Type
@@ -220,10 +221,32 @@ func (f *File) setup(m Method, h Hints) {
 		h = DefaultHints()
 	}
 	f.mp = mpiio.Open(f.pf, f.fs.comm, m, h)
+	if f.atomic {
+		// Atomicity survives method/hint changes when the new
+		// combination still supports it.
+		if err := f.mp.SetAtomicity(true); err != nil {
+			f.atomic = false
+		}
+	}
 	if f.etype != nil {
 		f.mp.SetView(f.disp, f.etype, f.filetype)
 	}
 }
+
+// SetAtomicity switches MPI-IO atomic mode (MPI_File_set_atomicity):
+// every independent operation is bracketed by one byte-range lock on the
+// metadata server, so overlapping writes from different processes
+// serialize instead of interleaving.
+func (f *File) SetAtomicity(enable bool) error {
+	if err := f.mp.SetAtomicity(enable); err != nil {
+		return err
+	}
+	f.atomic = enable
+	return nil
+}
+
+// Atomicity reports whether atomic mode is enabled.
+func (f *File) Atomicity() bool { return f.mp.Atomicity() }
 
 // SetView establishes the file view (MPI_File_set_view semantics).
 func (f *File) SetView(disp int64, etype, filetype *Type) error {

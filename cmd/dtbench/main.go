@@ -23,8 +23,8 @@ import (
 )
 
 var (
-	expFlag    = flag.String("exp", "all", "experiment: tile|block3d|flash|ablate-listcap|ablate-coalesce|ablate-sievebuf|ablate-loopcache|ablate-fullfeatured|pr1|all")
-	jsonFlag   = flag.String("json", "BENCH_PR1.json", "pr1: output path for the machine-readable report")
+	expFlag    = flag.String("exp", "all", "experiment: tile|block3d|flash|ablate-listcap|ablate-coalesce|ablate-sievebuf|ablate-loopcache|ablate-fullfeatured|pr1|pr2|all")
+	jsonFlag   = flag.String("json", "", "pr1/pr2: output path for the machine-readable report (default BENCH_PR<n>.json)")
 	frames     = flag.Int("frames", 3, "tile: frames per timed run")
 	flashProcs = flag.String("flash-procs", "2,8,16,32,48,64,96,128", "flash: client counts")
 	b3Procs    = flag.String("block3d-procs", "8,27,64", "block3d: client counts (perfect cubes)")
@@ -53,7 +53,9 @@ func main() {
 	case "ablate-fullfeatured":
 		ablateFullFeatured()
 	case "pr1":
-		runPR1(*jsonFlag)
+		runPR1(jsonPath("BENCH_PR1.json"))
+	case "pr2":
+		runPR2(jsonPath("BENCH_PR2.json"))
 	case "all":
 		runTile()
 		runBlock3D()
@@ -68,6 +70,13 @@ func main() {
 		os.Exit(2)
 	}
 	fmt.Printf("\n(total wall time %v)\n", time.Since(start).Round(time.Second))
+}
+
+func jsonPath(dflt string) string {
+	if *jsonFlag != "" {
+		return *jsonFlag
+	}
+	return dflt
 }
 
 func cfg(clients, procsPerNode int) bench.Config {
@@ -125,10 +134,8 @@ func runBlock3D() {
 			r := bench.Block3D(cfg(p, 2), b3, m, false)
 			readRs = append(readRs, r)
 			tbl = append(tbl, r)
-			if m != mpiio.Sieve { // sieving writes unsupported on PVFS
-				w := bench.Block3D(cfg(p, 2), b3, m, true)
-				writeRs = append(writeRs, w)
-			}
+			w := bench.Block3D(cfg(p, 2), b3, m, true)
+			writeRs = append(writeRs, w)
 		}
 		fmt.Println(bench.CharacteristicsTable(
 			fmt.Sprintf("Table 2 (%d clients): per-client I/O characteristics (read)", p), tbl))

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	pvfs-meta -addr :7000 -servers 4
+//	pvfs-meta -addr :7000 -servers 4 -lease 30s
 package main
 
 import (
@@ -17,11 +17,14 @@ import (
 func main() {
 	addr := flag.String("addr", ":7000", "listen address")
 	servers := flag.Int("servers", 4, "number of I/O servers in the cluster")
+	lease := flag.Duration("lease", pvfs.DefaultLeaseTimeout,
+		"byte-range lock lease; held locks are reclaimed after this long (0 = never)")
 	flag.Parse()
 	if *servers <= 0 {
 		log.Fatal("pvfs-meta: -servers must be positive")
 	}
 	m := pvfs.NewMetaServer(transport.NewTCPNetwork(), *addr, *servers)
+	m.LeaseTimeout = *lease
 	log.Printf("pvfs-meta: serving namespace for %d I/O servers on %s", *servers, *addr)
 	if err := m.Serve(transport.NewRealEnv()); err != nil {
 		log.Fatalf("pvfs-meta: %v", err)

@@ -132,11 +132,17 @@ func DefaultHints() Hints { return mpiio.DefaultHints() }
 
 // Errors re-exported from the MPI-IO layer.
 var (
-	// ErrSieveWrite: data sieving writes need file locking, which this
-	// file system (like PVFS) does not provide.
+	// ErrSieveWrite: data sieving writes need the byte-range lock
+	// service; with the NoLocks hint (the paper-faithful lockless PVFS)
+	// they fail with this error.
 	ErrSieveWrite = mpiio.ErrSieveWrite
 	// ErrCollectiveOnly: two-phase requires the collective calls.
 	ErrCollectiveOnly = mpiio.ErrCollectiveOnly
+	// ErrAtomicTwoPhase: atomic mode is unavailable on two-phase files.
+	ErrAtomicTwoPhase = mpiio.ErrAtomicTwoPhase
+	// ErrAtomicNoLocks: atomic mode needs the lock service the NoLocks
+	// hint disabled.
+	ErrAtomicNoLocks = mpiio.ErrAtomicNoLocks
 )
 
 // Distribution selects how a dimension of a distributed array is split

@@ -131,14 +131,38 @@ func TestFacadeWorldCollective(t *testing.T) {
 	}
 }
 
-func TestFacadeSieveWriteError(t *testing.T) {
+func TestFacadeSieveWrite(t *testing.T) {
 	c := newTestCluster(t)
 	fs := c.Mount()
 	f, _ := fs.Create("sv")
 	f.SetMethod(Sieve)
-	err := f.Write(0, make([]byte, 4), Int32, 1)
-	if err != ErrSieveWrite {
+	want := []byte{1, 2, 3, 4}
+	if err := f.Write(0, want, Int32, 1); err != nil {
+		t.Fatalf("sieve write: %v", err)
+	}
+	got := make([]byte, 4)
+	if err := f.Read(0, got, Int32, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	// The paper-faithful lockless configuration still refuses.
+	h := DefaultHints()
+	h.NoLocks = true
+	f.SetHints(h)
+	if err := f.Write(0, make([]byte, 4), Int32, 1); err != ErrSieveWrite {
 		t.Fatalf("err=%v", err)
+	}
+	if err := f.SetAtomicity(true); err != ErrAtomicNoLocks {
+		t.Fatalf("atomicity under NoLocks: %v", err)
+	}
+	f.SetHints(DefaultHints())
+	if err := f.SetAtomicity(true); err != nil || !f.Atomicity() {
+		t.Fatalf("enable atomicity: err=%v on=%v", err, f.Atomicity())
+	}
+	if err := f.Write(0, want, Int32, 1); err != nil {
+		t.Fatalf("atomic sieve write: %v", err)
 	}
 }
 

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"errors"
 	"testing"
 
 	"dtio/internal/mpiio"
@@ -49,7 +50,7 @@ func TestBlock3DAllMethodsVerified(t *testing.T) {
 			t.Fatalf("read %v: %v", m, res.Err)
 		}
 	}
-	for _, m := range []mpiio.Method{mpiio.Posix, mpiio.TwoPhase, mpiio.ListIO, mpiio.DtypeIO} {
+	for _, m := range []mpiio.Method{mpiio.Posix, mpiio.Sieve, mpiio.TwoPhase, mpiio.ListIO, mpiio.DtypeIO} {
 		res := Block3D(verifyCfg(8, 2), b3, m, true)
 		if res.Err != nil {
 			t.Fatalf("write %v: %v", m, res.Err)
@@ -57,9 +58,51 @@ func TestBlock3DAllMethodsVerified(t *testing.T) {
 	}
 }
 
+func TestTileWriteAllMethodsVerified(t *testing.T) {
+	for _, m := range []mpiio.Method{mpiio.Posix, mpiio.Sieve, mpiio.TwoPhase, mpiio.ListIO, mpiio.DtypeIO} {
+		res := TileWrite(verifyCfg(6, 1), smallTile(), m, 2)
+		if res.Err != nil {
+			t.Fatalf("%v: %v", m, res.Err)
+		}
+		if res.Elapsed <= 0 {
+			t.Fatalf("%v: no elapsed time", m)
+		}
+	}
+	// The paper-faithful NoLocks ablation must still refuse.
+	cfg := verifyCfg(6, 1)
+	cfg.Hints.NoLocks = true
+	if res := TileWrite(cfg, smallTile(), mpiio.Sieve, 1); !errors.Is(res.Err, mpiio.ErrSieveWrite) {
+		t.Fatalf("NoLocks sieve write: %v", res.Err)
+	}
+}
+
+// TestLockContentionVerified runs the contended interleaved-stripe
+// sieve-write workload in the simulator with a sieve buffer smaller
+// than the interleave period, so windows conflict constantly, and
+// checks the final image byte for byte.
+func TestLockContentionVerified(t *testing.T) {
+	for _, writers := range []int{1, 2, 4} {
+		cfg := verifyCfg(writers, 1)
+		cfg.Hints.SieveBufSize = 96
+		res := LockContention(cfg, writers, 64, 8)
+		if res.Err != nil {
+			t.Fatalf("%d writers: %v", writers, res.Err)
+		}
+		if res.Locks.Held != 0 || res.Locks.Queued != 0 {
+			t.Fatalf("%d writers: leaked lock state: %+v", writers, res.Locks)
+		}
+		if res.Locks.Acquires == 0 || res.PerClient.LockWaits == 0 {
+			t.Fatalf("%d writers: sieve writes took no locks: %+v", writers, res.Locks)
+		}
+		if writers >= 2 && res.Locks.Waits == 0 {
+			t.Fatalf("%d writers: no lock contention measured: %+v", writers, res.Locks)
+		}
+	}
+}
+
 func TestFlashAllMethodsVerified(t *testing.T) {
 	fc := workloads.FlashConfig{Blocks: 4, NB: 4, Guard: 2, Vars: 6, ElemSize: 8, Procs: 4}
-	for _, m := range []mpiio.Method{mpiio.Posix, mpiio.TwoPhase, mpiio.ListIO, mpiio.DtypeIO} {
+	for _, m := range []mpiio.Method{mpiio.Posix, mpiio.Sieve, mpiio.TwoPhase, mpiio.ListIO, mpiio.DtypeIO} {
 		res := Flash(verifyCfg(4, 2), fc, m)
 		if res.Err != nil {
 			t.Fatalf("%v: %v", m, res.Err)

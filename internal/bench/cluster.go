@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"dtio/internal/iostats"
+	"dtio/internal/locks"
 	"dtio/internal/mpi"
 	"dtio/internal/mpiio"
 	"dtio/internal/pvfs"
@@ -41,6 +42,11 @@ type Config struct {
 	// servers and clients, restoring store-and-forward I/O: the ablation
 	// that isolates the disk/network overlap win.
 	NoStreaming bool
+	// LeaseTimeout is the byte-range lock lease on the metadata server.
+	// Simulated clients do not crash, so benchmarks default to 0 (no
+	// expiry): a nonzero lease would wake the sweep watchdog and inflate
+	// total simulated time without changing the measured phase.
+	LeaseTimeout time.Duration
 }
 
 // DefaultConfig is the paper's testbed: 16 I/O servers, 64 KiB strips,
@@ -103,6 +109,7 @@ type Result struct {
 	Bytes     int64         // application bytes moved in the timed phase
 	PerClient iostats.Snapshot
 	Util      Utilization
+	Locks     locks.Stats // lock-service counters over the whole run
 	Err       error
 }
 
@@ -161,6 +168,7 @@ func NewCluster(cfg Config) *Cluster {
 	c.serverNodes = serverNodes
 	c.metaAddr = transport.Addr(serverNodes[0], "meta")
 	c.meta = pvfs.NewMetaServer(c.net, c.metaAddr, cfg.Servers)
+	c.meta.LeaseTimeout = cfg.LeaseTimeout
 	c.net.Spawn("meta", serverNodes[0], func(env transport.Env) {
 		c.meta.Serve(env)
 	})
@@ -248,6 +256,10 @@ func (c *Cluster) Run(fn func(r *Rank) error) (time.Duration, iostats.Snapshot, 
 	}
 	return c.winEnd - c.winStart, agg.Div(int64(c.cfg.Clients)), nil
 }
+
+// LockStats snapshots the metadata server's lock-service counters (call
+// after Run to check for leaked locks or to report contention).
+func (c *Cluster) LockStats() locks.Stats { return c.meta.LockStats() }
 
 // Utilization reports average busy fractions of the modeled hardware
 // relative to the total simulated time (call after Run).

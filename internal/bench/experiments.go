@@ -82,6 +82,7 @@ func TileRead(cfg Config, tile workloads.TileConfig, method mpiio.Method, frames
 	res.Elapsed = elapsed
 	res.PerClient = per
 	res.Util = cl.Utilization()
+	res.Locks = cl.LockStats()
 	res.Bytes = int64(tile.NumClients()) * int64(frames) * tileBytes
 	res.Err = err
 	// Tables report per-frame characteristics, as the paper does.
@@ -103,6 +104,168 @@ func verifyTile(tile workloads.TileConfig, rank, frame int, buf []byte) error {
 		return true
 	})
 	return bad
+}
+
+// TileWrite runs the tile writer benchmark: every client writes its
+// (overlapping) tile of `frames` consecutive frames. Overlap bytes get
+// identical values from every neighbor (FramePixel is a pure function
+// of frame and offset) so the final image is deterministic regardless
+// of write interleaving — but data sieving must still lock each
+// read-modify-write window, or the bytes between a tile's rows would be
+// clobbered with stale data.
+func TileWrite(cfg Config, tile workloads.TileConfig, method mpiio.Method, frames int) Result {
+	res := Result{Name: "tile-write", Method: method, Clients: tile.NumClients()}
+	if err := tile.Validate(); err != nil {
+		res.Err = err
+		return res
+	}
+	cfg.Clients = tile.NumClients()
+	if frames <= 0 {
+		frames = tile.Frames
+	}
+	cl := NewCluster(cfg)
+	tileBytes := tile.TileBytes()
+	elapsed, per, err := cl.Run(func(r *Rank) error {
+		pf, err := openShared(r, "frames-w.dat", cfg.StripSize)
+		if err != nil {
+			return err
+		}
+		f := mpiio.Open(pf, r.Comm, method, cfg.Hints)
+		view := tile.View(r.ID)
+		if err := f.SetView(0, datatype.Byte, view); err != nil {
+			return err
+		}
+		buf := make([]byte, tileBytes)
+		memType := datatype.Bytes(tileBytes)
+		fill := func(fr int) {
+			pos := int64(0)
+			view.Walk(0, func(off, n int64) bool {
+				for i := int64(0); i < n; i++ {
+					buf[pos+i] = workloads.FramePixel(fr, off+i)
+				}
+				pos += n
+				return true
+			})
+		}
+		r.Stats.Reset() // exclude setup traffic from the tables
+		if err := r.TimePhase(func() error {
+			for fr := 0; fr < frames; fr++ {
+				if cfg.Verify {
+					fill(fr)
+				}
+				if err := f.WriteAtAll(r.Env, int64(fr)*tileBytes, buf, memType, 1); err != nil {
+					return err
+				}
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+		if cfg.Verify {
+			r.Comm.Barrier(r.Env)
+			if r.ID == 0 {
+				// The overlapping tiles cover the frame completely, so
+				// every byte of every frame is determined.
+				frame := make([]byte, tile.FrameBytes())
+				for fr := 0; fr < frames; fr++ {
+					if err := pf.ReadContig(r.Env, int64(fr)*tile.FrameBytes(), frame); err != nil {
+						return err
+					}
+					for i := range frame {
+						if frame[i] != workloads.FramePixel(fr, int64(i)) {
+							return fmt.Errorf("frame %d byte %d wrong after tile write", fr, i)
+						}
+					}
+				}
+			}
+		}
+		return nil
+	})
+	res.Elapsed = elapsed
+	res.PerClient = per
+	res.Util = cl.Utilization()
+	res.Locks = cl.LockStats()
+	res.Bytes = int64(tile.NumClients()) * int64(frames) * tileBytes
+	res.Err = err
+	// Tables report per-frame characteristics, as the paper does.
+	res.PerClient = res.PerClient.Div(int64(frames))
+	return res
+}
+
+// contendByte is the oracle for the lock-contention region: the value
+// of file byte off, whoever writes it.
+func contendByte(off int64) byte { return byte(off*167 + off>>9) }
+
+// LockContention measures the byte-range lock service under pressure:
+// `writers` clients data-sieve interleaved stripes of one shared
+// region, so nearly every read-modify-write window overlaps neighbors'
+// windows and must queue at the metadata server. Per-client volume is
+// held fixed as writers grow — the scaling curve isolates lock-wait
+// cost from data movement.
+func LockContention(cfg Config, writers int, stripe int64, rows int) Result {
+	res := Result{Name: "lock-contention", Method: mpiio.Sieve, Clients: writers}
+	if writers <= 0 || stripe <= 0 || rows <= 0 {
+		res.Err = fmt.Errorf("bench: bad contention shape: %d writers, %d stripe, %d rows", writers, stripe, rows)
+		return res
+	}
+	cfg.Clients = writers
+	cl := NewCluster(cfg)
+	period := stripe * int64(writers)
+	perClient := stripe * int64(rows)
+	elapsed, per, err := cl.Run(func(r *Rank) error {
+		pf, err := openShared(r, "contend.dat", cfg.StripSize)
+		if err != nil {
+			return err
+		}
+		f := mpiio.Open(pf, r.Comm, mpiio.Sieve, cfg.Hints)
+		view := datatype.Subarray(
+			[]int{rows, int(period)}, []int{rows, int(stripe)}, []int{0, r.ID * int(stripe)},
+			datatype.OrderC, datatype.Byte)
+		if err := f.SetView(0, datatype.Byte, view); err != nil {
+			return err
+		}
+		buf := make([]byte, perClient)
+		if cfg.Verify {
+			pos := int64(0)
+			view.Walk(0, func(off, n int64) bool {
+				for i := int64(0); i < n; i++ {
+					buf[pos+i] = contendByte(off + i)
+				}
+				pos += n
+				return true
+			})
+		}
+		memType := datatype.Bytes(perClient)
+		r.Stats.Reset()
+		if err := r.TimePhase(func() error {
+			// Independent writes: the ranks race, which is the point.
+			return f.WriteAt(r.Env, 0, buf, memType, 1)
+		}); err != nil {
+			return err
+		}
+		if cfg.Verify {
+			r.Comm.Barrier(r.Env)
+			if r.ID == 0 {
+				got := make([]byte, period*int64(rows))
+				if err := pf.ReadContig(r.Env, 0, got); err != nil {
+					return err
+				}
+				for i := range got {
+					if got[i] != contendByte(int64(i)) {
+						return fmt.Errorf("byte %d wrong after contended sieve writes: lost update", i)
+					}
+				}
+			}
+		}
+		return nil
+	})
+	res.Elapsed = elapsed
+	res.PerClient = per
+	res.Util = cl.Utilization()
+	res.Locks = cl.LockStats()
+	res.Bytes = perClient * int64(writers)
+	res.Err = err
+	return res
 }
 
 // Block3D runs the ROMIO 3-D block test (E2) in read or write mode.
@@ -206,6 +369,7 @@ func Block3D(cfg Config, b3 workloads.Block3DConfig, method mpiio.Method, write 
 	res.Elapsed = elapsed
 	res.PerClient = per
 	res.Util = cl.Utilization()
+	res.Locks = cl.LockStats()
 	res.Bytes = int64(b3.Procs) * blockBytes
 	res.Err = err
 	return res
@@ -267,6 +431,7 @@ func Flash(cfg Config, fc workloads.FlashConfig, method mpiio.Method) Result {
 	res.Elapsed = elapsed
 	res.PerClient = per
 	res.Util = cl.Utilization()
+	res.Locks = cl.LockStats()
 	res.Bytes = fc.TotalBytes()
 	res.Err = err
 	return res

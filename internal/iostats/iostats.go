@@ -18,7 +18,8 @@ type Stats struct {
 	wireMsgs   atomic.Int64 // request messages actually sent to servers
 	reqBytes   atomic.Int64 // request description payload (headers, lists, loops)
 	resent     atomic.Int64 // bytes redistributed between clients (two-phase)
-	lockWaits  atomic.Int64 // lock acquisitions (data sieving writes)
+	lockWaits  atomic.Int64 // lock acquisitions (sieving writes, atomic mode)
+	lockWaitNs atomic.Int64 // nanoseconds spent queued for locks
 	regionsCPU atomic.Int64 // offset-length pairs processed locally
 }
 
@@ -43,6 +44,9 @@ func (s *Stats) AddResent(n int64) { s.resent.Add(n) }
 // AddLock records a lock acquisition.
 func (s *Stats) AddLock() { s.lockWaits.Add(1) }
 
+// AddLockWait records time spent queued before a lock was granted.
+func (s *Stats) AddLockWait(ns int64) { s.lockWaitNs.Add(ns) }
+
 // AddRegions records locally processed offset-length pairs.
 func (s *Stats) AddRegions(n int64) { s.regionsCPU.Add(n) }
 
@@ -55,6 +59,7 @@ type Snapshot struct {
 	ReqBytes      int64
 	ResentBytes   int64
 	LockWaits     int64
+	LockWaitNs    int64
 	Regions       int64
 }
 
@@ -68,6 +73,7 @@ func (s *Stats) Snapshot() Snapshot {
 		ReqBytes:      s.reqBytes.Load(),
 		ResentBytes:   s.resent.Load(),
 		LockWaits:     s.lockWaits.Load(),
+		LockWaitNs:    s.lockWaitNs.Load(),
 		Regions:       s.regionsCPU.Load(),
 	}
 }
@@ -81,6 +87,7 @@ func (s *Stats) Reset() {
 	s.reqBytes.Store(0)
 	s.resent.Store(0)
 	s.lockWaits.Store(0)
+	s.lockWaitNs.Store(0)
 	s.regionsCPU.Store(0)
 }
 
@@ -94,6 +101,7 @@ func (a Snapshot) Add(b Snapshot) Snapshot {
 		ReqBytes:      a.ReqBytes + b.ReqBytes,
 		ResentBytes:   a.ResentBytes + b.ResentBytes,
 		LockWaits:     a.LockWaits + b.LockWaits,
+		LockWaitNs:    a.LockWaitNs + b.LockWaitNs,
 		Regions:       a.Regions + b.Regions,
 	}
 }
@@ -111,6 +119,7 @@ func (a Snapshot) Div(n int64) Snapshot {
 		ReqBytes:      a.ReqBytes / n,
 		ResentBytes:   a.ResentBytes / n,
 		LockWaits:     a.LockWaits / n,
+		LockWaitNs:    a.LockWaitNs / n,
 		Regions:       a.Regions / n,
 	}
 }

@@ -1,0 +1,454 @@
+// Package locks implements a byte-range lock service for PVFS files,
+// the missing piece the paper (§4.1) cites for dropping data-sieving
+// writes from its comparison: a read-modify-write needs its window
+// locked, and PVFS provides no locking. The Manager is hosted by the
+// metadata server so every range is ordered at a single authority (the
+// design argued for in "Noncontiguous I/O through PVFS").
+//
+// Semantics:
+//
+//   - A lock covers the byte range [Off, Off+N) of one file handle.
+//     Shared locks conflict only with overlapping exclusive locks;
+//     exclusive locks conflict with any overlap.
+//   - Grants are FIFO-fair per file: a request that conflicts with a
+//     granted lock — or with an earlier request still queued — waits
+//     behind it. A reader stream can therefore not starve a writer.
+//   - Every granted lock carries a lease. If the configured lease
+//     duration elapses before release, the lock is reclaimed and its
+//     range handed to waiters, so a crashed client cannot wedge the
+//     cluster. Expiry is lazy (checked against the caller-supplied
+//     clock on every operation) plus an optional host-driven sweep.
+//
+// The Manager is passive about time: callers pass `now` explicitly, so
+// the same code serves wall-clock daemons and the virtual-time
+// simulator. All methods are safe for concurrent use. Methods never
+// invoke callbacks while holding internal state: wake-ups are returned
+// as values for the host to deliver, which keeps the Manager safe to
+// drive from cooperative schedulers.
+package locks
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Req describes one acquisition request.
+type Req struct {
+	Handle uint64 // file handle the range belongs to
+	Off    int64  // first byte of the range
+	N      int64  // length in bytes (must be positive)
+	Shared bool   // read lock; compatible with other shared locks
+	Owner  uint64 // requesting connection/client identity
+	Ctx    any    // opaque host context, returned with the grant
+}
+
+// Granted reports a queued request whose wait just ended: either its
+// lock was granted (Err == "") or the wait failed (for example the file
+// was removed). The host delivers these to the waiting clients.
+type Granted struct {
+	ID     uint64
+	Ctx    any
+	Waited time.Duration // time spent queued
+	Err    string        // non-empty: the wait failed; no lock is held
+}
+
+// lock is one granted range.
+type lock struct {
+	id     uint64
+	owner  uint64
+	off, n int64
+	shared bool
+	expiry time.Duration // reclaim deadline; 0 = no lease
+}
+
+// waiter is one queued request.
+type waiter struct {
+	lock
+	ctx any
+	enq time.Duration
+}
+
+// table holds one file's lock state: granted ranges sorted by offset
+// (the sorted-range table) and the FIFO wait queue.
+type table struct {
+	granted []*lock
+	queue   []*waiter
+}
+
+// Stats is a snapshot of the Manager's counters.
+type Stats struct {
+	Acquires  int64         // acquisition requests accepted
+	Immediate int64         // granted without queuing
+	Waits     int64         // requests that queued
+	WaitTime  time.Duration // total queued time of completed waits
+	Expired   int64         // leases reclaimed
+	Releases  int64         // explicit releases
+	Held      int           // currently granted locks
+	Queued    int           // currently queued requests
+}
+
+// Manager is the lock service state. The zero value is not usable; call
+// NewManager.
+type Manager struct {
+	mu     sync.Mutex
+	lease  time.Duration
+	nextID uint64
+	files  map[uint64]*table
+
+	acquires  int64
+	immediate int64
+	waits     int64
+	waitTime  time.Duration
+	expired   int64
+	releases  int64
+
+	// watchdog tracks the host's pending lease sweep (see ArmWatchdog).
+	watchdogArmed bool
+	watchdogAt    time.Duration
+}
+
+// NewManager creates a Manager whose granted locks expire after lease
+// (<= 0 disables expiry: locks are held until released or the owner is
+// dropped).
+func NewManager(lease time.Duration) *Manager {
+	return &Manager{lease: lease, nextID: 1, files: make(map[uint64]*table)}
+}
+
+// SetLease changes the lease duration for locks granted from now on.
+func (m *Manager) SetLease(lease time.Duration) {
+	m.mu.Lock()
+	m.lease = lease
+	m.mu.Unlock()
+}
+
+// Lease reports the configured lease duration.
+func (m *Manager) Lease() time.Duration {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.lease
+}
+
+// conflicts reports whether two ranges are incompatible.
+func conflicts(aOff, aN int64, aShared bool, bOff, bN int64, bShared bool) bool {
+	if aShared && bShared {
+		return false
+	}
+	return aOff < bOff+bN && bOff < aOff+aN
+}
+
+func (l *lock) conflictsWith(off, n int64, shared bool) bool {
+	return conflicts(l.off, l.n, l.shared, off, n, shared)
+}
+
+// insertGranted keeps the granted table sorted by offset.
+func (t *table) insertGranted(l *lock) {
+	i := sort.Search(len(t.granted), func(i int) bool { return t.granted[i].off > l.off })
+	t.granted = append(t.granted, nil)
+	copy(t.granted[i+1:], t.granted[i:])
+	t.granted[i] = l
+}
+
+// grantedConflict scans the sorted table for a conflicting granted
+// lock. The table is sorted by offset but ranges vary in length, so the
+// scan stops only once every remaining lock starts at or past the end
+// of the probe range and the probe is known clear.
+func (t *table) grantedConflict(off, n int64, shared bool) bool {
+	for _, l := range t.granted {
+		if l.off >= off+n {
+			return false
+		}
+		if l.conflictsWith(off, n, shared) {
+			return true
+		}
+	}
+	return false
+}
+
+// removeGranted drops the lock with the given id; reports whether it
+// was present.
+func (t *table) removeGranted(id uint64) bool {
+	for i, l := range t.granted {
+		if l.id == id {
+			t.granted = append(t.granted[:i], t.granted[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// sweepLocked reclaims expired leases across all files; must hold m.mu.
+func (m *Manager) sweepLocked(now time.Duration) (wake []Granted) {
+	for h, t := range m.files {
+		changed := false
+		kept := t.granted[:0]
+		for _, l := range t.granted {
+			if l.expiry > 0 && now >= l.expiry {
+				m.expired++
+				changed = true
+				continue
+			}
+			kept = append(kept, l)
+		}
+		t.granted = kept
+		if changed {
+			wake = append(wake, m.promoteLocked(t, now)...)
+		}
+		if len(t.granted) == 0 && len(t.queue) == 0 {
+			delete(m.files, h)
+		}
+	}
+	return wake
+}
+
+// promoteLocked grants queued requests in FIFO order: a waiter is
+// granted only if it conflicts with no granted lock and with no earlier
+// waiter still in the queue (earlier waiters act as phantom grants, the
+// rule that keeps the queue starvation-free). Must hold m.mu.
+func (m *Manager) promoteLocked(t *table, now time.Duration) (wake []Granted) {
+	var blocked []*waiter
+	kept := t.queue[:0]
+	for _, w := range t.queue {
+		wait := func() {
+			kept = append(kept, w)
+			blocked = append(blocked, w)
+		}
+		if t.grantedConflict(w.off, w.n, w.shared) {
+			wait()
+			continue
+		}
+		earlier := false
+		for _, b := range blocked {
+			if b.conflictsWith(w.off, w.n, w.shared) {
+				earlier = true
+				break
+			}
+		}
+		if earlier {
+			wait()
+			continue
+		}
+		l := w.lock
+		if m.lease > 0 {
+			l.expiry = now + m.lease
+		}
+		cp := l
+		t.insertGranted(&cp)
+		m.waitTime += now - w.enq
+		wake = append(wake, Granted{ID: l.id, Ctx: w.ctx, Waited: now - w.enq})
+	}
+	t.queue = kept
+	return wake
+}
+
+// Acquire requests a byte-range lock. If the range is free the lock is
+// granted immediately (granted == true, id identifies it); otherwise the
+// request joins the file's FIFO queue and the host delivers a Granted
+// later. Expired leases are swept first, so wake may carry grants for
+// other waiters either way.
+func (m *Manager) Acquire(now time.Duration, r Req) (id uint64, granted bool, wake []Granted) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	wake = m.sweepLocked(now)
+	m.acquires++
+	t := m.files[r.Handle]
+	if t == nil {
+		t = &table{}
+		m.files[r.Handle] = t
+	}
+	id = m.nextID
+	m.nextID++
+	l := lock{id: id, owner: r.Owner, off: r.Off, n: r.N, shared: r.Shared}
+	free := !t.grantedConflict(r.Off, r.N, r.Shared)
+	if free {
+		for _, w := range t.queue {
+			if w.conflictsWith(r.Off, r.N, r.Shared) {
+				free = false
+				break
+			}
+		}
+	}
+	if free {
+		if m.lease > 0 {
+			l.expiry = now + m.lease
+		}
+		t.insertGranted(&l)
+		m.immediate++
+		return id, true, wake
+	}
+	m.waits++
+	t.queue = append(t.queue, &waiter{lock: l, ctx: r.Ctx, enq: now})
+	return id, false, wake
+}
+
+// Release drops a granted lock. ok reports whether (handle, id, owner)
+// named a granted lock; wake carries any requests grantable now.
+func (m *Manager) Release(now time.Duration, handle, id, owner uint64) (ok bool, wake []Granted) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	wake = m.sweepLocked(now)
+	t := m.files[handle]
+	if t == nil {
+		return false, wake
+	}
+	for _, l := range t.granted {
+		if l.id == id {
+			if l.owner != owner {
+				return false, wake
+			}
+			break
+		}
+	}
+	if !t.removeGranted(id) {
+		return false, wake
+	}
+	m.releases++
+	wake = append(wake, m.promoteLocked(t, now)...)
+	if len(t.granted) == 0 && len(t.queue) == 0 {
+		delete(m.files, handle)
+	}
+	return true, wake
+}
+
+// ReleaseOwner drops every granted lock and queued request of owner (a
+// disconnected client). Queued requests vanish silently — their
+// connection is gone, there is nobody to notify.
+func (m *Manager) ReleaseOwner(now time.Duration, owner uint64) (wake []Granted) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	wake = m.sweepLocked(now)
+	for h, t := range m.files {
+		changed := false
+		keptG := t.granted[:0]
+		for _, l := range t.granted {
+			if l.owner == owner {
+				m.releases++
+				changed = true
+				continue
+			}
+			keptG = append(keptG, l)
+		}
+		t.granted = keptG
+		keptQ := t.queue[:0]
+		for _, w := range t.queue {
+			if w.owner == owner {
+				changed = true
+				continue
+			}
+			keptQ = append(keptQ, w)
+		}
+		t.queue = keptQ
+		if changed {
+			wake = append(wake, m.promoteLocked(t, now)...)
+		}
+		if len(t.granted) == 0 && len(t.queue) == 0 {
+			delete(m.files, h)
+		}
+	}
+	return wake
+}
+
+// DropHandle clears a removed file's lock state. Queued requests are
+// failed (Err set) so their clients do not wait forever.
+func (m *Manager) DropHandle(now time.Duration, handle uint64) (wake []Granted) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	wake = m.sweepLocked(now)
+	t := m.files[handle]
+	if t == nil {
+		return wake
+	}
+	for _, w := range t.queue {
+		wake = append(wake, Granted{ID: w.id, Ctx: w.ctx, Waited: now - w.enq, Err: "file removed while waiting for lock"})
+	}
+	delete(m.files, handle)
+	return wake
+}
+
+// Sweep reclaims expired leases and reports the resulting grants. Hosts
+// call it from their lease watchdog; every other operation also sweeps,
+// so traffic alone keeps leases honest.
+func (m *Manager) Sweep(now time.Duration) (wake []Granted) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.sweepLocked(now)
+}
+
+// nextDeadlineLocked reports the earliest lease expiry among granted
+// locks of files with waiters; ok is false when no wait is pending or
+// leases are disabled. Must hold m.mu.
+func (m *Manager) nextDeadlineLocked() (at time.Duration, ok bool) {
+	for _, t := range m.files {
+		if len(t.queue) == 0 {
+			continue
+		}
+		for _, l := range t.granted {
+			if l.expiry > 0 && (!ok || l.expiry < at) {
+				at, ok = l.expiry, true
+			}
+		}
+	}
+	return at, ok
+}
+
+// ArmWatchdog asks whether the host should schedule a lease sweep: it
+// returns the earliest relevant expiry when requests are waiting behind
+// leased locks and no sweep is already scheduled. The host sleeps until
+// `at` and then calls WatchdogFire. At most one watchdog is armed at a
+// time.
+func (m *Manager) ArmWatchdog() (at time.Duration, ok bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.watchdogArmed {
+		return 0, false
+	}
+	at, ok = m.nextDeadlineLocked()
+	if ok {
+		m.watchdogArmed = true
+		m.watchdogAt = at
+	}
+	return at, ok
+}
+
+// WatchdogFire runs the armed sweep. If now has not reached the target
+// deadline (a host whose Sleep cannot advance time), the watchdog
+// disarms without sweeping — lazy expiry on later traffic takes over.
+// again reports whether the host should sleep until next and fire
+// again.
+func (m *Manager) WatchdogFire(now time.Duration) (wake []Granted, next time.Duration, again bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.watchdogArmed {
+		return nil, 0, false
+	}
+	m.watchdogArmed = false
+	if now < m.watchdogAt {
+		return nil, 0, false
+	}
+	wake = m.sweepLocked(now)
+	next, again = m.nextDeadlineLocked()
+	if again {
+		m.watchdogArmed = true
+		m.watchdogAt = next
+	}
+	return wake, next, again
+}
+
+// Stats snapshots the counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := Stats{
+		Acquires:  m.acquires,
+		Immediate: m.immediate,
+		Waits:     m.waits,
+		WaitTime:  m.waitTime,
+		Expired:   m.expired,
+		Releases:  m.releases,
+	}
+	for _, t := range m.files {
+		s.Held += len(t.granted)
+		s.Queued += len(t.queue)
+	}
+	return s
+}

@@ -1,0 +1,231 @@
+package locks
+
+import (
+	"testing"
+	"time"
+)
+
+func ms(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+
+func TestExclusiveConflictQueuesFIFO(t *testing.T) {
+	m := NewManager(0)
+	id1, ok, wake := m.Acquire(ms(0), Req{Handle: 1, Off: 0, N: 100, Owner: 1})
+	if !ok || len(wake) != 0 {
+		t.Fatalf("first acquire: ok=%v wake=%v", ok, wake)
+	}
+	id2, ok, _ := m.Acquire(ms(1), Req{Handle: 1, Off: 50, N: 100, Owner: 2, Ctx: "b"})
+	if ok {
+		t.Fatal("overlapping exclusive acquired immediately")
+	}
+	id3, ok, _ := m.Acquire(ms(2), Req{Handle: 1, Off: 60, N: 10, Owner: 3, Ctx: "c"})
+	if ok {
+		t.Fatal("third overlapping exclusive acquired immediately")
+	}
+	ok, wake = m.Release(ms(10), 1, id1, 1)
+	if !ok {
+		t.Fatal("release failed")
+	}
+	// FIFO: only the second request is granted; the third conflicts with it.
+	if len(wake) != 1 || wake[0].ID != id2 || wake[0].Ctx != "b" || wake[0].Waited != ms(9) {
+		t.Fatalf("wake=%+v", wake)
+	}
+	ok, wake = m.Release(ms(20), 1, id2, 2)
+	if !ok || len(wake) != 1 || wake[0].ID != id3 {
+		t.Fatalf("second release: ok=%v wake=%+v", ok, wake)
+	}
+	if s := m.Stats(); s.Held != 1 || s.Queued != 0 || s.Waits != 2 || s.Immediate != 1 {
+		t.Fatalf("stats=%+v", s)
+	}
+}
+
+func TestSharedLocksCoexist(t *testing.T) {
+	m := NewManager(0)
+	_, ok1, _ := m.Acquire(0, Req{Handle: 1, Off: 0, N: 100, Shared: true, Owner: 1})
+	_, ok2, _ := m.Acquire(0, Req{Handle: 1, Off: 50, N: 100, Shared: true, Owner: 2})
+	if !ok1 || !ok2 {
+		t.Fatal("overlapping shared locks should both be granted")
+	}
+	// An exclusive overlap waits; a later shared overlap must queue
+	// behind it (no reader starvation of the writer).
+	_, ok3, _ := m.Acquire(0, Req{Handle: 1, Off: 0, N: 10, Owner: 3})
+	if ok3 {
+		t.Fatal("exclusive granted over shared holders")
+	}
+	_, ok4, _ := m.Acquire(0, Req{Handle: 1, Off: 0, N: 10, Shared: true, Owner: 4})
+	if ok4 {
+		t.Fatal("shared request jumped the queued writer")
+	}
+	if s := m.Stats(); s.Held != 2 || s.Queued != 2 {
+		t.Fatalf("stats=%+v", s)
+	}
+}
+
+func TestDisjointRangesAndFilesIndependent(t *testing.T) {
+	m := NewManager(0)
+	_, ok1, _ := m.Acquire(0, Req{Handle: 1, Off: 0, N: 100, Owner: 1})
+	_, ok2, _ := m.Acquire(0, Req{Handle: 1, Off: 100, N: 100, Owner: 2})
+	_, ok3, _ := m.Acquire(0, Req{Handle: 2, Off: 0, N: 100, Owner: 3})
+	if !ok1 || !ok2 || !ok3 {
+		t.Fatalf("independent ranges blocked: %v %v %v", ok1, ok2, ok3)
+	}
+}
+
+func TestLeaseExpiryRescuesWaiter(t *testing.T) {
+	m := NewManager(ms(10))
+	_, ok, _ := m.Acquire(ms(0), Req{Handle: 1, Off: 0, N: 64, Owner: 1})
+	if !ok {
+		t.Fatal("first acquire")
+	}
+	id2, ok, _ := m.Acquire(ms(5), Req{Handle: 1, Off: 0, N: 64, Owner: 2, Ctx: "w"})
+	if ok {
+		t.Fatal("conflicting acquire granted")
+	}
+	// Before the lease deadline nothing expires.
+	if wake := m.Sweep(ms(9)); len(wake) != 0 {
+		t.Fatalf("premature expiry: %+v", wake)
+	}
+	wake := m.Sweep(ms(10))
+	if len(wake) != 1 || wake[0].ID != id2 || wake[0].Waited != ms(5) {
+		t.Fatalf("wake=%+v", wake)
+	}
+	if s := m.Stats(); s.Expired != 1 || s.Held != 1 || s.Queued != 0 {
+		t.Fatalf("stats=%+v", s)
+	}
+	// The expired lock is gone: releasing it now fails.
+	if ok, _ := m.Release(ms(11), 1, 1, 1); ok {
+		t.Fatal("released an expired lock")
+	}
+}
+
+func TestLazyExpiryOnAcquire(t *testing.T) {
+	m := NewManager(ms(10))
+	m.Acquire(ms(0), Req{Handle: 1, Off: 0, N: 64, Owner: 1})
+	// Well past the lease, a new acquire sweeps the stale lock itself.
+	id2, ok, wake := m.Acquire(ms(50), Req{Handle: 1, Off: 0, N: 64, Owner: 2})
+	if !ok || id2 == 0 || len(wake) != 0 {
+		t.Fatalf("acquire after expiry: ok=%v wake=%+v", ok, wake)
+	}
+}
+
+func TestReleaseOwnerDropsLocksAndWaits(t *testing.T) {
+	m := NewManager(0)
+	m.Acquire(0, Req{Handle: 1, Off: 0, N: 100, Owner: 1})
+	m.Acquire(0, Req{Handle: 2, Off: 0, N: 100, Owner: 1})
+	id3, ok, _ := m.Acquire(0, Req{Handle: 1, Off: 0, N: 50, Owner: 2, Ctx: "x"})
+	if ok {
+		t.Fatal("conflicting acquire granted")
+	}
+	m.Acquire(0, Req{Handle: 2, Off: 0, N: 50, Owner: 2}) // queued, then owner 2 also dies
+	wake := m.ReleaseOwner(ms(3), 1)
+	// Owner 1's two locks vanish; owner 2's waiter on handle 1 is granted.
+	found := false
+	for _, g := range wake {
+		if g.ID == id3 && g.Err == "" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("waiter not promoted after owner drop: %+v", wake)
+	}
+	wake = m.ReleaseOwner(ms(4), 2)
+	if len(wake) != 0 {
+		t.Fatalf("unexpected wake=%+v", wake)
+	}
+	if s := m.Stats(); s.Held != 0 || s.Queued != 0 {
+		t.Fatalf("leaked state: %+v", s)
+	}
+}
+
+func TestDropHandleFailsWaiters(t *testing.T) {
+	m := NewManager(0)
+	m.Acquire(0, Req{Handle: 7, Off: 0, N: 10, Owner: 1})
+	id2, ok, _ := m.Acquire(0, Req{Handle: 7, Off: 0, N: 10, Owner: 2, Ctx: "w"})
+	if ok {
+		t.Fatal("conflicting acquire granted")
+	}
+	wake := m.DropHandle(ms(1), 7)
+	if len(wake) != 1 || wake[0].ID != id2 || wake[0].Err == "" {
+		t.Fatalf("wake=%+v", wake)
+	}
+	if s := m.Stats(); s.Held != 0 || s.Queued != 0 {
+		t.Fatalf("stats=%+v", s)
+	}
+}
+
+func TestReleaseWrongOwnerOrIDRejected(t *testing.T) {
+	m := NewManager(0)
+	id, _, _ := m.Acquire(0, Req{Handle: 1, Off: 0, N: 10, Owner: 1})
+	if ok, _ := m.Release(0, 1, id, 99); ok {
+		t.Fatal("foreign owner released the lock")
+	}
+	if ok, _ := m.Release(0, 1, id+100, 1); ok {
+		t.Fatal("bogus id released a lock")
+	}
+	if ok, _ := m.Release(0, 99, id, 1); ok {
+		t.Fatal("bogus handle released a lock")
+	}
+	if ok, _ := m.Release(0, 1, id, 1); !ok {
+		t.Fatal("rightful release failed")
+	}
+}
+
+func TestWatchdogProtocol(t *testing.T) {
+	m := NewManager(ms(10))
+	// No waiters: nothing to arm.
+	if _, ok := m.ArmWatchdog(); ok {
+		t.Fatal("armed with no waiters")
+	}
+	m.Acquire(ms(0), Req{Handle: 1, Off: 0, N: 10, Owner: 1})
+	if _, ok := m.ArmWatchdog(); ok {
+		t.Fatal("armed with no waiters behind the lock")
+	}
+	id2, _, _ := m.Acquire(ms(2), Req{Handle: 1, Off: 0, N: 10, Owner: 2, Ctx: "w"})
+	at, ok := m.ArmWatchdog()
+	if !ok || at != ms(10) {
+		t.Fatalf("arm: at=%v ok=%v", at, ok)
+	}
+	// Second arm while one is pending: refused.
+	if _, ok := m.ArmWatchdog(); ok {
+		t.Fatal("double-armed")
+	}
+	// Fired early (a host whose clock did not reach the deadline): no
+	// sweep, disarmed.
+	wake, _, again := m.WatchdogFire(ms(5))
+	if len(wake) != 0 || again {
+		t.Fatalf("early fire: wake=%+v again=%v", wake, again)
+	}
+	at, ok = m.ArmWatchdog()
+	if !ok || at != ms(10) {
+		t.Fatalf("re-arm: at=%v ok=%v", at, ok)
+	}
+	wake, _, again = m.WatchdogFire(ms(10))
+	if len(wake) != 1 || wake[0].ID != id2 {
+		t.Fatalf("fire: wake=%+v", wake)
+	}
+	// The promoted waiter holds the only lock and nobody waits: done.
+	if again {
+		t.Fatal("watchdog re-armed with no waiters")
+	}
+}
+
+func TestPromotionRespectsPhantomConflicts(t *testing.T) {
+	// queue: W1 [0,100) excl, W2 [200,300) excl, W3 [50,250) excl.
+	// Releasing the blocker grants W1 and W2 (disjoint), but W3 must
+	// stay queued: it conflicts with both earlier grants.
+	m := NewManager(0)
+	id0, _, _ := m.Acquire(0, Req{Handle: 1, Off: 0, N: 300, Owner: 1})
+	id1, _, _ := m.Acquire(0, Req{Handle: 1, Off: 0, N: 100, Owner: 2})
+	id2, _, _ := m.Acquire(0, Req{Handle: 1, Off: 200, N: 100, Owner: 3})
+	id3, _, _ := m.Acquire(0, Req{Handle: 1, Off: 50, N: 200, Owner: 4})
+	_, wake := m.Release(ms(1), 1, id0, 1)
+	got := map[uint64]bool{}
+	for _, g := range wake {
+		got[g.ID] = true
+	}
+	if !got[id1] || !got[id2] || got[id3] || len(wake) != 2 {
+		t.Fatalf("wake=%+v", wake)
+	}
+	if s := m.Stats(); s.Held != 2 || s.Queued != 1 {
+		t.Fatalf("stats=%+v", s)
+	}
+}

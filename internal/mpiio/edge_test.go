@@ -19,9 +19,6 @@ func TestZeroSizeOperations(t *testing.T) {
 		if err := f.ReadAt(r.env, 0, nil, datatype.Int32, 0); err != nil {
 			t.Fatalf("%v zero read: %v", m, err)
 		}
-		if m == Sieve {
-			continue
-		}
 		if err := f.WriteAt(r.env, 0, nil, datatype.Int32, 0); err != nil {
 			t.Fatalf("%v zero write: %v", m, err)
 		}

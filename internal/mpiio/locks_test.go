@@ -1,0 +1,199 @@
+package mpiio
+
+import (
+	"bytes"
+	"testing"
+
+	"dtio/internal/datatype"
+	"dtio/internal/mpi"
+	"dtio/internal/pvfs"
+)
+
+// TestConcurrentSieveWriters is the lock-contention stress test: many
+// writers data-sieve into interleaved stripes of one file with a sieve
+// buffer deliberately smaller than the interleave period, so every
+// read-modify-write window covers other ranks' bytes and conflicts with
+// their window locks. Without locking this loses updates; with it the
+// final image must be exact. Run under -race in CI.
+func TestConcurrentSieveWriters(t *testing.T) {
+	const (
+		nServers = 4
+		nProcs   = 6 // ≥ 4 concurrent writers per the acceptance bar
+		stripe   = 32
+		rows     = 24 // stripes owned by each rank
+		rounds   = 3  // rewrites raise contention; data is idempotent
+	)
+	period := nProcs * stripe
+	fileSize := rows * period
+	cell := func(rank, i int) byte { return byte(rank*31 + i*7 + (i >> 9)) }
+
+	r := newRig(t, nServers, nProcs)
+	name := "stress.dat"
+	hints := DefaultHints()
+	hints.SieveBufSize = 48 // < period: windows straddle foreign stripes
+
+	r.parallel(func(rank int, comm *mpi.Comm) {
+		c := r.client()
+		defer c.Close()
+		var pf *pvfs.File
+		var err error
+		if rank == 0 {
+			pf, err = c.Create(r.env, name, 64, 0)
+		}
+		comm.Barrier(r.env)
+		if rank != 0 {
+			pf, err = c.Open(r.env, name)
+		}
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		f := Open(pf, comm, Sieve, hints)
+		// Rank's view: its stripe-th slice of every period.
+		view := datatype.Subarray(
+			[]int{rows, period}, []int{rows, stripe}, []int{0, rank * stripe},
+			datatype.OrderC, datatype.Byte)
+		if err := f.SetView(0, datatype.Byte, view); err != nil {
+			t.Error(err)
+			return
+		}
+		data := make([]byte, rows*stripe)
+		for i := range data {
+			data[i] = cell(rank, i)
+		}
+		for round := 0; round < rounds; round++ {
+			if err := f.WriteAt(r.env, 0, data, datatype.Bytes(int64(len(data))), 1); err != nil {
+				t.Errorf("rank %d round %d: %v", rank, round, err)
+				return
+			}
+		}
+		comm.Barrier(r.env)
+	})
+	if t.Failed() {
+		return
+	}
+
+	c := r.client()
+	defer c.Close()
+	pf, err := c.Open(r.env, name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, fileSize)
+	if err := pf.ReadContig(r.env, 0, got); err != nil {
+		t.Fatal(err)
+	}
+	for off := range got {
+		rank := (off % period) / stripe
+		i := (off/period)*stripe + off%stripe
+		if want := cell(rank, i); got[off] != want {
+			t.Fatalf("byte %d: got %d want %d (rank %d stripe): lost update", off, got[off], want, rank)
+		}
+	}
+	s := r.meta.LockStats()
+	if s.Held != 0 || s.Queued != 0 {
+		t.Fatalf("leaked lock state after stress: %+v", s)
+	}
+	if s.Acquires == 0 || s.Releases != s.Immediate+s.Waits {
+		t.Fatalf("inconsistent lock accounting: %+v", s)
+	}
+}
+
+// TestAtomicModeOverlappingWriters: with atomicity enabled, fully
+// overlapping noncontiguous independent writes serialize — the final
+// file equals exactly one rank's complete pattern, never an interleave.
+func TestAtomicModeOverlappingWriters(t *testing.T) {
+	const (
+		nServers = 4
+		nProcs   = 4
+		block    = 64
+		rows     = 16
+	)
+	// All ranks share one view: the first block of every 2-block row. The
+	// regions written are identical across ranks and noncontiguous, so a
+	// non-atomic method would issue several operations that can
+	// interleave with other ranks'.
+	view := datatype.Subarray(
+		[]int{rows, 2 * block}, []int{rows, block}, []int{0, 0},
+		datatype.OrderC, datatype.Byte)
+	cell := func(rank, i int) byte { return byte(rank*41 + i*11 + 3) }
+
+	for _, m := range []Method{Posix, Sieve, ListIO, DtypeIO} {
+		m := m
+		t.Run(m.String(), func(t *testing.T) {
+			r := newRig(t, nServers, nProcs)
+			name := "atomic-" + m.String()
+			r.parallel(func(rank int, comm *mpi.Comm) {
+				c := r.client()
+				defer c.Close()
+				var pf *pvfs.File
+				var err error
+				if rank == 0 {
+					pf, err = c.Create(r.env, name, 256, 0)
+				}
+				comm.Barrier(r.env)
+				if rank != 0 {
+					pf, err = c.Open(r.env, name)
+				}
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				f := Open(pf, comm, m, DefaultHints())
+				if err := f.SetAtomicity(true); err != nil {
+					t.Error(err)
+					return
+				}
+				if err := f.SetView(0, datatype.Byte, view); err != nil {
+					t.Error(err)
+					return
+				}
+				data := make([]byte, rows*block)
+				for i := range data {
+					data[i] = cell(rank, i)
+				}
+				if err := f.WriteAt(r.env, 0, data, datatype.Bytes(int64(len(data))), 1); err != nil {
+					t.Errorf("rank %d: %v", rank, err)
+				}
+				comm.Barrier(r.env)
+			})
+			if t.Failed() {
+				return
+			}
+
+			c := r.client()
+			defer c.Close()
+			pf, err := c.Open(r.env, name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := make([]byte, rows*2*block)
+			if err := pf.ReadContig(r.env, 0, got); err != nil {
+				t.Fatal(err)
+			}
+			// Exactly one rank's pattern, on every written block.
+			winner := -1
+			for rank := 0; rank < nProcs; rank++ {
+				if got[0] == cell(rank, 0) {
+					winner = rank
+					break
+				}
+			}
+			if winner < 0 {
+				t.Fatalf("first byte %d matches no rank", got[0])
+			}
+			want := make([]byte, rows*2*block)
+			for row := 0; row < rows; row++ {
+				for j := 0; j < block; j++ {
+					want[row*2*block+j] = cell(winner, row*block+j)
+				}
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("%v: interleaved write despite atomic mode (winner rank %d)", m, winner)
+			}
+			if s := r.meta.LockStats(); s.Held != 0 || s.Queued != 0 {
+				t.Fatalf("leaked lock state: %+v", s)
+			}
+		})
+	}
+}

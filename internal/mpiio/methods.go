@@ -87,6 +87,94 @@ func (f *File) sieveRead(env transport.Env, pos, nbytes int64, buf []byte, memTy
 	}
 }
 
+// sieveWrite is data sieving for writes, the cell the paper's matrix
+// left empty (§4.1): each buffer-sized window is locked exclusively at
+// the metadata server, read, modified in memory, and written back, so
+// the bytes between the desired regions survive concurrent writers.
+// Windows advance through the file as in sieveRead. When locked is true
+// an atomic-mode lock already spans the whole access and the per-window
+// locks are skipped — a second lock from the same holder would queue
+// behind the first forever.
+func (f *File) sieveWrite(env transport.Env, pos, nbytes int64, buf []byte, memType *datatype.Type, memCount int, locked bool) error {
+	last := f.lastFileByte(pos, nbytes)
+	bufSize := f.hints.SieveBufSize
+	if bufSize <= 0 {
+		bufSize = DefaultHints().SieveBufSize
+	}
+	var (
+		sbuf     []byte
+		wlo, whi int64
+		lk       *pvfs.FileLock
+	)
+	defer func() {
+		if lk != nil { // error path: do not strand the window lock
+			f.pv.Unlock(env, lk)
+		}
+	}()
+	// flush writes the current window back and releases its lock.
+	flush := func() error {
+		if sbuf == nil {
+			return nil
+		}
+		err := f.pv.WriteContig(env, wlo, sbuf)
+		sbuf = nil
+		if lk != nil {
+			if uerr := f.pv.Unlock(env, lk); err == nil {
+				err = uerr
+			}
+			lk = nil
+		}
+		return err
+	}
+	var pieces int64
+	d := flatten.NewDual(f.fileWindow(pos, nbytes), memSource(memType, memCount))
+	for {
+		fo, mo, n, ok := d.Next()
+		if !ok {
+			if err := flush(); err != nil {
+				return err
+			}
+			env.Compute(f.pv.Cost().MemcpyPerPiece * time.Duration(pieces))
+			return nil
+		}
+		pieces++
+		if mo < 0 || mo+n > int64(len(buf)) {
+			return fmt.Errorf("mpiio: memory region [%d,%d) outside buffer", mo, mo+n)
+		}
+		for n > 0 {
+			if sbuf == nil || fo < wlo || fo >= whi {
+				if err := flush(); err != nil {
+					return err
+				}
+				wlo = fo
+				whi = wlo + bufSize
+				if whi > last+1 {
+					whi = last + 1
+				}
+				if !locked {
+					var err error
+					lk, err = f.pv.Lock(env, wlo, whi-wlo, false)
+					if err != nil {
+						return err
+					}
+				}
+				sbuf = make([]byte, whi-wlo)
+				if err := f.pv.ReadContig(env, wlo, sbuf); err != nil {
+					return err
+				}
+			}
+			take := n
+			if fo+take > whi {
+				take = whi - fo
+			}
+			copy(sbuf[fo-wlo:fo-wlo+take], buf[mo:mo+take])
+			fo += take
+			mo += take
+			n -= take
+		}
+	}
+}
+
 // listIO flattens both sides into offset-length lists and issues list
 // I/O calls of at most MaxListRegions regions per side (paper §2.4).
 func (f *File) listIO(env transport.Env, pos, nbytes int64, buf []byte, memType *datatype.Type, memCount int, write bool) error {

@@ -59,6 +59,10 @@ type Hints struct {
 	// DtypeNoCoalesce disables adjacent-region coalescing in datatype
 	// I/O processing (ablation A2).
 	DtypeNoCoalesce bool
+	// NoLocks disables the byte-range lock service, reproducing the
+	// paper's lockless PVFS (§4.1): sieving writes fail with
+	// ErrSieveWrite and atomic mode cannot be enabled.
+	NoLocks bool
 }
 
 // DefaultHints returns the paper's configuration.
@@ -66,9 +70,21 @@ func DefaultHints() Hints {
 	return Hints{SieveBufSize: 4 << 20, CBBufSize: 4 << 20, ListCap: 64}
 }
 
-// ErrSieveWrite is returned for data sieving writes: they need file
-// locking for the read-modify-write, and PVFS provides none (paper §4.1).
-var ErrSieveWrite = errors.New("mpiio: data sieving writes require file locking, which pvfs does not support")
+// ErrSieveWrite is returned for data sieving writes under the NoLocks
+// hint: the read-modify-write needs its window locked, and the hint
+// reproduces the paper's lockless PVFS (§4.1). With locks available
+// (the default) sieving writes take the real path in sieveWrite.
+var ErrSieveWrite = errors.New("mpiio: data sieving writes require file locking, disabled by the NoLocks hint")
+
+// ErrAtomicTwoPhase rejects atomic mode on a two-phase file: ranks
+// holding byte-range locks across two-phase's internal barriers can
+// deadlock (ROMIO likewise implements atomic mode only for independent
+// operations).
+var ErrAtomicTwoPhase = errors.New("mpiio: atomic mode is incompatible with two-phase collective I/O")
+
+// ErrAtomicNoLocks rejects atomic mode when the NoLocks hint disabled
+// the byte-range lock service it is built on.
+var ErrAtomicNoLocks = errors.New("mpiio: atomic mode needs the byte-range lock service, disabled by the NoLocks hint")
 
 // ErrCollectiveOnly is returned when two-phase is used on an independent
 // operation.
@@ -80,6 +96,7 @@ type File struct {
 	comm   *mpi.Comm // nil for independent-only use
 	method Method
 	hints  Hints
+	atomic bool
 
 	disp     int64
 	etype    *datatype.Type
@@ -103,6 +120,30 @@ func Open(pv *pvfs.File, comm *mpi.Comm, method Method, hints Hints) *File {
 
 // Method reports the access method.
 func (f *File) Method() Method { return f.method }
+
+// SetAtomicity switches MPI-IO atomic mode, as MPI_File_set_atomicity.
+// In atomic mode every operation is made atomic with respect to other
+// processes by bracketing it with one byte-range lock spanning the
+// access's first through last file byte — shared for reads, exclusive
+// for writes. Overlapping independent writes then serialize instead of
+// interleaving.
+func (f *File) SetAtomicity(enable bool) error {
+	if !enable {
+		f.atomic = false
+		return nil
+	}
+	if f.method == TwoPhase {
+		return ErrAtomicTwoPhase
+	}
+	if f.hints.NoLocks {
+		return ErrAtomicNoLocks
+	}
+	f.atomic = true
+	return nil
+}
+
+// Atomicity reports whether atomic mode is enabled.
+func (f *File) Atomicity() bool { return f.atomic }
 
 // SetView establishes the file view, as MPI_File_set_view.
 func (f *File) SetView(disp int64, etype, filetype *datatype.Type) error {
@@ -248,12 +289,39 @@ func (f *File) rw(env transport.Env, offset int64, buf []byte, memType *datatype
 		return nil
 	}
 	f.stats().desired(nbytes)
+	var outer *pvfs.FileLock
+	if f.atomic {
+		lo := f.firstFileByte(pos, nbytes)
+		hi := f.lastFileByte(pos, nbytes)
+		var err error
+		outer, err = f.pv.Lock(env, lo, hi+1-lo, !write)
+		if err != nil {
+			return err
+		}
+	}
+	err = f.dispatch(env, pos, nbytes, buf, memType, memCount, write, outer != nil)
+	if outer != nil {
+		if uerr := f.pv.Unlock(env, outer); err == nil {
+			err = uerr
+		}
+	}
+	return err
+}
+
+// dispatch runs the access with the independent method. locked reports
+// that an atomic-mode lock already covers the whole access, so sieving
+// writes must not take their per-window locks (a second lock from the
+// same holder would queue behind the first forever).
+func (f *File) dispatch(env transport.Env, pos, nbytes int64, buf []byte, memType *datatype.Type, memCount int, write, locked bool) error {
 	switch f.method {
 	case Posix:
 		return f.posix(env, pos, nbytes, buf, memType, memCount, write)
 	case Sieve:
 		if write {
-			return ErrSieveWrite
+			if f.hints.NoLocks {
+				return ErrSieveWrite
+			}
+			return f.sieveWrite(env, pos, nbytes, buf, memType, memCount, locked)
 		}
 		return f.sieveRead(env, pos, nbytes, buf, memType, memCount)
 	case ListIO:

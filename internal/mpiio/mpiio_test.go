@@ -22,6 +22,7 @@ type rig struct {
 	addrs []string
 	fab   *transport.MemFabric
 	size  int
+	meta  *pvfs.MetaServer
 }
 
 func newRig(t *testing.T, nServers, nProcs int) *rig {
@@ -33,6 +34,7 @@ func newRig(t *testing.T, nServers, nProcs int) *rig {
 		size: nProcs,
 	}
 	meta := pvfs.NewMetaServer(r.net, "meta", nServers)
+	r.meta = meta
 	go meta.Serve(r.env)
 	var servers []*pvfs.Server
 	for i := 0; i < nServers; i++ {
@@ -120,15 +122,37 @@ func TestSetViewValidation(t *testing.T) {
 	}
 }
 
-func TestSieveWriteRejected(t *testing.T) {
+// TestSieveWriteRejectedNoLocks pins the paper-faithful ablation: with
+// the lock service disabled, sieving writes fail exactly as on the
+// lockless PVFS of §4.1, and atomic mode cannot be enabled.
+func TestSieveWriteRejectedNoLocks(t *testing.T) {
 	r := newRig(t, 2, 1)
 	c := r.client()
 	defer c.Close()
 	pf, _ := c.Create(r.env, "s.dat", 64, 0)
-	f := Open(pf, nil, Sieve, DefaultHints())
+	hints := DefaultHints()
+	hints.NoLocks = true
+	f := Open(pf, nil, Sieve, hints)
 	err := f.WriteAt(r.env, 0, make([]byte, 4), datatype.Int32, 1)
 	if err != ErrSieveWrite {
 		t.Fatalf("err=%v", err)
+	}
+	if err := f.SetAtomicity(true); err != ErrAtomicNoLocks {
+		t.Fatalf("SetAtomicity under NoLocks: %v", err)
+	}
+}
+
+func TestAtomicityTwoPhaseRejected(t *testing.T) {
+	r := newRig(t, 2, 1)
+	c := r.client()
+	defer c.Close()
+	pf, _ := c.Create(r.env, "a.dat", 64, 0)
+	f := Open(pf, nil, TwoPhase, DefaultHints())
+	if err := f.SetAtomicity(true); err != ErrAtomicTwoPhase {
+		t.Fatalf("err=%v", err)
+	}
+	if err := f.SetAtomicity(false); err != nil || f.Atomicity() {
+		t.Fatalf("disabling atomicity: err=%v atomic=%v", err, f.Atomicity())
 	}
 }
 
@@ -178,7 +202,7 @@ func TestAllMethodsWriteEquivalence(t *testing.T) {
 	want := writeOracle(rows*cols, nProcs, rows, cols, blockCols,
 		func(rank int) []byte { return rankData(rank, perRank) })
 
-	for _, m := range []Method{Posix, TwoPhase, ListIO, DtypeIO} {
+	for _, m := range []Method{Posix, Sieve, TwoPhase, ListIO, DtypeIO} {
 		m := m
 		t.Run(m.String(), func(t *testing.T) {
 			r := newRig(t, nServers, nProcs)

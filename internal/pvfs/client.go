@@ -100,6 +100,38 @@ func (c *Client) metaCall(env transport.Env, req []byte) (*wire.MetaResp, error)
 	return r, nil
 }
 
+// lockCall sends one lock-service request on the metadata connection and
+// waits for the grant. An acquire that queues gets no immediate reply;
+// the blocking Recv here is exactly the client-side wait.
+func (c *Client) lockCall(env transport.Env, req []byte) (*wire.LockGrant, error) {
+	if c.meta == nil {
+		conn, err := c.net.Dial(env, c.metaAddr)
+		if err != nil {
+			return nil, err
+		}
+		c.meta = conn
+	}
+	if err := c.meta.Send(env, req); err != nil {
+		return nil, err
+	}
+	raw, err := c.meta.Recv(env)
+	if err != nil {
+		return nil, err
+	}
+	_, v, err := wire.DecodeMsg(raw)
+	if err != nil {
+		return nil, err
+	}
+	g, ok := v.(*wire.LockGrant)
+	if !ok {
+		return nil, errors.New("pvfs: unexpected lock response")
+	}
+	if !g.OK {
+		return nil, errors.New("pvfs: " + g.Err)
+	}
+	return g, nil
+}
+
 // conn returns (dialing on demand) the connection to server i.
 func (c *Client) conn(env transport.Env, i int) (transport.Conn, error) {
 	if c.conns[i] == nil {
@@ -199,6 +231,46 @@ func (c *Client) ListNames(env transport.Env) ([]string, error) {
 		return nil, errors.New("pvfs: " + r.Err)
 	}
 	return r.Names, nil
+}
+
+// FileLock is a held byte-range lock, returned by Lock and surrendered
+// to Unlock.
+type FileLock struct {
+	f      *File
+	id     uint64
+	Off, N int64
+	Shared bool
+}
+
+// Lock acquires a byte-range lock on [off, off+n) from the metadata
+// server, blocking until granted. Shared locks admit other shared
+// holders; exclusive locks admit nobody. Grants are FIFO-fair, and the
+// server reclaims the lock if its lease expires before Unlock. To stay
+// deadlock-free, callers hold at most one lock per file at a time (the
+// discipline mpiio's sieving writes and atomic mode follow).
+func (f *File) Lock(env transport.Env, off, n int64, shared bool) (*FileLock, error) {
+	g, err := f.c.lockCall(env, wire.EncodeLockAcquire(&wire.LockAcquireReq{
+		Handle: f.handle, Off: off, N: n, Shared: shared,
+	}))
+	if err != nil {
+		return nil, err
+	}
+	if st := f.c.stats(); st != nil {
+		st.AddLock()
+		st.AddLockWait(g.WaitedNs)
+	}
+	return &FileLock{f: f, id: g.LockID, Off: off, N: n, Shared: shared}, nil
+}
+
+// Unlock releases a lock returned by Lock.
+func (f *File) Unlock(env transport.Env, lk *FileLock) error {
+	if lk == nil || lk.f != f {
+		return errors.New("pvfs: unlock of a lock this file does not hold")
+	}
+	_, err := f.c.metaCall(env, wire.EncodeLockRelease(&wire.LockReleaseReq{
+		Handle: f.handle, LockID: lk.id,
+	}))
+	return err
 }
 
 // Name reports the file name.

@@ -4,10 +4,18 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
+	"dtio/internal/locks"
 	"dtio/internal/transport"
 	"dtio/internal/wire"
 )
+
+// DefaultLeaseTimeout is how long a granted byte-range lock may be held
+// before the server reclaims it from a presumed-crashed client. Real
+// daemons want a generous bound; simulations and tests usually override
+// it (0 disables expiry).
+const DefaultLeaseTimeout = 30 * time.Second
 
 // fileMeta is one namespace entry.
 type fileMeta struct {
@@ -18,34 +26,53 @@ type fileMeta struct {
 }
 
 // MetaServer owns the namespace: file names, handles, and striping
-// parameters. It performs no data I/O.
+// parameters. It performs no data I/O. It also hosts the byte-range lock
+// service: every lock request for any file is ordered here, at a single
+// authority, which is what makes the FIFO fairness and deadlock
+// reasoning in internal/locks sound cluster-wide.
 type MetaServer struct {
 	net      transport.Network
 	addr     string
 	nServers int32
 
-	mu     sync.Mutex
-	next   uint64
-	files  map[string]*fileMeta
-	closed bool
-	lis    transport.Listener
+	// LeaseTimeout bounds how long a granted lock may be held before it
+	// is reclaimed (a crashed client cannot wedge the cluster). Set it
+	// before Serve; 0 disables expiry. Note that outside the simulator
+	// Sleep does not advance Env time, so reclamation happens lazily on
+	// the next lock operation rather than from the watchdog.
+	LeaseTimeout time.Duration
+
+	locks *locks.Manager
+
+	mu        sync.Mutex
+	next      uint64
+	nextOwner uint64
+	files     map[string]*fileMeta
+	closed    bool
+	lis       transport.Listener
 }
 
 // NewMetaServer creates a metadata server for a cluster of nServers I/O
 // servers, listening at addr on net.
 func NewMetaServer(net transport.Network, addr string, nServers int) *MetaServer {
 	return &MetaServer{
-		net:      net,
-		addr:     addr,
-		nServers: int32(nServers),
-		next:     1,
-		files:    make(map[string]*fileMeta),
+		net:          net,
+		addr:         addr,
+		nServers:     int32(nServers),
+		LeaseTimeout: DefaultLeaseTimeout,
+		locks:        locks.NewManager(DefaultLeaseTimeout),
+		next:         1,
+		files:        make(map[string]*fileMeta),
 	}
 }
+
+// LockStats snapshots the lock service's counters.
+func (m *MetaServer) LockStats() locks.Stats { return m.locks.Stats() }
 
 // Serve listens and handles requests until the listener is closed. Call
 // it from a dedicated thread (env.Go / SimNet.Spawn / goroutine).
 func (m *MetaServer) Serve(env transport.Env) error {
+	m.locks.SetLease(m.LeaseTimeout)
 	lis, err := m.net.Listen(m.addr)
 	if err != nil {
 		return err
@@ -64,14 +91,26 @@ func (m *MetaServer) Serve(env transport.Env) error {
 			return nil
 		}
 		c := conn
+		m.mu.Lock()
+		m.nextOwner++
+		owner := m.nextOwner
+		m.mu.Unlock()
 		env.Go("meta-handler", func(env transport.Env) {
-			defer c.Close()
+			defer func() {
+				c.Close()
+				// A vanished client must not keep ranges locked: drop
+				// everything it held or queued and grant the survivors.
+				m.deliver(env, m.locks.ReleaseOwner(env.Now(), owner))
+			}()
 			for {
 				msg, err := c.Recv(env)
 				if err != nil {
 					return
 				}
-				resp := m.handle(msg)
+				resp := m.handleMsg(env, c, owner, msg)
+				if resp == nil {
+					continue // queued lock acquire; the grant follows later
+				}
 				if err := c.Send(env, resp); err != nil {
 					return
 				}
@@ -91,24 +130,122 @@ func (m *MetaServer) Close() {
 	}
 }
 
-func (m *MetaServer) handle(msg []byte) []byte {
+// handleMsg dispatches one request. A nil result means no immediate
+// response (an acquire that queued); the grant is sent on the waiter's
+// connection by whichever thread later frees the range.
+func (m *MetaServer) handleMsg(env transport.Env, c transport.Conn, owner uint64, msg []byte) []byte {
 	t, v, err := wire.DecodeMsg(msg)
 	if err != nil {
 		return wire.EncodeMetaResp(&wire.MetaResp{Err: "bad request: " + err.Error()})
 	}
+	switch t {
+	case wire.MTLockAcquireReq:
+		return m.lockAcquire(env, c, owner, v.(*wire.LockAcquireReq))
+	case wire.MTLockReleaseReq:
+		return m.lockRelease(env, owner, v.(*wire.LockReleaseReq))
+	}
+	resp, removed := m.handleNS(t, v)
+	if removed != 0 {
+		m.deliver(env, m.locks.DropHandle(env.Now(), removed))
+	}
+	return resp
+}
+
+func (m *MetaServer) lockAcquire(env transport.Env, c transport.Conn, owner uint64, r *wire.LockAcquireReq) []byte {
+	if r.N <= 0 || r.Off < 0 {
+		return wire.EncodeLockGrant(&wire.LockGrant{Err: fmt.Sprintf("bad lock range [%d, +%d)", r.Off, r.N)})
+	}
+	id, granted, wake := m.locks.Acquire(env.Now(), locks.Req{
+		Handle: r.Handle, Off: r.Off, N: r.N, Shared: r.Shared,
+		Owner: owner, Ctx: c,
+	})
+	m.deliver(env, wake)
+	if granted {
+		return wire.EncodeLockGrant(&wire.LockGrant{OK: true, LockID: id})
+	}
+	m.armWatchdog(env)
+	return nil
+}
+
+func (m *MetaServer) lockRelease(env transport.Env, owner uint64, r *wire.LockReleaseReq) []byte {
+	ok, wake := m.locks.Release(env.Now(), r.Handle, r.LockID, owner)
+	m.deliver(env, wake)
+	if !ok {
+		return wire.EncodeMetaResp(&wire.MetaResp{Err: fmt.Sprintf("no such lock %d on handle %d", r.LockID, r.Handle)})
+	}
+	return wire.EncodeMetaResp(&wire.MetaResp{OK: true})
+}
+
+// deliver sends finished waits to their clients. Each grant travels on
+// the waiter's own connection; Conn implementations serialize concurrent
+// senders, so any thread may deliver. Send errors are ignored — a
+// vanished waiter's handler cleans up via ReleaseOwner.
+func (m *MetaServer) deliver(env transport.Env, wake []locks.Granted) {
+	for _, g := range wake {
+		c, ok := g.Ctx.(transport.Conn)
+		if !ok {
+			continue
+		}
+		c.Send(env, wire.EncodeLockGrant(&wire.LockGrant{
+			OK: g.Err == "", Err: g.Err, LockID: g.ID, WaitedNs: int64(g.Waited),
+		}))
+	}
+}
+
+// armWatchdog schedules a lease sweep when requests are queued behind
+// leased locks, so a crashed-but-connected client's lock is reclaimed
+// even if no further lock traffic arrives. At most one watchdog thread
+// runs at a time; in environments whose Sleep does not advance Now it
+// fires early and retires, leaving reclamation to lazy sweeps.
+func (m *MetaServer) armWatchdog(env transport.Env) {
+	target, ok := m.locks.ArmWatchdog()
+	if !ok {
+		return
+	}
+	env.Go("lock-watchdog", func(env transport.Env) {
+		for {
+			for {
+				d := target - env.Now()
+				if d <= 0 {
+					break
+				}
+				env.Sleep(d)
+				if env.Now() >= target {
+					break
+				}
+				// env.Sleep is a no-op on real envs (it models simulated
+				// cost); there the clock is wall time, so wait it out for
+				// real — a queued waiter must not depend on further lock
+				// traffic to reclaim a dead holder's lease.
+				time.Sleep(d)
+			}
+			wake, next, again := m.locks.WatchdogFire(env.Now())
+			m.deliver(env, wake)
+			if !again {
+				return
+			}
+			target = next
+		}
+	})
+}
+
+// handleNS serves the namespace operations. removed is the handle of a
+// file deleted by this request (0 otherwise) so the caller can drop its
+// lock state.
+func (m *MetaServer) handleNS(t wire.MsgType, v any) (resp []byte, removed uint64) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	switch t {
 	case wire.MTCreateReq:
 		r := v.(*wire.CreateReq)
 		if r.Name == "" {
-			return wire.EncodeMetaResp(&wire.MetaResp{Err: "empty file name"})
+			return wire.EncodeMetaResp(&wire.MetaResp{Err: "empty file name"}), 0
 		}
 		if _, ok := m.files[r.Name]; ok {
-			return wire.EncodeMetaResp(&wire.MetaResp{Err: fmt.Sprintf("file exists: %s", r.Name)})
+			return wire.EncodeMetaResp(&wire.MetaResp{Err: fmt.Sprintf("file exists: %s", r.Name)}), 0
 		}
 		if r.StripSize <= 0 {
-			return wire.EncodeMetaResp(&wire.MetaResp{Err: "strip size must be positive"})
+			return wire.EncodeMetaResp(&wire.MetaResp{Err: "strip size must be positive"}), 0
 		}
 		n := r.NServers
 		if n <= 0 || n > m.nServers {
@@ -125,32 +262,33 @@ func (m *MetaServer) handle(msg []byte) []byte {
 		return wire.EncodeMetaResp(&wire.MetaResp{
 			OK: true, Handle: f.handle, StripSize: f.stripSize,
 			NServers: f.nServers, Base: f.base,
-		})
+		}), 0
 	case wire.MTOpenReq:
 		r := v.(*wire.OpenReq)
 		f, ok := m.files[r.Name]
 		if !ok {
-			return wire.EncodeMetaResp(&wire.MetaResp{Err: fmt.Sprintf("no such file: %s", r.Name)})
+			return wire.EncodeMetaResp(&wire.MetaResp{Err: fmt.Sprintf("no such file: %s", r.Name)}), 0
 		}
 		return wire.EncodeMetaResp(&wire.MetaResp{
 			OK: true, Handle: f.handle, StripSize: f.stripSize,
 			NServers: f.nServers, Base: f.base,
-		})
+		}), 0
 	case wire.MTRemoveReq:
 		r := v.(*wire.RemoveReq)
-		if _, ok := m.files[r.Name]; !ok {
-			return wire.EncodeMetaResp(&wire.MetaResp{Err: fmt.Sprintf("no such file: %s", r.Name)})
+		f, ok := m.files[r.Name]
+		if !ok {
+			return wire.EncodeMetaResp(&wire.MetaResp{Err: fmt.Sprintf("no such file: %s", r.Name)}), 0
 		}
 		delete(m.files, r.Name)
-		return wire.EncodeMetaResp(&wire.MetaResp{OK: true})
+		return wire.EncodeMetaResp(&wire.MetaResp{OK: true}), f.handle
 	case wire.MTListReq:
 		names := make([]string, 0, len(m.files))
 		for n := range m.files {
 			names = append(names, n)
 		}
 		sort.Strings(names)
-		return wire.EncodeListResp(&wire.ListResp{OK: true, Names: names})
+		return wire.EncodeListResp(&wire.ListResp{OK: true, Names: names}), 0
 	default:
-		return wire.EncodeMetaResp(&wire.MetaResp{Err: "unexpected message " + t.String()})
+		return wire.EncodeMetaResp(&wire.MetaResp{Err: "unexpected message " + t.String()}), 0
 	}
 }

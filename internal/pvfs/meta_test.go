@@ -1,0 +1,492 @@
+package pvfs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dtio/internal/transport"
+	"dtio/internal/vtime"
+	"dtio/internal/wire"
+)
+
+// metaRig is a metadata server alone on a Mem network — enough for
+// namespace and lock tests, which never touch the I/O servers.
+type metaRig struct {
+	net  *transport.MemNetwork
+	env  transport.Env
+	meta *MetaServer
+}
+
+func startMeta(t *testing.T, lease time.Duration) *metaRig {
+	t.Helper()
+	rig := &metaRig{
+		net: transport.NewMemNetwork(),
+		env: transport.NewRealEnv(),
+	}
+	rig.meta = NewMetaServer(rig.net, "meta", 4)
+	rig.meta.LeaseTimeout = lease
+	go rig.meta.Serve(rig.env)
+	t.Cleanup(rig.meta.Close)
+	c := rig.client()
+	defer c.Close()
+	for i := 0; i < 2000; i++ {
+		if _, err := c.Create(rig.env, "__probe__", 64, 0); err == nil {
+			c.metaCall(rig.env, wire.EncodeRemove(&wire.RemoveReq{Name: "__probe__"}))
+			return rig
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("metadata server did not come up")
+	return nil
+}
+
+func (rig *metaRig) client() *Client {
+	return NewClient(rig.net, "meta", []string{"io0", "io1", "io2", "io3"}, CostModel{})
+}
+
+func TestMetaErrorPaths(t *testing.T) {
+	rig := startMeta(t, 0)
+	c := rig.client()
+	defer c.Close()
+	env := rig.env
+
+	if _, err := c.Create(env, "", 64, 0); err == nil || !strings.Contains(err.Error(), "empty file name") {
+		t.Fatalf("empty name: %v", err)
+	}
+	if _, err := c.Create(env, "a", 0, 0); err == nil || !strings.Contains(err.Error(), "strip size") {
+		t.Fatalf("zero strip: %v", err)
+	}
+	if _, err := c.Create(env, "a", 64, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Create(env, "a", 64, 0); err == nil || !strings.Contains(err.Error(), "file exists") {
+		t.Fatalf("duplicate create: %v", err)
+	}
+	if _, err := c.Open(env, "nope"); err == nil || !strings.Contains(err.Error(), "no such file") {
+		t.Fatalf("open missing: %v", err)
+	}
+	if _, err := c.metaCall(env, wire.EncodeRemove(&wire.RemoveReq{Name: "nope"})); err == nil || !strings.Contains(err.Error(), "no such file") {
+		t.Fatalf("remove missing: %v", err)
+	}
+	// A data-server message sent to the metadata port is refused, not
+	// misinterpreted.
+	if _, err := c.metaCall(env, wire.EncodeLocalSize(&wire.LocalSizeReq{})); err == nil || !strings.Contains(err.Error(), "unexpected message") {
+		t.Fatalf("wrong-port message: %v", err)
+	}
+	// So is a frame that does not decode.
+	conn, err := rig.net.Dial(env, "meta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := conn.Send(env, []byte{255, 1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := conn.Recv(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, v, err := wire.DecodeMsg(raw); err != nil {
+		t.Fatal(err)
+	} else if r := v.(*wire.MetaResp); r.OK || !strings.Contains(r.Err, "bad request") {
+		t.Fatalf("garbage frame: %+v", r)
+	}
+}
+
+// TestCloseRacingServe drives Close concurrently with Serve start-up:
+// whichever order the listener registration and the close land in, Serve
+// must return and never leave a live listener behind.
+func TestCloseRacingServe(t *testing.T) {
+	for i := 0; i < 50; i++ {
+		net := transport.NewMemNetwork()
+		env := transport.NewRealEnv()
+		m := NewMetaServer(net, "meta", 2)
+		done := make(chan error, 1)
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			wg.Done()
+			done <- m.Serve(env)
+		}()
+		wg.Wait()
+		m.Close()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("iteration %d: %v", i, err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("iteration %d: Serve did not return after Close", i)
+		}
+		// The address must be free again: a second server can bind it.
+		if _, err := net.Listen("meta"); err != nil {
+			t.Fatalf("iteration %d: listener leaked: %v", i, err)
+		}
+	}
+}
+
+func TestLockProtocol(t *testing.T) {
+	rig := startMeta(t, 0)
+	env := rig.env
+	ca := rig.client()
+	cb := rig.client()
+	defer ca.Close()
+	defer cb.Close()
+
+	fa, err := ca.Create(env, "locked.dat", 64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := cb.Open(env, "locked.dat")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Shared locks on overlapping ranges coexist.
+	sa, err := fa.Lock(env, 0, 100, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := fb.Lock(env, 50, 100, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fa.Unlock(env, sa); err != nil {
+		t.Fatal(err)
+	}
+	if err := fb.Unlock(env, sb); err != nil {
+		t.Fatal(err)
+	}
+
+	// An exclusive conflict blocks until release.
+	la, err := fa.Lock(env, 0, 100, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan *FileLock, 1)
+	go func() {
+		lb, err := fb.Lock(env, 50, 10, false)
+		if err != nil {
+			t.Error(err)
+		}
+		got <- lb
+	}()
+	select {
+	case <-got:
+		t.Fatal("conflicting lock granted while held")
+	case <-time.After(20 * time.Millisecond):
+	}
+	if err := fa.Unlock(env, la); err != nil {
+		t.Fatal(err)
+	}
+	var lb *FileLock
+	select {
+	case lb = <-got:
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter never granted after release")
+	}
+	if err := fb.Unlock(env, lb); err != nil {
+		t.Fatal(err)
+	}
+
+	// Double release is refused.
+	if err := fb.Unlock(env, lb); err == nil {
+		t.Fatal("double unlock accepted")
+	}
+	s := rig.meta.LockStats()
+	if s.Held != 0 || s.Queued != 0 {
+		t.Fatalf("leaked lock state: %+v", s)
+	}
+	if s.Waits != 1 || s.Immediate != 3 {
+		t.Fatalf("stats: %+v", s)
+	}
+	if st := cb.Stats; st != nil {
+		t.Fatal("test assumes nil stats") // guard against rig drift
+	}
+}
+
+// TestLockDisconnectReleases covers the crash path a lease also guards:
+// closing the holder's connection frees its locks immediately.
+func TestLockDisconnectReleases(t *testing.T) {
+	rig := startMeta(t, 0)
+	env := rig.env
+	ca := rig.client()
+	cb := rig.client()
+	defer cb.Close()
+
+	fa, err := ca.Create(env, "d.dat", 64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fa.Lock(env, 0, 1<<20, false); err != nil {
+		t.Fatal(err)
+	}
+	fb, err := cb.Open(env, "d.dat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan error, 1)
+	go func() {
+		lb, err := fb.Lock(env, 0, 64, false)
+		if err == nil {
+			err = fb.Unlock(env, lb)
+		}
+		got <- err
+	}()
+	time.Sleep(10 * time.Millisecond) // let the waiter queue
+	ca.Close()                        // holder vanishes without releasing
+	select {
+	case err := <-got:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter not granted after holder disconnect")
+	}
+	if s := rig.meta.LockStats(); s.Held != 0 || s.Queued != 0 {
+		t.Fatalf("leaked lock state: %+v", s)
+	}
+}
+
+// TestLockRemoveFailsWaiters: removing a file fails its queued lock
+// requests instead of leaving them to wait forever.
+func TestLockRemoveFailsWaiters(t *testing.T) {
+	rig := startMeta(t, 0)
+	env := rig.env
+	ca := rig.client()
+	cb := rig.client()
+	cc := rig.client()
+	defer ca.Close()
+	defer cb.Close()
+	defer cc.Close()
+
+	fa, err := ca.Create(env, "r.dat", 64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	la, err := fa.Lock(env, 0, 100, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := cb.Open(env, "r.dat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan error, 1)
+	go func() {
+		_, err := fb.Lock(env, 0, 100, false)
+		got <- err
+	}()
+	time.Sleep(10 * time.Millisecond) // let the waiter queue
+	// Remove the file's metadata entry (client Remove would also wipe
+	// server objects; there are none in this rig).
+	if _, err := cc.metaCall(env, wire.EncodeRemove(&wire.RemoveReq{Name: "r.dat"})); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-got:
+		if err == nil || !strings.Contains(err.Error(), "file removed") {
+			t.Fatalf("waiter outcome: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter still queued after file removal")
+	}
+	// The holder's lock state is gone with the file.
+	if err := fa.Unlock(env, la); err == nil {
+		t.Fatal("unlock succeeded on a removed file's lock")
+	}
+	if s := rig.meta.LockStats(); s.Held != 0 || s.Queued != 0 {
+		t.Fatalf("leaked lock state: %+v", s)
+	}
+}
+
+// TestLockLeaseExpiry exercises lazy lease reclamation outside the
+// simulator: once the lease elapses on the wall clock, the next lock
+// operation sweeps the stale holder and grants the waiter.
+func TestLockLeaseExpiry(t *testing.T) {
+	const lease = 20 * time.Millisecond
+	rig := startMeta(t, lease)
+	env := rig.env
+	ca := rig.client()
+	cb := rig.client()
+	cc := rig.client()
+	defer ca.Close()
+	defer cb.Close()
+	defer cc.Close()
+
+	fa, err := ca.Create(env, "l.dat", 64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fa.Lock(env, 0, 100, false); err != nil {
+		t.Fatal(err)
+	}
+	fb, err := cb.Open(env, "l.dat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan error, 1)
+	go func() {
+		lb, err := fb.Lock(env, 0, 100, false)
+		if err == nil {
+			err = fb.Unlock(env, lb)
+		}
+		got <- err
+	}()
+	time.Sleep(10 * time.Millisecond) // waiter queues; lease still live
+	select {
+	case <-got:
+		t.Fatal("waiter granted before the lease expired")
+	default:
+	}
+	time.Sleep(2 * lease) // client A is now presumed dead...
+	fc, err := cc.Open(env, "l.dat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ...and any lock traffic reclaims its lease.
+	lc, err := fc.Lock(env, 500, 10, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-got:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter not granted after lease expiry")
+	}
+	if err := fc.Unlock(env, lc); err != nil {
+		t.Fatal(err)
+	}
+	s := rig.meta.LockStats()
+	if s.Expired == 0 {
+		t.Fatalf("no lease reclaimed: %+v", s)
+	}
+	if s.Held != 0 || s.Queued != 0 {
+		t.Fatalf("leaked lock state: %+v", s)
+	}
+}
+
+// TestLockLeaseWatchdogSim runs the crashed-holder scenario in virtual
+// time, where Sleep advances the clock: the server's watchdog must grant
+// the waiter at exactly the lease deadline, with no lock traffic to
+// trigger a lazy sweep.
+func TestLockLeaseWatchdogSim(t *testing.T) {
+	const lease = 100 * time.Millisecond
+	sched := vtime.New()
+	net := transport.NewSimNet(sched, transport.DefaultSimConfig())
+	serverNode := net.NewNode()
+	nodeA := net.NewNode()
+	nodeB := net.NewNode()
+
+	meta := NewMetaServer(net, transport.Addr(serverNode, "meta"), 1)
+	meta.LeaseTimeout = lease
+	net.Spawn("meta", serverNode, func(env transport.Env) { meta.Serve(env) })
+
+	addrs := []string{transport.Addr(serverNode, "io")} // never dialed
+	metaAddr := transport.Addr(serverNode, "meta")
+
+	var grantedAt time.Duration
+	var waitErr error
+	done := sched.NewWaitGroup()
+	done.Add(2)
+
+	// Client A acquires and then "crashes": it stops participating but
+	// keeps its connection open, so only the lease can free the range.
+	net.Spawn("clientA", nodeA, func(env transport.Env) {
+		defer done.Done()
+		c := NewClient(net, metaAddr, addrs, CostModel{})
+		f, err := c.Create(env, "w.dat", 64, 0)
+		if err == nil {
+			_, err = f.Lock(env, 0, 100, false)
+		}
+		if err != nil {
+			waitErr = err
+			return
+		}
+		env.Sleep(10 * lease) // crashed, conn still up
+		c.Close()
+	})
+	// Client B requests the same range shortly after and must be rescued
+	// by the watchdog at the lease deadline.
+	net.Spawn("clientB", nodeB, func(env transport.Env) {
+		defer done.Done()
+		c := NewClient(net, metaAddr, addrs, CostModel{})
+		defer c.Close()
+		env.Sleep(10 * time.Millisecond)
+		f, err := c.Open(env, "w.dat")
+		if err == nil {
+			_, err = f.Lock(env, 0, 100, false)
+		}
+		if err != nil {
+			waitErr = err
+			return
+		}
+		grantedAt = env.Now()
+	})
+	net.Spawn("controller", serverNode, func(env transport.Env) {
+		done.Wait(env.(*transport.SimEnv).Proc())
+		meta.Close()
+	})
+	if err := sched.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if waitErr != nil {
+		t.Fatal(waitErr)
+	}
+	if grantedAt < lease || grantedAt > lease+10*time.Millisecond {
+		t.Fatalf("waiter granted at %v; want the %v lease deadline", grantedAt, lease)
+	}
+	if s := meta.LockStats(); s.Expired != 1 {
+		t.Fatalf("stats: %+v", s)
+	}
+}
+
+// TestLockLeaseWatchdogReal pins the watchdog on real envs: a waiter
+// queued behind a silent (but still connected) holder must be granted
+// once the lease elapses, with no further lock traffic to trigger a
+// lazy sweep — the watchdog goroutine waits the lease out on the wall
+// clock.
+func TestLockLeaseWatchdogReal(t *testing.T) {
+	const lease = 30 * time.Millisecond
+	rig := startMeta(t, lease)
+	env := rig.env
+	ca := rig.client()
+	cb := rig.client()
+	defer ca.Close()
+	defer cb.Close()
+
+	fa, err := ca.Create(env, "w.dat", 64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fa.Lock(env, 0, 100, false); err != nil {
+		t.Fatal(err)
+	}
+	fb, err := cb.Open(env, "w.dat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	lb, err := fb.Lock(env, 0, 100, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if waited := time.Since(start); waited < lease/2 {
+		t.Fatalf("waiter granted after %v, before the lease could expire", waited)
+	}
+	if err := fb.Unlock(env, lb); err != nil {
+		t.Fatal(err)
+	}
+	s := rig.meta.LockStats()
+	if s.Expired == 0 {
+		t.Fatalf("stats: no lease expiry recorded: %+v", s)
+	}
+	if s.Held != 0 || s.Queued != 0 {
+		t.Fatalf("stats: leaked state: %+v", s)
+	}
+}

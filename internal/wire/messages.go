@@ -121,6 +121,32 @@ type TruncateReq struct {
 // RemoveObjReq deletes the local object.
 type RemoveObjReq struct{ Layout FileLayout }
 
+// LockAcquireReq asks the metadata server for a byte-range lock on
+// [Off, Off+N) of the file named by Handle. Shared requests coexist
+// with other shared holders; exclusive requests conflict with any
+// overlap. The reply is an MTLockGrant — immediate if the range is
+// free, deferred until it frees up otherwise.
+type LockAcquireReq struct {
+	Handle uint64
+	Off    int64
+	N      int64
+	Shared bool
+}
+
+// LockReleaseReq releases a granted lock; answered with an MTMetaResp.
+type LockReleaseReq struct {
+	Handle uint64
+	LockID uint64
+}
+
+// LockGrant answers (possibly much later) an MTLockAcquireReq.
+type LockGrant struct {
+	OK       bool
+	Err      string
+	LockID   uint64
+	WaitedNs int64 // time spent queued at the server, for client stats
+}
+
 // IOResp answers every I/O server request.
 type IOResp struct {
 	OK   bool
@@ -257,6 +283,34 @@ func EncodeRemoveObj(r *RemoveObjReq) []byte {
 	return e.B
 }
 
+// EncodeLockAcquire marshals a LockAcquireReq.
+func EncodeLockAcquire(r *LockAcquireReq) []byte {
+	e := NewEnc(MTLockAcquireReq)
+	e.I64(int64(r.Handle))
+	e.I64(r.Off)
+	e.I64(r.N)
+	e.U8(b2u(r.Shared))
+	return e.B
+}
+
+// EncodeLockRelease marshals a LockReleaseReq.
+func EncodeLockRelease(r *LockReleaseReq) []byte {
+	e := NewEnc(MTLockReleaseReq)
+	e.I64(int64(r.Handle))
+	e.I64(int64(r.LockID))
+	return e.B
+}
+
+// EncodeLockGrant marshals a LockGrant.
+func EncodeLockGrant(r *LockGrant) []byte {
+	e := NewEnc(MTLockGrant)
+	e.U8(b2u(r.OK))
+	e.Str(r.Err)
+	e.I64(int64(r.LockID))
+	e.I64(r.WaitedNs)
+	return e.B
+}
+
 // EncodeIOResp marshals an IOResp.
 func EncodeIOResp(r *IOResp) []byte {
 	e := NewEnc(MTIOResp)
@@ -362,6 +416,12 @@ func DecodeMsg(b []byte) (MsgType, any, error) {
 		v = &StreamChunk{Seq: d.U32(), Err: d.Str(), Data: d.Bytes()}
 	case MTStreamAck:
 		v = &StreamAck{Seq: d.U32()}
+	case MTLockAcquireReq:
+		v = &LockAcquireReq{Handle: uint64(d.I64()), Off: d.I64(), N: d.I64(), Shared: d.U8() != 0}
+	case MTLockReleaseReq:
+		v = &LockReleaseReq{Handle: uint64(d.I64()), LockID: uint64(d.I64())}
+	case MTLockGrant:
+		v = &LockGrant{OK: d.U8() != 0, Err: d.Str(), LockID: uint64(d.I64()), WaitedNs: d.I64()}
 	default:
 		return t, nil, fmt.Errorf("wire: unknown message type %d", uint8(t))
 	}

@@ -49,6 +49,14 @@ const (
 	MTWriteStreamHdr
 	MTStreamChunk
 	MTStreamAck
+
+	// Byte-range lock service (hosted by the metadata server). An
+	// acquire that must wait gets no immediate reply; the MTLockGrant
+	// arrives once the range frees up (or the lease of a conflicting
+	// holder expires).
+	MTLockAcquireReq
+	MTLockReleaseReq
+	MTLockGrant
 )
 
 func (t MsgType) String() string {
@@ -62,6 +70,8 @@ func (t MsgType) String() string {
 		MTRemoveObjReq: "removeobj", MTIOResp: "ioresp",
 		MTReadStreamHdr: "readstreamhdr", MTWriteStreamHdr: "writestreamhdr",
 		MTStreamChunk: "streamchunk", MTStreamAck: "streamack",
+		MTLockAcquireReq: "lockacquire", MTLockReleaseReq: "lockrelease",
+		MTLockGrant: "lockgrant",
 	}
 	if s, ok := names[t]; ok {
 		return s

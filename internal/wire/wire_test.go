@@ -143,3 +143,16 @@ func TestPropertyContigFuzzRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestLockRoundTrips(t *testing.T) {
+	a := &LockAcquireReq{Handle: 42, Off: 1 << 30, N: 4 << 20, Shared: true}
+	roundTrip(t, EncodeLockAcquire(a), a)
+	a2 := &LockAcquireReq{Handle: 1, Off: 0, N: 1}
+	roundTrip(t, EncodeLockAcquire(a2), a2)
+	rel := &LockReleaseReq{Handle: 42, LockID: 7}
+	roundTrip(t, EncodeLockRelease(rel), rel)
+	g := &LockGrant{OK: true, LockID: 7, WaitedNs: 1234567}
+	roundTrip(t, EncodeLockGrant(g), g)
+	g2 := &LockGrant{OK: false, Err: "file removed while waiting for lock"}
+	roundTrip(t, EncodeLockGrant(g2), g2)
+}
