@@ -19,4 +19,12 @@ go test -race -timeout 60s -count 3 \
 go test -race -timeout 60s \
 	-run 'TestLockContentionVerified|TestLockProtocol|TestLockDisconnectReleases|TestLockLease' \
 	./internal/bench/ ./internal/pvfs/
+# Disk-scheduler pass: planner/charge unit tests and the cross-variant
+# byte-identity matrix under -race, then the pr3 smoke run, which exits
+# nonzero unless the scheduler collapses the tile reader's dtype/list
+# runs into fewer dispatched ops AND beats the NoDiskSched ablation.
+go test -race -timeout 60s \
+	-run 'TestPlanBatch|TestPlanStream|TestCharge|TestNoSort|TestSchedRoundTripVariants|TestSchedVariantsVerified|TestZeroByteRequestsChargeNoDisk|TestDiskSchedCollapsesTileDtypeOps' \
+	./internal/bench/ ./internal/pvfs/
+go run ./cmd/dtbench -exp pr3-smoke
 go test -timeout 120s -run 'XXX' -bench 'BenchmarkTileRead/dtype' -benchtime 1x -benchmem .

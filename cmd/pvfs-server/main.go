@@ -24,11 +24,20 @@ func main() {
 	addr := flag.String("addr", ":7001", "listen address")
 	index := flag.Int("index", 0, "this server's index in the cluster server list")
 	dataDir := flag.String("data", "", "directory for object files (empty: in-memory)")
+	sieveGap := flag.Int64("sievegap", pvfs.DefaultSieveGapBytes,
+		"disk scheduler read gap-merge threshold in bytes (0: merge adjacent runs only)")
+	noSched := flag.Bool("nodisksched", false,
+		"dispatch each request's physical runs in arrival order, uncoalesced")
 	flag.Parse()
 	if *index < 0 {
 		log.Fatal("pvfs-server: -index must be non-negative")
 	}
+	if *sieveGap < 0 {
+		log.Fatal("pvfs-server: -sievegap must be non-negative")
+	}
 	s := pvfs.NewServer(transport.NewTCPNetwork(), *addr, *index, pvfs.CostModel{})
+	s.SieveGapBytes = *sieveGap
+	s.DisableDiskSched = *noSched
 	if *dataDir != "" {
 		if err := os.MkdirAll(*dataDir, 0o755); err != nil {
 			log.Fatalf("pvfs-server: %v", err)

@@ -42,6 +42,14 @@ type Config struct {
 	// servers and clients, restoring store-and-forward I/O: the ablation
 	// that isolates the disk/network overlap win.
 	NoStreaming bool
+	// NoDiskSched disables the servers' disk scheduler: each request's
+	// physical runs dispatch in arrival order with no coalescing (the
+	// ablation that isolates the scheduling win; DESIGN.md §10).
+	NoDiskSched bool
+	// SieveGapBytes is the disk scheduler's read gap-merge threshold.
+	// Zero means adjacency-only merging; DefaultConfig sets
+	// pvfs.DefaultSieveGapBytes.
+	SieveGapBytes int64
 	// LeaseTimeout is the byte-range lock lease on the metadata server.
 	// Simulated clients do not crash, so benchmarks default to 0 (no
 	// expiry): a nonzero lease would wake the sweep watchdog and inflate
@@ -61,6 +69,7 @@ func DefaultConfig(clients, procsPerNode int) Config {
 		Cost:         pvfs.DefaultCostModel(),
 		Hints:        mpiio.DefaultHints(),
 		Discard:      true,
+		SieveGapBytes: pvfs.DefaultSieveGapBytes,
 	}
 }
 
@@ -108,6 +117,7 @@ type Result struct {
 	Elapsed   time.Duration // measured (virtual) time of the timed phase
 	Bytes     int64         // application bytes moved in the timed phase
 	PerClient iostats.Snapshot
+	Disk      iostats.Snapshot // disk-scheduler counters summed over servers
 	Util      Utilization
 	Locks     locks.Stats // lock-service counters over the whole run
 	Err       error
@@ -139,6 +149,7 @@ type Cluster struct {
 
 	winStart, winEnd time.Duration
 	stats            []*iostats.Stats
+	diskStats        *iostats.Stats // shared by all servers' disk schedulers
 	errs             []error
 }
 
@@ -154,10 +165,11 @@ func NewCluster(cfg Config) *Cluster {
 		cfg.StripSize = 64 * 1024
 	}
 	c := &Cluster{
-		cfg:   cfg,
-		sched: vtime.New(),
-		stats: make([]*iostats.Stats, cfg.Clients),
-		errs:  make([]error, cfg.Clients),
+		cfg:       cfg,
+		sched:     vtime.New(),
+		stats:     make([]*iostats.Stats, cfg.Clients),
+		diskStats: &iostats.Stats{},
+		errs:      make([]error, cfg.Clients),
 	}
 	c.net = transport.NewSimNet(c.sched, cfg.SimCfg)
 
@@ -181,6 +193,9 @@ func NewCluster(cfg Config) *Cluster {
 		// chunk size, as real PVFS flow buffers do.
 		srv.StreamChunkBytes = cfg.SimCfg.ChunkBytes
 		srv.DisableStreaming = cfg.NoStreaming
+		srv.DisableDiskSched = cfg.NoDiskSched
+		srv.SieveGapBytes = cfg.SieveGapBytes
+		srv.Stats = c.diskStats
 		if cfg.Discard {
 			srv.NewStore = func(uint64) storage.Store { return storage.NewDiscard() }
 		}
@@ -260,6 +275,10 @@ func (c *Cluster) Run(fn func(r *Rank) error) (time.Duration, iostats.Snapshot, 
 // LockStats snapshots the metadata server's lock-service counters (call
 // after Run to check for leaked locks or to report contention).
 func (c *Cluster) LockStats() locks.Stats { return c.meta.LockStats() }
+
+// DiskStats snapshots the disk-scheduler counters summed over all
+// servers (call after Run). Only the disk fields are populated.
+func (c *Cluster) DiskStats() iostats.Snapshot { return c.diskStats.Snapshot() }
 
 // Utilization reports average busy fractions of the modeled hardware
 // relative to the total simulated time (call after Run).

@@ -81,6 +81,7 @@ func TileRead(cfg Config, tile workloads.TileConfig, method mpiio.Method, frames
 	})
 	res.Elapsed = elapsed
 	res.PerClient = per
+	res.Disk = cl.DiskStats()
 	res.Util = cl.Utilization()
 	res.Locks = cl.LockStats()
 	res.Bytes = int64(tile.NumClients()) * int64(frames) * tileBytes
@@ -183,6 +184,7 @@ func TileWrite(cfg Config, tile workloads.TileConfig, method mpiio.Method, frame
 	})
 	res.Elapsed = elapsed
 	res.PerClient = per
+	res.Disk = cl.DiskStats()
 	res.Util = cl.Utilization()
 	res.Locks = cl.LockStats()
 	res.Bytes = int64(tile.NumClients()) * int64(frames) * tileBytes
@@ -261,6 +263,7 @@ func LockContention(cfg Config, writers int, stripe int64, rows int) Result {
 	})
 	res.Elapsed = elapsed
 	res.PerClient = per
+	res.Disk = cl.DiskStats()
 	res.Util = cl.Utilization()
 	res.Locks = cl.LockStats()
 	res.Bytes = perClient * int64(writers)
@@ -368,6 +371,7 @@ func Block3D(cfg Config, b3 workloads.Block3DConfig, method mpiio.Method, write 
 	})
 	res.Elapsed = elapsed
 	res.PerClient = per
+	res.Disk = cl.DiskStats()
 	res.Util = cl.Utilization()
 	res.Locks = cl.LockStats()
 	res.Bytes = int64(b3.Procs) * blockBytes
@@ -430,6 +434,7 @@ func Flash(cfg Config, fc workloads.FlashConfig, method mpiio.Method) Result {
 	})
 	res.Elapsed = elapsed
 	res.PerClient = per
+	res.Disk = cl.DiskStats()
 	res.Util = cl.Utilization()
 	res.Locks = cl.LockStats()
 	res.Bytes = fc.TotalBytes()
@@ -480,6 +485,7 @@ func AdjacentBlocks(cfg Config, nBlocks int, blockSize int64, noCoalesce bool) R
 	})
 	res.Elapsed = elapsed
 	res.PerClient = per
+	res.Disk = cl.DiskStats()
 	res.Util = cl.Utilization()
 	res.Bytes = 2 * perClient * int64(res.Clients)
 	res.Err = err

@@ -21,6 +21,9 @@ type Stats struct {
 	lockWaits  atomic.Int64 // lock acquisitions (sieving writes, atomic mode)
 	lockWaitNs atomic.Int64 // nanoseconds spent queued for locks
 	regionsCPU atomic.Int64 // offset-length pairs processed locally
+	diskOps    atomic.Int64 // physical runs presented to the disk scheduler
+	diskMerged atomic.Int64 // disk operations dispatched after coalescing
+	seekBytes  atomic.Int64 // head travel between dispatched operations
 }
 
 // AddDesired records application-requested bytes.
@@ -50,6 +53,15 @@ func (s *Stats) AddLockWait(ns int64) { s.lockWaitNs.Add(ns) }
 // AddRegions records locally processed offset-length pairs.
 func (s *Stats) AddRegions(n int64) { s.regionsCPU.Add(n) }
 
+// AddDisk records one disk-scheduler batch: in physical runs collapsed
+// into merged dispatched operations, with seek bytes of head travel
+// between them (server-side counters; see DESIGN.md §10).
+func (s *Stats) AddDisk(in, merged, seek int64) {
+	s.diskOps.Add(in)
+	s.diskMerged.Add(merged)
+	s.seekBytes.Add(seek)
+}
+
 // Snapshot is an immutable copy of the counters.
 type Snapshot struct {
 	DesiredBytes  int64
@@ -61,6 +73,9 @@ type Snapshot struct {
 	LockWaits     int64
 	LockWaitNs    int64
 	Regions       int64
+	DiskOps       int64 // physical runs presented to the disk scheduler
+	DiskOpsMerged int64 // operations actually dispatched after coalescing
+	SeekBytes     int64 // head travel between dispatched operations
 }
 
 // Snapshot copies the current counters.
@@ -75,6 +90,9 @@ func (s *Stats) Snapshot() Snapshot {
 		LockWaits:     s.lockWaits.Load(),
 		LockWaitNs:    s.lockWaitNs.Load(),
 		Regions:       s.regionsCPU.Load(),
+		DiskOps:       s.diskOps.Load(),
+		DiskOpsMerged: s.diskMerged.Load(),
+		SeekBytes:     s.seekBytes.Load(),
 	}
 }
 
@@ -89,6 +107,9 @@ func (s *Stats) Reset() {
 	s.lockWaits.Store(0)
 	s.lockWaitNs.Store(0)
 	s.regionsCPU.Store(0)
+	s.diskOps.Store(0)
+	s.diskMerged.Store(0)
+	s.seekBytes.Store(0)
 }
 
 // Add accumulates another snapshot (for aggregating clients).
@@ -103,6 +124,9 @@ func (a Snapshot) Add(b Snapshot) Snapshot {
 		LockWaits:     a.LockWaits + b.LockWaits,
 		LockWaitNs:    a.LockWaitNs + b.LockWaitNs,
 		Regions:       a.Regions + b.Regions,
+		DiskOps:       a.DiskOps + b.DiskOps,
+		DiskOpsMerged: a.DiskOpsMerged + b.DiskOpsMerged,
+		SeekBytes:     a.SeekBytes + b.SeekBytes,
 	}
 }
 
@@ -121,6 +145,9 @@ func (a Snapshot) Div(n int64) Snapshot {
 		LockWaits:     a.LockWaits / n,
 		LockWaitNs:    a.LockWaitNs / n,
 		Regions:       a.Regions / n,
+		DiskOps:       a.DiskOps / n,
+		DiskOpsMerged: a.DiskOpsMerged / n,
+		SeekBytes:     a.SeekBytes / n,
 	}
 }
 

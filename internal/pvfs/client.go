@@ -298,29 +298,36 @@ func (f *File) wireLayout(serverIdx int) wire.FileLayout {
 // sendRecv sends one request per server and collects the responses, in
 // order. Any server-reported error aborts. dataLens (optional) reports
 // how many trailing bytes of each request are data payload, so the
-// request-description statistics exclude them. Responses are received
-// concurrently (one sibling thread per server), so a streamed response
-// draining from one server does not stall the others.
+// request-description statistics exclude them. Each server's exchange
+// runs in its own sibling thread (send and receive alike), so a large
+// request serializing onto one server's wire — or a streamed response
+// draining from it — does not stall the others.
 func (c *Client) sendRecv(env transport.Env, servers []int, reqs [][]byte, dataLens []int64) ([]*wire.IOResp, error) {
-	for i, s := range servers {
-		conn, err := c.conn(env, s)
-		if err != nil {
+	// Dial serially: c.conn mutates the connection table.
+	for _, s := range servers {
+		if _, err := c.conn(env, s); err != nil {
 			return nil, err
 		}
-		if err := conn.Send(env, reqs[i]); err != nil {
+	}
+	descLen := func(i int) int64 {
+		desc := int64(len(reqs[i]))
+		if dataLens != nil {
+			desc -= dataLens[i]
+		}
+		return desc
+	}
+	exchange := func(env transport.Env, i, s int) (*wire.IOResp, error) {
+		if err := c.conns[s].Send(env, reqs[i]); err != nil {
 			return nil, fmt.Errorf("pvfs: send to server %d: %w", s, err)
 		}
 		if st := c.stats(); st != nil {
-			desc := int64(len(reqs[i]))
-			if dataLens != nil {
-				desc -= dataLens[i]
-			}
-			st.AddWire(desc)
+			st.AddWire(descLen(i))
 		}
+		return c.recvResp(env, s)
 	}
 	out := make([]*wire.IOResp, len(servers))
 	if len(servers) == 1 {
-		r, err := c.recvResp(env, servers[0])
+		r, err := exchange(env, 0, servers[0])
 		if err != nil {
 			return nil, err
 		}
@@ -331,7 +338,7 @@ func (c *Client) sendRecv(env transport.Env, servers []int, reqs [][]byte, dataL
 	for i, s := range servers {
 		i, s := i, s
 		fns[i] = func(env transport.Env) error {
-			r, err := c.recvResp(env, s)
+			r, err := exchange(env, i, s)
 			if err != nil {
 				return err
 			}
@@ -339,7 +346,7 @@ func (c *Client) sendRecv(env transport.Env, servers []int, reqs [][]byte, dataL
 			return nil
 		}
 	}
-	if err := env.Parallel("pvfs-recv", fns...); err != nil {
+	if err := env.Parallel("pvfs-sendrecv", fns...); err != nil {
 		return nil, err
 	}
 	return out, nil

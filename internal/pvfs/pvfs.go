@@ -36,8 +36,20 @@ type CostModel struct {
 	// DataloopDecode is extra server CPU per datatype request (parsing
 	// and setting up dataloop processing).
 	DataloopDecode time.Duration
-	// DiskPerOp is charged once per request touching the disk.
+	// DiskPerOp is charged per dispatched disk operation, after the
+	// server's disk scheduler has coalesced a request's physical runs
+	// (DESIGN.md §10). An operation that continues the previous dispatch
+	// sequentially (no head movement) is free: the disk just keeps
+	// streaming.
 	DiskPerOp time.Duration
+	// DiskSeekPerMB is head-travel time per MiB of distance between
+	// consecutive dispatched operations, capped at DiskSeekMax. Short
+	// seeks on the era's SCSI disks are roughly linear in distance
+	// (track-to-track ~1 ms over ~0.5 MB tracks).
+	DiskSeekPerMB time.Duration
+	// DiskSeekMax caps one seek's modeled time (full-stroke plus
+	// settle); beyond a few MB of travel, seek time flattens out.
+	DiskSeekMax time.Duration
 	// DiskReadBytesPerSec is effective server read throughput. Reads in
 	// the paper's benchmarks are largely sequential or buffer-cache
 	// warm, so this is near the disk's streaming rate.
@@ -58,19 +70,33 @@ func DefaultCostModel() CostModel {
 		MemcpyPerPiece:       4 * time.Microsecond,
 		DataloopDecode:       50 * time.Microsecond,
 		DiskPerOp:            time.Millisecond,
+		DiskSeekPerMB:        2 * time.Millisecond,
+		DiskSeekMax:          8 * time.Millisecond,
 		DiskReadBytesPerSec:  25e6,
 		DiskWriteBytesPerSec: 2.5e6,
 	}
 }
 
-// diskTime converts a byte count to disk occupancy under the model.
-func (c CostModel) diskTime(bytes int64, write bool) time.Duration {
+// diskXfer is the transfer time of n bytes at the read or write rate.
+func (c CostModel) diskXfer(n int64, write bool) time.Duration {
 	bw := c.DiskReadBytesPerSec
 	if write {
 		bw = c.DiskWriteBytesPerSec
 	}
 	if bw <= 0 {
-		return c.DiskPerOp
+		return 0
 	}
-	return c.DiskPerOp + time.Duration(float64(bytes)/bw*float64(time.Second))
+	return time.Duration(float64(n) / bw * float64(time.Second))
+}
+
+// diskSeek is the head-travel time for a jump of dist bytes.
+func (c CostModel) diskSeek(dist int64) time.Duration {
+	if dist <= 0 || c.DiskSeekPerMB <= 0 {
+		return 0
+	}
+	d := time.Duration(float64(dist) / (1 << 20) * float64(c.DiskSeekPerMB))
+	if c.DiskSeekMax > 0 && d > c.DiskSeekMax {
+		return c.DiskSeekMax
+	}
+	return d
 }

@@ -1,0 +1,324 @@
+package pvfs
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"dtio/internal/iostats"
+	"dtio/internal/storage"
+	"dtio/internal/transport"
+)
+
+// DefaultSieveGapBytes is the default read gap-merge threshold of the
+// disk scheduler: two runs separated by at most this many bytes are
+// served by one over-reading disk operation. 64 KiB sits well below the
+// ~25 KB/op break-even of the calibrated cost model times the typical
+// merge fan-in, and matches the flow-control segment size so one
+// sieved dispatch never dwarfs a streaming batch.
+const DefaultSieveGapBytes = 64 * 1024
+
+// ioSpan is one physical run a request produces: n bytes at off on the
+// server's local object, occupying [pos, pos+n) of the request-order
+// payload (writes) or response (reads). Write runs carry their payload
+// bytes; read runs are filled from disk.
+type ioSpan struct {
+	off, n int64
+	pos    int64
+	data   []byte
+}
+
+// diskOp is one dispatched disk operation: the coalesced runs
+// sorted[first:first+count], issued as a single n-byte access at off.
+// For reads n may exceed the runs' byte total — gaps up to the sieve
+// threshold are over-read and discarded (data sieving at the disk).
+type diskOp struct {
+	off, n       int64
+	first, count int
+}
+
+// segPlan is one planned dispatch batch: ops[opsFrom:opsTo] plus the
+// batch's modeled disk time.
+type segPlan struct {
+	opsFrom, opsTo int
+	cost           time.Duration
+}
+
+// diskSched is the per-request disk scheduler (DESIGN.md §10). It
+// collects the physical runs a request produces, reorders each dispatch
+// batch by physical offset (elevator order), coalesces strictly
+// adjacent runs — plus, for reads, runs separated by gaps up to the
+// sieve threshold — and prices the result per dispatched operation with
+// a seek term proportional to head travel. The head position carries
+// across a request's batches, so a streamed transfer that continues
+// sequentially pays one positioning charge, not one per segment.
+type diskSched struct {
+	cost    CostModel
+	stats   *iostats.Stats
+	write   bool
+	noSort  bool  // ablation: arrival-order dispatch, no coalescing
+	gap     int64 // read gap-merge threshold (0 = adjacency only)
+	head    int64 // head position after the last dispatched op
+	started bool  // head is meaningful
+
+	spans  []ioSpan  // arrival order, as the request walk produced them
+	sorted []ioSpan  // dispatch order, one batch after another
+	ops    []diskOp  // dispatched operations; first/count index sorted
+	segs   []segPlan // per-segment plans of a streamed read
+}
+
+// schedPool recycles schedulers (and their slices) across requests so
+// the read/write hot paths stay allocation-free in steady state.
+var schedPool = sync.Pool{New: func() any { return new(diskSched) }}
+
+// newSched returns a pooled scheduler configured for this server.
+func (s *Server) newSched(write bool) *diskSched {
+	d := schedPool.Get().(*diskSched)
+	d.cost = s.cost
+	d.stats = s.Stats
+	d.write = write
+	d.noSort = s.DisableDiskSched
+	d.gap = s.SieveGapBytes
+	d.head = 0
+	d.started = false
+	return d
+}
+
+// clearSpans drops payload references so pooled slices don't pin
+// request buffers, and truncates.
+func clearSpans(s []ioSpan) []ioSpan {
+	for i := range s {
+		s[i].data = nil
+	}
+	return s[:0]
+}
+
+func putSched(d *diskSched) {
+	d.spans = clearSpans(d.spans)
+	d.sorted = clearSpans(d.sorted)
+	d.ops = d.ops[:0]
+	d.segs = d.segs[:0]
+	d.stats = nil
+	schedPool.Put(d)
+}
+
+// add records one physical run. Zero-length runs are dropped here: they
+// produce no disk operation and charge no disk time (a request that
+// touches zero bytes must not occupy the disk).
+func (d *diskSched) add(off, n, pos int64, data []byte) {
+	if n <= 0 {
+		return
+	}
+	d.spans = append(d.spans, ioSpan{off: off, n: n, pos: pos, data: data})
+}
+
+// writeOverlap reports whether any two offset-sorted write runs touch
+// the same byte.
+func writeOverlap(b []ioSpan) bool {
+	for i := 1; i < len(b); i++ {
+		if b[i].off < b[i-1].off+b[i-1].n {
+			return true
+		}
+	}
+	return false
+}
+
+// planBatch schedules one dispatch batch: it appends the batch to the
+// dispatch-order list, coalesces it into operations, and prices them.
+// batch must not alias d.sorted. Overlapping write runs fall back to
+// arrival order — reordering them would change the bytes on disk.
+func (d *diskSched) planBatch(batch []ioSpan) segPlan {
+	p := segPlan{opsFrom: len(d.ops), opsTo: len(d.ops)}
+	if len(batch) == 0 {
+		return p
+	}
+	from := len(d.sorted)
+	d.sorted = append(d.sorted, batch...)
+	b := d.sorted[from:]
+	if !d.noSort {
+		sort.Slice(b, func(i, j int) bool {
+			if b[i].off != b[j].off {
+				return b[i].off < b[j].off
+			}
+			return b[i].pos < b[j].pos
+		})
+		if d.write && writeOverlap(b) {
+			copy(b, batch)
+		}
+	}
+	cur := diskOp{off: b[0].off, n: b[0].n, first: from, count: 1}
+	for i := 1; i < len(b); i++ {
+		sp := b[i]
+		end := cur.off + cur.n
+		var join bool
+		switch {
+		case d.noSort:
+			// Ablation: every run dispatches as its own operation.
+		case d.write:
+			join = sp.off == end
+		default:
+			join = sp.off >= cur.off && sp.off <= end+d.gap
+		}
+		if join {
+			if e := sp.off + sp.n; e > end {
+				cur.n = e - cur.off
+			}
+			cur.count++
+			continue
+		}
+		d.ops = append(d.ops, cur)
+		cur = diskOp{off: sp.off, n: sp.n, first: from + i, count: 1}
+	}
+	d.ops = append(d.ops, cur)
+	p.opsTo = len(d.ops)
+	p.cost = d.charge(d.ops[p.opsFrom:p.opsTo], int64(len(batch)))
+	return p
+}
+
+// charge prices one batch's operations and advances the head. An
+// operation starting exactly at the head continues the previous
+// dispatch sequentially: no positioning charge and no new operation
+// counted — the disk just keeps streaming.
+func (d *diskSched) charge(ops []diskOp, nIn int64) time.Duration {
+	var t time.Duration
+	var nOut, seek int64
+	for _, op := range ops {
+		if !d.started || op.off != d.head {
+			t += d.cost.DiskPerOp
+			if d.started {
+				dist := op.off - d.head
+				if dist < 0 {
+					dist = -dist
+				}
+				t += d.cost.diskSeek(dist)
+				seek += dist
+			}
+			nOut++
+		}
+		t += d.cost.diskXfer(op.n, d.write)
+		d.head = op.off + op.n
+		d.started = true
+	}
+	if d.stats != nil {
+		d.stats.AddDisk(nIn, nOut, seek)
+	}
+	return t
+}
+
+// runReads plans and executes a non-streamed read: every collected
+// run's bytes land at dst[run.pos:]. Disk time is charged after the
+// data is read, where the pre-scheduler path charged it.
+func (d *diskSched) runReads(env transport.Env, st storage.Store, dst []byte) error {
+	p := d.planBatch(d.spans)
+	if err := d.readBatch(st, p, dst, 0); err != nil {
+		return err
+	}
+	env.DiskUse(p.cost)
+	return nil
+}
+
+// readBatch executes one planned batch's reads: single-run operations
+// land directly in dst, coalesced ones stage through a pooled scratch
+// buffer and scatter to each covered run (sieved gap bytes are read and
+// discarded there, so the response stays byte-identical). base
+// translates absolute payload positions into dst indices.
+func (d *diskSched) readBatch(st storage.Store, p segPlan, dst []byte, base int64) error {
+	for _, op := range d.ops[p.opsFrom:p.opsTo] {
+		runs := d.sorted[op.first : op.first+op.count]
+		if op.count == 1 {
+			sp := runs[0]
+			if err := st.ReadAt(dst[sp.pos-base:sp.pos-base+sp.n], sp.off); err != nil {
+				return err
+			}
+			continue
+		}
+		bp := getBuf(int(op.n))
+		if err := st.ReadAt(*bp, op.off); err != nil {
+			putBuf(bp)
+			return err
+		}
+		for _, sp := range runs {
+			copy(dst[sp.pos-base:sp.pos-base+sp.n], (*bp)[sp.off-op.off:sp.off-op.off+sp.n])
+		}
+		putBuf(bp)
+	}
+	return nil
+}
+
+// flushWrites dispatches the runs buffered so far — a whole inline
+// payload, or one flow-control segment's worth of a streamed one — and
+// resets the batch, keeping the head position. The disk charge lands
+// before the writes, where the streamed path's per-segment charge was.
+func (d *diskSched) flushWrites(env transport.Env, st storage.Store) error {
+	if len(d.spans) == 0 {
+		return nil
+	}
+	p := d.planBatch(d.spans)
+	env.DiskUse(p.cost)
+	err := d.writeBatch(st, p)
+	d.spans = clearSpans(d.spans)
+	d.sorted = clearSpans(d.sorted)
+	d.ops = d.ops[:0]
+	return err
+}
+
+// writeBatch executes one planned batch's writes: single-run operations
+// write their payload directly, coalesced ones gather into a pooled
+// scratch buffer so the store sees one WriteAt per dispatched op.
+// Coalesced write runs are strictly adjacent, so the scratch is fully
+// covered.
+func (d *diskSched) writeBatch(st storage.Store, p segPlan) error {
+	for _, op := range d.ops[p.opsFrom:p.opsTo] {
+		runs := d.sorted[op.first : op.first+op.count]
+		if op.count == 1 {
+			if err := st.WriteAt(runs[0].data, op.off); err != nil {
+				return err
+			}
+			continue
+		}
+		bp := getBuf(int(op.n))
+		for _, sp := range runs {
+			copy((*bp)[sp.off-op.off:], sp.data)
+		}
+		err := st.WriteAt(*bp, op.off)
+		putBuf(bp)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// planStream splits the collected read runs at flow-control segment
+// boundaries of the response payload and plans one dispatch batch per
+// segment, in order (the head carries across batches, so a run split by
+// a segment boundary continues sequentially for free). It returns one
+// plan per segment; execute them with readBatch in the same order.
+func (d *diskSched) planStream(total, seg int64) []segPlan {
+	nseg := (total + seg - 1) / seg
+	split := make([]ioSpan, 0, len(d.spans)+int(nseg))
+	starts := make([]int, nseg+1)
+	k := int64(0)
+	for _, sp := range d.spans {
+		for sp.n > 0 {
+			for sp.pos >= (k+1)*seg {
+				k++
+				starts[k] = len(split)
+			}
+			take := (k+1)*seg - sp.pos
+			if take > sp.n {
+				take = sp.n
+			}
+			split = append(split, ioSpan{off: sp.off, n: take, pos: sp.pos})
+			sp.off += take
+			sp.pos += take
+			sp.n -= take
+		}
+	}
+	starts[nseg] = len(split)
+	d.segs = d.segs[:0]
+	for k := int64(0); k < nseg; k++ {
+		d.segs = append(d.segs, d.planBatch(split[starts[k]:starts[k+1]]))
+	}
+	return d.segs
+}

@@ -1,0 +1,297 @@
+package pvfs
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"dtio/internal/iostats"
+	"dtio/internal/transport"
+)
+
+func testSched(write bool, gap int64, st *iostats.Stats) *diskSched {
+	return &diskSched{
+		cost:  DefaultCostModel(),
+		stats: st,
+		write: write,
+		gap:   gap,
+	}
+}
+
+// opsOf extracts the (off, n) of each dispatched op of a plan.
+func opsOf(d *diskSched, p segPlan) [][2]int64 {
+	var out [][2]int64
+	for _, op := range d.ops[p.opsFrom:p.opsTo] {
+		out = append(out, [2]int64{op.off, op.n})
+	}
+	return out
+}
+
+func TestPlanBatchElevatorOrderAndAdjacentMerge(t *testing.T) {
+	d := testSched(true, 0, nil)
+	// Arrival order deliberately scrambled; runs at 100..200, 300..350,
+	// 200..300 are adjacent once sorted.
+	d.add(300, 50, 0, nil)
+	d.add(100, 100, 0, nil)
+	d.add(200, 100, 0, nil)
+	p := d.planBatch(d.spans)
+	want := [][2]int64{{100, 250}}
+	if got := opsOf(d, p); fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("ops = %v, want %v", got, want)
+	}
+}
+
+func TestPlanBatchWriteGapDoesNotMerge(t *testing.T) {
+	d := testSched(true, 64*1024, nil)
+	d.add(0, 100, 0, nil)
+	d.add(200, 100, 0, nil) // 100-byte hole: writes must not over-write it
+	p := d.planBatch(d.spans)
+	want := [][2]int64{{0, 100}, {200, 100}}
+	if got := opsOf(d, p); fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("ops = %v, want %v", got, want)
+	}
+}
+
+func TestPlanBatchOverlappingWritesKeepArrivalOrder(t *testing.T) {
+	d := testSched(true, 0, nil)
+	// Two runs touching byte 150: last writer (arrival order) must win,
+	// so the batch may not be reordered or merged.
+	d.add(150, 100, 0, nil)
+	d.add(100, 100, 0, nil)
+	p := d.planBatch(d.spans)
+	want := [][2]int64{{150, 100}, {100, 100}}
+	if got := opsOf(d, p); fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("ops = %v, want %v (arrival order)", got, want)
+	}
+}
+
+func TestPlanBatchReadGapMerge(t *testing.T) {
+	for _, tc := range []struct {
+		gap  int64
+		want [][2]int64
+	}{
+		// Threshold covers the 1000- and 900-byte holes: one op
+		// over-reads them all.
+		{1024, [][2]int64{{0, 2200}}},
+		// Threshold below the holes: three ops.
+		{512, [][2]int64{{0, 100}, {1100, 100}, {2100, 100}}},
+		// Adjacency only.
+		{0, [][2]int64{{0, 100}, {1100, 100}, {2100, 100}}},
+	} {
+		d := testSched(false, tc.gap, nil)
+		d.add(2100, 100, 200, nil)
+		d.add(0, 100, 0, nil)
+		d.add(1100, 100, 100, nil)
+		p := d.planBatch(d.spans)
+		if got := opsOf(d, p); fmt.Sprint(got) != fmt.Sprint(tc.want) {
+			t.Fatalf("gap=%d: ops = %v, want %v", tc.gap, got, tc.want)
+		}
+	}
+}
+
+func TestPlanBatchOverlappingReadsMerge(t *testing.T) {
+	d := testSched(false, 0, nil)
+	d.add(0, 100, 0, nil)
+	d.add(50, 100, 100, nil) // overlaps the first run
+	p := d.planBatch(d.spans)
+	want := [][2]int64{{0, 150}}
+	if got := opsOf(d, p); fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("ops = %v, want %v", got, want)
+	}
+}
+
+func TestSchedDropsZeroLengthRuns(t *testing.T) {
+	var st iostats.Stats
+	d := testSched(false, 0, &st)
+	d.add(0, 0, 0, nil)
+	d.add(500, 0, 0, nil)
+	if len(d.spans) != 0 {
+		t.Fatalf("zero-length runs were recorded: %v", d.spans)
+	}
+	env := transport.NewRealEnv()
+	if err := d.flushWrites(env, nil); err != nil {
+		t.Fatal(err)
+	}
+	if s := st.Snapshot(); s.DiskOps != 0 || s.DiskOpsMerged != 0 {
+		t.Fatalf("zero-byte request charged the disk: %+v", s)
+	}
+}
+
+func TestChargeContinuationAndSeek(t *testing.T) {
+	var st iostats.Stats
+	d := testSched(false, 0, &st)
+	cm := d.cost
+
+	// Batch 1: one op at [0, 100).
+	d.add(0, 100, 0, nil)
+	p1 := d.planBatch(d.spans)
+	if want := cm.DiskPerOp + cm.diskXfer(100, false); p1.cost != want {
+		t.Fatalf("first op cost = %v, want %v", p1.cost, want)
+	}
+	d.spans = d.spans[:0]
+
+	// Batch 2 continues exactly at the head: no positioning charge, not
+	// counted as a new dispatched op.
+	d.add(100, 50, 100, nil)
+	p2 := d.planBatch(d.spans)
+	if want := cm.diskXfer(50, false); p2.cost != want {
+		t.Fatalf("continuation cost = %v, want %v (transfer only)", p2.cost, want)
+	}
+	d.spans = d.spans[:0]
+
+	// Batch 3 jumps 1 MiB: per-op charge plus one DiskSeekPerMB.
+	d.add(150+1<<20, 10, 150, nil)
+	p3 := d.planBatch(d.spans)
+	if want := cm.DiskPerOp + cm.diskSeek(1<<20) + cm.diskXfer(10, false); p3.cost != want {
+		t.Fatalf("seek cost = %v, want %v", p3.cost, want)
+	}
+	if cm.diskSeek(1<<20) != cm.DiskSeekPerMB {
+		t.Fatalf("diskSeek(1MiB) = %v, want %v", cm.diskSeek(1<<20), cm.DiskSeekPerMB)
+	}
+
+	s := st.Snapshot()
+	if s.DiskOps != 3 || s.DiskOpsMerged != 2 {
+		t.Fatalf("ops in/out = %d/%d, want 3/2 (continuation is free)", s.DiskOps, s.DiskOpsMerged)
+	}
+	if s.SeekBytes != 1<<20 {
+		t.Fatalf("seek bytes = %d, want %d", s.SeekBytes, int64(1)<<20)
+	}
+}
+
+func TestChargeSeekCap(t *testing.T) {
+	cm := DefaultCostModel()
+	if got := cm.diskSeek(100 << 20); got != cm.DiskSeekMax {
+		t.Fatalf("diskSeek(100MiB) = %v, want cap %v", got, cm.DiskSeekMax)
+	}
+}
+
+func TestNoSortDispatchesArrivalOrderUncoalesced(t *testing.T) {
+	d := testSched(false, 64*1024, nil)
+	d.noSort = true
+	d.add(200, 100, 100, nil)
+	d.add(0, 100, 0, nil)
+	d.add(300, 100, 200, nil) // adjacent to the first run, still separate
+	p := d.planBatch(d.spans)
+	want := [][2]int64{{200, 100}, {0, 100}, {300, 100}}
+	if got := opsOf(d, p); fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("ops = %v, want %v (arrival order)", got, want)
+	}
+}
+
+func TestPlanStreamSplitsAtSegmentBoundaries(t *testing.T) {
+	var st iostats.Stats
+	d := testSched(false, 0, &st)
+	// 250 payload bytes in two runs, segment size 100: the first run
+	// straddles the first boundary, the second starts mid-segment.
+	d.add(1000, 150, 0, nil)
+	d.add(5000, 100, 150, nil)
+	segs := d.planStream(250, 100)
+	if len(segs) != 3 {
+		t.Fatalf("got %d segment plans, want 3", len(segs))
+	}
+	want := [][][2]int64{
+		{{1000, 100}},
+		{{1100, 50}, {5000, 50}},
+		{{5050, 50}},
+	}
+	for k, p := range segs {
+		if got := opsOf(d, p); fmt.Sprint(got) != fmt.Sprint(want[k]) {
+			t.Fatalf("segment %d ops = %v, want %v", k, got, want[k])
+		}
+	}
+	// Segment boundaries split the runs into 4 sub-runs, but only two
+	// operations pay a positioning charge (offsets 1000 and 5000): the
+	// head carries across batches, so the boundary splits continue free.
+	if s := st.Snapshot(); s.DiskOps != 4 || s.DiskOpsMerged != 2 {
+		t.Fatalf("ops in/out = %d/%d, want 4/2", s.DiskOps, s.DiskOpsMerged)
+	}
+	// Segment 2 is a pure continuation of segment 1's last op.
+	if want := d.cost.diskXfer(50, false); d.segs[2].cost != want {
+		t.Fatalf("segment 2 cost = %v, want transfer-only %v", d.segs[2].cost, want)
+	}
+}
+
+// TestSchedRoundTripVariants reproduces the same strided pattern under
+// every scheduler configuration the benchmarks sweep and checks the
+// bytes are identical in all of them.
+func TestSchedRoundTripVariants(t *testing.T) {
+	variants := []struct {
+		name string
+		tune func(*Server)
+	}{
+		{"nosched", func(s *Server) { s.DisableDiskSched = true }},
+		{"gap0", func(s *Server) { s.SieveGapBytes = 0 }},
+		{"gap4k", func(s *Server) { s.SieveGapBytes = 4096 }},
+		{"gap512k", func(s *Server) { s.SieveGapBytes = 512 * 1024 }},
+	}
+	for _, v := range variants {
+		v := v
+		t.Run(v.name, func(t *testing.T) {
+			_, c := startStreamCluster(t, 3, 1024, 2, v.tune)
+			env := transport.NewRealEnv()
+			f, err := c.Create(env, "v.dat", 512, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Strided regions with sub-strip pieces and holes smaller and
+			// larger than the 4K threshold.
+			var fileRegions []Region
+			total := 0
+			for i := 0; i < 40; i++ {
+				ln := 100 + i*7%300
+				fileRegions = append(fileRegions, Region{Off: int64(i)*900 + int64(i%3), Len: int64(ln)})
+				total += ln
+			}
+			mem := patterned(total)
+			memRegions := []Region{{Off: 0, Len: int64(total)}}
+			if err := f.WriteList(env, fileRegions, memRegions, mem); err != nil {
+				t.Fatal(err)
+			}
+			got := make([]byte, total)
+			if err := f.ReadList(env, fileRegions, memRegions, got); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, mem) {
+				t.Fatal("list round trip corrupted")
+			}
+			// Overwrite a contiguous range crossing all servers and re-read.
+			blob := patterned(7000)
+			if err := f.WriteContig(env, 200, blob); err != nil {
+				t.Fatal(err)
+			}
+			got2 := make([]byte, len(blob))
+			if err := f.ReadContig(env, 200, got2); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got2, blob) {
+				t.Fatal("contig round trip corrupted")
+			}
+		})
+	}
+}
+
+// TestSchedChargesDiskOnSim verifies end to end, on a simulated node,
+// that a strided read dispatches fewer operations than it has runs and
+// that the zero-byte path charges nothing.
+func TestSchedChargesDiskOnSim(t *testing.T) {
+	var st iostats.Stats
+	d := testSched(false, 64*1024, &st)
+	// Tile-like: 32 runs of 128 bytes every 4 KiB — one sieved dispatch.
+	for i := int64(0); i < 32; i++ {
+		d.add(i*4096, 128, i*128, nil)
+	}
+	p := d.planBatch(d.spans)
+	s := st.Snapshot()
+	if s.DiskOps != 32 || s.DiskOpsMerged != 1 {
+		t.Fatalf("ops in/out = %d/%d, want 32/1", s.DiskOps, s.DiskOpsMerged)
+	}
+	// The over-read spans the full extent: 31*4096+128 bytes.
+	wantN := int64(31*4096 + 128)
+	if got := opsOf(d, p); got[0][1] != wantN {
+		t.Fatalf("sieved op reads %d bytes, want %d", got[0][1], wantN)
+	}
+	if p.cost < d.cost.DiskPerOp || p.cost > d.cost.DiskPerOp+2*time.Millisecond+d.cost.diskXfer(wantN, false) {
+		t.Fatalf("implausible sieved cost %v", p.cost)
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"dtio/internal/dataloop"
 	"dtio/internal/flatten"
+	"dtio/internal/iostats"
 	"dtio/internal/storage"
 	"dtio/internal/striping"
 	"dtio/internal/transport"
@@ -51,6 +52,18 @@ type Server struct {
 	// DisableStreaming forces store-and-forward transfers regardless of
 	// size (the pre-streaming behavior, kept for ablations).
 	DisableStreaming bool
+
+	// DisableDiskSched dispatches a request's physical runs in arrival
+	// order with no coalescing (the NoDiskSched ablation; DESIGN.md §10).
+	DisableDiskSched bool
+	// SieveGapBytes is the disk scheduler's read gap-merge threshold:
+	// runs separated by at most this many bytes are served by a single
+	// over-reading disk operation (0 = merge strictly adjacent runs
+	// only; see DefaultSieveGapBytes).
+	SieveGapBytes int64
+	// Stats (optional) collects the disk-scheduler counters: runs
+	// presented, operations dispatched, head travel.
+	Stats *iostats.Stats
 }
 
 // NewServer creates I/O server number index listening at addr.
@@ -220,7 +233,7 @@ func (s *Server) streamedWrite(env transport.Env, conn transport.Conn, h *wire.W
 	}
 	seg := int64(h.SegBytes)
 	src := &writeSrc{stream: &srvStream{
-		conn: conn, cost: s.cost,
+		conn:  conn,
 		total: h.Total, seg: seg, window: int64(h.Window),
 		nseg: (h.Total + seg - 1) / seg,
 	}}
@@ -255,10 +268,17 @@ func (s *Server) reqFail(env transport.Env, src *writeSrc, format string, args .
 type regionsFn func(emit func(off, n int64) error) error
 
 // applyWrite is the common write path: it walks the request's regions,
-// writing payload bytes (inline or streamed) to this server's physical
-// runs, then accounts CPU and (for inline payloads) disk costs.
-// Streamed payloads charge the disk per segment as they arrive.
+// batching payload runs (inline or streamed) into the disk scheduler,
+// which dispatches them in sorted, coalesced order and charges the
+// seek-aware disk cost. An inline payload dispatches as one batch; a
+// streamed one dispatches a batch at every flow-control segment
+// boundary, before the segment buffer is reused.
 func (s *Server) applyWrite(env transport.Env, lay striping.Layout, idx int, st storage.Store, regions regionsFn, src *writeSrc) ([]byte, error) {
+	sd := s.newSched(true)
+	defer putSched(sd)
+	if src.stream != nil {
+		src.flush = func(env transport.Env) error { return sd.flushWrites(env, st) }
+	}
 	var nPieces int64
 	err := regions(func(off, n int64) error {
 		var inner error
@@ -269,10 +289,7 @@ func (s *Server) applyWrite(env transport.Env, lay striping.Layout, idx int, st 
 					inner = e
 					return false
 				}
-				if e := st.WriteAt(b, phys); e != nil {
-					inner = e
-					return false
-				}
+				sd.add(phys, int64(len(b)), 0, b)
 				phys += int64(len(b))
 				rem -= int64(len(b))
 			}
@@ -282,11 +299,14 @@ func (s *Server) applyWrite(env transport.Env, lay striping.Layout, idx int, st 
 		return inner
 	})
 	if err != nil {
+		// Keep the bytes the request's regions did cover: dispatch what
+		// is buffered before draining and answering.
+		sd.flushWrites(env, st)
 		return s.reqFail(env, src, "%v", err)
 	}
 	env.Compute(s.cost.PerRegionServer * time.Duration(nPieces))
-	if src.stream == nil && (src.consumed > 0 || s.cost.DiskPerOp > 0) {
-		env.DiskUse(s.cost.diskTime(src.consumed, true))
+	if err := sd.flushWrites(env, st); err != nil {
+		return s.reqFail(env, src, "%v", err)
 	}
 	if n := src.leftover(); n != 0 {
 		return s.reqFail(env, src, "excess write payload (%d bytes)", n)
@@ -299,14 +319,14 @@ func (s *Server) applyWrite(env transport.Env, lay striping.Layout, idx int, st 
 // inline in a single pre-sized frame or streamed in flow-controlled
 // segments that overlap disk and network.
 func (s *Server) readReply(env transport.Env, conn transport.Conn, lay striping.Layout, idx int, st storage.Store, regions regionsFn) ([]byte, error) {
-	sp := spanPool.Get().(*[]span)
-	spans := (*sp)[:0]
-	defer func() { *sp = spans; spanPool.Put(sp) }()
-	var total int64
+	sd := s.newSched(false)
+	defer putSched(sd)
+	var total, nPieces int64
 	err := regions(func(off, n int64) error {
 		lay.ServerPieces(idx, off, n, func(phys, _, ln int64) bool {
-			spans = append(spans, span{phys, ln})
+			sd.add(phys, ln, total, nil)
 			total += ln
+			nPieces++
 			return true
 		})
 		return nil
@@ -314,24 +334,22 @@ func (s *Server) readReply(env transport.Env, conn transport.Conn, lay striping.
 	if err != nil {
 		return ioErr("%v", err), nil
 	}
-	env.Compute(s.cost.PerRegionServer * time.Duration(len(spans)))
+	env.Compute(s.cost.PerRegionServer * time.Duration(nPieces))
 	seg, window := streamParams(s.StreamChunkBytes, s.StreamWindow)
 	if s.DisableStreaming || total <= seg {
 		// Build the OK response in place: one allocation sized from the
 		// known total, with storage reads landing directly in the frame.
+		// A zero-byte request dispatches no operation and charges no
+		// disk time.
 		out := wire.AppendIORespOK(nil, int(total))
 		h := len(out)
 		out = append(out, make([]byte, total)...)
-		cur := spanCursor{spans: spans}
-		if err := cur.fill(st, out[h:]); err != nil {
+		if err := sd.runReads(env, st, out[h:]); err != nil {
 			return ioErr("%v", err), nil
-		}
-		if total > 0 || s.cost.DiskPerOp > 0 {
-			env.DiskUse(s.cost.diskTime(total, false))
 		}
 		return out, nil
 	}
-	return nil, s.streamRead(env, conn, st, spans, total, seg, window)
+	return nil, s.streamRead(env, conn, st, sd, total, seg, window)
 }
 
 // contig serves a contiguous read (src nil) or write.

@@ -60,40 +60,6 @@ func getBuf(n int) *[]byte {
 
 func putBuf(bp *[]byte) { bufPool.Put(bp) }
 
-// span is one physical run of bytes on a server's local object.
-type span struct{ off, n int64 }
-
-// spanPool recycles the per-request span lists of server read paths.
-var spanPool = sync.Pool{New: func() any { return new([]span) }}
-
-// spanCursor feeds a span list's bytes into successive destination
-// buffers; spans may straddle segment boundaries.
-type spanCursor struct {
-	spans []span
-	i     int
-	off   int64 // bytes consumed of spans[i]
-}
-
-func (c *spanCursor) fill(st storage.Store, dst []byte) error {
-	for len(dst) > 0 {
-		sp := c.spans[c.i]
-		n := sp.n - c.off
-		if n > int64(len(dst)) {
-			n = int64(len(dst))
-		}
-		if err := st.ReadAt(dst[:n], sp.off+c.off); err != nil {
-			return err
-		}
-		dst = dst[n:]
-		c.off += n
-		if c.off == sp.n {
-			c.i++
-			c.off = 0
-		}
-	}
-	return nil
-}
-
 // recvAck consumes one StreamAck frame, verifying its sequence.
 func recvAck(env transport.Env, conn transport.Conn, want uint32) error {
 	raw, err := conn.Recv(env)
@@ -115,11 +81,11 @@ func recvAck(env transport.Env, conn transport.Conn, want uint32) error {
 var errShortPayload = errors.New("short write payload")
 
 // srvStream is the server side of one streamed write: it receives
-// segments in order, grants credit as they are consumed, and charges
-// the disk per segment so applying overlaps later segments' arrival.
+// segments in order and grants credit as they are consumed. Disk time
+// is charged by the disk scheduler when each segment's batch of runs is
+// dispatched (see applyWrite), not here.
 type srvStream struct {
 	conn   transport.Conn
-	cost   CostModel
 	total  int64
 	seg    int64
 	window int64
@@ -130,8 +96,7 @@ type srvStream struct {
 	chunk  wire.StreamChunk
 }
 
-// nextChunk receives segment s.next, models its disk ingestion (unless
-// discarding after a request failure), and acks it per the credit rule.
+// nextChunk receives segment s.next and acks it per the credit rule.
 func (ss *srvStream) nextChunk(env transport.Env, discard bool) ([]byte, error) {
 	if ss.next >= ss.nseg {
 		return nil, errShortPayload
@@ -153,16 +118,6 @@ func (ss *srvStream) nextChunk(env transport.Env, discard bool) ([]byte, error) 
 		return nil, ss.fatal
 	}
 	ss.next++
-	if !discard {
-		var d time.Duration
-		if bw := ss.cost.DiskWriteBytesPerSec; bw > 0 {
-			d = time.Duration(float64(want) / bw * float64(time.Second))
-		}
-		if k == 0 {
-			d += ss.cost.DiskPerOp
-		}
-		env.DiskUse(d)
-	}
 	if k+ss.window < ss.nseg {
 		ss.ack = wire.AppendStreamAck(ss.ack, uint32(k))
 		if err := ss.conn.Send(env, ss.ack); err != nil {
@@ -194,6 +149,11 @@ type writeSrc struct {
 	data     []byte // unconsumed inline payload / current segment
 	consumed int64
 	stream   *srvStream // nil when the payload is inline
+	// flush (optional, streamed writes) dispatches the runs buffered
+	// from the current segment. It runs before the next segment is
+	// received, because chunk data aliases the connection's receive
+	// buffer and is only valid until the next Recv.
+	flush func(env transport.Env) error
 }
 
 func inlineSrc(data []byte) *writeSrc { return &writeSrc{data: data} }
@@ -202,6 +162,11 @@ func inlineSrc(data []byte) *writeSrc { return &writeSrc{data: data} }
 // the next segment when the current one is exhausted.
 func (p *writeSrc) next(env transport.Env, want int64) ([]byte, error) {
 	if len(p.data) == 0 && p.stream != nil {
+		if p.flush != nil {
+			if err := p.flush(env); err != nil {
+				return nil, err
+			}
+		}
 		b, err := p.stream.nextChunk(env, false)
 		if err != nil {
 			return nil, err
@@ -237,11 +202,15 @@ func (p *writeSrc) drain(env transport.Env) error {
 	return p.stream.drain(env)
 }
 
-// streamRead sends total bytes described by spans as a flow-controlled
+// streamRead sends the total bytes collected in sd as a flow-controlled
 // segment stream: segment k+1 comes off the disk while segment k is on
-// the wire. A storage failure mid-stream sends a terminal error chunk
-// and returns an error, closing the connection.
-func (s *Server) streamRead(env transport.Env, conn transport.Conn, st storage.Store, spans []span, total, seg, window int64) error {
+// the wire. Each segment's runs are dispatched as one scheduled batch
+// (sorted, coalesced, gap-sieved), and its planned disk time replaces
+// the old bytes-only per-segment charge; a sequential stream keeps the
+// head moving and pays a single positioning charge in total. A storage
+// failure mid-stream sends a terminal error chunk and returns an error,
+// closing the connection.
+func (s *Server) streamRead(env transport.Env, conn transport.Conn, st storage.Store, sd *diskSched, total, seg, window int64) error {
 	nseg := (total + seg - 1) / seg
 	hdr := wire.EncodeReadStreamHdr(&wire.ReadStreamHdr{
 		Total: total, SegBytes: int32(seg), Window: int32(window),
@@ -249,30 +218,19 @@ func (s *Server) streamRead(env transport.Env, conn transport.Conn, st storage.S
 	if err := conn.Send(env, hdr); err != nil {
 		return err
 	}
-	bw := s.cost.DiskReadBytesPerSec
-	diskFor := func(k int64) time.Duration {
-		var d time.Duration
-		if bw > 0 {
-			d = time.Duration(float64(segLen(total, seg, k)) / bw * float64(time.Second))
-		}
-		if k == 0 {
-			d += s.cost.DiskPerOp
-		}
-		return d
-	}
+	segs := sd.planStream(total, seg)
 	fp := getBuf(13 + int(seg)) // chunk frame: type+seq+err+len = 13 bytes of header
 	defer func() { putBuf(fp) }()
 	frame := *fp
-	cur := spanCursor{spans: spans}
 	// Segment 0 comes off the disk before anything is on the wire.
-	env.DiskUse(diskFor(0))
+	env.DiskUse(segs[0].cost)
 	for k := int64(0); k < nseg; k++ {
 		nk := segLen(total, seg, k)
 		frame = wire.AppendStreamChunkHdr(frame[:0], uint32(k), int(nk))
 		h := len(frame)
 		frame = frame[:h+int(nk)]
 		*fp = frame
-		if err := cur.fill(st, frame[h:]); err != nil {
+		if err := sd.readBatch(st, segs[k], frame[h:], k*seg); err != nil {
 			// Terminal error chunk, then fail the connection: the client
 			// cannot resynchronize a half-delivered stream.
 			conn.Send(env, wire.EncodeStreamChunk(&wire.StreamChunk{Seq: uint32(k), Err: err.Error()}))
@@ -280,7 +238,7 @@ func (s *Server) streamRead(env transport.Env, conn transport.Conn, st storage.S
 		}
 		var nextDisk time.Duration
 		if k+1 < nseg {
-			nextDisk = diskFor(k + 1)
+			nextDisk = segs[k+1].cost
 		}
 		k := k
 		err := env.OverlapDisk(nextDisk, func() error {

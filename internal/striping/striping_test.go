@@ -205,3 +205,67 @@ func TestPropertyLocalEOFConsistent(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestServerPiecesStripBoundaryEnd(t *testing.T) {
+	l := Layout{StripSize: 10, NServers: 2, Base: 0}
+	// Region [5,20) ends exactly on a strip boundary: server 0 gets only
+	// the tail of strip 0, server 1 gets all of strip 1 and nothing more.
+	var got0, got1 [][3]int64
+	l.ServerPieces(0, 5, 15, func(phys, logical, ln int64) bool {
+		got0 = append(got0, [3]int64{phys, logical, ln})
+		return true
+	})
+	l.ServerPieces(1, 5, 15, func(phys, logical, ln int64) bool {
+		got1 = append(got1, [3]int64{phys, logical, ln})
+		return true
+	})
+	want0 := [][3]int64{{5, 5, 5}}
+	want1 := [][3]int64{{0, 10, 10}}
+	if len(got0) != 1 || got0[0] != want0[0] {
+		t.Fatalf("server 0: got %v, want %v", got0, want0)
+	}
+	if len(got1) != 1 || got1[0] != want1[0] {
+		t.Fatalf("server 1: got %v, want %v", got1, want1)
+	}
+}
+
+func TestServerPiecesSubStripAcrossTwoServers(t *testing.T) {
+	l := Layout{StripSize: 10, NServers: 4, Base: 0}
+	// Region [8,12) is smaller than one strip but straddles a boundary:
+	// 2 bytes on server 0, 2 bytes on server 1, nothing elsewhere.
+	counts := map[int][][3]int64{}
+	for s := 0; s < l.NServers; s++ {
+		l.ServerPieces(s, 8, 4, func(phys, logical, ln int64) bool {
+			counts[s] = append(counts[s], [3]int64{phys, logical, ln})
+			return true
+		})
+	}
+	if len(counts) != 2 {
+		t.Fatalf("region touched servers %v, want exactly {0, 1}", counts)
+	}
+	if got, want := counts[0], ([3]int64{8, 8, 2}); len(got) != 1 || got[0] != want {
+		t.Fatalf("server 0: got %v, want %v", got, want)
+	}
+	if got, want := counts[1], ([3]int64{0, 10, 2}); len(got) != 1 || got[0] != want {
+		t.Fatalf("server 1: got %v, want %v", got, want)
+	}
+}
+
+func TestServerPiecesZeroLength(t *testing.T) {
+	l := Layout{StripSize: 10, NServers: 2, Base: 0}
+	for _, off := range []int64{0, 5, 10, 25} {
+		for s := 0; s < l.NServers; s++ {
+			called := false
+			done := l.ServerPieces(s, off, 0, func(phys, logical, ln int64) bool {
+				called = true
+				return true
+			})
+			if called {
+				t.Fatalf("zero-length region at %d produced a piece on server %d", off, s)
+			}
+			if !done {
+				t.Fatalf("zero-length region at %d reported early stop", off)
+			}
+		}
+	}
+}
