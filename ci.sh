@@ -27,4 +27,14 @@ go test -race -timeout 60s \
 	-run 'TestPlanBatch|TestPlanStream|TestCharge|TestNoSort|TestSchedRoundTripVariants|TestSchedVariantsVerified|TestZeroByteRequestsChargeNoDisk|TestDiskSchedCollapsesTileDtypeOps' \
 	./internal/bench/ ./internal/pvfs/
 go run ./cmd/dtbench -exp pr3-smoke
+# Fault-injection pass: deterministic injector unit tests, the pvfs
+# end-to-end recovery suite (loss, dedup, stream resume, stall, crash,
+# lease reclaim), and the bench-level determinism/parity checks, all
+# under -race; then the pr4 smoke run, which exits nonzero unless clean
+# cells show zero faults and the loss/crash cells actually exercised
+# retries, replay, and failover with verified bytes.
+go test -race -timeout 120s \
+	-run 'TestSameSeedSameSchedule|TestRatesApproximateProbabilities|TestPlanLive|TestWrapNetworkFilter|TestWrapConnDupAndReset|TestRetryUnderLoss|TestWriteDedupSuppressesReplay|TestStreamedWriteResumeAfterCrash|TestRetryAfterStall|TestCrashRestartClientRecovers|TestAdminOverWire|TestLeaseReclaimedOnClientDeath|TestFault' \
+	./internal/fault/ ./internal/pvfs/ ./internal/bench/
+go run ./cmd/dtbench -exp pr4-smoke
 go test -timeout 120s -run 'XXX' -bench 'BenchmarkTileRead/dtype' -benchtime 1x -benchmem .

@@ -23,8 +23,8 @@ import (
 )
 
 var (
-	expFlag    = flag.String("exp", "all", "experiment: tile|block3d|flash|ablate-listcap|ablate-coalesce|ablate-sievebuf|ablate-loopcache|ablate-fullfeatured|pr1|pr2|pr3|pr3-smoke|all")
-	jsonFlag   = flag.String("json", "", "pr1/pr2/pr3: output path for the machine-readable report (default BENCH_PR<n>.json)")
+	expFlag    = flag.String("exp", "all", "experiment: tile|block3d|flash|ablate-listcap|ablate-coalesce|ablate-sievebuf|ablate-loopcache|ablate-fullfeatured|pr1|pr2|pr3|pr3-smoke|pr4|pr4-smoke|all")
+	jsonFlag   = flag.String("json", "", "pr1/pr2/pr3/pr4: output path for the machine-readable report (default BENCH_PR<n>.json)")
 	frames     = flag.Int("frames", 3, "tile: frames per timed run")
 	flashProcs = flag.String("flash-procs", "2,8,16,32,48,64,96,128", "flash: client counts")
 	b3Procs    = flag.String("block3d-procs", "8,27,64", "block3d: client counts (perfect cubes)")
@@ -60,6 +60,10 @@ func main() {
 		runPR3(jsonPath("BENCH_PR3.json"), false)
 	case "pr3-smoke":
 		runPR3("", true)
+	case "pr4":
+		runPR4(jsonPath("BENCH_PR4.json"), false)
+	case "pr4-smoke":
+		runPR4("", true)
 	case "all":
 		runTile()
 		runBlock3D()

@@ -1,0 +1,271 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"dtio/internal/bench"
+	"dtio/internal/fault"
+	"dtio/internal/mpiio"
+	"dtio/internal/pvfs"
+	"dtio/internal/workloads"
+)
+
+// pr4Cell is one workload x method x fault-mode measurement. All runs
+// verify data (real storage, oracle patterns), so a cell that completes
+// proves the bytes came through the faults intact. Recovery counters
+// are summed over every client for the whole run.
+type pr4Cell struct {
+	Workload      string  `json:"workload"`
+	Method        string  `json:"method"`
+	Fault         string  `json:"fault"`
+	SimSeconds    float64 `json:"sim_seconds"`
+	SimMBs        float64 `json:"sim_mb_per_s"`
+	Retries       int64   `json:"retries"`
+	Timeouts      int64   `json:"timeouts"`
+	ReplayedBytes int64   `json:"replayed_bytes"`
+	FailoverMs    float64 `json:"failover_ms"`
+	Dropped       int64   `json:"dropped"`
+	Duplicated    int64   `json:"duplicated"`
+	Resets        int64   `json:"resets"`
+}
+
+type pr4Report struct {
+	Description string    `json:"description"`
+	Note        string    `json:"note"`
+	Cells       []pr4Cell `json:"cells"`
+}
+
+// pr4Mode is one column of the fault matrix.
+type pr4Mode struct {
+	name string
+	plan *fault.Plan
+}
+
+// pr4Modes builds the fault matrix: clean, two loss rates, one server
+// stalled mid-run, one server crash-restarted mid-run. eventAt places
+// the stall/crash inside the workload's timed phase, and crashDur is
+// sized so the downtime window overlaps that workload's traffic to the
+// dead server under every access method (each workload has a different
+// untimed setup span and request cadence — the event modes inject
+// nothing probabilistic, so the phase window matches the clean cell's
+// exactly until the event fires). Seeds are fixed so each cell is a
+// deterministic virtual-time result.
+func pr4Modes(eventAt, crashDur time.Duration) []pr4Mode {
+	return []pr4Mode{
+		{"none", nil},
+		{"loss0.1", &fault.Plan{Seed: 401, DropProb: 0.001, DupProb: 0.0002}},
+		{"loss1", &fault.Plan{Seed: 402, DropProb: 0.01, DupProb: 0.002, ResetProb: 0.0005}},
+		{"stall", &fault.Plan{Seed: 403, Events: []fault.Event{
+			{At: eventAt, Server: 3, Kind: fault.Stall, Dur: 1500 * time.Millisecond},
+		}}},
+		{"crash", &fault.Plan{Seed: 404, Events: []fault.Event{
+			{At: eventAt, Server: 2, Kind: fault.Crash, Dur: crashDur},
+		}}},
+	}
+}
+
+// pr4ReadRetry is the client policy for the read matrix: the virtual
+// timeout sits well above any healthy response latency under full
+// contention (so clean cells never trip it — the none-cell guard
+// enforces this) and well below the stall mode's freeze, and the
+// backoff ladder rides out the crash mode's downtime.
+func pr4ReadRetry() pvfs.RetryPolicy {
+	return pvfs.RetryPolicy{
+		Attempts:   16,
+		Timeout:    400 * time.Millisecond,
+		Backoff:    2 * time.Millisecond,
+		MaxBackoff: 64 * time.Millisecond,
+	}
+}
+
+// pr4WriteRetry is the policy for the write workloads. A streamed
+// write's credit acks and final response ride behind the server's disk
+// drain, and with every client writing collectively the silence between
+// them legitimately stretches to seconds — so the loss detector needs a
+// far larger timeout than reads do. The write matrix skips the stall
+// mode, so there is no freeze the timeout has to stay below; crashes
+// are detected by the severed connection, not the timer.
+func pr4WriteRetry() pvfs.RetryPolicy {
+	return pvfs.RetryPolicy{
+		Attempts:   16,
+		Timeout:    5 * time.Second,
+		Backoff:    2 * time.Millisecond,
+		MaxBackoff: 64 * time.Millisecond,
+	}
+}
+
+func pr4Cellify(w string, m mpiio.Method, mode string, r bench.Result) pr4Cell {
+	return pr4Cell{
+		Workload:      w,
+		Method:        m.String(),
+		Fault:         mode,
+		SimSeconds:    r.Elapsed.Seconds(),
+		SimMBs:        r.BandwidthMBs(),
+		Retries:       r.Total.Retries,
+		Timeouts:      r.Total.Timeouts,
+		ReplayedBytes: r.Total.ReplayedBytes,
+		FailoverMs:    float64(r.Total.FailoverNs) / 1e6,
+		Dropped:       r.Fault.Dropped,
+		Duplicated:    r.Fault.Duplicated,
+		Resets:        r.Fault.Resets,
+	}
+}
+
+func pr4Print(c pr4Cell) {
+	fmt.Printf("  %-14s %-9s %-8s %8.2f sim-MB/s  %4d retries %4d timeouts  %9d replayed-B  %7.1f failover-ms\n",
+		c.Workload, c.Method, c.Fault, c.SimMBs, c.Retries, c.Timeouts, c.ReplayedBytes, c.FailoverMs)
+}
+
+// runPR4 measures the degraded-mode matrix: every cell runs verified
+// (correct bytes or the cell errors), and the ci guards check that the
+// recovery counters tell a coherent story — clean cells never retry,
+// faulted cells actually exercised recovery.
+func runPR4(jsonPath string, smoke bool) {
+	fmt.Println("=== PR4: fault injection + recovery — retries, failover, degraded-mode bandwidth ===")
+	report := pr4Report{
+		Description: "Degraded-mode comparison: verified workload cells under injected message loss, a mid-run server stall, and a mid-run server crash-restart.",
+		Note: "All cells verify data end to end on real (in-memory) storage. loss0.1/loss1 drop 0.1%/1% of " +
+			"frames on every client<->I/O-server connection (plus proportional duplicates; loss1 also " +
+			"resets ~0.05% of sends); stall freezes one server's request and stream loops for 1.5 s and " +
+			"crash fail-stops one server for 100-600 ms (objects intact across the restart), both timed " +
+			"to hit inside the workload's measured phase. retries/timeouts/replayed_bytes/failover_ms are summed " +
+			"over all clients for the whole run, setup included; dropped/duplicated/resets count what the " +
+			"injector actually did. Same seeds => same schedule: every figure is a deterministic " +
+			"virtual-time result.",
+	}
+	fail := false
+	guard := func(cond bool, format string, args ...any) {
+		if !cond {
+			fmt.Fprintf(os.Stderr, "dtbench: pr4 guard: "+format+"\n", args...)
+			fail = true
+		}
+	}
+	run := func(w string, clients, ppn int, m mpiio.Method, mode pr4Mode, retry pvfs.RetryPolicy,
+		f func(c bench.Config, m mpiio.Method) bench.Result) (pr4Cell, bool) {
+		cfg := bench.DefaultConfig(clients, ppn)
+		cfg.Discard = false
+		cfg.Verify = true
+		cfg.Fault = mode.plan
+		cfg.Retry = retry
+		r := f(cfg, m)
+		if r.Err != nil {
+			fmt.Fprintf(os.Stderr, "dtbench: %s/%s (%s): %v\n", w, m, mode.name, r.Err)
+			return pr4Cell{}, false
+		}
+		c := pr4Cellify(w, m, mode.name, r)
+		report.Cells = append(report.Cells, c)
+		pr4Print(c)
+		return c, true
+	}
+
+	type wl struct {
+		name         string
+		clients, ppn int
+		methods      []mpiio.Method
+		write        bool
+		// eventAt is when the stall/crash fires — just inside this
+		// workload's timed phase, while every method still has its
+		// first wave of requests in flight (the tile reader
+		// pre-populates ~10 MB of frames before its clock starts at
+		// t≈900 ms; the write workloads start writing almost
+		// immediately). crashDur widens the downtime for the write
+		// workloads, whose bursty per-variable cadence can otherwise
+		// step right over a brief outage on one server.
+		eventAt  time.Duration
+		crashDur time.Duration
+		run      func(c bench.Config, m mpiio.Method) bench.Result
+	}
+	workloadSet := []wl{
+		{"tile-read", 6, 1,
+			[]mpiio.Method{mpiio.Posix, mpiio.Sieve, mpiio.TwoPhase, mpiio.ListIO, mpiio.DtypeIO}, false,
+			905 * time.Millisecond, 100 * time.Millisecond,
+			func(c bench.Config, m mpiio.Method) bench.Result {
+				return bench.TileRead(c, workloads.DefaultTile(), m, 1)
+			}},
+		{"block3d-write", 8, 2,
+			[]mpiio.Method{mpiio.TwoPhase, mpiio.ListIO, mpiio.DtypeIO}, true,
+			100 * time.Millisecond, 300 * time.Millisecond,
+			func(c bench.Config, m mpiio.Method) bench.Result {
+				return bench.Block3D(c, workloads.Block3DConfig{N: 120, ElemSize: 4, Procs: 8}, m, true)
+			}},
+		{"flash-write", 4, 2,
+			[]mpiio.Method{mpiio.TwoPhase, mpiio.ListIO, mpiio.DtypeIO}, true,
+			// FLASH's checkpoint file advances through the stripe round
+			// robin, so any one server sees data only at spaced
+			// intervals; the long downtime makes sure the dead server's
+			// turn falls inside it for every method.
+			150 * time.Millisecond, 600 * time.Millisecond,
+			func(c bench.Config, m mpiio.Method) bench.Result {
+				return bench.Flash(c, workloads.FlashConfig{Blocks: 8, NB: 8, Guard: 4, Vars: 24, ElemSize: 8, Procs: 4}, m)
+			}},
+	}
+	if smoke {
+		workloadSet = workloadSet[:1]
+		workloadSet[0].methods = []mpiio.Method{mpiio.DtypeIO}
+	}
+
+	for _, w := range workloadSet {
+		ms := w.methods
+		modes := pr4Modes(w.eventAt, w.crashDur)
+		wModes := modes
+		if smoke {
+			wModes = []pr4Mode{modes[0], modes[2], modes[4]} // none, loss1, crash
+		} else if w.write {
+			// The write workloads run the subset matrix: clean, heavy
+			// loss, crash-restart.
+			wModes = []pr4Mode{modes[0], modes[2], modes[4]}
+		}
+		retry := pr4ReadRetry()
+		if w.write {
+			retry = pr4WriteRetry()
+		}
+		for _, m := range ms {
+			for _, mode := range wModes {
+				c, ok := run(w.name, w.clients, w.ppn, m, mode, retry, w.run)
+				if !ok {
+					fail = true
+					continue
+				}
+				switch mode.name {
+				case "none":
+					guard(c.Retries == 0 && c.Dropped == 0,
+						"%s %s clean cell shows faults: %d retries, %d dropped", w.name, m, c.Retries, c.Dropped)
+				case "loss1":
+					guard(c.Dropped > 0, "%s %s loss1 dropped nothing", w.name, m)
+					guard(c.Retries > 0, "%s %s survived loss1 without a single retry", w.name, m)
+					if w.write {
+						guard(c.ReplayedBytes > 0, "%s %s write retries replayed no payload", w.name, m)
+					}
+				case "stall", "crash":
+					guard(c.Retries > 0, "%s %s %s produced no retries", w.name, m, mode.name)
+					guard(c.FailoverMs > 0, "%s %s %s recorded no failover time", w.name, m, mode.name)
+					if w.write && mode.name == "crash" {
+						guard(c.ReplayedBytes > 0, "%s %s crash replayed no write payload", w.name, m)
+					}
+				}
+			}
+		}
+	}
+
+	if fail {
+		os.Exit(1)
+	}
+	if smoke {
+		fmt.Println("\npr4 smoke OK")
+		return
+	}
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dtbench: %v\n", err)
+		os.Exit(1)
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(jsonPath, out, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "dtbench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\nwrote %s\n\n", jsonPath)
+}

@@ -13,6 +13,9 @@
 //	stat <name>             print file size and layout
 //	put <local> <name>      copy a local file in
 //	get <name> <local>      copy a file out
+//	stall <idx> <dur>       freeze I/O server idx for dur (e.g. 500ms)
+//	crash <idx> <down>      fail-stop I/O server idx; it restarts after down
+//	degrade <idx> <pct>     scale server idx's disk time to pct% (100 restores)
 package main
 
 import (
@@ -21,10 +24,13 @@ import (
 	"io"
 	"log"
 	"os"
+	"strconv"
 	"strings"
+	"time"
 
 	"dtio/internal/pvfs"
 	"dtio/internal/transport"
+	"dtio/internal/wire"
 )
 
 const copyChunk = 4 << 20
@@ -41,6 +47,10 @@ func main() {
 	}
 	env := transport.NewRealEnv()
 	client := pvfs.NewClient(transport.NewTCPNetwork(), *meta, strings.Split(*ioServers, ","), pvfs.CostModel{})
+	// A fault shell needs to survive the faults it injects: retries for
+	// put/get against a stalled or restarting server, and a receive
+	// deadline so admin verbs don't hang on a frozen daemon.
+	client.Retry = pvfs.DefaultRetryPolicy()
 	defer client.Close()
 
 	fail := func(err error) {
@@ -116,6 +126,24 @@ func main() {
 			off += n
 		}
 		fmt.Printf("get %s -> %s (%d bytes)\n", args[1], args[2], size)
+	case "stall":
+		need(args, 3)
+		d, err := time.ParseDuration(args[2])
+		fail(err)
+		fail(client.Admin(env, serverIdx(args[1]), wire.AdminStall, d, 0))
+		fmt.Printf("server %s stalled for %v\n", args[1], d)
+	case "crash":
+		need(args, 3)
+		d, err := time.ParseDuration(args[2])
+		fail(err)
+		fail(client.Admin(env, serverIdx(args[1]), wire.AdminCrash, d, 0))
+		fmt.Printf("server %s crashed; restarts in %v\n", args[1], d)
+	case "degrade":
+		need(args, 3)
+		pct, err := strconv.ParseInt(args[2], 10, 64)
+		fail(err)
+		fail(client.Admin(env, serverIdx(args[1]), wire.AdminDegrade, 0, pct))
+		fmt.Printf("server %s disk scaled to %d%%\n", args[1], pct)
 	default:
 		log.Fatalf("pvfsctl: unknown command %q", args[0])
 	}
@@ -125,4 +153,12 @@ func need(args []string, n int) {
 	if len(args) < n {
 		log.Fatalf("pvfsctl: %s needs %d argument(s)", args[0], n-1)
 	}
+}
+
+func serverIdx(s string) int {
+	idx, err := strconv.Atoi(s)
+	if err != nil || idx < 0 {
+		log.Fatalf("pvfsctl: bad server index %q", s)
+	}
+	return idx
 }

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"time"
 
+	"dtio/internal/fault"
 	"dtio/internal/iostats"
 	"dtio/internal/locks"
 	"dtio/internal/mpi"
@@ -55,6 +56,17 @@ type Config struct {
 	// expiry): a nonzero lease would wake the sweep watchdog and inflate
 	// total simulated time without changing the measured phase.
 	LeaseTimeout time.Duration
+	// Fault, when live, injects message faults into every client ↔
+	// I/O-server connection (the metadata channel stays reliable) and
+	// schedules the plan's server events — stall, crash-restart, disk
+	// degrade — at their virtual times. Nil or a zero plan injects
+	// nothing and leaves runs byte-identical to a fault-free build.
+	Fault *fault.Plan
+	// Retry is the clients' retry policy. The zero value picks a
+	// default: pvfs.DefaultRetryPolicy when Fault is live, otherwise no
+	// retries (single attempt, blocking receives), matching fault-free
+	// behavior exactly.
+	Retry pvfs.RetryPolicy
 }
 
 // DefaultConfig is the paper's testbed: 16 I/O servers, 64 KiB strips,
@@ -120,7 +132,15 @@ type Result struct {
 	Disk      iostats.Snapshot // disk-scheduler counters summed over servers
 	Util      Utilization
 	Locks     locks.Stats // lock-service counters over the whole run
-	Err       error
+	Fault     fault.Stats // what the injector actually did (zero when off)
+	// Total is the undivided sum of every rank's lifetime counters —
+	// the whole run including untimed setup, which workloads Reset out
+	// of the tables. The recovery counters (Retries, Timeouts,
+	// ReplayedBytes, FailoverNs) are meaningful here: averaging them
+	// per client and per frame rounds small counts to zero, and a
+	// fault can land in setup as easily as in the timed phase.
+	Total iostats.Snapshot
+	Err   error
 }
 
 // BandwidthMBs reports aggregate bandwidth in MB/s (10^6 bytes, as the
@@ -150,7 +170,10 @@ type Cluster struct {
 	winStart, winEnd time.Duration
 	stats            []*iostats.Stats
 	diskStats        *iostats.Stats // shared by all servers' disk schedulers
+	totals           iostats.Snapshot
 	errs             []error
+
+	inj *fault.Injector // nil when cfg.Fault is not live
 }
 
 // NewCluster builds the simulated cluster: server nodes first (their
@@ -205,6 +228,28 @@ func NewCluster(cfg Config) *Cluster {
 		})
 	}
 
+	if cfg.Fault.Live() {
+		c.inj = fault.NewInjector(*cfg.Fault)
+		// One sim proc per scheduled server event: sleep to the event's
+		// virtual time, then fire it against the live server.
+		for _, ev := range cfg.Fault.Events {
+			ev := ev
+			srv := c.servers[ev.Server%cfg.Servers]
+			node := serverNodes[ev.Server%cfg.Servers]
+			c.net.Spawn(fmt.Sprintf("fault-%v-io%d", ev.Kind, ev.Server%cfg.Servers), node, func(env transport.Env) {
+				env.Sleep(ev.At)
+				switch ev.Kind {
+				case fault.Stall:
+					srv.StallFor(env, ev.Dur)
+				case fault.Crash:
+					srv.Crash(ev.Dur)
+				case fault.Degrade:
+					srv.SetDiskScale(ev.Factor)
+				}
+			})
+		}
+	}
+
 	nClientNodes := (cfg.Clients + cfg.ProcsPerNode - 1) / cfg.ProcsPerNode
 	clientNodes := make([]*transport.SimNode, nClientNodes)
 	for i := range clientNodes {
@@ -225,14 +270,24 @@ func NewCluster(cfg Config) *Cluster {
 func (c *Cluster) Run(fn func(r *Rank) error) (time.Duration, iostats.Snapshot, error) {
 	wg := c.sched.NewWaitGroup()
 	wg.Add(c.cfg.Clients)
+	clientNet := transport.Network(c.net)
+	if c.inj != nil {
+		meta := c.metaAddr
+		clientNet = c.inj.WrapNetwork(c.net, func(addr string) bool { return addr != meta })
+	}
+	retry := c.cfg.Retry
+	if retry == (pvfs.RetryPolicy{}) && c.inj != nil {
+		retry = pvfs.DefaultRetryPolicy()
+	}
 	for id := 0; id < c.cfg.Clients; id++ {
 		id := id
 		st := &iostats.Stats{}
 		c.stats[id] = st
 		c.net.Spawn(fmt.Sprintf("rank%d", id), c.rankNodes[id], func(env transport.Env) {
 			defer wg.Done()
-			fs := pvfs.NewClient(c.net, c.metaAddr, c.addrs, c.cfg.Cost)
+			fs := pvfs.NewClient(clientNet, c.metaAddr, c.addrs, c.cfg.Cost)
 			fs.Stats = st
+			fs.Retry = retry
 			fs.StreamChunkBytes = c.cfg.SimCfg.ChunkBytes
 			fs.DisableStreaming = c.cfg.NoStreaming
 			defer fs.Close()
@@ -265,12 +320,18 @@ func (c *Cluster) Run(fn func(r *Rank) error) (time.Duration, iostats.Snapshot, 
 			return 0, iostats.Snapshot{}, fmt.Errorf("rank %d: %w", id, err)
 		}
 	}
-	var agg iostats.Snapshot
+	var agg, life iostats.Snapshot
 	for _, st := range c.stats {
 		agg = agg.Add(st.Snapshot())
+		life = life.Add(st.Lifetime())
 	}
+	c.totals = life
 	return c.winEnd - c.winStart, agg.Div(int64(c.cfg.Clients)), nil
 }
+
+// TotalStats is the undivided sum of every rank's lifetime counters
+// over the whole run, setup included (call after Run).
+func (c *Cluster) TotalStats() iostats.Snapshot { return c.totals }
 
 // LockStats snapshots the metadata server's lock-service counters (call
 // after Run to check for leaked locks or to report contention).
@@ -279,6 +340,15 @@ func (c *Cluster) LockStats() locks.Stats { return c.meta.LockStats() }
 // DiskStats snapshots the disk-scheduler counters summed over all
 // servers (call after Run). Only the disk fields are populated.
 func (c *Cluster) DiskStats() iostats.Snapshot { return c.diskStats.Snapshot() }
+
+// FaultStats reports what the injector actually did over the run (all
+// zeros when no fault plan was configured).
+func (c *Cluster) FaultStats() fault.Stats {
+	if c.inj == nil {
+		return fault.Stats{}
+	}
+	return c.inj.Stats()
+}
 
 // Utilization reports average busy fractions of the modeled hardware
 // relative to the total simulated time (call after Run).

@@ -83,6 +83,8 @@ func TileRead(cfg Config, tile workloads.TileConfig, method mpiio.Method, frames
 	res.PerClient = per
 	res.Disk = cl.DiskStats()
 	res.Util = cl.Utilization()
+	res.Fault = cl.FaultStats()
+	res.Total = cl.TotalStats()
 	res.Locks = cl.LockStats()
 	res.Bytes = int64(tile.NumClients()) * int64(frames) * tileBytes
 	res.Err = err
@@ -186,6 +188,8 @@ func TileWrite(cfg Config, tile workloads.TileConfig, method mpiio.Method, frame
 	res.PerClient = per
 	res.Disk = cl.DiskStats()
 	res.Util = cl.Utilization()
+	res.Fault = cl.FaultStats()
+	res.Total = cl.TotalStats()
 	res.Locks = cl.LockStats()
 	res.Bytes = int64(tile.NumClients()) * int64(frames) * tileBytes
 	res.Err = err
@@ -265,6 +269,8 @@ func LockContention(cfg Config, writers int, stripe int64, rows int) Result {
 	res.PerClient = per
 	res.Disk = cl.DiskStats()
 	res.Util = cl.Utilization()
+	res.Fault = cl.FaultStats()
+	res.Total = cl.TotalStats()
 	res.Locks = cl.LockStats()
 	res.Bytes = perClient * int64(writers)
 	res.Err = err
@@ -373,6 +379,8 @@ func Block3D(cfg Config, b3 workloads.Block3DConfig, method mpiio.Method, write 
 	res.PerClient = per
 	res.Disk = cl.DiskStats()
 	res.Util = cl.Utilization()
+	res.Fault = cl.FaultStats()
+	res.Total = cl.TotalStats()
 	res.Locks = cl.LockStats()
 	res.Bytes = int64(b3.Procs) * blockBytes
 	res.Err = err
@@ -436,6 +444,8 @@ func Flash(cfg Config, fc workloads.FlashConfig, method mpiio.Method) Result {
 	res.PerClient = per
 	res.Disk = cl.DiskStats()
 	res.Util = cl.Utilization()
+	res.Fault = cl.FaultStats()
+	res.Total = cl.TotalStats()
 	res.Locks = cl.LockStats()
 	res.Bytes = fc.TotalBytes()
 	res.Err = err
@@ -487,6 +497,8 @@ func AdjacentBlocks(cfg Config, nBlocks int, blockSize int64, noCoalesce bool) R
 	res.PerClient = per
 	res.Disk = cl.DiskStats()
 	res.Util = cl.Utilization()
+	res.Fault = cl.FaultStats()
+	res.Total = cl.TotalStats()
 	res.Bytes = 2 * perClient * int64(res.Clients)
 	res.Err = err
 	return res

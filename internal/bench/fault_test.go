@@ -1,0 +1,121 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"dtio/internal/fault"
+	"dtio/internal/mpiio"
+	"dtio/internal/pvfs"
+)
+
+// faultRetry is a retry policy scaled to the simulated cluster: virtual
+// timeouts well above a healthy round trip, far below a fault window.
+func faultRetry() pvfs.RetryPolicy {
+	return pvfs.RetryPolicy{
+		Attempts:   12,
+		Timeout:    250 * time.Millisecond,
+		Backoff:    5 * time.Millisecond,
+		MaxBackoff: 160 * time.Millisecond,
+	}
+}
+
+// TestFaultRunDeterministic: the same seed must produce the same fault
+// schedule and therefore bit-identical results — elapsed virtual time,
+// retry counters, and injector counters all match across runs.
+func TestFaultRunDeterministic(t *testing.T) {
+	run := func() Result {
+		cfg := verifyCfg(6, 1)
+		cfg.Fault = &fault.Plan{Seed: 17, DropProb: 0.15, DupProb: 0.03}
+		cfg.Retry = faultRetry()
+		return TileRead(cfg, smallTile(), mpiio.DtypeIO, 6)
+	}
+	a, b := run(), run()
+	if a.Err != nil || b.Err != nil {
+		t.Fatalf("errs: %v / %v", a.Err, b.Err)
+	}
+	if a.Elapsed != b.Elapsed {
+		t.Fatalf("elapsed diverged: %v vs %v", a.Elapsed, b.Elapsed)
+	}
+	if a.Fault != b.Fault {
+		t.Fatalf("injector counters diverged: %+v vs %+v", a.Fault, b.Fault)
+	}
+	if a.Total != b.Total {
+		t.Fatalf("client counters diverged:\n%+v\n%+v", a.Total, b.Total)
+	}
+	if a.Fault.Dropped == 0 {
+		t.Fatal("plan injected nothing; the test is vacuous")
+	}
+	if a.Total.Retries == 0 {
+		t.Fatal("drops occurred but no client retried")
+	}
+}
+
+// TestFaultOffMatchesPlain: a nil plan and a zero plan must leave the
+// cluster untouched — identical virtual elapsed time and zero fault
+// counters, i.e. the injector costs nothing when disabled.
+func TestFaultOffMatchesPlain(t *testing.T) {
+	base := TileRead(verifyCfg(6, 1), smallTile(), mpiio.ListIO, 2)
+	if base.Err != nil {
+		t.Fatal(base.Err)
+	}
+	cfg := verifyCfg(6, 1)
+	cfg.Fault = &fault.Plan{Seed: 99} // zero probabilities, no events
+	zeroed := TileRead(cfg, smallTile(), mpiio.ListIO, 2)
+	if zeroed.Err != nil {
+		t.Fatal(zeroed.Err)
+	}
+	if base.Elapsed != zeroed.Elapsed {
+		t.Fatalf("zero plan changed elapsed: %v vs %v", base.Elapsed, zeroed.Elapsed)
+	}
+	if zeroed.Fault != (fault.Stats{}) || zeroed.Total.Retries != 0 {
+		t.Fatalf("zero plan injected: %+v retries=%d", zeroed.Fault, zeroed.Total.Retries)
+	}
+}
+
+// TestFaultCrashRestartVerified: a mid-run crash-restart of one server
+// under message loss; the verified workload must still produce correct
+// bytes, with the recovery visible in the retry counters.
+func TestFaultCrashRestartVerified(t *testing.T) {
+	cfg := verifyCfg(6, 1)
+	cfg.Fault = &fault.Plan{
+		Seed:     5,
+		DropProb: 0.005,
+		Events: []fault.Event{
+			{At: 30 * time.Millisecond, Server: 1, Kind: fault.Crash, Dur: 50 * time.Millisecond},
+		},
+	}
+	cfg.Retry = faultRetry()
+	res := TileWrite(cfg, smallTile(), mpiio.DtypeIO, 2)
+	if res.Err != nil {
+		t.Fatalf("verified tile write under crash-restart: %v", res.Err)
+	}
+	if res.Total.Retries == 0 {
+		t.Fatal("crash-restart run recorded no retries")
+	}
+}
+
+// TestFaultStallAndDegrade: scheduled stall and disk-degrade events
+// slow a run down without breaking it.
+func TestFaultStallAndDegrade(t *testing.T) {
+	base := TileRead(verifyCfg(6, 1), smallTile(), mpiio.ListIO, 2)
+	if base.Err != nil {
+		t.Fatal(base.Err)
+	}
+	cfg := verifyCfg(6, 1)
+	cfg.Fault = &fault.Plan{
+		Seed: 3,
+		Events: []fault.Event{
+			{At: 10 * time.Millisecond, Server: 0, Kind: fault.Degrade, Factor: 800},
+			{At: 20 * time.Millisecond, Server: 2, Kind: fault.Stall, Dur: 40 * time.Millisecond},
+		},
+	}
+	cfg.Retry = faultRetry()
+	res := TileRead(cfg, smallTile(), mpiio.ListIO, 2)
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if res.Elapsed <= base.Elapsed {
+		t.Fatalf("degraded run not slower: %v vs baseline %v", res.Elapsed, base.Elapsed)
+	}
+}

@@ -1,0 +1,298 @@
+// Package fault is a deterministic, seedable fault injector for the
+// cluster's transports and servers (DESIGN.md §11). A Plan describes
+// per-message probabilities (drop, duplicate, delay, connection reset)
+// plus a schedule of server events (stall, crash-restart, disk
+// degrade); an Injector turns the probabilities into a reproducible
+// decision stream and wraps a transport.Network so every dialed
+// connection to a matching address is subjected to them.
+//
+// Determinism: decision n is a pure function of (Seed, n). Under the
+// virtual-time simulator the order in which connections consume
+// decisions is itself deterministic, so one seed fixes the entire fault
+// schedule — the property the recovery tests assert.
+package fault
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dtio/internal/transport"
+)
+
+// Kind selects a scheduled server event.
+type Kind int
+
+// Server event kinds.
+const (
+	// Stall makes the server hold every request it dequeues for Dur
+	// (alive but unresponsive; clients see timeouts, not resets).
+	Stall Kind = iota + 1
+	// Crash drops the server's listener and every open connection, then
+	// restarts it after Dur. Local objects survive, standing in for the
+	// server's disk.
+	Crash
+	// Degrade multiplies the server's modeled disk time by Factor/100
+	// until reset with Factor == 100.
+	Degrade
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Stall:
+		return "stall"
+	case Crash:
+		return "crash"
+	case Degrade:
+		return "degrade"
+	}
+	return "fault.Kind(?)"
+}
+
+// Event is one scheduled server fault.
+type Event struct {
+	At     time.Duration // virtual time the event fires
+	Server int           // cluster I/O server index
+	Kind   Kind
+	Dur    time.Duration // Stall length / Crash downtime
+	Factor int64         // Degrade: disk slowdown in percent
+}
+
+// Plan describes a fault workload. The zero value injects nothing.
+type Plan struct {
+	Seed uint64
+
+	// Per-message probabilities, applied independently to every frame
+	// crossing a wrapped connection (each direction separately).
+	DropProb  float64
+	DupProb   float64
+	DelayProb float64
+	ResetProb float64 // abrupt connection teardown
+
+	// Injected delay is uniform in [DelayMin, DelayMax].
+	DelayMin, DelayMax time.Duration
+
+	Events []Event
+}
+
+// Live reports whether the plan injects anything at all.
+func (p *Plan) Live() bool {
+	if p == nil {
+		return false
+	}
+	return p.DropProb > 0 || p.DupProb > 0 || p.DelayProb > 0 ||
+		p.ResetProb > 0 || len(p.Events) > 0
+}
+
+// Stats counts what the injector actually did.
+type Stats struct {
+	Dropped    int64
+	Duplicated int64
+	Delayed    int64
+	Resets     int64
+}
+
+// Injector makes the plan's per-message decisions. Safe for concurrent
+// use; decisions are consumed from one deterministic stream.
+type Injector struct {
+	plan Plan
+	n    atomic.Uint64
+
+	dropped    atomic.Int64
+	duplicated atomic.Int64
+	delayed    atomic.Int64
+	resets     atomic.Int64
+}
+
+// NewInjector prepares an injector for the plan.
+func NewInjector(plan Plan) *Injector { return &Injector{plan: plan} }
+
+// Plan returns the injector's plan.
+func (in *Injector) Plan() Plan { return in.plan }
+
+// Stats snapshots the injection counters.
+func (in *Injector) Stats() Stats {
+	return Stats{
+		Dropped:    in.dropped.Load(),
+		Duplicated: in.duplicated.Load(),
+		Delayed:    in.delayed.Load(),
+		Resets:     in.resets.Load(),
+	}
+}
+
+// splitmix64 is the standard 64-bit finalizer-style generator: a bijective
+// scramble good enough for fault schedules and cheap enough for hot paths.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// action is one per-message decision.
+type action int
+
+const (
+	pass action = iota
+	drop
+	dup
+	reset
+)
+
+// decide consumes decision n and returns what to do with one message.
+// A delayed message may additionally be dropped/duplicated — delay is an
+// independent roll so its probability composes the obvious way.
+func (in *Injector) decide() (act action, delay time.Duration) {
+	n := in.n.Add(1)
+	r := splitmix64(in.plan.Seed ^ n)
+	u := float64(r>>11) / (1 << 53)
+	switch {
+	case u < in.plan.ResetProb:
+		act = reset
+	case u < in.plan.ResetProb+in.plan.DropProb:
+		act = drop
+	case u < in.plan.ResetProb+in.plan.DropProb+in.plan.DupProb:
+		act = dup
+	}
+	if in.plan.DelayProb > 0 && act != reset {
+		r2 := splitmix64(r)
+		if float64(r2>>11)/(1<<53) < in.plan.DelayProb {
+			span := in.plan.DelayMax - in.plan.DelayMin
+			delay = in.plan.DelayMin
+			if span > 0 {
+				r3 := splitmix64(r2)
+				delay += time.Duration(r3 % uint64(span))
+			}
+			if delay < 0 {
+				delay = 0
+			}
+		}
+	}
+	return act, delay
+}
+
+// WrapNetwork returns a network identical to inner except that every
+// connection dialed to an address matching filter is fault-injected.
+// Listeners (and the server ends of connections) pass through
+// untouched: both directions of a dialed connection are injected at the
+// client end, which covers the full path while leaving control channels
+// (e.g. the metadata server) reliable.
+func (in *Injector) WrapNetwork(inner transport.Network, filter func(addr string) bool) transport.Network {
+	return &network{inner: inner, in: in, filter: filter}
+}
+
+type network struct {
+	inner  transport.Network
+	in     *Injector
+	filter func(addr string) bool
+}
+
+func (n *network) Listen(addr string) (transport.Listener, error) {
+	return n.inner.Listen(addr)
+}
+
+func (n *network) Dial(env transport.Env, addr string) (transport.Conn, error) {
+	c, err := n.inner.Dial(env, addr)
+	if err != nil {
+		return nil, err
+	}
+	if n.filter != nil && !n.filter(addr) {
+		return c, nil
+	}
+	return &conn{inner: c, in: n.in}, nil
+}
+
+// conn injects faults on both directions of one dialed connection.
+type conn struct {
+	inner transport.Conn
+	in    *Injector
+
+	mu      sync.Mutex
+	pending [][]byte // receive-side duplicates awaiting redelivery
+}
+
+// Send applies one decision to an outgoing frame. A dropped frame
+// vanishes silently (the peer never sees it); a reset tears the
+// connection down mid-conversation, which the caller observes as
+// ErrClosed here and the peer observes on its next receive.
+func (c *conn) Send(env transport.Env, msg []byte) error {
+	act, delay := c.in.decide()
+	if delay > 0 {
+		c.in.delayed.Add(1)
+		env.Sleep(delay)
+	}
+	switch act {
+	case drop:
+		c.in.dropped.Add(1)
+		return nil
+	case dup:
+		c.in.duplicated.Add(1)
+		if err := c.inner.Send(env, msg); err != nil {
+			return err
+		}
+		return c.inner.Send(env, msg)
+	case reset:
+		c.in.resets.Add(1)
+		c.inner.Close()
+		return transport.ErrClosed
+	}
+	return c.inner.Send(env, msg)
+}
+
+// Recv applies one decision to each incoming frame: a drop consumes the
+// frame and waits for the next, a duplicate stashes a copy that the
+// following Recv returns again.
+func (c *conn) Recv(env transport.Env) ([]byte, error) {
+	return c.recv(env, 0)
+}
+
+// RecvTimeout implements transport.TimedConn. Each underlying wait gets
+// the full budget again after an injected drop — slightly generous, but
+// the retry layers above only need an upper bound on responsiveness.
+func (c *conn) RecvTimeout(env transport.Env, d time.Duration) ([]byte, error) {
+	return c.recv(env, d)
+}
+
+func (c *conn) recv(env transport.Env, d time.Duration) ([]byte, error) {
+	for {
+		c.mu.Lock()
+		if len(c.pending) > 0 {
+			msg := c.pending[0]
+			c.pending = c.pending[1:]
+			c.mu.Unlock()
+			return msg, nil
+		}
+		c.mu.Unlock()
+		msg, err := transport.RecvTimeout(env, c.inner, d)
+		if err != nil {
+			return nil, err
+		}
+		act, delay := c.in.decide()
+		if delay > 0 {
+			c.in.delayed.Add(1)
+			env.Sleep(delay)
+		}
+		switch act {
+		case drop:
+			c.in.dropped.Add(1)
+			continue
+		case dup:
+			c.in.duplicated.Add(1)
+			cp := append([]byte(nil), msg...)
+			c.mu.Lock()
+			c.pending = append(c.pending, cp)
+			c.mu.Unlock()
+			return msg, nil
+		case reset:
+			c.in.resets.Add(1)
+			c.inner.Close()
+			return nil, transport.ErrClosed
+		}
+		return msg, nil
+	}
+}
+
+func (c *conn) Close() error { return c.inner.Close() }

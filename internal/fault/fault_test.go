@@ -1,0 +1,185 @@
+package fault
+
+import (
+	"testing"
+	"time"
+
+	"dtio/internal/transport"
+)
+
+// TestSameSeedSameSchedule: the decision stream is a pure function of
+// the seed — the determinism the recovery tests and benchmarks rely on.
+func TestSameSeedSameSchedule(t *testing.T) {
+	plan := Plan{
+		Seed: 42, DropProb: 0.05, DupProb: 0.05, ResetProb: 0.02,
+		DelayProb: 0.1, DelayMin: time.Millisecond, DelayMax: 5 * time.Millisecond,
+	}
+	a, b := NewInjector(plan), NewInjector(plan)
+	for i := 0; i < 5000; i++ {
+		actA, delA := a.decide()
+		actB, delB := b.decide()
+		if actA != actB || delA != delB {
+			t.Fatalf("decision %d diverged: (%v,%v) vs (%v,%v)", i, actA, delA, actB, delB)
+		}
+	}
+	// A different seed produces a different schedule.
+	plan.Seed = 43
+	c, d := NewInjector(Plan{Seed: 42, DropProb: 0.05, DupProb: 0.05, ResetProb: 0.02}), NewInjector(Plan{Seed: 43, DropProb: 0.05, DupProb: 0.05, ResetProb: 0.02})
+	same := 0
+	for i := 0; i < 5000; i++ {
+		actC, _ := c.decide()
+		actD, _ := d.decide()
+		if actC == actD {
+			same++
+		}
+	}
+	if same == 5000 {
+		t.Fatal("seeds 42 and 43 produced identical schedules")
+	}
+}
+
+// TestRatesApproximateProbabilities: long-run action frequencies track
+// the configured probabilities.
+func TestRatesApproximateProbabilities(t *testing.T) {
+	in := NewInjector(Plan{Seed: 7, DropProb: 0.1, DupProb: 0.05})
+	const n = 50000
+	var drops, dups int
+	for i := 0; i < n; i++ {
+		switch act, _ := in.decide(); act {
+		case drop:
+			drops++
+		case dup:
+			dups++
+		case reset:
+			t.Fatal("reset with ResetProb 0")
+		}
+	}
+	if f := float64(drops) / n; f < 0.08 || f > 0.12 {
+		t.Fatalf("drop rate %.4f, configured 0.10", f)
+	}
+	if f := float64(dups) / n; f < 0.035 || f > 0.065 {
+		t.Fatalf("dup rate %.4f, configured 0.05", f)
+	}
+}
+
+func TestPlanLive(t *testing.T) {
+	var p *Plan
+	if p.Live() {
+		t.Fatal("nil plan live")
+	}
+	if (&Plan{Seed: 9}).Live() {
+		t.Fatal("probability-free plan live")
+	}
+	if !(&Plan{DropProb: 0.01}).Live() {
+		t.Fatal("drop plan not live")
+	}
+	if !(&Plan{Events: []Event{{Server: 1, Kind: Crash}}}).Live() {
+		t.Fatal("event plan not live")
+	}
+}
+
+// TestWrapNetworkFilter: only dials matching the filter are injected;
+// the listener side and other addresses pass through untouched.
+func TestWrapNetworkFilter(t *testing.T) {
+	env := transport.NewRealEnv()
+	mem := transport.NewMemNetwork()
+	for _, addr := range []string{"io0", "meta"} {
+		lis, err := mem.Listen(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		go func() {
+			for {
+				c, err := lis.Accept(env)
+				if err != nil {
+					return
+				}
+				go func() { // echo server
+					for {
+						m, err := c.Recv(env)
+						if err != nil {
+							return
+						}
+						c.Send(env, m)
+					}
+				}()
+			}
+		}()
+	}
+	in := NewInjector(Plan{Seed: 1, DropProb: 1})
+	net := in.WrapNetwork(mem, func(addr string) bool { return addr == "io0" })
+
+	// Unfiltered address: reliable despite DropProb 1.
+	mc, err := net.Dial(env, "meta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mc.Send(env, []byte("hi")); err != nil {
+		t.Fatal(err)
+	}
+	if m, err := transport.RecvTimeout(env, mc, time.Second); err != nil || string(m) != "hi" {
+		t.Fatalf("meta echo %q err=%v", m, err)
+	}
+
+	// Filtered address: every frame vanishes.
+	ic, err := net.Dial(env, "io0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ic.Send(env, []byte("lost")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := transport.RecvTimeout(env, ic, 50*time.Millisecond); err != transport.ErrTimeout {
+		t.Fatalf("expected timeout on dropped traffic, got %v", err)
+	}
+	if st := in.Stats(); st.Dropped == 0 {
+		t.Fatal("no drops counted")
+	}
+}
+
+// TestWrapConnDupAndReset: duplication delivers the frame twice;
+// reset tears the connection down.
+func TestWrapConnDupAndReset(t *testing.T) {
+	env := transport.NewRealEnv()
+	mem := transport.NewMemNetwork()
+	lis, err := mem.Listen("io")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		c, err := lis.Accept(env)
+		if err != nil {
+			return
+		}
+		c.Send(env, []byte("one"))
+	}()
+	in := NewInjector(Plan{Seed: 3, DupProb: 1})
+	net := in.WrapNetwork(mem, nil)
+	c, err := net.Dial(env, "io")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The receive side duplicates the single sent frame.
+	for i := 0; i < 2; i++ {
+		m, err := transport.RecvTimeout(env, c, time.Second)
+		if err != nil || string(m) != "one" {
+			t.Fatalf("copy %d: %q err=%v", i, m, err)
+		}
+	}
+	if st := in.Stats(); st.Duplicated == 0 {
+		t.Fatal("no duplicates counted")
+	}
+
+	rin := NewInjector(Plan{Seed: 4, ResetProb: 1})
+	rnet := rin.WrapNetwork(mem, nil)
+	rc, err := rnet.Dial(env, "io")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rc.Send(env, []byte("x")); err != transport.ErrClosed {
+		t.Fatalf("expected ErrClosed from injected reset, got %v", err)
+	}
+	if st := rin.Stats(); st.Resets == 0 {
+		t.Fatal("no resets counted")
+	}
+}

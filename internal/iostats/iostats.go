@@ -6,12 +6,16 @@ package iostats
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 )
 
 // Stats accumulates one client's counters. All methods are safe for
 // concurrent use.
 type Stats struct {
+	mu   sync.Mutex // guards base
+	base Snapshot   // counters folded in by Reset; see Lifetime
+
 	desired    atomic.Int64 // bytes the application asked for
 	accessed   atomic.Int64 // bytes moved between client and file system
 	ioOps      atomic.Int64 // logical file-system operations issued
@@ -24,6 +28,10 @@ type Stats struct {
 	diskOps    atomic.Int64 // physical runs presented to the disk scheduler
 	diskMerged atomic.Int64 // disk operations dispatched after coalescing
 	seekBytes  atomic.Int64 // head travel between dispatched operations
+	retries    atomic.Int64 // request attempts beyond the first
+	timeouts   atomic.Int64 // attempts that failed by receive timeout
+	replayed   atomic.Int64 // payload bytes sent again on retries
+	failoverNs atomic.Int64 // first failure to recovered, per recovered op
 }
 
 // AddDesired records application-requested bytes.
@@ -62,6 +70,22 @@ func (s *Stats) AddDisk(in, merged, seek int64) {
 	s.seekBytes.Add(seek)
 }
 
+// AddRetry records one retried request attempt.
+func (s *Stats) AddRetry() { s.retries.Add(1) }
+
+// AddTimeout records an attempt that failed by receive timeout (as
+// opposed to a closed or reset connection).
+func (s *Stats) AddTimeout() { s.timeouts.Add(1) }
+
+// AddReplayed records payload bytes that had to be sent again because
+// an earlier attempt failed (inline write payloads in full, streamed
+// writes from the resume segment on).
+func (s *Stats) AddReplayed(n int64) { s.replayed.Add(n) }
+
+// AddFailover records the time from an operation's first failure to its
+// eventual success.
+func (s *Stats) AddFailover(ns int64) { s.failoverNs.Add(ns) }
+
 // Snapshot is an immutable copy of the counters.
 type Snapshot struct {
 	DesiredBytes  int64
@@ -76,6 +100,10 @@ type Snapshot struct {
 	DiskOps       int64 // physical runs presented to the disk scheduler
 	DiskOpsMerged int64 // operations actually dispatched after coalescing
 	SeekBytes     int64 // head travel between dispatched operations
+	Retries       int64 // request attempts beyond the first
+	Timeouts      int64 // attempts that failed by receive timeout
+	ReplayedBytes int64 // payload bytes sent again on retries
+	FailoverNs    int64 // first failure to recovered, per recovered op
 }
 
 // Snapshot copies the current counters.
@@ -93,23 +121,46 @@ func (s *Stats) Snapshot() Snapshot {
 		DiskOps:       s.diskOps.Load(),
 		DiskOpsMerged: s.diskMerged.Load(),
 		SeekBytes:     s.seekBytes.Load(),
+		Retries:       s.retries.Load(),
+		Timeouts:      s.timeouts.Load(),
+		ReplayedBytes: s.replayed.Load(),
+		FailoverNs:    s.failoverNs.Load(),
 	}
 }
 
-// Reset zeroes all counters.
+// Reset zeroes all counters. The zeroed values are folded into the
+// lifetime totals first, so benchmarks can scope Snapshot to a timed
+// phase without losing whole-run accounting (Lifetime).
 func (s *Stats) Reset() {
-	s.desired.Store(0)
-	s.accessed.Store(0)
-	s.ioOps.Store(0)
-	s.wireMsgs.Store(0)
-	s.reqBytes.Store(0)
-	s.resent.Store(0)
-	s.lockWaits.Store(0)
-	s.lockWaitNs.Store(0)
-	s.regionsCPU.Store(0)
-	s.diskOps.Store(0)
-	s.diskMerged.Store(0)
-	s.seekBytes.Store(0)
+	s.mu.Lock()
+	s.base = s.base.Add(Snapshot{
+		DesiredBytes:  s.desired.Swap(0),
+		AccessedBytes: s.accessed.Swap(0),
+		IOOps:         s.ioOps.Swap(0),
+		WireMsgs:      s.wireMsgs.Swap(0),
+		ReqBytes:      s.reqBytes.Swap(0),
+		ResentBytes:   s.resent.Swap(0),
+		LockWaits:     s.lockWaits.Swap(0),
+		LockWaitNs:    s.lockWaitNs.Swap(0),
+		Regions:       s.regionsCPU.Swap(0),
+		DiskOps:       s.diskOps.Swap(0),
+		DiskOpsMerged: s.diskMerged.Swap(0),
+		SeekBytes:     s.seekBytes.Swap(0),
+		Retries:       s.retries.Swap(0),
+		Timeouts:      s.timeouts.Swap(0),
+		ReplayedBytes: s.replayed.Swap(0),
+		FailoverNs:    s.failoverNs.Swap(0),
+	})
+	s.mu.Unlock()
+}
+
+// Lifetime reports the counters accumulated since construction,
+// including everything zeroed out of Snapshot by Reset calls.
+func (s *Stats) Lifetime() Snapshot {
+	s.mu.Lock()
+	base := s.base
+	s.mu.Unlock()
+	return base.Add(s.Snapshot())
 }
 
 // Add accumulates another snapshot (for aggregating clients).
@@ -127,6 +178,10 @@ func (a Snapshot) Add(b Snapshot) Snapshot {
 		DiskOps:       a.DiskOps + b.DiskOps,
 		DiskOpsMerged: a.DiskOpsMerged + b.DiskOpsMerged,
 		SeekBytes:     a.SeekBytes + b.SeekBytes,
+		Retries:       a.Retries + b.Retries,
+		Timeouts:      a.Timeouts + b.Timeouts,
+		ReplayedBytes: a.ReplayedBytes + b.ReplayedBytes,
+		FailoverNs:    a.FailoverNs + b.FailoverNs,
 	}
 }
 
@@ -148,6 +203,10 @@ func (a Snapshot) Div(n int64) Snapshot {
 		DiskOps:       a.DiskOps / n,
 		DiskOpsMerged: a.DiskOpsMerged / n,
 		SeekBytes:     a.SeekBytes / n,
+		Retries:       a.Retries / n,
+		Timeouts:      a.Timeouts / n,
+		ReplayedBytes: a.ReplayedBytes / n,
+		FailoverNs:    a.FailoverNs / n,
 	}
 }
 

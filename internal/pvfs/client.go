@@ -1,8 +1,11 @@
 package pvfs
 
 import (
+	crand "crypto/rand"
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"dtio/internal/dataloop"
@@ -14,9 +17,61 @@ import (
 	"dtio/internal/wire"
 )
 
+// RetryPolicy configures the client's I/O-server retry behavior
+// (DESIGN.md §11). A retry resends the identical request frame — same
+// tag — after dropping and redialing the connection, so the server's
+// replay cache can suppress duplicate write side effects. The zero
+// value disables retries: one attempt, blocking receives, the pre-fault
+// behavior.
+type RetryPolicy struct {
+	// Attempts bounds total attempts per request (<=1 means no retry).
+	Attempts int
+	// Timeout is the per-attempt receive deadline; 0 blocks forever (a
+	// crashed server is then only detected by connection reset).
+	Timeout time.Duration
+	// Backoff is slept before the first retry and doubles per retry up
+	// to MaxBackoff.
+	Backoff    time.Duration
+	MaxBackoff time.Duration
+}
+
+// DefaultRetryPolicy is the policy the benchmarks run under fault
+// injection: enough attempts to ride out a crash-restart, timeouts well
+// above the simulated cluster's service times.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{
+		Attempts:   10,
+		Timeout:    2 * time.Second,
+		Backoff:    5 * time.Millisecond,
+		MaxBackoff: 320 * time.Millisecond,
+	}
+}
+
+// clientIDs allocates process-unique nonzero client ids for request
+// tags (tag Client 0 means untagged, so the counter starts past the
+// incarnation base). Ids must not collide across *processes* either: a
+// long-lived server deduplicates mutating requests by (Client, Seq),
+// and a recycled id makes a fresh client's early writes look like
+// replays of a previous process's — the server acks them from the
+// replay cache without writing a byte. The high 32 bits therefore
+// carry a per-process random incarnation; the low bits count clients
+// within the process. Id values never influence behavior beyond map
+// identity, so the randomness cannot perturb the deterministic
+// simulation.
+var clientIDs atomic.Uint64
+
+func init() {
+	var b [4]byte
+	if _, err := crand.Read(b[:]); err == nil {
+		clientIDs.Store(uint64(binary.LittleEndian.Uint32(b[:])) << 32)
+	}
+}
+
 // Client is one process's connection to the file system. A Client (and
 // the Files opened through it) must be used from one logical thread at a
-// time — the usual PVFS library discipline.
+// time — the usual PVFS library discipline. (Internally an operation
+// fans out one sibling thread per involved server; those threads touch
+// disjoint connection-table slots.)
 type Client struct {
 	net         transport.Network
 	metaAddr    string
@@ -36,8 +91,14 @@ type Client struct {
 	// DisableStreaming forces store-and-forward writes regardless of
 	// size (the pre-streaming behavior, kept for ablations).
 	DisableStreaming bool
+	// Retry governs I/O-server request retries. The metadata channel is
+	// not retried: it is stateful (locks, leases) and the fault injector
+	// leaves it reliable.
+	Retry RetryPolicy
 
-	meta  transport.Conn
+	id   uint64        // request-tag client id
+	seq  atomic.Uint64 // request-tag sequence counter
+	meta transport.Conn
 	conns []transport.Conn
 }
 
@@ -49,8 +110,33 @@ func NewClient(net transport.Network, metaAddr string, serverAddrs []string, cos
 		metaAddr:    metaAddr,
 		serverAddrs: serverAddrs,
 		cost:        cost,
+		id:          clientIDs.Add(1),
 		conns:       make([]transport.Conn, len(serverAddrs)),
 	}
+}
+
+// tag allocates the request tag for one logical operation. Every request
+// the operation sends (one per involved server) shares it; a new batch
+// of requests gets a new tag.
+func (c *Client) tag() wire.ReqTag {
+	return wire.ReqTag{Client: c.id, Seq: c.seq.Add(1)}
+}
+
+// serverError is a response the server itself produced: the request was
+// received, processed, and rejected. Retrying cannot change the answer.
+type serverError struct {
+	s   int
+	msg string
+}
+
+func (e *serverError) Error() string { return fmt.Sprintf("pvfs: server %d: %s", e.s, e.msg) }
+
+// retryable reports whether another attempt could succeed: anything but
+// a server-level rejection (timeouts, resets, decode failures from
+// corrupted exchanges) is worth retrying.
+func retryable(err error) bool {
+	var se *serverError
+	return !errors.As(err, &se)
 }
 
 // Close tears down all connections.
@@ -193,13 +279,14 @@ func (c *Client) Remove(env transport.Env, name string) error {
 	if _, err := c.metaCall(env, wire.EncodeRemove(&wire.RemoveReq{Name: name})); err != nil {
 		return err
 	}
+	tag := c.tag()
 	servers := make([]int, f.layout.NServers)
 	reqs := make([][]byte, f.layout.NServers)
 	for i := 0; i < f.layout.NServers; i++ {
 		servers[i] = i
-		reqs[i] = wire.EncodeRemoveObj(&wire.RemoveObjReq{Layout: f.wireLayout(i)})
+		reqs[i] = wire.EncodeRemoveObj(&wire.RemoveObjReq{Tag: tag, Layout: f.wireLayout(i)})
 	}
-	_, err = c.sendRecv(env, servers, reqs, nil)
+	_, err = c.sendRecv(env, servers, reqs, nil, tag.Seq)
 	return err
 }
 
@@ -298,16 +385,17 @@ func (f *File) wireLayout(serverIdx int) wire.FileLayout {
 // sendRecv sends one request per server and collects the responses, in
 // order. Any server-reported error aborts. dataLens (optional) reports
 // how many trailing bytes of each request are data payload, so the
-// request-description statistics exclude them. Each server's exchange
+// request-description statistics exclude them (and replayed-byte
+// accounting includes them). seq is the operation tag's sequence, used
+// to match responses to this request generation. Each server's exchange
 // runs in its own sibling thread (send and receive alike), so a large
 // request serializing onto one server's wire — or a streamed response
 // draining from it — does not stall the others.
-func (c *Client) sendRecv(env transport.Env, servers []int, reqs [][]byte, dataLens []int64) ([]*wire.IOResp, error) {
-	// Dial serially: c.conn mutates the connection table.
+func (c *Client) sendRecv(env transport.Env, servers []int, reqs [][]byte, dataLens []int64, seq uint64) ([]*wire.IOResp, error) {
+	// Pre-dial best-effort: a server that is down right now is left for
+	// the per-server retry loop, which redials with backoff.
 	for _, s := range servers {
-		if _, err := c.conn(env, s); err != nil {
-			return nil, err
-		}
+		_, _ = c.conn(env, s)
 	}
 	descLen := func(i int) int64 {
 		desc := int64(len(reqs[i]))
@@ -316,18 +404,15 @@ func (c *Client) sendRecv(env transport.Env, servers []int, reqs [][]byte, dataL
 		}
 		return desc
 	}
-	exchange := func(env transport.Env, i, s int) (*wire.IOResp, error) {
-		if err := c.conns[s].Send(env, reqs[i]); err != nil {
-			return nil, fmt.Errorf("pvfs: send to server %d: %w", s, err)
+	payLen := func(i int) int64 {
+		if dataLens != nil {
+			return dataLens[i]
 		}
-		if st := c.stats(); st != nil {
-			st.AddWire(descLen(i))
-		}
-		return c.recvResp(env, s)
+		return 0
 	}
 	out := make([]*wire.IOResp, len(servers))
 	if len(servers) == 1 {
-		r, err := exchange(env, 0, servers[0])
+		r, err := c.exchange(env, servers[0], reqs[0], descLen(0), payLen(0), seq)
 		if err != nil {
 			return nil, err
 		}
@@ -338,7 +423,7 @@ func (c *Client) sendRecv(env transport.Env, servers []int, reqs [][]byte, dataL
 	for i, s := range servers {
 		i, s := i, s
 		fns[i] = func(env transport.Env) error {
-			r, err := exchange(env, i, s)
+			r, err := c.exchange(env, s, reqs[i], descLen(i), payLen(i), seq)
 			if err != nil {
 				return err
 			}
@@ -352,40 +437,130 @@ func (c *Client) sendRecv(env transport.Env, servers []int, reqs [][]byte, dataL
 	return out, nil
 }
 
-// recvResp receives one I/O response from server s, reassembling a
-// streamed read into a single IOResp.
-func (c *Client) recvResp(env transport.Env, s int) (*wire.IOResp, error) {
-	conn := c.conns[s]
-	raw, err := conn.Recv(env)
-	if err != nil {
-		return nil, fmt.Errorf("pvfs: recv from server %d: %w", s, err)
+// exchange performs one request/response with server s, retrying per
+// c.Retry: on any retryable failure the (suspect) connection is
+// dropped, the client backs off, redials, and resends the identical
+// frame. payLen is the request's trailing payload length, counted as
+// replayed bytes on each resend.
+func (c *Client) exchange(env transport.Env, s int, req []byte, descLen, payLen int64, seq uint64) (*wire.IOResp, error) {
+	attempts := c.Retry.Attempts
+	if attempts < 1 {
+		attempts = 1
 	}
-	t, v, err := wire.DecodeMsg(raw)
+	backoff := c.Retry.Backoff
+	var firstFail time.Duration
+	for a := 1; ; a++ {
+		r, err := c.tryExchange(env, s, req, descLen, seq)
+		if err == nil {
+			if a > 1 {
+				if st := c.stats(); st != nil {
+					st.AddFailover(int64(env.Now() - firstFail))
+				}
+			}
+			return r, nil
+		}
+		if !retryable(err) {
+			return nil, err
+		}
+		c.dropConn(s) // suspect: mid-frame state, stale stream, or reset
+		if a >= attempts {
+			return nil, fmt.Errorf("pvfs: server %d: gave up after %d attempts: %w", s, a, err)
+		}
+		if a == 1 {
+			firstFail = env.Now()
+		}
+		if st := c.stats(); st != nil {
+			st.AddRetry()
+			if errors.Is(err, transport.ErrTimeout) {
+				st.AddTimeout()
+			}
+			st.AddReplayed(payLen)
+		}
+		backoff = c.sleepBackoff(env, backoff)
+	}
+}
+
+// sleepBackoff sleeps the current backoff and returns the next one
+// (doubled, capped at MaxBackoff). The sleep covers modeled and wall
+// time: redial of a crashed daemon must actually wait, and a dial
+// failure is otherwise instant, which would burn every attempt before
+// the server could restart.
+func (c *Client) sleepBackoff(env transport.Env, backoff time.Duration) time.Duration {
+	if backoff > 0 {
+		sleepBoth(env, backoff)
+	}
+	next := backoff * 2
+	if c.Retry.MaxBackoff > 0 && next > c.Retry.MaxBackoff {
+		next = c.Retry.MaxBackoff
+	}
+	return next
+}
+
+// tryExchange is one attempt of exchange: dial if needed, send, await
+// the matching response.
+func (c *Client) tryExchange(env transport.Env, s int, req []byte, descLen int64, seq uint64) (*wire.IOResp, error) {
+	conn, err := c.conn(env, s)
 	if err != nil {
 		return nil, err
 	}
-	switch t {
-	case wire.MTIOResp:
-		r := v.(*wire.IOResp)
-		if !r.OK {
-			return nil, fmt.Errorf("pvfs: server %d: %s", s, r.Err)
-		}
-		return r, nil
-	case wire.MTReadStreamHdr:
-		data, err := c.recvStream(env, conn, v.(*wire.ReadStreamHdr))
+	if err := conn.Send(env, req); err != nil {
+		return nil, fmt.Errorf("pvfs: send to server %d: %w", s, err)
+	}
+	if st := c.stats(); st != nil {
+		st.AddWire(descLen)
+	}
+	return c.recvResp(env, conn, s, seq, c.Retry.Timeout)
+}
+
+// recvResp receives frames from conn until the response matching seq
+// arrives, reassembling a streamed read. Debris from earlier attempts
+// on the same connection — duplicated responses with a stale Seq,
+// leftover stream acks — is discarded; a response stream with a stale
+// Seq cannot be skipped coherently, so it fails the attempt and the
+// caller redials.
+func (c *Client) recvResp(env transport.Env, conn transport.Conn, s int, seq uint64, timeout time.Duration) (*wire.IOResp, error) {
+	for {
+		raw, err := transport.RecvTimeout(env, conn, timeout)
 		if err != nil {
-			c.dropConn(s)
-			return nil, fmt.Errorf("pvfs: server %d: %w", s, err)
+			return nil, fmt.Errorf("pvfs: recv from server %d: %w", s, err)
 		}
-		return &wire.IOResp{OK: true, Data: data}, nil
-	default:
-		return nil, errors.New("pvfs: unexpected I/O response")
+		t, v, err := wire.DecodeMsg(raw)
+		if err != nil {
+			return nil, err
+		}
+		switch t {
+		case wire.MTIOResp:
+			r := v.(*wire.IOResp)
+			if r.Seq != seq {
+				continue // stale or duplicated response
+			}
+			if !r.OK {
+				return nil, &serverError{s: s, msg: r.Err}
+			}
+			return r, nil
+		case wire.MTReadStreamHdr:
+			h := v.(*wire.ReadStreamHdr)
+			if h.Seq != seq {
+				return nil, fmt.Errorf("pvfs: server %d: stale stream (seq %d, want %d)", s, h.Seq, seq)
+			}
+			data, err := c.recvStream(env, conn, h, timeout)
+			if err != nil {
+				return nil, fmt.Errorf("pvfs: server %d: %w", s, err)
+			}
+			return &wire.IOResp{Seq: seq, OK: true, Data: data}, nil
+		case wire.MTStreamChunk, wire.MTStreamAck:
+			continue // debris from an abandoned streamed attempt
+		default:
+			return nil, errors.New("pvfs: unexpected I/O response")
+		}
 	}
 }
 
 // recvStream reassembles a streamed read response, granting credit as
-// segments are consumed. On error the caller must drop the connection.
-func (c *Client) recvStream(env transport.Env, conn transport.Conn, h *wire.ReadStreamHdr) ([]byte, error) {
+// segments are consumed. Duplicated already-consumed chunks are
+// skipped; a gap or a short/timed-out receive fails the attempt, and
+// the caller drops the connection (the stream cannot resynchronize).
+func (c *Client) recvStream(env transport.Env, conn transport.Conn, h *wire.ReadStreamHdr, timeout time.Duration) ([]byte, error) {
 	if h.Total <= 0 || h.SegBytes <= 0 || h.Window <= 0 {
 		return nil, fmt.Errorf("bad stream header total=%d seg=%d window=%d", h.Total, h.SegBytes, h.Window)
 	}
@@ -396,12 +571,18 @@ func (c *Client) recvStream(env transport.Env, conn transport.Conn, h *wire.Read
 	defer putBuf(ab)
 	var chunk wire.StreamChunk
 	for k := int64(0); k < nseg; k++ {
-		raw, err := conn.Recv(env)
-		if err != nil {
-			return nil, err
-		}
-		if err := wire.DecodeStreamChunk(raw, &chunk); err != nil {
-			return nil, err
+		for {
+			raw, err := transport.RecvTimeout(env, conn, timeout)
+			if err != nil {
+				return nil, err
+			}
+			if err := wire.DecodeStreamChunk(raw, &chunk); err != nil {
+				return nil, err
+			}
+			if chunk.Err == "" && int64(chunk.Seq) < k {
+				continue // injected duplicate of a consumed segment
+			}
+			break
 		}
 		if chunk.Err != "" {
 			return nil, errors.New(chunk.Err)
@@ -435,8 +616,10 @@ func (c *Client) dropConn(s int) {
 // writeAll issues one write request per involved server, streaming any
 // payload larger than the segment size so the servers' disks overlap
 // the network transfer, and waits for all responses. payloads is
-// indexed by server id; mkReq builds the (inline or inner) request.
-func (c *Client) writeAll(env transport.Env, servers []int, payloads [][]byte, mkReq func(s int, data []byte) []byte) error {
+// indexed by server id; mkReq builds the (inline or inner) request and
+// must embed the tag whose sequence is seq, so retries of either form
+// hit the server's replay cache.
+func (c *Client) writeAll(env transport.Env, servers []int, payloads [][]byte, mkReq func(s int, data []byte) []byte, seq uint64) error {
 	seg, window := streamParams(c.StreamChunkBytes, c.StreamWindow)
 	stream := false
 	if !c.DisableStreaming {
@@ -454,21 +637,20 @@ func (c *Client) writeAll(env transport.Env, servers []int, payloads [][]byte, m
 			reqs[i] = mkReq(s, payloads[s])
 			dataLens[i] = int64(len(payloads[s]))
 		}
-		_, err := c.sendRecv(env, servers, reqs, dataLens)
+		_, err := c.sendRecv(env, servers, reqs, dataLens, seq)
 		return err
 	}
-	// Pre-dial so the per-server transfers can proceed concurrently; a
-	// credit-window stall against one server must not serialize others.
+	// Pre-dial best-effort so the per-server transfers can proceed
+	// concurrently; a credit-window stall against one server must not
+	// serialize others, and a dead server is left for the retry loops.
 	for _, s := range servers {
-		if _, err := c.conn(env, s); err != nil {
-			return err
-		}
+		_, _ = c.conn(env, s)
 	}
 	fns := make([]func(transport.Env) error, len(servers))
 	for i, s := range servers {
 		s := s
 		fns[i] = func(env transport.Env) error {
-			return c.writeOne(env, s, payloads[s], mkReq, seg, window)
+			return c.writeOne(env, s, payloads[s], mkReq, seg, window, seq)
 		}
 	}
 	return env.Parallel("pvfs-write", fns...)
@@ -476,37 +658,101 @@ func (c *Client) writeAll(env transport.Env, servers []int, payloads [][]byte, m
 
 // writeOne performs one server's write: inline when the payload fits a
 // single segment, streamed otherwise.
-func (c *Client) writeOne(env transport.Env, s int, payload []byte, mkReq func(int, []byte) []byte, seg, window int64) error {
-	conn := c.conns[s]
+func (c *Client) writeOne(env transport.Env, s int, payload []byte, mkReq func(int, []byte) []byte, seg, window int64, seq uint64) error {
 	total := int64(len(payload))
 	if total <= seg {
 		req := mkReq(s, payload)
-		if err := conn.Send(env, req); err != nil {
-			return fmt.Errorf("pvfs: send to server %d: %w", s, err)
-		}
-		if st := c.stats(); st != nil {
-			st.AddWire(int64(len(req)) - total)
-		}
-		_, err := c.recvResp(env, s)
+		_, err := c.exchange(env, s, req, int64(len(req))-total, total, seq)
 		return err
 	}
-	inner := mkReq(s, nil)
+	return c.writeStream(env, s, payload, mkReq(s, nil), seg, window, seq)
+}
+
+// writeStream sends one server's payload as a flow-controlled segment
+// stream, retrying per c.Retry. A failed attempt resumes from the last
+// acknowledged segment: ack a proves every segment before a reached the
+// disk (the server flushes segment k's runs before receiving k+1 and
+// acks k on receipt), so the retry re-sends the header with StartSeg=a
+// and only segments a.. follow. Segment a itself may or may not have
+// been applied; re-writing the same bytes is idempotent, and the
+// server's replay cache catches the case where the whole write finished
+// and only the response was lost.
+func (c *Client) writeStream(env transport.Env, s int, payload, inner []byte, seg, window int64, seq uint64) error {
+	attempts := c.Retry.Attempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	backoff := c.Retry.Backoff
+	total := int64(len(payload))
+	resume := int64(0)
+	var firstFail time.Duration
+	for a := 1; ; a++ {
+		next, err := c.tryWriteStream(env, s, payload, inner, seg, window, seq, resume)
+		if err == nil {
+			if a > 1 {
+				if st := c.stats(); st != nil {
+					st.AddFailover(int64(env.Now() - firstFail))
+				}
+			}
+			return nil
+		}
+		if next > resume {
+			resume = next
+		}
+		if !retryable(err) {
+			return err
+		}
+		c.dropConn(s)
+		if a >= attempts {
+			return fmt.Errorf("pvfs: server %d: gave up after %d attempts: %w", s, a, err)
+		}
+		if a == 1 {
+			firstFail = env.Now()
+		}
+		if st := c.stats(); st != nil {
+			st.AddRetry()
+			if errors.Is(err, transport.ErrTimeout) {
+				st.AddTimeout()
+			}
+			st.AddReplayed(total - resume*seg)
+		}
+		backoff = c.sleepBackoff(env, backoff)
+	}
+}
+
+// tryWriteStream is one attempt of writeStream, sending segments
+// start.. and returning the resume segment for the next attempt (the
+// highest acknowledgment seen, which only grows).
+func (c *Client) tryWriteStream(env transport.Env, s int, payload, inner []byte, seg, window int64, seq uint64, start int64) (resume int64, err error) {
+	resume = start
+	conn, err := c.conn(env, s)
+	if err != nil {
+		return resume, err
+	}
+	total := int64(len(payload))
+	nseg := (total + seg - 1) / seg
 	hdr := wire.EncodeWriteStreamHdr(&wire.WriteStreamHdr{
-		Total: total, SegBytes: int32(seg), Window: int32(window), Inner: inner,
+		Total: total, SegBytes: int32(seg), Window: int32(window),
+		StartSeg: start, Inner: inner,
 	})
 	if err := conn.Send(env, hdr); err != nil {
-		return fmt.Errorf("pvfs: send to server %d: %w", s, err)
+		return resume, fmt.Errorf("pvfs: send to server %d: %w", s, err)
 	}
 	if st := c.stats(); st != nil {
 		st.AddWire(int64(len(hdr))) // the description; segments are payload
 	}
-	nseg := (total + seg - 1) / seg
 	fp := getBuf(13 + int(seg))
-	var err error
-	for k := int64(0); k < nseg; k++ {
-		if k >= window {
-			if err = recvAck(env, conn, uint32(k-window)); err != nil {
+	ackedThrough := start - 1
+	for k := start; k < nseg; k++ {
+		if k >= start+window && ackedThrough < k-window {
+			got, aerr := recvAckAtLeast(env, conn, uint32(k-window), c.Retry.Timeout)
+			if aerr != nil {
+				err = aerr
 				break
+			}
+			if int64(got) > ackedThrough {
+				ackedThrough = int64(got)
+				resume = ackedThrough
 			}
 		}
 		nk := segLen(total, seg, k)
@@ -517,11 +763,10 @@ func (c *Client) writeOne(env transport.Env, s int, payload []byte, mkReq func(i
 	}
 	putBuf(fp)
 	if err != nil {
-		c.dropConn(s)
-		return fmt.Errorf("pvfs: server %d: %w", s, err)
+		return resume, fmt.Errorf("pvfs: server %d: %w", s, err)
 	}
-	_, err = c.recvResp(env, s)
-	return err
+	_, err = c.recvResp(env, conn, s, seq, c.Retry.Timeout)
+	return resume, err
 }
 
 // involvedServers reports which servers hold any byte of the given
@@ -550,12 +795,13 @@ func (f *File) ReadContig(env transport.Env, off int64, buf []byte) error {
 	if n == 0 {
 		return nil
 	}
+	tag := f.c.tag()
 	servers := f.involvedServers(func(emit func(off, n int64)) { emit(off, n) })
 	reqs := make([][]byte, len(servers))
 	for i, s := range servers {
-		reqs[i] = wire.EncodeContig(&wire.ContigReq{Layout: f.wireLayout(s), Off: off, N: n}, false)
+		reqs[i] = wire.EncodeContig(&wire.ContigReq{Tag: tag, Layout: f.wireLayout(s), Off: off, N: n}, false)
 	}
-	resps, err := f.c.sendRecv(env, servers, reqs, nil)
+	resps, err := f.c.sendRecv(env, servers, reqs, nil, tag.Seq)
 	if err != nil {
 		return err
 	}
@@ -604,11 +850,12 @@ func (f *File) WriteContig(env transport.Env, off int64, data []byte) error {
 		})
 		payloads[s] = payload
 	}
+	tag := f.c.tag()
 	err := f.c.writeAll(env, servers, payloads, func(s int, data []byte) []byte {
 		return wire.EncodeContig(&wire.ContigReq{
-			Layout: f.wireLayout(s), Off: off, N: n, Data: data,
+			Tag: tag, Layout: f.wireLayout(s), Off: off, N: n, Data: data,
 		}, true)
-	})
+	}, tag.Seq)
 	if err != nil {
 		return err
 	}
@@ -621,9 +868,6 @@ func (f *File) WriteContig(env transport.Env, off int64, data []byte) error {
 
 // listTotal validates a list I/O call and returns the byte count.
 func listTotal(fileRegions, memRegions []flatten.Region, mem []byte) (int64, error) {
-	if len(fileRegions) > wire.MaxListRegions || len(memRegions) > wire.MaxListRegions {
-		return 0, fmt.Errorf("pvfs: list I/O limited to %d regions per call", wire.MaxListRegions)
-	}
 	var fn, mn int64
 	for _, r := range fileRegions {
 		if r.Off < 0 || r.Len < 0 {
@@ -690,10 +934,52 @@ func (f *File) walkMapped(file, mem flatten.Source, fn func(server int, memOff, 
 	}
 }
 
+// splitListBatches cuts a list I/O call into batches of at most
+// wire.MaxListRegions file and memory regions each, preserving stream
+// order. The dual cursor pairs file bytes with memory bytes, so each
+// batch's two lists cover exactly the same byte count, and issuing the
+// batches in order is equivalent to the original call (list I/O
+// semantics are defined in stream order). Adjacent pieces re-merge
+// within a batch, so region counts do not inflate beyond the pairing
+// splits.
+func splitListBatches(fileRegions, memRegions []flatten.Region) (fb, mb [][]flatten.Region) {
+	d := flatten.NewDual(flatten.NewSliceSource(fileRegions), flatten.NewSliceSource(memRegions))
+	var curF, curM []flatten.Region
+	flush := func() {
+		if len(curF) > 0 {
+			fb = append(fb, curF)
+			mb = append(mb, curM)
+			curF, curM = nil, nil
+		}
+	}
+	for {
+		fo, mo, n, ok := d.Next()
+		if !ok {
+			break
+		}
+		if len(curF) >= wire.MaxListRegions || len(curM) >= wire.MaxListRegions {
+			flush()
+		}
+		if k := len(curF); k > 0 && curF[k-1].Off+curF[k-1].Len == fo {
+			curF[k-1].Len += n
+		} else {
+			curF = append(curF, flatten.Region{Off: fo, Len: n})
+		}
+		if k := len(curM); k > 0 && curM[k-1].Off+curM[k-1].Len == mo {
+			curM[k-1].Len += n
+		} else {
+			curM = append(curM, flatten.Region{Off: mo, Len: n})
+		}
+	}
+	flush()
+	return fb, mb
+}
+
 // ReadList performs a list I/O read: file regions (logical byte ranges)
-// into memory regions of mem. At most wire.MaxListRegions regions per
-// call; callers chunk larger accesses (this is the interface bound the
-// paper discusses).
+// into memory regions of mem. Calls beyond wire.MaxListRegions regions
+// are split into multiple requests transparently (the interface bound
+// the paper discusses is the per-request protocol limit, not a caller
+// burden).
 func (f *File) ReadList(env transport.Env, fileRegions, memRegions []flatten.Region, mem []byte) error {
 	total, err := listTotal(fileRegions, memRegions, mem)
 	if err != nil {
@@ -702,6 +988,16 @@ func (f *File) ReadList(env transport.Env, fileRegions, memRegions []flatten.Reg
 	if total == 0 {
 		return nil
 	}
+	if len(fileRegions) > wire.MaxListRegions || len(memRegions) > wire.MaxListRegions {
+		fb, mb := splitListBatches(fileRegions, memRegions)
+		for i := range fb {
+			if err := f.ReadList(env, fb[i], mb[i], mem); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	tag := f.c.tag()
 	perServer := f.splitRegions(fileRegions)
 	var servers []int
 	var reqs [][]byte
@@ -710,9 +1006,9 @@ func (f *File) ReadList(env transport.Env, fileRegions, memRegions []flatten.Reg
 			continue
 		}
 		servers = append(servers, s)
-		reqs = append(reqs, wire.EncodeListIO(&wire.ListIOReq{Layout: f.wireLayout(s), Regions: regs}, false))
+		reqs = append(reqs, wire.EncodeListIO(&wire.ListIOReq{Tag: tag, Layout: f.wireLayout(s), Regions: regs}, false))
 	}
-	resps, err := f.c.sendRecv(env, servers, reqs, nil)
+	resps, err := f.c.sendRecv(env, servers, reqs, nil, tag.Seq)
 	if err != nil {
 		return err
 	}
@@ -746,13 +1042,23 @@ func (f *File) ReadList(env transport.Env, fileRegions, memRegions []flatten.Reg
 	return nil
 }
 
-// WriteList performs a list I/O write.
+// WriteList performs a list I/O write. Like ReadList, oversized calls
+// are split into protocol-sized batches, each written in stream order.
 func (f *File) WriteList(env transport.Env, fileRegions, memRegions []flatten.Region, mem []byte) error {
 	total, err := listTotal(fileRegions, memRegions, mem)
 	if err != nil {
 		return err
 	}
 	if total == 0 {
+		return nil
+	}
+	if len(fileRegions) > wire.MaxListRegions || len(memRegions) > wire.MaxListRegions {
+		fb, mb := splitListBatches(fileRegions, memRegions)
+		for i := range fb {
+			if err := f.WriteList(env, fb[i], mb[i], mem); err != nil {
+				return err
+			}
+		}
 		return nil
 	}
 	bufs := make([][]byte, f.layout.NServers)
@@ -775,11 +1081,12 @@ func (f *File) WriteList(env transport.Env, fileRegions, memRegions []flatten.Re
 		}
 		servers = append(servers, s)
 	}
+	tag := f.c.tag()
 	err = f.c.writeAll(env, servers, bufs, func(s int, data []byte) []byte {
 		return wire.EncodeListIO(&wire.ListIOReq{
-			Layout: f.wireLayout(s), Regions: perServer[s], Data: data,
+			Tag: tag, Layout: f.wireLayout(s), Regions: perServer[s], Data: data,
 		}, true)
-	})
+	}, tag.Seq)
 	if err != nil {
 		return err
 	}
@@ -845,8 +1152,10 @@ func (f *File) dtypeOp(env transport.Env, a *DtypeAccess, write bool) error {
 		return nil
 	}
 	loopBytes := a.FileLoop.Encode(nil)
+	tag := f.c.tag()
 	mkReq := func(s int, data []byte) []byte {
 		return wire.EncodeDtype(&wire.DtypeReq{
+			Tag:        tag,
 			Layout:     f.wireLayout(s),
 			Loop:       loopBytes,
 			Count:      tiles,
@@ -882,7 +1191,7 @@ func (f *File) dtypeOp(env transport.Env, a *DtypeAccess, write bool) error {
 		// clients stream accesses as they are generated.
 		cpu := f.c.cost.PerRegionClient * time.Duration(pieces)
 		if err := env.Overlap(cpu, func() error {
-			return f.c.writeAll(env, servers, bufs, mkReq)
+			return f.c.writeAll(env, servers, bufs, mkReq, tag.Seq)
 		}); err != nil {
 			return err
 		}
@@ -911,7 +1220,7 @@ func (f *File) dtypeOp(env transport.Env, a *DtypeAccess, write bool) error {
 	}
 	cpu := f.c.cost.PerRegionClient * time.Duration(pieces)
 	err = env.Overlap(cpu, func() error {
-		resps, err := f.c.sendRecv(env, servers, reqs, nil)
+		resps, err := f.c.sendRecv(env, servers, reqs, nil, tag.Seq)
 		if err != nil {
 			return err
 		}
@@ -949,13 +1258,14 @@ func (f *File) dtypeOp(env transport.Env, a *DtypeAccess, write bool) error {
 
 // Size reports the logical file size (max over servers' local EOFs).
 func (f *File) Size(env transport.Env) (int64, error) {
+	tag := f.c.tag()
 	servers := make([]int, f.layout.NServers)
 	reqs := make([][]byte, f.layout.NServers)
 	for i := 0; i < f.layout.NServers; i++ {
 		servers[i] = i
-		reqs[i] = wire.EncodeLocalSize(&wire.LocalSizeReq{Layout: f.wireLayout(i)})
+		reqs[i] = wire.EncodeLocalSize(&wire.LocalSizeReq{Tag: tag, Layout: f.wireLayout(i)})
 	}
-	resps, err := f.c.sendRecv(env, servers, reqs, nil)
+	resps, err := f.c.sendRecv(env, servers, reqs, nil, tag.Seq)
 	if err != nil {
 		return 0, err
 	}
@@ -970,14 +1280,58 @@ func (f *File) Size(env transport.Env) (int64, error) {
 
 // Truncate sets the logical file size.
 func (f *File) Truncate(env transport.Env, size int64) error {
+	tag := f.c.tag()
 	servers := make([]int, f.layout.NServers)
 	reqs := make([][]byte, f.layout.NServers)
 	for i := 0; i < f.layout.NServers; i++ {
 		servers[i] = i
-		reqs[i] = wire.EncodeTruncate(&wire.TruncateReq{Layout: f.wireLayout(i), Size: size})
+		reqs[i] = wire.EncodeTruncate(&wire.TruncateReq{Tag: tag, Layout: f.wireLayout(i), Size: size})
 	}
-	_, err := f.c.sendRecv(env, servers, reqs, nil)
+	_, err := f.c.sendRecv(env, servers, reqs, nil, tag.Seq)
 	return err
+}
+
+// Admin sends a fault-administration request to I/O server s: stall,
+// crash-restart, or disk-degrade (pvfsctl's stall/crash/degrade verbs,
+// and the bench fault driver's wire path). The response is read
+// directly — admin requests are untagged and never retried; a crash ack
+// is followed by the server closing the connection, so the cached conn
+// is dropped.
+func (c *Client) Admin(env transport.Env, s int, op wire.AdminOp, dur time.Duration, factor int64) error {
+	if s < 0 || s >= len(c.serverAddrs) {
+		return fmt.Errorf("pvfs: no server %d", s)
+	}
+	conn, err := c.conn(env, s)
+	if err != nil {
+		return err
+	}
+	req := wire.EncodeAdmin(&wire.AdminReq{Op: op, Dur: int64(dur), Factor: factor})
+	if err := conn.Send(env, req); err != nil {
+		c.dropConn(s)
+		return fmt.Errorf("pvfs: admin send to server %d: %w", s, err)
+	}
+	raw, err := transport.RecvTimeout(env, conn, c.Retry.Timeout)
+	if err != nil {
+		c.dropConn(s)
+		return fmt.Errorf("pvfs: admin recv from server %d: %w", s, err)
+	}
+	_, v, err := wire.DecodeMsg(raw)
+	if err != nil {
+		c.dropConn(s)
+		return err
+	}
+	r, ok := v.(*wire.IOResp)
+	if !ok {
+		c.dropConn(s)
+		return errors.New("pvfs: unexpected admin response")
+	}
+	if op == wire.AdminCrash {
+		c.dropConn(s) // the server closes this conn as it goes down
+	}
+	if !r.OK {
+		return &serverError{s: s, msg: r.Err}
+	}
+	return nil
 }
 
 // Regions re-exports the flatten region type for list I/O callers.

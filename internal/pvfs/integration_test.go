@@ -179,11 +179,19 @@ func TestClientRejectsShortData(t *testing.T) {
 			return
 		}
 		for {
-			if _, err := conn.Recv(env); err != nil {
+			raw, err := conn.Recv(env)
+			if err != nil {
 				return
 			}
-			// Always respond OK with 1 byte, whatever was asked.
-			conn.Send(env, encodeEvilResp())
+			// Always respond OK with 1 byte, whatever was asked —
+			// echoing the tag so the client accepts the frame.
+			var seq uint64
+			if _, v, err := wire.DecodeMsg(raw); err == nil {
+				if r, ok := v.(*wire.ContigReq); ok {
+					seq = r.Tag.Seq
+				}
+			}
+			conn.Send(env, encodeEvilResp(seq))
 		}
 	}()
 	meta := NewMetaServer(net, "meta", 1)
@@ -208,8 +216,8 @@ func TestClientRejectsShortData(t *testing.T) {
 	}
 }
 
-func encodeEvilResp() []byte {
-	return wire.EncodeIOResp(&wire.IOResp{OK: true, Data: []byte{0}})
+func encodeEvilResp(seq uint64) []byte {
+	return wire.EncodeIOResp(&wire.IOResp{Seq: seq, OK: true, Data: []byte{0}})
 }
 
 func TestDataloopCache(t *testing.T) {

@@ -229,20 +229,47 @@ func TestListIOValidation(t *testing.T) {
 	if err == nil {
 		t.Fatal("mismatched lists accepted")
 	}
-	// Too many regions (protocol bound).
-	many := make([]Region, MaxListRegions+1)
-	for i := range many {
-		many[i] = Region{Off: int64(i * 10), Len: 1}
-	}
-	memR := []Region{{Off: 0, Len: int64(len(many))}}
-	err = f.ReadList(env, many, memR, make([]byte, len(many)))
-	if err == nil {
-		t.Fatal("over-protocol-cap region list accepted")
-	}
 	// Memory region outside the buffer.
 	err = f.ReadList(env, []Region{{Off: 0, Len: 4}}, []Region{{Off: 8, Len: 4}}, mem)
 	if err == nil {
 		t.Fatal("out-of-buffer memory region accepted")
+	}
+}
+
+// TestListIOAutoSplit: calls beyond the per-request protocol bound are
+// split into multiple requests transparently and stay byte-correct.
+func TestListIOAutoSplit(t *testing.T) {
+	tc := startCluster(t, 2)
+	c := tc.client()
+	defer c.Close()
+	env := tc.env
+	f, _ := c.Create(env, "big.dat", 64, 0)
+	n := MaxListRegions + 10
+	many := make([]Region, n)
+	mem := make([]byte, n)
+	for i := range many {
+		many[i] = Region{Off: int64(i * 3), Len: 1} // every 3rd byte
+		mem[i] = byte(i%251 + 1)
+	}
+	memR := []Region{{Off: 0, Len: int64(n)}}
+	if err := f.WriteList(env, many, memR, mem); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, n)
+	if err := f.ReadList(env, many, memR, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, mem) {
+		t.Fatal("auto-split list round trip corrupted data")
+	}
+	// Spot-check placement and the holes with a contig read.
+	chk := make([]byte, 7)
+	if err := f.ReadContig(env, 0, chk); err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{mem[0], 0, 0, mem[1], 0, 0, mem[2]}
+	if !bytes.Equal(chk, want) {
+		t.Fatalf("file[0:7]=%v want %v", chk, want)
 	}
 }
 

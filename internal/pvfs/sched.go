@@ -58,6 +58,7 @@ type diskSched struct {
 	write   bool
 	noSort  bool  // ablation: arrival-order dispatch, no coalescing
 	gap     int64 // read gap-merge threshold (0 = adjacency only)
+	scale   int64 // disk-time multiplier in percent (0 or 100 = normal)
 	head    int64 // head position after the last dispatched op
 	started bool  // head is meaningful
 
@@ -79,6 +80,7 @@ func (s *Server) newSched(write bool) *diskSched {
 	d.write = write
 	d.noSort = s.DisableDiskSched
 	d.gap = s.SieveGapBytes
+	d.scale = s.diskScale.Load()
 	d.head = 0
 	d.started = false
 	return d
@@ -201,6 +203,9 @@ func (d *diskSched) charge(ops []diskOp, nIn int64) time.Duration {
 	}
 	if d.stats != nil {
 		d.stats.AddDisk(nIn, nOut, seek)
+	}
+	if d.scale > 0 && d.scale != 100 {
+		t = t * time.Duration(d.scale) / 100
 	}
 	return t
 }

@@ -1,8 +1,11 @@
 package pvfs
 
 import (
+	"errors"
 	"fmt"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dtio/internal/dataloop"
@@ -30,6 +33,19 @@ type Server struct {
 	objects map[uint64]storage.Store
 	lis     transport.Listener
 	closed  bool
+
+	// Fault administration and recovery state (DESIGN.md §11): open
+	// handler connections (severed on Crash), the pending crash-restart
+	// downtime Serve consumes, the stall deadline every dequeued request
+	// waits out, a disk-time multiplier the scheduler picks up, and the
+	// per-client replay history that makes mutating requests at-most-once
+	// across retries.
+	conns      map[transport.Conn]uint64 // value: accept order, so Crash severs deterministically
+	connSeq    uint64
+	restartIn  *time.Duration
+	stallUntil time.Duration
+	diskScale  atomic.Int64
+	dedup      map[uint64]*clientHistory
 
 	// loopCache memoizes decoded dataloops by their wire bytes: the
 	// datatype-caching extension the paper's §5 proposes ("datatype
@@ -78,8 +94,33 @@ func NewServer(net transport.Network, addr string, index int, cost CostModel) *S
 	}
 }
 
-// Serve listens and handles connections until Close.
+// Serve listens and handles connections until Close. A Crash (fail-stop
+// injected locally or by an admin request) makes the current incarnation
+// return; Serve then waits out the downtime and listens again, which is
+// exactly a daemon restart — local objects persist across it, standing
+// in for the server's disk.
 func (s *Server) Serve(env transport.Env) error {
+	for {
+		if err := s.serveOnce(env); err != nil {
+			return err
+		}
+		down, ok := s.takeRestart()
+		if !ok {
+			return nil
+		}
+		sleepBoth(env, down)
+		s.mu.Lock()
+		closed := s.closed
+		s.mu.Unlock()
+		if closed {
+			return nil
+		}
+	}
+}
+
+// serveOnce runs one server incarnation: listen, accept, handle, until
+// the listener closes (Close or Crash).
+func (s *Server) serveOnce(env transport.Env) error {
 	lis, err := s.net.Listen(s.addr)
 	if err != nil {
 		return err
@@ -98,8 +139,12 @@ func (s *Server) Serve(env transport.Env) error {
 			return nil
 		}
 		c := conn
+		s.track(c, true)
 		env.Go("io-handler", func(env transport.Env) {
-			defer c.Close()
+			defer func() {
+				s.track(c, false)
+				c.Close()
+			}()
 			for {
 				msg, err := c.Recv(env)
 				if err != nil {
@@ -122,6 +167,20 @@ func (s *Server) Serve(env transport.Env) error {
 	}
 }
 
+func (s *Server) track(c transport.Conn, add bool) {
+	s.mu.Lock()
+	if add {
+		if s.conns == nil {
+			s.conns = make(map[transport.Conn]uint64)
+		}
+		s.connSeq++
+		s.conns[c] = s.connSeq
+	} else {
+		delete(s.conns, c)
+	}
+	s.mu.Unlock()
+}
+
 // Close stops the listener.
 func (s *Server) Close() {
 	s.mu.Lock()
@@ -130,6 +189,92 @@ func (s *Server) Close() {
 	s.mu.Unlock()
 	if lis != nil {
 		lis.Close()
+	}
+}
+
+// Crash simulates a fail-stop: the listener and every open connection
+// drop immediately, with no goodbye to anyone mid-request. Serve
+// restarts the server after down. In-flight requests die; clients
+// recover via retries and stream resume.
+func (s *Server) Crash(down time.Duration) {
+	s.mu.Lock()
+	if s.restartIn == nil {
+		d := down
+		s.restartIn = &d
+	}
+	lis := s.lis
+	s.lis = nil
+	// Sever connections in accept order, not map order: under the
+	// simulation the close wake-ups interleave with client goroutines,
+	// and a run-to-run random order would make crash cells drift.
+	type tracked struct {
+		c   transport.Conn
+		seq uint64
+	}
+	conns := make([]tracked, 0, len(s.conns))
+	for c, seq := range s.conns {
+		conns = append(conns, tracked{c, seq})
+	}
+	s.conns = nil
+	s.mu.Unlock()
+	sort.Slice(conns, func(i, j int) bool { return conns[i].seq < conns[j].seq })
+	if lis != nil {
+		lis.Close()
+	}
+	for _, c := range conns {
+		c.c.Close()
+	}
+}
+
+// takeRestart consumes a pending crash-restart downtime.
+func (s *Server) takeRestart() (time.Duration, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.restartIn == nil {
+		return 0, false
+	}
+	d := *s.restartIn
+	s.restartIn = nil
+	return d, true
+}
+
+// StallFor makes the server freeze for the next d — alive and
+// accepting, but unresponsive, which clients can only distinguish from
+// loss by timeout. The gate sits between requests and between stream
+// segments, so in-flight transfers seize too, as they would under a
+// wedged daemon.
+func (s *Server) StallFor(env transport.Env, d time.Duration) {
+	s.mu.Lock()
+	if t := env.Now() + d; t > s.stallUntil {
+		s.stallUntil = t
+	}
+	s.mu.Unlock()
+}
+
+// stallGate blocks while the server is inside a StallFor window.
+func (s *Server) stallGate(env transport.Env) {
+	s.mu.Lock()
+	stall := s.stallUntil
+	s.mu.Unlock()
+	if now := env.Now(); now < stall {
+		sleepBoth(env, stall-now)
+	}
+}
+
+// SetDiskScale sets the modeled disk-time multiplier in percent (100 or
+// 0 restores normal speed): a degraded, slow disk rather than a dead one.
+func (s *Server) SetDiskScale(percent int64) {
+	s.diskScale.Store(percent)
+}
+
+// sleepBoth waits d under both clocks: env.Sleep advances virtual time
+// in simulation and is a no-op on real environments, where the
+// wall-clock remainder is waited out for real.
+func sleepBoth(env transport.Env, d time.Duration) {
+	target := env.Now() + d
+	env.Sleep(d)
+	if rest := target - env.Now(); rest > 0 {
+		time.Sleep(rest)
 	}
 }
 
@@ -147,6 +292,64 @@ func (s *Server) object(handle uint64) storage.Store {
 
 func ioErr(format string, args ...any) []byte {
 	return wire.EncodeIOResp(&wire.IOResp{Err: fmt.Sprintf(format, args...)})
+}
+
+func ioErrSeq(seq uint64, format string, args ...any) []byte {
+	return wire.EncodeIOResp(&wire.IOResp{Seq: seq, Err: fmt.Sprintf(format, args...)})
+}
+
+// dedupPerClient bounds the replay history per client. A client has at
+// most one outstanding tagged request per server connection, so a small
+// ring comfortably covers every replay a retry can produce.
+const dedupPerClient = 8
+
+// clientHistory is one client's recent mutating requests and their
+// responses, for at-most-once replay suppression.
+type clientHistory struct {
+	seqs  [dedupPerClient]uint64
+	resps [dedupPerClient][]byte
+	pos   int
+}
+
+// replay returns the recorded response if this tag's request was
+// already executed: the retry's request must not mutate again (a replayed
+// write could otherwise resurrect old bytes over a later writer's data).
+func (s *Server) replay(tag wire.ReqTag) ([]byte, bool) {
+	if tag.Client == 0 {
+		return nil, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h := s.dedup[tag.Client]
+	if h == nil {
+		return nil, false
+	}
+	for i, q := range h.seqs {
+		if q == tag.Seq && q != 0 {
+			return h.resps[i], true
+		}
+	}
+	return nil, false
+}
+
+// remember records a completed mutating request's response for replay.
+func (s *Server) remember(tag wire.ReqTag, resp []byte) {
+	if tag.Client == 0 || resp == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.dedup == nil {
+		s.dedup = make(map[uint64]*clientHistory)
+	}
+	h := s.dedup[tag.Client]
+	if h == nil {
+		h = &clientHistory{}
+		s.dedup[tag.Client] = h
+	}
+	h.seqs[h.pos] = tag.Seq
+	h.resps[h.pos] = resp
+	h.pos = (h.pos + 1) % dedupPerClient
 }
 
 // layoutOf validates and converts the wire layout.
@@ -169,6 +372,7 @@ func (s *Server) layoutOf(l wire.FileLayout) (striping.Layout, error) {
 // request was answered entirely by a stream; a non-nil error means the
 // connection is no longer usable and must close.
 func (s *Server) handle(env transport.Env, conn transport.Conn, msg []byte) ([]byte, error) {
+	s.stallGate(env)
 	t, v, err := wire.DecodeMsg(msg)
 	if err != nil {
 		return ioErr("bad request: %v", err), nil
@@ -179,89 +383,168 @@ func (s *Server) handle(env transport.Env, conn transport.Conn, msg []byte) ([]b
 		return s.contig(env, conn, v.(*wire.ContigReq), nil)
 	case wire.MTWriteContigReq:
 		r := v.(*wire.ContigReq)
-		return s.contig(env, conn, r, inlineSrc(r.Data))
+		if cached, ok := s.replay(r.Tag); ok {
+			return cached, nil
+		}
+		resp, err := s.contig(env, conn, r, inlineSrc(r.Data))
+		s.remember(r.Tag, resp)
+		return resp, err
 	case wire.MTReadListReq:
 		return s.list(env, conn, v.(*wire.ListIOReq), nil)
 	case wire.MTWriteListReq:
 		r := v.(*wire.ListIOReq)
-		return s.list(env, conn, r, inlineSrc(r.Data))
+		if cached, ok := s.replay(r.Tag); ok {
+			return cached, nil
+		}
+		resp, err := s.list(env, conn, r, inlineSrc(r.Data))
+		s.remember(r.Tag, resp)
+		return resp, err
 	case wire.MTReadDtypeReq:
 		return s.dtype(env, conn, v.(*wire.DtypeReq), nil)
 	case wire.MTWriteDtypeReq:
 		r := v.(*wire.DtypeReq)
-		return s.dtype(env, conn, r, inlineSrc(r.Data))
+		if cached, ok := s.replay(r.Tag); ok {
+			return cached, nil
+		}
+		resp, err := s.dtype(env, conn, r, inlineSrc(r.Data))
+		s.remember(r.Tag, resp)
+		return resp, err
 	case wire.MTWriteStreamHdr:
 		return s.streamedWrite(env, conn, v.(*wire.WriteStreamHdr))
 	case wire.MTLocalSizeReq:
 		r := v.(*wire.LocalSizeReq)
 		if _, err := s.layoutOf(r.Layout); err != nil {
-			return ioErr("%v", err), nil
+			return ioErrSeq(r.Tag.Seq, "%v", err), nil
 		}
-		return wire.EncodeIOResp(&wire.IOResp{OK: true, Size: s.object(r.Layout.Handle).Size()}), nil
+		return wire.EncodeIOResp(&wire.IOResp{Seq: r.Tag.Seq, OK: true, Size: s.object(r.Layout.Handle).Size()}), nil
 	case wire.MTTruncateReq:
 		r := v.(*wire.TruncateReq)
-		lay, err := s.layoutOf(r.Layout)
-		if err != nil {
-			return ioErr("%v", err), nil
+		if cached, ok := s.replay(r.Tag); ok {
+			return cached, nil
 		}
-		if r.Size < 0 {
-			return ioErr("negative size %d", r.Size), nil
-		}
-		local := lay.LocalLen(int(r.Layout.ServerIdx), r.Size)
-		if err := s.object(r.Layout.Handle).Truncate(local); err != nil {
-			return ioErr("truncate: %v", err), nil
-		}
-		return wire.EncodeIOResp(&wire.IOResp{OK: true}), nil
+		resp := s.truncate(r)
+		s.remember(r.Tag, resp)
+		return resp, nil
 	case wire.MTRemoveObjReq:
 		r := v.(*wire.RemoveObjReq)
 		s.mu.Lock()
 		delete(s.objects, r.Layout.Handle)
 		s.mu.Unlock()
-		return wire.EncodeIOResp(&wire.IOResp{OK: true}), nil
+		return wire.EncodeIOResp(&wire.IOResp{Seq: r.Tag.Seq, OK: true}), nil
+	case wire.MTAdminReq:
+		return s.admin(env, conn, v.(*wire.AdminReq))
 	default:
 		return ioErr("unexpected message %s", t), nil
+	}
+}
+
+func (s *Server) truncate(r *wire.TruncateReq) []byte {
+	lay, err := s.layoutOf(r.Layout)
+	if err != nil {
+		return ioErrSeq(r.Tag.Seq, "%v", err)
+	}
+	if r.Size < 0 {
+		return ioErrSeq(r.Tag.Seq, "negative size %d", r.Size)
+	}
+	local := lay.LocalLen(int(r.Layout.ServerIdx), r.Size)
+	if err := s.object(r.Layout.Handle).Truncate(local); err != nil {
+		return ioErrSeq(r.Tag.Seq, "truncate: %v", err)
+	}
+	return wire.EncodeIOResp(&wire.IOResp{Seq: r.Tag.Seq, OK: true})
+}
+
+// admin serves a fault-administration request (wire.AdminReq).
+func (s *Server) admin(env transport.Env, conn transport.Conn, r *wire.AdminReq) ([]byte, error) {
+	switch r.Op {
+	case wire.AdminStall:
+		s.StallFor(env, time.Duration(r.Dur))
+		return wire.EncodeIOResp(&wire.IOResp{OK: true}), nil
+	case wire.AdminDegrade:
+		s.SetDiskScale(r.Factor)
+		return wire.EncodeIOResp(&wire.IOResp{OK: true}), nil
+	case wire.AdminCrash:
+		// Acknowledge before crashing — the crash severs this connection
+		// along with every other one.
+		conn.Send(env, wire.EncodeIOResp(&wire.IOResp{OK: true}))
+		s.Crash(time.Duration(r.Dur))
+		return nil, errors.New("pvfs: crashed by admin request")
+	default:
+		return ioErr("unknown admin op %d", r.Op), nil
 	}
 }
 
 // streamedWrite unwraps a streamed write request and dispatches it with
 // a stream-backed payload source.
 func (s *Server) streamedWrite(env transport.Env, conn transport.Conn, h *wire.WriteStreamHdr) ([]byte, error) {
-	if h.Total <= 0 || h.SegBytes <= 0 || h.Window <= 0 || h.Total <= int64(h.SegBytes) {
+	seg := int64(h.SegBytes)
+	nseg := int64(0)
+	if seg > 0 {
+		nseg = (h.Total + seg - 1) / seg
+	}
+	if h.Total <= 0 || seg <= 0 || h.Window <= 0 || h.Total <= seg ||
+		h.StartSeg < 0 || h.StartSeg >= nseg {
 		// The framing itself is broken; there is no way to know how many
 		// chunks follow, so the connection cannot be salvaged.
-		return nil, fmt.Errorf("pvfs: bad stream header total=%d seg=%d window=%d", h.Total, h.SegBytes, h.Window)
+		return nil, fmt.Errorf("pvfs: bad stream header total=%d seg=%d window=%d start=%d",
+			h.Total, h.SegBytes, h.Window, h.StartSeg)
 	}
-	seg := int64(h.SegBytes)
-	src := &writeSrc{stream: &srvStream{
-		conn:  conn,
-		total: h.Total, seg: seg, window: int64(h.Window),
-		nseg: (h.Total + seg - 1) / seg,
-	}}
+	// A resumed retry (StartSeg > 0) skips the payload prefix the client
+	// knows is already durable; the region walk advances past those bytes
+	// without touching the disk.
+	src := &writeSrc{
+		skip: h.StartSeg * seg,
+		stream: &srvStream{
+			conn:  conn,
+			total: h.Total, seg: seg, window: int64(h.Window),
+			nseg: nseg, next: h.StartSeg,
+			gate: s.stallGate,
+		},
+	}
 	t, v, err := wire.DecodeMsg(h.Inner)
 	if err != nil {
-		return s.reqFail(env, src, "bad request: %v", err)
+		return s.reqFail(env, src, 0, "bad request: %v", err)
 	}
+	var tag wire.ReqTag
+	switch r := v.(type) {
+	case *wire.ContigReq:
+		tag = r.Tag
+	case *wire.ListIOReq:
+		tag = r.Tag
+	case *wire.DtypeReq:
+		tag = r.Tag
+	}
+	if cached, ok := s.replay(tag); ok {
+		// Already executed: consume the replayed stream (keeping the
+		// connection in protocol sync) and answer from the record.
+		if err := src.drain(env); err != nil {
+			return nil, err
+		}
+		return cached, nil
+	}
+	var resp []byte
 	switch t {
 	case wire.MTWriteContigReq:
-		return s.contig(env, conn, v.(*wire.ContigReq), src)
+		resp, err = s.contig(env, conn, v.(*wire.ContigReq), src)
 	case wire.MTWriteListReq:
-		return s.list(env, conn, v.(*wire.ListIOReq), src)
+		resp, err = s.list(env, conn, v.(*wire.ListIOReq), src)
 	case wire.MTWriteDtypeReq:
-		return s.dtype(env, conn, v.(*wire.DtypeReq), src)
+		resp, err = s.dtype(env, conn, v.(*wire.DtypeReq), src)
 	default:
-		return s.reqFail(env, src, "unexpected streamed message %s", t)
+		return s.reqFail(env, src, 0, "unexpected streamed message %s", t)
 	}
+	s.remember(tag, resp)
+	return resp, err
 }
 
 // reqFail answers a failed request with an error IOResp, first draining
 // a streamed payload so the connection stays in protocol sync.
-func (s *Server) reqFail(env transport.Env, src *writeSrc, format string, args ...any) ([]byte, error) {
+func (s *Server) reqFail(env transport.Env, src *writeSrc, seq uint64, format string, args ...any) ([]byte, error) {
 	if src != nil {
 		if err := src.drain(env); err != nil {
 			return nil, err
 		}
 	}
-	return ioErr(format, args...), nil
+	return ioErrSeq(seq, format, args...), nil
 }
 
 // regionsFn enumerates one request's logical regions, in request order.
@@ -273,7 +556,7 @@ type regionsFn func(emit func(off, n int64) error) error
 // seek-aware disk cost. An inline payload dispatches as one batch; a
 // streamed one dispatches a batch at every flow-control segment
 // boundary, before the segment buffer is reused.
-func (s *Server) applyWrite(env transport.Env, lay striping.Layout, idx int, st storage.Store, regions regionsFn, src *writeSrc) ([]byte, error) {
+func (s *Server) applyWrite(env transport.Env, lay striping.Layout, idx int, st storage.Store, regions regionsFn, src *writeSrc, seq uint64) ([]byte, error) {
 	sd := s.newSched(true)
 	defer putSched(sd)
 	if src.stream != nil {
@@ -284,10 +567,16 @@ func (s *Server) applyWrite(env transport.Env, lay striping.Layout, idx int, st 
 		var inner error
 		lay.ServerPieces(idx, off, n, func(phys, _, ln int64) bool {
 			for rem := ln; rem > 0; {
-				b, e := src.next(env, rem)
+				b, skipped, e := src.next(env, rem)
 				if e != nil {
 					inner = e
 					return false
+				}
+				if skipped > 0 {
+					// Resumed-stream prefix: already on disk, advance past.
+					phys += skipped
+					rem -= skipped
+					continue
 				}
 				sd.add(phys, int64(len(b)), 0, b)
 				phys += int64(len(b))
@@ -302,23 +591,23 @@ func (s *Server) applyWrite(env transport.Env, lay striping.Layout, idx int, st 
 		// Keep the bytes the request's regions did cover: dispatch what
 		// is buffered before draining and answering.
 		sd.flushWrites(env, st)
-		return s.reqFail(env, src, "%v", err)
+		return s.reqFail(env, src, seq, "%v", err)
 	}
 	env.Compute(s.cost.PerRegionServer * time.Duration(nPieces))
 	if err := sd.flushWrites(env, st); err != nil {
-		return s.reqFail(env, src, "%v", err)
+		return s.reqFail(env, src, seq, "%v", err)
 	}
 	if n := src.leftover(); n != 0 {
-		return s.reqFail(env, src, "excess write payload (%d bytes)", n)
+		return s.reqFail(env, src, seq, "excess write payload (%d bytes)", n)
 	}
-	return wire.EncodeIOResp(&wire.IOResp{OK: true}), nil
+	return wire.EncodeIOResp(&wire.IOResp{Seq: seq, OK: true}), nil
 }
 
 // readReply is the common read path: one walk collects this server's
 // physical runs and the byte total, then the response is either built
 // inline in a single pre-sized frame or streamed in flow-controlled
 // segments that overlap disk and network.
-func (s *Server) readReply(env transport.Env, conn transport.Conn, lay striping.Layout, idx int, st storage.Store, regions regionsFn) ([]byte, error) {
+func (s *Server) readReply(env transport.Env, conn transport.Conn, lay striping.Layout, idx int, st storage.Store, regions regionsFn, seq uint64) ([]byte, error) {
 	sd := s.newSched(false)
 	defer putSched(sd)
 	var total, nPieces int64
@@ -332,7 +621,7 @@ func (s *Server) readReply(env transport.Env, conn transport.Conn, lay striping.
 		return nil
 	})
 	if err != nil {
-		return ioErr("%v", err), nil
+		return ioErrSeq(seq, "%v", err), nil
 	}
 	env.Compute(s.cost.PerRegionServer * time.Duration(nPieces))
 	seg, window := streamParams(s.StreamChunkBytes, s.StreamWindow)
@@ -341,25 +630,26 @@ func (s *Server) readReply(env transport.Env, conn transport.Conn, lay striping.
 		// known total, with storage reads landing directly in the frame.
 		// A zero-byte request dispatches no operation and charges no
 		// disk time.
-		out := wire.AppendIORespOK(nil, int(total))
+		out := wire.AppendIORespOK(nil, seq, int(total))
 		h := len(out)
 		out = append(out, make([]byte, total)...)
 		if err := sd.runReads(env, st, out[h:]); err != nil {
-			return ioErr("%v", err), nil
+			return ioErrSeq(seq, "%v", err), nil
 		}
 		return out, nil
 	}
-	return nil, s.streamRead(env, conn, st, sd, total, seg, window)
+	return nil, s.streamRead(env, conn, st, sd, total, seg, window, seq)
 }
 
 // contig serves a contiguous read (src nil) or write.
 func (s *Server) contig(env transport.Env, conn transport.Conn, r *wire.ContigReq, src *writeSrc) ([]byte, error) {
+	seq := r.Tag.Seq
 	lay, err := s.layoutOf(r.Layout)
 	if err != nil {
-		return s.reqFail(env, src, "%v", err)
+		return s.reqFail(env, src, seq, "%v", err)
 	}
 	if r.Off < 0 || r.N < 0 {
-		return s.reqFail(env, src, "bad range off=%d n=%d", r.Off, r.N)
+		return s.reqFail(env, src, seq, "bad range off=%d n=%d", r.Off, r.N)
 	}
 	idx := int(r.Layout.ServerIdx)
 	st := s.object(r.Layout.Handle)
@@ -367,16 +657,17 @@ func (s *Server) contig(env transport.Env, conn transport.Conn, r *wire.ContigRe
 		return emit(r.Off, r.N)
 	}
 	if src != nil {
-		return s.applyWrite(env, lay, idx, st, regions, src)
+		return s.applyWrite(env, lay, idx, st, regions, src, seq)
 	}
-	return s.readReply(env, conn, lay, idx, st, regions)
+	return s.readReply(env, conn, lay, idx, st, regions, seq)
 }
 
 // list serves a list I/O read (src nil) or write.
 func (s *Server) list(env transport.Env, conn transport.Conn, r *wire.ListIOReq, src *writeSrc) ([]byte, error) {
+	seq := r.Tag.Seq
 	lay, err := s.layoutOf(r.Layout)
 	if err != nil {
-		return s.reqFail(env, src, "%v", err)
+		return s.reqFail(env, src, seq, "%v", err)
 	}
 	idx := int(r.Layout.ServerIdx)
 	st := s.object(r.Layout.Handle)
@@ -392,9 +683,9 @@ func (s *Server) list(env transport.Env, conn transport.Conn, r *wire.ListIOReq,
 		return nil
 	}
 	if src != nil {
-		return s.applyWrite(env, lay, idx, st, regions, src)
+		return s.applyWrite(env, lay, idx, st, regions, src, seq)
 	}
-	return s.readReply(env, conn, lay, idx, st, regions)
+	return s.readReply(env, conn, lay, idx, st, regions, seq)
 }
 
 // cachedLoop decodes a dataloop, memoizing by wire bytes, and reports
@@ -442,16 +733,17 @@ func (s *Server) LoopCacheStats() (hits, misses int64) {
 // dtype serves a datatype read (src nil) or write: the server itself
 // expands the dataloop into regions and extracts its local pieces.
 func (s *Server) dtype(env transport.Env, conn transport.Conn, r *wire.DtypeReq, src *writeSrc) ([]byte, error) {
+	seq := r.Tag.Seq
 	lay, err := s.layoutOf(r.Layout)
 	if err != nil {
-		return s.reqFail(env, src, "%v", err)
+		return s.reqFail(env, src, seq, "%v", err)
 	}
 	loop, hit, err := s.cachedLoop(r.Loop)
 	if err != nil {
-		return s.reqFail(env, src, "bad dataloop: %v", err)
+		return s.reqFail(env, src, seq, "bad dataloop: %v", err)
 	}
 	if r.Count < 0 || r.Pos < 0 || r.NBytes < 0 || r.Pos+r.NBytes > r.Count*loop.Size {
-		return s.reqFail(env, src, "bad dtype range count=%d pos=%d n=%d", r.Count, r.Pos, r.NBytes)
+		return s.reqFail(env, src, seq, "bad dtype range count=%d pos=%d n=%d", r.Count, r.Pos, r.NBytes)
 	}
 	if !hit {
 		env.Compute(s.cost.DataloopDecode)
@@ -474,7 +766,7 @@ func (s *Server) dtype(env transport.Env, conn transport.Conn, r *wire.DtypeReq,
 		}
 	}
 	if src != nil {
-		return s.applyWrite(env, lay, idx, st, regions, src)
+		return s.applyWrite(env, lay, idx, st, regions, src, seq)
 	}
-	return s.readReply(env, conn, lay, idx, st, regions)
+	return s.readReply(env, conn, lay, idx, st, regions, seq)
 }

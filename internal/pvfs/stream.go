@@ -60,20 +60,26 @@ func getBuf(n int) *[]byte {
 
 func putBuf(bp *[]byte) { bufPool.Put(bp) }
 
-// recvAck consumes one StreamAck frame, verifying its sequence.
-func recvAck(env transport.Env, conn transport.Conn, want uint32) error {
-	raw, err := conn.Recv(env)
-	if err != nil {
-		return err
+// recvAckAtLeast consumes StreamAck frames until one acknowledging
+// segment want or later arrives, and returns that sequence. Acks are
+// cumulative — a later ack subsumes an earlier one the network dropped,
+// and duplicated earlier acks are skipped — so a lossy path cannot
+// wedge the credit window as long as any ack gets through. A zero
+// timeout blocks indefinitely.
+func recvAckAtLeast(env transport.Env, conn transport.Conn, want uint32, timeout time.Duration) (uint32, error) {
+	for {
+		raw, err := transport.RecvTimeout(env, conn, timeout)
+		if err != nil {
+			return 0, err
+		}
+		seq, err := wire.DecodeStreamAck(raw)
+		if err != nil {
+			return 0, err
+		}
+		if seq >= want {
+			return seq, nil
+		}
 	}
-	seq, err := wire.DecodeStreamAck(raw)
-	if err != nil {
-		return err
-	}
-	if seq != want {
-		return fmt.Errorf("stream ack for segment %d, want %d", seq, want)
-	}
-	return nil
 }
 
 // errShortPayload is the request-level error for a write whose payload
@@ -90,27 +96,39 @@ type srvStream struct {
 	seg    int64
 	window int64
 	nseg   int64
-	next   int64 // next expected segment
-	fatal  error // connection-level failure; the conn must close
+	next   int64                    // next expected segment
+	gate   func(env transport.Env) // per-segment stall gate (may be nil)
+	fatal  error                   // connection-level failure; the conn must close
 	ack    []byte
 	chunk  wire.StreamChunk
 }
 
 // nextChunk receives segment s.next and acks it per the credit rule.
+// Duplicated earlier chunks (fault injection) are consumed and skipped;
+// a gap means payload was lost and the connection cannot be salvaged.
 func (ss *srvStream) nextChunk(env transport.Env, discard bool) ([]byte, error) {
 	if ss.next >= ss.nseg {
 		return nil, errShortPayload
 	}
-	raw, err := ss.conn.Recv(env)
-	if err != nil {
-		ss.fatal = err
-		return nil, err
-	}
-	if err := wire.DecodeStreamChunk(raw, &ss.chunk); err != nil {
-		ss.fatal = err
-		return nil, err
+	if ss.gate != nil {
+		ss.gate(env)
 	}
 	k := ss.next
+	for {
+		raw, err := ss.conn.Recv(env)
+		if err != nil {
+			ss.fatal = err
+			return nil, err
+		}
+		if err := wire.DecodeStreamChunk(raw, &ss.chunk); err != nil {
+			ss.fatal = err
+			return nil, err
+		}
+		if int64(ss.chunk.Seq) < k && ss.chunk.Err == "" {
+			continue // duplicate of an already-consumed segment
+		}
+		break
+	}
 	want := segLen(ss.total, ss.seg, k)
 	if int64(ss.chunk.Seq) != k || int64(len(ss.chunk.Data)) != want || ss.chunk.Err != "" {
 		ss.fatal = fmt.Errorf("pvfs: stream chunk seq=%d len=%d err=%q, want seq=%d len=%d",
@@ -148,7 +166,11 @@ func (ss *srvStream) drain(env transport.Env) error {
 type writeSrc struct {
 	data     []byte // unconsumed inline payload / current segment
 	consumed int64
-	stream   *srvStream // nil when the payload is inline
+	// skip is the resumed-write prefix (bytes already durable from a
+	// previous attempt): next reports them as skipped without receiving
+	// or touching the disk, and the request walk advances past them.
+	skip   int64
+	stream *srvStream // nil when the payload is inline
 	// flush (optional, streamed writes) dispatches the runs buffered
 	// from the current segment. It runs before the next segment is
 	// received, because chunk data aliases the connection's receive
@@ -158,32 +180,43 @@ type writeSrc struct {
 
 func inlineSrc(data []byte) *writeSrc { return &writeSrc{data: data} }
 
-// next returns between 1 and want unconsumed payload bytes, receiving
-// the next segment when the current one is exhausted.
-func (p *writeSrc) next(env transport.Env, want int64) ([]byte, error) {
+// next returns up to want unconsumed payload bytes: either skipped > 0
+// (already-durable resume prefix the caller must step over without
+// writing) or 1..want bytes in b, receiving the next segment when the
+// current one is exhausted.
+func (p *writeSrc) next(env transport.Env, want int64) (b []byte, skipped int64, err error) {
+	if p.skip > 0 {
+		n := p.skip
+		if n > want {
+			n = want
+		}
+		p.skip -= n
+		p.consumed += n
+		return nil, n, nil
+	}
 	if len(p.data) == 0 && p.stream != nil {
 		if p.flush != nil {
 			if err := p.flush(env); err != nil {
-				return nil, err
+				return nil, 0, err
 			}
 		}
 		b, err := p.stream.nextChunk(env, false)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		p.data = b
 	}
 	if len(p.data) == 0 {
-		return nil, errShortPayload
+		return nil, 0, errShortPayload
 	}
 	n := int64(len(p.data))
 	if n > want {
 		n = want
 	}
-	b := p.data[:n]
+	b = p.data[:n]
 	p.data = p.data[n:]
 	p.consumed += n
-	return b, nil
+	return b, 0, nil
 }
 
 // leftover reports payload bytes beyond what the request consumed.
@@ -210,21 +243,23 @@ func (p *writeSrc) drain(env transport.Env) error {
 // head moving and pays a single positioning charge in total. A storage
 // failure mid-stream sends a terminal error chunk and returns an error,
 // closing the connection.
-func (s *Server) streamRead(env transport.Env, conn transport.Conn, st storage.Store, sd *diskSched, total, seg, window int64) error {
+func (s *Server) streamRead(env transport.Env, conn transport.Conn, st storage.Store, sd *diskSched, total, seg, window int64, seq uint64) error {
 	nseg := (total + seg - 1) / seg
 	hdr := wire.EncodeReadStreamHdr(&wire.ReadStreamHdr{
-		Total: total, SegBytes: int32(seg), Window: int32(window),
+		Seq: seq, Total: total, SegBytes: int32(seg), Window: int32(window),
 	})
 	if err := conn.Send(env, hdr); err != nil {
 		return err
 	}
 	segs := sd.planStream(total, seg)
+	ackedThrough := int64(-1)
 	fp := getBuf(13 + int(seg)) // chunk frame: type+seq+err+len = 13 bytes of header
 	defer func() { putBuf(fp) }()
 	frame := *fp
 	// Segment 0 comes off the disk before anything is on the wire.
 	env.DiskUse(segs[0].cost)
 	for k := int64(0); k < nseg; k++ {
+		s.stallGate(env)
 		nk := segLen(total, seg, k)
 		frame = wire.AppendStreamChunkHdr(frame[:0], uint32(k), int(nk))
 		h := len(frame)
@@ -242,10 +277,12 @@ func (s *Server) streamRead(env transport.Env, conn transport.Conn, st storage.S
 		}
 		k := k
 		err := env.OverlapDisk(nextDisk, func() error {
-			if k >= window {
-				if err := recvAck(env, conn, uint32(k-window)); err != nil {
+			if k >= window && ackedThrough < k-window {
+				got, err := recvAckAtLeast(env, conn, uint32(k-window), 0)
+				if err != nil {
 					return err
 				}
+				ackedThrough = int64(got)
 			}
 			return conn.Send(env, frame)
 		})

@@ -264,6 +264,12 @@ func (n *SimNet) sendChunks(e *SimEnv, from *SimNode, q *vtime.Mailbox, size int
 		if remaining <= 0 {
 			dl = deliver
 		}
+		// The peer can tear the connection down while we hold the TX
+		// (crash, reset, or an impatient retry): in-flight frames then
+		// vanish, as on a real wire.
+		if q.Closed() {
+			return
+		}
 		q.Put(chunkMsg{d: d, deliver: dl})
 	}
 }
@@ -379,6 +385,19 @@ func (c *simConn) Send(env Env, msg []byte) error {
 func (c *simConn) Recv(env Env) ([]byte, error) {
 	e := env.(*SimEnv)
 	v, ok := c.inbox.Get(e.proc)
+	if !ok {
+		return nil, ErrClosed
+	}
+	return v.([]byte), nil
+}
+
+// RecvTimeout implements TimedConn in virtual time.
+func (c *simConn) RecvTimeout(env Env, d time.Duration) ([]byte, error) {
+	e := env.(*SimEnv)
+	v, ok, timedOut := c.inbox.GetTimeout(e.proc, d)
+	if timedOut {
+		return nil, ErrTimeout
+	}
 	if !ok {
 		return nil, ErrClosed
 	}

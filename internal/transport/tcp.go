@@ -6,6 +6,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 )
 
 // maxFrame bounds a single message (1 GiB); larger transfers must be
@@ -96,6 +97,30 @@ func (c *tcpConn) Send(env Env, msg []byte) error {
 func (c *tcpConn) Recv(env Env) ([]byte, error) {
 	c.recvMu.Lock()
 	defer c.recvMu.Unlock()
+	return c.recvFrame()
+}
+
+// RecvTimeout implements TimedConn via a socket read deadline. On
+// ErrTimeout the stream may be mid-frame; the connection must be dropped.
+func (c *tcpConn) RecvTimeout(env Env, d time.Duration) ([]byte, error) {
+	c.recvMu.Lock()
+	defer c.recvMu.Unlock()
+	if d <= 0 {
+		return c.recvFrame()
+	}
+	c.c.SetReadDeadline(time.Now().Add(d))
+	msg, err := c.recvFrame()
+	c.c.SetReadDeadline(time.Time{})
+	if err != nil {
+		if ne, ok := err.(net.Error); ok && ne.Timeout() {
+			return nil, ErrTimeout
+		}
+		return nil, err
+	}
+	return msg, nil
+}
+
+func (c *tcpConn) recvFrame() ([]byte, error) {
 	if _, err := io.ReadFull(c.c, c.lenBuf[:]); err != nil {
 		if err == io.EOF {
 			return nil, ErrClosed

@@ -1,0 +1,147 @@
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// tcpPair spawns a listener and returns an accepted framed connection
+// together with a raw client socket, so tests can write malformed frames.
+func tcpPair(t *testing.T) (srv Conn, raw net.Conn) {
+	t.Helper()
+	tn := NewTCPNetwork()
+	env := NewRealEnv()
+	l, err := tn.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	addr, _ := BoundAddr(l)
+	done := make(chan Conn, 1)
+	go func() {
+		c, err := l.Accept(env)
+		if err != nil {
+			done <- nil
+			return
+		}
+		done <- c
+	}()
+	raw, err = net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { raw.Close() })
+	srv = <-done
+	if srv == nil {
+		t.Fatal("accept failed")
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv, raw
+}
+
+// A peer that disconnects after sending only part of the 4-byte length
+// prefix must surface an error, not hang or return a bogus frame.
+func TestTCPPartialHeaderRead(t *testing.T) {
+	srv, raw := tcpPair(t)
+	if _, err := raw.Write([]byte{0x10, 0x00}); err != nil {
+		t.Fatal(err)
+	}
+	raw.Close()
+	_, err := srv.Recv(NewRealEnv())
+	if err == nil {
+		t.Fatal("Recv succeeded on a truncated header")
+	}
+	if errors.Is(err, ErrClosed) {
+		t.Fatalf("partial header reported as clean close: %v", err)
+	}
+}
+
+// A clean close before any bytes is EOF and maps to ErrClosed.
+func TestTCPCleanDisconnectIsErrClosed(t *testing.T) {
+	srv, raw := tcpPair(t)
+	raw.Close()
+	if _, err := srv.Recv(NewRealEnv()); !errors.Is(err, ErrClosed) {
+		t.Fatalf("got %v, want ErrClosed", err)
+	}
+}
+
+// A peer that promises a frame body and disconnects mid-frame must
+// surface an unexpected-EOF error.
+func TestTCPDisconnectMidFrame(t *testing.T) {
+	srv, raw := tcpPair(t)
+	var head [4]byte
+	binary.LittleEndian.PutUint32(head[:], 100)
+	if _, err := raw.Write(head[:]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := raw.Write(make([]byte, 10)); err != nil {
+		t.Fatal(err)
+	}
+	raw.Close()
+	_, err := srv.Recv(NewRealEnv())
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("got %v, want unexpected EOF", err)
+	}
+}
+
+// A length prefix beyond maxFrame is rejected without allocating it.
+func TestTCPOversizedFrameRejected(t *testing.T) {
+	srv, raw := tcpPair(t)
+	var head [4]byte
+	binary.LittleEndian.PutUint32(head[:], maxFrame+1)
+	if _, err := raw.Write(head[:]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Recv(NewRealEnv()); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+}
+
+func TestTCPRecvTimeout(t *testing.T) {
+	srv, raw := tcpPair(t)
+	env := NewRealEnv()
+	tc, ok := srv.(TimedConn)
+	if !ok {
+		t.Fatal("tcp conn does not implement TimedConn")
+	}
+	start := time.Now()
+	_, err := tc.RecvTimeout(env, 30*time.Millisecond)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("got %v, want ErrTimeout", err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("timeout took far too long")
+	}
+	// A frame arriving after the timeout is still readable on a fresh
+	// blocking Recv (the deadline must have been cleared): the stream is
+	// only mid-frame if bytes were partially consumed, which they were
+	// not here.
+	var head [4]byte
+	binary.LittleEndian.PutUint32(head[:], 2)
+	raw.Write(head[:])
+	raw.Write([]byte("ok"))
+	msg, err := srv.Recv(env)
+	if err != nil || string(msg) != "ok" {
+		t.Fatalf("post-timeout Recv: %q, %v", msg, err)
+	}
+}
+
+// Send on a connection whose peer reset it eventually errors (possibly
+// after a buffered first write succeeds).
+func TestTCPSendAfterPeerClose(t *testing.T) {
+	srv, raw := tcpPair(t)
+	raw.Close()
+	env := NewRealEnv()
+	var err error
+	for i := 0; i < 50 && err == nil; i++ {
+		err = srv.Send(env, make([]byte, 64*1024))
+		time.Sleep(time.Millisecond)
+	}
+	if err == nil {
+		t.Fatal("sends kept succeeding after peer close")
+	}
+}

@@ -75,6 +75,31 @@ type Network interface {
 // ErrClosed is returned by operations on closed connections or listeners.
 var ErrClosed = errors.New("transport: closed")
 
+// ErrTimeout is returned by RecvTimeout when the deadline passes with no
+// message. After a timeout the connection should be considered suspect:
+// the TCP transport may have consumed part of a frame, so the only safe
+// recovery is to drop the connection and redial.
+var ErrTimeout = errors.New("transport: receive timeout")
+
+// TimedConn is implemented by connections that support a bounded-wait
+// receive. All three in-repo transports implement it.
+type TimedConn interface {
+	Conn
+	// RecvTimeout behaves like Recv but fails with ErrTimeout once d of
+	// (modeled or wall) time passes without a message. d <= 0 means no
+	// deadline.
+	RecvTimeout(env Env, d time.Duration) ([]byte, error)
+}
+
+// RecvTimeout performs a timed receive when c supports it, falling back
+// to a blocking Recv otherwise (or when d <= 0).
+func RecvTimeout(env Env, c Conn, d time.Duration) ([]byte, error) {
+	if tc, ok := c.(TimedConn); ok && d > 0 {
+		return tc.RecvTimeout(env, d)
+	}
+	return c.Recv(env)
+}
+
 // RealEnv is the Env for ordinary goroutines: spawning is `go`, modeled
 // costs are no-ops, Now is wall-clock.
 type RealEnv struct {
@@ -170,6 +195,33 @@ func (q *queue) get() ([]byte, error) {
 	return m, nil
 }
 
+// getTimeout is get with a wall-clock deadline. sync.Cond has no timed
+// wait, so a timer briefly wakes all waiters at the deadline.
+func (q *queue) getTimeout(d time.Duration) ([]byte, error) {
+	deadline := time.Now().Add(d)
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed {
+		rest := time.Until(deadline)
+		if rest <= 0 {
+			return nil, ErrTimeout
+		}
+		t := time.AfterFunc(rest, func() {
+			q.mu.Lock()
+			q.cond.Broadcast()
+			q.mu.Unlock()
+		})
+		q.cond.Wait()
+		t.Stop()
+	}
+	if len(q.items) == 0 {
+		return nil, ErrClosed
+	}
+	m := q.items[0]
+	q.items = q.items[1:]
+	return m, nil
+}
+
 func (q *queue) close() {
 	q.mu.Lock()
 	q.closed = true
@@ -252,6 +304,14 @@ func (c *memConn) Send(env Env, msg []byte) error {
 
 func (c *memConn) Recv(env Env) ([]byte, error) {
 	return c.in.get()
+}
+
+// RecvTimeout implements TimedConn over wall time.
+func (c *memConn) RecvTimeout(env Env, d time.Duration) ([]byte, error) {
+	if d <= 0 {
+		return c.in.get()
+	}
+	return c.in.getTimeout(d)
 }
 
 func (c *memConn) Close() error {

@@ -1,0 +1,166 @@
+package vtime
+
+import (
+	"testing"
+	"time"
+)
+
+func TestGetTimeoutExpires(t *testing.T) {
+	s := New()
+	m := s.NewMailbox("m")
+	s.Go("a", func(p *Proc) {
+		v, ok, timedOut := m.GetTimeout(p, 10*time.Millisecond)
+		if v != nil || ok || !timedOut {
+			t.Errorf("got (%v, %v, %v), want timeout", v, ok, timedOut)
+		}
+		if p.Now() != 10*time.Millisecond {
+			t.Errorf("timed out at %v, want 10ms", p.Now())
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGetTimeoutDelivers(t *testing.T) {
+	s := New()
+	m := s.NewMailbox("m")
+	s.Go("sender", func(p *Proc) {
+		p.Sleep(3 * time.Millisecond)
+		m.Put("msg")
+	})
+	s.Go("recv", func(p *Proc) {
+		v, ok, timedOut := m.GetTimeout(p, 10*time.Millisecond)
+		if v != "msg" || !ok || timedOut {
+			t.Errorf("got (%v, %v, %v), want (msg, true, false)", v, ok, timedOut)
+		}
+		if p.Now() != 3*time.Millisecond {
+			t.Errorf("delivered at %v, want 3ms", p.Now())
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A message arriving at exactly the deadline loses the FIFO tie-break to
+// the earlier-scheduled timer, but must stay queued — never be eaten by
+// the stale wake targeting the timed-out waiter.
+func TestGetTimeoutTieKeepsMessage(t *testing.T) {
+	s := New()
+	m := s.NewMailbox("m")
+	s.Go("recv", func(p *Proc) {
+		_, ok, timedOut := m.GetTimeout(p, 5*time.Millisecond)
+		if ok || !timedOut {
+			t.Errorf("want deterministic timeout on the tie, got ok=%v timedOut=%v", ok, timedOut)
+		}
+		v, ok := m.Get(p)
+		if !ok || v != "tie" {
+			t.Errorf("tie message lost: got (%v, %v)", v, ok)
+		}
+	})
+	s.Go("sender", func(p *Proc) {
+		p.Sleep(5 * time.Millisecond)
+		m.Put("tie")
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// After a timed-out Get, a later Put must not be consumed by the stale
+// wait: the value goes to the next Get and the timed-out proc is no
+// longer a waiter.
+func TestGetTimeoutWithdrawsWaiter(t *testing.T) {
+	s := New()
+	m := s.NewMailbox("m")
+	var got any
+	s.Go("recv", func(p *Proc) {
+		if _, _, timedOut := m.GetTimeout(p, 2*time.Millisecond); !timedOut {
+			t.Error("want timeout")
+		}
+		// Re-arm: the late message must reach this fresh Get.
+		v, ok := m.Get(p)
+		if !ok {
+			t.Error("second get failed")
+		}
+		got = v
+	})
+	s.Go("sender", func(p *Proc) {
+		p.Sleep(8 * time.Millisecond)
+		m.Put("late")
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != "late" {
+		t.Fatalf("got %v, want late", got)
+	}
+}
+
+func TestGetTimeoutClose(t *testing.T) {
+	s := New()
+	m := s.NewMailbox("m")
+	s.Go("recv", func(p *Proc) {
+		v, ok, timedOut := m.GetTimeout(p, 50*time.Millisecond)
+		if v != nil || ok || timedOut {
+			t.Errorf("got (%v, %v, %v), want closed", v, ok, timedOut)
+		}
+		if p.Now() != time.Millisecond {
+			t.Errorf("woke at %v, want 1ms", p.Now())
+		}
+	})
+	s.Go("closer", func(p *Proc) {
+		p.Sleep(time.Millisecond)
+		m.Close()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGetTimeoutZeroBlocksForever(t *testing.T) {
+	s := New()
+	m := s.NewMailbox("m")
+	s.Go("recv", func(p *Proc) {
+		v, ok, timedOut := m.GetTimeout(p, 0)
+		if v != "v" || !ok || timedOut {
+			t.Errorf("got (%v, %v, %v), want (v, true, false)", v, ok, timedOut)
+		}
+	})
+	s.Go("sender", func(p *Proc) {
+		p.Sleep(time.Hour)
+		m.Put("v")
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Stale timer events left in the heap after a normal delivery must not
+// corrupt later scheduling or inflate the clock.
+func TestStaleTimerEventsAreInert(t *testing.T) {
+	s := New()
+	m := s.NewMailbox("m")
+	var end time.Duration
+	s.Go("recv", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			if _, ok, timedOut := m.GetTimeout(p, time.Hour); !ok || timedOut {
+				t.Errorf("round %d: lost message", i)
+			}
+		}
+		end = p.Now()
+	})
+	s.Go("sender", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			p.Sleep(time.Millisecond)
+			m.Put(i)
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if end != 3*time.Millisecond {
+		t.Fatalf("receiver finished at %v, want 3ms (stale hour-long timers fired?)", end)
+	}
+}

@@ -39,15 +39,23 @@ type Proc struct {
 	s      *Scheduler
 	name   string
 	resume chan struct{}
-	// handoff carries a value delivered directly by a waker (mailbox put,
-	// resource grant). It is only valid immediately after a wake.
+	// handoff carries the value of the event that resumed the process
+	// (nil for sleeps and plain wakes, timeoutMark for an expired
+	// GetTimeout timer). It is only valid immediately after a resume.
 	handoff any
+	// gen counts resumes. An event only fires if the generation it
+	// captured at schedule time still matches, so a process that blocks
+	// with two pending wake-ups (a timer and a message) consumes exactly
+	// one: the other becomes stale and is discarded by Run.
+	gen uint64
 }
 
 type event struct {
 	at  time.Duration
 	seq uint64
 	p   *Proc
+	gen uint64
+	val any
 }
 
 type eventHeap []event
@@ -126,8 +134,15 @@ func (s *Scheduler) Go(name string, fn func(p *Proc)) *Proc {
 
 // schedule enqueues a wake-up for p after delay d.
 func (s *Scheduler) schedule(p *Proc, d time.Duration) {
+	s.scheduleVal(p, d, nil)
+}
+
+// scheduleVal enqueues a wake-up carrying a hand-off value. The event
+// captures p's current generation; it is discarded if p resumes through
+// some other event first.
+func (s *Scheduler) scheduleVal(p *Proc, d time.Duration, v any) {
 	s.seq++
-	s.events.push(event{at: s.now + d, seq: s.seq, p: p})
+	s.events.push(event{at: s.now + d, seq: s.seq, p: p, gen: p.gen, val: v})
 }
 
 // Run executes events until no process remains. It returns an error if
@@ -142,10 +157,18 @@ func (s *Scheduler) Run() error {
 			return s.deadlockError()
 		}
 		ev := s.events.pop()
+		if ev.gen != ev.p.gen {
+			// Stale: the process already resumed through another event
+			// (e.g. a message arrived before its timeout timer fired).
+			// Skip without advancing the clock.
+			continue
+		}
 		if ev.at < s.now {
 			panic("vtime: time went backwards")
 		}
 		s.now = ev.at
+		ev.p.gen++
+		ev.p.handoff = ev.val
 		delete(s.blocked, ev.p)
 		ev.p.resume <- struct{}{}
 		<-s.yield
@@ -203,8 +226,7 @@ func (p *Proc) Yield() {
 // wake schedules p to resume at the current virtual time with v as the
 // hand-off value.
 func (s *Scheduler) wake(p *Proc, v any) {
-	p.handoff = v
-	s.schedule(p, 0)
+	s.scheduleVal(p, 0, v)
 }
 
 // Resource models a contended unit-service facility (a NIC direction, a
@@ -279,43 +301,94 @@ func (s *Scheduler) NewMailbox(name string) *Mailbox {
 	return &Mailbox{s: s, name: name}
 }
 
-// Put deposits a message; it never blocks. If a process is waiting, the
-// message is handed to it directly and the process is scheduled.
+// Put deposits a message; it never blocks. The message stays queued and
+// the first waiter (if any) is scheduled to pick it up; keeping the value
+// in the queue rather than handing it off directly means a waiter that is
+// simultaneously woken by a GetTimeout timer cannot lose the message.
 func (m *Mailbox) Put(v any) {
 	if m.closed {
 		panic("vtime: put on closed mailbox " + m.name)
 	}
+	m.q = append(m.q, v)
 	if len(m.waiters) > 0 {
 		p := m.waiters[0]
 		m.waiters = m.waiters[1:]
-		m.s.wake(p, mailItem{v: v, ok: true})
-		return
+		m.s.wake(p, nil)
 	}
-	m.q = append(m.q, v)
 }
 
-type mailItem struct {
-	v  any
-	ok bool
-}
+// timeoutMark is the hand-off value of an expired GetTimeout timer.
+type timeoutMark struct{}
 
 // Get removes the oldest message, blocking until one is available. The
 // second result is false if the mailbox was closed while (or before)
 // waiting and no message remains.
 func (m *Mailbox) Get(p *Proc) (any, bool) {
-	if len(m.q) > 0 {
-		v := m.q[0]
-		m.q = m.q[1:]
-		return v, true
+	for {
+		if len(m.q) > 0 {
+			v := m.q[0]
+			m.q = m.q[1:]
+			return v, true
+		}
+		if m.closed {
+			return nil, false
+		}
+		m.waiters = append(m.waiters, p)
+		p.block("mailbox " + m.name)
+		p.handoff = nil
 	}
-	if m.closed {
-		return nil, false
+}
+
+// GetTimeout is Get with a deadline: it returns (v, true, false) on a
+// message, (nil, false, false) if the mailbox closed, and
+// (nil, false, true) once d elapses with nothing delivered. d <= 0 means
+// no deadline. A message arriving at the same virtual instant as the
+// deadline may lose the FIFO tie-break to the timer; it is then left
+// queued for the next Get, never lost.
+func (m *Mailbox) GetTimeout(p *Proc, d time.Duration) (v any, ok bool, timedOut bool) {
+	if d <= 0 {
+		v, ok = m.Get(p)
+		return v, ok, false
 	}
-	m.waiters = append(m.waiters, p)
-	p.block("mailbox " + m.name)
-	item := p.handoff.(mailItem)
-	p.handoff = nil
-	return item.v, item.ok
+	deadline := p.s.now + d
+	for {
+		if len(m.q) > 0 {
+			v := m.q[0]
+			m.q = m.q[1:]
+			return v, true, false
+		}
+		if m.closed {
+			return nil, false, false
+		}
+		if p.s.now >= deadline {
+			return nil, false, true
+		}
+		// Arm a fresh timer each pass: any timer from a previous pass
+		// went stale when the wake that restarted the loop bumped the
+		// generation.
+		p.s.scheduleVal(p, deadline-p.s.now, timeoutMark{})
+		m.waiters = append(m.waiters, p)
+		p.block("mailbox " + m.name)
+		woke := p.handoff
+		p.handoff = nil
+		if _, expired := woke.(timeoutMark); expired {
+			// The timer fired while we were still a waiter; withdraw.
+			// The loop re-checks the queue first, so a message that
+			// landed at this same instant is still delivered.
+			m.removeWaiter(p)
+		}
+	}
+}
+
+// removeWaiter withdraws p from the wait list (after a timeout fired
+// while p was still queued as a waiter).
+func (m *Mailbox) removeWaiter(p *Proc) {
+	for i, w := range m.waiters {
+		if w == p {
+			m.waiters = append(m.waiters[:i], m.waiters[i+1:]...)
+			return
+		}
+	}
 }
 
 // TryGet removes a message if one is queued.
@@ -342,7 +415,7 @@ func (m *Mailbox) Close() {
 	}
 	m.closed = true
 	for _, p := range m.waiters {
-		m.s.wake(p, mailItem{ok: false})
+		m.s.wake(p, nil)
 	}
 	m.waiters = nil
 }

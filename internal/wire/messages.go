@@ -67,10 +67,31 @@ type ListResp struct {
 	Names []string
 }
 
+// ReqTag identifies one I/O request for retry matching and at-most-once
+// replay suppression: Client is a process-unique client id, Seq the
+// client's request counter. A retry resends the identical frame — same
+// tag — so the server can recognize a replay of a write it already
+// applied, and the client can discard stale or duplicated responses by
+// comparing the echoed Seq. Client 0 means untagged (no dedup).
+type ReqTag struct {
+	Client uint64
+	Seq    uint64
+}
+
+func (t ReqTag) encode(e *Enc) {
+	e.I64(int64(t.Client))
+	e.I64(int64(t.Seq))
+}
+
+func decodeTag(d *Dec) ReqTag {
+	return ReqTag{Client: uint64(d.I64()), Seq: uint64(d.I64())}
+}
+
 // ContigReq is a contiguous read or write of logical range [Off, Off+N).
 // For writes, Data carries exactly the addressed server's bytes of the
 // range, in logical order.
 type ContigReq struct {
+	Tag    ReqTag
 	Layout FileLayout
 	Off    int64
 	N      int64
@@ -81,6 +102,7 @@ type ContigReq struct {
 // MaxListRegions per request. For writes, Data carries the addressed
 // server's bytes in list order.
 type ListIOReq struct {
+	Tag     ReqTag
 	Layout  FileLayout
 	Regions []datatype.Region
 	Data    []byte // writes only
@@ -97,6 +119,7 @@ const MaxListRegions = 4096
 // at stream position Pos, covering NBytes of stream. For writes, Data
 // carries the addressed server's bytes in stream order.
 type DtypeReq struct {
+	Tag    ReqTag
 	Layout FileLayout
 	Loop   []byte // encoded dataloop
 	Count  int64  // tiles of the loop in the view
@@ -110,16 +133,23 @@ type DtypeReq struct {
 }
 
 // LocalSizeReq asks an I/O server for its local object size.
-type LocalSizeReq struct{ Layout FileLayout }
+type LocalSizeReq struct {
+	Tag    ReqTag
+	Layout FileLayout
+}
 
 // TruncateReq sets the local object size implied by logical Size.
 type TruncateReq struct {
+	Tag    ReqTag
 	Layout FileLayout
 	Size   int64 // logical file size
 }
 
 // RemoveObjReq deletes the local object.
-type RemoveObjReq struct{ Layout FileLayout }
+type RemoveObjReq struct {
+	Tag    ReqTag
+	Layout FileLayout
+}
 
 // LockAcquireReq asks the metadata server for a byte-range lock on
 // [Off, Off+N) of the file named by Handle. Shared requests coexist
@@ -147,8 +177,44 @@ type LockGrant struct {
 	WaitedNs int64 // time spent queued at the server, for client stats
 }
 
-// IOResp answers every I/O server request.
+// AdminOp selects a fault-administration action on an I/O server.
+type AdminOp uint8
+
+// Admin operations.
+const (
+	// AdminStall makes the server hold every request it dequeues for Dur
+	// before processing it (simulating an unresponsive-but-alive server).
+	AdminStall AdminOp = iota + 1
+	// AdminCrash drops the listener and every open connection, then
+	// restarts the server after Dur. In-memory objects survive (the
+	// local objects stand in for the server's disk).
+	AdminCrash
+	// AdminDegrade multiplies disk service time by Factor/100 (a slow or
+	// failing disk) until reset with Factor == 100.
+	AdminDegrade
+)
+
+// AdminReq drives fault administration; answered with an MTIOResp. The
+// response is sent before a crash takes effect.
+type AdminReq struct {
+	Op     AdminOp
+	Dur    int64 // nanoseconds (stall length, crash downtime)
+	Factor int64 // AdminDegrade: disk slowdown in percent (100 = normal)
+}
+
+// EncodeAdmin marshals an AdminReq.
+func EncodeAdmin(r *AdminReq) []byte {
+	e := NewEnc(MTAdminReq)
+	e.U8(uint8(r.Op))
+	e.I64(r.Dur)
+	e.I64(r.Factor)
+	return e.B
+}
+
+// IOResp answers every I/O server request. Seq echoes the request
+// tag's sequence number so retrying clients can discard stale frames.
 type IOResp struct {
+	Seq  uint64
 	OK   bool
 	Err  string
 	Size int64  // LocalSizeReq answer
@@ -213,6 +279,7 @@ func EncodeContig(r *ContigReq, write bool) []byte {
 		t = MTWriteContigReq
 	}
 	e := NewEnc(t)
+	r.Tag.encode(e)
 	r.Layout.encode(e)
 	e.I64(r.Off)
 	e.I64(r.N)
@@ -229,6 +296,7 @@ func EncodeListIO(r *ListIOReq, write bool) []byte {
 		t = MTWriteListReq
 	}
 	e := NewEnc(t)
+	r.Tag.encode(e)
 	r.Layout.encode(e)
 	e.U32(uint32(len(r.Regions)))
 	for _, reg := range r.Regions {
@@ -248,6 +316,7 @@ func EncodeDtype(r *DtypeReq, write bool) []byte {
 		t = MTWriteDtypeReq
 	}
 	e := NewEnc(t)
+	r.Tag.encode(e)
 	r.Layout.encode(e)
 	e.Bytes(r.Loop)
 	e.I64(r.Count)
@@ -264,6 +333,7 @@ func EncodeDtype(r *DtypeReq, write bool) []byte {
 // EncodeLocalSize marshals a LocalSizeReq.
 func EncodeLocalSize(r *LocalSizeReq) []byte {
 	e := NewEnc(MTLocalSizeReq)
+	r.Tag.encode(e)
 	r.Layout.encode(e)
 	return e.B
 }
@@ -271,6 +341,7 @@ func EncodeLocalSize(r *LocalSizeReq) []byte {
 // EncodeTruncate marshals a TruncateReq.
 func EncodeTruncate(r *TruncateReq) []byte {
 	e := NewEnc(MTTruncateReq)
+	r.Tag.encode(e)
 	r.Layout.encode(e)
 	e.I64(r.Size)
 	return e.B
@@ -279,6 +350,7 @@ func EncodeTruncate(r *TruncateReq) []byte {
 // EncodeRemoveObj marshals a RemoveObjReq.
 func EncodeRemoveObj(r *RemoveObjReq) []byte {
 	e := NewEnc(MTRemoveObjReq)
+	r.Tag.encode(e)
 	r.Layout.encode(e)
 	return e.B
 }
@@ -314,6 +386,7 @@ func EncodeLockGrant(r *LockGrant) []byte {
 // EncodeIOResp marshals an IOResp.
 func EncodeIOResp(r *IOResp) []byte {
 	e := NewEnc(MTIOResp)
+	e.I64(int64(r.Seq))
 	e.U8(b2u(r.OK))
 	e.Str(r.Err)
 	e.I64(r.Size)
@@ -362,13 +435,13 @@ func DecodeMsg(b []byte) (MsgType, any, error) {
 		}
 		v = r
 	case MTReadContigReq, MTWriteContigReq:
-		r := &ContigReq{Layout: decodeLayout(d), Off: d.I64(), N: d.I64()}
+		r := &ContigReq{Tag: decodeTag(d), Layout: decodeLayout(d), Off: d.I64(), N: d.I64()}
 		if t == MTWriteContigReq {
 			r.Data = d.Bytes()
 		}
 		v = r
 	case MTReadListReq, MTWriteListReq:
-		r := &ListIOReq{Layout: decodeLayout(d)}
+		r := &ListIOReq{Tag: decodeTag(d), Layout: decodeLayout(d)}
 		n := int(d.U32())
 		if n > MaxListRegions {
 			return t, nil, fmt.Errorf("wire: %d regions exceeds list cap %d", n, MaxListRegions)
@@ -382,7 +455,7 @@ func DecodeMsg(b []byte) (MsgType, any, error) {
 		}
 		v = r
 	case MTReadDtypeReq, MTWriteDtypeReq:
-		r := &DtypeReq{Layout: decodeLayout(d)}
+		r := &DtypeReq{Tag: decodeTag(d), Layout: decodeLayout(d)}
 		r.Loop = d.Bytes()
 		r.Count = d.I64()
 		r.Disp = d.I64()
@@ -394,28 +467,32 @@ func DecodeMsg(b []byte) (MsgType, any, error) {
 		}
 		v = r
 	case MTLocalSizeReq:
-		v = &LocalSizeReq{Layout: decodeLayout(d)}
+		v = &LocalSizeReq{Tag: decodeTag(d), Layout: decodeLayout(d)}
 	case MTTruncateReq:
-		v = &TruncateReq{Layout: decodeLayout(d), Size: d.I64()}
+		v = &TruncateReq{Tag: decodeTag(d), Layout: decodeLayout(d), Size: d.I64()}
 	case MTRemoveObjReq:
-		v = &RemoveObjReq{Layout: decodeLayout(d)}
+		v = &RemoveObjReq{Tag: decodeTag(d), Layout: decodeLayout(d)}
 	case MTIOResp:
 		r := &IOResp{}
+		r.Seq = uint64(d.I64())
 		r.OK = d.U8() != 0
 		r.Err = d.Str()
 		r.Size = d.I64()
 		r.Data = d.Bytes()
 		v = r
 	case MTReadStreamHdr:
-		v = &ReadStreamHdr{Total: d.I64(), SegBytes: int32(d.U32()), Window: int32(d.U32())}
+		v = &ReadStreamHdr{Seq: uint64(d.I64()), Total: d.I64(), SegBytes: int32(d.U32()), Window: int32(d.U32())}
 	case MTWriteStreamHdr:
 		r := &WriteStreamHdr{Total: d.I64(), SegBytes: int32(d.U32()), Window: int32(d.U32())}
+		r.StartSeg = d.I64()
 		r.Inner = d.Bytes()
 		v = r
 	case MTStreamChunk:
 		v = &StreamChunk{Seq: d.U32(), Err: d.Str(), Data: d.Bytes()}
 	case MTStreamAck:
 		v = &StreamAck{Seq: d.U32()}
+	case MTAdminReq:
+		v = &AdminReq{Op: AdminOp(d.U8()), Dur: d.I64(), Factor: d.I64()}
 	case MTLockAcquireReq:
 		v = &LockAcquireReq{Handle: uint64(d.I64()), Off: d.I64(), N: d.I64(), Shared: d.U8() != 0}
 	case MTLockReleaseReq:

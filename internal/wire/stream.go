@@ -23,7 +23,9 @@ import "fmt"
 // ReadStreamHdr announces a streamed read response: Total payload bytes
 // follow as chunks. It replaces the IOResp of an inline read (implying
 // OK; request errors detected before data moves use a plain IOResp).
+// Seq echoes the request tag's sequence number.
 type ReadStreamHdr struct {
+	Seq      uint64
 	Total    int64
 	SegBytes int32
 	Window   int32
@@ -31,11 +33,16 @@ type ReadStreamHdr struct {
 
 // WriteStreamHdr opens a streamed write: Inner is the encoded ordinary
 // write request (contig, list, or dtype) with empty payload; Total
-// payload bytes follow as chunks.
+// payload bytes follow as chunks. StartSeg is the first segment the
+// client will send: 0 on a fresh write, the last-acknowledged segment
+// number when a retry resumes a stream whose prefix is known durable —
+// the server skips (already-written) payload bytes before StartSeg*
+// SegBytes without touching the disk.
 type WriteStreamHdr struct {
 	Total    int64
 	SegBytes int32
 	Window   int32
+	StartSeg int64
 	Inner    []byte
 }
 
@@ -54,6 +61,7 @@ type StreamAck struct{ Seq uint32 }
 // EncodeReadStreamHdr marshals a ReadStreamHdr.
 func EncodeReadStreamHdr(r *ReadStreamHdr) []byte {
 	e := NewEnc(MTReadStreamHdr)
+	e.I64(int64(r.Seq))
 	e.I64(r.Total)
 	e.U32(uint32(r.SegBytes))
 	e.U32(uint32(r.Window))
@@ -66,6 +74,7 @@ func EncodeWriteStreamHdr(r *WriteStreamHdr) []byte {
 	e.I64(r.Total)
 	e.U32(uint32(r.SegBytes))
 	e.U32(uint32(r.Window))
+	e.I64(r.StartSeg)
 	e.Bytes(r.Inner)
 	return e.B
 }
@@ -129,11 +138,12 @@ func DecodeStreamAck(b []byte) (uint32, error) {
 	return seq, d.Done()
 }
 
-// AppendIORespOK marshals into dst[:0] an OK IOResp frame for dataLen
-// payload bytes, leaving the payload area for the caller to extend and
-// fill in place.
-func AppendIORespOK(dst []byte, dataLen int) []byte {
+// AppendIORespOK marshals into dst[:0] an OK IOResp frame (echoing seq)
+// for dataLen payload bytes, leaving the payload area for the caller to
+// extend and fill in place.
+func AppendIORespOK(dst []byte, seq uint64, dataLen int) []byte {
 	e := Enc{B: append(dst[:0], byte(MTIOResp))}
+	e.I64(int64(seq))
 	e.U8(1)
 	e.Str("")
 	e.I64(0)

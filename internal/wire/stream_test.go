@@ -82,9 +82,9 @@ func TestAppendStreamChunkHdrFraming(t *testing.T) {
 
 func TestAppendIORespOKFraming(t *testing.T) {
 	data := []byte("read payload")
-	frame := AppendIORespOK(nil, len(data))
+	frame := AppendIORespOK(nil, 7, len(data))
 	frame = append(frame, data...)
-	want := &IOResp{OK: true, Size: 0, Data: data}
+	want := &IOResp{Seq: 7, OK: true, Size: 0, Data: data}
 	_, got, err := DecodeMsg(frame)
 	if err != nil {
 		t.Fatal(err)
@@ -93,7 +93,7 @@ func TestAppendIORespOKFraming(t *testing.T) {
 		t.Fatalf("got %+v want %+v", got, want)
 	}
 	// Zero-length payload too.
-	_, got, err = DecodeMsg(AppendIORespOK(nil, 0))
+	_, got, err = DecodeMsg(AppendIORespOK(nil, 0, 0))
 	if err != nil || !got.(*IOResp).OK || len(got.(*IOResp).Data) != 0 {
 		t.Fatalf("empty IOResp got %+v err=%v", got, err)
 	}

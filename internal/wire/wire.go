@@ -57,6 +57,11 @@ const (
 	MTLockAcquireReq
 	MTLockReleaseReq
 	MTLockGrant
+
+	// Fault administration: stall, crash-restart, or degrade an I/O
+	// server (driven by pvfsctl against real clusters, by the bench
+	// fault driver in simulation). Answered with an ordinary MTIOResp.
+	MTAdminReq
 )
 
 func (t MsgType) String() string {
@@ -71,7 +76,7 @@ func (t MsgType) String() string {
 		MTReadStreamHdr: "readstreamhdr", MTWriteStreamHdr: "writestreamhdr",
 		MTStreamChunk: "streamchunk", MTStreamAck: "streamack",
 		MTLockAcquireReq: "lockacquire", MTLockReleaseReq: "lockrelease",
-		MTLockGrant: "lockgrant",
+		MTLockGrant: "lockgrant", MTAdminReq: "admin",
 	}
 	if s, ok := names[t]; ok {
 		return s
