@@ -38,3 +38,14 @@ go test -race -timeout 120s \
 	./internal/fault/ ./internal/pvfs/ ./internal/bench/
 go run ./cmd/dtbench -exp pr4-smoke
 go test -timeout 120s -run 'XXX' -bench 'BenchmarkTileRead/dtype' -benchtime 1x -benchmem .
+# Observability pass: histogram/tracer unit tests, the end-to-end span
+# linkage and tracing-is-passive suites, and the hot-path allocation
+# bounds (plain and metrics-enabled) under -race; then the pr5 smoke
+# run, which exits nonzero unless every method reports populated
+# monotone latency quantiles and the dtype trace's server spans resolve
+# to client op spans in valid Chrome JSON.
+go test -race -timeout 120s \
+	-run 'TestHistogram|TestQuantiles|TestRegistry|TestCounter|TestDebugMux|TestTracer|TestSpan|TestWriteChrome|TestConcurrent|TestFetchStats|TestClientServerSpanLink|TestLockWaitSpan|TestTracedRunLinksServerSpansToClientOps|TestResultLatencyHistograms|TestTracingDoesNotChangeTiming|TestTagSpanRoundTrip' \
+	./internal/metrics/ ./internal/trace/ ./internal/wire/ ./internal/pvfs/ ./internal/bench/
+go test -timeout 60s -run 'TestServerReadHotPathAllocs' ./internal/pvfs/
+go run ./cmd/dtbench -exp pr5-smoke

@@ -23,8 +23,9 @@ import (
 )
 
 var (
-	expFlag    = flag.String("exp", "all", "experiment: tile|block3d|flash|ablate-listcap|ablate-coalesce|ablate-sievebuf|ablate-loopcache|ablate-fullfeatured|pr1|pr2|pr3|pr3-smoke|pr4|pr4-smoke|all")
-	jsonFlag   = flag.String("json", "", "pr1/pr2/pr3/pr4: output path for the machine-readable report (default BENCH_PR<n>.json)")
+	expFlag    = flag.String("exp", "all", "experiment: tile|block3d|flash|ablate-listcap|ablate-coalesce|ablate-sievebuf|ablate-loopcache|ablate-fullfeatured|pr1|pr2|pr3|pr3-smoke|pr4|pr4-smoke|pr5|pr5-smoke|all")
+	jsonFlag   = flag.String("json", "", "pr1-pr5: output path for the machine-readable report (default BENCH_PR<n>.json)")
+	traceFlag  = flag.String("trace", "", "pr5: output path for the Chrome trace-event JSON (default TRACE_PR5.json)")
 	frames     = flag.Int("frames", 3, "tile: frames per timed run")
 	flashProcs = flag.String("flash-procs", "2,8,16,32,48,64,96,128", "flash: client counts")
 	b3Procs    = flag.String("block3d-procs", "8,27,64", "block3d: client counts (perfect cubes)")
@@ -64,6 +65,10 @@ func main() {
 		runPR4(jsonPath("BENCH_PR4.json"), false)
 	case "pr4-smoke":
 		runPR4("", true)
+	case "pr5":
+		runPR5(jsonPath("BENCH_PR5.json"), tracePath("TRACE_PR5.json"), false)
+	case "pr5-smoke":
+		runPR5("", "", true)
 	case "all":
 		runTile()
 		runBlock3D()
@@ -83,6 +88,13 @@ func main() {
 func jsonPath(dflt string) string {
 	if *jsonFlag != "" {
 		return *jsonFlag
+	}
+	return dflt
+}
+
+func tracePath(dflt string) string {
+	if *traceFlag != "" {
+		return *traceFlag
 	}
 	return dflt
 }

@@ -1,0 +1,187 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+
+	"dtio/internal/bench"
+	"dtio/internal/metrics"
+	"dtio/internal/mpiio"
+	"dtio/internal/trace"
+	"dtio/internal/workloads"
+)
+
+// pr5Lat is one latency distribution summary (all times in virtual
+// microseconds; quantiles interpolate within exponential buckets).
+type pr5Lat struct {
+	Count  int64   `json:"count"`
+	MeanUs float64 `json:"mean_us"`
+	P50Us  float64 `json:"p50_us"`
+	P95Us  float64 `json:"p95_us"`
+	P99Us  float64 `json:"p99_us"`
+}
+
+func pr5LatOf(s metrics.HistSnapshot) pr5Lat {
+	p50, p95, p99 := s.Quantiles()
+	return pr5Lat{
+		Count:  s.Count,
+		MeanUs: float64(s.Mean().Nanoseconds()) / 1e3,
+		P50Us:  float64(p50.Nanoseconds()) / 1e3,
+		P95Us:  float64(p95.Nanoseconds()) / 1e3,
+		P99Us:  float64(p99.Nanoseconds()) / 1e3,
+	}
+}
+
+// pr5Cell is one method's latency profile for the tile-read workload:
+// client-side collective op latency (timed phase) and server-side
+// per-request service time (whole run).
+type pr5Cell struct {
+	Workload string  `json:"workload"`
+	Method   string  `json:"method"`
+	SimMBs   float64 `json:"sim_mb_per_s"`
+	Client   pr5Lat  `json:"client_op"`
+	Server   pr5Lat  `json:"server_req"`
+}
+
+type pr5Report struct {
+	Description string    `json:"description"`
+	Note        string    `json:"note"`
+	TraceFile   string    `json:"trace_file,omitempty"`
+	TraceSpans  int       `json:"trace_spans"`
+	Cells       []pr5Cell `json:"cells"`
+}
+
+// runPR5 measures the observability layer itself: per-method latency
+// quantiles from the new histograms, and an end-to-end trace of the
+// dtype run whose server spans must link back to client op spans.
+func runPR5(jsonPath, tracePath string, smoke bool) {
+	fmt.Println("=== PR5: observability — latency histograms + end-to-end request tracing ===")
+	fail := false
+	guard := func(cond bool, format string, args ...any) {
+		if !cond {
+			fmt.Fprintf(os.Stderr, "dtbench: pr5 guard: "+format+"\n", args...)
+			fail = true
+		}
+	}
+	tile := workloads.DefaultTile()
+	nFrames := 2
+	ms := []mpiio.Method{mpiio.Posix, mpiio.Sieve, mpiio.TwoPhase, mpiio.ListIO, mpiio.DtypeIO}
+	if smoke {
+		tile = workloads.TileConfig{
+			TilesX: 3, TilesY: 2,
+			TileW: 32, TileH: 24, Depth: 3,
+			OverlapX: 8, OverlapY: 4,
+			Frames: 1,
+		}
+		nFrames = 1
+		ms = []mpiio.Method{mpiio.Sieve, mpiio.DtypeIO}
+	}
+	report := pr5Report{
+		Description: "Latency profile of the tile-read workload per access method: client collective-op quantiles over the timed phase, server per-request service-time quantiles over the whole run, plus a Chrome trace of the dtype run.",
+		Note: "Histograms use 34 exponential buckets (1 us doubling to ~2.3 h); quantiles interpolate " +
+			"within a bucket. All times are virtual (simulated) time, so every figure is deterministic. " +
+			"The trace links each server request span to the originating client op span via a span ID " +
+			"piggybacked on the request tag; disk batches, stream segments, and lock waits nest under " +
+			"them. Load the trace file in Perfetto or chrome://tracing.",
+	}
+
+	var tr *trace.Tracer
+	for _, m := range ms {
+		c := bench.DefaultConfig(tile.NumClients(), 1)
+		if m == mpiio.DtypeIO {
+			tr = trace.New()
+			c.Trace = tr
+		}
+		r := bench.TileRead(c, tile, m, nFrames)
+		if r.Err != nil {
+			fmt.Fprintf(os.Stderr, "dtbench: tile %v: %v\n", m, r.Err)
+			fail = true
+			continue
+		}
+		cell := pr5Cell{
+			Workload: "tile-read",
+			Method:   m.String(),
+			SimMBs:   r.BandwidthMBs(),
+			Client:   pr5LatOf(r.Lat),
+			Server:   pr5LatOf(r.SrvLat),
+		}
+		report.Cells = append(report.Cells, cell)
+		fmt.Printf("  %-9s %8.2f sim-MB/s  client p50/p95/p99 %9.0f/%9.0f/%9.0f us (%d ops)  server p50 %7.0f us (%d reqs)\n",
+			cell.Method, cell.SimMBs, cell.Client.P50Us, cell.Client.P95Us, cell.Client.P99Us,
+			cell.Client.Count, cell.Server.P50Us, cell.Server.Count)
+		guard(cell.Client.Count > 0, "%v: empty client histogram", m)
+		guard(cell.Server.Count > 0, "%v: empty server histogram", m)
+		guard(cell.Client.P50Us > 0, "%v: zero client p50", m)
+		guard(cell.Client.P50Us <= cell.Client.P95Us && cell.Client.P95Us <= cell.Client.P99Us,
+			"%v: non-monotone client quantiles %.0f/%.0f/%.0f", m, cell.Client.P50Us, cell.Client.P95Us, cell.Client.P99Us)
+		guard(cell.Server.P50Us <= cell.Server.P95Us && cell.Server.P95Us <= cell.Server.P99Us,
+			"%v: non-monotone server quantiles", m)
+	}
+
+	// Trace guards: spans exist, every io-server span's ancestry resolves
+	// to a rank-track client op, and the export is well-formed JSON.
+	guard(tr != nil && tr.Len() > 0, "dtype run recorded no spans")
+	if tr != nil {
+		spans := tr.Spans()
+		byID := map[trace.SpanID]*trace.Span{}
+		for _, sp := range spans {
+			byID[sp.ID] = sp
+		}
+		var serverSpans, linked int
+		for _, sp := range spans {
+			if !strings.HasPrefix(sp.Track, "io-server-") {
+				continue
+			}
+			serverSpans++
+			cur := sp
+			for i := 0; i < len(spans); i++ {
+				p, ok := byID[cur.Parent]
+				if !ok {
+					break
+				}
+				cur = p
+			}
+			if strings.HasPrefix(cur.Track, "rank") {
+				linked++
+			}
+		}
+		guard(serverSpans > 0, "no server spans in the trace")
+		guard(linked > 0, "no server span links back to a client op")
+		var buf bytes.Buffer
+		if err := tr.WriteChromeSorted(&buf); err != nil {
+			guard(false, "trace export: %v", err)
+		}
+		guard(json.Valid(buf.Bytes()), "trace export is not valid JSON")
+		report.TraceSpans = len(spans)
+		if !smoke && tracePath != "" {
+			if err := os.WriteFile(tracePath, buf.Bytes(), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "dtbench: %v\n", err)
+				os.Exit(1)
+			}
+			report.TraceFile = tracePath
+			fmt.Printf("\nwrote %s (%d spans)\n", tracePath, len(spans))
+		}
+	}
+
+	if fail {
+		os.Exit(1)
+	}
+	if smoke {
+		fmt.Println("\npr5 smoke OK")
+		return
+	}
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dtbench: %v\n", err)
+		os.Exit(1)
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(jsonPath, out, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "dtbench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n\n", jsonPath)
+}

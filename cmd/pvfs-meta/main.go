@@ -3,13 +3,17 @@
 //
 // Usage:
 //
-//	pvfs-meta -addr :7000 -servers 4 -lease 30s
+//	pvfs-meta -addr :7000 -servers 4 -lease 30s -http :8000
+//
+// With -http, a debug listener serves /metrics (Prometheus text, lock
+// manager gauges), /healthz, /debug/vars, and /debug/pprof.
 package main
 
 import (
 	"flag"
 	"log"
 
+	"dtio/internal/metrics"
 	"dtio/internal/pvfs"
 	"dtio/internal/transport"
 )
@@ -19,12 +23,34 @@ func main() {
 	servers := flag.Int("servers", 4, "number of I/O servers in the cluster")
 	lease := flag.Duration("lease", pvfs.DefaultLeaseTimeout,
 		"byte-range lock lease; held locks are reclaimed after this long (0 = never)")
+	httpAddr := flag.String("http", "", "debug listener address (/metrics, /healthz, /debug/pprof); empty: off")
 	flag.Parse()
 	if *servers <= 0 {
 		log.Fatal("pvfs-meta: -servers must be positive")
 	}
 	m := pvfs.NewMetaServer(transport.NewTCPNetwork(), *addr, *servers)
 	m.LeaseTimeout = *lease
+	if *httpAddr != "" {
+		reg := metrics.NewRegistry()
+		reg.Gauge("pvfs_meta_locks_held", "byte-range locks currently held",
+			func() int64 { return int64(m.LockStats().Held) })
+		reg.Gauge("pvfs_meta_locks_queued", "lock requests currently waiting",
+			func() int64 { return int64(m.LockStats().Queued) })
+		reg.Gauge("pvfs_meta_lock_acquires", "lock acquisitions accepted",
+			func() int64 { return m.LockStats().Acquires })
+		reg.Gauge("pvfs_meta_lock_waits", "acquisitions that had to queue",
+			func() int64 { return m.LockStats().Waits })
+		reg.Gauge("pvfs_meta_lock_wait_ns", "total queued time of completed waits",
+			func() int64 { return int64(m.LockStats().WaitTime) })
+		reg.Gauge("pvfs_meta_lock_expired", "leases reclaimed by the watchdog",
+			func() int64 { return m.LockStats().Expired })
+		metrics.PublishExpvar("pvfs_meta", reg)
+		lis, err := metrics.ServeDebug(*httpAddr, reg)
+		if err != nil {
+			log.Fatalf("pvfs-meta: debug listener: %v", err)
+		}
+		log.Printf("pvfs-meta: debug listener on %s", lis.Addr())
+	}
 	log.Printf("pvfs-meta: serving namespace for %d I/O servers on %s", *servers, *addr)
 	if err := m.Serve(transport.NewRealEnv()); err != nil {
 		log.Fatalf("pvfs-meta: %v", err)

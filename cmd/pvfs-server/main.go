@@ -3,9 +3,12 @@
 //
 // Usage:
 //
-//	pvfs-server -addr :7001 -index 0 -data /var/pvfs/0
+//	pvfs-server -addr :7001 -index 0 -data /var/pvfs/0 -http :8001
 //
-// With -data "", objects live in memory.
+// With -data "", objects live in memory. With -http, a debug listener
+// serves /metrics (Prometheus text), /healthz, /debug/vars, and
+// /debug/pprof. With -trace, a Chrome trace-event JSON of every request
+// span is written on SIGINT/SIGTERM.
 package main
 
 import (
@@ -13,10 +16,15 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 
+	"dtio/internal/iostats"
+	"dtio/internal/metrics"
 	"dtio/internal/pvfs"
 	"dtio/internal/storage"
+	"dtio/internal/trace"
 	"dtio/internal/transport"
 )
 
@@ -28,6 +36,8 @@ func main() {
 		"disk scheduler read gap-merge threshold in bytes (0: merge adjacent runs only)")
 	noSched := flag.Bool("nodisksched", false,
 		"dispatch each request's physical runs in arrival order, uncoalesced")
+	httpAddr := flag.String("http", "", "debug listener address (/metrics, /healthz, /debug/pprof); empty: off")
+	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON here on SIGINT/SIGTERM; empty: off")
 	flag.Parse()
 	if *index < 0 {
 		log.Fatal("pvfs-server: -index must be non-negative")
@@ -38,6 +48,45 @@ func main() {
 	s := pvfs.NewServer(transport.NewTCPNetwork(), *addr, *index, pvfs.CostModel{})
 	s.SieveGapBytes = *sieveGap
 	s.DisableDiskSched = *noSched
+	s.Stats = &iostats.Stats{}
+	s.Metrics = &pvfs.ServerMetrics{}
+	if *httpAddr != "" {
+		reg := metrics.NewRegistry()
+		reg.Hist("pvfs_server_read_latency", "read request service time", &s.Metrics.ReadLat)
+		reg.Hist("pvfs_server_write_latency", "write request service time", &s.Metrics.WriteLat)
+		reg.Gauge("pvfs_server_replays", "requests answered from the replay cache",
+			func() int64 { return s.Metrics.Replays.Value() })
+		metrics.RegisterIOStats(reg, "pvfs_server", s.Stats.Snapshot)
+		metrics.PublishExpvar("pvfs_server", reg)
+		lis, err := metrics.ServeDebug(*httpAddr, reg)
+		if err != nil {
+			log.Fatalf("pvfs-server: debug listener: %v", err)
+		}
+		log.Printf("pvfs-server %d: debug listener on %s", *index, lis.Addr())
+	}
+	if *traceOut != "" {
+		tr := trace.New()
+		s.Tracer = tr
+		out := *traceOut
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		go func() {
+			<-sig
+			f, err := os.Create(out)
+			if err == nil {
+				err = tr.WriteChromeSorted(f)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				log.Printf("pvfs-server: write trace: %v", err)
+				os.Exit(1)
+			}
+			log.Printf("pvfs-server %d: wrote %d spans to %s", *index, tr.Len(), out)
+			os.Exit(0)
+		}()
+	}
 	if *dataDir != "" {
 		if err := os.MkdirAll(*dataDir, 0o755); err != nil {
 			log.Fatalf("pvfs-server: %v", err)

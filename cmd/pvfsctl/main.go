@@ -13,6 +13,7 @@
 //	stat <name>             print file size and layout
 //	put <local> <name>      copy a local file in
 //	get <name> <local>      copy a file out
+//	stats [idx]             print I/O server latency/cache stats (all, or just idx)
 //	stall <idx> <dur>       freeze I/O server idx for dur (e.g. 500ms)
 //	crash <idx> <down>      fail-stop I/O server idx; it restarts after down
 //	degrade <idx> <pct>     scale server idx's disk time to pct% (100 restores)
@@ -46,7 +47,8 @@ func main() {
 		os.Exit(2)
 	}
 	env := transport.NewRealEnv()
-	client := pvfs.NewClient(transport.NewTCPNetwork(), *meta, strings.Split(*ioServers, ","), pvfs.CostModel{})
+	ioList := strings.Split(*ioServers, ",")
+	client := pvfs.NewClient(transport.NewTCPNetwork(), *meta, ioList, pvfs.CostModel{})
 	// A fault shell needs to survive the faults it injects: retries for
 	// put/get against a stalled or restarting server, and a receive
 	// deadline so admin verbs don't hang on a frozen daemon.
@@ -126,6 +128,23 @@ func main() {
 			off += n
 		}
 		fmt.Printf("get %s -> %s (%d bytes)\n", args[1], args[2], size)
+	case "stats":
+		idxs := make([]int, 0, len(ioList))
+		if len(args) >= 2 {
+			idxs = append(idxs, serverIdx(args[1]))
+		} else {
+			for i := range ioList {
+				idxs = append(idxs, i)
+			}
+		}
+		for _, i := range idxs {
+			snap, err := client.FetchStats(env, i)
+			fail(err)
+			fmt.Printf("server %d: %d reqs, p50/p95/p99 %d/%d/%d us, %d replays, loop cache %d hit / %d miss\n",
+				snap.Server, snap.Lat.Count, snap.P50Us, snap.P95Us, snap.P99Us,
+				snap.Replays, snap.CacheHits, snap.CacheMisses)
+			fmt.Printf("  %s\n", snap.IOStats)
+		}
 	case "stall":
 		need(args, 3)
 		d, err := time.ParseDuration(args[2])

@@ -12,10 +12,12 @@ import (
 	"dtio/internal/fault"
 	"dtio/internal/iostats"
 	"dtio/internal/locks"
+	"dtio/internal/metrics"
 	"dtio/internal/mpi"
 	"dtio/internal/mpiio"
 	"dtio/internal/pvfs"
 	"dtio/internal/storage"
+	"dtio/internal/trace"
 	"dtio/internal/transport"
 	"dtio/internal/vtime"
 )
@@ -67,6 +69,10 @@ type Config struct {
 	// retries (single attempt, blocking receives), matching fault-free
 	// behavior exactly.
 	Retry pvfs.RetryPolicy
+	// Trace, when non-nil, records every rank's operation spans and
+	// every server's request/disk/stream spans (plus meta lock waits)
+	// into one tracer, linked across the wire, for Chrome export.
+	Trace *trace.Tracer
 }
 
 // DefaultConfig is the paper's testbed: 16 I/O servers, 64 KiB strips,
@@ -97,9 +103,13 @@ type Rank struct {
 }
 
 // TimePhase runs work between two barriers and records the window (rank
-// 0's measurement defines it, as is conventional).
+// 0's measurement defines it, as is conventional). Each rank's op
+// latency histogram resets at the first barrier, so reported quantiles
+// cover the timed phase only (the rank has issued nothing yet between
+// the barriers, so resetting its own histogram cannot race).
 func (r *Rank) TimePhase(work func() error) error {
 	r.Comm.Barrier(r.Env)
+	r.c.opLats[r.ID].Reset()
 	start := r.Env.Now()
 	err := work()
 	r.Comm.Barrier(r.Env)
@@ -140,7 +150,13 @@ type Result struct {
 	// per client and per frame rounds small counts to zero, and a
 	// fault can land in setup as easily as in the timed phase.
 	Total iostats.Snapshot
-	Err   error
+	// Lat is the client operation latency distribution over the timed
+	// phase, merged across ranks; SrvLat is the servers' per-request
+	// service-time distribution over the whole run, merged across
+	// servers. Quantiles() on either yields p50/p95/p99.
+	Lat    metrics.HistSnapshot
+	SrvLat metrics.HistSnapshot
+	Err    error
 }
 
 // BandwidthMBs reports aggregate bandwidth in MB/s (10^6 bytes, as the
@@ -170,6 +186,8 @@ type Cluster struct {
 	winStart, winEnd time.Duration
 	stats            []*iostats.Stats
 	diskStats        *iostats.Stats // shared by all servers' disk schedulers
+	opLats           []*metrics.Histogram    // per-rank client op latency
+	srvMetrics       []*pvfs.ServerMetrics   // per-server request metrics
 	totals           iostats.Snapshot
 	errs             []error
 
@@ -192,7 +210,11 @@ func NewCluster(cfg Config) *Cluster {
 		sched:     vtime.New(),
 		stats:     make([]*iostats.Stats, cfg.Clients),
 		diskStats: &iostats.Stats{},
+		opLats:    make([]*metrics.Histogram, cfg.Clients),
 		errs:      make([]error, cfg.Clients),
+	}
+	for i := range c.opLats {
+		c.opLats[i] = &metrics.Histogram{}
 	}
 	c.net = transport.NewSimNet(c.sched, cfg.SimCfg)
 
@@ -204,6 +226,7 @@ func NewCluster(cfg Config) *Cluster {
 	c.metaAddr = transport.Addr(serverNodes[0], "meta")
 	c.meta = pvfs.NewMetaServer(c.net, c.metaAddr, cfg.Servers)
 	c.meta.LeaseTimeout = cfg.LeaseTimeout
+	c.meta.Tracer = cfg.Trace
 	c.net.Spawn("meta", serverNodes[0], func(env transport.Env) {
 		c.meta.Serve(env)
 	})
@@ -219,6 +242,9 @@ func NewCluster(cfg Config) *Cluster {
 		srv.DisableDiskSched = cfg.NoDiskSched
 		srv.SieveGapBytes = cfg.SieveGapBytes
 		srv.Stats = c.diskStats
+		srv.Tracer = cfg.Trace
+		srv.Metrics = &pvfs.ServerMetrics{}
+		c.srvMetrics = append(c.srvMetrics, srv.Metrics)
 		if cfg.Discard {
 			srv.NewStore = func(uint64) storage.Store { return storage.NewDiscard() }
 		}
@@ -290,6 +316,9 @@ func (c *Cluster) Run(fn func(r *Rank) error) (time.Duration, iostats.Snapshot, 
 			fs.Retry = retry
 			fs.StreamChunkBytes = c.cfg.SimCfg.ChunkBytes
 			fs.DisableStreaming = c.cfg.NoStreaming
+			fs.Tracer = c.cfg.Trace
+			fs.TraceTrack = fmt.Sprintf("rank%d", id)
+			fs.OpLat = c.opLats[id]
 			defer fs.Close()
 			r := &Rank{
 				ID:    id,
@@ -340,6 +369,35 @@ func (c *Cluster) LockStats() locks.Stats { return c.meta.LockStats() }
 // DiskStats snapshots the disk-scheduler counters summed over all
 // servers (call after Run). Only the disk fields are populated.
 func (c *Cluster) DiskStats() iostats.Snapshot { return c.diskStats.Snapshot() }
+
+// ClientLat merges every rank's op-latency histogram (timed phase only;
+// see TimePhase). Call after Run.
+func (c *Cluster) ClientLat() metrics.HistSnapshot {
+	var s metrics.HistSnapshot
+	for _, h := range c.opLats {
+		s = s.Add(h.Snapshot())
+	}
+	return s
+}
+
+// ServerLat merges every I/O server's request service-time histogram
+// (whole run, reads and writes). Call after Run.
+func (c *Cluster) ServerLat() metrics.HistSnapshot {
+	var s metrics.HistSnapshot
+	for _, m := range c.srvMetrics {
+		s = s.Add(m.Lat())
+	}
+	return s
+}
+
+// ServerReplays sums the servers' replay-suppression counters.
+func (c *Cluster) ServerReplays() int64 {
+	var n int64
+	for _, m := range c.srvMetrics {
+		n += m.Replays.Value()
+	}
+	return n
+}
 
 // FaultStats reports what the injector actually did over the run (all
 // zeros when no fault plan was configured).

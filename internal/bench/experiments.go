@@ -83,6 +83,8 @@ func TileRead(cfg Config, tile workloads.TileConfig, method mpiio.Method, frames
 	res.PerClient = per
 	res.Disk = cl.DiskStats()
 	res.Util = cl.Utilization()
+	res.Lat = cl.ClientLat()
+	res.SrvLat = cl.ServerLat()
 	res.Fault = cl.FaultStats()
 	res.Total = cl.TotalStats()
 	res.Locks = cl.LockStats()
@@ -188,6 +190,8 @@ func TileWrite(cfg Config, tile workloads.TileConfig, method mpiio.Method, frame
 	res.PerClient = per
 	res.Disk = cl.DiskStats()
 	res.Util = cl.Utilization()
+	res.Lat = cl.ClientLat()
+	res.SrvLat = cl.ServerLat()
 	res.Fault = cl.FaultStats()
 	res.Total = cl.TotalStats()
 	res.Locks = cl.LockStats()
@@ -269,6 +273,8 @@ func LockContention(cfg Config, writers int, stripe int64, rows int) Result {
 	res.PerClient = per
 	res.Disk = cl.DiskStats()
 	res.Util = cl.Utilization()
+	res.Lat = cl.ClientLat()
+	res.SrvLat = cl.ServerLat()
 	res.Fault = cl.FaultStats()
 	res.Total = cl.TotalStats()
 	res.Locks = cl.LockStats()
@@ -379,6 +385,8 @@ func Block3D(cfg Config, b3 workloads.Block3DConfig, method mpiio.Method, write 
 	res.PerClient = per
 	res.Disk = cl.DiskStats()
 	res.Util = cl.Utilization()
+	res.Lat = cl.ClientLat()
+	res.SrvLat = cl.ServerLat()
 	res.Fault = cl.FaultStats()
 	res.Total = cl.TotalStats()
 	res.Locks = cl.LockStats()
@@ -444,6 +452,8 @@ func Flash(cfg Config, fc workloads.FlashConfig, method mpiio.Method) Result {
 	res.PerClient = per
 	res.Disk = cl.DiskStats()
 	res.Util = cl.Utilization()
+	res.Lat = cl.ClientLat()
+	res.SrvLat = cl.ServerLat()
 	res.Fault = cl.FaultStats()
 	res.Total = cl.TotalStats()
 	res.Locks = cl.LockStats()
@@ -497,6 +507,8 @@ func AdjacentBlocks(cfg Config, nBlocks int, blockSize int64, noCoalesce bool) R
 	res.PerClient = per
 	res.Disk = cl.DiskStats()
 	res.Util = cl.Utilization()
+	res.Lat = cl.ClientLat()
+	res.SrvLat = cl.ServerLat()
 	res.Fault = cl.FaultStats()
 	res.Total = cl.TotalStats()
 	res.Bytes = 2 * perClient * int64(res.Clients)

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Stats accumulates one client's counters. All methods are safe for
@@ -223,7 +224,20 @@ func MB(n int64) string {
 }
 
 func (s Snapshot) String() string {
-	return fmt.Sprintf("desired=%s accessed=%s ops=%d wire=%d req=%s resent=%s",
+	str := fmt.Sprintf("desired=%s accessed=%s ops=%d wire=%d req=%s resent=%s",
 		MB(s.DesiredBytes), MB(s.AccessedBytes), s.IOOps, s.WireMsgs,
 		MB(s.ReqBytes), MB(s.ResentBytes))
+	// Subsystem counters print only when active, so seed-era workloads
+	// keep their short table rows.
+	if s.LockWaits != 0 || s.LockWaitNs != 0 {
+		str += fmt.Sprintf(" lockwaits=%d lockwait=%s", s.LockWaits, time.Duration(s.LockWaitNs))
+	}
+	if s.DiskOps != 0 || s.DiskOpsMerged != 0 || s.SeekBytes != 0 {
+		str += fmt.Sprintf(" diskops=%d merged=%d seek=%s", s.DiskOps, s.DiskOpsMerged, MB(s.SeekBytes))
+	}
+	if s.Retries != 0 || s.Timeouts != 0 || s.ReplayedBytes != 0 || s.FailoverNs != 0 {
+		str += fmt.Sprintf(" retries=%d timeouts=%d replayed=%s failover=%s",
+			s.Retries, s.Timeouts, MB(s.ReplayedBytes), time.Duration(s.FailoverNs))
+	}
+	return str
 }

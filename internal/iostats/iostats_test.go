@@ -92,4 +92,26 @@ func TestSnapshotString(t *testing.T) {
 	if !strings.Contains(str, "ops=5") || !strings.Contains(str, "1.00 MB") {
 		t.Fatalf("string: %q", str)
 	}
+	// Subsystem counters stay out of quiet snapshots...
+	for _, absent := range []string{"lockwaits", "diskops", "retries"} {
+		if strings.Contains(str, absent) {
+			t.Fatalf("quiet snapshot mentions %q: %q", absent, str)
+		}
+	}
+	// ...and all appear once their subsystems were exercised.
+	full := Snapshot{
+		IOOps: 1, LockWaits: 2, LockWaitNs: 3e6,
+		DiskOps: 40, DiskOpsMerged: 10, SeekBytes: 4096,
+		Retries: 5, Timeouts: 1, ReplayedBytes: 2048, FailoverNs: 7e6,
+	}
+	fs := full.String()
+	for _, want := range []string{
+		"lockwaits=2", "lockwait=3ms",
+		"diskops=40", "merged=10", "seek=4.00 KB",
+		"retries=5", "timeouts=1", "replayed=2.00 KB", "failover=7ms",
+	} {
+		if !strings.Contains(fs, want) {
+			t.Fatalf("missing %q in %q", want, fs)
+		}
+	}
 }

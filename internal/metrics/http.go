@@ -1,0 +1,91 @@
+package metrics
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+
+	"dtio/internal/iostats"
+)
+
+// DebugMux builds the -http debug listener's handler: /metrics
+// (Prometheus text), /healthz, /debug/vars (expvar), and /debug/pprof.
+// Handlers are registered on a private mux so multiple daemons in one
+// process (tests) never collide on http.DefaultServeMux.
+func DebugMux(reg *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// ServeDebug starts the debug listener on addr and serves until the
+// process exits, returning the bound listener (so callers can report
+// the ephemeral port for addr ":0").
+func ServeDebug(addr string, reg *Registry) (net.Listener, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	go http.Serve(lis, DebugMux(reg))
+	return lis, nil
+}
+
+// RegisterIOStats exposes every iostats counter as a prefix_* gauge
+// sampled from fn at scrape time.
+func RegisterIOStats(reg *Registry, prefix string, fn func() iostats.Snapshot) {
+	g := func(name, help string, pick func(iostats.Snapshot) int64) {
+		reg.Gauge(prefix+"_"+name, help, func() int64 { return pick(fn()) })
+	}
+	g("desired_bytes", "bytes the application asked for", func(s iostats.Snapshot) int64 { return s.DesiredBytes })
+	g("accessed_bytes", "bytes actually moved to/from storage", func(s iostats.Snapshot) int64 { return s.AccessedBytes })
+	g("io_ops", "I/O requests issued", func(s iostats.Snapshot) int64 { return s.IOOps })
+	g("wire_msgs", "wire messages sent", func(s iostats.Snapshot) int64 { return s.WireMsgs })
+	g("req_bytes", "request descriptor bytes on the wire", func(s iostats.Snapshot) int64 { return s.ReqBytes })
+	g("resent_bytes", "payload bytes resent by retries", func(s iostats.Snapshot) int64 { return s.ResentBytes })
+	g("lock_waits", "lock acquisitions that waited", func(s iostats.Snapshot) int64 { return s.LockWaits })
+	g("lock_wait_ns", "total time spent waiting for locks", func(s iostats.Snapshot) int64 { return s.LockWaitNs })
+	g("regions", "noncontiguous regions processed", func(s iostats.Snapshot) int64 { return s.Regions })
+	g("disk_ops", "disk operations dispatched", func(s iostats.Snapshot) int64 { return s.DiskOps })
+	g("disk_ops_merged", "disk operations merged away by the scheduler", func(s iostats.Snapshot) int64 { return s.DiskOpsMerged })
+	g("seek_bytes", "disk head travel charged by the seek model", func(s iostats.Snapshot) int64 { return s.SeekBytes })
+	g("retries", "request retries", func(s iostats.Snapshot) int64 { return s.Retries })
+	g("timeouts", "request timeouts", func(s iostats.Snapshot) int64 { return s.Timeouts })
+	g("replayed_bytes", "duplicate write bytes suppressed by replay dedup", func(s iostats.Snapshot) int64 { return s.ReplayedBytes })
+	g("failover_ns", "time spent failing over to retries", func(s iostats.Snapshot) int64 { return s.FailoverNs })
+}
+
+// PublishExpvar mirrors the registry's gauges into the process-global
+// expvar namespace under name (idempotent per name; later calls with a
+// duplicate name are ignored, matching expvar semantics).
+func PublishExpvar(name string, reg *Registry) {
+	if expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any {
+		reg.mu.Lock()
+		out := make(map[string]int64, len(reg.gauges))
+		fns := make(map[string]func() int64, len(reg.gauges))
+		for n, f := range reg.gauges {
+			fns[n] = f
+		}
+		reg.mu.Unlock()
+		for n, f := range fns {
+			out[n] = f()
+		}
+		return out
+	}))
+}

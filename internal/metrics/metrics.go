@@ -1,0 +1,294 @@
+// Package metrics provides fixed-bucket latency histograms and
+// counter/gauge registries for live server introspection. Recording is
+// lock-free (atomics only, no allocation) so histograms can sit on I/O
+// hot paths; snapshots are plain structs that merge across servers and
+// serialize to JSON, and a Registry renders everything as Prometheus
+// text exposition for the -http debug listener.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// NumBuckets is the fixed bucket count: bucket i holds samples in
+// (2^(i-1)µs, 2^i µs] (bucket 0 holds everything ≤ 1µs), spanning 1µs
+// to ~2.3 hours; the last bucket is the overflow.
+const NumBuckets = 34
+
+// bucketOf maps a duration to its bucket index.
+func bucketOf(d time.Duration) int {
+	us := (int64(d) + 999) / 1e3 // ceil: sub-µs remainders push upward
+	if us <= 1 {
+		return 0
+	}
+	b := bits.Len64(uint64(us - 1)) // ceil(log2(us))
+	if b >= NumBuckets {
+		return NumBuckets - 1
+	}
+	return b
+}
+
+// BucketUpperBound reports bucket i's inclusive upper bound; the last
+// bucket reports -1 (unbounded, Prometheus le="+Inf").
+func BucketUpperBound(i int) time.Duration {
+	if i >= NumBuckets-1 {
+		return -1
+	}
+	return time.Duration(int64(1)<<uint(i)) * time.Microsecond
+}
+
+// Histogram is a fixed-bucket latency histogram safe for concurrent
+// use. The zero value is ready. Observe is allocation-free.
+type Histogram struct {
+	buckets [NumBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64 // ns
+}
+
+// Observe records one latency sample.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	h.buckets[bucketOf(d)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(int64(d))
+}
+
+// Reset zeroes the histogram. Not atomic with respect to concurrent
+// Observe calls; callers quiesce recording first (bench does this at
+// phase barriers).
+func (h *Histogram) Reset() {
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+	h.count.Store(0)
+	h.sum.Store(0)
+}
+
+// Snapshot captures the current state.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	if h == nil {
+		return s
+	}
+	for i := range h.buckets {
+		s.Counts[i] = h.buckets[i].Load()
+	}
+	s.Count = h.count.Load()
+	s.SumNs = h.sum.Load()
+	return s
+}
+
+// HistSnapshot is an immutable histogram copy: mergeable across servers
+// or ranks and JSON-serializable into bench results.
+type HistSnapshot struct {
+	Count  int64             `json:"count"`
+	SumNs  int64             `json:"sum_ns"`
+	Counts [NumBuckets]int64 `json:"buckets"`
+}
+
+// Add merges o into a copy of s.
+func (s HistSnapshot) Add(o HistSnapshot) HistSnapshot {
+	s.Count += o.Count
+	s.SumNs += o.SumNs
+	for i := range s.Counts {
+		s.Counts[i] += o.Counts[i]
+	}
+	return s
+}
+
+// Mean reports the average sample, 0 if empty.
+func (s HistSnapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return time.Duration(s.SumNs / s.Count)
+}
+
+// Quantile estimates the q-th quantile (0 < q <= 1) by linear
+// interpolation within the holding bucket. Returns 0 on an empty
+// histogram. The overflow bucket reports its lower bound.
+func (s HistSnapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum int64
+	for i, c := range s.Counts {
+		if c == 0 {
+			continue
+		}
+		if float64(cum+c) >= rank {
+			hi := BucketUpperBound(i)
+			var lo time.Duration
+			if i > 0 {
+				lo = BucketUpperBound(i - 1)
+			}
+			if hi < 0 { // overflow bucket: no upper bound to interpolate to
+				return lo
+			}
+			frac := (rank - float64(cum)) / float64(c)
+			if frac < 0 {
+				frac = 0
+			}
+			return lo + time.Duration(frac*float64(hi-lo))
+		}
+		cum += c
+	}
+	return BucketUpperBound(NumBuckets - 2)
+}
+
+// Quantiles is a convenience for the common p50/p95/p99 triple.
+func (s HistSnapshot) Quantiles() (p50, p95, p99 time.Duration) {
+	return s.Quantile(0.50), s.Quantile(0.95), s.Quantile(0.99)
+}
+
+// Counter is an atomic monotonically-increasing counter.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value reports the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Registry names metrics for the Prometheus text endpoint. Gauges are
+// functions sampled at render time, which is how iostats counters are
+// exposed without double bookkeeping. Registration order does not
+// matter: output is sorted by name for deterministic scrapes.
+type Registry struct {
+	mu     sync.Mutex
+	gauges map[string]func() int64
+	hists  map[string]*Histogram
+	help   map[string]string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		gauges: make(map[string]func() int64),
+		hists:  make(map[string]*Histogram),
+		help:   make(map[string]string),
+	}
+}
+
+// Gauge registers fn under name (rendered as an untyped metric).
+func (r *Registry) Gauge(name, help string, fn func() int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.gauges[name] = fn
+	r.help[name] = help
+	r.mu.Unlock()
+}
+
+// Hist registers h under name (rendered as a Prometheus histogram with
+// seconds-valued le labels).
+func (r *Registry) Hist(name, help string, h *Histogram) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.hists[name] = h
+	r.help[name] = help
+	r.mu.Unlock()
+}
+
+// WritePrometheus renders all metrics in text exposition format.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	gnames := make([]string, 0, len(r.gauges))
+	for n := range r.gauges {
+		gnames = append(gnames, n)
+	}
+	hnames := make([]string, 0, len(r.hists))
+	for n := range r.hists {
+		hnames = append(hnames, n)
+	}
+	gauges := make(map[string]func() int64, len(r.gauges))
+	for n, f := range r.gauges {
+		gauges[n] = f
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for n, h := range r.hists {
+		hists[n] = h
+	}
+	help := make(map[string]string, len(r.help))
+	for n, h := range r.help {
+		help[n] = h
+	}
+	r.mu.Unlock()
+	sort.Strings(gnames)
+	sort.Strings(hnames)
+
+	for _, n := range gnames {
+		if h := help[n]; h != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", n, h); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", n, n, gauges[n]()); err != nil {
+			return err
+		}
+	}
+	for _, n := range hnames {
+		s := hists[n].Snapshot()
+		if h := help[n]; h != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", n, h); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", n); err != nil {
+			return err
+		}
+		var cum int64
+		for i := 0; i < NumBuckets; i++ {
+			cum += s.Counts[i]
+			ub := BucketUpperBound(i)
+			if ub < 0 {
+				continue // folded into +Inf below
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d\n", n, ub.Seconds(), cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", n, s.Count); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %g\n%s_count %d\n",
+			n, time.Duration(s.SumNs).Seconds(), n, s.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}

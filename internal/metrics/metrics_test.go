@@ -1,0 +1,304 @@
+package metrics
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dtio/internal/iostats"
+)
+
+func TestEmptyHistogram(t *testing.T) {
+	var h Histogram
+	s := h.Snapshot()
+	if s.Count != 0 || s.SumNs != 0 {
+		t.Fatalf("empty snapshot %+v", s)
+	}
+	if s.Quantile(0.5) != 0 || s.Quantile(0.99) != 0 || s.Mean() != 0 {
+		t.Fatal("empty histogram quantiles nonzero")
+	}
+	var nilH *Histogram
+	nilH.Observe(time.Second) // must not panic
+	if nilH.Snapshot().Count != 0 {
+		t.Fatal("nil histogram recorded")
+	}
+}
+
+func TestSingleSample(t *testing.T) {
+	var h Histogram
+	h.Observe(100 * time.Microsecond)
+	s := h.Snapshot()
+	if s.Count != 1 || s.SumNs != int64(100*time.Microsecond) {
+		t.Fatalf("snapshot %+v", s)
+	}
+	// 100µs lands in bucket (64µs, 128µs]; every quantile interpolates
+	// inside that bucket.
+	for _, q := range []float64{0.01, 0.5, 0.95, 0.99, 1} {
+		got := s.Quantile(q)
+		if got <= 64*time.Microsecond || got > 128*time.Microsecond {
+			t.Fatalf("q=%v got %v, want in (64µs,128µs]", q, got)
+		}
+	}
+	if s.Mean() != 100*time.Microsecond {
+		t.Fatalf("mean %v", s.Mean())
+	}
+}
+
+func TestBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 0},
+		{time.Nanosecond, 0},
+		{time.Microsecond, 0},     // exactly 1µs stays in bucket 0
+		{time.Microsecond + 1, 1}, // just over
+		{2 * time.Microsecond, 1}, // upper bound inclusive
+		{2*time.Microsecond + 1, 2},
+		{4 * time.Microsecond, 2},
+		{1024 * time.Microsecond, 10},
+		{1025 * time.Microsecond, 11},
+		{24 * time.Hour, NumBuckets - 1}, // overflow bucket
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.d); got != c.want {
+			t.Errorf("bucketOf(%v)=%d want %d", c.d, got, c.want)
+		}
+	}
+	// Negative durations are clamped, not panics.
+	var h Histogram
+	h.Observe(-time.Second)
+	if h.Snapshot().Counts[0] != 1 {
+		t.Fatal("negative sample not clamped to bucket 0")
+	}
+}
+
+func TestQuantileMonotone(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 1000; i++ {
+		h.Observe(time.Duration(i) * 10 * time.Microsecond)
+	}
+	s := h.Snapshot()
+	p50, p95, p99 := s.Quantiles()
+	if !(p50 > 0 && p50 <= p95 && p95 <= p99) {
+		t.Fatalf("quantiles not monotone: %v %v %v", p50, p95, p99)
+	}
+	// ~uniform 0..10ms: p50 should land within a 2x bucket of 5ms.
+	if p50 < 4*time.Millisecond || p50 > 9*time.Millisecond {
+		t.Fatalf("p50=%v implausible for uniform 0..10ms", p50)
+	}
+}
+
+func TestMergeAcrossServers(t *testing.T) {
+	var a, b Histogram
+	for i := 0; i < 100; i++ {
+		a.Observe(50 * time.Microsecond)
+		b.Observe(800 * time.Microsecond)
+	}
+	m := a.Snapshot().Add(b.Snapshot())
+	if m.Count != 200 {
+		t.Fatalf("merged count %d", m.Count)
+	}
+	if got := m.SumNs; got != int64(100*50*time.Microsecond)+int64(100*800*time.Microsecond) {
+		t.Fatalf("merged sum %d", got)
+	}
+	// The median of the merged distribution sits between the two modes.
+	p50 := m.Quantile(0.5)
+	if p50 <= 50*time.Microsecond || p50 > 1024*time.Microsecond {
+		t.Fatalf("merged p50=%v", p50)
+	}
+	// Merge with an empty snapshot is identity.
+	if a.Snapshot().Add(HistSnapshot{}) != a.Snapshot() {
+		t.Fatal("merge with empty changed snapshot")
+	}
+}
+
+func TestResetAndReuse(t *testing.T) {
+	var h Histogram
+	h.Observe(time.Millisecond)
+	h.Reset()
+	if s := h.Snapshot(); s.Count != 0 || s.SumNs != 0 || s.Counts[bucketOf(time.Millisecond)] != 0 {
+		t.Fatalf("reset left %+v", s)
+	}
+	h.Observe(2 * time.Millisecond)
+	if h.Snapshot().Count != 1 {
+		t.Fatal("post-reset observe lost")
+	}
+}
+
+// TestConcurrentObserve is the -race stress: many writers, concurrent
+// snapshots, exact final totals.
+func TestConcurrentObserve(t *testing.T) {
+	var h Histogram
+	const writers, perWriter = 8, 5000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() { // concurrent reader exercising snapshot-vs-observe races
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				s := h.Snapshot()
+				_ = s.Quantile(0.99)
+			}
+		}
+	}()
+	var writersWG sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		writersWG.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			defer writersWG.Done()
+			for i := 0; i < perWriter; i++ {
+				h.Observe(time.Duration(w*perWriter+i) * time.Microsecond)
+			}
+		}(w)
+	}
+	writersWG.Wait()
+	close(stop)
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != writers*perWriter {
+		t.Fatalf("count %d want %d", s.Count, writers*perWriter)
+	}
+	var bucketSum int64
+	for _, c := range s.Counts {
+		bucketSum += c
+	}
+	if bucketSum != s.Count {
+		t.Fatalf("bucket sum %d != count %d", bucketSum, s.Count)
+	}
+}
+
+func TestObserveAllocFree(t *testing.T) {
+	var h Histogram
+	allocs := testing.AllocsPerRun(200, func() { h.Observe(37 * time.Microsecond) })
+	if allocs != 0 {
+		t.Fatalf("Observe allocates: %v allocs/op", allocs)
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Add(3)
+	c.Add(4)
+	if c.Value() != 7 {
+		t.Fatalf("counter %d", c.Value())
+	}
+	var nilC *Counter
+	nilC.Add(1)
+	if nilC.Value() != 0 {
+		t.Fatal("nil counter")
+	}
+}
+
+func TestPrometheusOutput(t *testing.T) {
+	reg := NewRegistry()
+	var h Histogram
+	h.Observe(3 * time.Microsecond)
+	h.Observe(3 * time.Millisecond)
+	reg.Hist("pvfs_request_latency_seconds", "request latency", &h)
+	reg.Gauge("pvfs_up", "always 1", func() int64 { return 1 })
+	var st iostats.Stats
+	st.AddDisk(4, 2, 1<<20)
+	st.AddRetry()
+	RegisterIOStats(reg, "pvfs_io", st.Snapshot)
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE pvfs_up gauge",
+		"pvfs_up 1",
+		"# TYPE pvfs_request_latency_seconds histogram",
+		`pvfs_request_latency_seconds_bucket{le="+Inf"} 2`,
+		"pvfs_request_latency_seconds_count 2",
+		"pvfs_io_disk_ops 4",
+		"pvfs_io_disk_ops_merged 2",
+		"pvfs_io_seek_bytes 1048576",
+		"pvfs_io_retries 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in output:\n%s", want, out)
+		}
+	}
+	// Cumulative bucket counts must be non-decreasing.
+	last := int64(-1)
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "pvfs_request_latency_seconds_bucket") {
+			continue
+		}
+		var n int64
+		if _, err := fmtSscan(line, &n); err != nil {
+			t.Fatalf("parse %q: %v", line, err)
+		}
+		if n < last {
+			t.Fatalf("bucket counts decreased at %q", line)
+		}
+		last = n
+	}
+	if last != 2 {
+		t.Fatalf("final cumulative bucket %d", last)
+	}
+}
+
+// fmtSscan pulls the trailing integer off a Prometheus sample line.
+func fmtSscan(line string, n *int64) (int, error) {
+	i := strings.LastIndexByte(line, ' ')
+	v, err := parseInt(line[i+1:])
+	*n = v
+	return 1, err
+}
+
+func parseInt(s string) (int64, error) {
+	var v int64
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			return 0, io.ErrUnexpectedEOF
+		}
+		v = v*10 + int64(c-'0')
+	}
+	return v, nil
+}
+
+func TestDebugMuxEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Gauge("up", "", func() int64 { return 1 })
+	lis, err := ServeDebug("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis.Close()
+	base := "http://" + lis.Addr().String()
+	get := func(path string) (int, string) {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(b)
+	}
+	if code, body := get("/healthz"); code != 200 || !strings.Contains(body, "ok") {
+		t.Fatalf("healthz %d %q", code, body)
+	}
+	if code, body := get("/metrics"); code != 200 || !strings.Contains(body, "up 1") {
+		t.Fatalf("metrics %d %q", code, body)
+	}
+	if code, _ := get("/debug/vars"); code != 200 {
+		t.Fatalf("expvar %d", code)
+	}
+	if code, _ := get("/debug/pprof/"); code != 200 {
+		t.Fatalf("pprof index %d", code)
+	}
+}

@@ -3,6 +3,7 @@ package pvfs
 import (
 	crand "crypto/rand"
 	"encoding/binary"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"sync/atomic"
@@ -12,7 +13,9 @@ import (
 	"dtio/internal/datatype"
 	"dtio/internal/flatten"
 	"dtio/internal/iostats"
+	"dtio/internal/metrics"
 	"dtio/internal/striping"
+	"dtio/internal/trace"
 	"dtio/internal/transport"
 	"dtio/internal/wire"
 )
@@ -96,10 +99,20 @@ type Client struct {
 	// leaves it reliable.
 	Retry RetryPolicy
 
-	id   uint64        // request-tag client id
-	seq  atomic.Uint64 // request-tag sequence counter
-	meta transport.Conn
-	conns []transport.Conn
+	// Tracer records operation/attempt spans; nil disables tracing (the
+	// nil checks are the whole disabled-mode cost).
+	Tracer *trace.Tracer
+	// TraceTrack is this client's span track label ("" = "client").
+	TraceTrack string
+	// OpLat observes whole-operation latency, one sample per logical
+	// read/write op; nil disables.
+	OpLat *metrics.Histogram
+
+	id     uint64        // request-tag client id
+	seq    atomic.Uint64 // request-tag sequence counter
+	meta   transport.Conn
+	conns  []transport.Conn
+	opSpan *trace.Span // current operation's span (single logical thread)
 }
 
 // NewClient prepares a client for a cluster. Connections are established
@@ -117,9 +130,56 @@ func NewClient(net transport.Network, metaAddr string, serverAddrs []string, cos
 
 // tag allocates the request tag for one logical operation. Every request
 // the operation sends (one per involved server) shares it; a new batch
-// of requests gets a new tag.
+// of requests gets a new tag. The current op span rides along so server
+// spans parent back to it.
 func (c *Client) tag() wire.ReqTag {
-	return wire.ReqTag{Client: c.id, Seq: c.seq.Add(1)}
+	return wire.ReqTag{Client: c.id, Seq: c.seq.Add(1), Span: uint64(c.opSpan.SID())}
+}
+
+func (c *Client) track() string {
+	if c.TraceTrack != "" {
+		return c.TraceTrack
+	}
+	return "client"
+}
+
+// opObs is one operation's observation state, carried by value so the
+// disabled path (nil Tracer and nil OpLat) allocates nothing.
+type opObs struct {
+	sp     *trace.Span
+	start  time.Duration
+	active bool
+}
+
+// beginOp opens the operation span and latency clock. The span becomes
+// the parent for request tags and attempt spans until endOp/clearOp.
+func (c *Client) beginOp(env transport.Env, name string) opObs {
+	if c.Tracer == nil && c.OpLat == nil {
+		return opObs{}
+	}
+	o := opObs{start: env.Now(), active: true}
+	o.sp = c.Tracer.Begin(env, c.track(), name, 0)
+	c.opSpan = o.sp
+	return o
+}
+
+// endOp closes a successful operation: ends the span and records the
+// latency sample. Failed operations skip endOp — their spans export
+// unfinished and no latency is recorded (error latencies would poison
+// the percentiles with timeout ladders).
+func (c *Client) endOp(env transport.Env, o opObs, nbytes int64) {
+	if !o.active {
+		return
+	}
+	o.sp.SetAttr("bytes", nbytes)
+	o.sp.End(env)
+	c.OpLat.Observe(env.Now() - o.start)
+}
+
+// clearOp detaches the operation span (deferred by every instrumented
+// op, so later untraced requests cannot parent to a finished span).
+func (c *Client) clearOp() {
+	c.opSpan = nil
 }
 
 // serverError is a response the server itself produced: the request was
@@ -336,12 +396,17 @@ type FileLock struct {
 // deadlock-free, callers hold at most one lock per file at a time (the
 // discipline mpiio's sieving writes and atomic mode follow).
 func (f *File) Lock(env transport.Env, off, n int64, shared bool) (*FileLock, error) {
+	sp := f.c.Tracer.Begin(env, f.c.track(), "lock", f.c.opSpan.SID())
+	sp.SetAttr("off", off)
+	sp.SetAttr("n", n)
 	g, err := f.c.lockCall(env, wire.EncodeLockAcquire(&wire.LockAcquireReq{
-		Handle: f.handle, Off: off, N: n, Shared: shared,
+		Handle: f.handle, Off: off, N: n, Shared: shared, Span: uint64(sp.SID()),
 	}))
+	sp.End(env)
 	if err != nil {
 		return nil, err
 	}
+	sp.SetAttr("waited_ns", g.WaitedNs)
 	if st := f.c.stats(); st != nil {
 		st.AddLock()
 		st.AddLockWait(g.WaitedNs)
@@ -450,7 +515,11 @@ func (c *Client) exchange(env transport.Env, s int, req []byte, descLen, payLen 
 	backoff := c.Retry.Backoff
 	var firstFail time.Duration
 	for a := 1; ; a++ {
+		asp := c.Tracer.Begin(env, c.track(), "attempt", c.opSpan.SID())
+		asp.SetAttr("server", int64(s))
+		asp.SetAttr("try", int64(a))
 		r, err := c.tryExchange(env, s, req, descLen, seq)
+		asp.End(env)
 		if err == nil {
 			if a > 1 {
 				if st := c.stats(); st != nil {
@@ -687,7 +756,12 @@ func (c *Client) writeStream(env transport.Env, s int, payload, inner []byte, se
 	resume := int64(0)
 	var firstFail time.Duration
 	for a := 1; ; a++ {
+		asp := c.Tracer.Begin(env, c.track(), "write-stream-attempt", c.opSpan.SID())
+		asp.SetAttr("server", int64(s))
+		asp.SetAttr("try", int64(a))
+		asp.SetAttr("resume_seg", resume)
 		next, err := c.tryWriteStream(env, s, payload, inner, seg, window, seq, resume)
+		asp.End(env)
 		if err == nil {
 			if a > 1 {
 				if st := c.stats(); st != nil {
@@ -795,6 +869,8 @@ func (f *File) ReadContig(env transport.Env, off int64, buf []byte) error {
 	if n == 0 {
 		return nil
 	}
+	o := f.c.beginOp(env, "read-contig")
+	defer f.c.clearOp()
 	tag := f.c.tag()
 	servers := f.involvedServers(func(emit func(off, n int64)) { emit(off, n) })
 	reqs := make([][]byte, len(servers))
@@ -826,6 +902,7 @@ func (f *File) ReadContig(env transport.Env, off int64, buf []byte) error {
 		st.AddOps(1)
 		st.AddAccessed(n)
 	}
+	f.c.endOp(env, o, n)
 	return nil
 }
 
@@ -835,6 +912,8 @@ func (f *File) WriteContig(env transport.Env, off int64, data []byte) error {
 	if n == 0 {
 		return nil
 	}
+	o := f.c.beginOp(env, "write-contig")
+	defer f.c.clearOp()
 	servers := f.involvedServers(func(emit func(off, n int64)) { emit(off, n) })
 	payloads := make([][]byte, f.layout.NServers)
 	for _, s := range servers {
@@ -863,6 +942,7 @@ func (f *File) WriteContig(env transport.Env, off int64, data []byte) error {
 		st.AddOps(1)
 		st.AddAccessed(n)
 	}
+	f.c.endOp(env, o, n)
 	return nil
 }
 
@@ -997,6 +1077,9 @@ func (f *File) ReadList(env transport.Env, fileRegions, memRegions []flatten.Reg
 		}
 		return nil
 	}
+	o := f.c.beginOp(env, "read-list")
+	defer f.c.clearOp()
+	o.sp.SetAttr("regions", int64(len(fileRegions)))
 	tag := f.c.tag()
 	perServer := f.splitRegions(fileRegions)
 	var servers []int
@@ -1039,6 +1122,7 @@ func (f *File) ReadList(env transport.Env, fileRegions, memRegions []flatten.Reg
 		st.AddAccessed(total)
 		st.AddRegions(pieces)
 	}
+	f.c.endOp(env, o, total)
 	return nil
 }
 
@@ -1061,6 +1145,9 @@ func (f *File) WriteList(env transport.Env, fileRegions, memRegions []flatten.Re
 		}
 		return nil
 	}
+	o := f.c.beginOp(env, "write-list")
+	defer f.c.clearOp()
+	o.sp.SetAttr("regions", int64(len(fileRegions)))
 	bufs := make([][]byte, f.layout.NServers)
 	pieces, err := f.walkMapped(
 		flatten.NewSliceSource(fileRegions),
@@ -1095,6 +1182,7 @@ func (f *File) WriteList(env transport.Env, fileRegions, memRegions []flatten.Re
 		st.AddAccessed(total)
 		st.AddRegions(pieces)
 	}
+	f.c.endOp(env, o, total)
 	return nil
 }
 
@@ -1151,6 +1239,13 @@ func (f *File) dtypeOp(env transport.Env, a *DtypeAccess, write bool) error {
 	if nbytes == 0 {
 		return nil
 	}
+	name := "read-dtype"
+	if write {
+		name = "write-dtype"
+	}
+	o := f.c.beginOp(env, name)
+	defer f.c.clearOp()
+	o.sp.SetAttr("tiles", tiles)
 	loopBytes := a.FileLoop.Encode(nil)
 	tag := f.c.tag()
 	mkReq := func(s int, data []byte) []byte {
@@ -1200,6 +1295,7 @@ func (f *File) dtypeOp(env transport.Env, a *DtypeAccess, write bool) error {
 			st.AddAccessed(nbytes)
 			st.AddRegions(pieces)
 		}
+		f.c.endOp(env, o, nbytes)
 		return nil
 	}
 	reqs := make([][]byte, len(servers))
@@ -1253,6 +1349,7 @@ func (f *File) dtypeOp(env transport.Env, a *DtypeAccess, write bool) error {
 		st.AddAccessed(nbytes)
 		st.AddRegions(pieces)
 	}
+	f.c.endOp(env, o, nbytes)
 	return nil
 }
 
@@ -1298,40 +1395,61 @@ func (f *File) Truncate(env transport.Env, size int64) error {
 // is followed by the server closing the connection, so the cached conn
 // is dropped.
 func (c *Client) Admin(env transport.Env, s int, op wire.AdminOp, dur time.Duration, factor int64) error {
+	_, err := c.adminCall(env, s, op, dur, factor)
+	return err
+}
+
+// adminCall performs one untagged admin exchange with server s and
+// returns the raw response (whose Data carries the AdminStats payload).
+func (c *Client) adminCall(env transport.Env, s int, op wire.AdminOp, dur time.Duration, factor int64) (*wire.IOResp, error) {
 	if s < 0 || s >= len(c.serverAddrs) {
-		return fmt.Errorf("pvfs: no server %d", s)
+		return nil, fmt.Errorf("pvfs: no server %d", s)
 	}
 	conn, err := c.conn(env, s)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	req := wire.EncodeAdmin(&wire.AdminReq{Op: op, Dur: int64(dur), Factor: factor})
 	if err := conn.Send(env, req); err != nil {
 		c.dropConn(s)
-		return fmt.Errorf("pvfs: admin send to server %d: %w", s, err)
+		return nil, fmt.Errorf("pvfs: admin send to server %d: %w", s, err)
 	}
 	raw, err := transport.RecvTimeout(env, conn, c.Retry.Timeout)
 	if err != nil {
 		c.dropConn(s)
-		return fmt.Errorf("pvfs: admin recv from server %d: %w", s, err)
+		return nil, fmt.Errorf("pvfs: admin recv from server %d: %w", s, err)
 	}
 	_, v, err := wire.DecodeMsg(raw)
 	if err != nil {
 		c.dropConn(s)
-		return err
+		return nil, err
 	}
 	r, ok := v.(*wire.IOResp)
 	if !ok {
 		c.dropConn(s)
-		return errors.New("pvfs: unexpected admin response")
+		return nil, errors.New("pvfs: unexpected admin response")
 	}
 	if op == wire.AdminCrash {
 		c.dropConn(s) // the server closes this conn as it goes down
 	}
 	if !r.OK {
-		return &serverError{s: s, msg: r.Err}
+		return nil, &serverError{s: s, msg: r.Err}
 	}
-	return nil
+	return r, nil
+}
+
+// FetchStats retrieves I/O server s's live introspection snapshot
+// (pvfsctl's stats verb) over the admin path.
+func (c *Client) FetchStats(env transport.Env, s int) (*ServerSnapshot, error) {
+	r, err := c.adminCall(env, s, wire.AdminStats, 0, 0)
+	if err != nil {
+		return nil, err
+	}
+	var snap ServerSnapshot
+	if err := json.Unmarshal(r.Data, &snap); err != nil {
+		return nil, fmt.Errorf("pvfs: server %d stats payload: %w", s, err)
+	}
+	return &snap, nil
 }
 
 // Regions re-exports the flatten region type for list I/O callers.

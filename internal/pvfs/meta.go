@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"dtio/internal/locks"
+	"dtio/internal/trace"
 	"dtio/internal/transport"
 	"dtio/internal/wire"
 )
@@ -41,6 +42,10 @@ type MetaServer struct {
 	// Sleep does not advance Env time, so reclamation happens lazily on
 	// the next lock operation rather than from the watchdog.
 	LeaseTimeout time.Duration
+
+	// Tracer (optional) records lock-wait spans on the "meta" track,
+	// parented to the requesting client op via wire.LockAcquireReq.Span.
+	Tracer *trace.Tracer
 
 	locks *locks.Manager
 
@@ -151,13 +156,21 @@ func (m *MetaServer) handleMsg(env transport.Env, c transport.Conn, owner uint64
 	return resp
 }
 
+// lockCtx is the per-waiter context stored with a queued lock request:
+// the connection to answer on, plus the requesting client op's span ID
+// so the wait can be recorded against it when the grant finally fires.
+type lockCtx struct {
+	conn transport.Conn
+	span trace.SpanID
+}
+
 func (m *MetaServer) lockAcquire(env transport.Env, c transport.Conn, owner uint64, r *wire.LockAcquireReq) []byte {
 	if r.N <= 0 || r.Off < 0 {
 		return wire.EncodeLockGrant(&wire.LockGrant{Err: fmt.Sprintf("bad lock range [%d, +%d)", r.Off, r.N)})
 	}
 	id, granted, wake := m.locks.Acquire(env.Now(), locks.Req{
 		Handle: r.Handle, Off: r.Off, N: r.N, Shared: r.Shared,
-		Owner: owner, Ctx: c,
+		Owner: owner, Ctx: lockCtx{conn: c, span: trace.SpanID(r.Span)},
 	})
 	m.deliver(env, wake)
 	if granted {
@@ -182,11 +195,17 @@ func (m *MetaServer) lockRelease(env transport.Env, owner uint64, r *wire.LockRe
 // vanished waiter's handler cleans up via ReleaseOwner.
 func (m *MetaServer) deliver(env transport.Env, wake []locks.Granted) {
 	for _, g := range wake {
-		c, ok := g.Ctx.(transport.Conn)
+		lc, ok := g.Ctx.(lockCtx)
 		if !ok {
 			continue
 		}
-		c.Send(env, wire.EncodeLockGrant(&wire.LockGrant{
+		if m.Tracer != nil && g.Err == "" && g.Waited > 0 {
+			// The wait's duration is only known at grant time; record it
+			// as a completed span against the requester's op.
+			now := env.Now()
+			m.Tracer.Record("meta", "lock:wait", lc.span, now-g.Waited, now)
+		}
+		lc.conn.Send(env, wire.EncodeLockGrant(&wire.LockGrant{
 			OK: g.Err == "", Err: g.Err, LockID: g.ID, WaitedNs: int64(g.Waited),
 		}))
 	}

@@ -1,0 +1,222 @@
+package pvfs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"dtio/internal/dataloop"
+	"dtio/internal/datatype"
+	"dtio/internal/trace"
+	"dtio/internal/transport"
+	"dtio/internal/wire"
+)
+
+// TestServerReadHotPathAllocsWithMetrics locks in that metrics-only
+// observation (histograms on, tracing off) keeps the dtype read hot
+// path within the same allocation bound as the unobserved path: the
+// observe block is two clock reads and a few atomic adds.
+func TestServerReadHotPathAllocsWithMetrics(t *testing.T) {
+	env := transport.NewRealEnv()
+	s := NewServer(transport.NewMemNetwork(), "x", 0, CostModel{})
+	s.Metrics = &ServerMetrics{}
+	fileTy := datatype.Vector(512, 1, 2, datatype.Int64) // 512 pieces
+	loop := dataloop.FromType(fileTy)
+	req := wire.EncodeDtype(&wire.DtypeReq{
+		Layout: wire.FileLayout{Handle: 1, StripSize: 1 << 20, NServers: 1},
+		Loop:   loop.Encode(nil),
+		Count:  1, NBytes: 512 * 8,
+	}, false)
+	if resp, err := s.handle(env, nil, req); err != nil || resp == nil {
+		t.Fatalf("warmup: resp=%v err=%v", resp, err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		resp, err := s.handle(env, nil, req)
+		if err != nil || resp == nil {
+			t.Fatalf("resp=%v err=%v", resp, err)
+		}
+	})
+	if allocs > 32 {
+		t.Fatalf("metrics-enabled dtype read hot path allocates %.0f per request", allocs)
+	}
+	if got := s.Metrics.ReadLat.Snapshot().Count; got < 50 {
+		t.Fatalf("ReadLat observed %d requests, want >= 50", got)
+	}
+	if got := s.Metrics.WriteLat.Snapshot().Count; got != 0 {
+		t.Fatalf("WriteLat observed %d read requests", got)
+	}
+}
+
+// TestFetchStats drives the AdminStats round trip: real I/O, then a
+// stats fetch whose JSON payload must carry the latency histogram,
+// request counts, and loop-cache state.
+func TestFetchStats(t *testing.T) {
+	tc, c := startStreamCluster(t, 2, 64*1024, 4, func(s *Server) {
+		s.Metrics = &ServerMetrics{}
+	})
+	env := tc.env
+	f, err := c.Create(env, "stats.dat", 4096, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := patterned(10000)
+	if err := f.WriteContig(env, 0, data); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if err := f.ReadContig(env, 0, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("read back mismatch")
+	}
+	for s := 0; s < 2; s++ {
+		snap, err := c.FetchStats(env, s)
+		if err != nil {
+			t.Fatalf("server %d: %v", s, err)
+		}
+		if snap.Server != s {
+			t.Fatalf("server %d reported index %d", s, snap.Server)
+		}
+		if snap.Lat.Count == 0 {
+			t.Fatalf("server %d: no requests in latency histogram", s)
+		}
+		if snap.P50Us < 0 || snap.P95Us < snap.P50Us || snap.P99Us < snap.P95Us {
+			t.Fatalf("server %d: non-monotone quantiles %d/%d/%d",
+				s, snap.P50Us, snap.P95Us, snap.P99Us)
+		}
+	}
+}
+
+// TestClientServerSpanLink verifies the tentpole wiring end to end on a
+// live Mem-network cluster: a server's request span must parent (via
+// the ReqTag.Span piggyback) to the client operation span that caused
+// it, and disk spans must parent to the request span.
+func TestClientServerSpanLink(t *testing.T) {
+	tr := trace.New()
+	tc, c := startStreamCluster(t, 2, 64*1024, 4, func(s *Server) {
+		s.Tracer = tr
+	})
+	c.Tracer = tr
+	c.TraceTrack = "rank0"
+	env := tc.env
+	f, err := c.Create(env, "spans.dat", 4096, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := patterned(9000)
+	if err := f.WriteContig(env, 0, data); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if err := f.ReadContig(env, 0, got); err != nil {
+		t.Fatal(err)
+	}
+
+	byID := map[trace.SpanID]*trace.Span{}
+	for _, sp := range tr.Spans() {
+		byID[sp.ID] = sp
+	}
+	var linked, disk int
+	for _, sp := range tr.Spans() {
+		if !strings.HasPrefix(sp.Track, "io-server-") {
+			continue
+		}
+		if sp.Parent == 0 {
+			continue
+		}
+		p, ok := byID[sp.Parent]
+		if !ok {
+			t.Fatalf("span %d (%s) has dangling parent %d", sp.ID, sp.Name, sp.Parent)
+		}
+		switch {
+		case p.Track == "rank0":
+			// Request span parented straight to the client op.
+			linked++
+		case strings.HasPrefix(p.Track, "io-server-"):
+			// Disk/stream child of a request span; its grandparent must
+			// reach the client op.
+			disk++
+			if g, ok := byID[p.Parent]; !ok || g.Track != "rank0" {
+				t.Fatalf("span %d (%s): grandparent not a client op", sp.ID, sp.Name)
+			}
+		default:
+			t.Fatalf("span %d (%s) parented to unexpected track %q", sp.ID, sp.Name, p.Track)
+		}
+	}
+	if linked == 0 {
+		t.Fatal("no server request spans parented to client op spans")
+	}
+	if disk == 0 {
+		t.Fatal("no disk/stream spans parented to server request spans")
+	}
+	// The whole forest must export as valid Chrome JSON.
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte(`"io-server-0"`)) {
+		t.Fatal("export missing server track")
+	}
+}
+
+// TestLockWaitSpan verifies the metadata server records a lock:wait
+// span, parented to the contending client op, once a blocked waiter is
+// granted.
+func TestLockWaitSpan(t *testing.T) {
+	tr := trace.New()
+	tc, c := startStreamCluster(t, 1, 64*1024, 4, nil)
+	tc.meta.Tracer = tr
+	env := tc.env
+	f, err := c.Create(env, "lk.dat", 4096, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lk, err := f.Lock(env, 0, 100, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		c2 := tc.client()
+		defer c2.Close()
+		f2, err := c2.Open(env, "lk.dat")
+		if err != nil {
+			done <- err
+			return
+		}
+		lk2, err := f2.Lock(env, 50, 100, false)
+		if err != nil {
+			done <- err
+			return
+		}
+		done <- f2.Unlock(env, lk2)
+	}()
+	// Give the second client time to queue behind the held range, then
+	// release so its wait completes with a nonzero duration.
+	for i := 0; i < 2000 && tc.meta.LockStats().Queued == 0; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	if tc.meta.LockStats().Queued == 0 {
+		t.Fatal("second locker never queued")
+	}
+	if err := f.Unlock(env, lk); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	var found bool
+	for _, sp := range tr.Spans() {
+		if sp.Track == "meta" && sp.Name == "lock:wait" {
+			found = true
+			if sp.Finish <= sp.Start {
+				t.Fatalf("lock:wait span has no duration: [%v, %v]", sp.Start, sp.Finish)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no lock:wait span recorded for the queued waiter")
+	}
+}

@@ -1,6 +1,7 @@
 package pvfs
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"sort"
@@ -11,11 +12,57 @@ import (
 	"dtio/internal/dataloop"
 	"dtio/internal/flatten"
 	"dtio/internal/iostats"
+	"dtio/internal/metrics"
 	"dtio/internal/storage"
 	"dtio/internal/striping"
+	"dtio/internal/trace"
 	"dtio/internal/transport"
 	"dtio/internal/wire"
 )
+
+// ServerMetrics collects one I/O server's live introspection state:
+// request latency histograms (split by request class) and the
+// replay-suppression counter. All recording is atomic and
+// allocation-free; a nil *ServerMetrics disables everything.
+type ServerMetrics struct {
+	// ReadLat observes read-class request service time (contig, list,
+	// and dtype reads plus size probes), decode to response.
+	ReadLat metrics.Histogram
+	// WriteLat observes mutating request service time (writes including
+	// stream drain, truncate, remove).
+	WriteLat metrics.Histogram
+	// Replays counts mutating requests answered from the replay cache
+	// instead of re-executing.
+	Replays metrics.Counter
+}
+
+func (m *ServerMetrics) observe(t wire.MsgType, d time.Duration) {
+	if m == nil {
+		return
+	}
+	switch t {
+	case wire.MTReadContigReq, wire.MTReadListReq, wire.MTReadDtypeReq, wire.MTLocalSizeReq:
+		m.ReadLat.Observe(d)
+	default:
+		m.WriteLat.Observe(d)
+	}
+}
+
+func (m *ServerMetrics) addReplay() {
+	if m == nil {
+		return
+	}
+	m.Replays.Add(1)
+}
+
+// Lat merges the read and write histograms (the per-server latency
+// snapshot the bench results and pvfsctl stats report).
+func (m *ServerMetrics) Lat() metrics.HistSnapshot {
+	if m == nil {
+		return metrics.HistSnapshot{}
+	}
+	return m.ReadLat.Snapshot().Add(m.WriteLat.Snapshot())
+}
 
 // Server is one I/O server: a map of handle -> local object plus the
 // request processing that turns contiguous, list, and datatype requests
@@ -80,17 +127,27 @@ type Server struct {
 	// Stats (optional) collects the disk-scheduler counters: runs
 	// presented, operations dispatched, head travel.
 	Stats *iostats.Stats
+
+	// Tracer (optional) records request/disk/stream spans, parented to
+	// the originating client op via wire.ReqTag.Span.
+	Tracer *trace.Tracer
+	// Metrics (optional) collects request latency histograms and the
+	// replay counter.
+	Metrics *ServerMetrics
+
+	spanTrack string // span track label, fixed at construction
 }
 
 // NewServer creates I/O server number index listening at addr.
 func NewServer(net transport.Network, addr string, index int, cost CostModel) *Server {
 	return &Server{
-		net:      net,
-		addr:     addr,
-		index:    index,
-		cost:     cost,
-		NewStore: func(uint64) storage.Store { return storage.NewMem() },
-		objects:  make(map[uint64]storage.Store),
+		net:       net,
+		addr:      addr,
+		index:     index,
+		cost:      cost,
+		NewStore:  func(uint64) storage.Store { return storage.NewMem() },
+		objects:   make(map[uint64]storage.Store),
+		spanTrack: fmt.Sprintf("io-server-%d", index),
 	}
 }
 
@@ -368,9 +425,31 @@ func (s *Server) layoutOf(l wire.FileLayout) (striping.Layout, error) {
 	return lay, nil
 }
 
+// tagOf extracts the request tag carried by a decoded I/O request (zero
+// for untagged message kinds).
+func tagOf(v any) wire.ReqTag {
+	switch r := v.(type) {
+	case *wire.ContigReq:
+		return r.Tag
+	case *wire.ListIOReq:
+		return r.Tag
+	case *wire.DtypeReq:
+		return r.Tag
+	case *wire.LocalSizeReq:
+		return r.Tag
+	case *wire.TruncateReq:
+		return r.Tag
+	case *wire.RemoveObjReq:
+		return r.Tag
+	}
+	return wire.ReqTag{}
+}
+
 // handle services one request. A nil response with nil error means the
 // request was answered entirely by a stream; a non-nil error means the
-// connection is no longer usable and must close.
+// connection is no longer usable and must close. With Tracer and
+// Metrics both nil the observation block is two nil checks — the dtype
+// read hot path stays within PR1's allocation bound.
 func (s *Server) handle(env transport.Env, conn transport.Conn, msg []byte) ([]byte, error) {
 	s.stallGate(env)
 	t, v, err := wire.DecodeMsg(msg)
@@ -378,39 +457,62 @@ func (s *Server) handle(env transport.Env, conn transport.Conn, msg []byte) ([]b
 		return ioErr("bad request: %v", err), nil
 	}
 	env.Compute(s.cost.RequestOverhead)
+	if s.Tracer == nil && s.Metrics == nil {
+		return s.dispatch(env, conn, t, v, nil)
+	}
+	start := env.Now()
+	// t.String() is a map lookup of an interned name: no allocation
+	// when only Metrics is enabled.
+	sp := s.Tracer.Begin(env, s.spanTrack, t.String(), trace.SpanID(tagOf(v).Span))
+	resp, err := s.dispatch(env, conn, t, v, sp)
+	sp.End(env)
+	s.Metrics.observe(t, env.Now()-start)
+	return resp, err
+}
+
+// dispatch routes one decoded request. sp is the request span (nil when
+// tracing is off) threaded down so disk batches and stream segments
+// parent to it.
+func (s *Server) dispatch(env transport.Env, conn transport.Conn, t wire.MsgType, v any, sp *trace.Span) ([]byte, error) {
 	switch t {
 	case wire.MTReadContigReq:
-		return s.contig(env, conn, v.(*wire.ContigReq), nil)
+		return s.contig(env, conn, v.(*wire.ContigReq), nil, sp)
 	case wire.MTWriteContigReq:
 		r := v.(*wire.ContigReq)
 		if cached, ok := s.replay(r.Tag); ok {
+			s.Metrics.addReplay()
+			sp.SetAttr("replay", 1)
 			return cached, nil
 		}
-		resp, err := s.contig(env, conn, r, inlineSrc(r.Data))
+		resp, err := s.contig(env, conn, r, inlineSrc(r.Data), sp)
 		s.remember(r.Tag, resp)
 		return resp, err
 	case wire.MTReadListReq:
-		return s.list(env, conn, v.(*wire.ListIOReq), nil)
+		return s.list(env, conn, v.(*wire.ListIOReq), nil, sp)
 	case wire.MTWriteListReq:
 		r := v.(*wire.ListIOReq)
 		if cached, ok := s.replay(r.Tag); ok {
+			s.Metrics.addReplay()
+			sp.SetAttr("replay", 1)
 			return cached, nil
 		}
-		resp, err := s.list(env, conn, r, inlineSrc(r.Data))
+		resp, err := s.list(env, conn, r, inlineSrc(r.Data), sp)
 		s.remember(r.Tag, resp)
 		return resp, err
 	case wire.MTReadDtypeReq:
-		return s.dtype(env, conn, v.(*wire.DtypeReq), nil)
+		return s.dtype(env, conn, v.(*wire.DtypeReq), nil, sp)
 	case wire.MTWriteDtypeReq:
 		r := v.(*wire.DtypeReq)
 		if cached, ok := s.replay(r.Tag); ok {
+			s.Metrics.addReplay()
+			sp.SetAttr("replay", 1)
 			return cached, nil
 		}
-		resp, err := s.dtype(env, conn, r, inlineSrc(r.Data))
+		resp, err := s.dtype(env, conn, r, inlineSrc(r.Data), sp)
 		s.remember(r.Tag, resp)
 		return resp, err
 	case wire.MTWriteStreamHdr:
-		return s.streamedWrite(env, conn, v.(*wire.WriteStreamHdr))
+		return s.streamedWrite(env, conn, v.(*wire.WriteStreamHdr), sp)
 	case wire.MTLocalSizeReq:
 		r := v.(*wire.LocalSizeReq)
 		if _, err := s.layoutOf(r.Layout); err != nil {
@@ -420,6 +522,8 @@ func (s *Server) handle(env transport.Env, conn transport.Conn, msg []byte) ([]b
 	case wire.MTTruncateReq:
 		r := v.(*wire.TruncateReq)
 		if cached, ok := s.replay(r.Tag); ok {
+			s.Metrics.addReplay()
+			sp.SetAttr("replay", 1)
 			return cached, nil
 		}
 		resp := s.truncate(r)
@@ -453,7 +557,43 @@ func (s *Server) truncate(r *wire.TruncateReq) []byte {
 	return wire.EncodeIOResp(&wire.IOResp{Seq: r.Tag.Seq, OK: true})
 }
 
-// admin serves a fault-administration request (wire.AdminReq).
+// ServerSnapshot is the JSON introspection payload an AdminStats
+// request returns: the server's identity, its I/O counters, request
+// latency distribution (read and write classes merged, with headline
+// quantiles precomputed), and the replay/loop-cache state.
+type ServerSnapshot struct {
+	Server      int                  `json:"server"`
+	IOStats     iostats.Snapshot     `json:"iostats"`
+	Lat         metrics.HistSnapshot `json:"latency"`
+	P50Us       int64                `json:"p50_us"`
+	P95Us       int64                `json:"p95_us"`
+	P99Us       int64                `json:"p99_us"`
+	Replays     int64                `json:"replays"`
+	CacheHits   int64                `json:"loop_cache_hits"`
+	CacheMisses int64                `json:"loop_cache_misses"`
+}
+
+// StatsSnapshot assembles the live introspection state an AdminStats
+// request (and the daemon's debug listener) reports.
+func (s *Server) StatsSnapshot() ServerSnapshot {
+	snap := ServerSnapshot{Server: s.index}
+	if s.Stats != nil {
+		snap.IOStats = s.Stats.Snapshot()
+	}
+	snap.Lat = s.Metrics.Lat()
+	p50, p95, p99 := snap.Lat.Quantiles()
+	snap.P50Us = p50.Microseconds()
+	snap.P95Us = p95.Microseconds()
+	snap.P99Us = p99.Microseconds()
+	if s.Metrics != nil {
+		snap.Replays = s.Metrics.Replays.Value()
+	}
+	snap.CacheHits, snap.CacheMisses = s.LoopCacheStats()
+	return snap
+}
+
+// admin serves a fault-administration or introspection request
+// (wire.AdminReq).
 func (s *Server) admin(env transport.Env, conn transport.Conn, r *wire.AdminReq) ([]byte, error) {
 	switch r.Op {
 	case wire.AdminStall:
@@ -462,6 +602,12 @@ func (s *Server) admin(env transport.Env, conn transport.Conn, r *wire.AdminReq)
 	case wire.AdminDegrade:
 		s.SetDiskScale(r.Factor)
 		return wire.EncodeIOResp(&wire.IOResp{OK: true}), nil
+	case wire.AdminStats:
+		data, err := json.Marshal(s.StatsSnapshot())
+		if err != nil {
+			return ioErr("stats: %v", err), nil
+		}
+		return wire.EncodeIOResp(&wire.IOResp{OK: true, Size: int64(len(data)), Data: data}), nil
 	case wire.AdminCrash:
 		// Acknowledge before crashing — the crash severs this connection
 		// along with every other one.
@@ -475,7 +621,7 @@ func (s *Server) admin(env transport.Env, conn transport.Conn, r *wire.AdminReq)
 
 // streamedWrite unwraps a streamed write request and dispatches it with
 // a stream-backed payload source.
-func (s *Server) streamedWrite(env transport.Env, conn transport.Conn, h *wire.WriteStreamHdr) ([]byte, error) {
+func (s *Server) streamedWrite(env transport.Env, conn transport.Conn, h *wire.WriteStreamHdr, sp *trace.Span) ([]byte, error) {
 	seg := int64(h.SegBytes)
 	nseg := int64(0)
 	if seg > 0 {
@@ -513,9 +659,14 @@ func (s *Server) streamedWrite(env transport.Env, conn transport.Conn, h *wire.W
 	case *wire.DtypeReq:
 		tag = r.Tag
 	}
+	// The stream header itself is untagged; the client op's span ID
+	// arrives on the inner request, so re-parent now that it is known.
+	sp.SetParent(trace.SpanID(tag.Span))
 	if cached, ok := s.replay(tag); ok {
 		// Already executed: consume the replayed stream (keeping the
 		// connection in protocol sync) and answer from the record.
+		s.Metrics.addReplay()
+		sp.SetAttr("replay", 1)
 		if err := src.drain(env); err != nil {
 			return nil, err
 		}
@@ -524,11 +675,11 @@ func (s *Server) streamedWrite(env transport.Env, conn transport.Conn, h *wire.W
 	var resp []byte
 	switch t {
 	case wire.MTWriteContigReq:
-		resp, err = s.contig(env, conn, v.(*wire.ContigReq), src)
+		resp, err = s.contig(env, conn, v.(*wire.ContigReq), src, sp)
 	case wire.MTWriteListReq:
-		resp, err = s.list(env, conn, v.(*wire.ListIOReq), src)
+		resp, err = s.list(env, conn, v.(*wire.ListIOReq), src, sp)
 	case wire.MTWriteDtypeReq:
-		resp, err = s.dtype(env, conn, v.(*wire.DtypeReq), src)
+		resp, err = s.dtype(env, conn, v.(*wire.DtypeReq), src, sp)
 	default:
 		return s.reqFail(env, src, 0, "unexpected streamed message %s", t)
 	}
@@ -556,11 +707,11 @@ type regionsFn func(emit func(off, n int64) error) error
 // seek-aware disk cost. An inline payload dispatches as one batch; a
 // streamed one dispatches a batch at every flow-control segment
 // boundary, before the segment buffer is reused.
-func (s *Server) applyWrite(env transport.Env, lay striping.Layout, idx int, st storage.Store, regions regionsFn, src *writeSrc, seq uint64) ([]byte, error) {
+func (s *Server) applyWrite(env transport.Env, lay striping.Layout, idx int, st storage.Store, regions regionsFn, src *writeSrc, seq uint64, sp *trace.Span) ([]byte, error) {
 	sd := s.newSched(true)
 	defer putSched(sd)
 	if src.stream != nil {
-		src.flush = func(env transport.Env) error { return sd.flushWrites(env, st) }
+		src.flush = func(env transport.Env) error { return s.flushTraced(env, sd, st, sp) }
 	}
 	var nPieces int64
 	err := regions(func(off, n int64) error {
@@ -590,11 +741,11 @@ func (s *Server) applyWrite(env transport.Env, lay striping.Layout, idx int, st 
 	if err != nil {
 		// Keep the bytes the request's regions did cover: dispatch what
 		// is buffered before draining and answering.
-		sd.flushWrites(env, st)
+		s.flushTraced(env, sd, st, sp)
 		return s.reqFail(env, src, seq, "%v", err)
 	}
 	env.Compute(s.cost.PerRegionServer * time.Duration(nPieces))
-	if err := sd.flushWrites(env, st); err != nil {
+	if err := s.flushTraced(env, sd, st, sp); err != nil {
 		return s.reqFail(env, src, seq, "%v", err)
 	}
 	if n := src.leftover(); n != 0 {
@@ -603,11 +754,25 @@ func (s *Server) applyWrite(env transport.Env, lay striping.Layout, idx int, st 
 	return wire.EncodeIOResp(&wire.IOResp{Seq: seq, OK: true}), nil
 }
 
+// flushTraced dispatches the buffered write runs, under a disk:flush
+// span when tracing is on and the batch is non-empty (empty flushes add
+// no trace noise).
+func (s *Server) flushTraced(env transport.Env, sd *diskSched, st storage.Store, sp *trace.Span) error {
+	if sp == nil || len(sd.spans) == 0 {
+		return sd.flushWrites(env, st)
+	}
+	fsp := s.Tracer.Begin(env, s.spanTrack, "disk:flush", sp.SID())
+	fsp.SetAttr("runs", int64(len(sd.spans)))
+	err := sd.flushWrites(env, st)
+	fsp.End(env)
+	return err
+}
+
 // readReply is the common read path: one walk collects this server's
 // physical runs and the byte total, then the response is either built
 // inline in a single pre-sized frame or streamed in flow-controlled
 // segments that overlap disk and network.
-func (s *Server) readReply(env transport.Env, conn transport.Conn, lay striping.Layout, idx int, st storage.Store, regions regionsFn, seq uint64) ([]byte, error) {
+func (s *Server) readReply(env transport.Env, conn transport.Conn, lay striping.Layout, idx int, st storage.Store, regions regionsFn, seq uint64, sp *trace.Span) ([]byte, error) {
 	sd := s.newSched(false)
 	defer putSched(sd)
 	var total, nPieces int64
@@ -633,16 +798,26 @@ func (s *Server) readReply(env transport.Env, conn transport.Conn, lay striping.
 		out := wire.AppendIORespOK(nil, seq, int(total))
 		h := len(out)
 		out = append(out, make([]byte, total)...)
-		if err := sd.runReads(env, st, out[h:]); err != nil {
+		if sp == nil {
+			if err := sd.runReads(env, st, out[h:]); err != nil {
+				return ioErrSeq(seq, "%v", err), nil
+			}
+			return out, nil
+		}
+		dsp := s.Tracer.Begin(env, s.spanTrack, "disk:read", sp.SID())
+		dsp.SetAttr("bytes", total)
+		err = sd.runReads(env, st, out[h:])
+		dsp.End(env)
+		if err != nil {
 			return ioErrSeq(seq, "%v", err), nil
 		}
 		return out, nil
 	}
-	return nil, s.streamRead(env, conn, st, sd, total, seg, window, seq)
+	return nil, s.streamRead(env, conn, st, sd, total, seg, window, seq, sp)
 }
 
 // contig serves a contiguous read (src nil) or write.
-func (s *Server) contig(env transport.Env, conn transport.Conn, r *wire.ContigReq, src *writeSrc) ([]byte, error) {
+func (s *Server) contig(env transport.Env, conn transport.Conn, r *wire.ContigReq, src *writeSrc, sp *trace.Span) ([]byte, error) {
 	seq := r.Tag.Seq
 	lay, err := s.layoutOf(r.Layout)
 	if err != nil {
@@ -657,13 +832,13 @@ func (s *Server) contig(env transport.Env, conn transport.Conn, r *wire.ContigRe
 		return emit(r.Off, r.N)
 	}
 	if src != nil {
-		return s.applyWrite(env, lay, idx, st, regions, src, seq)
+		return s.applyWrite(env, lay, idx, st, regions, src, seq, sp)
 	}
-	return s.readReply(env, conn, lay, idx, st, regions, seq)
+	return s.readReply(env, conn, lay, idx, st, regions, seq, sp)
 }
 
 // list serves a list I/O read (src nil) or write.
-func (s *Server) list(env transport.Env, conn transport.Conn, r *wire.ListIOReq, src *writeSrc) ([]byte, error) {
+func (s *Server) list(env transport.Env, conn transport.Conn, r *wire.ListIOReq, src *writeSrc, sp *trace.Span) ([]byte, error) {
 	seq := r.Tag.Seq
 	lay, err := s.layoutOf(r.Layout)
 	if err != nil {
@@ -683,9 +858,9 @@ func (s *Server) list(env transport.Env, conn transport.Conn, r *wire.ListIOReq,
 		return nil
 	}
 	if src != nil {
-		return s.applyWrite(env, lay, idx, st, regions, src, seq)
+		return s.applyWrite(env, lay, idx, st, regions, src, seq, sp)
 	}
-	return s.readReply(env, conn, lay, idx, st, regions, seq)
+	return s.readReply(env, conn, lay, idx, st, regions, seq, sp)
 }
 
 // cachedLoop decodes a dataloop, memoizing by wire bytes, and reports
@@ -732,7 +907,7 @@ func (s *Server) LoopCacheStats() (hits, misses int64) {
 
 // dtype serves a datatype read (src nil) or write: the server itself
 // expands the dataloop into regions and extracts its local pieces.
-func (s *Server) dtype(env transport.Env, conn transport.Conn, r *wire.DtypeReq, src *writeSrc) ([]byte, error) {
+func (s *Server) dtype(env transport.Env, conn transport.Conn, r *wire.DtypeReq, src *writeSrc, sp *trace.Span) ([]byte, error) {
 	seq := r.Tag.Seq
 	lay, err := s.layoutOf(r.Layout)
 	if err != nil {
@@ -747,6 +922,8 @@ func (s *Server) dtype(env transport.Env, conn transport.Conn, r *wire.DtypeReq,
 	}
 	if !hit {
 		env.Compute(s.cost.DataloopDecode)
+	} else {
+		sp.SetAttr("loop_cache_hit", 1)
 	}
 	idx := int(r.Layout.ServerIdx)
 	st := s.object(r.Layout.Handle)
@@ -766,7 +943,7 @@ func (s *Server) dtype(env transport.Env, conn transport.Conn, r *wire.DtypeReq,
 		}
 	}
 	if src != nil {
-		return s.applyWrite(env, lay, idx, st, regions, src, seq)
+		return s.applyWrite(env, lay, idx, st, regions, src, seq, sp)
 	}
-	return s.readReply(env, conn, lay, idx, st, regions, seq)
+	return s.readReply(env, conn, lay, idx, st, regions, seq, sp)
 }

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"dtio/internal/storage"
+	"dtio/internal/trace"
 	"dtio/internal/transport"
 	"dtio/internal/wire"
 )
@@ -243,7 +244,7 @@ func (p *writeSrc) drain(env transport.Env) error {
 // head moving and pays a single positioning charge in total. A storage
 // failure mid-stream sends a terminal error chunk and returns an error,
 // closing the connection.
-func (s *Server) streamRead(env transport.Env, conn transport.Conn, st storage.Store, sd *diskSched, total, seg, window int64, seq uint64) error {
+func (s *Server) streamRead(env transport.Env, conn transport.Conn, st storage.Store, sd *diskSched, total, seg, window int64, seq uint64, sp *trace.Span) error {
 	nseg := (total + seg - 1) / seg
 	hdr := wire.EncodeReadStreamHdr(&wire.ReadStreamHdr{
 		Seq: seq, Total: total, SegBytes: int32(seg), Window: int32(window),
@@ -261,6 +262,12 @@ func (s *Server) streamRead(env transport.Env, conn transport.Conn, st storage.S
 	for k := int64(0); k < nseg; k++ {
 		s.stallGate(env)
 		nk := segLen(total, seg, k)
+		var ssp *trace.Span
+		if sp != nil {
+			ssp = s.Tracer.Begin(env, s.spanTrack, "stream:seg", sp.SID())
+			ssp.SetAttr("seg", k)
+			ssp.SetAttr("bytes", nk)
+		}
 		frame = wire.AppendStreamChunkHdr(frame[:0], uint32(k), int(nk))
 		h := len(frame)
 		frame = frame[:h+int(nk)]
@@ -286,6 +293,7 @@ func (s *Server) streamRead(env transport.Env, conn transport.Conn, st storage.S
 			}
 			return conn.Send(env, frame)
 		})
+		ssp.End(env)
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,294 @@
+// Package trace is a lightweight span tracer for attributing where time
+// goes in a distributed I/O operation: client op -> wire -> server
+// request loop -> disk batch -> stream segment, across retries. Spans
+// carry parent links so server-side work recorded on one tracer can
+// point back at the originating client operation via an ID piggybacked
+// on the wire (wire.ReqTag.Span), and the whole forest exports as Chrome
+// trace-event JSON loadable in Perfetto or chrome://tracing.
+//
+// Timestamps come from a Clock (satisfied by transport.Env), so spans
+// record virtual time in simulated runs and wall time in real TCP runs.
+// A nil *Tracer is the disabled state: every method is a nil-safe no-op
+// that performs no allocation and never touches the clock, so
+// instrumented hot paths pay only a nil check.
+package trace
+
+import (
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// SpanID identifies a span within one trace. 0 means "no span" (a nil
+// span's ID, and the parent of a root span).
+type SpanID uint64
+
+// Clock supplies span timestamps. transport.Env satisfies it, giving
+// sim time under SimEnv and wall time under RealEnv.
+type Clock interface{ Now() time.Duration }
+
+// Attr is one span attribute (method, regions, bytes, ...). Values are
+// int64 or string; Str is used when IsStr is set.
+type Attr struct {
+	Key   string
+	Val   int64
+	Str   string
+	IsStr bool
+}
+
+// Span is one timed unit of work. Fields are exported for exporters and
+// tests; mutate only through the methods, which are nil-safe.
+type Span struct {
+	t      *Tracer
+	ID     SpanID
+	Parent SpanID
+	Track  string // display lane: "rank3", "io-server-7", "meta"
+	Name   string
+	Start  time.Duration
+	Finish time.Duration
+	Attrs  []Attr
+}
+
+// Tracer collects spans from any number of goroutines. The zero value
+// is NOT ready; use New. A nil Tracer is the disabled tracer.
+type Tracer struct {
+	mu    sync.Mutex
+	next  uint64
+	spans []*Span
+}
+
+// New returns an empty enabled tracer.
+func New() *Tracer { return &Tracer{} }
+
+// Begin opens a span at clk.Now() on the given display track, parented
+// to parent (0 for a root). On a nil tracer it returns nil without
+// touching clk. The returned span must be closed with End.
+func (t *Tracer) Begin(clk Clock, track, name string, parent SpanID) *Span {
+	if t == nil {
+		return nil
+	}
+	sp := &Span{t: t, Track: track, Name: name, Parent: parent, Start: clk.Now(), Finish: -1}
+	t.mu.Lock()
+	t.next++
+	sp.ID = SpanID(t.next)
+	t.spans = append(t.spans, sp)
+	t.mu.Unlock()
+	return sp
+}
+
+// Record adds an already-finished span covering [start, end] — used
+// where the duration is learned after the fact (e.g. a lock grant
+// reporting how long the waiter queued). Nil-safe.
+func (t *Tracer) Record(track, name string, parent SpanID, start, end time.Duration, attrs ...Attr) {
+	if t == nil {
+		return
+	}
+	sp := &Span{t: t, Track: track, Name: name, Parent: parent, Start: start, Finish: end}
+	sp.Attrs = append(sp.Attrs, attrs...)
+	t.mu.Lock()
+	t.next++
+	sp.ID = SpanID(t.next)
+	t.spans = append(t.spans, sp)
+	t.mu.Unlock()
+}
+
+// End closes the span at clk.Now(). Nil-safe.
+func (sp *Span) End(clk Clock) {
+	if sp == nil {
+		return
+	}
+	sp.Finish = clk.Now()
+}
+
+// SetAttr attaches an integer attribute. Nil-safe.
+func (sp *Span) SetAttr(key string, v int64) {
+	if sp == nil {
+		return
+	}
+	sp.Attrs = append(sp.Attrs, Attr{Key: key, Val: v})
+}
+
+// SetParent re-parents the span — used when the true parent is only
+// learned after the span opened (e.g. a streamed write whose tag rides
+// inside the stream header's inner request). Nil-safe.
+func (sp *Span) SetParent(p SpanID) {
+	if sp == nil {
+		return
+	}
+	sp.Parent = p
+}
+
+// SetStr attaches a string attribute. Nil-safe.
+func (sp *Span) SetStr(key, v string) {
+	if sp == nil {
+		return
+	}
+	sp.Attrs = append(sp.Attrs, Attr{Key: key, Str: v, IsStr: true})
+}
+
+// SID returns the span's ID, 0 for nil — the value to place in
+// wire.ReqTag.Span so the far side can parent to this span.
+func (sp *Span) SID() SpanID {
+	if sp == nil {
+		return 0
+	}
+	return sp.ID
+}
+
+// Spans returns a snapshot of all recorded spans in creation order.
+// Nil-safe (returns nil).
+func (t *Tracer) Spans() []*Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := make([]*Span, len(t.spans))
+	copy(out, t.spans)
+	t.mu.Unlock()
+	return out
+}
+
+// Len reports the number of recorded spans. Nil-safe.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.spans)
+}
+
+// WriteChrome exports the trace as Chrome trace-event JSON
+// ({"traceEvents": [...]}) for Perfetto / chrome://tracing. Each track
+// becomes a pid with a process_name metadata record; within a track,
+// tid groups each span under its root ancestor so one client operation
+// and all its descendants share a lane. Unfinished spans export with
+// zero duration. Nil-safe (writes an empty trace).
+func (t *Tracer) WriteChrome(w io.Writer) error {
+	spans := t.Spans()
+	byID := make(map[SpanID]*Span, len(spans))
+	for _, sp := range spans {
+		byID[sp.ID] = sp
+	}
+	// Deterministic pid per track, in first-seen order.
+	pids := make(map[string]int)
+	var tracks []string
+	for _, sp := range spans {
+		if _, ok := pids[sp.Track]; !ok {
+			pids[sp.Track] = len(pids) + 1
+			tracks = append(tracks, sp.Track)
+		}
+	}
+	root := func(sp *Span) SpanID {
+		id := sp.ID
+		for i := 0; i < len(spans); i++ { // bounded walk guards cycles
+			p, ok := byID[byID[id].Parent]
+			if !ok {
+				break
+			}
+			id = p.ID
+		}
+		return id
+	}
+
+	bw := &errWriter{w: w}
+	bw.puts(`{"traceEvents":[`)
+	first := true
+	comma := func() {
+		if !first {
+			bw.puts(",")
+		}
+		first = false
+	}
+	for _, tr := range tracks {
+		comma()
+		bw.puts(`{"name":"process_name","ph":"M","pid":`)
+		bw.puti(int64(pids[tr]))
+		bw.puts(`,"tid":0,"args":{"name":`)
+		bw.putq(tr)
+		bw.puts(`}}`)
+	}
+	for _, sp := range spans {
+		dur := sp.Finish - sp.Start
+		if sp.Finish < 0 || dur < 0 {
+			dur = 0
+		}
+		comma()
+		bw.puts(`{"name":`)
+		bw.putq(sp.Name)
+		bw.puts(`,"ph":"X","pid":`)
+		bw.puti(int64(pids[sp.Track]))
+		bw.puts(`,"tid":`)
+		bw.puti(int64(root(sp)))
+		bw.puts(`,"ts":`)
+		bw.putf(float64(sp.Start) / 1e3) // ns -> µs
+		bw.puts(`,"dur":`)
+		bw.putf(float64(dur) / 1e3)
+		bw.puts(`,"args":{"span":`)
+		bw.puti(int64(sp.ID))
+		bw.puts(`,"parent":`)
+		bw.puti(int64(sp.Parent))
+		for _, a := range sp.Attrs {
+			bw.puts(",")
+			bw.putq(a.Key)
+			bw.puts(":")
+			if a.IsStr {
+				bw.putq(a.Str)
+			} else {
+				bw.puti(a.Val)
+			}
+		}
+		bw.puts(`}}`)
+	}
+	bw.puts("]}\n")
+	return bw.err
+}
+
+// WriteChromeSorted is WriteChrome with spans ordered by start time
+// (stable), which makes fixture diffs readable; the JSON format itself
+// does not require ordering.
+func (t *Tracer) WriteChromeSorted(w io.Writer) error {
+	spans := t.Spans()
+	sort.SliceStable(spans, func(i, j int) bool { return spans[i].Start < spans[j].Start })
+	clone := &Tracer{spans: spans}
+	return clone.WriteChrome(w)
+}
+
+// errWriter accumulates the first write error so the emit loop stays
+// branch-light.
+type errWriter struct {
+	w   io.Writer
+	err error
+	buf []byte
+}
+
+func (e *errWriter) puts(s string) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = io.WriteString(e.w, s)
+}
+
+func (e *errWriter) puti(v int64) {
+	e.buf = strconv.AppendInt(e.buf[:0], v, 10)
+	e.putb(e.buf)
+}
+
+func (e *errWriter) putf(v float64) {
+	e.buf = strconv.AppendFloat(e.buf[:0], v, 'f', 3, 64)
+	e.putb(e.buf)
+}
+
+func (e *errWriter) putq(s string) {
+	e.buf = strconv.AppendQuote(e.buf[:0], s)
+	e.putb(e.buf)
+}
+
+func (e *errWriter) putb(b []byte) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = e.w.Write(b)
+}

@@ -1,0 +1,249 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually-advanced Clock.
+type fakeClock struct{ t time.Duration }
+
+func (c *fakeClock) Now() time.Duration { return c.t }
+
+func TestSpanLifecycle(t *testing.T) {
+	clk := &fakeClock{}
+	tr := New()
+	clk.t = 10 * time.Microsecond
+	op := tr.Begin(clk, "rank0", "read-dtype", 0)
+	op.SetAttr("bytes", 4096)
+	op.SetStr("method", "dtype")
+	clk.t = 30 * time.Microsecond
+	child := tr.Begin(clk, "io-server-3", "req:dtype-read", op.SID())
+	clk.t = 40 * time.Microsecond
+	child.End(clk)
+	clk.t = 50 * time.Microsecond
+	op.End(clk)
+
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("spans=%d", len(spans))
+	}
+	if spans[0].ID != 1 || spans[1].ID != 2 {
+		t.Fatalf("ids %d %d", spans[0].ID, spans[1].ID)
+	}
+	if spans[1].Parent != spans[0].ID {
+		t.Fatalf("parent link %d != %d", spans[1].Parent, spans[0].ID)
+	}
+	if spans[0].Start != 10*time.Microsecond || spans[0].Finish != 50*time.Microsecond {
+		t.Fatalf("span0 window [%v,%v]", spans[0].Start, spans[0].Finish)
+	}
+	if len(spans[0].Attrs) != 2 || spans[0].Attrs[0].Val != 4096 || spans[0].Attrs[1].Str != "dtype" {
+		t.Fatalf("attrs %+v", spans[0].Attrs)
+	}
+}
+
+func TestNilTracerIsFreeAndSafe(t *testing.T) {
+	var tr *Tracer
+	// A panicking clock proves the disabled path never reads the clock.
+	sp := tr.Begin(panicClock{}, "x", "y", 0)
+	if sp != nil {
+		t.Fatal("nil tracer returned a span")
+	}
+	sp.SetAttr("k", 1)
+	sp.SetStr("k", "v")
+	sp.End(panicClock{})
+	if sp.SID() != 0 {
+		t.Fatal("nil span SID != 0")
+	}
+	tr.Record("x", "y", 0, 0, 0)
+	if tr.Len() != 0 || tr.Spans() != nil {
+		t.Fatal("nil tracer recorded")
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatalf("empty export invalid: %q", buf.String())
+	}
+
+	allocs := testing.AllocsPerRun(100, func() {
+		s := tr.Begin(panicClock{}, "x", "y", 0)
+		s.SetAttr("bytes", 123)
+		s.End(panicClock{})
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled tracer allocates: %v allocs/op", allocs)
+	}
+}
+
+type panicClock struct{}
+
+func (panicClock) Now() time.Duration { panic("clock read on disabled tracer") }
+
+func TestRecordCompletedSpan(t *testing.T) {
+	tr := New()
+	tr.Record("meta", "lock:wait", 7, 100*time.Microsecond, 250*time.Microsecond,
+		Attr{Key: "handle", Val: 42})
+	spans := tr.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("spans=%d", len(spans))
+	}
+	sp := spans[0]
+	if sp.Parent != 7 || sp.Start != 100*time.Microsecond || sp.Finish != 250*time.Microsecond {
+		t.Fatalf("span %+v", sp)
+	}
+	if len(sp.Attrs) != 1 || sp.Attrs[0].Val != 42 {
+		t.Fatalf("attrs %+v", sp.Attrs)
+	}
+}
+
+func TestConcurrentBegin(t *testing.T) {
+	clk := &fakeClock{}
+	tr := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				sp := tr.Begin(clk, "rank", "op", 0)
+				sp.SetAttr("i", int64(i))
+				sp.End(clk)
+			}
+		}()
+	}
+	wg.Wait()
+	if tr.Len() != 1600 {
+		t.Fatalf("len=%d", tr.Len())
+	}
+	seen := map[SpanID]bool{}
+	for _, sp := range tr.Spans() {
+		if seen[sp.ID] {
+			t.Fatalf("duplicate span id %d", sp.ID)
+		}
+		seen[sp.ID] = true
+	}
+}
+
+// chromeEvent mirrors the subset of the trace-event format we emit.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Pid  int            `json:"pid"`
+	Tid  int64          `json:"tid"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	Args map[string]any `json:"args"`
+}
+
+func exportEvents(t *testing.T, tr *Tracer) []chromeEvent {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatalf("invalid JSON: %s", buf.String())
+	}
+	var doc struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	return doc.TraceEvents
+}
+
+func TestWriteChrome(t *testing.T) {
+	clk := &fakeClock{}
+	tr := New()
+	clk.t = 5 * time.Microsecond
+	op := tr.Begin(clk, "rank0", "read", 0)
+	clk.t = 8 * time.Microsecond
+	srv := tr.Begin(clk, "io-server-1", `req:"quoted"`, op.SID())
+	srv.SetAttr("bytes", 64)
+	srv.SetStr("method", "dtype")
+	clk.t = 12 * time.Microsecond
+	srv.End(clk)
+	clk.t = 20 * time.Microsecond
+	op.End(clk)
+
+	evs := exportEvents(t, tr)
+	var meta, x []chromeEvent
+	for _, e := range evs {
+		switch e.Ph {
+		case "M":
+			meta = append(meta, e)
+		case "X":
+			x = append(x, e)
+		default:
+			t.Fatalf("unexpected phase %q", e.Ph)
+		}
+	}
+	if len(meta) != 2 || len(x) != 2 {
+		t.Fatalf("meta=%d x=%d", len(meta), len(x))
+	}
+	names := map[int]string{}
+	for _, m := range meta {
+		names[m.Pid] = m.Args["name"].(string)
+	}
+	if names[1] != "rank0" || names[2] != "io-server-1" {
+		t.Fatalf("track names %v", names)
+	}
+	// Both spans share the root span's tid lane.
+	if x[0].Tid != int64(op.ID) || x[1].Tid != int64(op.ID) {
+		t.Fatalf("tids %d %d want %d", x[0].Tid, x[1].Tid, op.ID)
+	}
+	if x[1].Ts != 8 || x[1].Dur != 4 {
+		t.Fatalf("server span ts=%v dur=%v", x[1].Ts, x[1].Dur)
+	}
+	if x[1].Args["parent"].(float64) != float64(op.ID) {
+		t.Fatalf("parent arg %v", x[1].Args["parent"])
+	}
+	if x[1].Args["bytes"].(float64) != 64 || x[1].Args["method"].(string) != "dtype" {
+		t.Fatalf("attrs %v", x[1].Args)
+	}
+	if !strings.Contains(x[1].Name, `"quoted"`) {
+		t.Fatalf("name quoting lost: %q", x[1].Name)
+	}
+}
+
+func TestWriteChromeUnfinishedSpan(t *testing.T) {
+	clk := &fakeClock{t: time.Millisecond}
+	tr := New()
+	tr.Begin(clk, "rank0", "stuck", 0) // never ended
+	evs := exportEvents(t, tr)
+	for _, e := range evs {
+		if e.Ph == "X" && e.Dur != 0 {
+			t.Fatalf("unfinished span dur=%v", e.Dur)
+		}
+	}
+}
+
+func TestWriteChromeSortedOrdersByStart(t *testing.T) {
+	clk := &fakeClock{}
+	tr := New()
+	clk.t = 30 * time.Microsecond
+	b := tr.Begin(clk, "r", "late", 0)
+	b.End(clk)
+	clk.t = 10 * time.Microsecond
+	a := tr.Begin(clk, "r", "early", 0)
+	a.End(clk)
+	var buf bytes.Buffer
+	if err := tr.WriteChromeSorted(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatal("invalid JSON")
+	}
+	early := strings.Index(buf.String(), `"early"`)
+	late := strings.Index(buf.String(), `"late"`)
+	if early == -1 || late == -1 || early > late {
+		t.Fatalf("order early=%d late=%d", early, late)
+	}
+}

@@ -73,18 +73,25 @@ type ListResp struct {
 // tag — so the server can recognize a replay of a write it already
 // applied, and the client can discard stale or duplicated responses by
 // comparing the echoed Seq. Client 0 means untagged (no dedup).
+//
+// Span piggybacks trace context: the client operation's span ID, so
+// server-side spans (request handling, disk batches, stream segments)
+// parent back to the originating client op. 0 means untraced; replay
+// matching ignores it (retries reuse the same Client+Seq regardless).
 type ReqTag struct {
 	Client uint64
 	Seq    uint64
+	Span   uint64
 }
 
 func (t ReqTag) encode(e *Enc) {
 	e.I64(int64(t.Client))
 	e.I64(int64(t.Seq))
+	e.I64(int64(t.Span))
 }
 
 func decodeTag(d *Dec) ReqTag {
-	return ReqTag{Client: uint64(d.I64()), Seq: uint64(d.I64())}
+	return ReqTag{Client: uint64(d.I64()), Seq: uint64(d.I64()), Span: uint64(d.I64())}
 }
 
 // ContigReq is a contiguous read or write of logical range [Off, Off+N).
@@ -161,6 +168,7 @@ type LockAcquireReq struct {
 	Off    int64
 	N      int64
 	Shared bool
+	Span   uint64 // requesting op's trace span (0 = untraced)
 }
 
 // LockReleaseReq releases a granted lock; answered with an MTMetaResp.
@@ -192,6 +200,10 @@ const (
 	// AdminDegrade multiplies disk service time by Factor/100 (a slow or
 	// failing disk) until reset with Factor == 100.
 	AdminDegrade
+	// AdminStats asks the server for a JSON introspection snapshot
+	// (iostats counters, latency quantiles, cache stats), returned in the
+	// IOResp's Data.
+	AdminStats
 )
 
 // AdminReq drives fault administration; answered with an MTIOResp. The
@@ -362,6 +374,7 @@ func EncodeLockAcquire(r *LockAcquireReq) []byte {
 	e.I64(r.Off)
 	e.I64(r.N)
 	e.U8(b2u(r.Shared))
+	e.I64(int64(r.Span))
 	return e.B
 }
 
@@ -494,7 +507,7 @@ func DecodeMsg(b []byte) (MsgType, any, error) {
 	case MTAdminReq:
 		v = &AdminReq{Op: AdminOp(d.U8()), Dur: d.I64(), Factor: d.I64()}
 	case MTLockAcquireReq:
-		v = &LockAcquireReq{Handle: uint64(d.I64()), Off: d.I64(), N: d.I64(), Shared: d.U8() != 0}
+		v = &LockAcquireReq{Handle: uint64(d.I64()), Off: d.I64(), N: d.I64(), Shared: d.U8() != 0, Span: uint64(d.I64())}
 	case MTLockReleaseReq:
 		v = &LockReleaseReq{Handle: uint64(d.I64()), LockID: uint64(d.I64())}
 	case MTLockGrant:

@@ -144,8 +144,16 @@ func TestPropertyContigFuzzRoundTrip(t *testing.T) {
 	}
 }
 
+func TestTagSpanRoundTrip(t *testing.T) {
+	tag := ReqTag{Client: 7, Seq: 99, Span: 12345}
+	read := &ContigReq{Tag: tag, Layout: sampleLayout(), Off: 0, N: 64}
+	roundTrip(t, EncodeContig(read, false), read)
+	d := &DtypeReq{Tag: tag, Layout: sampleLayout(), Loop: []byte{1}, Count: 1, NBytes: 8}
+	roundTrip(t, EncodeDtype(d, false), d)
+}
+
 func TestLockRoundTrips(t *testing.T) {
-	a := &LockAcquireReq{Handle: 42, Off: 1 << 30, N: 4 << 20, Shared: true}
+	a := &LockAcquireReq{Handle: 42, Off: 1 << 30, N: 4 << 20, Shared: true, Span: 88}
 	roundTrip(t, EncodeLockAcquire(a), a)
 	a2 := &LockAcquireReq{Handle: 1, Off: 0, N: 1}
 	roundTrip(t, EncodeLockAcquire(a2), a2)
