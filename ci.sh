@@ -49,3 +49,15 @@ go test -race -timeout 120s \
 	./internal/metrics/ ./internal/trace/ ./internal/wire/ ./internal/pvfs/ ./internal/bench/
 go test -timeout 60s -run 'TestServerReadHotPathAllocs' ./internal/pvfs/
 go run ./cmd/dtbench -exp pr5-smoke
+# Cache-coherence pass: rangeset/store unit tests, the lock-manager
+# revocation invariants, and the pvfs end-to-end coherence edges — two
+# clients ping-ponging one chunk, a reader pulling dirty data out of a
+# writer's cache, lease expiry flushing before the lease is lost, and a
+# dirty cache surviving a server crash-restart — all under -race; then
+# the pr6 smoke run, which exits nonzero unless the cached posix tile
+# write sends < 5% of the uncached run's wire ops with a byte-identical
+# flushed image and re-reads hit >= 90% in cache.
+go test -race -timeout 120s \
+	-run 'TestRangeSet|TestChunk|TestStore|TestRevocation|TestSharedLeasesRevokedTogether|TestCacheAggregation|TestCacheReadHits|TestCacheCoherence|TestCacheWriterObservedByReader|TestCacheSelfConflict|TestCacheLeaseExpiryFlush|TestCacheFlushAcrossCrash|TestCacheEvictionWriteback|TestCacheMixedPaths|TestReReadHitRatio|TestReWriteAbsorbed|TestCacheContentionCoherent|TestCachedTileWriteAggregates' \
+	./internal/cache/ ./internal/locks/ ./internal/pvfs/ ./internal/bench/
+go run ./cmd/dtbench -exp pr6-smoke

@@ -23,14 +23,15 @@ import (
 )
 
 var (
-	expFlag    = flag.String("exp", "all", "experiment: tile|block3d|flash|ablate-listcap|ablate-coalesce|ablate-sievebuf|ablate-loopcache|ablate-fullfeatured|pr1|pr2|pr3|pr3-smoke|pr4|pr4-smoke|pr5|pr5-smoke|all")
-	jsonFlag   = flag.String("json", "", "pr1-pr5: output path for the machine-readable report (default BENCH_PR<n>.json)")
+	expFlag    = flag.String("exp", "all", "experiment: tile|block3d|flash|ablate-listcap|ablate-coalesce|ablate-sievebuf|ablate-loopcache|ablate-fullfeatured|pr1|pr2|pr3|pr3-smoke|pr4|pr4-smoke|pr5|pr5-smoke|pr6|pr6-smoke|all")
+	jsonFlag   = flag.String("json", "", "pr1-pr6: output path for the machine-readable report (default BENCH_PR<n>.json)")
 	traceFlag  = flag.String("trace", "", "pr5: output path for the Chrome trace-event JSON (default TRACE_PR5.json)")
 	frames     = flag.Int("frames", 3, "tile: frames per timed run")
 	flashProcs = flag.String("flash-procs", "2,8,16,32,48,64,96,128", "flash: client counts")
 	b3Procs    = flag.String("block3d-procs", "8,27,64", "block3d: client counts (perfect cubes)")
 	noPosix    = flag.Bool("no-posix", false, "skip POSIX runs (they are slow by design)")
 	verify     = flag.Bool("verify", false, "verify data (slower; uses real storage)")
+	cacheSize  = flag.Int64("cachesize", 4<<20, "pr6: per-client extent cache budget in bytes")
 )
 
 func main() {
@@ -69,6 +70,10 @@ func main() {
 		runPR5(jsonPath("BENCH_PR5.json"), tracePath("TRACE_PR5.json"), false)
 	case "pr5-smoke":
 		runPR5("", "", true)
+	case "pr6":
+		runPR6(jsonPath("BENCH_PR6.json"), false)
+	case "pr6-smoke":
+		runPR6("", true)
 	case "all":
 		runTile()
 		runBlock3D()

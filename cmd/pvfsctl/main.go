@@ -40,6 +40,7 @@ func main() {
 	meta := flag.String("meta", "127.0.0.1:7000", "metadata server address")
 	ioServers := flag.String("io", "127.0.0.1:7001", "comma-separated I/O server addresses, in index order")
 	strip := flag.Int64("strip", 64*1024, "strip size for created files")
+	cacheSize := flag.Int64("cachesize", 0, "client extent cache budget in bytes (0 = uncached)")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
@@ -53,7 +54,11 @@ func main() {
 	// put/get against a stalled or restarting server, and a receive
 	// deadline so admin verbs don't hang on a frozen daemon.
 	client.Retry = pvfs.DefaultRetryPolicy()
+	client.CacheBytes = *cacheSize
+	// Write-back caching holds dirty data in the process: push it out
+	// before the connections go away.
 	defer client.Close()
+	defer client.Flush(env)
 
 	fail := func(err error) {
 		if err != nil {
@@ -106,6 +111,7 @@ func main() {
 			}
 			fail(err)
 		}
+		fail(f.Sync(env))
 		fmt.Printf("put %s -> %s (%d bytes)\n", args[1], args[2], off)
 	case "get":
 		need(args, 3)

@@ -1,0 +1,231 @@
+package bench
+
+import (
+	"fmt"
+
+	"dtio/internal/mpiio"
+)
+
+// cacheByte is the oracle for the locality workloads: the expected value
+// of file byte off after round rd.
+func cacheByte(rd int, off int64) byte { return byte(off*193 + off>>10 + int64(rd)*31) }
+
+// ReRead measures read locality through the extent cache: every rank
+// owns a disjoint region, writes it once, then re-reads it `rounds`
+// times in opBytes steps. With the cache sized to hold the region, the
+// first pass fills and every later pass hits — the workload behind the
+// hit-ratio guarantee (EXPERIMENTS.md PR6).
+func ReRead(cfg Config, clients int, regionBytes, opBytes int64, rounds int) Result {
+	return cacheLocality(cfg, "cache-reread", clients, regionBytes, opBytes, rounds, false)
+}
+
+// ReWrite measures write locality: every rank overwrites its region
+// `rounds` times. A caching client absorbs every round in place and
+// writes the region back once; an uncached client pays full wire
+// traffic per round.
+func ReWrite(cfg Config, clients int, regionBytes, opBytes int64, rounds int) Result {
+	return cacheLocality(cfg, "cache-rewrite", clients, regionBytes, opBytes, rounds, true)
+}
+
+func cacheLocality(cfg Config, name string, clients int, regionBytes, opBytes int64, rounds int, rewrite bool) Result {
+	res := Result{Name: name, Method: mpiio.Posix, Clients: clients}
+	if clients <= 0 || regionBytes <= 0 || opBytes <= 0 || opBytes > regionBytes || rounds <= 0 {
+		res.Err = fmt.Errorf("bench: bad locality shape: %d clients, %d region, %d op, %d rounds",
+			clients, regionBytes, opBytes, rounds)
+		return res
+	}
+	cfg.Clients = clients
+	cl := NewCluster(cfg)
+	elapsed, per, err := cl.Run(func(r *Rank) error {
+		pf, err := openShared(r, "locality.dat", cfg.StripSize)
+		if err != nil {
+			return err
+		}
+		base := int64(r.ID) * regionBytes
+		buf := make([]byte, opBytes)
+		write := func(rd int) error {
+			for at := int64(0); at < regionBytes; at += opBytes {
+				if cfg.Verify {
+					for i := range buf {
+						buf[i] = cacheByte(rd, base+at+int64(i))
+					}
+				}
+				if err := pf.WriteContig(r.Env, base+at, buf); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		read := func(rd int) error {
+			for at := int64(0); at < regionBytes; at += opBytes {
+				if err := pf.ReadContig(r.Env, base+at, buf); err != nil {
+					return err
+				}
+				if cfg.Verify {
+					for i := range buf {
+						if buf[i] != cacheByte(rd, base+at+int64(i)) {
+							return fmt.Errorf("rank %d: stale byte at %d on round %d", r.ID, base+at+int64(i), rd)
+						}
+					}
+				}
+			}
+			return nil
+		}
+		r.Stats.Reset()
+		if err := r.TimePhase(func() error {
+			if rewrite {
+				for rd := 0; rd < rounds; rd++ {
+					if err := write(rd); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+			if err := write(0); err != nil {
+				return err
+			}
+			for rd := 0; rd < rounds; rd++ {
+				if err := read(0); err != nil {
+					return err
+				}
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+		if cfg.Verify {
+			// Read back through the plain path (NoCache) and check the
+			// flushed image byte-for-byte: cached and uncached runs must
+			// produce identical files.
+			r.Comm.Barrier(r.Env)
+			plain, err := r.FS.Open(r.Env, "locality.dat")
+			if err != nil {
+				return err
+			}
+			plain.NoCache = true
+			final := 0
+			if rewrite {
+				final = rounds - 1
+			}
+			got := make([]byte, regionBytes)
+			if err := plain.ReadContig(r.Env, base, got); err != nil {
+				return err
+			}
+			for i := range got {
+				if got[i] != cacheByte(final, base+int64(i)) {
+					return fmt.Errorf("rank %d: flushed byte %d wrong", r.ID, base+int64(i))
+				}
+			}
+		}
+		return nil
+	})
+	res.Elapsed = elapsed
+	res.PerClient = per
+	res.Disk = cl.DiskStats()
+	res.Util = cl.Utilization()
+	res.Lat = cl.ClientLat()
+	res.SrvLat = cl.ServerLat()
+	res.Fault = cl.FaultStats()
+	res.Total = cl.TotalStats()
+	res.Locks = cl.LockStats()
+	res.Bytes = regionBytes * int64(clients)
+	if rewrite {
+		res.Bytes *= int64(rounds)
+	} else {
+		res.Bytes *= int64(rounds + 1)
+	}
+	res.Err = err
+	return res
+}
+
+// CacheContention is the coherence stress: every rank writes the SAME
+// shared extent each round, so each access conflicts with every cached
+// copy and the metadata server revokes its way around the ring. The
+// interesting columns are lock waits, invalidations and flushes — the
+// bounded price of keeping caches coherent — while verification holds
+// because every rank writes the same oracle pattern.
+func CacheContention(cfg Config, writers int, extentBytes int64, rounds int) Result {
+	res := Result{Name: "cache-contention", Method: mpiio.Posix, Clients: writers}
+	if writers <= 0 || extentBytes <= 0 || rounds <= 0 {
+		res.Err = fmt.Errorf("bench: bad contention shape: %d writers, %d extent, %d rounds", writers, extentBytes, rounds)
+		return res
+	}
+	cfg.Clients = writers
+	cl := NewCluster(cfg)
+	elapsed, per, err := cl.Run(func(r *Rank) error {
+		pf, err := openShared(r, "pingpong.dat", cfg.StripSize)
+		if err != nil {
+			return err
+		}
+		// Step through the extent in sub-chunk writes: every rank's pass
+		// touches every chunk of the shared extent, so concurrent passes
+		// collide chunk by chunk and the lease protocol must revoke its
+		// way through (one whole-extent write would serialize at a single
+		// lease acquire and hide the contention).
+		const step = 4096
+		buf := make([]byte, step)
+		got := make([]byte, step)
+		r.Stats.Reset()
+		if err := r.TimePhase(func() error {
+			for rd := 0; rd < rounds; rd++ {
+				for at := int64(0); at < extentBytes; at += step {
+					n := min(step, extentBytes-at)
+					for i := int64(0); i < n; i++ {
+						buf[i] = cacheByte(0, at+i)
+					}
+					if err := pf.WriteContig(r.Env, at, buf[:n]); err != nil {
+						return err
+					}
+				}
+				for at := int64(0); at < extentBytes; at += step {
+					n := min(step, extentBytes-at)
+					if err := pf.ReadContig(r.Env, at, got[:n]); err != nil {
+						return err
+					}
+					if cfg.Verify {
+						for i := int64(0); i < n; i++ {
+							if got[i] != cacheByte(0, at+i) {
+								return fmt.Errorf("rank %d round %d: torn byte at %d", r.ID, rd, at+i)
+							}
+						}
+					}
+				}
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+		if cfg.Verify {
+			r.Comm.Barrier(r.Env)
+			if r.ID == 0 {
+				plain, err := r.FS.Open(r.Env, "pingpong.dat")
+				if err != nil {
+					return err
+				}
+				plain.NoCache = true
+				got := make([]byte, extentBytes)
+				if err := plain.ReadContig(r.Env, 0, got); err != nil {
+					return err
+				}
+				for i := range got {
+					if got[i] != cacheByte(0, int64(i)) {
+						return fmt.Errorf("flushed byte %d wrong after contention", i)
+					}
+				}
+			}
+		}
+		return nil
+	})
+	res.Elapsed = elapsed
+	res.PerClient = per
+	res.Disk = cl.DiskStats()
+	res.Util = cl.Utilization()
+	res.Lat = cl.ClientLat()
+	res.SrvLat = cl.ServerLat()
+	res.Fault = cl.FaultStats()
+	res.Total = cl.TotalStats()
+	res.Locks = cl.LockStats()
+	res.Bytes = 2 * extentBytes * int64(writers) * int64(rounds)
+	res.Err = err
+	return res
+}

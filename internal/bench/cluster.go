@@ -73,20 +73,28 @@ type Config struct {
 	// every server's request/disk/stream spans (plus meta lock waits)
 	// into one tracer, linked across the wire, for Chrome export.
 	Trace *trace.Tracer
+	// CacheBytes enables each rank's client-side extent cache with this
+	// data budget (DESIGN.md §13); 0 runs uncached, the pre-PR6
+	// behavior. Ranks Flush before their final barrier, so results
+	// include write-back costs.
+	CacheBytes int64
+	// CacheChunkBytes overrides the cache chunk/lease granularity
+	// (0 = cache.DefaultChunkBytes).
+	CacheChunkBytes int64
 }
 
 // DefaultConfig is the paper's testbed: 16 I/O servers, 64 KiB strips,
 // Chiba City hardware model, discard storage (performance runs).
 func DefaultConfig(clients, procsPerNode int) Config {
 	return Config{
-		Servers:      16,
-		Clients:      clients,
-		ProcsPerNode: procsPerNode,
-		StripSize:    64 * 1024,
-		SimCfg:       transport.DefaultSimConfig(),
-		Cost:         pvfs.DefaultCostModel(),
-		Hints:        mpiio.DefaultHints(),
-		Discard:      true,
+		Servers:       16,
+		Clients:       clients,
+		ProcsPerNode:  procsPerNode,
+		StripSize:     64 * 1024,
+		SimCfg:        transport.DefaultSimConfig(),
+		Cost:          pvfs.DefaultCostModel(),
+		Hints:         mpiio.DefaultHints(),
+		Discard:       true,
 		SieveGapBytes: pvfs.DefaultSieveGapBytes,
 	}
 }
@@ -108,10 +116,20 @@ type Rank struct {
 // cover the timed phase only (the rank has issued nothing yet between
 // the barriers, so resetting its own histogram cannot race).
 func (r *Rank) TimePhase(work func() error) error {
+	// A rank blocked in a barrier cannot answer cache-lease revocations,
+	// so flush before both barriers (no-ops when caching is off). The
+	// closing flush also charges write-back inside the timed window —
+	// cached numbers include the cost of getting data to the servers.
+	if err := r.FS.Flush(r.Env); err != nil {
+		return err
+	}
 	r.Comm.Barrier(r.Env)
 	r.c.opLats[r.ID].Reset()
 	start := r.Env.Now()
 	err := work()
+	if err == nil {
+		err = r.FS.Flush(r.Env)
+	}
 	r.Comm.Barrier(r.Env)
 	if r.ID == 0 {
 		r.c.winStart = start
@@ -185,9 +203,9 @@ type Cluster struct {
 
 	winStart, winEnd time.Duration
 	stats            []*iostats.Stats
-	diskStats        *iostats.Stats // shared by all servers' disk schedulers
-	opLats           []*metrics.Histogram    // per-rank client op latency
-	srvMetrics       []*pvfs.ServerMetrics   // per-server request metrics
+	diskStats        *iostats.Stats        // shared by all servers' disk schedulers
+	opLats           []*metrics.Histogram  // per-rank client op latency
+	srvMetrics       []*pvfs.ServerMetrics // per-server request metrics
 	totals           iostats.Snapshot
 	errs             []error
 
@@ -319,6 +337,8 @@ func (c *Cluster) Run(fn func(r *Rank) error) (time.Duration, iostats.Snapshot, 
 			fs.Tracer = c.cfg.Trace
 			fs.TraceTrack = fmt.Sprintf("rank%d", id)
 			fs.OpLat = c.opLats[id]
+			fs.CacheBytes = c.cfg.CacheBytes
+			fs.CacheChunkBytes = c.cfg.CacheChunkBytes
 			defer fs.Close()
 			r := &Rank{
 				ID:    id,

@@ -84,6 +84,29 @@ func BandwidthTable(title string, results []Result) string {
 	return b.String()
 }
 
+// CacheTable renders the extent-cache columns of a result set: hits,
+// misses, hit ratio, aggregated flushes and coherence invalidations per
+// client (from the timed phase), plus wire messages — the aggregation
+// win and the coherence cost side by side.
+func CacheTable(title string, results []Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-16s %8s %8s %8s %8s %9s %10s %8s %10s\n",
+		"Run", "clients", "hits", "misses", "hit%", "flushes", "flushed", "inval", "wiremsgs")
+	for _, r := range results {
+		if r.Err != nil {
+			fmt.Fprintf(&b, "%-16s ERROR: %v\n", r.Name, r.Err)
+			continue
+		}
+		s := r.PerClient
+		fmt.Fprintf(&b, "%-16s %8d %8d %8d %7.0f%% %9d %10s %8d %10d\n",
+			r.Name, r.Clients,
+			s.CacheHits, s.CacheMisses, 100*s.HitRatio(),
+			s.FlushOps, iostats.MB(s.FlushBytes), s.Invalidations, s.WireMsgs)
+	}
+	return b.String()
+}
+
 // UtilizationTable renders the bottleneck analysis of a result set.
 func UtilizationTable(title string, results []Result) string {
 	var b strings.Builder

@@ -1,0 +1,201 @@
+package cache
+
+import "container/list"
+
+// DefaultChunkBytes is the cache's extent (and lease) granularity: file
+// space is cached in aligned chunks of this size, each covered by one
+// byte-range lease. Large enough that a flush is a few big runs, small
+// enough that false sharing between neighboring writers stays cheap.
+const DefaultChunkBytes = 256 * 1024
+
+// Config sizes a Store.
+type Config struct {
+	// ChunkBytes is the aligned chunk size (<= 0: DefaultChunkBytes).
+	ChunkBytes int64
+	// MaxBytes caps resident chunk data; at least one chunk is always
+	// admitted (<= 0: unlimited).
+	MaxBytes int64
+}
+
+// Chunk is one resident extent: ChunkBytes of file [Off, Off+ChunkBytes)
+// of the file named by Handle. Valid and Dirty are chunk-relative byte
+// ranges; Dirty ⊆ Valid. Lease state lives with the owner (the pvfs
+// client), which stores what it needs in the exported fields.
+type Chunk struct {
+	Handle uint64
+	Off    int64
+	Data   []byte
+	Valid  RangeSet
+	Dirty  RangeSet
+
+	// Lease bookkeeping for the owner: the covering lock's ID, whether
+	// it is exclusive, and when it was granted (for expiry tracking).
+	LockID    uint64
+	Exclusive bool
+	LeaseEnd  int64 // owner's flush-before deadline in ns (0 = none)
+
+	elem *list.Element
+}
+
+// Write copies p into the chunk at absolute file offset off, marking
+// the range valid and dirty. The caller guarantees the range lies
+// within the chunk.
+func (c *Chunk) Write(off int64, p []byte) {
+	rel := off - c.Off
+	copy(c.Data[rel:], p)
+	c.Valid = c.Valid.Add(rel, int64(len(p)))
+	c.Dirty = c.Dirty.Add(rel, int64(len(p)))
+}
+
+// ReadInto copies the absolute range [off, off+len(p)) into p if it is
+// entirely valid; ok reports whether it was.
+func (c *Chunk) ReadInto(off int64, p []byte) (ok bool) {
+	rel := off - c.Off
+	if !c.Valid.Contains(rel, int64(len(p))) {
+		return false
+	}
+	copy(p, c.Data[rel:])
+	return true
+}
+
+// Fill installs freshly read chunk contents without clobbering ranges
+// already valid (which may hold newer, dirty bytes): only the gaps are
+// copied. data covers the whole chunk.
+func (c *Chunk) Fill(data []byte) {
+	gaps := RangeSet{{Off: 0, N: int64(len(c.Data))}}
+	for _, v := range c.Valid {
+		gaps = gaps.Sub(v.Off, v.N)
+	}
+	for _, g := range gaps {
+		copy(c.Data[g.Off:g.End()], data[g.Off:g.End()])
+	}
+	c.Valid = RangeSet{{Off: 0, N: int64(len(c.Data))}}
+}
+
+// DirtyRuns reports the dirty ranges as absolute file regions.
+func (c *Chunk) DirtyRuns() []Region {
+	runs := make([]Region, len(c.Dirty))
+	for i, d := range c.Dirty {
+		runs[i] = Region{Off: c.Off + d.Off, N: d.N}
+	}
+	return runs
+}
+
+// MarkClean clears dirtiness (after the owner flushed the runs).
+func (c *Chunk) MarkClean() { c.Dirty = nil }
+
+// Store holds a client's cached chunks with LRU eviction order.
+type Store struct {
+	cfg    Config
+	chunks map[chunkKey]*Chunk
+	lru    *list.List // front = most recently used
+	bytes  int64
+}
+
+type chunkKey struct {
+	handle uint64
+	off    int64
+}
+
+// New creates an empty Store.
+func New(cfg Config) *Store {
+	if cfg.ChunkBytes <= 0 {
+		cfg.ChunkBytes = DefaultChunkBytes
+	}
+	return &Store{cfg: cfg, chunks: make(map[chunkKey]*Chunk), lru: list.New()}
+}
+
+// ChunkBytes reports the chunk granularity.
+func (s *Store) ChunkBytes() int64 { return s.cfg.ChunkBytes }
+
+// Align rounds off down to its chunk start.
+func (s *Store) Align(off int64) int64 { return off - off%s.cfg.ChunkBytes }
+
+// Get returns the resident chunk at the aligned offset, or nil.
+func (s *Store) Get(handle uint64, off int64) *Chunk {
+	return s.chunks[chunkKey{handle, off}]
+}
+
+// GetOrCreate returns the chunk at the aligned offset, allocating an
+// empty one if absent, and bumps it to most-recently-used.
+func (s *Store) GetOrCreate(handle uint64, off int64) *Chunk {
+	k := chunkKey{handle, off}
+	c := s.chunks[k]
+	if c == nil {
+		c = &Chunk{Handle: handle, Off: off, Data: make([]byte, s.cfg.ChunkBytes)}
+		c.elem = s.lru.PushFront(c)
+		s.chunks[k] = c
+		s.bytes += s.cfg.ChunkBytes
+	} else {
+		s.lru.MoveToFront(c.elem)
+	}
+	return c
+}
+
+// Touch bumps a chunk to most-recently-used.
+func (s *Store) Touch(c *Chunk) { s.lru.MoveToFront(c.elem) }
+
+// Drop removes a chunk from the store.
+func (s *Store) Drop(c *Chunk) {
+	k := chunkKey{c.Handle, c.Off}
+	if s.chunks[k] == c {
+		delete(s.chunks, k)
+		s.lru.Remove(c.elem)
+		s.bytes -= int64(len(c.Data))
+	}
+}
+
+// Bytes reports resident chunk data.
+func (s *Store) Bytes() int64 { return s.bytes }
+
+// OverBudget reports whether eviction is due. A single chunk is always
+// admitted, so a cache smaller than one chunk still functions.
+func (s *Store) OverBudget() bool {
+	return s.cfg.MaxBytes > 0 && s.bytes > s.cfg.MaxBytes && s.lru.Len() > 1
+}
+
+// Victim returns the least-recently-used chunk not in pinned, or nil.
+func (s *Store) Victim(pinned map[*Chunk]bool) *Chunk {
+	for e := s.lru.Back(); e != nil; e = e.Prev() {
+		c := e.Value.(*Chunk)
+		if !pinned[c] {
+			return c
+		}
+	}
+	return nil
+}
+
+// Chunks returns every resident chunk of the file (any order).
+func (s *Store) Chunks(handle uint64) []*Chunk {
+	var out []*Chunk
+	for k, c := range s.chunks {
+		if k.handle == handle {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// All returns every resident chunk (any order).
+func (s *Store) All() []*Chunk {
+	out := make([]*Chunk, 0, len(s.chunks))
+	for _, c := range s.chunks {
+		out = append(out, c)
+	}
+	return out
+}
+
+// Overlapping returns the resident chunks of the file intersecting the
+// absolute range [off, off+n), in ascending chunk order.
+func (s *Store) Overlapping(handle uint64, off, n int64) []*Chunk {
+	if n <= 0 {
+		return nil
+	}
+	var out []*Chunk
+	for at := s.Align(off); at < off+n; at += s.cfg.ChunkBytes {
+		if c := s.Get(handle, at); c != nil {
+			out = append(out, c)
+		}
+	}
+	return out
+}

@@ -1,0 +1,127 @@
+package cache
+
+import (
+	"bytes"
+	"testing"
+)
+
+func regions(s RangeSet) []Region { return []Region(s) }
+
+func TestRangeSetAddMerge(t *testing.T) {
+	var s RangeSet
+	s = s.Add(10, 10) // [10,20)
+	s = s.Add(30, 10) // [10,20) [30,40)
+	if len(s) != 2 {
+		t.Fatalf("want 2 regions, got %v", regions(s))
+	}
+	s = s.Add(20, 10) // adjacent on both sides: merge to [10,40)
+	if len(s) != 1 || s[0] != (Region{Off: 10, N: 30}) {
+		t.Fatalf("want [10,+30), got %v", regions(s))
+	}
+	s = s.Add(5, 100)
+	if len(s) != 1 || s[0] != (Region{Off: 5, N: 100}) {
+		t.Fatalf("want [5,+100), got %v", regions(s))
+	}
+	if got := s.Bytes(); got != 100 {
+		t.Fatalf("Bytes = %d, want 100", got)
+	}
+}
+
+func TestRangeSetSubSplits(t *testing.T) {
+	var s RangeSet
+	s = s.Add(0, 100)
+	s = s.Sub(40, 20) // [0,40) [60,100)
+	if len(s) != 2 || s[0] != (Region{0, 40}) || s[1] != (Region{60, 40}) {
+		t.Fatalf("got %v", regions(s))
+	}
+	if s.Contains(30, 20) {
+		t.Fatal("range straddling the hole reported contained")
+	}
+	if !s.Contains(60, 40) || !s.Contains(0, 40) {
+		t.Fatal("surviving halves not contained")
+	}
+	if !s.Overlaps(35, 10) {
+		t.Fatal("overlap with left half missed")
+	}
+	if s.Overlaps(45, 10) {
+		t.Fatal("hole reported overlapping")
+	}
+	s = s.Sub(0, 200)
+	if len(s) != 0 {
+		t.Fatalf("full subtract left %v", regions(s))
+	}
+}
+
+func TestChunkWriteReadFill(t *testing.T) {
+	s := New(Config{ChunkBytes: 64})
+	c := s.GetOrCreate(1, 64)
+	c.Write(70, []byte("dirty!"))
+	buf := make([]byte, 6)
+	if !c.ReadInto(70, buf) || string(buf) != "dirty!" {
+		t.Fatalf("read-back of cached write: %q", buf)
+	}
+	if c.ReadInto(64, make([]byte, 10)) {
+		t.Fatal("partially-valid range served as a hit")
+	}
+	// Fill with server contents: gaps take the fill, dirty bytes win.
+	fill := bytes.Repeat([]byte{0xAA}, 64)
+	c.Fill(fill)
+	whole := make([]byte, 64)
+	if !c.ReadInto(64, whole) {
+		t.Fatal("chunk not fully valid after Fill")
+	}
+	want := bytes.Repeat([]byte{0xAA}, 64)
+	copy(want[6:], "dirty!")
+	if !bytes.Equal(whole, want) {
+		t.Fatalf("Fill clobbered dirty bytes:\n got %x\nwant %x", whole, want)
+	}
+	runs := c.DirtyRuns()
+	if len(runs) != 1 || runs[0] != (Region{Off: 70, N: 6}) {
+		t.Fatalf("DirtyRuns = %v", runs)
+	}
+	c.MarkClean()
+	if len(c.Dirty) != 0 {
+		t.Fatal("MarkClean left dirt")
+	}
+}
+
+func TestStoreLRUAndVictim(t *testing.T) {
+	s := New(Config{ChunkBytes: 64, MaxBytes: 128})
+	a := s.GetOrCreate(1, 0)
+	b := s.GetOrCreate(1, 64)
+	if s.OverBudget() {
+		t.Fatal("at budget, not over")
+	}
+	c := s.GetOrCreate(1, 128)
+	if !s.OverBudget() {
+		t.Fatal("3 chunks of 64 over a 128 budget")
+	}
+	s.Touch(a) // a most recent; b is LRU
+	if v := s.Victim(nil); v != b {
+		t.Fatalf("victim = %+v, want chunk at 64", v)
+	}
+	if v := s.Victim(map[*Chunk]bool{b: true}); v != c {
+		t.Fatalf("pinned victim = %+v, want chunk at 128", v)
+	}
+	s.Drop(b)
+	if s.Get(1, 64) != nil || s.Bytes() != 128 {
+		t.Fatal("Drop did not remove the chunk")
+	}
+	if got := len(s.Overlapping(1, 60, 100)); got != 2 {
+		t.Fatalf("Overlapping spans %d chunks, want 2 (0 and 128 resident)", got)
+	}
+	if got := len(s.Chunks(1)); got != 2 {
+		t.Fatalf("Chunks = %d, want 2", got)
+	}
+}
+
+func TestStoreAlignAndSingleChunkAdmission(t *testing.T) {
+	s := New(Config{ChunkBytes: 256, MaxBytes: 100}) // budget < one chunk
+	if s.Align(300) != 256 || s.Align(255) != 0 {
+		t.Fatal("Align broken")
+	}
+	s.GetOrCreate(7, 0)
+	if s.OverBudget() {
+		t.Fatal("sole chunk must always be admitted")
+	}
+}

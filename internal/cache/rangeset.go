@@ -1,0 +1,105 @@
+// Package cache is the client-side extent cache: chunk-organized file
+// data with validity and dirtiness tracked as byte ranges, evicted LRU.
+// It is a pure data structure — no I/O, no locking protocol. The pvfs
+// client layers coherence on top by covering every resident chunk with
+// a shared or exclusive lease from the metadata server's lock service
+// and flushing dirty ranges through the list-I/O write path (see
+// DESIGN.md §13).
+//
+// The cache is not safe for concurrent use: it belongs to one client's
+// logical thread, which is the only thread that reads or writes it.
+package cache
+
+// Region is a half-open byte range [Off, Off+N).
+type Region struct {
+	Off int64
+	N   int64
+}
+
+// End reports Off+N.
+func (r Region) End() int64 { return r.Off + r.N }
+
+// RangeSet is a sorted list of disjoint, non-adjacent regions. The zero
+// value is an empty set. Operations return the updated set (append-style
+// usage: s = s.Add(...)).
+type RangeSet []Region
+
+// Add inserts [off, off+n), merging with any overlapping or adjacent
+// regions.
+func (s RangeSet) Add(off, n int64) RangeSet {
+	if n <= 0 {
+		return s
+	}
+	out := make(RangeSet, 0, len(s)+1)
+	i := 0
+	for ; i < len(s) && s[i].End() < off; i++ {
+		out = append(out, s[i])
+	}
+	lo, hi := off, off+n
+	for ; i < len(s) && s[i].Off <= hi; i++ {
+		if s[i].Off < lo {
+			lo = s[i].Off
+		}
+		if s[i].End() > hi {
+			hi = s[i].End()
+		}
+	}
+	out = append(out, Region{Off: lo, N: hi - lo})
+	out = append(out, s[i:]...)
+	return out
+}
+
+// Sub removes [off, off+n), splitting regions that straddle the cut.
+func (s RangeSet) Sub(off, n int64) RangeSet {
+	if n <= 0 {
+		return s
+	}
+	hi := off + n
+	out := make(RangeSet, 0, len(s)+1)
+	for _, r := range s {
+		if r.End() <= off || r.Off >= hi {
+			out = append(out, r)
+			continue
+		}
+		if r.Off < off {
+			out = append(out, Region{Off: r.Off, N: off - r.Off})
+		}
+		if r.End() > hi {
+			out = append(out, Region{Off: hi, N: r.End() - hi})
+		}
+	}
+	return out
+}
+
+// Contains reports whether [off, off+n) lies entirely inside the set.
+func (s RangeSet) Contains(off, n int64) bool {
+	if n <= 0 {
+		return true
+	}
+	for _, r := range s {
+		if r.Off <= off && off+n <= r.End() {
+			return true
+		}
+	}
+	return false
+}
+
+// Overlaps reports whether [off, off+n) intersects the set.
+func (s RangeSet) Overlaps(off, n int64) bool {
+	hi := off + n
+	for _, r := range s {
+		if r.Off < hi && off < r.End() {
+			return true
+		}
+	}
+	return false
+}
+
+// Bytes reports the total length covered.
+func (s RangeSet) Bytes() int64 {
+	var total int64
+	for _, r := range s {
+		total += r.N
+	}
+	return total
+}

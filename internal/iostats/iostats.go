@@ -33,6 +33,11 @@ type Stats struct {
 	timeouts   atomic.Int64 // attempts that failed by receive timeout
 	replayed   atomic.Int64 // payload bytes sent again on retries
 	failoverNs atomic.Int64 // first failure to recovered, per recovered op
+	cacheHits  atomic.Int64 // ops served entirely from the client cache
+	cacheMiss  atomic.Int64 // ops that had to fill or bypass the cache
+	flushOps   atomic.Int64 // write-back flushes issued
+	flushBytes atomic.Int64 // dirty bytes written back by flushes
+	invals     atomic.Int64 // cached chunks invalidated (revoke, expiry, bypass)
 }
 
 // AddDesired records application-requested bytes.
@@ -87,6 +92,22 @@ func (s *Stats) AddReplayed(n int64) { s.replayed.Add(n) }
 // eventual success.
 func (s *Stats) AddFailover(ns int64) { s.failoverNs.Add(ns) }
 
+// AddCacheHit records an operation served entirely from the client cache.
+func (s *Stats) AddCacheHit() { s.cacheHits.Add(1) }
+
+// AddCacheMiss records an operation that filled or bypassed the cache.
+func (s *Stats) AddCacheMiss() { s.cacheMiss.Add(1) }
+
+// AddFlush records one write-back flush of n dirty bytes.
+func (s *Stats) AddFlush(n int64) {
+	s.flushOps.Add(1)
+	s.flushBytes.Add(n)
+}
+
+// AddInvalidations records cached chunks dropped for coherence (lease
+// revocation or expiry, or a bypassing operation on the same range).
+func (s *Stats) AddInvalidations(n int64) { s.invals.Add(n) }
+
 // Snapshot is an immutable copy of the counters.
 type Snapshot struct {
 	DesiredBytes  int64
@@ -105,6 +126,11 @@ type Snapshot struct {
 	Timeouts      int64 // attempts that failed by receive timeout
 	ReplayedBytes int64 // payload bytes sent again on retries
 	FailoverNs    int64 // first failure to recovered, per recovered op
+	CacheHits     int64 // ops served entirely from the client cache
+	CacheMisses   int64 // ops that had to fill or bypass the cache
+	FlushOps      int64 // write-back flushes issued
+	FlushBytes    int64 // dirty bytes written back by flushes
+	Invalidations int64 // cached chunks invalidated
 }
 
 // Snapshot copies the current counters.
@@ -126,6 +152,11 @@ func (s *Stats) Snapshot() Snapshot {
 		Timeouts:      s.timeouts.Load(),
 		ReplayedBytes: s.replayed.Load(),
 		FailoverNs:    s.failoverNs.Load(),
+		CacheHits:     s.cacheHits.Load(),
+		CacheMisses:   s.cacheMiss.Load(),
+		FlushOps:      s.flushOps.Load(),
+		FlushBytes:    s.flushBytes.Load(),
+		Invalidations: s.invals.Load(),
 	}
 }
 
@@ -151,6 +182,11 @@ func (s *Stats) Reset() {
 		Timeouts:      s.timeouts.Swap(0),
 		ReplayedBytes: s.replayed.Swap(0),
 		FailoverNs:    s.failoverNs.Swap(0),
+		CacheHits:     s.cacheHits.Swap(0),
+		CacheMisses:   s.cacheMiss.Swap(0),
+		FlushOps:      s.flushOps.Swap(0),
+		FlushBytes:    s.flushBytes.Swap(0),
+		Invalidations: s.invals.Swap(0),
 	})
 	s.mu.Unlock()
 }
@@ -183,6 +219,11 @@ func (a Snapshot) Add(b Snapshot) Snapshot {
 		Timeouts:      a.Timeouts + b.Timeouts,
 		ReplayedBytes: a.ReplayedBytes + b.ReplayedBytes,
 		FailoverNs:    a.FailoverNs + b.FailoverNs,
+		CacheHits:     a.CacheHits + b.CacheHits,
+		CacheMisses:   a.CacheMisses + b.CacheMisses,
+		FlushOps:      a.FlushOps + b.FlushOps,
+		FlushBytes:    a.FlushBytes + b.FlushBytes,
+		Invalidations: a.Invalidations + b.Invalidations,
 	}
 }
 
@@ -208,6 +249,11 @@ func (a Snapshot) Div(n int64) Snapshot {
 		Timeouts:      a.Timeouts / n,
 		ReplayedBytes: a.ReplayedBytes / n,
 		FailoverNs:    a.FailoverNs / n,
+		CacheHits:     a.CacheHits / n,
+		CacheMisses:   a.CacheMisses / n,
+		FlushOps:      a.FlushOps / n,
+		FlushBytes:    a.FlushBytes / n,
+		Invalidations: a.Invalidations / n,
 	}
 }
 
@@ -221,6 +267,15 @@ func MB(n int64) string {
 	default:
 		return fmt.Sprintf("%.2f MB", float64(n)/(1<<20))
 	}
+}
+
+// HitRatio reports cache hits as a fraction of cache-visible ops (0
+// when the cache saw no traffic).
+func (s Snapshot) HitRatio() float64 {
+	if s.CacheHits+s.CacheMisses == 0 {
+		return 0
+	}
+	return float64(s.CacheHits) / float64(s.CacheHits+s.CacheMisses)
 }
 
 func (s Snapshot) String() string {
@@ -238,6 +293,10 @@ func (s Snapshot) String() string {
 	if s.Retries != 0 || s.Timeouts != 0 || s.ReplayedBytes != 0 || s.FailoverNs != 0 {
 		str += fmt.Sprintf(" retries=%d timeouts=%d replayed=%s failover=%s",
 			s.Retries, s.Timeouts, MB(s.ReplayedBytes), time.Duration(s.FailoverNs))
+	}
+	if s.CacheHits != 0 || s.CacheMisses != 0 || s.FlushOps != 0 || s.Invalidations != 0 {
+		str += fmt.Sprintf(" cachehits=%d misses=%d hitratio=%.0f%% flushes=%d flushed=%s inval=%d",
+			s.CacheHits, s.CacheMisses, 100*s.HitRatio(), s.FlushOps, MB(s.FlushBytes), s.Invalidations)
 	}
 	return str
 }

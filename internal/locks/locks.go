@@ -41,6 +41,12 @@ type Req struct {
 	Shared bool   // read lock; compatible with other shared locks
 	Owner  uint64 // requesting connection/client identity
 	Ctx    any    // opaque host context, returned with the grant
+	// Revocable marks a cache lease: when a later request conflicts
+	// with this lock while it is granted, the Manager reports a
+	// Revocation (see TakeRevocations) instead of leaving the requester
+	// to wait out the holder's lease. The holder is expected to flush
+	// and release; the release then promotes the waiter as usual.
+	Revocable bool
 }
 
 // Granted reports a queued request whose wait just ended: either its
@@ -55,11 +61,25 @@ type Granted struct {
 
 // lock is one granted range.
 type lock struct {
-	id     uint64
-	owner  uint64
-	off, n int64
-	shared bool
-	expiry time.Duration // reclaim deadline; 0 = no lease
+	id        uint64
+	owner     uint64
+	off, n    int64
+	shared    bool
+	expiry    time.Duration // reclaim deadline; 0 = no lease
+	ctx       any           // host context of the grant (revocation delivery)
+	revocable bool
+	revoked   bool // a revocation has already been reported
+}
+
+// Revocation asks the host to tell the holder of a revocable granted
+// lock to flush and release it, because a conflicting request is now
+// queued behind it. Each granted lock is reported at most once.
+type Revocation struct {
+	Handle uint64
+	ID     uint64
+	Off    int64
+	N      int64
+	Ctx    any // the holder's grant context
 }
 
 // waiter is one queued request.
@@ -78,14 +98,15 @@ type table struct {
 
 // Stats is a snapshot of the Manager's counters.
 type Stats struct {
-	Acquires  int64         // acquisition requests accepted
-	Immediate int64         // granted without queuing
-	Waits     int64         // requests that queued
-	WaitTime  time.Duration // total queued time of completed waits
-	Expired   int64         // leases reclaimed
-	Releases  int64         // explicit releases
-	Held      int           // currently granted locks
-	Queued    int           // currently queued requests
+	Acquires    int64         // acquisition requests accepted
+	Immediate   int64         // granted without queuing
+	Waits       int64         // requests that queued
+	WaitTime    time.Duration // total queued time of completed waits
+	Expired     int64         // leases reclaimed
+	Releases    int64         // explicit releases
+	Revocations int64         // cache-lease revocations reported
+	Held        int           // currently granted locks
+	Queued      int           // currently queued requests
 }
 
 // Manager is the lock service state. The zero value is not usable; call
@@ -96,12 +117,19 @@ type Manager struct {
 	nextID uint64
 	files  map[uint64]*table
 
-	acquires  int64
-	immediate int64
-	waits     int64
-	waitTime  time.Duration
-	expired   int64
-	releases  int64
+	acquires    int64
+	immediate   int64
+	waits       int64
+	waitTime    time.Duration
+	expired     int64
+	releases    int64
+	revocations int64
+
+	// pending holds revocations produced by Acquire/promote until the
+	// host drains them with TakeRevocations (same return-as-values
+	// discipline as wake lists, kept separate so existing Acquire call
+	// sites stay untouched).
+	pending []Revocation
 
 	// watchdog tracks the host's pending lease sweep (see ArmWatchdog).
 	watchdogArmed bool
@@ -192,7 +220,7 @@ func (m *Manager) sweepLocked(now time.Duration) (wake []Granted) {
 		}
 		t.granted = kept
 		if changed {
-			wake = append(wake, m.promoteLocked(t, now)...)
+			wake = append(wake, m.promoteLocked(t, h, now)...)
 		}
 		if len(t.granted) == 0 && len(t.queue) == 0 {
 			delete(m.files, h)
@@ -205,7 +233,7 @@ func (m *Manager) sweepLocked(now time.Duration) (wake []Granted) {
 // granted only if it conflicts with no granted lock and with no earlier
 // waiter still in the queue (earlier waiters act as phantom grants, the
 // rule that keeps the queue starvation-free). Must hold m.mu.
-func (m *Manager) promoteLocked(t *table, now time.Duration) (wake []Granted) {
+func (m *Manager) promoteLocked(t *table, handle uint64, now time.Duration) (wake []Granted) {
 	var blocked []*waiter
 	kept := t.queue[:0]
 	for _, w := range t.queue {
@@ -229,6 +257,7 @@ func (m *Manager) promoteLocked(t *table, now time.Duration) (wake []Granted) {
 			continue
 		}
 		l := w.lock
+		l.ctx = w.ctx
 		if m.lease > 0 {
 			l.expiry = now + m.lease
 		}
@@ -238,7 +267,36 @@ func (m *Manager) promoteLocked(t *table, now time.Duration) (wake []Granted) {
 		wake = append(wake, Granted{ID: l.id, Ctx: w.ctx, Waited: now - w.enq})
 	}
 	t.queue = kept
+	// A revocable lock granted while conflicting requests remain queued
+	// must be revoked right away, or the waiters would sit behind a
+	// cache lease that its holder has no reason to give up.
+	for _, w := range t.queue {
+		m.revokeBlockersLocked(t, handle, w.off, w.n, w.shared)
+	}
 	return wake
+}
+
+// revokeBlockersLocked reports (once each) every granted revocable lock
+// that conflicts with the given range. Must hold m.mu.
+func (m *Manager) revokeBlockersLocked(t *table, handle uint64, off, n int64, shared bool) {
+	for _, l := range t.granted {
+		if l.revocable && !l.revoked && l.conflictsWith(off, n, shared) {
+			l.revoked = true
+			m.revocations++
+			m.pending = append(m.pending, Revocation{Handle: handle, ID: l.id, Off: l.off, N: l.n, Ctx: l.ctx})
+		}
+	}
+}
+
+// TakeRevocations drains the pending revocation list. Hosts call it
+// after any operation that may queue requests (Acquire, Release,
+// Sweep) and deliver each revocation to its holder.
+func (m *Manager) TakeRevocations() []Revocation {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p := m.pending
+	m.pending = nil
+	return p
 }
 
 // Acquire requests a byte-range lock. If the range is free the lock is
@@ -258,7 +316,7 @@ func (m *Manager) Acquire(now time.Duration, r Req) (id uint64, granted bool, wa
 	}
 	id = m.nextID
 	m.nextID++
-	l := lock{id: id, owner: r.Owner, off: r.Off, n: r.N, shared: r.Shared}
+	l := lock{id: id, owner: r.Owner, off: r.Off, n: r.N, shared: r.Shared, ctx: r.Ctx, revocable: r.Revocable}
 	free := !t.grantedConflict(r.Off, r.N, r.Shared)
 	if free {
 		for _, w := range t.queue {
@@ -278,6 +336,7 @@ func (m *Manager) Acquire(now time.Duration, r Req) (id uint64, granted bool, wa
 	}
 	m.waits++
 	t.queue = append(t.queue, &waiter{lock: l, ctx: r.Ctx, enq: now})
+	m.revokeBlockersLocked(t, r.Handle, r.Off, r.N, r.Shared)
 	return id, false, wake
 }
 
@@ -303,7 +362,7 @@ func (m *Manager) Release(now time.Duration, handle, id, owner uint64) (ok bool,
 		return false, wake
 	}
 	m.releases++
-	wake = append(wake, m.promoteLocked(t, now)...)
+	wake = append(wake, m.promoteLocked(t, handle, now)...)
 	if len(t.granted) == 0 && len(t.queue) == 0 {
 		delete(m.files, handle)
 	}
@@ -339,7 +398,7 @@ func (m *Manager) ReleaseOwner(now time.Duration, owner uint64) (wake []Granted)
 		}
 		t.queue = keptQ
 		if changed {
-			wake = append(wake, m.promoteLocked(t, now)...)
+			wake = append(wake, m.promoteLocked(t, h, now)...)
 		}
 		if len(t.granted) == 0 && len(t.queue) == 0 {
 			delete(m.files, h)
@@ -439,12 +498,13 @@ func (m *Manager) Stats() Stats {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	s := Stats{
-		Acquires:  m.acquires,
-		Immediate: m.immediate,
-		Waits:     m.waits,
-		WaitTime:  m.waitTime,
-		Expired:   m.expired,
-		Releases:  m.releases,
+		Acquires:    m.acquires,
+		Immediate:   m.immediate,
+		Waits:       m.waits,
+		WaitTime:    m.waitTime,
+		Expired:     m.expired,
+		Releases:    m.releases,
+		Revocations: m.revocations,
 	}
 	for _, t := range m.files {
 		s.Held += len(t.granted)

@@ -229,3 +229,103 @@ func TestPromotionRespectsPhantomConflicts(t *testing.T) {
 		t.Fatalf("stats=%+v", s)
 	}
 }
+
+func TestRevocationOnQueuedConflict(t *testing.T) {
+	m := NewManager(0)
+	idA, ok, _ := m.Acquire(ms(0), Req{Handle: 1, Off: 0, N: 100, Owner: 1, Revocable: true, Ctx: "leaseA"})
+	if !ok {
+		t.Fatal("revocable lease not granted on free range")
+	}
+	if rv := m.TakeRevocations(); len(rv) != 0 {
+		t.Fatalf("revocations before any conflict: %+v", rv)
+	}
+	// A conflicting request queues and must revoke the lease blocking it.
+	_, ok, _ = m.Acquire(ms(1), Req{Handle: 1, Off: 50, N: 100, Owner: 2, Ctx: "req"})
+	if ok {
+		t.Fatal("conflicting exclusive acquired over the lease")
+	}
+	rv := m.TakeRevocations()
+	if len(rv) != 1 || rv[0].ID != idA || rv[0].Handle != 1 || rv[0].Ctx != "leaseA" {
+		t.Fatalf("revocations=%+v, want the blocking lease", rv)
+	}
+	if rv[0].Off != 0 || rv[0].N != 100 {
+		t.Fatalf("revocation range [%d,+%d), want the lease's [0,+100)", rv[0].Off, rv[0].N)
+	}
+	// Drained; a second conflicting request must not re-revoke.
+	_, ok, _ = m.Acquire(ms(2), Req{Handle: 1, Off: 0, N: 10, Owner: 3})
+	if ok {
+		t.Fatal("third request acquired over the lease")
+	}
+	if rv := m.TakeRevocations(); len(rv) != 0 {
+		t.Fatalf("lease revoked twice: %+v", rv)
+	}
+	if s := m.Stats(); s.Revocations != 1 {
+		t.Fatalf("stats.Revocations = %d, want 1", s.Revocations)
+	}
+	// Release is the revoke-ack: both queued requests (disjoint from
+	// each other) are granted, FIFO head first.
+	ok, wake := m.Release(ms(5), 1, idA, 1)
+	if !ok || len(wake) != 2 || wake[0].Ctx != "req" {
+		t.Fatalf("release: ok=%v wake=%+v", ok, wake)
+	}
+}
+
+func TestRevocationOnPromotion(t *testing.T) {
+	m := NewManager(0)
+	// Non-revocable holder, then a queued revocable lease request, then a
+	// queued conflicting request behind it.
+	idHold, ok, _ := m.Acquire(ms(0), Req{Handle: 1, Off: 0, N: 100, Owner: 1})
+	if !ok {
+		t.Fatal("holder not granted")
+	}
+	idLease, ok, _ := m.Acquire(ms(1), Req{Handle: 1, Off: 0, N: 100, Owner: 2, Revocable: true, Ctx: "lease"})
+	if ok {
+		t.Fatal("lease request granted over holder")
+	}
+	_, ok, _ = m.Acquire(ms(2), Req{Handle: 1, Off: 0, N: 100, Owner: 3, Ctx: "waiter"})
+	if ok {
+		t.Fatal("waiter granted over holder")
+	}
+	m.TakeRevocations() // queue-time revocations target nothing revocable yet
+	// Releasing the holder promotes the lease — which is immediately
+	// revoked because a conflicting waiter is still queued behind it.
+	ok, wake := m.Release(ms(3), 1, idHold, 1)
+	if !ok || len(wake) != 1 || wake[0].ID != idLease {
+		t.Fatalf("release: ok=%v wake=%+v", ok, wake)
+	}
+	rv := m.TakeRevocations()
+	if len(rv) != 1 || rv[0].ID != idLease || rv[0].Ctx != "lease" {
+		t.Fatalf("promotion revocations=%+v, want the just-granted lease", rv)
+	}
+}
+
+func TestSharedLeasesRevokedTogether(t *testing.T) {
+	m := NewManager(0)
+	id1, ok1, _ := m.Acquire(0, Req{Handle: 1, Off: 0, N: 100, Shared: true, Owner: 1, Revocable: true, Ctx: "r1"})
+	id2, ok2, _ := m.Acquire(0, Req{Handle: 1, Off: 50, N: 100, Shared: true, Owner: 2, Revocable: true, Ctx: "r2"})
+	if !ok1 || !ok2 {
+		t.Fatal("shared leases not granted")
+	}
+	// A writer queuing over both must revoke both.
+	_, ok, _ := m.Acquire(0, Req{Handle: 1, Off: 0, N: 150, Owner: 3})
+	if ok {
+		t.Fatal("writer granted over shared leases")
+	}
+	rv := m.TakeRevocations()
+	if len(rv) != 2 {
+		t.Fatalf("revocations=%+v, want both shared leases", rv)
+	}
+	seen := map[uint64]bool{rv[0].ID: true, rv[1].ID: true}
+	if !seen[id1] || !seen[id2] {
+		t.Fatalf("revoked ids %v, want %d and %d", seen, id1, id2)
+	}
+	// A shared request over a shared lease coexists: no revocation.
+	_, _, _ = m.Acquire(0, Req{Handle: 2, Off: 0, N: 10, Shared: true, Owner: 4, Revocable: true})
+	_, ok, _ = m.Acquire(0, Req{Handle: 2, Off: 0, N: 10, Shared: true, Owner: 5})
+	if !ok {
+		t.Fatal("shared over shared lease should coexist")
+	}
+	if rv := m.TakeRevocations(); len(rv) != 0 {
+		t.Fatalf("shared reader revoked a shared lease: %+v", rv)
+	}
+}

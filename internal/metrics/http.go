@@ -66,6 +66,12 @@ func RegisterIOStats(reg *Registry, prefix string, fn func() iostats.Snapshot) {
 	g("timeouts", "request timeouts", func(s iostats.Snapshot) int64 { return s.Timeouts })
 	g("replayed_bytes", "duplicate write bytes suppressed by replay dedup", func(s iostats.Snapshot) int64 { return s.ReplayedBytes })
 	g("failover_ns", "time spent failing over to retries", func(s iostats.Snapshot) int64 { return s.FailoverNs })
+	g("cache_hits", "cached operations served from the extent cache", func(s iostats.Snapshot) int64 { return s.CacheHits })
+	g("cache_misses", "cached operations that had to fill from servers", func(s iostats.Snapshot) int64 { return s.CacheMisses })
+	g("cache_hit_pct", "extent cache hit ratio in percent", func(s iostats.Snapshot) int64 { return int64(100 * s.HitRatio()) })
+	g("cache_flush_ops", "aggregated write-back flushes", func(s iostats.Snapshot) int64 { return s.FlushOps })
+	g("cache_flush_bytes", "dirty bytes written back by flushes", func(s iostats.Snapshot) int64 { return s.FlushBytes })
+	g("cache_invalidations", "cached extents dropped by revocation or expiry", func(s iostats.Snapshot) int64 { return s.Invalidations })
 }
 
 // PublishExpvar mirrors the registry's gauges into the process-global

@@ -63,6 +63,13 @@ type Hints struct {
 	// paper's lockless PVFS (§4.1): sieving writes fail with
 	// ErrSieveWrite and atomic mode cannot be enabled.
 	NoLocks bool
+	// NoCache opts this file out of the pvfs client's extent cache
+	// (pvfs.Client.CacheBytes); meaningless when the client has caching
+	// off. Paths that take their own non-revocable byte-range locks
+	// (atomic mode, sieving writes, two-phase) bypass the cache
+	// regardless — a cached access under the holder's own lock would
+	// queue behind it forever.
+	NoCache bool
 }
 
 // DefaultHints returns the paper's configuration.
@@ -111,6 +118,7 @@ type File struct {
 // operations are used. The default view is disp 0, etype and filetype
 // both bytes.
 func Open(pv *pvfs.File, comm *mpi.Comm, method Method, hints Hints) *File {
+	pv.NoCache = hints.NoCache
 	f := &File{pv: pv, comm: comm, method: method, hints: hints}
 	if err := f.SetView(0, datatype.Byte, datatype.Byte); err != nil {
 		panic("mpiio: default view rejected: " + err.Error())
@@ -283,7 +291,24 @@ func (f *File) rw(env transport.Env, offset int64, buf []byte, memType *datatype
 			return errors.New("mpiio: two-phase needs a communicator")
 		}
 		f.stats().desired(nbytes)
-		return f.twoPhase(env, pos, nbytes, buf, memType, memCount, write)
+		// Flush before the exchange's internal barriers — a rank blocked
+		// in a barrier cannot answer lease revocations — and run the
+		// phase uncached (aggregators hold their own window state; a
+		// lease acquired mid-phase would cross the next barrier).
+		if err := f.pv.Sync(env); err != nil {
+			return err
+		}
+		return f.uncached(func() error {
+			return f.twoPhase(env, pos, nbytes, buf, memType, memCount, write)
+		})
+	}
+	if collective {
+		// Collective operations leave no leases held (DESIGN.md §13):
+		// callers barrier around them, and a rank blocked in a barrier
+		// cannot answer revocations.
+		if err := f.pv.Sync(env); err != nil {
+			return err
+		}
 	}
 	if nbytes == 0 {
 		return nil
@@ -299,14 +324,45 @@ func (f *File) rw(env transport.Env, offset int64, buf []byte, memType *datatype
 			return err
 		}
 	}
-	err = f.dispatch(env, pos, nbytes, buf, memType, memCount, write, outer != nil)
+	if outer != nil {
+		// A cached access under our own atomic-mode lock would queue its
+		// lease behind that lock forever.
+		err = f.uncached(func() error {
+			return f.dispatch(env, pos, nbytes, buf, memType, memCount, write, true)
+		})
+	} else {
+		err = f.dispatch(env, pos, nbytes, buf, memType, memCount, write, false)
+	}
 	if outer != nil {
 		if uerr := f.pv.Unlock(env, outer); err == nil {
 			err = uerr
 		}
 	}
+	if collective {
+		if serr := f.pv.Sync(env); err == nil {
+			err = serr
+		}
+	}
 	return err
 }
+
+// uncached runs fn with the pvfs file's extent cache bypassed, for
+// paths that hold their own non-revocable locks over the accessed
+// ranges.
+func (f *File) uncached(fn func() error) error {
+	save := f.pv.NoCache
+	f.pv.NoCache = true
+	err := fn()
+	f.pv.NoCache = save
+	return err
+}
+
+// Sync flushes this file's cached writes to the I/O servers and
+// releases the cache's leases, as MPI_File_sync. Independent-mode users
+// of a caching client must call it before synchronizing with other
+// ranks outside the file system (collective operations sync
+// themselves). A no-op when the client has caching off.
+func (f *File) Sync(env transport.Env) error { return f.pv.Sync(env) }
 
 // dispatch runs the access with the independent method. locked reports
 // that an atomic-mode lock already covers the whole access, so sieving
@@ -321,7 +377,11 @@ func (f *File) dispatch(env transport.Env, pos, nbytes int64, buf []byte, memTyp
 			if f.hints.NoLocks {
 				return ErrSieveWrite
 			}
-			return f.sieveWrite(env, pos, nbytes, buf, memType, memCount, locked)
+			// Sieving writes lock their windows; cache accesses inside
+			// would queue behind our own lock.
+			return f.uncached(func() error {
+				return f.sieveWrite(env, pos, nbytes, buf, memType, memCount, locked)
+			})
 		}
 		return f.sieveRead(env, pos, nbytes, buf, memType, memCount)
 	case ListIO:

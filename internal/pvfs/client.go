@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dtio/internal/cache"
 	"dtio/internal/dataloop"
 	"dtio/internal/datatype"
 	"dtio/internal/flatten"
@@ -99,6 +100,16 @@ type Client struct {
 	// leaves it reliable.
 	Retry RetryPolicy
 
+	// CacheBytes enables the coherent client-side extent cache
+	// (DESIGN.md §13) with this data budget; 0 disables caching
+	// entirely. Contiguous reads and writes no larger than a chunk are
+	// served from cached, lease-covered chunks and written back in
+	// aggregated runs. Set before the first operation.
+	CacheBytes int64
+	// CacheChunkBytes overrides the cache's chunk (and lease)
+	// granularity (0 = cache.DefaultChunkBytes).
+	CacheChunkBytes int64
+
 	// Tracer records operation/attempt spans; nil disables tracing (the
 	// nil checks are the whole disabled-mode cost).
 	Tracer *trace.Tracer
@@ -113,6 +124,15 @@ type Client struct {
 	meta   transport.Conn
 	conns  []transport.Conn
 	opSpan *trace.Span // current operation's span (single logical thread)
+
+	cc *clientCache // extent cache state; nil until first cached op
+	// Messages that arrived on the meta connection out of turn. A grant
+	// can only belong to the single outstanding acquire (stashed when a
+	// revoke's nested release exchange pulls it off the wire first);
+	// revokes arriving mid-exchange are deferred to the next safe point
+	// (lockCall's wait loop or a cached op boundary).
+	pendGrants  []*wire.LockGrant
+	pendRevokes []*wire.LeaseRevoke
 }
 
 // NewClient prepares a client for a cluster. Connections are established
@@ -199,7 +219,10 @@ func retryable(err error) bool {
 	return !errors.As(err, &se)
 }
 
-// Close tears down all connections.
+// Close tears down all connections. Close cannot flush the extent
+// cache (it takes no Env to perform I/O with): callers using the cache
+// must Flush first or accept that unflushed cached writes are dropped
+// (the server reclaims the leases by expiry or connection teardown).
 func (c *Client) Close() {
 	if c.meta != nil {
 		c.meta.Close()
@@ -217,28 +240,28 @@ func (c *Client) stats() *iostats.Stats {
 	return c.Stats
 }
 
+func (c *Client) metaDial(env transport.Env) error {
+	if c.meta != nil {
+		return nil
+	}
+	conn, err := c.net.Dial(env, c.metaAddr)
+	if err != nil {
+		return err
+	}
+	c.meta = conn
+	return nil
+}
+
 func (c *Client) metaCall(env transport.Env, req []byte) (*wire.MetaResp, error) {
-	if c.meta == nil {
-		conn, err := c.net.Dial(env, c.metaAddr)
-		if err != nil {
-			return nil, err
-		}
-		c.meta = conn
+	if err := c.metaDial(env); err != nil {
+		return nil, err
 	}
 	if err := c.meta.Send(env, req); err != nil {
 		return nil, err
 	}
-	raw, err := c.meta.Recv(env)
+	r, err := c.awaitMetaResp(env)
 	if err != nil {
 		return nil, err
-	}
-	_, v, err := wire.DecodeMsg(raw)
-	if err != nil {
-		return nil, err
-	}
-	r, ok := v.(*wire.MetaResp)
-	if !ok {
-		return nil, errors.New("pvfs: unexpected metadata response")
 	}
 	if !r.OK {
 		return nil, errors.New("pvfs: " + r.Err)
@@ -246,36 +269,82 @@ func (c *Client) metaCall(env transport.Env, req []byte) (*wire.MetaResp, error)
 	return r, nil
 }
 
-// lockCall sends one lock-service request on the metadata connection and
-// waits for the grant. An acquire that queues gets no immediate reply;
-// the blocking Recv here is exactly the client-side wait.
-func (c *Client) lockCall(env transport.Env, req []byte) (*wire.LockGrant, error) {
-	if c.meta == nil {
-		conn, err := c.net.Dial(env, c.metaAddr)
+// awaitMetaResp receives until the exchange's MetaResp arrives, stashing
+// any lease traffic that crosses it on the wire. Revokes are deferred
+// rather than handled here: servicing one means flushing and releasing,
+// and the nested release exchange would steal this exchange's response.
+func (c *Client) awaitMetaResp(env transport.Env) (*wire.MetaResp, error) {
+	for {
+		raw, err := c.meta.Recv(env)
 		if err != nil {
 			return nil, err
 		}
-		c.meta = conn
+		t, v, err := wire.DecodeMsg(raw)
+		if err != nil {
+			return nil, err
+		}
+		switch t {
+		case wire.MTMetaResp:
+			return v.(*wire.MetaResp), nil
+		case wire.MTLockGrant:
+			c.pendGrants = append(c.pendGrants, v.(*wire.LockGrant))
+		case wire.MTLeaseRevoke:
+			c.pendRevokes = append(c.pendRevokes, v.(*wire.LeaseRevoke))
+		default:
+			return nil, errors.New("pvfs: unexpected metadata response " + t.String())
+		}
+	}
+}
+
+// lockCall sends one lock-service request on the metadata connection and
+// waits for the grant. An acquire that queues gets no immediate reply;
+// the blocking Recv here is exactly the client-side wait. While blocked,
+// the client services lease revocations inline — a caching client
+// waiting on a lock must still answer the server's request to give up
+// conflicting leases, or two caching clients deadlock hold-and-wait.
+// (This also resolves self-conflicts: our own non-revocable lock queued
+// behind our own cache lease revokes it right here.)
+func (c *Client) lockCall(env transport.Env, req []byte) (*wire.LockGrant, error) {
+	if err := c.metaDial(env); err != nil {
+		return nil, err
 	}
 	if err := c.meta.Send(env, req); err != nil {
 		return nil, err
 	}
-	raw, err := c.meta.Recv(env)
-	if err != nil {
-		return nil, err
+	for {
+		if len(c.pendGrants) > 0 {
+			g := c.pendGrants[0]
+			c.pendGrants = c.pendGrants[1:]
+			if !g.OK {
+				return nil, errors.New("pvfs: " + g.Err)
+			}
+			return g, nil
+		}
+		if len(c.pendRevokes) > 0 && c.cc != nil {
+			r := c.pendRevokes[0]
+			c.pendRevokes = c.pendRevokes[1:]
+			if err := c.cc.handleRevoke(env, r); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		raw, err := c.meta.Recv(env)
+		if err != nil {
+			return nil, err
+		}
+		t, v, err := wire.DecodeMsg(raw)
+		if err != nil {
+			return nil, err
+		}
+		switch t {
+		case wire.MTLockGrant:
+			c.pendGrants = append(c.pendGrants, v.(*wire.LockGrant))
+		case wire.MTLeaseRevoke:
+			c.pendRevokes = append(c.pendRevokes, v.(*wire.LeaseRevoke))
+		default:
+			return nil, errors.New("pvfs: unexpected response " + t.String() + " while waiting for a lock grant")
+		}
 	}
-	_, v, err := wire.DecodeMsg(raw)
-	if err != nil {
-		return nil, err
-	}
-	g, ok := v.(*wire.LockGrant)
-	if !ok {
-		return nil, errors.New("pvfs: unexpected lock response")
-	}
-	if !g.OK {
-		return nil, errors.New("pvfs: " + g.Err)
-	}
-	return g, nil
 }
 
 // conn returns (dialing on demand) the connection to server i.
@@ -296,6 +365,12 @@ type File struct {
 	name   string
 	handle uint64
 	layout striping.Layout
+
+	// NoCache opts this file's operations out of the client's extent
+	// cache (the O_DIRECT of this API). The mpiio layer sets it for
+	// read-modify-write paths that already hold their own non-revocable
+	// locks, which a cached access would queue behind forever.
+	NoCache bool
 }
 
 // Create creates and opens a file striped over nServers servers (0 = all)
@@ -335,6 +410,11 @@ func (c *Client) Remove(env transport.Env, name string) error {
 	f, err := c.Open(env, name)
 	if err != nil {
 		return err
+	}
+	if c.cc != nil {
+		// The meta server drops the file's lock table with the file;
+		// cached state is discarded, not flushed or released.
+		c.cc.forgetHandle(f.handle)
 	}
 	if _, err := c.metaCall(env, wire.EncodeRemove(&wire.RemoveReq{Name: name})); err != nil {
 		return err
@@ -869,6 +949,16 @@ func (f *File) ReadContig(env transport.Env, off int64, buf []byte) error {
 	if n == 0 {
 		return nil
 	}
+	if cc := f.cacheFor(); cc != nil {
+		if n <= cc.store.ChunkBytes() {
+			return cc.readContig(env, f, off, buf)
+		}
+		// Large reads bypass the cache but must still see our own
+		// cached writes: flush overlapping dirty data first.
+		if err := cc.prepRanges(env, f, false, []cache.Region{{Off: off, N: n}}); err != nil {
+			return err
+		}
+	}
 	o := f.c.beginOp(env, "read-contig")
 	defer f.c.clearOp()
 	tag := f.c.tag()
@@ -911,6 +1001,17 @@ func (f *File) WriteContig(env transport.Env, off int64, data []byte) error {
 	n := int64(len(data))
 	if n == 0 {
 		return nil
+	}
+	if cc := f.cacheFor(); cc != nil {
+		if n <= cc.store.ChunkBytes() {
+			return cc.writeContig(env, f, off, data)
+		}
+		// Large writes bypass the cache: flush overlapping dirty data
+		// (issue-order), then invalidate the overlap so later cached
+		// reads cannot serve pre-write bytes.
+		if err := cc.prepRanges(env, f, true, []cache.Region{{Off: off, N: n}}); err != nil {
+			return err
+		}
 	}
 	o := f.c.beginOp(env, "write-contig")
 	defer f.c.clearOp()
@@ -1068,6 +1169,15 @@ func (f *File) ReadList(env transport.Env, fileRegions, memRegions []flatten.Reg
 	if total == 0 {
 		return nil
 	}
+	if cc := f.cacheFor(); cc != nil {
+		regions := make([]cache.Region, len(fileRegions))
+		for i, r := range fileRegions {
+			regions[i] = cache.Region{Off: r.Off, N: r.Len}
+		}
+		if err := cc.prepRanges(env, f, false, regions); err != nil {
+			return err
+		}
+	}
 	if len(fileRegions) > wire.MaxListRegions || len(memRegions) > wire.MaxListRegions {
 		fb, mb := splitListBatches(fileRegions, memRegions)
 		for i := range fb {
@@ -1135,6 +1245,15 @@ func (f *File) WriteList(env transport.Env, fileRegions, memRegions []flatten.Re
 	}
 	if total == 0 {
 		return nil
+	}
+	if cc := f.cacheFor(); cc != nil {
+		regions := make([]cache.Region, len(fileRegions))
+		for i, r := range fileRegions {
+			regions[i] = cache.Region{Off: r.Off, N: r.Len}
+		}
+		if err := cc.prepRanges(env, f, true, regions); err != nil {
+			return err
+		}
 	}
 	if len(fileRegions) > wire.MaxListRegions || len(memRegions) > wire.MaxListRegions {
 		fb, mb := splitListBatches(fileRegions, memRegions)
@@ -1238,6 +1357,14 @@ func (f *File) dtypeOp(env transport.Env, a *DtypeAccess, write bool) error {
 	}
 	if nbytes == 0 {
 		return nil
+	}
+	if cc := f.cacheFor(); cc != nil {
+		// Datatype footprints are not worth enumerating client-side (the
+		// servers expand the loop): conservatively flush the whole file's
+		// dirty data, and invalidate it for writes.
+		if err := cc.prepFile(env, f, write); err != nil {
+			return err
+		}
 	}
 	name := "read-dtype"
 	if write {
@@ -1355,6 +1482,12 @@ func (f *File) dtypeOp(env transport.Env, a *DtypeAccess, write bool) error {
 
 // Size reports the logical file size (max over servers' local EOFs).
 func (f *File) Size(env transport.Env) (int64, error) {
+	if cc := f.cacheFor(); cc != nil {
+		// Buffered writes do not extend server EOFs until flushed.
+		if err := cc.prepFile(env, f, false); err != nil {
+			return 0, err
+		}
+	}
 	tag := f.c.tag()
 	servers := make([]int, f.layout.NServers)
 	reqs := make([][]byte, f.layout.NServers)
@@ -1377,6 +1510,13 @@ func (f *File) Size(env transport.Env) (int64, error) {
 
 // Truncate sets the logical file size.
 func (f *File) Truncate(env transport.Env, size int64) error {
+	if cc := f.cacheFor(); cc != nil {
+		// Flush and drop everything cached for the file: chunks past the
+		// new EOF would resurrect truncated bytes.
+		if err := cc.syncFile(env, f); err != nil {
+			return err
+		}
+	}
 	tag := f.c.tag()
 	servers := make([]int, f.layout.NServers)
 	reqs := make([][]byte, f.layout.NServers)

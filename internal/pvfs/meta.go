@@ -171,10 +171,11 @@ func (m *MetaServer) lockAcquire(env transport.Env, c transport.Conn, owner uint
 	id, granted, wake := m.locks.Acquire(env.Now(), locks.Req{
 		Handle: r.Handle, Off: r.Off, N: r.N, Shared: r.Shared,
 		Owner: owner, Ctx: lockCtx{conn: c, span: trace.SpanID(r.Span)},
+		Revocable: r.Revocable,
 	})
 	m.deliver(env, wake)
 	if granted {
-		return wire.EncodeLockGrant(&wire.LockGrant{OK: true, LockID: id})
+		return wire.EncodeLockGrant(&wire.LockGrant{OK: true, LockID: id, LeaseNs: int64(m.LeaseTimeout)})
 	}
 	m.armWatchdog(env)
 	return nil
@@ -189,10 +190,15 @@ func (m *MetaServer) lockRelease(env transport.Env, owner uint64, r *wire.LockRe
 	return wire.EncodeMetaResp(&wire.MetaResp{OK: true})
 }
 
-// deliver sends finished waits to their clients. Each grant travels on
-// the waiter's own connection; Conn implementations serialize concurrent
-// senders, so any thread may deliver. Send errors are ignored — a
-// vanished waiter's handler cleans up via ReleaseOwner.
+// deliver sends finished waits to their clients, then drains and sends
+// any pending cache-lease revocations (the revocation callback rides
+// the same deferred-grant delivery path: each revoke travels on the
+// connection its lease was granted on — the holder's meta connection —
+// where the client services it inline while blocked on a lock wait, or
+// polls it between operations). Each grant travels on the waiter's own
+// connection; Conn implementations serialize concurrent senders, so any
+// thread may deliver. Send errors are ignored — a vanished waiter's
+// handler cleans up via ReleaseOwner, and leases expire as a backstop.
 func (m *MetaServer) deliver(env transport.Env, wake []locks.Granted) {
 	for _, g := range wake {
 		lc, ok := g.Ctx.(lockCtx)
@@ -207,6 +213,18 @@ func (m *MetaServer) deliver(env transport.Env, wake []locks.Granted) {
 		}
 		lc.conn.Send(env, wire.EncodeLockGrant(&wire.LockGrant{
 			OK: g.Err == "", Err: g.Err, LockID: g.ID, WaitedNs: int64(g.Waited),
+			LeaseNs: int64(m.LeaseTimeout),
+		}))
+	}
+	// Promotions can themselves require revocations (a revocable lock
+	// granted with conflicting requests still queued behind it).
+	for _, rv := range m.locks.TakeRevocations() {
+		lc, ok := rv.Ctx.(lockCtx)
+		if !ok {
+			continue
+		}
+		lc.conn.Send(env, wire.EncodeLeaseRevoke(&wire.LeaseRevoke{
+			Handle: rv.Handle, LockID: rv.ID, Off: rv.Off, N: rv.N,
 		}))
 	}
 }

@@ -404,6 +404,19 @@ func (c *simConn) RecvTimeout(env Env, d time.Duration) ([]byte, error) {
 	return v.([]byte), nil
 }
 
+// TryRecv implements PollConn: messages already delivered to the inbox
+// are returned; anything still in flight on the modeled wire is not.
+func (c *simConn) TryRecv(env Env) ([]byte, bool, error) {
+	v, ok := c.inbox.TryGet()
+	if !ok {
+		if c.inbox.Closed() {
+			return nil, false, ErrClosed
+		}
+		return nil, false, nil
+	}
+	return v.([]byte), true, nil
+}
+
 // Close implements Conn: both directions see EOF and the wire pumps
 // drain and exit.
 func (c *simConn) Close() error {

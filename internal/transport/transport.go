@@ -100,6 +100,27 @@ func RecvTimeout(env Env, c Conn, d time.Duration) ([]byte, error) {
 	return c.Recv(env)
 }
 
+// PollConn is implemented by connections that support a non-blocking
+// receive. The Mem and Sim transports implement it; TCP does not (a
+// frame may arrive in pieces, so "is a message ready" has no cheap
+// answer there).
+type PollConn interface {
+	Conn
+	// TryRecv returns the next queued message without blocking. ok is
+	// false when no message is ready. A closed connection reports
+	// (nil, false, ErrClosed).
+	TryRecv(env Env) (msg []byte, ok bool, err error)
+}
+
+// TryRecv performs a non-blocking receive when c supports it; on
+// transports without polling it reports no message ready.
+func TryRecv(env Env, c Conn) ([]byte, bool, error) {
+	if pc, ok := c.(PollConn); ok {
+		return pc.TryRecv(env)
+	}
+	return nil, false, nil
+}
+
 // RealEnv is the Env for ordinary goroutines: spawning is `go`, modeled
 // costs are no-ops, Now is wall-clock.
 type RealEnv struct {
@@ -222,6 +243,21 @@ func (q *queue) getTimeout(d time.Duration) ([]byte, error) {
 	return m, nil
 }
 
+// tryGet pops the next message without blocking.
+func (q *queue) tryGet() ([]byte, bool, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.items) == 0 {
+		if q.closed {
+			return nil, false, ErrClosed
+		}
+		return nil, false, nil
+	}
+	m := q.items[0]
+	q.items = q.items[1:]
+	return m, true, nil
+}
+
 func (q *queue) close() {
 	q.mu.Lock()
 	q.closed = true
@@ -312,6 +348,11 @@ func (c *memConn) RecvTimeout(env Env, d time.Duration) ([]byte, error) {
 		return c.in.get()
 	}
 	return c.in.getTimeout(d)
+}
+
+// TryRecv implements PollConn.
+func (c *memConn) TryRecv(env Env) ([]byte, bool, error) {
+	return c.in.tryGet()
 }
 
 func (c *memConn) Close() error {

@@ -169,6 +169,12 @@ type LockAcquireReq struct {
 	N      int64
 	Shared bool
 	Span   uint64 // requesting op's trace span (0 = untraced)
+	// Revocable marks the lock as a cache lease: when a later request
+	// conflicts with it, the server sends the holder an MTLeaseRevoke
+	// instead of making the requester wait out the holder's lease. The
+	// holder is expected to flush and release promptly; the release is
+	// the revoke's acknowledgement.
+	Revocable bool
 }
 
 // LockReleaseReq releases a granted lock; answered with an MTMetaResp.
@@ -183,6 +189,21 @@ type LockGrant struct {
 	Err      string
 	LockID   uint64
 	WaitedNs int64 // time spent queued at the server, for client stats
+	// LeaseNs is the server's lock lease in nanoseconds (0 = no lease).
+	// Cache holders use it to flush dirty data before the server could
+	// reclaim the lock out from under them.
+	LeaseNs int64
+}
+
+// LeaseRevoke tells a client that a revocable lock it holds now blocks
+// another request. The client must flush any dirty cached data under
+// the lock and release it; the LockReleaseReq doubles as the ack. No
+// direct reply is expected.
+type LeaseRevoke struct {
+	Handle uint64
+	LockID uint64
+	Off    int64
+	N      int64
 }
 
 // AdminOp selects a fault-administration action on an I/O server.
@@ -375,6 +396,7 @@ func EncodeLockAcquire(r *LockAcquireReq) []byte {
 	e.I64(r.N)
 	e.U8(b2u(r.Shared))
 	e.I64(int64(r.Span))
+	e.U8(b2u(r.Revocable))
 	return e.B
 }
 
@@ -393,6 +415,17 @@ func EncodeLockGrant(r *LockGrant) []byte {
 	e.Str(r.Err)
 	e.I64(int64(r.LockID))
 	e.I64(r.WaitedNs)
+	e.I64(r.LeaseNs)
+	return e.B
+}
+
+// EncodeLeaseRevoke marshals a LeaseRevoke.
+func EncodeLeaseRevoke(r *LeaseRevoke) []byte {
+	e := NewEnc(MTLeaseRevoke)
+	e.I64(int64(r.Handle))
+	e.I64(int64(r.LockID))
+	e.I64(r.Off)
+	e.I64(r.N)
 	return e.B
 }
 
@@ -507,11 +540,13 @@ func DecodeMsg(b []byte) (MsgType, any, error) {
 	case MTAdminReq:
 		v = &AdminReq{Op: AdminOp(d.U8()), Dur: d.I64(), Factor: d.I64()}
 	case MTLockAcquireReq:
-		v = &LockAcquireReq{Handle: uint64(d.I64()), Off: d.I64(), N: d.I64(), Shared: d.U8() != 0, Span: uint64(d.I64())}
+		v = &LockAcquireReq{Handle: uint64(d.I64()), Off: d.I64(), N: d.I64(), Shared: d.U8() != 0, Span: uint64(d.I64()), Revocable: d.U8() != 0}
 	case MTLockReleaseReq:
 		v = &LockReleaseReq{Handle: uint64(d.I64()), LockID: uint64(d.I64())}
 	case MTLockGrant:
-		v = &LockGrant{OK: d.U8() != 0, Err: d.Str(), LockID: uint64(d.I64()), WaitedNs: d.I64()}
+		v = &LockGrant{OK: d.U8() != 0, Err: d.Str(), LockID: uint64(d.I64()), WaitedNs: d.I64(), LeaseNs: d.I64()}
+	case MTLeaseRevoke:
+		v = &LeaseRevoke{Handle: uint64(d.I64()), LockID: uint64(d.I64()), Off: d.I64(), N: d.I64()}
 	default:
 		return t, nil, fmt.Errorf("wire: unknown message type %d", uint8(t))
 	}

@@ -62,6 +62,12 @@ const (
 	// server (driven by pvfsctl against real clusters, by the bench
 	// fault driver in simulation). Answered with an ordinary MTIOResp.
 	MTAdminReq
+
+	// Cache-lease revocation: the metadata server asks the holder of a
+	// revocable byte-range lock (a client cache lease) to flush and
+	// release it because a conflicting request queued behind it. The
+	// holder's MTLockReleaseReq is the acknowledgement.
+	MTLeaseRevoke
 )
 
 func (t MsgType) String() string {
@@ -77,6 +83,7 @@ func (t MsgType) String() string {
 		MTStreamChunk: "streamchunk", MTStreamAck: "streamack",
 		MTLockAcquireReq: "lockacquire", MTLockReleaseReq: "lockrelease",
 		MTLockGrant: "lockgrant", MTAdminReq: "admin",
+		MTLeaseRevoke: "leaserevoke",
 	}
 	if s, ok := names[t]; ok {
 		return s
