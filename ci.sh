@@ -11,6 +11,10 @@ set -eux
 go vet ./...
 go build ./...
 go test -race -timeout 120s ./...
+# The same unit suite with shuffled test order: state leaking between
+# tests (shared rigs, package globals, leftover files) shows up as an
+# order dependence long before it shows up as a flake.
+go test -shuffle=on -timeout 120s ./...
 # Lock-contention stress: concurrent sieving writers and atomic-mode
 # writers hammering overlapping byte ranges, repeated under -race with a
 # tight deadlock watchdog (see DESIGN.md §9).
@@ -61,3 +65,14 @@ go test -race -timeout 120s \
 	-run 'TestRangeSet|TestChunk|TestStore|TestRevocation|TestSharedLeasesRevokedTogether|TestCacheAggregation|TestCacheReadHits|TestCacheCoherence|TestCacheWriterObservedByReader|TestCacheSelfConflict|TestCacheLeaseExpiryFlush|TestCacheFlushAcrossCrash|TestCacheEvictionWriteback|TestCacheMixedPaths|TestReReadHitRatio|TestReWriteAbsorbed|TestCacheContentionCoherent|TestCachedTileWriteAggregates' \
 	./internal/cache/ ./internal/locks/ ./internal/pvfs/ ./internal/bench/
 go run ./cmd/dtbench -exp pr6-smoke
+# Sharded-control-plane pass: the shard directory unit tests, wire
+# round-trips for every message (table-driven + testing/quick), the
+# sharded pvfs suite (partitioned namespace, misroute refusal, per-shard
+# FIFO fairness and lease reclaim, cross-shard cache coherence), all
+# under -race; then the pr7 smoke run, which exits nonzero unless
+# metadata/lock throughput scales >= 1.5x from 1 to 4 shards and the
+# byte-identity digest is equal across shard counts.
+go test -race -timeout 120s \
+	-run 'TestSingleShardDegenerate|TestHandleSequencesPartition|TestOfName|TestRendezvousStability|TestMapAccessors|TestRoundTrip|TestShard' \
+	./internal/shard/ ./internal/wire/ ./internal/pvfs/
+go run ./cmd/dtbench -exp pr7-smoke

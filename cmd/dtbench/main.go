@@ -23,7 +23,7 @@ import (
 )
 
 var (
-	expFlag    = flag.String("exp", "all", "experiment: tile|block3d|flash|ablate-listcap|ablate-coalesce|ablate-sievebuf|ablate-loopcache|ablate-fullfeatured|pr1|pr2|pr3|pr3-smoke|pr4|pr4-smoke|pr5|pr5-smoke|pr6|pr6-smoke|all")
+	expFlag    = flag.String("exp", "all", "experiment to run; `list` prints the catalog")
 	jsonFlag   = flag.String("json", "", "pr1-pr6: output path for the machine-readable report (default BENCH_PR<n>.json)")
 	traceFlag  = flag.String("trace", "", "pr5: output path for the Chrome trace-event JSON (default TRACE_PR5.json)")
 	frames     = flag.Int("frames", 3, "tile: frames per timed run")
@@ -34,60 +34,75 @@ var (
 	cacheSize  = flag.Int64("cachesize", 4<<20, "pr6: per-client extent cache budget in bytes")
 )
 
+// experiment is one catalog entry. The catalog drives both dispatch and
+// the `-exp list` output, so an experiment cannot exist without a
+// listing line.
+type experiment struct {
+	name string
+	desc string
+	run  func()
+}
+
+// experiments is the catalog, in presentation order.
+func experiments() []experiment {
+	return []experiment{
+		{"tile", "E1 tile reader: Table 1 + Figure 8", runTile},
+		{"block3d", "E2 ROMIO 3-D block: Table 2 + Figure 10", runBlock3D},
+		{"flash", "E3 FLASH I/O checkpoint: Table 3 + Figure 12", runFlash},
+		{"ablate-listcap", "A1: list I/O regions-per-request cap sweep", ablateListCap},
+		{"ablate-coalesce", "A2: datatype region coalescing on/off", ablateCoalesce},
+		{"ablate-sievebuf", "A3: data sieving buffer size sweep", ablateSieveBuf},
+		{"ablate-loopcache", "A4: server-side dataloop cache (paper §5)", ablateLoopCache},
+		{"ablate-fullfeatured", "A5: full-featured datatype I/O prediction", ablateFullFeatured},
+		{"pr1", "streamed transfers report (BENCH_PR1.json)", func() { runPR1(jsonPath("BENCH_PR1.json")) }},
+		{"pr2", "byte-range locks / atomic mode report (BENCH_PR2.json)", func() { runPR2(jsonPath("BENCH_PR2.json")) }},
+		{"pr3", "disk scheduler report (BENCH_PR3.json)", func() { runPR3(jsonPath("BENCH_PR3.json"), false) }},
+		{"pr3-smoke", "pr3 quick CI gate (no JSON)", func() { runPR3("", true) }},
+		{"pr4", "fault injection + recovery report (BENCH_PR4.json)", func() { runPR4(jsonPath("BENCH_PR4.json"), false) }},
+		{"pr4-smoke", "pr4 quick CI gate (no JSON)", func() { runPR4("", true) }},
+		{"pr5", "observability report (BENCH_PR5.json + TRACE_PR5.json)", func() { runPR5(jsonPath("BENCH_PR5.json"), tracePath("TRACE_PR5.json"), false) }},
+		{"pr5-smoke", "pr5 quick CI gate (no JSON)", func() { runPR5("", "", true) }},
+		{"pr6", "client extent cache report (BENCH_PR6.json)", func() { runPR6(jsonPath("BENCH_PR6.json"), false) }},
+		{"pr6-smoke", "pr6 quick CI gate (no JSON)", func() { runPR6("", true) }},
+		{"pr7", "sharded control plane scaling report (BENCH_PR7.json)", func() { runPR7(jsonPath("BENCH_PR7.json"), false) }},
+		{"pr7-smoke", "pr7 quick CI gate (no JSON)", func() { runPR7("", true) }},
+		{"all", "E1-E3 plus every ablation", func() {
+			runTile()
+			runBlock3D()
+			runFlash()
+			ablateListCap()
+			ablateCoalesce()
+			ablateSieveBuf()
+			ablateLoopCache()
+			ablateFullFeatured()
+		}},
+	}
+}
+
+func listExperiments(w *os.File) {
+	fmt.Fprintln(w, "experiments:")
+	for _, e := range experiments() {
+		fmt.Fprintf(w, "  %-20s %s\n", e.name, e.desc)
+	}
+}
+
 func main() {
 	flag.Parse()
 	start := time.Now()
-	switch *expFlag {
-	case "tile":
-		runTile()
-	case "block3d":
-		runBlock3D()
-	case "flash":
-		runFlash()
-	case "ablate-listcap":
-		ablateListCap()
-	case "ablate-coalesce":
-		ablateCoalesce()
-	case "ablate-sievebuf":
-		ablateSieveBuf()
-	case "ablate-loopcache":
-		ablateLoopCache()
-	case "ablate-fullfeatured":
-		ablateFullFeatured()
-	case "pr1":
-		runPR1(jsonPath("BENCH_PR1.json"))
-	case "pr2":
-		runPR2(jsonPath("BENCH_PR2.json"))
-	case "pr3":
-		runPR3(jsonPath("BENCH_PR3.json"), false)
-	case "pr3-smoke":
-		runPR3("", true)
-	case "pr4":
-		runPR4(jsonPath("BENCH_PR4.json"), false)
-	case "pr4-smoke":
-		runPR4("", true)
-	case "pr5":
-		runPR5(jsonPath("BENCH_PR5.json"), tracePath("TRACE_PR5.json"), false)
-	case "pr5-smoke":
-		runPR5("", "", true)
-	case "pr6":
-		runPR6(jsonPath("BENCH_PR6.json"), false)
-	case "pr6-smoke":
-		runPR6("", true)
-	case "all":
-		runTile()
-		runBlock3D()
-		runFlash()
-		ablateListCap()
-		ablateCoalesce()
-		ablateSieveBuf()
-		ablateLoopCache()
-		ablateFullFeatured()
-	default:
-		fmt.Fprintf(os.Stderr, "dtbench: unknown experiment %q\n", *expFlag)
-		os.Exit(2)
+	if *expFlag == "list" {
+		listExperiments(os.Stdout)
+		return
 	}
-	fmt.Printf("\n(total wall time %v)\n", time.Since(start).Round(time.Second))
+	for _, e := range experiments() {
+		if e.name == *expFlag {
+			e.run()
+			fmt.Printf("\n(total wall time %v)\n", time.Since(start).Round(time.Second))
+			return
+		}
+	}
+	fmt.Fprintf(os.Stderr, "dtbench: unknown experiment %q\n", *expFlag)
+	listExperiments(os.Stderr)
+	os.Exit(2)
 }
 
 func jsonPath(dflt string) string {

@@ -5,6 +5,13 @@
 //
 //	pvfs-meta -addr :7000 -servers 4 -lease 30s -http :8000
 //
+// A sharded control plane runs one pvfs-meta per shard, each with the
+// same -shards count and a distinct -shard id; clients mount with the
+// full shard list and route by name/handle (DESIGN.md §14):
+//
+//	pvfs-meta -addr :7000 -shard 0 -shards 2 -servers 4
+//	pvfs-meta -addr :7010 -shard 1 -shards 2 -servers 4
+//
 // With -http, a debug listener serves /metrics (Prometheus text, lock
 // manager gauges), /healthz, /debug/vars, and /debug/pprof.
 package main
@@ -24,11 +31,17 @@ func main() {
 	lease := flag.Duration("lease", pvfs.DefaultLeaseTimeout,
 		"byte-range lock lease; held locks are reclaimed after this long (0 = never)")
 	httpAddr := flag.String("http", "", "debug listener address (/metrics, /healthz, /debug/pprof); empty: off")
+	shardID := flag.Int("shard", 0, "this daemon's shard id (0-based)")
+	shards := flag.Int("shards", 1, "total metadata shards in the cluster")
 	flag.Parse()
 	if *servers <= 0 {
 		log.Fatal("pvfs-meta: -servers must be positive")
 	}
+	if *shards < 1 || *shardID < 0 || *shardID >= *shards {
+		log.Fatalf("pvfs-meta: -shard %d out of range for -shards %d", *shardID, *shards)
+	}
 	m := pvfs.NewMetaServer(transport.NewTCPNetwork(), *addr, *servers)
+	m.ConfigureShard(*shardID, *shards)
 	m.LeaseTimeout = *lease
 	if *httpAddr != "" {
 		reg := metrics.NewRegistry()
@@ -51,7 +64,8 @@ func main() {
 		}
 		log.Printf("pvfs-meta: debug listener on %s", lis.Addr())
 	}
-	log.Printf("pvfs-meta: serving namespace for %d I/O servers on %s", *servers, *addr)
+	log.Printf("pvfs-meta: serving namespace shard %d/%d for %d I/O servers on %s",
+		*shardID, *shards, *servers, *addr)
 	if err := m.Serve(transport.NewRealEnv()); err != nil {
 		log.Fatalf("pvfs-meta: %v", err)
 	}

@@ -5,6 +5,10 @@
 //
 //	pvfsctl -meta host:7000 -io host:7001,host:7002 <command> [args]
 //
+// Against a sharded control plane, -meta takes the comma-separated
+// shard list in shard-id order (the same order every mount must use);
+// name and lock traffic routes to the owning shard automatically.
+//
 // Commands:
 //
 //	ls                      list files
@@ -13,7 +17,7 @@
 //	stat <name>             print file size and layout
 //	put <local> <name>      copy a local file in
 //	get <name> <local>      copy a file out
-//	stats [idx]             print I/O server latency/cache stats (all, or just idx)
+//	stats [idx]             print meta shard + I/O server stats (all, or just server idx)
 //	stall <idx> <dur>       freeze I/O server idx for dur (e.g. 500ms)
 //	crash <idx> <down>      fail-stop I/O server idx; it restarts after down
 //	degrade <idx> <pct>     scale server idx's disk time to pct% (100 restores)
@@ -37,7 +41,7 @@ import (
 const copyChunk = 4 << 20
 
 func main() {
-	meta := flag.String("meta", "127.0.0.1:7000", "metadata server address")
+	meta := flag.String("meta", "127.0.0.1:7000", "comma-separated metadata shard addresses, in shard order")
 	ioServers := flag.String("io", "127.0.0.1:7001", "comma-separated I/O server addresses, in index order")
 	strip := flag.Int64("strip", 64*1024, "strip size for created files")
 	cacheSize := flag.Int64("cachesize", 0, "client extent cache budget in bytes (0 = uncached)")
@@ -49,7 +53,8 @@ func main() {
 	}
 	env := transport.NewRealEnv()
 	ioList := strings.Split(*ioServers, ",")
-	client := pvfs.NewClient(transport.NewTCPNetwork(), *meta, ioList, pvfs.CostModel{})
+	metaList := strings.Split(*meta, ",")
+	client := pvfs.NewShardedClient(transport.NewTCPNetwork(), metaList, ioList, pvfs.CostModel{})
 	// A fault shell needs to survive the faults it injects: retries for
 	// put/get against a stalled or restarting server, and a receive
 	// deadline so admin verbs don't hang on a frozen daemon.
@@ -135,6 +140,18 @@ func main() {
 		}
 		fmt.Printf("get %s -> %s (%d bytes)\n", args[1], args[2], size)
 	case "stats":
+		// Control plane first: every metadata shard's namespace and
+		// lock-service counters, then the I/O servers.
+		for s := 0; s < client.MetaShards(); s++ {
+			snap, err := client.FetchMetaStats(env, s)
+			fail(err)
+			fmt.Printf("meta shard %d/%d: %d files, %d lock tables, %d held / %d queued (deepest queue %d)\n",
+				snap.Shard, snap.Shards, snap.Files, snap.LockTables,
+				snap.Held, snap.Queued, snap.MaxQueue)
+			fmt.Printf("  %d acquires (%d immediate, %d waited), %d releases, %d revocations, %d lease expiries\n",
+				snap.Acquires, snap.Grants, snap.Waits,
+				snap.Releases, snap.Revokes, snap.Expiries)
+		}
 		idxs := make([]int, 0, len(ioList))
 		if len(args) >= 2 {
 			idxs = append(idxs, serverIdx(args[1]))

@@ -27,7 +27,13 @@ type Config struct {
 	Servers      int // I/O servers (16 in the paper)
 	Clients      int // compute processes
 	ProcsPerNode int // client processes per node (paper: 1 tile, 2 others)
-	StripSize    int64
+	// MetaShards is the number of metadata servers the control plane is
+	// partitioned over (DESIGN.md §14). 0 or 1 runs the classic single
+	// metadata server; shard i is placed on I/O server node i mod
+	// Servers, as the paper's testbed doubles the meta server up on a
+	// storage node.
+	MetaShards int
+	StripSize  int64
 	SimCfg       transport.SimConfig
 	Cost         pvfs.CostModel
 	Hints        mpiio.Hints
@@ -159,8 +165,13 @@ type Result struct {
 	PerClient iostats.Snapshot
 	Disk      iostats.Snapshot // disk-scheduler counters summed over servers
 	Util      Utilization
-	Locks     locks.Stats // lock-service counters over the whole run
-	Fault     fault.Stats // what the injector actually did (zero when off)
+	Locks     locks.Stats // lock-service counters summed over meta shards
+	// ShardLocks is each metadata shard's lock-service counters in shard
+	// order (len 1 unsharded); MetaOps counts the workload's logical
+	// control-plane operations (0 for data-plane workloads).
+	ShardLocks []locks.Stats
+	MetaOps    int64
+	Fault      fault.Stats // what the injector actually did (zero when off)
 	// Total is the undivided sum of every rank's lifetime counters —
 	// the whole run including untimed setup, which workloads Reset out
 	// of the tables. The recovery counters (Retries, Timeouts,
@@ -188,14 +199,14 @@ func (r Result) BandwidthMBs() float64 {
 
 // Cluster is a simulated cluster ready to run one workload.
 type Cluster struct {
-	cfg      Config
-	sched    *vtime.Scheduler
-	net      *transport.SimNet
-	fabric   *transport.SimFabric
-	metaAddr string
-	addrs    []string
+	cfg       Config
+	sched     *vtime.Scheduler
+	net       *transport.SimNet
+	fabric    *transport.SimFabric
+	metaAddrs []string
+	addrs     []string
 
-	meta    *pvfs.MetaServer
+	metas   []*pvfs.MetaServer
 	servers []*pvfs.Server
 
 	serverNodes []*transport.SimNode
@@ -241,13 +252,23 @@ func NewCluster(cfg Config) *Cluster {
 		serverNodes[i] = c.net.NewNode()
 	}
 	c.serverNodes = serverNodes
-	c.metaAddr = transport.Addr(serverNodes[0], "meta")
-	c.meta = pvfs.NewMetaServer(c.net, c.metaAddr, cfg.Servers)
-	c.meta.LeaseTimeout = cfg.LeaseTimeout
-	c.meta.Tracer = cfg.Trace
-	c.net.Spawn("meta", serverNodes[0], func(env transport.Env) {
-		c.meta.Serve(env)
-	})
+	ms := cfg.MetaShards
+	if ms < 1 {
+		ms = 1
+	}
+	for i := 0; i < ms; i++ {
+		node := serverNodes[i%cfg.Servers]
+		addr := transport.Addr(node, fmt.Sprintf("meta%d", i))
+		m := pvfs.NewMetaServer(c.net, addr, cfg.Servers)
+		m.ConfigureShard(i, ms)
+		m.LeaseTimeout = cfg.LeaseTimeout
+		m.Tracer = cfg.Trace
+		c.metaAddrs = append(c.metaAddrs, addr)
+		c.metas = append(c.metas, m)
+		c.net.Spawn(fmt.Sprintf("meta%d", i), node, func(env transport.Env) {
+			m.Serve(env)
+		})
+	}
 	for i := range serverNodes {
 		addr := transport.Addr(serverNodes[i], "io")
 		c.addrs = append(c.addrs, addr)
@@ -316,8 +337,11 @@ func (c *Cluster) Run(fn func(r *Rank) error) (time.Duration, iostats.Snapshot, 
 	wg.Add(c.cfg.Clients)
 	clientNet := transport.Network(c.net)
 	if c.inj != nil {
-		meta := c.metaAddr
-		clientNet = c.inj.WrapNetwork(c.net, func(addr string) bool { return addr != meta })
+		meta := make(map[string]bool, len(c.metaAddrs))
+		for _, a := range c.metaAddrs {
+			meta[a] = true
+		}
+		clientNet = c.inj.WrapNetwork(c.net, func(addr string) bool { return !meta[addr] })
 	}
 	retry := c.cfg.Retry
 	if retry == (pvfs.RetryPolicy{}) && c.inj != nil {
@@ -329,7 +353,7 @@ func (c *Cluster) Run(fn func(r *Rank) error) (time.Duration, iostats.Snapshot, 
 		c.stats[id] = st
 		c.net.Spawn(fmt.Sprintf("rank%d", id), c.rankNodes[id], func(env transport.Env) {
 			defer wg.Done()
-			fs := pvfs.NewClient(clientNet, c.metaAddr, c.addrs, c.cfg.Cost)
+			fs := pvfs.NewShardedClient(clientNet, c.metaAddrs, c.addrs, c.cfg.Cost)
 			fs.Stats = st
 			fs.Retry = retry
 			fs.StreamChunkBytes = c.cfg.SimCfg.ChunkBytes
@@ -356,7 +380,9 @@ func (c *Cluster) Run(fn func(r *Rank) error) (time.Duration, iostats.Snapshot, 
 	c.net.Spawn("controller", c.rankNodes[0], func(env transport.Env) {
 		wg.Wait(env.(*transport.SimEnv).Proc())
 		c.fabric.Close()
-		c.meta.Close()
+		for _, m := range c.metas {
+			m.Close()
+		}
 		for _, s := range c.servers {
 			s.Close()
 		}
@@ -382,9 +408,36 @@ func (c *Cluster) Run(fn func(r *Rank) error) (time.Duration, iostats.Snapshot, 
 // over the whole run, setup included (call after Run).
 func (c *Cluster) TotalStats() iostats.Snapshot { return c.totals }
 
-// LockStats snapshots the metadata server's lock-service counters (call
-// after Run to check for leaked locks or to report contention).
-func (c *Cluster) LockStats() locks.Stats { return c.meta.LockStats() }
+// LockStats snapshots the lock-service counters summed over every
+// metadata shard (call after Run to check for leaked locks or to report
+// contention).
+func (c *Cluster) LockStats() locks.Stats {
+	var s locks.Stats
+	for _, m := range c.metas {
+		s = s.Add(m.LockStats())
+	}
+	return s
+}
+
+// ShardLockStats snapshots each metadata shard's lock-service counters
+// separately, in shard-id order (call after Run; shard balance checks).
+func (c *Cluster) ShardLockStats() []locks.Stats {
+	out := make([]locks.Stats, len(c.metas))
+	for i, m := range c.metas {
+		out[i] = m.LockStats()
+	}
+	return out
+}
+
+// MetaSnapshots captures each metadata shard's namespace and lock-table
+// snapshot, in shard-id order (call after Run).
+func (c *Cluster) MetaSnapshots() []pvfs.MetaSnapshot {
+	out := make([]pvfs.MetaSnapshot, len(c.metas))
+	for i, m := range c.metas {
+		out[i] = m.Snapshot()
+	}
+	return out
+}
 
 // DiskStats snapshots the disk-scheduler counters summed over all
 // servers (call after Run). Only the disk fields are populated.

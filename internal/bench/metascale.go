@@ -1,0 +1,243 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"hash/fnv"
+)
+
+// MetaScale hammers the control plane alone: every rank cycles over its
+// private files doing open + exclusive lock + unlock — three metadata
+// exchanges and zero data I/O — so aggregate throughput is bounded by
+// the metadata service, not disks or data NICs. File names spread over
+// the shard map by rendezvous hashing, so with N shards the same rank
+// population drives N lock services; the scaling curve (ops/s and
+// lock-grant latency vs MetaShards) is the PR7 headline. Per-rank
+// volume is fixed as shards vary, so runs differ only in control-plane
+// capacity.
+func MetaScale(cfg Config, files, rounds int) Result {
+	res := Result{Name: "meta-scale", Clients: cfg.Clients}
+	if cfg.Clients <= 0 || files <= 0 || rounds <= 0 {
+		res.Err = fmt.Errorf("bench: bad meta-scale shape: %d clients, %d files, %d rounds", cfg.Clients, files, rounds)
+		return res
+	}
+	cl := NewCluster(cfg)
+	elapsed, per, err := cl.Run(func(r *Rank) error {
+		names := make([]string, files)
+		for i := range names {
+			names[i] = fmt.Sprintf("ms.%04d.%02d", r.ID, i)
+			if _, err := r.FS.Create(r.Env, names[i], cfg.StripSize, 1); err != nil {
+				return err
+			}
+		}
+		r.Stats.Reset()
+		return r.TimePhase(func() error {
+			for round := 0; round < rounds; round++ {
+				for _, name := range names {
+					pf, err := r.FS.Open(r.Env, name)
+					if err != nil {
+						return err
+					}
+					// Observe the acquire→grant round trip: under a
+					// saturated shard this is where queueing shows up.
+					t0 := r.Env.Now()
+					lk, err := pf.Lock(r.Env, 0, 4096, false)
+					if err != nil {
+						return err
+					}
+					r.c.opLats[r.ID].Observe(r.Env.Now() - t0)
+					if err := pf.Unlock(r.Env, lk); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		})
+	})
+	res.Elapsed = elapsed
+	res.PerClient = per
+	res.Util = cl.Utilization()
+	res.Lat = cl.ClientLat()
+	res.Fault = cl.FaultStats()
+	res.Total = cl.TotalStats()
+	res.Locks = cl.LockStats()
+	res.ShardLocks = cl.ShardLockStats()
+	res.MetaOps = int64(cfg.Clients) * int64(files) * int64(rounds) * 3
+	res.Err = err
+	return res
+}
+
+// MetaOpsPerSec reports the workload's control-plane throughput.
+func (r Result) MetaOpsPerSec() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.MetaOps) / r.Elapsed.Seconds()
+}
+
+// identByte is the oracle for ShardIdentity file contents.
+func identByte(rank int, off int64) byte { return byte(int64(rank)*211 + off*167 + off>>9) }
+
+// ShardIdentity proves shard count never changes file contents: every
+// rank writes a private file, disjoint interleaved stripes of a shared
+// file, and performs locked read-modify-write increments on a shared
+// counter; rank 0 then reads everything back, verifies it against the
+// oracles, and folds the namespace listing plus every byte into one
+// FNV-1a hash. The hash must be identical across 1/2/4/8 meta shards —
+// partitioning moves metadata and lock authority, never data. Run with
+// Verify on (real storage).
+func ShardIdentity(cfg Config, ranks, rounds int) (Result, uint64) {
+	const (
+		privBytes = 64 * 1024
+		stripe    = int64(4096)
+		rows      = 4
+		ctrCells  = int64(8)
+	)
+	res := Result{Name: "shard-identity", Clients: ranks}
+	if ranks <= 0 || rounds <= 0 {
+		res.Err = fmt.Errorf("bench: bad shard-identity shape: %d ranks, %d rounds", ranks, rounds)
+		return res, 0
+	}
+	cfg.Clients = ranks
+	cfg.Discard = false
+	cl := NewCluster(cfg)
+	period := stripe * int64(ranks)
+	var hash uint64
+	elapsed, per, err := cl.Run(func(r *Rank) error {
+		// Rank 0 creates the shared files; everyone creates their own.
+		if r.ID == 0 {
+			if _, err := r.FS.Create(r.Env, "id.shared.dat", cfg.StripSize, 0); err != nil {
+				return err
+			}
+			ctr, err := r.FS.Create(r.Env, "id.counter.dat", cfg.StripSize, 0)
+			if err != nil {
+				return err
+			}
+			if err := ctr.WriteContig(r.Env, 0, make([]byte, ctrCells)); err != nil {
+				return err
+			}
+		}
+		priv, err := r.FS.Create(r.Env, fmt.Sprintf("id.%04d.dat", r.ID), cfg.StripSize, 0)
+		if err != nil {
+			return err
+		}
+		r.Comm.Barrier(r.Env)
+		shared, err := r.FS.Open(r.Env, "id.shared.dat")
+		if err != nil {
+			return err
+		}
+		ctr, err := r.FS.Open(r.Env, "id.counter.dat")
+		if err != nil {
+			return err
+		}
+		return r.TimePhase(func() error {
+			// Private file: one contiguous oracle-patterned write.
+			buf := make([]byte, privBytes)
+			for i := range buf {
+				buf[i] = identByte(r.ID, int64(i))
+			}
+			if err := priv.WriteContig(r.Env, 0, buf); err != nil {
+				return err
+			}
+			// Shared file: this rank's disjoint interleaved stripes.
+			srow := make([]byte, stripe)
+			for p := 0; p < rows; p++ {
+				off := int64(p)*period + int64(r.ID)*stripe
+				for i := range srow {
+					srow[i] = identByte(0, off+int64(i))
+				}
+				if err := shared.WriteContig(r.Env, off, srow); err != nil {
+					return err
+				}
+			}
+			// Counter: locked read-modify-write increments. Increments
+			// commute, so the final cells are deterministic however the
+			// ranks interleave — but only if the lock actually excludes;
+			// a lost update changes the hash.
+			cell := make([]byte, ctrCells)
+			for round := 0; round < rounds; round++ {
+				lk, err := ctr.Lock(r.Env, 0, ctrCells, false)
+				if err != nil {
+					return err
+				}
+				if err := ctr.ReadContig(r.Env, 0, cell); err != nil {
+					return err
+				}
+				for i := range cell {
+					cell[i]++
+				}
+				if err := ctr.WriteContig(r.Env, 0, cell); err != nil {
+					return err
+				}
+				if err := ctr.Unlock(r.Env, lk); err != nil {
+					return err
+				}
+			}
+			r.Comm.Barrier(r.Env)
+			if r.ID != 0 {
+				return nil
+			}
+			// Rank 0: verify every byte against the oracles and fold the
+			// namespace plus all contents into the identity hash.
+			h := fnv.New64a()
+			names, err := r.FS.ListNames(r.Env)
+			if err != nil {
+				return err
+			}
+			for _, n := range names {
+				h.Write([]byte(n))
+				h.Write([]byte{0})
+			}
+			for rank := 0; rank < ranks; rank++ {
+				pf, err := r.FS.Open(r.Env, fmt.Sprintf("id.%04d.dat", rank))
+				if err != nil {
+					return err
+				}
+				got := make([]byte, privBytes)
+				if err := pf.ReadContig(r.Env, 0, got); err != nil {
+					return err
+				}
+				for i := range got {
+					if got[i] != identByte(rank, int64(i)) {
+						return fmt.Errorf("rank %d private byte %d wrong", rank, i)
+					}
+				}
+				h.Write(got)
+			}
+			got := make([]byte, period*int64(rows))
+			if err := shared.ReadContig(r.Env, 0, got); err != nil {
+				return err
+			}
+			for i := range got {
+				if got[i] != identByte(0, int64(i)) {
+					return fmt.Errorf("shared byte %d wrong after interleaved writes", i)
+				}
+			}
+			h.Write(got)
+			want := byte(ranks * rounds)
+			cells := make([]byte, ctrCells)
+			if err := ctr.ReadContig(r.Env, 0, cells); err != nil {
+				return err
+			}
+			if !bytes.Equal(cells, bytes.Repeat([]byte{want}, int(ctrCells))) {
+				return fmt.Errorf("counter cells %v, want all %d: lost update under lock", cells, want)
+			}
+			h.Write(cells)
+			hash = h.Sum64()
+			return nil
+		})
+	})
+	res.Elapsed = elapsed
+	res.PerClient = per
+	res.Disk = cl.DiskStats()
+	res.Util = cl.Utilization()
+	res.Lat = cl.ClientLat()
+	res.SrvLat = cl.ServerLat()
+	res.Fault = cl.FaultStats()
+	res.Total = cl.TotalStats()
+	res.Locks = cl.LockStats()
+	res.ShardLocks = cl.ShardLockStats()
+	res.Bytes = int64(ranks)*privBytes + period*int64(rows) + ctrCells
+	res.Err = err
+	return res, hash
+}

@@ -107,6 +107,27 @@ type Stats struct {
 	Revocations int64         // cache-lease revocations reported
 	Held        int           // currently granted locks
 	Queued      int           // currently queued requests
+	Tables      int           // files with live lock state
+	MaxQueue    int           // deepest per-file wait queue right now
+}
+
+// Add combines two snapshots (summing a partitioned lock service's
+// per-shard counters; MaxQueue takes the max, as it is a depth).
+func (s Stats) Add(o Stats) Stats {
+	s.Acquires += o.Acquires
+	s.Immediate += o.Immediate
+	s.Waits += o.Waits
+	s.WaitTime += o.WaitTime
+	s.Expired += o.Expired
+	s.Releases += o.Releases
+	s.Revocations += o.Revocations
+	s.Held += o.Held
+	s.Queued += o.Queued
+	s.Tables += o.Tables
+	if o.MaxQueue > s.MaxQueue {
+		s.MaxQueue = o.MaxQueue
+	}
+	return s
 }
 
 // Manager is the lock service state. The zero value is not usable; call
@@ -115,6 +136,7 @@ type Manager struct {
 	mu     sync.Mutex
 	lease  time.Duration
 	nextID uint64
+	stride uint64 // id allocation step (shard count; 1 unsharded)
 	files  map[uint64]*table
 
 	acquires    int64
@@ -140,7 +162,22 @@ type Manager struct {
 // (<= 0 disables expiry: locks are held until released or the owner is
 // dropped).
 func NewManager(lease time.Duration) *Manager {
-	return &Manager{lease: lease, nextID: 1, files: make(map[uint64]*table)}
+	return &Manager{lease: lease, nextID: 1, stride: 1, files: make(map[uint64]*table)}
+}
+
+// SetIDRange makes this Manager allocate lock ids from the strided
+// sequence base, base+stride, … A partitioned lock service gives shard
+// i the range (i+1, stride=N) so ids are unique cluster-wide: clients
+// key lease state by bare lock id, and two shards must never hand out
+// the same one. Call before any Acquire; (1, 1) is the unsharded
+// default.
+func (m *Manager) SetIDRange(base, stride uint64) {
+	if base == 0 || stride == 0 {
+		panic("locks: id base and stride must be positive")
+	}
+	m.mu.Lock()
+	m.nextID, m.stride = base, stride
+	m.mu.Unlock()
 }
 
 // SetLease changes the lease duration for locks granted from now on.
@@ -315,7 +352,7 @@ func (m *Manager) Acquire(now time.Duration, r Req) (id uint64, granted bool, wa
 		m.files[r.Handle] = t
 	}
 	id = m.nextID
-	m.nextID++
+	m.nextID += m.stride
 	l := lock{id: id, owner: r.Owner, off: r.Off, n: r.N, shared: r.Shared, ctx: r.Ctx, revocable: r.Revocable}
 	free := !t.grantedConflict(r.Off, r.N, r.Shared)
 	if free {
@@ -506,9 +543,13 @@ func (m *Manager) Stats() Stats {
 		Releases:    m.releases,
 		Revocations: m.revocations,
 	}
+	s.Tables = len(m.files)
 	for _, t := range m.files {
 		s.Held += len(t.granted)
 		s.Queued += len(t.queue)
+		if len(t.queue) > s.MaxQueue {
+			s.MaxQueue = len(t.queue)
+		}
 	}
 	return s
 }

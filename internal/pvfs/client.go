@@ -9,12 +9,15 @@ import (
 	"sync/atomic"
 	"time"
 
+	"sort"
+
 	"dtio/internal/cache"
 	"dtio/internal/dataloop"
 	"dtio/internal/datatype"
 	"dtio/internal/flatten"
 	"dtio/internal/iostats"
 	"dtio/internal/metrics"
+	"dtio/internal/shard"
 	"dtio/internal/striping"
 	"dtio/internal/trace"
 	"dtio/internal/transport"
@@ -78,7 +81,7 @@ func init() {
 // disjoint connection-table slots.)
 type Client struct {
 	net         transport.Network
-	metaAddr    string
+	shards      *shard.Map
 	serverAddrs []string
 	cost        CostModel
 
@@ -119,9 +122,9 @@ type Client struct {
 	// read/write op; nil disables.
 	OpLat *metrics.Histogram
 
-	id     uint64        // request-tag client id
-	seq    atomic.Uint64 // request-tag sequence counter
-	meta   transport.Conn
+	id     uint64           // request-tag client id
+	seq    atomic.Uint64    // request-tag sequence counter
+	metas  []transport.Conn // one lazy connection per metadata shard
 	conns  []transport.Conn
 	opSpan *trace.Span // current operation's span (single logical thread)
 
@@ -135,18 +138,33 @@ type Client struct {
 	pendRevokes []*wire.LeaseRevoke
 }
 
-// NewClient prepares a client for a cluster. Connections are established
-// lazily.
+// NewClient prepares a client for a cluster with a single metadata
+// server (the 1-shard special case). Connections are established lazily.
 func NewClient(net transport.Network, metaAddr string, serverAddrs []string, cost CostModel) *Client {
+	return NewShardedClient(net, []string{metaAddr}, serverAddrs, cost)
+}
+
+// NewShardedClient prepares a client for a cluster whose control plane
+// is partitioned over metaAddrs (index = shard id). The address list is
+// the mount-time shard directory: the client routes every name, handle,
+// lock, and lease to its owning shard locally, with no directory server
+// in the path. All clients of a cluster must mount the same list in the
+// same order.
+func NewShardedClient(net transport.Network, metaAddrs []string, serverAddrs []string, cost CostModel) *Client {
+	m := shard.NewMap(metaAddrs)
 	return &Client{
 		net:         net,
-		metaAddr:    metaAddr,
+		shards:      m,
 		serverAddrs: serverAddrs,
 		cost:        cost,
 		id:          clientIDs.Add(1),
+		metas:       make([]transport.Conn, m.N()),
 		conns:       make([]transport.Conn, len(serverAddrs)),
 	}
 }
+
+// MetaShards reports the number of metadata shards in the mount.
+func (c *Client) MetaShards() int { return c.shards.N() }
 
 // tag allocates the request tag for one logical operation. Every request
 // the operation sends (one per involved server) shares it; a new batch
@@ -224,9 +242,11 @@ func retryable(err error) bool {
 // must Flush first or accept that unflushed cached writes are dropped
 // (the server reclaims the leases by expiry or connection teardown).
 func (c *Client) Close() {
-	if c.meta != nil {
-		c.meta.Close()
-		c.meta = nil
+	for i, conn := range c.metas {
+		if conn != nil {
+			conn.Close()
+			c.metas[i] = nil
+		}
 	}
 	for i, conn := range c.conns {
 		if conn != nil {
@@ -240,26 +260,27 @@ func (c *Client) stats() *iostats.Stats {
 	return c.Stats
 }
 
-func (c *Client) metaDial(env transport.Env) error {
-	if c.meta != nil {
-		return nil
+// metaDial returns (dialing on demand) the connection to meta shard s.
+func (c *Client) metaDial(env transport.Env, s int) (transport.Conn, error) {
+	if c.metas[s] == nil {
+		conn, err := c.net.Dial(env, c.shards.Addr(s))
+		if err != nil {
+			return nil, err
+		}
+		c.metas[s] = conn
 	}
-	conn, err := c.net.Dial(env, c.metaAddr)
-	if err != nil {
-		return err
-	}
-	c.meta = conn
-	return nil
+	return c.metas[s], nil
 }
 
-func (c *Client) metaCall(env transport.Env, req []byte) (*wire.MetaResp, error) {
-	if err := c.metaDial(env); err != nil {
+func (c *Client) metaCall(env transport.Env, s int, req []byte) (*wire.MetaResp, error) {
+	conn, err := c.metaDial(env, s)
+	if err != nil {
 		return nil, err
 	}
-	if err := c.meta.Send(env, req); err != nil {
+	if err := conn.Send(env, req); err != nil {
 		return nil, err
 	}
-	r, err := c.awaitMetaResp(env)
+	r, err := c.awaitMetaResp(env, conn)
 	if err != nil {
 		return nil, err
 	}
@@ -269,13 +290,14 @@ func (c *Client) metaCall(env transport.Env, req []byte) (*wire.MetaResp, error)
 	return r, nil
 }
 
-// awaitMetaResp receives until the exchange's MetaResp arrives, stashing
-// any lease traffic that crosses it on the wire. Revokes are deferred
-// rather than handled here: servicing one means flushing and releasing,
-// and the nested release exchange would steal this exchange's response.
-func (c *Client) awaitMetaResp(env transport.Env) (*wire.MetaResp, error) {
+// awaitMetaResp receives on one shard's connection until the exchange's
+// MetaResp arrives, stashing any lease traffic that crosses it on the
+// wire. Revokes are deferred rather than handled here: servicing one
+// means flushing and releasing, and the nested release exchange would
+// steal this exchange's response.
+func (c *Client) awaitMetaResp(env transport.Env, conn transport.Conn) (*wire.MetaResp, error) {
 	for {
-		raw, err := c.meta.Recv(env)
+		raw, err := conn.Recv(env)
 		if err != nil {
 			return nil, err
 		}
@@ -296,7 +318,7 @@ func (c *Client) awaitMetaResp(env transport.Env) (*wire.MetaResp, error) {
 	}
 }
 
-// lockCall sends one lock-service request on the metadata connection and
+// lockCall sends one lock-service request on shard s's connection and
 // waits for the grant. An acquire that queues gets no immediate reply;
 // the blocking Recv here is exactly the client-side wait. While blocked,
 // the client services lease revocations inline — a caching client
@@ -304,11 +326,24 @@ func (c *Client) awaitMetaResp(env transport.Env) (*wire.MetaResp, error) {
 // conflicting leases, or two caching clients deadlock hold-and-wait.
 // (This also resolves self-conflicts: our own non-revocable lock queued
 // behind our own cache lease revokes it right here.)
-func (c *Client) lockCall(env transport.Env, req []byte) (*wire.LockGrant, error) {
-	if err := c.metaDial(env); err != nil {
+//
+// The blocked client only listens on shard s, so before blocking it
+// surrenders any cache leases held on *other* shards: a revoke arriving
+// on a connection nobody reads is the cross-shard variant of the
+// hold-and-wait deadlock above. Single-file (and single-shard)
+// workloads never pay this — it only fires when one client caches
+// files owned by different shards.
+func (c *Client) lockCall(env transport.Env, s int, req []byte) (*wire.LockGrant, error) {
+	if c.cc != nil && c.shards.N() > 1 {
+		if err := c.cc.releaseShardsExcept(env, s); err != nil {
+			return nil, err
+		}
+	}
+	conn, err := c.metaDial(env, s)
+	if err != nil {
 		return nil, err
 	}
-	if err := c.meta.Send(env, req); err != nil {
+	if err := conn.Send(env, req); err != nil {
 		return nil, err
 	}
 	for {
@@ -328,7 +363,7 @@ func (c *Client) lockCall(env transport.Env, req []byte) (*wire.LockGrant, error
 			}
 			continue
 		}
-		raw, err := c.meta.Recv(env)
+		raw, err := conn.Recv(env)
 		if err != nil {
 			return nil, err
 		}
@@ -376,7 +411,7 @@ type File struct {
 // Create creates and opens a file striped over nServers servers (0 = all)
 // with the given strip size.
 func (c *Client) Create(env transport.Env, name string, stripSize int64, nServers int) (*File, error) {
-	r, err := c.metaCall(env, wire.EncodeCreate(&wire.CreateReq{
+	r, err := c.metaCall(env, c.shards.OfName(name), wire.EncodeCreate(&wire.CreateReq{
 		Name: name, StripSize: stripSize, NServers: int32(nServers),
 	}))
 	if err != nil {
@@ -387,7 +422,7 @@ func (c *Client) Create(env transport.Env, name string, stripSize int64, nServer
 
 // Open opens an existing file.
 func (c *Client) Open(env transport.Env, name string) (*File, error) {
-	r, err := c.metaCall(env, wire.EncodeOpen(&wire.OpenReq{Name: name}))
+	r, err := c.metaCall(env, c.shards.OfName(name), wire.EncodeOpen(&wire.OpenReq{Name: name}))
 	if err != nil {
 		return nil, err
 	}
@@ -416,7 +451,7 @@ func (c *Client) Remove(env transport.Env, name string) error {
 		// cached state is discarded, not flushed or released.
 		c.cc.forgetHandle(f.handle)
 	}
-	if _, err := c.metaCall(env, wire.EncodeRemove(&wire.RemoveReq{Name: name})); err != nil {
+	if _, err := c.metaCall(env, c.shards.OfName(name), wire.EncodeRemove(&wire.RemoveReq{Name: name})); err != nil {
 		return err
 	}
 	tag := c.tag()
@@ -430,34 +465,56 @@ func (c *Client) Remove(env transport.Env, name string) error {
 	return err
 }
 
-// ListNames returns the namespace contents.
+// ListNames returns the namespace contents: each shard's partition,
+// merged and sorted (per-shard listings are already sorted, but the
+// union across shards is not).
 func (c *Client) ListNames(env transport.Env) ([]string, error) {
-	if c.meta == nil {
-		conn, err := c.net.Dial(env, c.metaAddr)
+	var names []string
+	for s := 0; s < c.shards.N(); s++ {
+		part, err := c.listShard(env, s)
 		if err != nil {
 			return nil, err
 		}
-		c.meta = conn
+		names = append(names, part...)
 	}
-	if err := c.meta.Send(env, wire.EncodeListNames()); err != nil {
-		return nil, err
-	}
-	raw, err := c.meta.Recv(env)
+	sort.Strings(names)
+	return names, nil
+}
+
+// listShard fetches one shard's namespace listing, stashing any lease
+// traffic that crosses the response on the wire (like awaitMetaResp).
+func (c *Client) listShard(env transport.Env, s int) ([]string, error) {
+	conn, err := c.metaDial(env, s)
 	if err != nil {
 		return nil, err
 	}
-	_, v, err := wire.DecodeMsg(raw)
-	if err != nil {
+	if err := conn.Send(env, wire.EncodeListNames()); err != nil {
 		return nil, err
 	}
-	r, ok := v.(*wire.ListResp)
-	if !ok {
-		return nil, errors.New("pvfs: unexpected listing response")
+	for {
+		raw, err := conn.Recv(env)
+		if err != nil {
+			return nil, err
+		}
+		t, v, err := wire.DecodeMsg(raw)
+		if err != nil {
+			return nil, err
+		}
+		switch t {
+		case wire.MTListResp:
+			r := v.(*wire.ListResp)
+			if !r.OK {
+				return nil, errors.New("pvfs: " + r.Err)
+			}
+			return r.Names, nil
+		case wire.MTLockGrant:
+			c.pendGrants = append(c.pendGrants, v.(*wire.LockGrant))
+		case wire.MTLeaseRevoke:
+			c.pendRevokes = append(c.pendRevokes, v.(*wire.LeaseRevoke))
+		default:
+			return nil, errors.New("pvfs: unexpected listing response " + t.String())
+		}
 	}
-	if !r.OK {
-		return nil, errors.New("pvfs: " + r.Err)
-	}
-	return r.Names, nil
 }
 
 // FileLock is a held byte-range lock, returned by Lock and surrendered
@@ -479,7 +536,7 @@ func (f *File) Lock(env transport.Env, off, n int64, shared bool) (*FileLock, er
 	sp := f.c.Tracer.Begin(env, f.c.track(), "lock", f.c.opSpan.SID())
 	sp.SetAttr("off", off)
 	sp.SetAttr("n", n)
-	g, err := f.c.lockCall(env, wire.EncodeLockAcquire(&wire.LockAcquireReq{
+	g, err := f.c.lockCall(env, f.c.shards.OfHandle(f.handle), wire.EncodeLockAcquire(&wire.LockAcquireReq{
 		Handle: f.handle, Off: off, N: n, Shared: shared, Span: uint64(sp.SID()),
 	}))
 	sp.End(env)
@@ -499,7 +556,7 @@ func (f *File) Unlock(env transport.Env, lk *FileLock) error {
 	if lk == nil || lk.f != f {
 		return errors.New("pvfs: unlock of a lock this file does not hold")
 	}
-	_, err := f.c.metaCall(env, wire.EncodeLockRelease(&wire.LockReleaseReq{
+	_, err := f.c.metaCall(env, f.c.shards.OfHandle(f.handle), wire.EncodeLockRelease(&wire.LockReleaseReq{
 		Handle: f.handle, LockID: lk.id,
 	}))
 	return err
@@ -1590,6 +1647,50 @@ func (c *Client) FetchStats(env transport.Env, s int) (*ServerSnapshot, error) {
 		return nil, fmt.Errorf("pvfs: server %d stats payload: %w", s, err)
 	}
 	return &snap, nil
+}
+
+// FetchMetaStats retrieves metadata shard s's introspection snapshot
+// (pvfsctl's stats verb). Lease traffic crossing the response on the
+// shard's connection is stashed, like any other metadata exchange.
+func (c *Client) FetchMetaStats(env transport.Env, s int) (*MetaSnapshot, error) {
+	if s < 0 || s >= c.shards.N() {
+		return nil, fmt.Errorf("pvfs: no meta shard %d", s)
+	}
+	conn, err := c.metaDial(env, s)
+	if err != nil {
+		return nil, err
+	}
+	if err := conn.Send(env, wire.EncodeMetaStats()); err != nil {
+		return nil, err
+	}
+	for {
+		raw, err := transport.RecvTimeout(env, conn, c.Retry.Timeout)
+		if err != nil {
+			return nil, fmt.Errorf("pvfs: meta shard %d stats: %w", s, err)
+		}
+		t, v, err := wire.DecodeMsg(raw)
+		if err != nil {
+			return nil, err
+		}
+		switch t {
+		case wire.MTIOResp:
+			r := v.(*wire.IOResp)
+			if !r.OK {
+				return nil, fmt.Errorf("pvfs: meta shard %d: %s", s, r.Err)
+			}
+			var snap MetaSnapshot
+			if err := json.Unmarshal(r.Data, &snap); err != nil {
+				return nil, fmt.Errorf("pvfs: meta shard %d stats payload: %w", s, err)
+			}
+			return &snap, nil
+		case wire.MTLockGrant:
+			c.pendGrants = append(c.pendGrants, v.(*wire.LockGrant))
+		case wire.MTLeaseRevoke:
+			c.pendRevokes = append(c.pendRevokes, v.(*wire.LeaseRevoke))
+		default:
+			return nil, errors.New("pvfs: unexpected meta stats response " + t.String())
+		}
+	}
 }
 
 // Regions re-exports the flatten region type for list I/O callers.

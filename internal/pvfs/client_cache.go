@@ -77,24 +77,34 @@ func (cc *clientCache) maintain(env transport.Env) error {
 				return err
 			}
 		}
-		if cc.c.meta == nil {
+		// Poll every shard connection: a revocation arrives on the
+		// connection its lease was granted on, and a multi-shard client
+		// may hold leases on several.
+		polled := false
+		for _, conn := range cc.c.metas {
+			if conn == nil {
+				continue
+			}
+			raw, ok, err := transport.TryRecv(env, conn)
+			if err != nil || !ok {
+				// No polling support (TCP) or nothing pending: lock-wait
+				// servicing and lease expiry remain the coherence backstops.
+				continue
+			}
+			polled = true
+			t, v, derr := wire.DecodeMsg(raw)
+			if derr != nil {
+				return derr
+			}
+			switch t {
+			case wire.MTLeaseRevoke:
+				cc.c.pendRevokes = append(cc.c.pendRevokes, v.(*wire.LeaseRevoke))
+			case wire.MTLockGrant:
+				cc.c.pendGrants = append(cc.c.pendGrants, v.(*wire.LockGrant))
+			}
+		}
+		if !polled && len(cc.c.pendRevokes) == 0 {
 			break
-		}
-		raw, ok, err := transport.TryRecv(env, cc.c.meta)
-		if err != nil || !ok {
-			// No polling support (TCP) or nothing pending: lock-wait
-			// servicing and lease expiry remain the coherence backstops.
-			break
-		}
-		t, v, derr := wire.DecodeMsg(raw)
-		if derr != nil {
-			return derr
-		}
-		switch t {
-		case wire.MTLeaseRevoke:
-			cc.c.pendRevokes = append(cc.c.pendRevokes, v.(*wire.LeaseRevoke))
-		case wire.MTLockGrant:
-			cc.c.pendGrants = append(cc.c.pendGrants, v.(*wire.LockGrant))
 		}
 	}
 	return cc.expireLeases(env)
@@ -178,9 +188,37 @@ func (cc *clientCache) releaseLease(env transport.Env, ch *cache.Chunk) {
 	id := ch.LockID
 	delete(cc.byLock, id)
 	ch.LockID = 0
-	_, _ = cc.c.metaCall(env, wire.EncodeLockRelease(&wire.LockReleaseReq{
+	_, _ = cc.c.metaCall(env, cc.c.shards.OfHandle(ch.Handle), wire.EncodeLockRelease(&wire.LockReleaseReq{
 		Handle: ch.Handle, LockID: id,
 	}))
+}
+
+// releaseShardsExcept flushes and drops every cached chunk whose lease
+// lives on a shard other than s. Called before blocking on shard s's
+// lock service: while blocked, the client reads only shard s's
+// connection, so a lease it still held elsewhere could be revoked into
+// the void and deadlock the revoker against our wait. Surrendering the
+// other shards' leases first makes the blocked client revocation-free
+// everywhere it is not listening.
+func (cc *clientCache) releaseShardsExcept(env transport.Env, s int) error {
+	var doomed []*cache.Chunk
+	for _, ch := range cc.store.All() {
+		if cc.c.shards.OfHandle(ch.Handle) != s {
+			doomed = append(doomed, ch)
+		}
+	}
+	sort.Slice(doomed, func(i, j int) bool {
+		if doomed[i].Handle != doomed[j].Handle {
+			return doomed[i].Handle < doomed[j].Handle
+		}
+		return doomed[i].Off < doomed[j].Off
+	})
+	for _, ch := range doomed {
+		if err := cc.dropChunk(env, ch, true); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // ensureLease returns the chunk at chunkOff holding a live lease strong
@@ -201,7 +239,7 @@ func (cc *clientCache) ensureLease(env transport.Env, f *File, chunkOff int64, e
 	}
 	sp := cc.c.Tracer.Begin(env, cc.c.track(), "lock", cc.c.opSpan.SID())
 	sp.SetAttr("off", chunkOff)
-	g, err := cc.c.lockCall(env, wire.EncodeLockAcquire(&wire.LockAcquireReq{
+	g, err := cc.c.lockCall(env, cc.c.shards.OfHandle(f.handle), wire.EncodeLockAcquire(&wire.LockAcquireReq{
 		Handle: f.handle, Off: chunkOff, N: cc.store.ChunkBytes(),
 		Shared: !excl, Span: uint64(sp.SID()), Revocable: true,
 	}))

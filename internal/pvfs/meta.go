@@ -1,12 +1,14 @@
 package pvfs
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 	"sync"
 	"time"
 
 	"dtio/internal/locks"
+	"dtio/internal/shard"
 	"dtio/internal/trace"
 	"dtio/internal/transport"
 	"dtio/internal/wire"
@@ -26,15 +28,24 @@ type fileMeta struct {
 	base      int32
 }
 
-// MetaServer owns the namespace: file names, handles, and striping
-// parameters. It performs no data I/O. It also hosts the byte-range lock
-// service: every lock request for any file is ordered here, at a single
-// authority, which is what makes the FIFO fairness and deadlock
-// reasoning in internal/locks sound cluster-wide.
+// MetaServer owns a partition of the namespace: file names, handles,
+// and striping parameters. It performs no data I/O. It also hosts the
+// byte-range lock service for its partition: every lock request for a
+// file is ordered at the file's owning shard, a single authority per
+// file, which is what keeps the FIFO fairness and deadlock reasoning in
+// internal/locks sound cluster-wide — locks never span files, so
+// per-file single-authority ordering is full ordering. An unsharded
+// deployment is the 1-shard special case (shard 0 of 1).
 type MetaServer struct {
 	net      transport.Network
 	addr     string
 	nServers int32
+
+	// shardID/shardCount place this server in the shard map. Configured
+	// by ConfigureShard before Serve; the default (0 of 1) is the
+	// unsharded server.
+	shardID    int
+	shardCount int
 
 	// LeaseTimeout bounds how long a granted lock may be held before it
 	// is reclaimed (a crashed client cannot wedge the cluster). Set it
@@ -64,6 +75,7 @@ func NewMetaServer(net transport.Network, addr string, nServers int) *MetaServer
 		net:          net,
 		addr:         addr,
 		nServers:     int32(nServers),
+		shardCount:   1,
 		LeaseTimeout: DefaultLeaseTimeout,
 		locks:        locks.NewManager(DefaultLeaseTimeout),
 		next:         1,
@@ -71,8 +83,63 @@ func NewMetaServer(net transport.Network, addr string, nServers int) *MetaServer
 	}
 }
 
+// ConfigureShard makes this server shard id of count in a partitioned
+// control plane. Handles are then allocated from the strided sequence
+// shard.FirstHandle/NextHandle (so shard.OfHandle routes them back
+// here), and lock ids from the matching strided range (so ids are
+// unique cluster-wide and clients can key lease state by bare id).
+// Call before Serve. (0, 1) is the unsharded default.
+func (m *MetaServer) ConfigureShard(id, count int) {
+	if count < 1 || id < 0 || id >= count {
+		panic(fmt.Sprintf("pvfs: bad shard placement %d of %d", id, count))
+	}
+	m.mu.Lock()
+	m.shardID, m.shardCount = id, count
+	m.next = shard.FirstHandle(id, count)
+	m.mu.Unlock()
+	m.locks.SetIDRange(uint64(id)+1, uint64(count))
+}
+
 // LockStats snapshots the lock service's counters.
 func (m *MetaServer) LockStats() locks.Stats { return m.locks.Stats() }
+
+// MetaSnapshot is one metadata shard's introspection snapshot, returned
+// by the MTMetaStatsReq admin path (JSON, like the I/O servers'
+// AdminStats) so pvfsctl can show shard balance at a glance.
+type MetaSnapshot struct {
+	Shard      int   `json:"shard"`
+	Shards     int   `json:"shards"`
+	Files      int   `json:"files"`       // namespace entries on this shard
+	LockTables int   `json:"lock_tables"` // files with live lock state
+	Held       int   `json:"locks_held"`
+	Queued     int   `json:"locks_queued"`
+	MaxQueue   int   `json:"max_queue_depth"`
+	Acquires   int64 `json:"acquires"`
+	Grants     int64 `json:"immediate_grants"`
+	Waits      int64 `json:"waits"`
+	Releases   int64 `json:"releases"`
+	Revokes    int64 `json:"lease_revocations"`
+	Expiries   int64 `json:"lease_expiries"`
+}
+
+// Snapshot captures this shard's namespace size and lock-service state.
+func (m *MetaServer) Snapshot() MetaSnapshot {
+	m.mu.Lock()
+	s := MetaSnapshot{Shard: m.shardID, Shards: m.shardCount, Files: len(m.files)}
+	m.mu.Unlock()
+	ls := m.locks.Stats()
+	s.LockTables = ls.Tables
+	s.Held = ls.Held
+	s.Queued = ls.Queued
+	s.MaxQueue = ls.MaxQueue
+	s.Acquires = ls.Acquires
+	s.Grants = ls.Immediate
+	s.Waits = ls.Waits
+	s.Releases = ls.Releases
+	s.Revokes = ls.Revocations
+	s.Expiries = ls.Expired
+	return s
+}
 
 // Serve listens and handles requests until the listener is closed. Call
 // it from a dedicated thread (env.Go / SimNet.Spawn / goroutine).
@@ -145,15 +212,55 @@ func (m *MetaServer) handleMsg(env transport.Env, c transport.Conn, owner uint64
 	}
 	switch t {
 	case wire.MTLockAcquireReq:
-		return m.lockAcquire(env, c, owner, v.(*wire.LockAcquireReq))
+		r := v.(*wire.LockAcquireReq)
+		if err := m.checkHandleRoute(r.Handle); err != "" {
+			return wire.EncodeLockGrant(&wire.LockGrant{Err: err})
+		}
+		return m.lockAcquire(env, c, owner, r)
 	case wire.MTLockReleaseReq:
-		return m.lockRelease(env, owner, v.(*wire.LockReleaseReq))
+		r := v.(*wire.LockReleaseReq)
+		if err := m.checkHandleRoute(r.Handle); err != "" {
+			return wire.EncodeMetaResp(&wire.MetaResp{Err: err})
+		}
+		return m.lockRelease(env, owner, r)
+	case wire.MTMetaStatsReq:
+		data, err := json.Marshal(m.Snapshot())
+		if err != nil {
+			return wire.EncodeIOResp(&wire.IOResp{Err: err.Error()})
+		}
+		return wire.EncodeIOResp(&wire.IOResp{OK: true, Data: data})
 	}
 	resp, removed := m.handleNS(t, v)
 	if removed != 0 {
 		m.deliver(env, m.locks.DropHandle(env.Now(), removed))
 	}
 	return resp
+}
+
+// checkHandleRoute rejects lock traffic for a handle another shard
+// owns. A misroute is a client-side shard-directory bug; failing loudly
+// beats silently hosting a second lock table for the same file (which
+// would break the single-authority ordering every fairness and
+// coherence argument rests on).
+func (m *MetaServer) checkHandleRoute(h uint64) string {
+	m.mu.Lock()
+	id, count := m.shardID, m.shardCount
+	m.mu.Unlock()
+	if count > 1 && shard.OfHandle(h, count) != id {
+		return fmt.Sprintf("misrouted: handle %d belongs to shard %d, not %d of %d",
+			h, shard.OfHandle(h, count), id, count)
+	}
+	return ""
+}
+
+// checkNameRoute is checkHandleRoute for namespace traffic. Callers
+// hold m.mu.
+func (m *MetaServer) checkNameRoute(name string) string {
+	if m.shardCount > 1 && shard.OfName(name, m.shardCount) != m.shardID {
+		return fmt.Sprintf("misrouted: name %q belongs to shard %d, not %d of %d",
+			name, shard.OfName(name, m.shardCount), m.shardID, m.shardCount)
+	}
+	return ""
 }
 
 // lockCtx is the per-waiter context stored with a queued lock request:
@@ -278,6 +385,9 @@ func (m *MetaServer) handleNS(t wire.MsgType, v any) (resp []byte, removed uint6
 		if r.Name == "" {
 			return wire.EncodeMetaResp(&wire.MetaResp{Err: "empty file name"}), 0
 		}
+		if err := m.checkNameRoute(r.Name); err != "" {
+			return wire.EncodeMetaResp(&wire.MetaResp{Err: err}), 0
+		}
 		if _, ok := m.files[r.Name]; ok {
 			return wire.EncodeMetaResp(&wire.MetaResp{Err: fmt.Sprintf("file exists: %s", r.Name)}), 0
 		}
@@ -294,7 +404,11 @@ func (m *MetaServer) handleNS(t wire.MsgType, v any) (resp []byte, removed uint6
 			nServers:  n,
 			base:      0,
 		}
-		m.next++
+		// The owning shard allocates the handle from its strided
+		// sequence, so shard.OfHandle(f.handle) == shardID: lock and
+		// lease traffic, which carries handles rather than names, routes
+		// back here with pure arithmetic.
+		m.next = shard.NextHandle(m.next, m.shardCount)
 		m.files[r.Name] = f
 		return wire.EncodeMetaResp(&wire.MetaResp{
 			OK: true, Handle: f.handle, StripSize: f.stripSize,
@@ -302,6 +416,9 @@ func (m *MetaServer) handleNS(t wire.MsgType, v any) (resp []byte, removed uint6
 		}), 0
 	case wire.MTOpenReq:
 		r := v.(*wire.OpenReq)
+		if err := m.checkNameRoute(r.Name); err != "" {
+			return wire.EncodeMetaResp(&wire.MetaResp{Err: err}), 0
+		}
 		f, ok := m.files[r.Name]
 		if !ok {
 			return wire.EncodeMetaResp(&wire.MetaResp{Err: fmt.Sprintf("no such file: %s", r.Name)}), 0
@@ -312,6 +429,9 @@ func (m *MetaServer) handleNS(t wire.MsgType, v any) (resp []byte, removed uint6
 		}), 0
 	case wire.MTRemoveReq:
 		r := v.(*wire.RemoveReq)
+		if err := m.checkNameRoute(r.Name); err != "" {
+			return wire.EncodeMetaResp(&wire.MetaResp{Err: err}), 0
+		}
 		f, ok := m.files[r.Name]
 		if !ok {
 			return wire.EncodeMetaResp(&wire.MetaResp{Err: fmt.Sprintf("no such file: %s", r.Name)}), 0

@@ -33,7 +33,7 @@ func startMeta(t *testing.T, lease time.Duration) *metaRig {
 	defer c.Close()
 	for i := 0; i < 2000; i++ {
 		if _, err := c.Create(rig.env, "__probe__", 64, 0); err == nil {
-			c.metaCall(rig.env, wire.EncodeRemove(&wire.RemoveReq{Name: "__probe__"}))
+			c.metaCall(rig.env, 0, wire.EncodeRemove(&wire.RemoveReq{Name: "__probe__"}))
 			return rig
 		}
 		time.Sleep(time.Millisecond)
@@ -67,12 +67,12 @@ func TestMetaErrorPaths(t *testing.T) {
 	if _, err := c.Open(env, "nope"); err == nil || !strings.Contains(err.Error(), "no such file") {
 		t.Fatalf("open missing: %v", err)
 	}
-	if _, err := c.metaCall(env, wire.EncodeRemove(&wire.RemoveReq{Name: "nope"})); err == nil || !strings.Contains(err.Error(), "no such file") {
+	if _, err := c.metaCall(env, 0, wire.EncodeRemove(&wire.RemoveReq{Name: "nope"})); err == nil || !strings.Contains(err.Error(), "no such file") {
 		t.Fatalf("remove missing: %v", err)
 	}
 	// A data-server message sent to the metadata port is refused, not
 	// misinterpreted.
-	if _, err := c.metaCall(env, wire.EncodeLocalSize(&wire.LocalSizeReq{})); err == nil || !strings.Contains(err.Error(), "unexpected message") {
+	if _, err := c.metaCall(env, 0, wire.EncodeLocalSize(&wire.LocalSizeReq{})); err == nil || !strings.Contains(err.Error(), "unexpected message") {
 		t.Fatalf("wrong-port message: %v", err)
 	}
 	// So is a frame that does not decode.
@@ -282,7 +282,7 @@ func TestLockRemoveFailsWaiters(t *testing.T) {
 	time.Sleep(10 * time.Millisecond) // let the waiter queue
 	// Remove the file's metadata entry (client Remove would also wipe
 	// server objects; there are none in this rig).
-	if _, err := cc.metaCall(env, wire.EncodeRemove(&wire.RemoveReq{Name: "r.dat"})); err != nil {
+	if _, err := cc.metaCall(env, 0, wire.EncodeRemove(&wire.RemoveReq{Name: "r.dat"})); err != nil {
 		t.Fatal(err)
 	}
 	select {

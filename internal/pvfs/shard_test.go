@@ -1,0 +1,553 @@
+package pvfs
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"dtio/internal/iostats"
+	"dtio/internal/shard"
+	"dtio/internal/transport"
+	"dtio/internal/wire"
+)
+
+// shardRig is a sharded control plane on a Mem network: n metadata
+// shards plus two I/O servers, enough to drive locks, leases, and
+// cached data through cross-shard paths.
+type shardRig struct {
+	net     *transport.MemNetwork
+	env     transport.Env
+	metas   []*MetaServer
+	addrs   []string
+	ioAddrs []string
+}
+
+func startShards(t *testing.T, n int, lease time.Duration) *shardRig {
+	t.Helper()
+	rig := &shardRig{
+		net: transport.NewMemNetwork(),
+		env: transport.NewRealEnv(),
+	}
+	for i := 0; i < n; i++ {
+		addr := fmt.Sprintf("meta%d", i)
+		m := NewMetaServer(rig.net, addr, 2)
+		m.ConfigureShard(i, n)
+		m.LeaseTimeout = lease
+		go m.Serve(rig.env)
+		t.Cleanup(m.Close)
+		rig.metas = append(rig.metas, m)
+		rig.addrs = append(rig.addrs, addr)
+	}
+	for i := 0; i < 2; i++ {
+		addr := fmt.Sprintf("io%d", i)
+		s := NewServer(rig.net, addr, i, CostModel{})
+		go s.Serve(rig.env)
+		t.Cleanup(s.Close)
+		rig.ioAddrs = append(rig.ioAddrs, addr)
+	}
+	// Wait for every shard to answer: one probe file owned by each.
+	c := rig.client()
+	defer c.Close()
+	for s := 0; s < n; s++ {
+		name := nameOnShard(s, n, "__probe__")
+		ok := false
+		for i := 0; i < 2000 && !ok; i++ {
+			if _, err := c.Create(rig.env, name, 64, 0); err == nil {
+				ok = true
+				if _, err := c.metaCall(rig.env, s, wire.EncodeRemove(&wire.RemoveReq{Name: name})); err != nil {
+					t.Fatal(err)
+				}
+			} else {
+				time.Sleep(time.Millisecond)
+			}
+		}
+		if !ok {
+			t.Fatalf("metadata shard %d did not come up", s)
+		}
+	}
+	return rig
+}
+
+func (rig *shardRig) client() *Client {
+	return NewShardedClient(rig.net, rig.addrs, rig.ioAddrs, CostModel{})
+}
+
+// nameOnShard finds a file name the rendezvous hash places on shard s.
+func nameOnShard(s, n int, prefix string) string {
+	for i := 0; ; i++ {
+		name := fmt.Sprintf("%s.%d", prefix, i)
+		if shard.OfName(name, n) == s {
+			return name
+		}
+	}
+}
+
+// TestShardNamespacePartition drives creates through a 2-shard client
+// and checks that both shards own files, that every file opens and
+// removes through name routing, and that ListNames merges the shards.
+func TestShardNamespacePartition(t *testing.T) {
+	rig := startShards(t, 2, 0)
+	c := rig.client()
+	defer c.Close()
+	env := rig.env
+
+	var names []string
+	for i := 0; i < 16; i++ {
+		names = append(names, fmt.Sprintf("part.%02d", i))
+		if _, err := c.Create(env, names[i], 64, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for s, m := range rig.metas {
+		if snap := m.Snapshot(); snap.Files == 0 {
+			t.Fatalf("shard %d owns no files; partition collapsed", s)
+		} else if snap.Shard != s || snap.Shards != 2 {
+			t.Fatalf("shard %d snapshot identity: %+v", s, snap)
+		}
+	}
+	got, err := c.ListNames(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(names) {
+		t.Fatalf("ListNames merged %d names, want %d: %v", len(got), len(names), got)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1] >= got[i] {
+			t.Fatalf("ListNames not sorted: %v", got)
+		}
+	}
+	for _, name := range names {
+		f, err := c.Open(env, name)
+		if err != nil {
+			t.Fatalf("open %s: %v", name, err)
+		}
+		// The handle's shard must agree with the name's shard: locks
+		// route by handle and would otherwise land on the wrong table.
+		if hs, ns := shard.OfHandle(f.handle, 2), shard.OfName(name, 2); hs != ns {
+			t.Fatalf("%s: handle %d on shard %d, name on shard %d", name, f.handle, hs, ns)
+		}
+		if err := c.Remove(env, name); err != nil {
+			t.Fatalf("remove %s: %v", name, err)
+		}
+	}
+	if rest, err := c.ListNames(env); err != nil || len(rest) != 0 {
+		t.Fatalf("namespace not empty after removes: %v %v", rest, err)
+	}
+}
+
+// TestShardMisrouteRefused sends name and handle traffic to the wrong
+// shard and expects loud errors, not silent misplacement.
+func TestShardMisrouteRefused(t *testing.T) {
+	rig := startShards(t, 2, 0)
+	c := rig.client()
+	defer c.Close()
+	env := rig.env
+
+	name := nameOnShard(0, 2, "mis")
+	f, err := c.Create(env, name, 64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Name owned by shard 0, sent to shard 1.
+	if _, err := c.metaCall(env, 1, wire.EncodeOpen(&wire.OpenReq{Name: name})); err == nil ||
+		!strings.Contains(err.Error(), "shard") {
+		t.Fatalf("misrouted open: %v", err)
+	}
+	if _, err := c.metaCall(env, 1, wire.EncodeCreate(&wire.CreateReq{Name: name, StripSize: 64})); err == nil ||
+		!strings.Contains(err.Error(), "shard") {
+		t.Fatalf("misrouted create: %v", err)
+	}
+	// Handle owned by shard 0, lock release sent to shard 1.
+	wrong := shard.OfHandle(f.handle, 2) ^ 1
+	if _, err := c.metaCall(env, wrong, wire.EncodeLockRelease(&wire.LockReleaseReq{Handle: f.handle, LockID: 1})); err == nil ||
+		!strings.Contains(err.Error(), "shard") {
+		t.Fatalf("misrouted lock release: %v", err)
+	}
+}
+
+// TestShardLockIndependence: exclusive locks on files owned by
+// different shards never block each other, while conflicts within a
+// shard still queue FIFO (the PR2 invariant, per partition).
+func TestShardLockIndependence(t *testing.T) {
+	rig := startShards(t, 2, 0)
+	env := rig.env
+	ca, cb := rig.client(), rig.client()
+	defer ca.Close()
+	defer cb.Close()
+
+	n0, n1 := nameOnShard(0, 2, "ind"), nameOnShard(1, 2, "ind")
+	f0, err := ca.Create(env, n0, 64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1, err := ca.Create(env, n1, 64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Holding an exclusive lock on shard 0's file must not delay an
+	// exclusive lock on shard 1's file.
+	l0, err := f0.Lock(env, 0, 100, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1, err := cb.Open(env, n1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		lk, err := g1.Lock(env, 0, 100, false)
+		if err == nil {
+			err = g1.Unlock(env, lk)
+		}
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cross-shard lock blocked by an unrelated shard's holder")
+	}
+	// Same-shard conflict still queues, FIFO: two waiters on shard 1's
+	// file are granted in arrival order.
+	l1, err := f1.Lock(env, 0, 100, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := make(chan int, 2)
+	waiter := func(id int) (*Client, chan error) {
+		cw := rig.client()
+		fw, err := cw.Open(env, n1)
+		errc := make(chan error, 1)
+		if err != nil {
+			errc <- err
+			return cw, errc
+		}
+		go func() {
+			lk, err := fw.Lock(env, 0, 100, false)
+			if err == nil {
+				order <- id
+				time.Sleep(5 * time.Millisecond)
+				err = fw.Unlock(env, lk)
+			}
+			errc <- err
+		}()
+		return cw, errc
+	}
+	cw1, e1 := waiter(1)
+	defer cw1.Close()
+	time.Sleep(20 * time.Millisecond) // waiter 1 queues first
+	cw2, e2 := waiter(2)
+	defer cw2.Close()
+	time.Sleep(20 * time.Millisecond)
+	if err := f1.Unlock(env, l1); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range []chan error{e1, e2} {
+		select {
+		case err := <-e:
+			if err != nil {
+				t.Fatal(err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("queued waiter never granted")
+		}
+	}
+	if first, second := <-order, <-order; first != 1 || second != 2 {
+		t.Fatalf("grant order %d,%d; want FIFO 1,2", first, second)
+	}
+	if err := f0.Unlock(env, l0); err != nil {
+		t.Fatal(err)
+	}
+	// All lock work for n1 happened on its owning shard.
+	owner := shard.OfName(n1, 2)
+	if s := rig.metas[owner].LockStats(); s.Waits != 2 {
+		t.Fatalf("owning shard %d stats: %+v", owner, s)
+	}
+}
+
+// TestShardLeaseReclaim is the PR4 invariant per partition: a holder
+// that goes silent with locks on two different shards has each lease
+// reclaimed by the owning shard, and waiters on both shards proceed.
+func TestShardLeaseReclaim(t *testing.T) {
+	const lease = 40 * time.Millisecond
+	rig := startShards(t, 2, lease)
+	env := rig.env
+	holder, waiter := rig.client(), rig.client()
+	defer waiter.Close()
+	// The holder's Close releases cleanly; keep it open so only lease
+	// expiry can free the ranges. (Closed at the end for cleanup.)
+	defer holder.Close()
+
+	n0, n1 := nameOnShard(0, 2, "lease"), nameOnShard(1, 2, "lease")
+	f0, err := holder.Create(env, n0, 64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1, err := holder.Create(env, n1, 64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f0.Lock(env, 0, 100, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f1.Lock(env, 0, 100, false); err != nil {
+		t.Fatal(err)
+	}
+	// The holder now goes silent. Waiters on both shards must be
+	// rescued by each shard's own watchdog. (Only the first wait is
+	// timed: both watchdogs start at acquisition, so by the time the
+	// first lease has been waited out the second shard has usually
+	// reclaimed too, and its grant is rightly immediate.)
+	for i, name := range []string{n0, n1} {
+		g, err := waiter.Open(env, name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		start := time.Now()
+		lk, err := g.Lock(env, 0, 100, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if waited := time.Since(start); i == 0 && waited < lease/2 {
+			t.Fatalf("%s: granted after %v, before the lease could expire", name, waited)
+		}
+		if err := g.Unlock(env, lk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for s, m := range rig.metas {
+		st := m.LockStats()
+		if st.Expired != 1 {
+			t.Fatalf("shard %d reclaimed %d leases, want exactly its own", s, st.Expired)
+		}
+		if st.Held != 0 || st.Queued != 0 {
+			t.Fatalf("shard %d leaked lock state: %+v", s, st)
+		}
+	}
+}
+
+// TestShardRemoveFailsWaiters: removing a file on a non-zero shard
+// fails that shard's queued lock requests (and only that shard's).
+func TestShardRemoveFailsWaiters(t *testing.T) {
+	rig := startShards(t, 2, 0)
+	env := rig.env
+	ca, cb, cc := rig.client(), rig.client(), rig.client()
+	defer ca.Close()
+	defer cb.Close()
+	defer cc.Close()
+
+	name := nameOnShard(1, 2, "rm")
+	fa, err := ca.Create(env, name, 64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fa.Lock(env, 0, 100, false); err != nil {
+		t.Fatal(err)
+	}
+	fb, err := cb.Open(env, name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan error, 1)
+	go func() {
+		_, err := fb.Lock(env, 0, 100, false)
+		got <- err
+	}()
+	time.Sleep(10 * time.Millisecond) // let the waiter queue on shard 1
+	if _, err := cc.metaCall(env, 1, wire.EncodeRemove(&wire.RemoveReq{Name: name})); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-got:
+		if err == nil || !strings.Contains(err.Error(), "file removed") {
+			t.Fatalf("waiter outcome: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter still queued after file removal")
+	}
+	if s := rig.metas[1].LockStats(); s.Held != 0 || s.Queued != 0 {
+		t.Fatalf("owning shard leaked lock state: %+v", s)
+	}
+}
+
+// TestShardCacheCoherence is the PR6 invariant across partitions: a
+// cached client holding dirty data under a shard-1 lease must flush it
+// when a conflicting reader's lock forces revocation, even while the
+// writer is busy talking to shard 0 — the revoke arrives on a
+// different shard's connection than the one the writer is blocked on.
+func TestShardCacheCoherence(t *testing.T) {
+	rig := startShards(t, 2, 0)
+	env := rig.env
+	writer := rig.client()
+	writer.CacheBytes = 1 << 20
+	writer.CacheChunkBytes = 4096
+	writer.Stats = &iostats.Stats{}
+	defer writer.Close()
+	reader := rig.client()
+	defer reader.Close()
+
+	n0, n1 := nameOnShard(0, 2, "coh"), nameOnShard(1, 2, "coh")
+	f0, err := writer.Create(env, n0, 128, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1, err := writer.Create(env, n1, 128, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte("dirty-on-shard-one")
+	if err := f1.WriteContig(env, 0, want); err != nil {
+		t.Fatal(err)
+	}
+	// The reader demands shard 1's range while the writer keeps itself
+	// busy on shard 0; the writer must notice the revoke on its shard-1
+	// connection at cached-op boundaries and flush.
+	done := make(chan error, 1)
+	go func() {
+		g1, err := reader.Open(env, n1)
+		if err != nil {
+			done <- err
+			return
+		}
+		lk, err := g1.Lock(env, 0, int64(len(want)), true)
+		if err != nil {
+			done <- err
+			return
+		}
+		done <- g1.Unlock(env, lk)
+	}()
+	deadline := time.After(10 * time.Second)
+	for finished := false; !finished; {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatal(err)
+			}
+			finished = true
+		case <-deadline:
+			t.Fatal("reader's lock never granted: revocation lost across shards")
+		default:
+			if err := f0.WriteContig(env, 0, []byte("busy")); err != nil {
+				t.Fatal(err)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	if s := writer.Stats.Snapshot(); s.FlushOps == 0 {
+		t.Fatalf("revocation did not flush dirty cache (stats %+v)", s)
+	}
+	// The flushed bytes are visible to an uncached client.
+	got := make([]byte, len(want))
+	g1, err := reader.Open(env, n1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g1.ReadContig(env, 0, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("read %q, want %q", got, want)
+	}
+}
+
+// TestShardLockFlushesOtherShards: before blocking on one shard's lock
+// service, a caching client surrenders leases it holds on other shards
+// (the cross-shard deadlock-avoidance rule), so its dirty data lands
+// durably without an explicit Flush.
+func TestShardLockFlushesOtherShards(t *testing.T) {
+	rig := startShards(t, 2, 0)
+	env := rig.env
+	c := rig.client()
+	c.CacheBytes = 1 << 20
+	c.CacheChunkBytes = 4096
+	c.Stats = &iostats.Stats{}
+	defer c.Close()
+
+	n0, n1 := nameOnShard(0, 2, "xs"), nameOnShard(1, 2, "xs")
+	f0, err := c.Create(env, n0, 128, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1, err := c.Create(env, n1, 128, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte("surrendered-before-blocking")
+	if err := f0.WriteContig(env, 0, want); err != nil {
+		t.Fatal(err)
+	}
+	// Locking shard 1's file must first surrender the shard-0 lease.
+	lk, err := f1.Lock(env, 0, 16, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f1.Unlock(env, lk); err != nil {
+		t.Fatal(err)
+	}
+	if s := c.Stats.Snapshot(); s.FlushOps == 0 {
+		t.Fatalf("cross-shard lock did not surrender foreign leases (stats %+v)", s)
+	}
+	plain := rig.client()
+	defer plain.Close()
+	pf, err := plain.Open(env, n0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(want))
+	if err := pf.ReadContig(env, 0, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("read %q, want %q", got, want)
+	}
+}
+
+// TestShardMetaStatsFetch pulls the wire-level introspection snapshot
+// from every shard and sanity-checks the counters.
+func TestShardMetaStatsFetch(t *testing.T) {
+	rig := startShards(t, 2, 0)
+	c := rig.client()
+	defer c.Close()
+	env := rig.env
+
+	name := nameOnShard(1, 2, "stats")
+	f, err := c.Create(env, name, 64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lk, err := f.Lock(env, 0, 100, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Unlock(env, lk); err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 2; s++ {
+		snap, err := c.FetchMetaStats(env, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if snap.Shard != s || snap.Shards != 2 {
+			t.Fatalf("shard %d snapshot identity: %+v", s, snap)
+		}
+		want := 0
+		if s == 1 {
+			want = 1
+		}
+		if snap.Files != want {
+			t.Fatalf("shard %d reports %d files, want %d", s, snap.Files, want)
+		}
+		if s == 1 && (snap.Acquires != 1 || snap.Releases != 1) {
+			t.Fatalf("owning shard counters: %+v", snap)
+		}
+	}
+	if _, err := c.FetchMetaStats(env, 99); err == nil {
+		t.Fatal("out-of-range shard accepted")
+	}
+}

@@ -1,0 +1,129 @@
+// Package shard partitions the control plane: file metadata and the
+// byte-range lock tables are split across N meta servers, and every
+// client resolves which server owns a file locally, from a shard
+// directory fixed at mount time (DESIGN.md §14).
+//
+// Two routing rules cover all traffic:
+//
+//   - Names route by rendezvous (highest-random-weight) hashing: every
+//     party that knows the shard count computes the same owner for a
+//     name with no directory server in the path. Adding a shard is a
+//     map change — only names whose maximum moves to the new shard
+//     relocate — not a protocol change.
+//   - Handles route arithmetically: the shard that creates a file
+//     allocates its handle from a strided sequence (shard id + 1,
+//     step = shard count), so OfHandle is a modulo, not a lookup, and
+//     the handle itself names its owner forever. Lock, lease, and
+//     revocation traffic — which carries handles, not names — therefore
+//     lands on the shard that holds the file's lock table without any
+//     extra state.
+//
+// Since the shard that owns a name allocates the handle, OfName and
+// OfHandle agree for every file, and a single-shard map degenerates to
+// exactly the pre-sharding behavior: every name maps to shard 0 and
+// handles count 1, 2, 3, …
+package shard
+
+// Map is a client-side shard directory: the ordered metadata shard
+// addresses, resolved once at mount. It is immutable; "resharding" is
+// mounting a new Map.
+type Map struct {
+	addrs []string
+}
+
+// NewMap builds a directory over the given shard addresses (index =
+// shard id). At least one address is required.
+func NewMap(addrs []string) *Map {
+	if len(addrs) == 0 {
+		panic("shard: empty shard map")
+	}
+	cp := make([]string, len(addrs))
+	copy(cp, addrs)
+	return &Map{addrs: cp}
+}
+
+// N reports the shard count.
+func (m *Map) N() int { return len(m.addrs) }
+
+// Addr reports shard i's address.
+func (m *Map) Addr(i int) string { return m.addrs[i] }
+
+// Addrs returns the shard addresses in id order (shared slice; do not
+// mutate).
+func (m *Map) Addrs() []string { return m.addrs }
+
+// OfName reports which shard owns the file name.
+func (m *Map) OfName(name string) int { return OfName(name, len(m.addrs)) }
+
+// OfHandle reports which shard owns the file handle.
+func (m *Map) OfHandle(h uint64) int { return OfHandle(h, len(m.addrs)) }
+
+// OfName picks a name's owner among `shards` shards by rendezvous
+// hashing: the shard whose (name, shard) weight is highest wins, ties
+// to the lower id. Deterministic across processes and runs.
+func OfName(name string, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	h := fnv64(name)
+	best, owner := uint64(0), 0
+	for i := 0; i < shards; i++ {
+		w := mix64(h ^ mix64(uint64(i)+0x9e3779b97f4a7c15))
+		if i == 0 || w > best {
+			best, owner = w, i
+		}
+	}
+	return owner
+}
+
+// OfHandle reports a handle's owner: handles are allocated from the
+// strided sequence FirstHandle, FirstHandle+shards, … so ownership is
+// arithmetic. Handle 0 is invalid and maps to shard 0.
+func OfHandle(h uint64, shards int) int {
+	if shards <= 1 || h == 0 {
+		return 0
+	}
+	return int((h - 1) % uint64(shards))
+}
+
+// FirstHandle is the first handle shard id allocates (id+1, so shard 0
+// of a 1-shard map starts at 1, matching the unsharded server).
+func FirstHandle(id, shards int) uint64 {
+	if shards <= 1 {
+		return 1
+	}
+	return uint64(id) + 1
+}
+
+// NextHandle advances a shard's handle sequence.
+func NextHandle(h uint64, shards int) uint64 {
+	if shards <= 1 {
+		return h + 1
+	}
+	return h + uint64(shards)
+}
+
+// fnv64 is FNV-1a over the name.
+func fnv64(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
+}
+
+// mix64 is the splitmix64 finalizer: a cheap, well-distributed bijection
+// used to turn (name hash, shard id) into a rendezvous weight.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

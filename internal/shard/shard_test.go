@@ -1,0 +1,128 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestSingleShardDegenerate: a 1-shard map must behave exactly like the
+// unsharded system — every name on shard 0, handles 1, 2, 3, …
+func TestSingleShardDegenerate(t *testing.T) {
+	m := NewMap([]string{"meta"})
+	for _, name := range []string{"", "a", "frames.dat", "x/y/z"} {
+		if got := m.OfName(name); got != 0 {
+			t.Fatalf("OfName(%q) = %d on 1 shard", name, got)
+		}
+	}
+	h := FirstHandle(0, 1)
+	for want := uint64(1); want <= 16; want++ {
+		if h != want {
+			t.Fatalf("1-shard handle sequence: got %d, want %d", h, want)
+		}
+		if OfHandle(h, 1) != 0 {
+			t.Fatalf("OfHandle(%d, 1) != 0", h)
+		}
+		h = NextHandle(h, 1)
+	}
+}
+
+// TestHandleSequencesPartition: across k shards the strided handle
+// sequences are disjoint, cover every positive handle, and each handle
+// routes back to its allocating shard.
+func TestHandleSequencesPartition(t *testing.T) {
+	for _, k := range []int{1, 2, 3, 4, 8} {
+		seen := map[uint64]int{}
+		for id := 0; id < k; id++ {
+			h := FirstHandle(id, k)
+			for i := 0; i < 64; i++ {
+				if owner, dup := seen[h]; dup {
+					t.Fatalf("k=%d: handle %d allocated by shards %d and %d", k, h, owner, id)
+				}
+				seen[h] = id
+				if got := OfHandle(h, k); got != id {
+					t.Fatalf("k=%d: OfHandle(%d) = %d, want %d", k, h, got, id)
+				}
+				h = NextHandle(h, k)
+			}
+		}
+		// Coverage: every handle in [1, 64k] was allocated by someone.
+		for h := uint64(1); h <= uint64(64*k); h++ {
+			if _, ok := seen[h]; !ok {
+				t.Fatalf("k=%d: handle %d allocated by no shard", k, h)
+			}
+		}
+	}
+}
+
+// TestOfNameDeterministicAndBounded: same name, same answer, in range.
+func TestOfNameDeterministicAndBounded(t *testing.T) {
+	for _, k := range []int{1, 2, 4, 8, 16} {
+		for i := 0; i < 200; i++ {
+			name := fmt.Sprintf("file.%d.dat", i)
+			a, b := OfName(name, k), OfName(name, k)
+			if a != b {
+				t.Fatalf("OfName(%q, %d) not deterministic: %d vs %d", name, k, a, b)
+			}
+			if a < 0 || a >= k {
+				t.Fatalf("OfName(%q, %d) = %d out of range", name, k, a)
+			}
+		}
+	}
+}
+
+// TestOfNameBalance: rendezvous hashing spreads a synthetic namespace
+// roughly evenly (each shard within 2x of the fair share on 4096 names).
+func TestOfNameBalance(t *testing.T) {
+	const names = 4096
+	for _, k := range []int{2, 4, 8} {
+		counts := make([]int, k)
+		for i := 0; i < names; i++ {
+			counts[OfName(fmt.Sprintf("rank%d/file%d.chk", i%97, i), k)]++
+		}
+		fair := names / k
+		for id, c := range counts {
+			if c < fair/2 || c > fair*2 {
+				t.Fatalf("k=%d: shard %d holds %d of %d names (fair %d)", k, id, c, names, fair)
+			}
+		}
+	}
+}
+
+// TestRendezvousStability: growing the map moves only names whose
+// maximum weight lands on the new shard — no name relocates between
+// surviving shards (the property that makes adding shards a map
+// change, not a rebalance of everything).
+func TestRendezvousStability(t *testing.T) {
+	const names = 2048
+	for k := 1; k < 8; k++ {
+		moved := 0
+		for i := 0; i < names; i++ {
+			name := fmt.Sprintf("stable.%d", i)
+			before, after := OfName(name, k), OfName(name, k+1)
+			if before != after {
+				if after != k {
+					t.Fatalf("k=%d->%d: %q moved %d -> %d (not the new shard)", k, k+1, name, before, after)
+				}
+				moved++
+			}
+		}
+		// Expected move fraction is 1/(k+1); allow 2x slack.
+		if moved > 2*names/(k+1) {
+			t.Fatalf("k=%d->%d: %d of %d names moved (expected ~%d)", k, k+1, moved, names, names/(k+1))
+		}
+	}
+}
+
+// TestMapAccessors exercises the Map wrapper.
+func TestMapAccessors(t *testing.T) {
+	m := NewMap([]string{"m0", "m1", "m2"})
+	if m.N() != 3 || m.Addr(1) != "m1" || len(m.Addrs()) != 3 {
+		t.Fatalf("map accessors broken: %+v", m)
+	}
+	if got := m.OfHandle(5); got != OfHandle(5, 3) {
+		t.Fatalf("Map.OfHandle disagrees with OfHandle")
+	}
+	if got := m.OfName("x"); got != OfName("x", 3) {
+		t.Fatalf("Map.OfName disagrees with OfName")
+	}
+}

@@ -429,6 +429,9 @@ func EncodeLeaseRevoke(r *LeaseRevoke) []byte {
 	return e.B
 }
 
+// EncodeMetaStats marshals a meta-server introspection request.
+func EncodeMetaStats() []byte { return NewEnc(MTMetaStatsReq).B }
+
 // EncodeIOResp marshals an IOResp.
 func EncodeIOResp(r *IOResp) []byte {
 	e := NewEnc(MTIOResp)
@@ -547,6 +550,8 @@ func DecodeMsg(b []byte) (MsgType, any, error) {
 		v = &LockGrant{OK: d.U8() != 0, Err: d.Str(), LockID: uint64(d.I64()), WaitedNs: d.I64(), LeaseNs: d.I64()}
 	case MTLeaseRevoke:
 		v = &LeaseRevoke{Handle: uint64(d.I64()), LockID: uint64(d.I64()), Off: d.I64(), N: d.I64()}
+	case MTMetaStatsReq:
+		v = &struct{}{}
 	default:
 		return t, nil, fmt.Errorf("wire: unknown message type %d", uint8(t))
 	}

@@ -68,6 +68,12 @@ const (
 	// release it because a conflicting request queued behind it. The
 	// holder's MTLockReleaseReq is the acknowledgement.
 	MTLeaseRevoke
+
+	// Meta-server introspection: ask a metadata shard for a JSON snapshot
+	// of its namespace and lock service (table sizes, queue depths,
+	// grants/revocations/expiries). Answered with an MTIOResp carrying the
+	// JSON in Data, mirroring the I/O server AdminStats path.
+	MTMetaStatsReq
 )
 
 func (t MsgType) String() string {
@@ -83,7 +89,7 @@ func (t MsgType) String() string {
 		MTStreamChunk: "streamchunk", MTStreamAck: "streamack",
 		MTLockAcquireReq: "lockacquire", MTLockReleaseReq: "lockrelease",
 		MTLockGrant: "lockgrant", MTAdminReq: "admin",
-		MTLeaseRevoke: "leaserevoke",
+		MTLeaseRevoke: "leaserevoke", MTMetaStatsReq: "metastats",
 	}
 	if s, ok := names[t]; ok {
 		return s
