@@ -76,3 +76,20 @@ go test -race -timeout 120s \
 	-run 'TestSingleShardDegenerate|TestHandleSequencesPartition|TestOfName|TestRendezvousStability|TestMapAccessors|TestRoundTrip|TestShard' \
 	./internal/shard/ ./internal/wire/ ./internal/pvfs/
 go run ./cmd/dtbench -exp pr7-smoke
+# Real-disk fast-path pass: the flatten compiler's table/quick property
+# suites (compiled replay byte-identical to the interpreted iterator),
+# vectored-store round-trip/EOF/chunking semantics, the scheduler's
+# vectored byte-identity matrix and minimum-run floor, and loop-cache
+# eviction/stats/concurrent-replay invariants, all under -race; the
+# server hot-path allocation bounds for reads and writes (race-free so
+# the counts are exact); a single-shot pass over every benchmark so
+# none of them rot; then the pr8 smoke run, which brings up real TCP
+# daemons on file-backed objects and exits nonzero unless all four
+# compiled/vectored cells produce byte-identical digests and the
+# replay/vec-op counters prove which path served each cell.
+go test -race -timeout 120s \
+	-run 'TestReplayMatchesIter|TestCompile|TestReplayResizedInstanceSpacing|TestEOFAndHoleSemantics|TestVectored|TestPropertyMemMatchesFlatBuffer|TestVecMinRunFloor|TestLoopCache|TestCompiledCacheConcurrentReplay' \
+	./internal/flatten/ ./internal/storage/ ./internal/pvfs/
+go test -timeout 60s -run 'TestServerReadHotPathAllocs|TestServerWriteHotPathAllocs' ./internal/pvfs/
+go test -timeout 300s -run 'XXX' -bench . -benchtime 1x ./...
+go run ./cmd/dtbench -exp pr8-smoke

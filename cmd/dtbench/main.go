@@ -66,6 +66,8 @@ func experiments() []experiment {
 		{"pr6-smoke", "pr6 quick CI gate (no JSON)", func() { runPR6("", true) }},
 		{"pr7", "sharded control plane scaling report (BENCH_PR7.json)", func() { runPR7(jsonPath("BENCH_PR7.json"), false) }},
 		{"pr7-smoke", "pr7 quick CI gate (no JSON)", func() { runPR7("", true) }},
+		{"pr8", "compiled+vectored real-disk hot path report (BENCH_PR8.json)", func() { runPR8(jsonPath("BENCH_PR8.json"), false) }},
+		{"pr8-smoke", "pr8 quick CI gate (no JSON)", func() { runPR8("", true) }},
 		{"all", "E1-E3 plus every ablation", func() {
 			runTile()
 			runBlock3D()

@@ -36,6 +36,10 @@ func main() {
 		"disk scheduler read gap-merge threshold in bytes (0: merge adjacent runs only)")
 	noSched := flag.Bool("nodisksched", false,
 		"dispatch each request's physical runs in arrival order, uncoalesced")
+	noCompile := flag.Bool("nocompile", false,
+		"expand datatype views with the interpreted dataloop walk (skip compiled programs)")
+	noVector := flag.Bool("novector", false,
+		"stage coalesced disk operations through a scratch copy and a single scalar syscall (no preadv/pwritev)")
 	httpAddr := flag.String("http", "", "debug listener address (/metrics, /healthz, /debug/pprof); empty: off")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON here on SIGINT/SIGTERM; empty: off")
 	flag.Parse()
@@ -48,6 +52,8 @@ func main() {
 	s := pvfs.NewServer(transport.NewTCPNetwork(), *addr, *index, pvfs.CostModel{})
 	s.SieveGapBytes = *sieveGap
 	s.DisableDiskSched = *noSched
+	s.DisableCompiledLoops = *noCompile
+	s.DisableVectoredIO = *noVector
 	s.Stats = &iostats.Stats{}
 	s.Metrics = &pvfs.ServerMetrics{}
 	if *httpAddr != "" {

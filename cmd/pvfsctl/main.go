@@ -163,9 +163,9 @@ func main() {
 		for _, i := range idxs {
 			snap, err := client.FetchStats(env, i)
 			fail(err)
-			fmt.Printf("server %d: %d reqs, p50/p95/p99 %d/%d/%d us, %d replays, loop cache %d hit / %d miss\n",
+			fmt.Printf("server %d: %d reqs, p50/p95/p99 %d/%d/%d us, %d replays, loop cache %d hit / %d miss / %d evict, %d compiled replays\n",
 				snap.Server, snap.Lat.Count, snap.P50Us, snap.P95Us, snap.P99Us,
-				snap.Replays, snap.CacheHits, snap.CacheMisses)
+				snap.Replays, snap.CacheHits, snap.CacheMisses, snap.CacheEvictions, snap.CompiledReplays)
 			fmt.Printf("  %s\n", snap.IOStats)
 		}
 	case "stall":

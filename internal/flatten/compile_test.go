@@ -1,0 +1,247 @@
+package flatten
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"dtio/internal/dataloop"
+	"dtio/internal/datatype"
+)
+
+// replayCollect materializes Replay's regions for comparison against the
+// interpreted iterator.
+func replayCollect(t *testing.T, p *Program, count, disp, pos, n int64) []Region {
+	t.Helper()
+	var out []Region
+	if err := p.Replay(count, disp, pos, n, func(off, ln int64) error {
+		out = append(out, Region{Off: off, Len: ln})
+		return nil
+	}); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	return out
+}
+
+// checkReplay compiles loop and demands byte-identical regions from the
+// compiled replay and the interpreted window iterator.
+func checkReplay(t *testing.T, loop *dataloop.Loop, count, disp, pos, n int64) {
+	t.Helper()
+	p := Compile(loop)
+	if p == nil {
+		t.Fatalf("loop %v declined to compile", loop)
+	}
+	got := replayCollect(t, p, count, disp, pos, n)
+	want := NewIterAt(loop, count, disp, pos, n, true).Collect()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("loop %v count=%d disp=%d window=[%d,+%d):\n  compiled    %v\n  interpreted %v",
+			loop, count, disp, pos, n, got, want)
+	}
+}
+
+// fullWindows sweeps a loop through whole-stream and partial windows.
+func fullWindows(t *testing.T, loop *dataloop.Loop, count int64) {
+	t.Helper()
+	total := count * loop.Size
+	checkReplay(t, loop, count, 0, 0, total)
+	checkReplay(t, loop, count, 4096, 0, total)
+	for _, w := range [][2]int64{
+		{0, 1}, {1, 3}, {total / 3, total / 2}, {total - 1, 1},
+		{total / 2, total}, {total, 0}, {0, 0},
+	} {
+		if w[0] < 0 {
+			continue
+		}
+		checkReplay(t, loop, count, 128, w[0], w[1])
+	}
+}
+
+func TestReplayMatchesIterTable(t *testing.T) {
+	cases := []*datatype.Type{
+		datatype.Contiguous(6, datatype.Int32),
+		datatype.Vector(5, 3, 7, datatype.Int32),
+		datatype.Vector(4, 1, 2, datatype.Int64),
+		datatype.HVector(3, 2, 40, datatype.Int64),
+		datatype.Indexed([]int{2, 1, 3}, []int{0, 5, 9}, datatype.Int32),
+		datatype.Indexed([]int{2, 2, 2}, []int{0, 4, 8}, datatype.Int32), // AP, dense lens
+		datatype.HIndexed([]int64{1, 2, 1}, []int64{32, 0, 80}, datatype.Int64),
+		datatype.HBlockIndexed(2, []int64{0, 48, 96}, datatype.Int32),  // AP offsets
+		datatype.HBlockIndexed(2, []int64{0, 48, 100}, datatype.Int32), // irregular
+		datatype.Struct([]int{2, 1}, []int64{0, 64}, []*datatype.Type{datatype.Int32, datatype.Int64}),
+		datatype.Resized(datatype.Vector(3, 1, 2, datatype.Int32), 0, 100),
+		datatype.Subarray([]int{8, 16}, []int{4, 6}, []int{2, 5}, datatype.OrderC, datatype.Int32),
+		datatype.Subarray([]int{6, 6, 6}, []int{2, 3, 4}, []int{1, 0, 2}, datatype.OrderC, datatype.Int32),
+		datatype.Contiguous(2, datatype.Vector(3, 2, 5, datatype.Int32)),
+		datatype.Vector(3, 2, 9, datatype.Struct([]int{1, 1}, []int64{0, 12},
+			[]*datatype.Type{datatype.Int64, datatype.Int32})),
+	}
+	for i, ty := range cases {
+		loop := dataloop.FromType(ty)
+		for _, count := range []int64{1, 2, 3} {
+			fullWindows(t, loop, count)
+		}
+		_ = i
+	}
+}
+
+// randType builds a random datatype tree, the generator for the quick
+// property below. Sizes stay small so windows stay cheap to enumerate.
+func randType(r *rand.Rand, depth int) *datatype.Type {
+	if depth <= 0 || r.Intn(3) == 0 {
+		return datatype.Bytes(int64(1 + r.Intn(8)))
+	}
+	sub := randType(r, depth-1)
+	switch r.Intn(7) {
+	case 0:
+		return datatype.Contiguous(1+r.Intn(4), sub)
+	case 1:
+		bl := 1 + r.Intn(3)
+		return datatype.Vector(1+r.Intn(4), bl, bl+r.Intn(4), sub)
+	case 2:
+		return datatype.HVector(1+r.Intn(4), 1+r.Intn(3), sub.Extent()*int64(r.Intn(5))+int64(r.Intn(7)), sub)
+	case 3:
+		n := 1 + r.Intn(4)
+		lens, displs := make([]int, n), make([]int, n)
+		at := 0
+		for i := range lens {
+			lens[i] = r.Intn(3) + 1
+			displs[i] = at + r.Intn(4)
+			at = displs[i] + lens[i]
+		}
+		return datatype.Indexed(lens, displs, sub)
+	case 4:
+		n := 1 + r.Intn(4)
+		displs := make([]int64, n)
+		at := int64(0)
+		for i := range displs {
+			displs[i] = at + int64(r.Intn(3))*sub.Extent()
+			at = displs[i] + 2*sub.Extent()
+		}
+		return datatype.HBlockIndexed(1+r.Intn(2), displs, sub)
+	case 5:
+		n := 1 + r.Intn(3)
+		lens := make([]int, n)
+		displs := make([]int64, n)
+		types := make([]*datatype.Type, n)
+		at := int64(0)
+		for i := range lens {
+			lens[i] = 1 + r.Intn(2)
+			types[i] = randType(r, depth-1)
+			displs[i] = at + int64(r.Intn(9))
+			at = displs[i] + int64(lens[i])*types[i].Extent()
+		}
+		return datatype.Struct(lens, displs, types)
+	default:
+		ext := sub.Extent() + int64(r.Intn(16))
+		return datatype.Resized(sub, 0, ext)
+	}
+}
+
+func TestReplayMatchesIterQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ty := randType(r, 3)
+		if ty.Size() == 0 || ty.Size() > 1<<16 {
+			return true
+		}
+		loop := dataloop.FromType(ty)
+		p := Compile(loop)
+		if p == nil {
+			// Declining is allowed, silently falling back is the contract;
+			// only compiled programs must match.
+			return true
+		}
+		count := int64(1 + r.Intn(3))
+		disp := int64(r.Intn(3)) * 512
+		total := count * loop.Size
+		for k := 0; k < 8; k++ {
+			pos := r.Int63n(total + 1)
+			n := r.Int63n(total - pos + 3)
+			got := replayCollect(t, p, count, disp, pos, n)
+			want := NewIterAt(loop, count, disp, pos, n, true).Collect()
+			if !reflect.DeepEqual(got, want) {
+				t.Logf("seed=%d type=%v loop=%v count=%d disp=%d window=[%d,+%d)\n  compiled    %v\n  interpreted %v",
+					seed, ty, loop, count, disp, pos, n, got, want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompileShapesAreDims(t *testing.T) {
+	// The headline compression claims: a 2-D tile view is one strided-run
+	// opcode, a 3-D block view is one loop over one run — O(dims), not
+	// O(pieces).
+	tile := dataloop.FromType(datatype.Subarray(
+		[]int{1024, 1024}, []int{256, 384}, []int{128, 64}, datatype.OrderC, datatype.Byte))
+	if p := Compile(tile); p == nil || p.NumOps() != 1 {
+		t.Fatalf("2-D tile compiled to %v ops, want 1", opsOf(p))
+	}
+	block := dataloop.FromType(datatype.Subarray(
+		[]int{600, 600, 600}, []int{200, 200, 200}, []int{200, 0, 400}, datatype.OrderC, datatype.Int32))
+	if p := Compile(block); p == nil || p.NumOps() > 2 {
+		t.Fatalf("3-D block compiled to %v ops, want <= 2", opsOf(p))
+	}
+	four := dataloop.FromType(datatype.Subarray(
+		[]int{16, 16, 16, 16}, []int{4, 4, 4, 4}, []int{0, 4, 8, 12}, datatype.OrderC, datatype.Int64))
+	if p := Compile(four); p == nil || p.NumOps() > 3 {
+		t.Fatalf("4-D block compiled to %v ops, want <= 3", opsOf(p))
+	}
+	// A fully dense view collapses to a single whole-region run.
+	dense := dataloop.FromType(datatype.Contiguous(4096, datatype.Int64))
+	if p := Compile(dense); p == nil || p.NumOps() != 1 {
+		t.Fatalf("dense contig compiled to %v ops, want 1", opsOf(p))
+	}
+}
+
+func opsOf(p *Program) string {
+	if p == nil {
+		return "nil"
+	}
+	return fmt.Sprint(p.NumOps())
+}
+
+func TestCompileDeclinesHugeIrregular(t *testing.T) {
+	// Irregular offsets (quadratic gaps) with alternating lens defeat both
+	// AP compression and run merging; past the op budget Compile must
+	// decline rather than inflate the cache.
+	n := maxProgramOps + 512
+	lens := make([]int, n)
+	displs := make([]int, n)
+	at := 0
+	for i := range lens {
+		lens[i] = 1 + i%2
+		displs[i] = at
+		at += lens[i] + 1 + i%3
+	}
+	ty := datatype.Indexed(lens, displs, datatype.Int32)
+	if p := Compile(dataloop.FromType(ty)); p != nil {
+		t.Fatalf("huge irregular indexed compiled to %d ops, want nil", p.NumOps())
+	}
+}
+
+func TestCompileZeroSize(t *testing.T) {
+	ty := datatype.Indexed([]int{0, 0}, []int{0, 8}, datatype.Int32)
+	p := Compile(dataloop.FromType(ty))
+	if p == nil {
+		t.Fatal("zero-size loop should compile to an empty program")
+	}
+	if got := replayCollect(t, p, 3, 0, 0, 100); len(got) != 0 {
+		t.Fatalf("zero-size replay emitted %v", got)
+	}
+}
+
+func TestReplayResizedInstanceSpacing(t *testing.T) {
+	// Instances are spaced by the (resized) extent, exactly as the
+	// interpreter spaces them.
+	ty := datatype.Resized(datatype.Contiguous(2, datatype.Int32), 0, 64)
+	loop := dataloop.FromType(ty)
+	checkReplay(t, loop, 4, 0, 0, 4*loop.Size)
+	checkReplay(t, loop, 4, 0, 5, 17)
+}

@@ -28,6 +28,7 @@ type Stats struct {
 	regionsCPU atomic.Int64 // offset-length pairs processed locally
 	diskOps    atomic.Int64 // physical runs presented to the disk scheduler
 	diskMerged atomic.Int64 // disk operations dispatched after coalescing
+	diskVec    atomic.Int64 // coalesced ops dispatched as one vectored call
 	seekBytes  atomic.Int64 // head travel between dispatched operations
 	retries    atomic.Int64 // request attempts beyond the first
 	timeouts   atomic.Int64 // attempts that failed by receive timeout
@@ -76,6 +77,11 @@ func (s *Stats) AddDisk(in, merged, seek int64) {
 	s.seekBytes.Add(seek)
 }
 
+// AddVec records coalesced disk operations dispatched to storage as a
+// single vectored (scatter-gather) call rather than through a staging
+// copy.
+func (s *Stats) AddVec(n int64) { s.diskVec.Add(n) }
+
 // AddRetry records one retried request attempt.
 func (s *Stats) AddRetry() { s.retries.Add(1) }
 
@@ -121,6 +127,7 @@ type Snapshot struct {
 	Regions       int64
 	DiskOps       int64 // physical runs presented to the disk scheduler
 	DiskOpsMerged int64 // operations actually dispatched after coalescing
+	DiskVecOps    int64 // coalesced ops dispatched as one vectored call
 	SeekBytes     int64 // head travel between dispatched operations
 	Retries       int64 // request attempts beyond the first
 	Timeouts      int64 // attempts that failed by receive timeout
@@ -147,6 +154,7 @@ func (s *Stats) Snapshot() Snapshot {
 		Regions:       s.regionsCPU.Load(),
 		DiskOps:       s.diskOps.Load(),
 		DiskOpsMerged: s.diskMerged.Load(),
+		DiskVecOps:    s.diskVec.Load(),
 		SeekBytes:     s.seekBytes.Load(),
 		Retries:       s.retries.Load(),
 		Timeouts:      s.timeouts.Load(),
@@ -177,6 +185,7 @@ func (s *Stats) Reset() {
 		Regions:       s.regionsCPU.Swap(0),
 		DiskOps:       s.diskOps.Swap(0),
 		DiskOpsMerged: s.diskMerged.Swap(0),
+		DiskVecOps:    s.diskVec.Swap(0),
 		SeekBytes:     s.seekBytes.Swap(0),
 		Retries:       s.retries.Swap(0),
 		Timeouts:      s.timeouts.Swap(0),
@@ -214,6 +223,7 @@ func (a Snapshot) Add(b Snapshot) Snapshot {
 		Regions:       a.Regions + b.Regions,
 		DiskOps:       a.DiskOps + b.DiskOps,
 		DiskOpsMerged: a.DiskOpsMerged + b.DiskOpsMerged,
+		DiskVecOps:    a.DiskVecOps + b.DiskVecOps,
 		SeekBytes:     a.SeekBytes + b.SeekBytes,
 		Retries:       a.Retries + b.Retries,
 		Timeouts:      a.Timeouts + b.Timeouts,
@@ -244,6 +254,7 @@ func (a Snapshot) Div(n int64) Snapshot {
 		Regions:       a.Regions / n,
 		DiskOps:       a.DiskOps / n,
 		DiskOpsMerged: a.DiskOpsMerged / n,
+		DiskVecOps:    a.DiskVecOps / n,
 		SeekBytes:     a.SeekBytes / n,
 		Retries:       a.Retries / n,
 		Timeouts:      a.Timeouts / n,
@@ -288,7 +299,7 @@ func (s Snapshot) String() string {
 		str += fmt.Sprintf(" lockwaits=%d lockwait=%s", s.LockWaits, time.Duration(s.LockWaitNs))
 	}
 	if s.DiskOps != 0 || s.DiskOpsMerged != 0 || s.SeekBytes != 0 {
-		str += fmt.Sprintf(" diskops=%d merged=%d seek=%s", s.DiskOps, s.DiskOpsMerged, MB(s.SeekBytes))
+		str += fmt.Sprintf(" diskops=%d merged=%d vec=%d seek=%s", s.DiskOps, s.DiskOpsMerged, s.DiskVecOps, MB(s.SeekBytes))
 	}
 	if s.Retries != 0 || s.Timeouts != 0 || s.ReplayedBytes != 0 || s.FailoverNs != 0 {
 		str += fmt.Sprintf(" retries=%d timeouts=%d replayed=%s failover=%s",

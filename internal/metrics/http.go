@@ -61,6 +61,7 @@ func RegisterIOStats(reg *Registry, prefix string, fn func() iostats.Snapshot) {
 	g("regions", "noncontiguous regions processed", func(s iostats.Snapshot) int64 { return s.Regions })
 	g("disk_ops", "disk operations dispatched", func(s iostats.Snapshot) int64 { return s.DiskOps })
 	g("disk_ops_merged", "disk operations merged away by the scheduler", func(s iostats.Snapshot) int64 { return s.DiskOpsMerged })
+	g("disk_vec_ops", "coalesced operations dispatched as one vectored call", func(s iostats.Snapshot) int64 { return s.DiskVecOps })
 	g("seek_bytes", "disk head travel charged by the seek model", func(s iostats.Snapshot) int64 { return s.SeekBytes })
 	g("retries", "request retries", func(s iostats.Snapshot) int64 { return s.Retries })
 	g("timeouts", "request timeouts", func(s iostats.Snapshot) int64 { return s.Timeouts })

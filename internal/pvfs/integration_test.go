@@ -239,9 +239,13 @@ func TestDataloopCache(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	hits, misses := tc.servers[0].LoopCacheStats()
-	if misses != 1 || hits != 4 {
-		t.Fatalf("hits=%d misses=%d, want 4/1", hits, misses)
+	cs := tc.servers[0].LoopCacheStats()
+	if cs.Misses != 1 || cs.Hits != 4 {
+		t.Fatalf("hits=%d misses=%d, want 4/1", cs.Hits, cs.Misses)
+	}
+	// Cached programs replay on the compiled path.
+	if tc.servers[0].CompiledReplays() == 0 {
+		t.Fatal("no compiled replays recorded for a cached regular view")
 	}
 	// Disabled cache decodes every time.
 	tc.servers[0].DisableLoopCache = true
@@ -250,8 +254,8 @@ func TestDataloopCache(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	h2, m2 := tc.servers[0].LoopCacheStats()
-	if h2 != hits || m2 != misses {
-		t.Fatalf("disabled cache still updated: %d/%d", h2, m2)
+	c2 := tc.servers[0].LoopCacheStats()
+	if c2.Hits != cs.Hits || c2.Misses != cs.Misses {
+		t.Fatalf("disabled cache still updated: %d/%d", c2.Hits, c2.Misses)
 	}
 }

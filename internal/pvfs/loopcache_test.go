@@ -2,6 +2,7 @@ package pvfs
 
 import (
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"dtio/internal/dataloop"
@@ -20,33 +21,46 @@ func distinctLoop(n int64) []byte {
 
 func TestLoopCacheEvictionBound(t *testing.T) {
 	s := cacheServer()
-	for i := int64(1); i <= 1024; i++ {
-		if _, hit, err := s.cachedLoop(distinctLoop(i)); err != nil || hit {
+	for i := int64(1); i <= loopCacheCap; i++ {
+		if _, _, hit, err := s.cachedLoop(distinctLoop(i)); err != nil || hit {
 			t.Fatalf("i=%d hit=%v err=%v", i, hit, err)
 		}
 	}
-	if n := len(s.loopCache); n != 1024 {
-		t.Fatalf("cache holds %d entries, want 1024", n)
+	if n := len(s.loopCache); n != loopCacheCap {
+		t.Fatalf("cache holds %d entries, want %d", n, loopCacheCap)
 	}
-	// The 1025th distinct loop trips the bound: the cache resets rather
-	// than growing without limit.
-	if _, hit, err := s.cachedLoop(distinctLoop(1025)); err != nil || hit {
-		t.Fatalf("hit=%v err=%v", hit, err)
+	// Mark one entry hot, then stream 200 cold distinct views through.
+	// Second-chance eviction keeps the cache exactly at capacity and the
+	// hot entry survives every sweep; a reset would wipe it.
+	hot := distinctLoop(1)
+	if _, _, hit, _ := s.cachedLoop(hot); !hit {
+		t.Fatal("warm entry missed")
 	}
-	if n := len(s.loopCache); n != 1 {
-		t.Fatalf("cache holds %d entries after reset, want 1", n)
+	const cold = 200
+	for i := int64(0); i < cold; i++ {
+		if _, _, hit, err := s.cachedLoop(distinctLoop(loopCacheCap + 1 + i)); err != nil || hit {
+			t.Fatalf("cold insert %d hit=%v err=%v", i, hit, err)
+		}
+		if n := len(s.loopCache); n != loopCacheCap {
+			t.Fatalf("cache holds %d entries mid-stream, want %d", n, loopCacheCap)
+		}
+		if _, _, hit, _ := s.cachedLoop(hot); !hit {
+			t.Fatalf("hot entry evicted after %d cold inserts", i+1)
+		}
 	}
-	// An early entry was evicted by the reset: requesting it misses.
-	if _, hit, _ := s.cachedLoop(distinctLoop(1)); hit {
-		t.Fatal("evicted entry reported as hit")
+	cs := s.LoopCacheStats()
+	if cs.Evictions != cold {
+		t.Fatalf("evictions=%d, want %d", cs.Evictions, cold)
 	}
-	// The survivor of the reset still hits.
-	if _, hit, _ := s.cachedLoop(distinctLoop(1025)); !hit {
+	if cs.Misses != loopCacheCap+cold {
+		t.Fatalf("misses=%d, want %d", cs.Misses, loopCacheCap+cold)
+	}
+	if cs.Hits != cold+1 {
+		t.Fatalf("hits=%d, want %d", cs.Hits, cold+1)
+	}
+	// The most recent cold entry is still resident.
+	if _, _, hit, _ := s.cachedLoop(distinctLoop(loopCacheCap + cold)); !hit {
 		t.Fatal("fresh entry missed")
-	}
-	hits, misses := s.LoopCacheStats()
-	if hits != 1 || misses != 1026 {
-		t.Fatalf("stats hits=%d misses=%d", hits, misses)
 	}
 }
 
@@ -55,13 +69,16 @@ func TestLoopCacheDisabled(t *testing.T) {
 	s.DisableLoopCache = true
 	enc := distinctLoop(7)
 	for i := 0; i < 3; i++ {
-		l, hit, err := s.cachedLoop(enc)
+		l, prog, hit, err := s.cachedLoop(enc)
 		if err != nil || l == nil || hit {
 			t.Fatalf("l=%v hit=%v err=%v", l, hit, err)
 		}
+		if prog != nil {
+			t.Fatal("disabled cache compiled a program")
+		}
 	}
-	if hits, misses := s.LoopCacheStats(); hits != 0 || misses != 0 {
-		t.Fatalf("disabled cache counted hits=%d misses=%d", hits, misses)
+	if cs := s.LoopCacheStats(); cs.Hits != 0 || cs.Misses != 0 {
+		t.Fatalf("disabled cache counted hits=%d misses=%d", cs.Hits, cs.Misses)
 	}
 	if s.loopCache != nil {
 		t.Fatal("disabled cache stored entries")
@@ -84,7 +101,7 @@ func TestLoopCacheStatsConcurrent(t *testing.T) {
 		go func(g int) {
 			defer wg.Done()
 			for i := 0; i < calls; i++ {
-				if _, _, err := s.cachedLoop(encs[(g+i)%keys]); err != nil {
+				if _, _, _, err := s.cachedLoop(encs[(g+i)%keys]); err != nil {
 					t.Error(err)
 					return
 				}
@@ -92,12 +109,54 @@ func TestLoopCacheStatsConcurrent(t *testing.T) {
 		}(g)
 	}
 	wg.Wait()
-	hits, misses := s.LoopCacheStats()
-	if hits+misses != goroutines*calls {
-		t.Fatalf("hits=%d + misses=%d != %d calls", hits, misses, goroutines*calls)
+	cs := s.LoopCacheStats()
+	if cs.Hits+cs.Misses != goroutines*calls {
+		t.Fatalf("hits=%d + misses=%d != %d calls", cs.Hits, cs.Misses, goroutines*calls)
 	}
-	if misses < keys || misses > goroutines*keys {
-		t.Fatalf("misses=%d outside [%d,%d]", misses, keys, goroutines*keys)
+	if cs.Misses < keys || cs.Misses > goroutines*keys {
+		t.Fatalf("misses=%d outside [%d,%d]", cs.Misses, keys, goroutines*keys)
+	}
+}
+
+func TestCompiledCacheConcurrentReplay(t *testing.T) {
+	// Many goroutines hitting the same cached compiled program and
+	// replaying it concurrently: Program must be immutable in practice,
+	// not just by doc-comment (this is the -race coverage for concurrent
+	// compiled-cache hits).
+	s := cacheServer()
+	enc := dataloop.FromType(datatype.Vector(64, 2, 5, datatype.Int32)).Encode(nil)
+	loop, prog, _, err := s.cachedLoop(enc)
+	if err != nil || prog == nil {
+		t.Fatalf("prog=%v err=%v", prog, err)
+	}
+	want := loop.Size * 3
+	var wg sync.WaitGroup
+	var bad atomic.Int64
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				_, p, hit, err := s.cachedLoop(enc)
+				if err != nil || !hit || p == nil {
+					bad.Add(1)
+					return
+				}
+				var got int64
+				p.Replay(3, 0, 0, want, func(off, n int64) error {
+					got += n
+					return nil
+				})
+				if got != want {
+					bad.Add(1)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if bad.Load() != 0 {
+		t.Fatalf("%d goroutines saw a bad replay", bad.Load())
 	}
 }
 
@@ -106,11 +165,11 @@ func TestLoopCacheHitPathAllocs(t *testing.T) {
 	// is elided by the compiler and the entry is returned as-is.
 	s := cacheServer()
 	enc := distinctLoop(42)
-	if _, hit, err := s.cachedLoop(enc); err != nil || hit {
+	if _, _, hit, err := s.cachedLoop(enc); err != nil || hit {
 		t.Fatalf("warmup hit=%v err=%v", hit, err)
 	}
 	allocs := testing.AllocsPerRun(200, func() {
-		l, hit, err := s.cachedLoop(enc)
+		l, _, hit, err := s.cachedLoop(enc)
 		if err != nil || !hit || l == nil {
 			t.Fatalf("l=%v hit=%v err=%v", l, hit, err)
 		}

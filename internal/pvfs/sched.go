@@ -18,6 +18,14 @@ import (
 // sieved dispatch never dwarfs a streaming batch.
 const DefaultSieveGapBytes = 64 * 1024
 
+// vecMinRunBytes is the average-run-size floor for vectored dispatch.
+// preadv/pwritev pay a per-iovec kernel cost, so once a coalesced
+// operation's runs shrink toward cell size, one scalar access plus a
+// scatter/gather copy through pooled scratch moves the same bytes
+// faster than a long iovec list. Runs averaging at or above the floor
+// (row-sized and larger) dispatch vectored; smaller ones stage.
+const vecMinRunBytes = 512
+
 // ioSpan is one physical run a request produces: n bytes at off on the
 // server's local object, occupying [pos, pos+n) of the request-order
 // payload (writes) or response (reads). Write runs carry their payload
@@ -57,6 +65,8 @@ type diskSched struct {
 	stats   *iostats.Stats
 	write   bool
 	noSort  bool  // ablation: arrival-order dispatch, no coalescing
+	vec     bool  // dispatch coalesced ops as one vectored store call
+	vecMin  int64 // average-run floor for vectored dispatch (0: always)
 	gap     int64 // read gap-merge threshold (0 = adjacency only)
 	scale   int64 // disk-time multiplier in percent (0 or 100 = normal)
 	head    int64 // head position after the last dispatched op
@@ -66,6 +76,7 @@ type diskSched struct {
 	sorted []ioSpan  // dispatch order, one batch after another
 	ops    []diskOp  // dispatched operations; first/count index sorted
 	segs   []segPlan // per-segment plans of a streamed read
+	iov    [][]byte  // scatter-gather list reused across vectored ops
 }
 
 // schedPool recycles schedulers (and their slices) across requests so
@@ -79,6 +90,8 @@ func (s *Server) newSched(write bool) *diskSched {
 	d.stats = s.Stats
 	d.write = write
 	d.noSort = s.DisableDiskSched
+	d.vec = !s.DisableVectoredIO
+	d.vecMin = vecMinRunBytes
 	d.gap = s.SieveGapBytes
 	d.scale = s.diskScale.Load()
 	d.head = 0
@@ -100,8 +113,19 @@ func putSched(d *diskSched) {
 	d.sorted = clearSpans(d.sorted)
 	d.ops = d.ops[:0]
 	d.segs = d.segs[:0]
+	d.iov = clearIov(d.iov)
 	d.stats = nil
+	d.vecMin = 0
 	schedPool.Put(d)
+}
+
+// clearIov drops buffer references so the pooled scatter-gather list
+// doesn't pin response frames or payload segments, and truncates.
+func clearIov(iov [][]byte) [][]byte {
+	for i := range iov {
+		iov[i] = nil
+	}
+	return iov[:0]
 }
 
 // add records one physical run. Zero-length runs are dropped here: they
@@ -223,10 +247,16 @@ func (d *diskSched) runReads(env transport.Env, st storage.Store, dst []byte) er
 }
 
 // readBatch executes one planned batch's reads: single-run operations
-// land directly in dst, coalesced ones stage through a pooled scratch
-// buffer and scatter to each covered run (sieved gap bytes are read and
-// discarded there, so the response stays byte-identical). base
-// translates absolute payload positions into dst indices.
+// land directly in dst, and coalesced ones dispatch as one vectored
+// scatter (storage.ReadAtv — preadv on file stores) whose buffers are
+// the runs' dst windows, so run bytes never pass through a staging
+// copy. Sieved gap bytes scatter into a pooled throwaway slice. Runs
+// that overlap on disk (the same bytes feed two response positions)
+// cannot scatter in one pass, so those operations — and every one when
+// vectoring is disabled or the runs average below the vecMin floor —
+// stage through a pooled scratch buffer and copy out per run. Either
+// way the response is byte-identical. base translates absolute payload
+// positions into dst indices.
 func (d *diskSched) readBatch(st storage.Store, p segPlan, dst []byte, base int64) error {
 	for _, op := range d.ops[p.opsFrom:p.opsTo] {
 		runs := d.sorted[op.first : op.first+op.count]
@@ -236,6 +266,14 @@ func (d *diskSched) readBatch(st storage.Store, p segPlan, dst []byte, base int6
 				return err
 			}
 			continue
+		}
+		if d.vec {
+			if maxGap, runBytes, ok := vecLayout(op, runs); ok && runBytes >= d.vecMin*int64(op.count) {
+				if err := d.readVec(st, op, runs, dst, base, maxGap); err != nil {
+					return err
+				}
+				continue
+			}
 		}
 		bp := getBuf(int(op.n))
 		if err := st.ReadAt(*bp, op.off); err != nil {
@@ -248,6 +286,56 @@ func (d *diskSched) readBatch(st storage.Store, p segPlan, dst []byte, base int6
 		putBuf(bp)
 	}
 	return nil
+}
+
+// vecLayout reports whether a coalesced operation's runs are ascending
+// and non-overlapping — the layout a one-pass scatter can serve — plus
+// the widest gap between consecutive runs (the scratch size the gap
+// buffers need) and the runs' byte total (for the vecMin floor). Sorted
+// read runs may still overlap: the join rule admits any run starting
+// inside the current operation.
+func vecLayout(op diskOp, runs []ioSpan) (maxGap, runBytes int64, ok bool) {
+	end := op.off
+	for _, sp := range runs {
+		if sp.off < end {
+			return 0, 0, false
+		}
+		if g := sp.off - end; g > maxGap {
+			maxGap = g
+		}
+		runBytes += sp.n
+		end = sp.off + sp.n
+	}
+	return maxGap, runBytes, true
+}
+
+// readVec dispatches one coalesced operation as a single vectored read.
+// Every gap shares one pooled scratch slice: the store fills buffers in
+// ascending offset order and gap bytes are discarded, so the aliasing
+// is harmless.
+func (d *diskSched) readVec(st storage.Store, op diskOp, runs []ioSpan, dst []byte, base, maxGap int64) error {
+	iov := d.iov[:0]
+	var gp *[]byte
+	if maxGap > 0 {
+		gp = getBuf(int(maxGap))
+	}
+	end := op.off
+	for _, sp := range runs {
+		if g := sp.off - end; g > 0 {
+			iov = append(iov, (*gp)[:g])
+		}
+		iov = append(iov, dst[sp.pos-base:sp.pos-base+sp.n])
+		end = sp.off + sp.n
+	}
+	err := st.ReadAtv(iov, op.off)
+	if gp != nil {
+		putBuf(gp)
+	}
+	d.iov = clearIov(iov)
+	if d.stats != nil {
+		d.stats.AddVec(1)
+	}
+	return err
 }
 
 // flushWrites dispatches the runs buffered so far — a whole inline
@@ -268,15 +356,33 @@ func (d *diskSched) flushWrites(env transport.Env, st storage.Store) error {
 }
 
 // writeBatch executes one planned batch's writes: single-run operations
-// write their payload directly, coalesced ones gather into a pooled
-// scratch buffer so the store sees one WriteAt per dispatched op.
-// Coalesced write runs are strictly adjacent, so the scratch is fully
-// covered.
+// write their payload directly, and coalesced ones hand their payload
+// slices to the store as one vectored gather (storage.WriteAtv —
+// pwritev on file stores), zero-copy. Coalesced write runs are always
+// strictly adjacent (the join rule), so the gather covers the
+// operation exactly and op.n is the runs' byte total. With vectoring
+// disabled, or runs averaging below the vecMin floor, the runs gather
+// into a pooled scratch buffer and issue one scalar WriteAt.
 func (d *diskSched) writeBatch(st storage.Store, p segPlan) error {
 	for _, op := range d.ops[p.opsFrom:p.opsTo] {
 		runs := d.sorted[op.first : op.first+op.count]
 		if op.count == 1 {
 			if err := st.WriteAt(runs[0].data, op.off); err != nil {
+				return err
+			}
+			continue
+		}
+		if d.vec && op.n >= d.vecMin*int64(op.count) {
+			iov := d.iov[:0]
+			for _, sp := range runs {
+				iov = append(iov, sp.data)
+			}
+			err := st.WriteAtv(iov, op.off)
+			d.iov = clearIov(iov)
+			if d.stats != nil {
+				d.stats.AddVec(1)
+			}
+			if err != nil {
 				return err
 			}
 			continue

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"dtio/internal/iostats"
+	"dtio/internal/storage"
 	"dtio/internal/transport"
 )
 
@@ -224,6 +225,8 @@ func TestSchedRoundTripVariants(t *testing.T) {
 		{"gap0", func(s *Server) { s.SieveGapBytes = 0 }},
 		{"gap4k", func(s *Server) { s.SieveGapBytes = 4096 }},
 		{"gap512k", func(s *Server) { s.SieveGapBytes = 512 * 1024 }},
+		{"novec", func(s *Server) { s.DisableVectoredIO = true }},
+		{"novec-gap4k", func(s *Server) { s.DisableVectoredIO = true; s.SieveGapBytes = 4096 }},
 	}
 	for _, v := range variants {
 		v := v
@@ -268,6 +271,145 @@ func TestSchedRoundTripVariants(t *testing.T) {
 				t.Fatal("contig round trip corrupted")
 			}
 		})
+	}
+}
+
+// TestVectoredBatchByteIdentity executes the same coalesced plans with
+// vectored dispatch on and off against real stores and checks the
+// bytes agree, including sieve-gap scatters and the overlapping-read
+// fallback, along with the vectored-dispatch counter.
+func TestVectoredBatchByteIdentity(t *testing.T) {
+	env := transport.NewRealEnv()
+	// Writes: strictly adjacent runs coalesce into one op; vectored
+	// dispatch gathers the payload slices, scalar stages through scratch.
+	payload := patterned(300)
+	runWrites := func(vec bool, st storage.Store) int64 {
+		var is iostats.Stats
+		d := testSched(true, 0, &is)
+		d.vec = vec
+		d.add(1000, 100, 0, payload[0:100])
+		d.add(1100, 100, 100, payload[100:200])
+		d.add(1200, 100, 200, payload[200:300])
+		if err := d.flushWrites(env, st); err != nil {
+			t.Fatal(err)
+		}
+		return is.Snapshot().DiskVecOps
+	}
+	a, b := storage.NewMem(), storage.NewMem()
+	if v := runWrites(true, a); v != 1 {
+		t.Fatalf("vectored writes dispatched %d vec ops, want 1", v)
+	}
+	if v := runWrites(false, b); v != 0 {
+		t.Fatalf("scalar writes dispatched %d vec ops, want 0", v)
+	}
+	ga, gb := make([]byte, 300), make([]byte, 300)
+	a.ReadAt(ga, 1000)
+	b.ReadAt(gb, 1000)
+	if !bytes.Equal(ga, gb) || !bytes.Equal(ga, payload) {
+		t.Fatal("vectored and scalar writes diverged")
+	}
+
+	// Reads: a sieved scatter with two gaps, plus an overlapping pair
+	// that must fall back to the staging copy even with vectoring on.
+	src := storage.NewMem()
+	src.WriteAt(patterned(20000), 0)
+	runReads := func(vec bool) ([]byte, int64) {
+		var is iostats.Stats
+		d := testSched(false, 4096, &is)
+		d.vec = vec
+		dst := make([]byte, 450)
+		d.add(0, 100, 0, nil)
+		d.add(600, 100, 100, nil)  // 500-byte sieved gap
+		d.add(1400, 100, 200, nil) // 700-byte sieved gap
+		// Overlapping runs: the same disk bytes feed two response
+		// positions, which a one-pass scatter cannot serve.
+		d.add(9000, 100, 300, nil)
+		d.add(9050, 50, 400, nil)
+		p := d.planBatch(d.spans)
+		if err := d.readBatch(src, p, dst, 0); err != nil {
+			t.Fatal(err)
+		}
+		return dst, is.Snapshot().DiskVecOps
+	}
+	va, nva := runReads(true)
+	vb, nvb := runReads(false)
+	if !bytes.Equal(va, vb) {
+		t.Fatal("vectored and scalar reads diverged")
+	}
+	if nva != 1 || nvb != 0 {
+		t.Fatalf("vec ops = %d/%d, want 1/0 (overlap op must fall back)", nva, nvb)
+	}
+}
+
+// TestVecMinRunFloor checks the vectored-dispatch minimum-run floor:
+// coalesced operations whose runs average below vecMin stay on the
+// scalar staging path (preadv/pwritev per-iovec overhead would exceed
+// the copy it saves), while runs at or above the floor dispatch
+// vectored. Bytes must be identical either way.
+func TestVecMinRunFloor(t *testing.T) {
+	env := transport.NewRealEnv()
+	// Writes: adjacent runs averaging 100 bytes stay scalar under a
+	// 512-byte floor; runs of 1024 bytes clear it.
+	runWrites := func(runLen int, st storage.Store) int64 {
+		payload := patterned(3 * runLen)
+		var is iostats.Stats
+		d := testSched(true, 0, &is)
+		d.vec = true
+		d.vecMin = 512
+		for i := 0; i < 3; i++ {
+			d.add(int64(1000+i*runLen), int64(runLen), int64(i*runLen), payload[i*runLen:(i+1)*runLen])
+		}
+		if err := d.flushWrites(env, st); err != nil {
+			t.Fatal(err)
+		}
+		return is.Snapshot().DiskVecOps
+	}
+	small, large := storage.NewMem(), storage.NewMem()
+	if v := runWrites(100, small); v != 0 {
+		t.Fatalf("sub-floor writes dispatched %d vec ops, want 0", v)
+	}
+	if v := runWrites(1024, large); v != 1 {
+		t.Fatalf("above-floor writes dispatched %d vec ops, want 1", v)
+	}
+	got := make([]byte, 300)
+	small.ReadAt(got, 1000)
+	if !bytes.Equal(got, patterned(300)) {
+		t.Fatal("sub-floor scalar write corrupted bytes")
+	}
+
+	// Reads: the same gapped layout at both run sizes; the sub-floor
+	// batch must match the above-floor path byte-for-byte against the
+	// same backing store (offsets scaled so the layout shape is equal).
+	src := storage.NewMem()
+	src.WriteAt(patterned(64*1024), 0)
+	runReads := func(runLen int, vecMin int64) ([]byte, int64) {
+		var is iostats.Stats
+		d := testSched(false, 4096, &is)
+		d.vec = true
+		d.vecMin = vecMin
+		dst := make([]byte, 3*runLen)
+		for i := 0; i < 3; i++ {
+			// Runs separated by sieve-mergeable sub-gap holes.
+			d.add(int64(i*(runLen+200)), int64(runLen), int64(i*runLen), nil)
+		}
+		p := d.planBatch(d.spans)
+		if err := d.readBatch(src, p, dst, 0); err != nil {
+			t.Fatal(err)
+		}
+		return dst, is.Snapshot().DiskVecOps
+	}
+	subFloor, nSub := runReads(100, 512)
+	noFloor, nNo := runReads(100, 0)
+	if nSub != 0 || nNo != 1 {
+		t.Fatalf("vec ops = %d/%d, want 0 (sub-floor) / 1 (no floor)", nSub, nNo)
+	}
+	if !bytes.Equal(subFloor, noFloor) {
+		t.Fatal("sub-floor scalar read diverged from vectored read")
+	}
+	if above, n := runReads(1024, 512); n != 1 {
+		t.Fatalf("above-floor reads dispatched %d vec ops, want 1", n)
+	} else if len(above) != 3*1024 {
+		t.Fatalf("above-floor read returned %d bytes", len(above))
 	}
 }
 

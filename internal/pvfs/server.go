@@ -94,16 +94,27 @@ type Server struct {
 	diskScale  atomic.Int64
 	dedup      map[uint64]*clientHistory
 
-	// loopCache memoizes decoded dataloops by their wire bytes: the
-	// datatype-caching extension the paper's §5 proposes ("datatype
-	// caching ... could boost the performance of PVFS datatype I/O by
-	// further reducing I/O request overhead"). Repeated accesses with
-	// the same view skip the decode cost. Disable with DisableLoopCache.
+	// loopCache memoizes decoded dataloops AND their compiled run
+	// programs by wire bytes: the datatype-caching extension the paper's
+	// §5 proposes ("datatype caching ... could boost the performance of
+	// PVFS datatype I/O by further reducing I/O request overhead").
+	// Repeated accesses with the same view skip both the decode and the
+	// flatten.Compile cost; replay is then pure arithmetic. Overflow is
+	// handled by a second-chance sweep, not a reset, so a hot view
+	// population survives a scan of cold ones. Disable with
+	// DisableLoopCache.
 	DisableLoopCache bool
-	cacheMu          sync.Mutex
-	loopCache        map[string]*dataloop.Loop
-	cacheHits        int64
-	cacheMisses      int64
+	// DisableCompiledLoops keeps dtype expansion on the interpreted
+	// Segment walk even when a compiled program is cached (the
+	// compiled-vs-interpreted ablation; programs are still compiled and
+	// cached so flipping the flag needs no warmup).
+	DisableCompiledLoops bool
+	cacheMu              sync.Mutex
+	loopCache            map[string]*loopEntry
+	cacheHits            int64
+	cacheMisses          int64
+	cacheEvictions       int64
+	compiledReplays      atomic.Int64
 
 	// StreamChunkBytes is the flow-control segment size: transfers
 	// larger than this are streamed so disk and network overlap
@@ -124,6 +135,11 @@ type Server struct {
 	// over-reading disk operation (0 = merge strictly adjacent runs
 	// only; see DefaultSieveGapBytes).
 	SieveGapBytes int64
+	// DisableVectoredIO makes coalesced disk operations stage through a
+	// scratch buffer and issue one scalar ReadAt/WriteAt each (the
+	// pre-vectored behavior) instead of handing the runs to the store as
+	// a single ReadAtv/WriteAtv scatter-gather batch.
+	DisableVectoredIO bool
 	// Stats (optional) collects the disk-scheduler counters: runs
 	// presented, operations dispatched, head travel.
 	Stats *iostats.Stats
@@ -484,7 +500,9 @@ func (s *Server) dispatch(env transport.Env, conn transport.Conn, t wire.MsgType
 			sp.SetAttr("replay", 1)
 			return cached, nil
 		}
-		resp, err := s.contig(env, conn, r, inlineSrc(r.Data), sp)
+		src := inlineSrc(r.Data)
+		resp, err := s.contig(env, conn, r, src, sp)
+		putSrc(src)
 		s.remember(r.Tag, resp)
 		return resp, err
 	case wire.MTReadListReq:
@@ -496,7 +514,9 @@ func (s *Server) dispatch(env transport.Env, conn transport.Conn, t wire.MsgType
 			sp.SetAttr("replay", 1)
 			return cached, nil
 		}
-		resp, err := s.list(env, conn, r, inlineSrc(r.Data), sp)
+		src := inlineSrc(r.Data)
+		resp, err := s.list(env, conn, r, src, sp)
+		putSrc(src)
 		s.remember(r.Tag, resp)
 		return resp, err
 	case wire.MTReadDtypeReq:
@@ -508,7 +528,9 @@ func (s *Server) dispatch(env transport.Env, conn transport.Conn, t wire.MsgType
 			sp.SetAttr("replay", 1)
 			return cached, nil
 		}
-		resp, err := s.dtype(env, conn, r, inlineSrc(r.Data), sp)
+		src := inlineSrc(r.Data)
+		resp, err := s.dtype(env, conn, r, src, sp)
+		putSrc(src)
 		s.remember(r.Tag, resp)
 		return resp, err
 	case wire.MTWriteStreamHdr:
@@ -562,15 +584,17 @@ func (s *Server) truncate(r *wire.TruncateReq) []byte {
 // latency distribution (read and write classes merged, with headline
 // quantiles precomputed), and the replay/loop-cache state.
 type ServerSnapshot struct {
-	Server      int                  `json:"server"`
-	IOStats     iostats.Snapshot     `json:"iostats"`
-	Lat         metrics.HistSnapshot `json:"latency"`
-	P50Us       int64                `json:"p50_us"`
-	P95Us       int64                `json:"p95_us"`
-	P99Us       int64                `json:"p99_us"`
-	Replays     int64                `json:"replays"`
-	CacheHits   int64                `json:"loop_cache_hits"`
-	CacheMisses int64                `json:"loop_cache_misses"`
+	Server          int                  `json:"server"`
+	IOStats         iostats.Snapshot     `json:"iostats"`
+	Lat             metrics.HistSnapshot `json:"latency"`
+	P50Us           int64                `json:"p50_us"`
+	P95Us           int64                `json:"p95_us"`
+	P99Us           int64                `json:"p99_us"`
+	Replays         int64                `json:"replays"`
+	CacheHits       int64                `json:"loop_cache_hits"`
+	CacheMisses     int64                `json:"loop_cache_misses"`
+	CacheEvictions  int64                `json:"loop_cache_evictions"`
+	CompiledReplays int64                `json:"compiled_replays"`
 }
 
 // StatsSnapshot assembles the live introspection state an AdminStats
@@ -588,7 +612,9 @@ func (s *Server) StatsSnapshot() ServerSnapshot {
 	if s.Metrics != nil {
 		snap.Replays = s.Metrics.Replays.Value()
 	}
-	snap.CacheHits, snap.CacheMisses = s.LoopCacheStats()
+	cs := s.LoopCacheStats()
+	snap.CacheHits, snap.CacheMisses, snap.CacheEvictions = cs.Hits, cs.Misses, cs.Evictions
+	snap.CompiledReplays = s.CompiledReplays()
 	return snap
 }
 
@@ -863,47 +889,95 @@ func (s *Server) list(env transport.Env, conn transport.Conn, r *wire.ListIOReq,
 	return s.readReply(env, conn, lay, idx, st, regions, seq, sp)
 }
 
-// cachedLoop decodes a dataloop, memoizing by wire bytes, and reports
-// whether the decode was served from the cache.
-func (s *Server) cachedLoop(enc []byte) (*dataloop.Loop, bool, error) {
+// loopEntry is one memoized view: the decoded loop, its compiled run
+// program (nil when flatten.Compile declined), and the second-chance
+// reference bit.
+type loopEntry struct {
+	loop *dataloop.Loop
+	prog *flatten.Program
+	ref  bool
+}
+
+// loopCacheCap bounds the number of memoized views per server.
+const loopCacheCap = 1024
+
+// cachedLoop decodes a dataloop, memoizing decode+compile by wire
+// bytes, and reports whether it was served from the cache.
+func (s *Server) cachedLoop(enc []byte) (*dataloop.Loop, *flatten.Program, bool, error) {
 	if s.DisableLoopCache {
 		l, _, err := dataloop.Decode(enc)
-		return l, false, err
+		return l, nil, false, err
 	}
 	s.cacheMu.Lock()
 	// The compiler elides the []byte->string conversion for a direct map
 	// lookup, so the hit path allocates nothing.
-	if l, ok := s.loopCache[string(enc)]; ok {
+	if e, ok := s.loopCache[string(enc)]; ok {
 		s.cacheHits++
+		e.ref = true
 		s.cacheMu.Unlock()
-		return l, true, nil
+		return e.loop, e.prog, true, nil
 	}
 	s.cacheMu.Unlock()
 	l, _, err := dataloop.Decode(enc)
 	if err != nil {
-		return nil, false, err
+		return nil, nil, false, err
 	}
+	e := &loopEntry{loop: l, prog: flatten.Compile(l)}
 	key := string(enc)
 	s.cacheMu.Lock()
 	if s.loopCache == nil {
-		s.loopCache = make(map[string]*dataloop.Loop)
+		s.loopCache = make(map[string]*loopEntry)
 	}
-	// Bound the cache; views are few, so plain reset on overflow is fine.
-	if len(s.loopCache) >= 1024 {
-		s.loopCache = make(map[string]*dataloop.Loop)
+	if len(s.loopCache) >= loopCacheCap {
+		s.evictLocked()
 	}
-	s.loopCache[key] = l
+	s.loopCache[key] = e
 	s.cacheMisses++
 	s.cacheMu.Unlock()
-	return l, false, nil
+	return l, e.prog, false, nil
 }
 
-// LoopCacheStats reports (hits, misses) of the dataloop cache.
-func (s *Server) LoopCacheStats() (hits, misses int64) {
+// evictLocked frees one slot with a second-chance sweep: entries hit
+// since the last sweep get their reference bit cleared and survive; the
+// first unreferenced entry found is evicted. Go's randomized map
+// iteration stands in for the clock hand. If every entry had its bit
+// set, the sweep clears them all and the first visited is evicted.
+func (s *Server) evictLocked() {
+	victim := ""
+	for k, e := range s.loopCache {
+		if !e.ref {
+			victim = k
+			break
+		}
+		e.ref = false
+		if victim == "" {
+			victim = k // fallback if everyone had a second chance
+		}
+	}
+	if victim != "" {
+		delete(s.loopCache, victim)
+		s.cacheEvictions++
+	}
+}
+
+// LoopCacheStats are the counters of the dataloop/compiled-program
+// cache.
+type LoopCacheStats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+}
+
+// LoopCacheStats reports the cache counters.
+func (s *Server) LoopCacheStats() LoopCacheStats {
 	s.cacheMu.Lock()
 	defer s.cacheMu.Unlock()
-	return s.cacheHits, s.cacheMisses
+	return LoopCacheStats{Hits: s.cacheHits, Misses: s.cacheMisses, Evictions: s.cacheEvictions}
 }
+
+// CompiledReplays reports how many dtype expansions ran on a compiled
+// program instead of the interpreted walk.
+func (s *Server) CompiledReplays() int64 { return s.compiledReplays.Load() }
 
 // dtype serves a datatype read (src nil) or write: the server itself
 // expands the dataloop into regions and extracts its local pieces.
@@ -913,7 +987,7 @@ func (s *Server) dtype(env transport.Env, conn transport.Conn, r *wire.DtypeReq,
 	if err != nil {
 		return s.reqFail(env, src, seq, "%v", err)
 	}
-	loop, hit, err := s.cachedLoop(r.Loop)
+	loop, prog, hit, err := s.cachedLoop(r.Loop)
 	if err != nil {
 		return s.reqFail(env, src, seq, "bad dataloop: %v", err)
 	}
@@ -925,9 +999,24 @@ func (s *Server) dtype(env transport.Env, conn transport.Conn, r *wire.DtypeReq,
 	} else {
 		sp.SetAttr("loop_cache_hit", 1)
 	}
+	// Compiled replay matches the coalescing walk byte-for-byte; the
+	// uncoalesced ablation and the compiled-off ablation both stay on
+	// the interpreter.
+	if r.NoCoalesce || s.DisableCompiledLoops {
+		prog = nil
+	}
 	idx := int(r.Layout.ServerIdx)
 	st := s.object(r.Layout.Handle)
 	regions := func(emit func(off, n int64) error) error {
+		if prog != nil {
+			s.compiledReplays.Add(1)
+			return prog.Replay(r.Count, r.Disp, r.Pos, r.NBytes, func(off, n int64) error {
+				if off < 0 {
+					return fmt.Errorf("dataloop region at negative offset %d", off)
+				}
+				return emit(off, n)
+			})
+		}
 		it := flatten.NewIterAt(loop, r.Count, r.Disp, r.Pos, r.NBytes, !r.NoCoalesce)
 		for {
 			reg, ok := it.Next()

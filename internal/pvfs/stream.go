@@ -97,7 +97,7 @@ type srvStream struct {
 	seg    int64
 	window int64
 	nseg   int64
-	next   int64                    // next expected segment
+	next   int64                   // next expected segment
 	gate   func(env transport.Env) // per-segment stall gate (may be nil)
 	fatal  error                   // connection-level failure; the conn must close
 	ack    []byte
@@ -179,7 +179,27 @@ type writeSrc struct {
 	flush func(env transport.Env) error
 }
 
-func inlineSrc(data []byte) *writeSrc { return &writeSrc{data: data} }
+// writeSrcPool recycles inline payload sources across requests, part of
+// keeping the write hot path inside the same per-request allocation
+// bound as the read path.
+var writeSrcPool = sync.Pool{New: func() any { return new(writeSrc) }}
+
+func inlineSrc(data []byte) *writeSrc {
+	p := writeSrcPool.Get().(*writeSrc)
+	*p = writeSrc{data: data}
+	return p
+}
+
+// putSrc returns an inline source to the pool, dropping its payload
+// reference. Streamed sources hold per-request stream state and are
+// not pooled.
+func putSrc(p *writeSrc) {
+	if p.stream != nil {
+		return
+	}
+	*p = writeSrc{}
+	writeSrcPool.Put(p)
+}
 
 // next returns up to want unconsumed payload bytes: either skipped > 0
 // (already-durable resume prefix the caller must step over without

@@ -363,6 +363,66 @@ func TestServerReadHotPathAllocs(t *testing.T) {
 	}
 }
 
+// TestServerWriteHotPathAllocs is the write-side twin of the read
+// bound: an inline noncontiguous dtype write of many pieces must stay
+// within the same small constant — the scheduler, the payload source,
+// and the scatter-gather list are all pooled, and vectored dispatch
+// gathers payload slices without a staging copy.
+func TestServerWriteHotPathAllocs(t *testing.T) {
+	env := transport.NewRealEnv()
+	s := NewServer(transport.NewMemNetwork(), "x", 0, CostModel{})
+	fileTy := datatype.Vector(512, 1, 2, datatype.Int64) // 512 pieces
+	loop := dataloop.FromType(fileTy)
+	req := wire.EncodeDtype(&wire.DtypeReq{
+		Layout: wire.FileLayout{Handle: 1, StripSize: 1 << 20, NServers: 1},
+		Loop:   loop.Encode(nil),
+		Count:  1, NBytes: 512 * 8,
+		Data: patterned(512 * 8),
+	}, true)
+	resp, err := s.handle(env, nil, req)
+	if err != nil {
+		t.Fatalf("warmup: %v", err)
+	}
+	if _, v, err := wire.DecodeMsg(resp); err != nil || !v.(*wire.IOResp).OK {
+		t.Fatalf("warmup response not OK: %v %v", v, err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		resp, err := s.handle(env, nil, req)
+		if err != nil || resp == nil {
+			t.Fatalf("resp=%v err=%v", resp, err)
+		}
+	})
+	if allocs > 32 {
+		t.Fatalf("dtype write hot path allocates %.0f per request", allocs)
+	}
+}
+
+// BenchmarkDtypeServerWritePath measures the server-side cost of one
+// cached-loop noncontiguous dtype write (run with -benchmem to see the
+// per-request allocation count).
+func BenchmarkDtypeServerWritePath(b *testing.B) {
+	env := transport.NewRealEnv()
+	s := NewServer(transport.NewMemNetwork(), "x", 0, CostModel{})
+	fileTy := datatype.Vector(512, 1, 2, datatype.Int64)
+	loop := dataloop.FromType(fileTy)
+	req := wire.EncodeDtype(&wire.DtypeReq{
+		Layout: wire.FileLayout{Handle: 1, StripSize: 1 << 20, NServers: 1},
+		Loop:   loop.Encode(nil),
+		Count:  1, NBytes: 512 * 8,
+		Data: patterned(512 * 8),
+	}, true)
+	if _, err := s.handle(env, nil, req); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.handle(env, nil, req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkDtypeServerHotPath measures the server-side cost of one
 // cached-loop noncontiguous dtype read (run with -benchmem to see the
 // per-request allocation count).

@@ -23,6 +23,14 @@ type Store interface {
 	WriteAt(p []byte, off int64) error
 	// ReadAt fills p from offset off; holes and bytes past EOF read zero.
 	ReadAt(p []byte, off int64) error
+	// WriteAtv gathers the buffers of bufs into one contiguous write
+	// starting at off — the vectored form the I/O scheduler hands its
+	// adjacency-coalesced run batches to (pwritev on file stores).
+	WriteAtv(bufs [][]byte, off int64) error
+	// ReadAtv scatters the contiguous bytes starting at off across the
+	// buffers of bufs in order (preadv on file stores); holes and bytes
+	// past EOF read zero, as with ReadAt.
+	ReadAtv(bufs [][]byte, off int64) error
 	// Size reports the current object size (highest written byte + 1).
 	Size() int64
 	// Truncate sets the object size, discarding data past it.
@@ -51,6 +59,28 @@ func (m *Mem) WriteAt(p []byte, off int64) error {
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	m.writeLocked(p, off)
+	return nil
+}
+
+// WriteAtv implements Store: one lock acquisition for the whole batch.
+func (m *Mem) WriteAtv(bufs [][]byte, off int64) error {
+	if off < 0 {
+		return fmt.Errorf("storage: negative offset %d", off)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, p := range bufs {
+		m.writeLocked(p, off)
+		off += int64(len(p))
+	}
+	return nil
+}
+
+func (m *Mem) writeLocked(p []byte, off int64) {
+	if len(p) == 0 {
+		return // 0-byte writes never extend (matches file semantics)
+	}
 	end := off + int64(len(p))
 	if end > m.size {
 		m.size = end
@@ -71,7 +101,6 @@ func (m *Mem) WriteAt(p []byte, off int64) error {
 		p = p[n:]
 		off += n
 	}
-	return nil
 }
 
 // ReadAt implements Store.
@@ -81,6 +110,25 @@ func (m *Mem) ReadAt(p []byte, off int64) error {
 	}
 	m.mu.RLock()
 	defer m.mu.RUnlock()
+	m.readLocked(p, off)
+	return nil
+}
+
+// ReadAtv implements Store: one lock acquisition for the whole batch.
+func (m *Mem) ReadAtv(bufs [][]byte, off int64) error {
+	if off < 0 {
+		return fmt.Errorf("storage: negative offset %d", off)
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	for _, p := range bufs {
+		m.readLocked(p, off)
+		off += int64(len(p))
+	}
+	return nil
+}
+
+func (m *Mem) readLocked(p []byte, off int64) {
 	for len(p) > 0 {
 		page := off / pageSize
 		in := off % pageSize
@@ -96,7 +144,6 @@ func (m *Mem) ReadAt(p []byte, off int64) error {
 		p = p[n:]
 		off += n
 	}
-	return nil
 }
 
 // Size implements Store.
@@ -145,8 +192,31 @@ func (d *Discard) WriteAt(p []byte, off int64) error {
 	if off < 0 {
 		return fmt.Errorf("storage: negative offset %d", off)
 	}
+	if len(p) == 0 {
+		return nil // 0-byte writes never extend (matches file semantics)
+	}
 	d.mu.Lock()
 	if end := off + int64(len(p)); end > d.size {
+		d.size = end
+	}
+	d.mu.Unlock()
+	return nil
+}
+
+// WriteAtv implements Store.
+func (d *Discard) WriteAtv(bufs [][]byte, off int64) error {
+	if off < 0 {
+		return fmt.Errorf("storage: negative offset %d", off)
+	}
+	var n int64
+	for _, p := range bufs {
+		n += int64(len(p))
+	}
+	if n == 0 {
+		return nil
+	}
+	d.mu.Lock()
+	if end := off + n; end > d.size {
 		d.size = end
 	}
 	d.mu.Unlock()
@@ -159,6 +229,17 @@ func (d *Discard) ReadAt(p []byte, off int64) error {
 		return fmt.Errorf("storage: negative offset %d", off)
 	}
 	zero(p)
+	return nil
+}
+
+// ReadAtv implements Store.
+func (d *Discard) ReadAtv(bufs [][]byte, off int64) error {
+	if off < 0 {
+		return fmt.Errorf("storage: negative offset %d", off)
+	}
+	for _, p := range bufs {
+		zero(p)
+	}
 	return nil
 }
 
@@ -181,6 +262,9 @@ func (d *Discard) Truncate(size int64) error {
 }
 
 // File is a Store backed by an *os.File (used by the TCP daemons).
+// Error semantics deliberately match Mem: negative offsets fail with the
+// same storage error (not an OS errno), reads past EOF and in holes
+// return zeros, 0-byte reads succeed anywhere.
 type File struct {
 	mu sync.Mutex
 	f  *os.File
@@ -197,18 +281,42 @@ func OpenFile(path string) (*File, error) {
 
 // WriteAt implements Store.
 func (s *File) WriteAt(p []byte, off int64) error {
+	if off < 0 {
+		return fmt.Errorf("storage: negative offset %d", off)
+	}
 	_, err := s.f.WriteAt(p, off)
 	return err
 }
 
 // ReadAt implements Store.
 func (s *File) ReadAt(p []byte, off int64) error {
+	if off < 0 {
+		return fmt.Errorf("storage: negative offset %d", off)
+	}
 	n, err := s.f.ReadAt(p, off)
 	if err == io.EOF || err == io.ErrUnexpectedEOF {
 		zero(p[n:])
 		return nil
 	}
 	return err
+}
+
+// WriteAtv implements Store via pwritev where the platform has it (see
+// vectored_linux.go); the portable fallback loops WriteAt per buffer.
+func (s *File) WriteAtv(bufs [][]byte, off int64) error {
+	if off < 0 {
+		return fmt.Errorf("storage: negative offset %d", off)
+	}
+	return s.writev(bufs, off)
+}
+
+// ReadAtv implements Store via preadv where the platform has it, with
+// the same zero-fill-at-EOF semantics as ReadAt.
+func (s *File) ReadAtv(bufs [][]byte, off int64) error {
+	if off < 0 {
+		return fmt.Errorf("storage: negative offset %d", off)
+	}
+	return s.readv(bufs, off)
 }
 
 // Size implements Store.
@@ -221,7 +329,12 @@ func (s *File) Size() int64 {
 }
 
 // Truncate implements Store.
-func (s *File) Truncate(size int64) error { return s.f.Truncate(size) }
+func (s *File) Truncate(size int64) error {
+	if size < 0 {
+		return fmt.Errorf("storage: negative size %d", size)
+	}
+	return s.f.Truncate(size)
+}
 
 // Close closes the underlying file.
 func (s *File) Close() error { return s.f.Close() }

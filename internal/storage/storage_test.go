@@ -28,9 +28,21 @@ func testStore(t *testing.T, s Store) {
 	if s.Size() != 1005 {
 		t.Fatalf("size=%d", s.Size())
 	}
-	// Negative offsets rejected (file store returns OS error).
+	// Negative offsets rejected, uniformly across store kinds.
 	if err := s.WriteAt([]byte("x"), -1); err == nil {
 		t.Fatal("negative write accepted")
+	}
+	if err := s.ReadAt(buf, -1); err == nil {
+		t.Fatal("negative read accepted")
+	}
+	if err := s.WriteAtv([][]byte{{1}}, -1); err == nil {
+		t.Fatal("negative vectored write accepted")
+	}
+	if err := s.ReadAtv([][]byte{buf}, -1); err == nil {
+		t.Fatal("negative vectored read accepted")
+	}
+	if err := s.Truncate(-1); err == nil {
+		t.Fatal("negative truncate accepted")
 	}
 }
 
@@ -112,6 +124,157 @@ func TestDiscardTracksSizeOnly(t *testing.T) {
 	if d.Size() != 10 {
 		t.Fatalf("size=%d", d.Size())
 	}
+}
+
+// eachStore runs a subtest against a fresh Mem and a fresh File store,
+// the pair whose observable semantics must never diverge.
+func eachStore(t *testing.T, f func(t *testing.T, s Store)) {
+	t.Run("mem", func(t *testing.T) { f(t, NewMem()) })
+	t.Run("file", func(t *testing.T) {
+		fs, err := OpenFile(filepath.Join(t.TempDir(), "obj"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer fs.Close()
+		f(t, fs)
+	})
+}
+
+func TestEOFAndHoleSemantics(t *testing.T) {
+	eachStore(t, func(t *testing.T, s Store) {
+		// Sparse object: data at [100,105), EOF at 105, hole before.
+		if err := s.WriteAt([]byte("abcde"), 100); err != nil {
+			t.Fatal(err)
+		}
+		// Read straddling EOF: data then zeros, no error, no short read.
+		got := make([]byte, 10)
+		for i := range got {
+			got[i] = 0xFF
+		}
+		if err := s.ReadAt(got, 102); err != nil {
+			t.Fatal(err)
+		}
+		if want := []byte{'c', 'd', 'e', 0, 0, 0, 0, 0, 0, 0}; !bytes.Equal(got, want) {
+			t.Fatalf("straddle EOF: got %q want %q", got, want)
+		}
+		// Read entirely past EOF.
+		past := []byte{9, 9, 9}
+		if err := s.ReadAt(past, 10000); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(past, make([]byte, 3)) {
+			t.Fatalf("past EOF: got %v", past)
+		}
+		// Read inside the leading hole.
+		hole := []byte{7, 7, 7, 7}
+		if err := s.ReadAt(hole, 10); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(hole, make([]byte, 4)) {
+			t.Fatalf("hole: got %v", hole)
+		}
+		// 0-byte reads succeed anywhere, including past EOF.
+		if err := s.ReadAt(nil, 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.ReadAt([]byte{}, 1<<40); err != nil {
+			t.Fatal(err)
+		}
+		if s.Size() != 105 {
+			t.Fatalf("size=%d", s.Size())
+		}
+	})
+}
+
+func TestVectoredRoundTrip(t *testing.T) {
+	eachStore(t, func(t *testing.T, s Store) {
+		// Gather-write three runs as one contiguous span, read back both
+		// scalar and scattered, with empty buffers sprinkled in.
+		bufs := [][]byte{[]byte("the "), {}, []byte("quick "), []byte("brown fox")}
+		if err := s.WriteAtv(bufs, 37); err != nil {
+			t.Fatal(err)
+		}
+		want := []byte("the quick brown fox")
+		got := make([]byte, len(want))
+		if err := s.ReadAt(got, 37); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("scalar readback: %q", got)
+		}
+		if s.Size() != 37+int64(len(want)) {
+			t.Fatalf("size=%d", s.Size())
+		}
+		dst := [][]byte{make([]byte, 7), {}, make([]byte, 2), make([]byte, 10)}
+		if err := s.ReadAtv(dst, 37); err != nil {
+			t.Fatal(err)
+		}
+		join := append(append(append([]byte{}, dst[0]...), dst[2]...), dst[3]...)
+		if !bytes.Equal(join, want) {
+			t.Fatalf("scattered readback: %q", join)
+		}
+	})
+}
+
+func TestVectoredReadEOFZeroFill(t *testing.T) {
+	eachStore(t, func(t *testing.T, s Store) {
+		if err := s.WriteAt([]byte{1, 2, 3, 4}, 0); err != nil {
+			t.Fatal(err)
+		}
+		// Scatter read straddling EOF: first buffer full, second partial,
+		// third entirely past the end — zeros, no error.
+		dst := [][]byte{{9, 9, 9}, {9, 9, 9}, {9, 9, 9}}
+		if err := s.ReadAtv(dst, 0); err != nil {
+			t.Fatal(err)
+		}
+		want := [][]byte{{1, 2, 3}, {4, 0, 0}, {0, 0, 0}}
+		for i := range want {
+			if !bytes.Equal(dst[i], want[i]) {
+				t.Fatalf("buf %d: got %v want %v", i, dst[i], want[i])
+			}
+		}
+		// All-empty batch is a no-op.
+		if err := s.ReadAtv([][]byte{{}, {}}, 1<<40); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.WriteAtv([][]byte{{}, nil}, 1<<40); err != nil {
+			t.Fatal(err)
+		}
+		if s.Size() != 4 {
+			t.Fatalf("size=%d", s.Size())
+		}
+	})
+}
+
+func TestVectoredHugeBatchChunks(t *testing.T) {
+	// More buffers than the kernel iovec limit: the linux path must chunk
+	// the batch across syscalls; every store must survive it.
+	eachStore(t, func(t *testing.T, s Store) {
+		const n = 1500 // > UIO_MAXIOV (1024)
+		src := make([][]byte, n)
+		var flat []byte
+		for i := range src {
+			src[i] = []byte{byte(i), byte(i >> 8), byte(3 * i)}
+			flat = append(flat, src[i]...)
+		}
+		if err := s.WriteAtv(src, 11); err != nil {
+			t.Fatal(err)
+		}
+		dst := make([][]byte, n)
+		for i := range dst {
+			dst[i] = make([]byte, 3)
+		}
+		if err := s.ReadAtv(dst, 11); err != nil {
+			t.Fatal(err)
+		}
+		var back []byte
+		for _, p := range dst {
+			back = append(back, p...)
+		}
+		if !bytes.Equal(back, flat) {
+			t.Fatal("huge vectored batch round trip diverged")
+		}
+	})
 }
 
 func TestPropertyMemMatchesFlatBuffer(t *testing.T) {

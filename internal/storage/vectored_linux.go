@@ -1,0 +1,155 @@
+//go:build linux
+
+// Vectored file I/O via raw preadv/pwritev: the scheduler's coalesced
+// run batches land on the kernel as one syscall per disk op instead of
+// one per run. Only the stdlib syscall package is used; iovec arrays are
+// pooled so the steady-state path allocates nothing.
+package storage
+
+import (
+	"io"
+	"runtime"
+	"sync"
+	"syscall"
+	"unsafe"
+)
+
+// iovMax is the kernel's per-call iovec limit (UIO_MAXIOV); longer
+// batches are chunked.
+const iovMax = 1024
+
+var iovPool = sync.Pool{New: func() any {
+	s := make([]syscall.Iovec, 0, iovMax)
+	return &s
+}}
+
+// vec runs one preadv/pwritev over up to iovMax buffers starting at the
+// cursor (buffer i, byte k), returning the byte count. The position is
+// split lo/hi the way the kernel reassembles it on both 32- and 64-bit.
+func (s *File) vec(trap uintptr, bufs [][]byte, off int64, i, k int) (int64, syscall.Errno) {
+	iovp := iovPool.Get().(*[]syscall.Iovec)
+	iov := (*iovp)[:0]
+	bk := k
+	for bi := i; bi < len(bufs) && len(iov) < iovMax; bi++ {
+		p := bufs[bi][bk:]
+		bk = 0
+		if len(p) == 0 {
+			continue
+		}
+		iov = append(iov, syscall.Iovec{Base: &p[0]})
+		iov[len(iov)-1].SetLen(len(p))
+	}
+	if len(iov) == 0 {
+		*iovp = iov
+		iovPool.Put(iovp)
+		return 0, 0
+	}
+	n, _, errno := syscall.Syscall6(trap, s.f.Fd(),
+		uintptr(unsafe.Pointer(&iov[0])), uintptr(len(iov)),
+		uintptr(off), uintptr(uint64(off)>>32), 0)
+	runtime.KeepAlive(bufs)
+	*iovp = iov[:0]
+	iovPool.Put(iovp)
+	if errno != 0 {
+		return 0, errno
+	}
+	return int64(n), 0
+}
+
+// skip advances the cursor past consumed and empty buffers.
+func skip(bufs [][]byte, i, k int) (int, int) {
+	for i < len(bufs) && k >= len(bufs[i]) {
+		i, k = i+1, 0
+	}
+	return i, k
+}
+
+// advance moves the cursor n bytes forward.
+func advance(bufs [][]byte, i, k int, n int64) (int, int) {
+	for n > 0 {
+		rem := int64(len(bufs[i]) - k)
+		if n < rem {
+			return i, k + int(n)
+		}
+		n -= rem
+		i, k = i+1, 0
+	}
+	return i, k
+}
+
+func (s *File) readv(bufs [][]byte, off int64) error {
+	i, k := skip(bufs, 0, 0)
+	for i < len(bufs) {
+		n, errno := s.vec(syscall.SYS_PREADV, bufs, off, i, k)
+		switch {
+		case errno == syscall.EINTR:
+			continue
+		case errno == syscall.ENOSYS:
+			return s.readvSlow(bufs, off, i, k)
+		case errno != 0:
+			return errno
+		case n == 0:
+			// EOF: everything not yet filled reads zero (hole semantics).
+			zero(bufs[i][k:])
+			for j := i + 1; j < len(bufs); j++ {
+				zero(bufs[j])
+			}
+			return nil
+		}
+		off += n
+		i, k = advance(bufs, i, k, n)
+		i, k = skip(bufs, i, k)
+	}
+	return nil
+}
+
+func (s *File) writev(bufs [][]byte, off int64) error {
+	i, k := skip(bufs, 0, 0)
+	for i < len(bufs) {
+		n, errno := s.vec(syscall.SYS_PWRITEV, bufs, off, i, k)
+		switch {
+		case errno == syscall.EINTR:
+			continue
+		case errno == syscall.ENOSYS:
+			return s.writevSlow(bufs, off, i, k)
+		case errno != 0:
+			return errno
+		case n == 0:
+			return io.ErrShortWrite
+		}
+		off += n
+		i, k = advance(bufs, i, k, n)
+		i, k = skip(bufs, i, k)
+	}
+	return nil
+}
+
+// readvSlow / writevSlow finish a batch with scalar calls from the
+// cursor — the ENOSYS escape hatch for kernels without preadv.
+func (s *File) readvSlow(bufs [][]byte, off int64, i, k int) error {
+	for ; i < len(bufs); i, k = i+1, 0 {
+		p := bufs[i][k:]
+		if len(p) == 0 {
+			continue
+		}
+		if err := s.ReadAt(p, off); err != nil {
+			return err
+		}
+		off += int64(len(p))
+	}
+	return nil
+}
+
+func (s *File) writevSlow(bufs [][]byte, off int64, i, k int) error {
+	for ; i < len(bufs); i, k = i+1, 0 {
+		p := bufs[i][k:]
+		if len(p) == 0 {
+			continue
+		}
+		if err := s.WriteAt(p, off); err != nil {
+			return err
+		}
+		off += int64(len(p))
+	}
+	return nil
+}

@@ -1,0 +1,32 @@
+//go:build !linux
+
+// Portable vectored fallback: one scalar call per buffer. Semantics are
+// identical to the linux preadv/pwritev path; only the syscall count
+// differs.
+package storage
+
+func (s *File) readv(bufs [][]byte, off int64) error {
+	for _, p := range bufs {
+		if len(p) == 0 {
+			continue
+		}
+		if err := s.ReadAt(p, off); err != nil {
+			return err
+		}
+		off += int64(len(p))
+	}
+	return nil
+}
+
+func (s *File) writev(bufs [][]byte, off int64) error {
+	for _, p := range bufs {
+		if len(p) == 0 {
+			continue
+		}
+		if err := s.WriteAt(p, off); err != nil {
+			return err
+		}
+		off += int64(len(p))
+	}
+	return nil
+}
