@@ -93,3 +93,17 @@ go test -race -timeout 120s \
 go test -timeout 60s -run 'TestServerReadHotPathAllocs|TestServerWriteHotPathAllocs' ./internal/pvfs/
 go test -timeout 300s -run 'XXX' -bench . -benchtime 1x ./...
 go run ./cmd/dtbench -exp pr8-smoke
+# Replication pass: the replica placement/picker unit suite (k=1
+# identity, striping-piece→group mapping, membership stability under
+# kill, picker uniformity), the replicated pvfs end-to-end suite
+# (fan-out round-trip, transparent read failover, writes with a dead
+# member, kill-wipes-unreplicated-data, admin kill over the wire), all
+# under -race; then the pr9 smoke run, which exits nonzero unless
+# killed k>=2 cells reproduce the healthy digest bit-for-bit with
+# degraded-read/repair/fan-out counters proving the path, the k=1 kill
+# observably loses data, read balance stays within bounds, and the
+# k=1-vs-unset parity is exact.
+go test -race -timeout 120s \
+	-run 'TestMapK1Identity|TestMapRoundTrip|TestStripingPieceToGroupMapping|TestMembershipStableUnderKill|TestRendezvousDeterministicAndUniform|TestLeastLoaded|TestReplicated|TestKillWipesUnreplicatedData|TestAdminKillOverWire' \
+	./internal/replica/ ./internal/pvfs/
+go run ./cmd/dtbench -exp pr9-smoke

@@ -68,6 +68,8 @@ func experiments() []experiment {
 		{"pr7-smoke", "pr7 quick CI gate (no JSON)", func() { runPR7("", true) }},
 		{"pr8", "compiled+vectored real-disk hot path report (BENCH_PR8.json)", func() { runPR8(jsonPath("BENCH_PR8.json"), false) }},
 		{"pr8-smoke", "pr8 quick CI gate (no JSON)", func() { runPR8("", true) }},
+		{"pr9", "replica groups / kill-failover report (BENCH_PR9.json)", func() { runPR9(jsonPath("BENCH_PR9.json"), false) }},
+		{"pr9-smoke", "pr9 quick CI gate (no JSON)", func() { runPR9("", true) }},
 		{"all", "E1-E3 plus every ablation", func() {
 			runTile()
 			runBlock3D()

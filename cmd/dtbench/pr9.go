@@ -1,0 +1,450 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"dtio/internal/bench"
+	"dtio/internal/fault"
+	"dtio/internal/mpiio"
+	"dtio/internal/pvfs"
+	"dtio/internal/workloads"
+)
+
+// PR9 measures replica groups end to end: the paper's three workloads
+// run verified at k=1/2/3, healthy and with servers killed mid-run
+// (fail-stop + object wipe — a dead machine replaced by a blank
+// spare). Every completing cell hashes the file after the run, so the
+// matrix proves byte-identity three ways: replication is invisible
+// when healthy (k=2/3 digests == k=1's), failover is lossless (killed
+// digests == healthy's for k>=2), and k=1 kill genuinely loses bytes
+// (the motivating column — its digest must differ).
+
+// pr9Cell is one workload x method x k x fault-mode measurement.
+type pr9Cell struct {
+	Workload      string  `json:"workload"`
+	Method        string  `json:"method"`
+	K             int     `json:"replicas"`
+	Mode          string  `json:"mode"` // healthy | killed
+	SimSeconds    float64 `json:"sim_seconds"`
+	SimMBs        float64 `json:"sim_mb_per_s"`
+	Digest        string  `json:"fnv64a_digest"`
+	DegradedReads int64   `json:"degraded_reads"`
+	FanoutWrites  int64   `json:"fanout_writes"`
+	RepairBytes   int64   `json:"replica_repair_bytes"`
+	Retries       int64   `json:"retries"`
+	DataLoss      bool    `json:"data_loss,omitempty"` // k=1 killed: wiped bytes gone, as designed
+	Error         string  `json:"error,omitempty"`
+}
+
+// pr9Balance is one read-balance measurement over a healthy cluster.
+type pr9Balance struct {
+	Picker  string  `json:"picker"`
+	K       int     `json:"replicas"`
+	Groups  int     `json:"groups"`
+	Reads   []int64 `json:"reads_per_server"`
+	MaxSkew float64 `json:"max_member_skew"` // worst |member - group mean| / group mean
+}
+
+// pr9Parity is the k=1 no-cost proof: the same workload with the
+// replication layer unset vs configured at k=1 must produce the same
+// digest in exactly the same simulated time.
+type pr9Parity struct {
+	Workload    string  `json:"workload"`
+	Method      string  `json:"method"`
+	BaseSecs    float64 `json:"replicas_unset_sim_seconds"`
+	K1Secs      float64 `json:"replicas_1_sim_seconds"`
+	BaseDigest  string  `json:"replicas_unset_digest"`
+	K1Digest    string  `json:"replicas_1_digest"`
+	TimesEqual  bool    `json:"sim_times_equal"`
+	BytesEqual  bool    `json:"digests_equal"`
+	K1NoCounter bool    `json:"replica_counters_zero"`
+}
+
+// pr9Groups is the striping width of every pr9 cluster: constant
+// across k so the same file layout (and therefore the same bytes and
+// comparable bandwidth) underlies every cell; the physical server
+// count is groups*k.
+const pr9Groups = 8
+
+// pr9Plan builds the fault schedule for a killed cell. The kill times
+// are calibrated from the matching healthy cell's measured phase
+// window (the simulation is deterministic, so until the first fault
+// fires the killed run replays the healthy one exactly). Read
+// workloads are killed a quarter into the timed phase — the data all
+// exists by then, and the remaining three quarters of reads exercise
+// the failover path. Write workloads are killed seven eighths in, once
+// most of the file is on disk and wipeable, with a short enough
+// downtime that in-flight writes ride it out on the retry ladder
+// instead of aborting the rank.
+//
+// k=1 gets the PR4-style short kill: the server restarts blank inside
+// the run and the workload's verification must catch the hole. k>=2
+// gets two kills in different groups: a short one whose member
+// restarts and re-replicates mid-run (proving repair), and a
+// permanent one whose member never comes back (proving reads and
+// writes live off the survivors for the rest of the run).
+func pr9Plan(k int, eventAt, killDur time.Duration) *fault.Plan {
+	if k <= 1 {
+		return &fault.Plan{Seed: 901, Events: []fault.Event{
+			{At: eventAt, Server: 1, Kind: fault.Kill, Dur: killDur},
+		}}
+	}
+	return &fault.Plan{Seed: 902, Events: []fault.Event{
+		// Group 0 member 1: restarts after killDur and repairs.
+		{At: eventAt, Server: 1, Kind: fault.Kill, Dur: killDur},
+		// Group 1 member 0: dead for the rest of the run.
+		{At: eventAt, Server: k, Kind: fault.Kill, Dur: time.Hour},
+	}}
+}
+
+// pr9Wl is one workload row of the matrix.
+type pr9Wl struct {
+	name         string
+	clients, ppn int
+	methods      []mpiio.Method
+	write        bool
+	digestFile   string
+	run          func(c bench.Config, m mpiio.Method) bench.Result
+}
+
+func pr9Workloads() []pr9Wl {
+	five := []mpiio.Method{mpiio.Posix, mpiio.Sieve, mpiio.TwoPhase, mpiio.ListIO, mpiio.DtypeIO}
+	return []pr9Wl{
+		{"tile-read", 6, 1, five, false, "frames.dat",
+			func(c bench.Config, m mpiio.Method) bench.Result {
+				return bench.TileRead(c, workloads.DefaultTile(), m, 1)
+			}},
+		{"block3d-write", 8, 2, five, true, "block3d.dat",
+			func(c bench.Config, m mpiio.Method) bench.Result {
+				return bench.Block3D(c, workloads.Block3DConfig{N: 120, ElemSize: 4, Procs: 8}, m, true)
+			}},
+		{"flash-write", 4, 2, five, true, "flash.chk",
+			func(c bench.Config, m mpiio.Method) bench.Result {
+				return bench.Flash(c, workloads.FlashConfig{Blocks: 8, NB: 8, Guard: 4, Vars: 24, ElemSize: 8, Procs: 4}, m)
+			}},
+	}
+}
+
+// pr9Retry mirrors the PR4 policies: reads detect loss on a timeout
+// well above healthy latency; writes lean on severed connections and a
+// long ladder that rides out the short kill's downtime.
+func pr9Retry(write bool) pvfs.RetryPolicy {
+	if write {
+		return pvfs.RetryPolicy{Attempts: 16, Timeout: 5 * time.Second, Backoff: 2 * time.Millisecond, MaxBackoff: 64 * time.Millisecond}
+	}
+	return pvfs.RetryPolicy{Attempts: 16, Timeout: 400 * time.Millisecond, Backoff: 2 * time.Millisecond, MaxBackoff: 64 * time.Millisecond}
+}
+
+func pr9RunCell(w pr9Wl, m mpiio.Method, k int, mode string, plan *fault.Plan) (pr9Cell, bench.Result) {
+	cfg := bench.DefaultConfig(w.clients, w.ppn)
+	cfg.Servers = pr9Groups * k
+	cfg.Replicas = k
+	cfg.Discard = false
+	cfg.Verify = true
+	cfg.Retry = pr9Retry(w.write)
+	cfg.DigestFile = w.digestFile
+	cfg.Fault = plan
+	r := w.run(cfg, m)
+	c := pr9Cell{
+		Workload: w.name, Method: m.String(), K: k, Mode: mode,
+		SimSeconds:    r.Elapsed.Seconds(),
+		SimMBs:        r.BandwidthMBs(),
+		DegradedReads: r.Total.DegradedReads,
+		FanoutWrites:  r.Total.FanoutWrites,
+		RepairBytes:   r.Disk.ReplicaRepairBytes,
+		Retries:       r.Total.Retries,
+	}
+	if r.DigestErr != nil {
+		fmt.Fprintf(os.Stderr, "dtbench: pr9 %s %s k=%d %s digest read: %v\n", w.name, m, k, mode, r.DigestErr)
+	} else if r.Digest != 0 {
+		c.Digest = fmt.Sprintf("%016x", r.Digest)
+	}
+	if r.Err != nil {
+		if k == 1 && mode == "killed" {
+			// The designed failure: the wiped server's bytes are holes
+			// and verification caught them. The digest (of the damaged
+			// file) is still captured above.
+			c.DataLoss = true
+		} else {
+			c.Error = r.Err.Error()
+		}
+	}
+	return c, r
+}
+
+// pr9BalanceCell sweeps single-window reads across a large striped
+// file on a healthy k-replica cluster and reports how evenly each
+// group's members served them.
+func pr9BalanceCell(k int, least bool, fileBytes int64) pr9Balance {
+	const groups = 4
+	name := "rendezvous"
+	if least {
+		name = "least-loaded"
+	}
+	b := pr9Balance{Picker: name, K: k, Groups: groups}
+	cfg := bench.DefaultConfig(2, 1)
+	cfg.Servers = groups * k
+	cfg.Replicas = k
+	cfg.LeastLoadedReads = least
+	cl := bench.NewCluster(cfg)
+	_, _, err := cl.Run(func(r *bench.Rank) error {
+		var f *pvfs.File
+		var err error
+		if r.ID == 0 {
+			f, err = r.FS.Create(r.Env, "balance.dat", cfg.StripSize, 0)
+			if err == nil {
+				// Establish the size; the sweep then reads real extents
+				// (zeros — contents are irrelevant to placement).
+				err = f.WriteContig(r.Env, fileBytes-1, []byte{0})
+			}
+		}
+		r.Comm.Barrier(r.Env)
+		if r.ID != 0 {
+			f, err = r.FS.Open(r.Env, "balance.dat")
+		}
+		if err != nil {
+			return err
+		}
+		// One 4 KiB read per 64 KiB picker window: each window is an
+		// independent member choice, so the counts sample the picker
+		// distribution directly.
+		buf := make([]byte, 4096)
+		for off := int64(0); off < fileBytes-int64(len(buf)); off += 64 * 1024 {
+			if err := f.ReadContig(r.Env, off, buf); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dtbench: pr9 balance k=%d %s: %v\n", k, name, err)
+		os.Exit(1)
+	}
+	b.Reads = cl.ServerReadCounts()
+	for g := 0; g < groups; g++ {
+		var sum int64
+		for j := 0; j < k; j++ {
+			sum += b.Reads[g*k+j]
+		}
+		mean := float64(sum) / float64(k)
+		if mean == 0 {
+			continue
+		}
+		for j := 0; j < k; j++ {
+			skew := float64(b.Reads[g*k+j])/mean - 1
+			if skew < 0 {
+				skew = -skew
+			}
+			if skew > b.MaxSkew {
+				b.MaxSkew = skew
+			}
+		}
+	}
+	return b
+}
+
+func pr9Print(c pr9Cell) {
+	state := ""
+	switch {
+	case c.DataLoss:
+		state = "  DATA LOST (k=1 kill, by design)"
+	case c.Error != "":
+		state = "  ERROR: " + c.Error
+	}
+	fmt.Printf("  %-14s %-9s k=%d %-8s %8.2f sim-MB/s  digest %s  %4d degraded %5d fanout %9d repair-B%s\n",
+		c.Workload, c.Method, c.K, c.Mode, c.SimMBs, c.Digest, c.DegradedReads, c.FanoutWrites, c.RepairBytes, state)
+}
+
+// runPR9 runs the replication matrix and writes BENCH_PR9.json.
+func runPR9(jsonPath string, smoke bool) {
+	fmt.Println("=== PR9: replica groups — write fan-out, read-anywhere failover, kill + re-replication ===")
+	fail := false
+	guard := func(cond bool, format string, args ...any) {
+		if !cond {
+			fmt.Fprintf(os.Stderr, "dtbench: pr9 guard: "+format+"\n", args...)
+			fail = true
+		}
+	}
+	report := struct {
+		Description string       `json:"description"`
+		Note        string       `json:"note"`
+		Cells       []pr9Cell    `json:"cells"`
+		Balance     []pr9Balance `json:"balance"`
+		Parity      []pr9Parity  `json:"parity"`
+	}{
+		Description: "Replica groups: the paper's three workloads, verified, at k=1/2/3, healthy and with servers killed (fail-stop + wipe) mid-run; byte-identity digests, degraded-read and repair counters, read-balance across a healthy group, and the k=1 no-cost parity proof.",
+		Note: "All clusters stripe over " + fmt.Sprint(pr9Groups) + " replica groups (" + fmt.Sprint(pr9Groups) + "*k physical servers), so every cell of a " +
+			"workload writes the same bytes to the same stripes and the post-run file digest must agree " +
+			"across k and across healthy/killed — except k=1 killed, where the wiped server's stripes " +
+			"are unrecoverable and the cell must fail verification (the motivating column). Kills are " +
+			"calibrated from the healthy cell's measured phase window (deterministic replay makes the " +
+			"windows line up exactly): read workloads are killed a quarter in, so the remaining reads " +
+			"exercise failover; write workloads seven eighths in, once most of the file is wipeable, " +
+			"with a short enough downtime that in-flight writes ride the retry ladder. killed cells " +
+			"at k>=2 take two kills in different groups: one member restarts blank and re-replicates " +
+			"from its peers mid-run (replica_repair_bytes), one stays dead for the rest of the run so " +
+			"reads keep failing over (degraded_reads) and writes keep quorum on the survivors. " +
+			"balance sweeps one read per 64 KiB picker window over a large file and reports the worst " +
+			"member's deviation from its group mean. All figures are deterministic virtual-time results.",
+	}
+
+	workloadSet := pr9Workloads()
+	ks := []int{1, 2, 3}
+	if smoke {
+		workloadSet = workloadSet[:1]
+		workloadSet[0].methods = []mpiio.Method{mpiio.DtypeIO}
+		ks = []int{1, 2}
+	}
+
+	for _, w := range workloadSet {
+		// digest of each completing verified cell, keyed by nothing:
+		// they must all agree within the workload.
+		var want string
+		for _, m := range w.methods {
+			for _, k := range ks {
+				// The healthy run goes first: its measured phase window
+				// calibrates the killed run's fault schedule.
+				var plan *fault.Plan
+				for _, mode := range []string{"healthy", "killed"} {
+					c, r := pr9RunCell(w, m, k, mode, plan)
+					if mode == "healthy" {
+						span := r.Elapsed
+						if span <= 0 {
+							span = 100 * time.Millisecond
+						}
+						at, dur := r.PhaseStart+span/4, span/4
+						if w.write {
+							at = r.PhaseStart + span*7/8
+							if k == 1 {
+								// Sieve and two-phase buffer writes toward
+								// the tail of the phase; killing just past
+								// the phase-closing barrier (every byte is
+								// flushed by then) guarantees the wipe
+								// catches real data no matter how late the
+								// method writes. The verification read-back
+								// follows the barrier and must trip over the
+								// holes.
+								at = r.PhaseStart + span + time.Millisecond
+							}
+							if dur > 300*time.Millisecond {
+								dur = 300 * time.Millisecond
+							}
+						}
+						plan = pr9Plan(k, at, dur)
+					}
+					report.Cells = append(report.Cells, c)
+					pr9Print(c)
+					if c.Error != "" {
+						fail = true
+						continue
+					}
+					lossCell := c.K == 1 && c.Mode == "killed"
+					guard(c.Digest != "", "%s %s k=%d %s captured no digest", w.name, m, k, mode)
+					if !lossCell {
+						guard(c.SimMBs > 0, "%s %s k=%d %s: zeroed bandwidth", w.name, m, k, mode)
+						if want == "" {
+							want = c.Digest
+						} else {
+							guard(c.Digest == want,
+								"%s %s k=%d %s digest %s != %s — replication or failover changed bytes",
+								w.name, m, k, mode, c.Digest, want)
+						}
+					}
+					switch {
+					case lossCell:
+						guard(c.DataLoss, "%s %s k=1 killed verified clean — kill did not wipe", w.name, m)
+						if want != "" && c.Digest != "" {
+							guard(c.Digest != want,
+								"%s %s k=1 killed digest matches healthy — no bytes lost by a wipe?", w.name, m)
+						}
+					case mode == "healthy":
+						guard(c.DegradedReads == 0, "%s %s k=%d healthy counted %d degraded reads", w.name, m, k, c.DegradedReads)
+						guard(c.RepairBytes == 0, "%s %s k=%d healthy counted repair bytes", w.name, m, k)
+						if k > 1 {
+							guard(c.FanoutWrites > 0, "%s %s k=%d wrote no replica copies", w.name, m, k)
+						} else {
+							guard(c.FanoutWrites == 0, "%s %s k=1 counted fan-out writes", w.name, m)
+						}
+					case mode == "killed" && k > 1:
+						guard(c.DegradedReads > 0, "%s %s k=%d killed served no degraded reads", w.name, m, k)
+						guard(c.RepairBytes > 0, "%s %s k=%d killed re-replicated nothing", w.name, m, k)
+						guard(c.FanoutWrites > 0, "%s %s k=%d killed wrote no replica copies", w.name, m, k)
+					}
+				}
+			}
+		}
+	}
+
+	// Read balance across a healthy k=3 group, both pickers. Each 64 KiB
+	// window is one independent member pick, so the sweep is a binomial
+	// sample: the file must be large enough that an ideally uniform
+	// picker's sampling noise sits well inside the 20% gate (512 MiB is
+	// 2048 windows per group, σ≈3% per member; 128 MiB, σ≈6%).
+	balBytes := int64(512 << 20)
+	if smoke {
+		balBytes = 128 << 20
+	}
+	for _, least := range []bool{false, true} {
+		b := pr9BalanceCell(3, least, balBytes)
+		report.Balance = append(report.Balance, b)
+		fmt.Printf("  balance k=3 %-12s worst member skew %5.1f%%  reads/server %v\n",
+			b.Picker, 100*b.MaxSkew, b.Reads)
+		guard(b.MaxSkew <= 0.20, "k=3 %s picker imbalanced: worst member %.0f%% off its group mean",
+			b.Picker, 100*b.MaxSkew)
+	}
+
+	// k=1 parity: replication unset vs configured k=1 must be free —
+	// identical bytes in identical simulated time, no replica counters.
+	{
+		w := workloadSet[0]
+		m := w.methods[len(w.methods)-1]
+		base := func(replicas int) bench.Result {
+			cfg := bench.DefaultConfig(w.clients, w.ppn)
+			cfg.Servers = pr9Groups
+			cfg.Replicas = replicas
+			cfg.Discard = false
+			cfg.Verify = true
+			cfg.DigestFile = w.digestFile
+			return w.run(cfg, m)
+		}
+		r0, r1 := base(0), base(1)
+		guard(r0.Err == nil && r1.Err == nil, "parity runs failed: %v / %v", r0.Err, r1.Err)
+		p := pr9Parity{
+			Workload: w.name, Method: m.String(),
+			BaseSecs: r0.Elapsed.Seconds(), K1Secs: r1.Elapsed.Seconds(),
+			BaseDigest: fmt.Sprintf("%016x", r0.Digest), K1Digest: fmt.Sprintf("%016x", r1.Digest),
+		}
+		p.TimesEqual = r0.Elapsed == r1.Elapsed
+		p.BytesEqual = r0.Digest == r1.Digest && r0.Digest != 0
+		p.K1NoCounter = r1.Total.DegradedReads == 0 && r1.Total.FanoutWrites == 0 && r1.Disk.ReplicaRepairBytes == 0
+		report.Parity = append(report.Parity, p)
+		fmt.Printf("  parity %s/%s: unset %.6fs vs k=1 %.6fs, digests %s/%s\n",
+			p.Workload, p.Method, p.BaseSecs, p.K1Secs, p.BaseDigest, p.K1Digest)
+		guard(p.BytesEqual, "k=1 parity digests differ: %s vs %s", p.BaseDigest, p.K1Digest)
+		guard(p.TimesEqual, "k=1 parity sim times differ: %.9fs vs %.9fs — replication not free when disabled",
+			p.BaseSecs, p.K1Secs)
+		guard(p.K1NoCounter, "k=1 run incremented replica counters")
+	}
+
+	if fail {
+		os.Exit(1)
+	}
+	if smoke {
+		fmt.Println("\npr9 smoke OK")
+		return
+	}
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dtbench: %v\n", err)
+		os.Exit(1)
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(jsonPath, out, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "dtbench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\nwrote %s\n\n", jsonPath)
+}

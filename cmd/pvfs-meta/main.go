@@ -14,6 +14,13 @@
 //
 // With -http, a debug listener serves /metrics (Prometheus text, lock
 // manager gauges), /healthz, /debug/vars, and /debug/pprof.
+//
+// A replicated cluster arranges its pvfs-server daemons into groups of
+// -replicas consecutive indices (DESIGN.md §16). -servers stays the
+// physical server count; the namespace then stripes over
+// servers/replicas groups, so files address groups, not members:
+//
+//	pvfs-meta -addr :7000 -servers 4 -replicas 2   # 2 groups of 2
 package main
 
 import (
@@ -33,6 +40,7 @@ func main() {
 	httpAddr := flag.String("http", "", "debug listener address (/metrics, /healthz, /debug/pprof); empty: off")
 	shardID := flag.Int("shard", 0, "this daemon's shard id (0-based)")
 	shards := flag.Int("shards", 1, "total metadata shards in the cluster")
+	replicas := flag.Int("replicas", 1, "replica group size k the I/O servers are arranged in (1 = unreplicated)")
 	flag.Parse()
 	if *servers <= 0 {
 		log.Fatal("pvfs-meta: -servers must be positive")
@@ -40,7 +48,16 @@ func main() {
 	if *shards < 1 || *shardID < 0 || *shardID >= *shards {
 		log.Fatalf("pvfs-meta: -shard %d out of range for -shards %d", *shardID, *shards)
 	}
-	m := pvfs.NewMetaServer(transport.NewTCPNetwork(), *addr, *servers)
+	if *replicas < 1 {
+		log.Fatal("pvfs-meta: -replicas must be at least 1")
+	}
+	if *servers%*replicas != 0 {
+		log.Fatalf("pvfs-meta: %d servers not divisible into replica groups of %d", *servers, *replicas)
+	}
+	// Files stripe over replica groups; members of a group hold copies
+	// of the same stripes, so the namespace never addresses them.
+	groups := *servers / *replicas
+	m := pvfs.NewMetaServer(transport.NewTCPNetwork(), *addr, groups)
 	m.ConfigureShard(*shardID, *shards)
 	m.LeaseTimeout = *lease
 	if *httpAddr != "" {
@@ -64,8 +81,8 @@ func main() {
 		}
 		log.Printf("pvfs-meta: debug listener on %s", lis.Addr())
 	}
-	log.Printf("pvfs-meta: serving namespace shard %d/%d for %d I/O servers on %s",
-		*shardID, *shards, *servers, *addr)
+	log.Printf("pvfs-meta: serving namespace shard %d/%d for %d I/O servers (%d groups of %d) on %s",
+		*shardID, *shards, *servers, groups, *replicas, *addr)
 	if err := m.Serve(transport.NewRealEnv()); err != nil {
 		log.Fatalf("pvfs-meta: %v", err)
 	}

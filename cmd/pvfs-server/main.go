@@ -9,6 +9,14 @@
 // serves /metrics (Prometheus text), /healthz, /debug/vars, and
 // /debug/pprof. With -trace, a Chrome trace-event JSON of every request
 // span is written on SIGINT/SIGTERM.
+//
+// In a replicated cluster (pvfs-meta -replicas k) each member of a
+// replica group names its group siblings with -peers, so a restart
+// after `pvfsctl kill` can rebuild its wiped objects from them
+// (DESIGN.md §16):
+//
+//	pvfs-server -addr :7001 -index 0 -peers host:7002
+//	pvfs-server -addr :7002 -index 1 -peers host:7001
 package main
 
 import (
@@ -18,6 +26,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"syscall"
 
 	"dtio/internal/iostats"
@@ -42,6 +51,7 @@ func main() {
 		"stage coalesced disk operations through a scratch copy and a single scalar syscall (no preadv/pwritev)")
 	httpAddr := flag.String("http", "", "debug listener address (/metrics, /healthz, /debug/pprof); empty: off")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON here on SIGINT/SIGTERM; empty: off")
+	peers := flag.String("peers", "", "comma-separated addresses of this server's replica group siblings; empty: unreplicated")
 	flag.Parse()
 	if *index < 0 {
 		log.Fatal("pvfs-server: -index must be non-negative")
@@ -56,6 +66,10 @@ func main() {
 	s.DisableVectoredIO = *noVector
 	s.Stats = &iostats.Stats{}
 	s.Metrics = &pvfs.ServerMetrics{}
+	if *peers != "" {
+		s.ReplicaPeers = strings.Split(*peers, ",")
+		log.Printf("pvfs-server %d: replica peers %v", *index, s.ReplicaPeers)
+	}
 	if *httpAddr != "" {
 		reg := metrics.NewRegistry()
 		reg.Hist("pvfs_server_read_latency", "read request service time", &s.Metrics.ReadLat)

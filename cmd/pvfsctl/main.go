@@ -17,10 +17,17 @@
 //	stat <name>             print file size and layout
 //	put <local> <name>      copy a local file in
 //	get <name> <local>      copy a file out
-//	stats [idx]             print meta shard + I/O server stats (all, or just server idx)
+//	stats [idx]             print meta shard + I/O server stats (all, or just server idx);
+//	                        with no idx, a cluster-total line follows the per-server list
 //	stall <idx> <dur>       freeze I/O server idx for dur (e.g. 500ms)
 //	crash <idx> <down>      fail-stop I/O server idx; it restarts after down
+//	kill <idx> <down>       fail-stop server idx AND wipe its objects; the restart after
+//	                        down comes back blank (replica groups rebuild it from peers)
 //	degrade <idx> <pct>     scale server idx's disk time to pct% (100 restores)
+//
+// Against a replicated cluster (pvfs-server daemons arranged in groups
+// of k, see pvfs-server -peers), pass -replicas k so put/get fan writes
+// out to every member and fail reads over between them.
 package main
 
 import (
@@ -33,6 +40,7 @@ import (
 	"strings"
 	"time"
 
+	"dtio/internal/iostats"
 	"dtio/internal/pvfs"
 	"dtio/internal/transport"
 	"dtio/internal/wire"
@@ -45,6 +53,7 @@ func main() {
 	ioServers := flag.String("io", "127.0.0.1:7001", "comma-separated I/O server addresses, in index order")
 	strip := flag.Int64("strip", 64*1024, "strip size for created files")
 	cacheSize := flag.Int64("cachesize", 0, "client extent cache budget in bytes (0 = uncached)")
+	replicas := flag.Int("replicas", 1, "replica group size k the -io list is arranged in (1 = unreplicated)")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
@@ -60,6 +69,10 @@ func main() {
 	// deadline so admin verbs don't hang on a frozen daemon.
 	client.Retry = pvfs.DefaultRetryPolicy()
 	client.CacheBytes = *cacheSize
+	if *replicas > 1 && len(ioList)%*replicas != 0 {
+		log.Fatalf("pvfsctl: %d -io servers not divisible into replica groups of %d", len(ioList), *replicas)
+	}
+	client.Replicas = *replicas
 	// Write-back caching holds dirty data in the process: push it out
 	// before the connections go away.
 	defer client.Close()
@@ -160,13 +173,28 @@ func main() {
 				idxs = append(idxs, i)
 			}
 		}
+		var total iostats.Snapshot
+		var totalReqs, totalReplays int64
 		for _, i := range idxs {
 			snap, err := client.FetchStats(env, i)
 			fail(err)
-			fmt.Printf("server %d: %d reqs, p50/p95/p99 %d/%d/%d us, %d replays, loop cache %d hit / %d miss / %d evict, %d compiled replays\n",
-				snap.Server, snap.Lat.Count, snap.P50Us, snap.P95Us, snap.P99Us,
+			state := ""
+			if snap.Repairing {
+				state = " [repairing]"
+			}
+			fmt.Printf("server %d%s: %d reqs, p50/p95/p99 %d/%d/%d us, %d replays, loop cache %d hit / %d miss / %d evict, %d compiled replays\n",
+				snap.Server, state, snap.Lat.Count, snap.P50Us, snap.P95Us, snap.P99Us,
 				snap.Replays, snap.CacheHits, snap.CacheMisses, snap.CacheEvictions, snap.CompiledReplays)
 			fmt.Printf("  %s\n", snap.IOStats)
+			total = total.Add(snap.IOStats)
+			totalReqs += snap.Lat.Count
+			totalReplays += snap.Replays
+		}
+		// With no index argument this walked the whole cluster: close
+		// with the sum, the line an operator eyeballs for imbalance.
+		if len(idxs) > 1 {
+			fmt.Printf("cluster total (%d servers): %d reqs, %d replays\n", len(idxs), totalReqs, totalReplays)
+			fmt.Printf("  %s\n", total)
 		}
 	case "stall":
 		need(args, 3)
@@ -180,6 +208,12 @@ func main() {
 		fail(err)
 		fail(client.Admin(env, serverIdx(args[1]), wire.AdminCrash, d, 0))
 		fmt.Printf("server %s crashed; restarts in %v\n", args[1], d)
+	case "kill":
+		need(args, 3)
+		d, err := time.ParseDuration(args[2])
+		fail(err)
+		fail(client.Admin(env, serverIdx(args[1]), wire.AdminKill, d, 0))
+		fmt.Printf("server %s killed (objects wiped); restarts blank in %v\n", args[1], d)
 	case "degrade":
 		need(args, 3)
 		pct, err := strconv.ParseInt(args[2], 10, 64)

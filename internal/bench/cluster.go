@@ -7,6 +7,8 @@ package bench
 
 import (
 	"fmt"
+	"hash/fnv"
+	"os"
 	"time"
 
 	"dtio/internal/fault"
@@ -16,6 +18,7 @@ import (
 	"dtio/internal/mpi"
 	"dtio/internal/mpiio"
 	"dtio/internal/pvfs"
+	"dtio/internal/replica"
 	"dtio/internal/storage"
 	"dtio/internal/trace"
 	"dtio/internal/transport"
@@ -33,10 +36,21 @@ type Config struct {
 	// Servers, as the paper's testbed doubles the meta server up on a
 	// storage node.
 	MetaShards int
-	StripSize  int64
-	SimCfg       transport.SimConfig
-	Cost         pvfs.CostModel
-	Hints        mpiio.Hints
+	// Replicas organizes the I/O servers into replica groups of this
+	// size k (DESIGN.md §16): Servers must be a multiple of k, the
+	// striping width becomes Servers/k groups, every write fans out to
+	// all k members of its group, and reads are served by any live
+	// member. 0 or 1 runs unreplicated — byte-identical to a
+	// pre-replication cluster.
+	Replicas int
+	// LeastLoadedReads switches each rank's replica read picker from
+	// rendezvous hashing to least-outstanding-requests (ties resolve to
+	// the rendezvous choice). Only meaningful with Replicas > 1.
+	LeastLoadedReads bool
+	StripSize        int64
+	SimCfg           transport.SimConfig
+	Cost             pvfs.CostModel
+	Hints            mpiio.Hints
 	// Discard makes servers track sizes without storing bytes: used for
 	// full-scale performance runs where contents don't matter.
 	Discard bool
@@ -87,6 +101,13 @@ type Config struct {
 	// CacheChunkBytes overrides the cache chunk/lease granularity
 	// (0 = cache.DefaultChunkBytes).
 	CacheChunkBytes int64
+	// DigestFile, when non-empty, names a file to hash after every rank
+	// has finished (still inside the simulation, before the servers shut
+	// down): a fresh client reads it contiguously and folds every byte
+	// into an FNV-1a digest, retrievable with Cluster.Digest. Requires
+	// Discard to be false. Replication experiments compare this digest
+	// across healthy and killed-server runs.
+	DigestFile string
 }
 
 // DefaultConfig is the paper's testbed: 16 I/O servers, 64 KiB strips,
@@ -185,7 +206,17 @@ type Result struct {
 	// servers. Quantiles() on either yields p50/p95/p99.
 	Lat    metrics.HistSnapshot
 	SrvLat metrics.HistSnapshot
-	Err    error
+	// Digest is the post-run file hash requested with Config.DigestFile
+	// (0 when unused); DigestErr is any error the digest read hit, kept
+	// separate from Err so a workload failure doesn't mask whether the
+	// bytes were reachable.
+	Digest    uint64
+	DigestErr error
+	// PhaseStart is when the timed phase began, in virtual time since
+	// the simulation started; with Elapsed it locates the timed window,
+	// which fault schedules are calibrated against.
+	PhaseStart time.Duration
+	Err        error
 }
 
 // BandwidthMBs reports aggregate bandwidth in MB/s (10^6 bytes, as the
@@ -220,6 +251,10 @@ type Cluster struct {
 	totals           iostats.Snapshot
 	errs             []error
 
+	digest      uint64
+	digestBytes int64
+	digestErr   error
+
 	inj *fault.Injector // nil when cfg.Fault is not live
 }
 
@@ -252,6 +287,16 @@ func NewCluster(cfg Config) *Cluster {
 		serverNodes[i] = c.net.NewNode()
 	}
 	c.serverNodes = serverNodes
+	k := cfg.Replicas
+	if k < 1 {
+		k = 1
+	}
+	if cfg.Servers%k != 0 {
+		panic(fmt.Sprintf("bench: %d servers not divisible into replica groups of %d", cfg.Servers, k))
+	}
+	// Files stripe over replica GROUPS, not physical servers: the
+	// metadata servers hand out layouts at most groups wide.
+	groups := cfg.Servers / k
 	ms := cfg.MetaShards
 	if ms < 1 {
 		ms = 1
@@ -259,7 +304,7 @@ func NewCluster(cfg Config) *Cluster {
 	for i := 0; i < ms; i++ {
 		node := serverNodes[i%cfg.Servers]
 		addr := transport.Addr(node, fmt.Sprintf("meta%d", i))
-		m := pvfs.NewMetaServer(c.net, addr, cfg.Servers)
+		m := pvfs.NewMetaServer(c.net, addr, groups)
 		m.ConfigureShard(i, ms)
 		m.LeaseTimeout = cfg.LeaseTimeout
 		m.Tracer = cfg.Trace
@@ -270,9 +315,21 @@ func NewCluster(cfg Config) *Cluster {
 		})
 	}
 	for i := range serverNodes {
-		addr := transport.Addr(serverNodes[i], "io")
-		c.addrs = append(c.addrs, addr)
-		srv := pvfs.NewServer(c.net, addr, i, cfg.Cost)
+		c.addrs = append(c.addrs, transport.Addr(serverNodes[i], "io"))
+	}
+	for i := range serverNodes {
+		srv := pvfs.NewServer(c.net, c.addrs[i], i, cfg.Cost)
+		if k > 1 {
+			// Group siblings, for re-replication after a kill: a wiped
+			// member restarts, rebuilds its objects from the first
+			// reachable peer, then rejoins service.
+			g := i / k
+			for j := 0; j < k; j++ {
+				if p := g*k + j; p != i {
+					srv.ReplicaPeers = append(srv.ReplicaPeers, c.addrs[p])
+				}
+			}
+		}
 		srv.DisableLoopCache = !cfg.LoopCache
 		// Streamed transfers segment at the modeled NIC's flow-control
 		// chunk size, as real PVFS flow buffers do.
@@ -310,6 +367,8 @@ func NewCluster(cfg Config) *Cluster {
 					srv.Crash(ev.Dur)
 				case fault.Degrade:
 					srv.SetDiskScale(ev.Factor)
+				case fault.Kill:
+					srv.Kill(ev.Dur)
 				}
 			})
 		}
@@ -356,6 +415,12 @@ func (c *Cluster) Run(fn func(r *Rank) error) (time.Duration, iostats.Snapshot, 
 			fs := pvfs.NewShardedClient(clientNet, c.metaAddrs, c.addrs, c.cfg.Cost)
 			fs.Stats = st
 			fs.Retry = retry
+			fs.Replicas = c.cfg.Replicas
+			if c.cfg.LeastLoadedReads && c.cfg.Replicas > 1 {
+				// Per-rank picker: each client balances on its own
+				// outstanding requests, as a real library would.
+				fs.ReplicaPicker = replica.NewLeastLoaded(len(c.addrs))
+			}
 			fs.StreamChunkBytes = c.cfg.SimCfg.ChunkBytes
 			fs.DisableStreaming = c.cfg.NoStreaming
 			fs.Tracer = c.cfg.Trace
@@ -379,6 +444,12 @@ func (c *Cluster) Run(fn func(r *Rank) error) (time.Duration, iostats.Snapshot, 
 	// simulation drains instead of deadlocking on idle Accept loops.
 	c.net.Spawn("controller", c.rankNodes[0], func(env transport.Env) {
 		wg.Wait(env.(*transport.SimEnv).Proc())
+		if c.cfg.DigestFile != "" {
+			// Hash over the plain network (no injected message faults —
+			// the scheduled server events have already fired), with
+			// retries so a still-restarting member can't wedge the read.
+			c.digest, c.digestBytes, c.digestErr = c.digestFile(env, retry)
+		}
 		c.fabric.Close()
 		for _, m := range c.metas {
 			m.Close()
@@ -402,6 +473,103 @@ func (c *Cluster) Run(fn func(r *Rank) error) (time.Duration, iostats.Snapshot, 
 	}
 	c.totals = life
 	return c.winEnd - c.winStart, agg.Div(int64(c.cfg.Clients)), nil
+}
+
+// digestFile reads cfg.DigestFile end to end and folds it into an
+// FNV-1a hash. Runs inside the simulation, after every rank is done.
+func (c *Cluster) digestFile(env transport.Env, retry pvfs.RetryPolicy) (uint64, int64, error) {
+	fs := pvfs.NewShardedClient(c.net, c.metaAddrs, c.addrs, c.cfg.Cost)
+	fs.Replicas = c.cfg.Replicas
+	fs.Retry = retry
+	defer fs.Close()
+	f, err := fs.Open(env, c.cfg.DigestFile)
+	if err != nil {
+		return 0, 0, fmt.Errorf("bench: digest open %s: %w", c.cfg.DigestFile, err)
+	}
+	size, err := f.Size(env)
+	if err != nil {
+		return 0, 0, fmt.Errorf("bench: digest size %s: %w", c.cfg.DigestFile, err)
+	}
+	h := fnv.New64a()
+	buf := make([]byte, 1<<20)
+	for off := int64(0); off < size; {
+		n := int64(len(buf))
+		if off+n > size {
+			n = size - off
+		}
+		if err := f.ReadContig(env, off, buf[:n]); err != nil {
+			return 0, 0, fmt.Errorf("bench: digest read %s@%d: %w", c.cfg.DigestFile, off, err)
+		}
+		h.Write(buf[:n])
+		off += n
+	}
+	// DTIO_DEBUG_REPLICAS=1 cross-checks every group member's copy of
+	// the digest file and logs divergent chunks to stderr — the tool of
+	// choice when a replicated run's digest disagrees with its healthy
+	// twin and you need to know which member holds the bad bytes.
+	if os.Getenv("DTIO_DEBUG_REPLICAS") != "" && c.cfg.Replicas > 1 {
+		c.debugMemberDigests(env, retry, size)
+	}
+	return h.Sum64(), size, nil
+}
+
+// fixedPick is a debug picker that always prefers one member slot.
+type fixedPick int
+
+func (p fixedPick) Pick(handle uint64, off int64, group, k int) int { return int(p) % k }
+
+// debugMemberDigests re-reads the digest file forcing each member slot
+// in turn and logs per-64KiB-chunk mismatches against slot 0.
+func (c *Cluster) debugMemberDigests(env transport.Env, retry pvfs.RetryPolicy, size int64) {
+	per := make([][]uint64, c.cfg.Replicas)
+	for j := 0; j < c.cfg.Replicas; j++ {
+		fs := pvfs.NewShardedClient(c.net, c.metaAddrs, c.addrs, c.cfg.Cost)
+		fs.Replicas = c.cfg.Replicas
+		fs.Retry = retry
+		fs.ReplicaPicker = fixedPick(j)
+		f, err := fs.Open(env, c.cfg.DigestFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "debug member %d: open: %v\n", j, err)
+			fs.Close()
+			continue
+		}
+		buf := make([]byte, 64<<10)
+		for off := int64(0); off < size; off += int64(len(buf)) {
+			n := int64(len(buf))
+			if off+n > size {
+				n = size - off
+			}
+			if err := f.ReadContig(env, off, buf[:n]); err != nil {
+				fmt.Fprintf(os.Stderr, "debug member %d: read@%d: %v\n", j, off, err)
+				break
+			}
+			h := fnv.New64a()
+			h.Write(buf[:n])
+			per[j] = append(per[j], h.Sum64())
+		}
+		fs.Close()
+	}
+	for j := 1; j < c.cfg.Replicas; j++ {
+		for i := range per[0] {
+			if i < len(per[j]) && per[j][i] != per[0][i] {
+				fmt.Fprintf(os.Stderr, "debug: chunk@%d (64KiB) differs: member0 %016x member%d %016x\n",
+					int64(i)*64<<10, per[0][i], j, per[j][i])
+			}
+		}
+	}
+}
+
+// Digest reports the post-run file digest requested with
+// Config.DigestFile (call after Run): the FNV-1a hash of the file's
+// bytes, the byte count hashed, and any error the digest read hit.
+func (c *Cluster) Digest() (uint64, int64, error) {
+	return c.digest, c.digestBytes, c.digestErr
+}
+
+// PhaseWindow reports the timed window recorded by TimePhase, as
+// virtual times since the simulation started. Call after Run.
+func (c *Cluster) PhaseWindow() (start, end time.Duration) {
+	return c.winStart, c.winEnd
 }
 
 // TotalStats is the undivided sum of every rank's lifetime counters
@@ -461,6 +629,29 @@ func (c *Cluster) ServerLat() metrics.HistSnapshot {
 		s = s.Add(m.Lat())
 	}
 	return s
+}
+
+// ServerReadCounts reports each I/O server's served read-class request
+// count (contig, list, dtype reads plus size probes), in physical
+// server order. Call after Run; replica read-balance checks divide
+// these within a group.
+func (c *Cluster) ServerReadCounts() []int64 {
+	out := make([]int64, len(c.srvMetrics))
+	for i, m := range c.srvMetrics {
+		out[i] = m.ReadLat.Snapshot().Count
+	}
+	return out
+}
+
+// Repairing reports which servers are currently rebuilding their
+// objects from replica peers (call after Run it is all false; useful
+// mid-run from controller code).
+func (c *Cluster) Repairing() []bool {
+	out := make([]bool, len(c.servers))
+	for i, s := range c.servers {
+		out[i] = s.StatsSnapshot().Repairing
+	}
+	return out
 }
 
 // ServerReplays sums the servers' replay-suppression counters.

@@ -35,6 +35,12 @@ const (
 	// Degrade multiplies the server's modeled disk time by Factor/100
 	// until reset with Factor == 100.
 	Degrade
+	// Kill crashes the server like Crash but loses its local objects:
+	// the restart after Dur comes back empty, standing in for a dead
+	// machine replaced by a blank spare. Unreplicated data is gone;
+	// replica groups re-build the member from its surviving peers
+	// (DESIGN.md §16).
+	Kill
 )
 
 func (k Kind) String() string {
@@ -45,6 +51,8 @@ func (k Kind) String() string {
 		return "crash"
 	case Degrade:
 		return "degrade"
+	case Kill:
+		return "kill"
 	}
 	return "fault.Kind(?)"
 }

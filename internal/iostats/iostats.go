@@ -39,6 +39,9 @@ type Stats struct {
 	flushOps   atomic.Int64 // write-back flushes issued
 	flushBytes atomic.Int64 // dirty bytes written back by flushes
 	invals     atomic.Int64 // cached chunks invalidated (revoke, expiry, bypass)
+	degraded   atomic.Int64 // reads served by a non-preferred replica member
+	fanout     atomic.Int64 // replica write copies beyond the first member
+	repair     atomic.Int64 // bytes re-replicated onto a restarted member
 }
 
 // AddDesired records application-requested bytes.
@@ -114,6 +117,18 @@ func (s *Stats) AddFlush(n int64) {
 // revocation or expiry, or a bypassing operation on the same range).
 func (s *Stats) AddInvalidations(n int64) { s.invals.Add(n) }
 
+// AddDegradedRead records a read served by a replica member other than
+// the picker's first choice (failover or a mid-repair refusal).
+func (s *Stats) AddDegradedRead() { s.degraded.Add(1) }
+
+// AddFanoutWrite records one replica write copy beyond the group's
+// first member (k-1 per replicated write when all members are up).
+func (s *Stats) AddFanoutWrite() { s.fanout.Add(1) }
+
+// AddRepair records bytes copied onto a restarted member from its
+// surviving group peers during background re-replication.
+func (s *Stats) AddRepair(n int64) { s.repair.Add(n) }
+
 // Snapshot is an immutable copy of the counters.
 type Snapshot struct {
 	DesiredBytes  int64
@@ -138,33 +153,41 @@ type Snapshot struct {
 	FlushOps      int64 // write-back flushes issued
 	FlushBytes    int64 // dirty bytes written back by flushes
 	Invalidations int64 // cached chunks invalidated
+	DegradedReads int64 // reads served by a non-preferred replica member
+	FanoutWrites  int64 // replica write copies beyond the first member
+	// ReplicaRepairBytes counts bytes re-replicated onto a restarted
+	// member (server-side counter; see DESIGN.md §16).
+	ReplicaRepairBytes int64
 }
 
 // Snapshot copies the current counters.
 func (s *Stats) Snapshot() Snapshot {
 	return Snapshot{
-		DesiredBytes:  s.desired.Load(),
-		AccessedBytes: s.accessed.Load(),
-		IOOps:         s.ioOps.Load(),
-		WireMsgs:      s.wireMsgs.Load(),
-		ReqBytes:      s.reqBytes.Load(),
-		ResentBytes:   s.resent.Load(),
-		LockWaits:     s.lockWaits.Load(),
-		LockWaitNs:    s.lockWaitNs.Load(),
-		Regions:       s.regionsCPU.Load(),
-		DiskOps:       s.diskOps.Load(),
-		DiskOpsMerged: s.diskMerged.Load(),
-		DiskVecOps:    s.diskVec.Load(),
-		SeekBytes:     s.seekBytes.Load(),
-		Retries:       s.retries.Load(),
-		Timeouts:      s.timeouts.Load(),
-		ReplayedBytes: s.replayed.Load(),
-		FailoverNs:    s.failoverNs.Load(),
-		CacheHits:     s.cacheHits.Load(),
-		CacheMisses:   s.cacheMiss.Load(),
-		FlushOps:      s.flushOps.Load(),
-		FlushBytes:    s.flushBytes.Load(),
-		Invalidations: s.invals.Load(),
+		DesiredBytes:       s.desired.Load(),
+		AccessedBytes:      s.accessed.Load(),
+		IOOps:              s.ioOps.Load(),
+		WireMsgs:           s.wireMsgs.Load(),
+		ReqBytes:           s.reqBytes.Load(),
+		ResentBytes:        s.resent.Load(),
+		LockWaits:          s.lockWaits.Load(),
+		LockWaitNs:         s.lockWaitNs.Load(),
+		Regions:            s.regionsCPU.Load(),
+		DiskOps:            s.diskOps.Load(),
+		DiskOpsMerged:      s.diskMerged.Load(),
+		DiskVecOps:         s.diskVec.Load(),
+		SeekBytes:          s.seekBytes.Load(),
+		Retries:            s.retries.Load(),
+		Timeouts:           s.timeouts.Load(),
+		ReplayedBytes:      s.replayed.Load(),
+		FailoverNs:         s.failoverNs.Load(),
+		CacheHits:          s.cacheHits.Load(),
+		CacheMisses:        s.cacheMiss.Load(),
+		FlushOps:           s.flushOps.Load(),
+		FlushBytes:         s.flushBytes.Load(),
+		Invalidations:      s.invals.Load(),
+		DegradedReads:      s.degraded.Load(),
+		FanoutWrites:       s.fanout.Load(),
+		ReplicaRepairBytes: s.repair.Load(),
 	}
 }
 
@@ -174,28 +197,31 @@ func (s *Stats) Snapshot() Snapshot {
 func (s *Stats) Reset() {
 	s.mu.Lock()
 	s.base = s.base.Add(Snapshot{
-		DesiredBytes:  s.desired.Swap(0),
-		AccessedBytes: s.accessed.Swap(0),
-		IOOps:         s.ioOps.Swap(0),
-		WireMsgs:      s.wireMsgs.Swap(0),
-		ReqBytes:      s.reqBytes.Swap(0),
-		ResentBytes:   s.resent.Swap(0),
-		LockWaits:     s.lockWaits.Swap(0),
-		LockWaitNs:    s.lockWaitNs.Swap(0),
-		Regions:       s.regionsCPU.Swap(0),
-		DiskOps:       s.diskOps.Swap(0),
-		DiskOpsMerged: s.diskMerged.Swap(0),
-		DiskVecOps:    s.diskVec.Swap(0),
-		SeekBytes:     s.seekBytes.Swap(0),
-		Retries:       s.retries.Swap(0),
-		Timeouts:      s.timeouts.Swap(0),
-		ReplayedBytes: s.replayed.Swap(0),
-		FailoverNs:    s.failoverNs.Swap(0),
-		CacheHits:     s.cacheHits.Swap(0),
-		CacheMisses:   s.cacheMiss.Swap(0),
-		FlushOps:      s.flushOps.Swap(0),
-		FlushBytes:    s.flushBytes.Swap(0),
-		Invalidations: s.invals.Swap(0),
+		DesiredBytes:       s.desired.Swap(0),
+		AccessedBytes:      s.accessed.Swap(0),
+		IOOps:              s.ioOps.Swap(0),
+		WireMsgs:           s.wireMsgs.Swap(0),
+		ReqBytes:           s.reqBytes.Swap(0),
+		ResentBytes:        s.resent.Swap(0),
+		LockWaits:          s.lockWaits.Swap(0),
+		LockWaitNs:         s.lockWaitNs.Swap(0),
+		Regions:            s.regionsCPU.Swap(0),
+		DiskOps:            s.diskOps.Swap(0),
+		DiskOpsMerged:      s.diskMerged.Swap(0),
+		DiskVecOps:         s.diskVec.Swap(0),
+		SeekBytes:          s.seekBytes.Swap(0),
+		Retries:            s.retries.Swap(0),
+		Timeouts:           s.timeouts.Swap(0),
+		ReplayedBytes:      s.replayed.Swap(0),
+		FailoverNs:         s.failoverNs.Swap(0),
+		CacheHits:          s.cacheHits.Swap(0),
+		CacheMisses:        s.cacheMiss.Swap(0),
+		FlushOps:           s.flushOps.Swap(0),
+		FlushBytes:         s.flushBytes.Swap(0),
+		Invalidations:      s.invals.Swap(0),
+		DegradedReads:      s.degraded.Swap(0),
+		FanoutWrites:       s.fanout.Swap(0),
+		ReplicaRepairBytes: s.repair.Swap(0),
 	})
 	s.mu.Unlock()
 }
@@ -212,28 +238,31 @@ func (s *Stats) Lifetime() Snapshot {
 // Add accumulates another snapshot (for aggregating clients).
 func (a Snapshot) Add(b Snapshot) Snapshot {
 	return Snapshot{
-		DesiredBytes:  a.DesiredBytes + b.DesiredBytes,
-		AccessedBytes: a.AccessedBytes + b.AccessedBytes,
-		IOOps:         a.IOOps + b.IOOps,
-		WireMsgs:      a.WireMsgs + b.WireMsgs,
-		ReqBytes:      a.ReqBytes + b.ReqBytes,
-		ResentBytes:   a.ResentBytes + b.ResentBytes,
-		LockWaits:     a.LockWaits + b.LockWaits,
-		LockWaitNs:    a.LockWaitNs + b.LockWaitNs,
-		Regions:       a.Regions + b.Regions,
-		DiskOps:       a.DiskOps + b.DiskOps,
-		DiskOpsMerged: a.DiskOpsMerged + b.DiskOpsMerged,
-		DiskVecOps:    a.DiskVecOps + b.DiskVecOps,
-		SeekBytes:     a.SeekBytes + b.SeekBytes,
-		Retries:       a.Retries + b.Retries,
-		Timeouts:      a.Timeouts + b.Timeouts,
-		ReplayedBytes: a.ReplayedBytes + b.ReplayedBytes,
-		FailoverNs:    a.FailoverNs + b.FailoverNs,
-		CacheHits:     a.CacheHits + b.CacheHits,
-		CacheMisses:   a.CacheMisses + b.CacheMisses,
-		FlushOps:      a.FlushOps + b.FlushOps,
-		FlushBytes:    a.FlushBytes + b.FlushBytes,
-		Invalidations: a.Invalidations + b.Invalidations,
+		DesiredBytes:       a.DesiredBytes + b.DesiredBytes,
+		AccessedBytes:      a.AccessedBytes + b.AccessedBytes,
+		IOOps:              a.IOOps + b.IOOps,
+		WireMsgs:           a.WireMsgs + b.WireMsgs,
+		ReqBytes:           a.ReqBytes + b.ReqBytes,
+		ResentBytes:        a.ResentBytes + b.ResentBytes,
+		LockWaits:          a.LockWaits + b.LockWaits,
+		LockWaitNs:         a.LockWaitNs + b.LockWaitNs,
+		Regions:            a.Regions + b.Regions,
+		DiskOps:            a.DiskOps + b.DiskOps,
+		DiskOpsMerged:      a.DiskOpsMerged + b.DiskOpsMerged,
+		DiskVecOps:         a.DiskVecOps + b.DiskVecOps,
+		SeekBytes:          a.SeekBytes + b.SeekBytes,
+		Retries:            a.Retries + b.Retries,
+		Timeouts:           a.Timeouts + b.Timeouts,
+		ReplayedBytes:      a.ReplayedBytes + b.ReplayedBytes,
+		FailoverNs:         a.FailoverNs + b.FailoverNs,
+		CacheHits:          a.CacheHits + b.CacheHits,
+		CacheMisses:        a.CacheMisses + b.CacheMisses,
+		FlushOps:           a.FlushOps + b.FlushOps,
+		FlushBytes:         a.FlushBytes + b.FlushBytes,
+		Invalidations:      a.Invalidations + b.Invalidations,
+		DegradedReads:      a.DegradedReads + b.DegradedReads,
+		FanoutWrites:       a.FanoutWrites + b.FanoutWrites,
+		ReplicaRepairBytes: a.ReplicaRepairBytes + b.ReplicaRepairBytes,
 	}
 }
 
@@ -243,28 +272,31 @@ func (a Snapshot) Div(n int64) Snapshot {
 		return a
 	}
 	return Snapshot{
-		DesiredBytes:  a.DesiredBytes / n,
-		AccessedBytes: a.AccessedBytes / n,
-		IOOps:         a.IOOps / n,
-		WireMsgs:      a.WireMsgs / n,
-		ReqBytes:      a.ReqBytes / n,
-		ResentBytes:   a.ResentBytes / n,
-		LockWaits:     a.LockWaits / n,
-		LockWaitNs:    a.LockWaitNs / n,
-		Regions:       a.Regions / n,
-		DiskOps:       a.DiskOps / n,
-		DiskOpsMerged: a.DiskOpsMerged / n,
-		DiskVecOps:    a.DiskVecOps / n,
-		SeekBytes:     a.SeekBytes / n,
-		Retries:       a.Retries / n,
-		Timeouts:      a.Timeouts / n,
-		ReplayedBytes: a.ReplayedBytes / n,
-		FailoverNs:    a.FailoverNs / n,
-		CacheHits:     a.CacheHits / n,
-		CacheMisses:   a.CacheMisses / n,
-		FlushOps:      a.FlushOps / n,
-		FlushBytes:    a.FlushBytes / n,
-		Invalidations: a.Invalidations / n,
+		DesiredBytes:       a.DesiredBytes / n,
+		AccessedBytes:      a.AccessedBytes / n,
+		IOOps:              a.IOOps / n,
+		WireMsgs:           a.WireMsgs / n,
+		ReqBytes:           a.ReqBytes / n,
+		ResentBytes:        a.ResentBytes / n,
+		LockWaits:          a.LockWaits / n,
+		LockWaitNs:         a.LockWaitNs / n,
+		Regions:            a.Regions / n,
+		DiskOps:            a.DiskOps / n,
+		DiskOpsMerged:      a.DiskOpsMerged / n,
+		DiskVecOps:         a.DiskVecOps / n,
+		SeekBytes:          a.SeekBytes / n,
+		Retries:            a.Retries / n,
+		Timeouts:           a.Timeouts / n,
+		ReplayedBytes:      a.ReplayedBytes / n,
+		FailoverNs:         a.FailoverNs / n,
+		CacheHits:          a.CacheHits / n,
+		CacheMisses:        a.CacheMisses / n,
+		FlushOps:           a.FlushOps / n,
+		FlushBytes:         a.FlushBytes / n,
+		Invalidations:      a.Invalidations / n,
+		DegradedReads:      a.DegradedReads / n,
+		FanoutWrites:       a.FanoutWrites / n,
+		ReplicaRepairBytes: a.ReplicaRepairBytes / n,
 	}
 }
 
@@ -308,6 +340,10 @@ func (s Snapshot) String() string {
 	if s.CacheHits != 0 || s.CacheMisses != 0 || s.FlushOps != 0 || s.Invalidations != 0 {
 		str += fmt.Sprintf(" cachehits=%d misses=%d hitratio=%.0f%% flushes=%d flushed=%s inval=%d",
 			s.CacheHits, s.CacheMisses, 100*s.HitRatio(), s.FlushOps, MB(s.FlushBytes), s.Invalidations)
+	}
+	if s.DegradedReads != 0 || s.FanoutWrites != 0 || s.ReplicaRepairBytes != 0 {
+		str += fmt.Sprintf(" degraded=%d fanout=%d repaired=%s",
+			s.DegradedReads, s.FanoutWrites, MB(s.ReplicaRepairBytes))
 	}
 	return str
 }

@@ -73,6 +73,9 @@ func RegisterIOStats(reg *Registry, prefix string, fn func() iostats.Snapshot) {
 	g("cache_flush_ops", "aggregated write-back flushes", func(s iostats.Snapshot) int64 { return s.FlushOps })
 	g("cache_flush_bytes", "dirty bytes written back by flushes", func(s iostats.Snapshot) int64 { return s.FlushBytes })
 	g("cache_invalidations", "cached extents dropped by revocation or expiry", func(s iostats.Snapshot) int64 { return s.Invalidations })
+	g("degraded_reads", "reads served by a non-preferred replica member", func(s iostats.Snapshot) int64 { return s.DegradedReads })
+	g("fanout_writes", "replica write copies beyond the first member", func(s iostats.Snapshot) int64 { return s.FanoutWrites })
+	g("replica_repair_bytes", "bytes re-replicated onto restarted members", func(s iostats.Snapshot) int64 { return s.ReplicaRepairBytes })
 }
 
 // PublishExpvar mirrors the registry's gauges into the process-global

@@ -17,6 +17,7 @@ import (
 	"dtio/internal/flatten"
 	"dtio/internal/iostats"
 	"dtio/internal/metrics"
+	"dtio/internal/replica"
 	"dtio/internal/shard"
 	"dtio/internal/striping"
 	"dtio/internal/trace"
@@ -103,6 +104,18 @@ type Client struct {
 	// leaves it reliable.
 	Retry RetryPolicy
 
+	// Replicas is the cluster's replica group size k (DESIGN.md §16):
+	// serverAddrs is then k consecutive physical members per logical
+	// stripe server, every write fans out to all members of its group,
+	// and reads are served by any live member. 0 or 1 means
+	// unreplicated — byte-identical to the pre-replication client. Set
+	// before the first operation, identically on every client of the
+	// cluster.
+	Replicas int
+	// ReplicaPicker chooses which member serves a replicated read (nil
+	// = replica.Rendezvous{}); failover rotates from its choice.
+	ReplicaPicker replica.Picker
+
 	// CacheBytes enables the coherent client-side extent cache
 	// (DESIGN.md §13) with this data budget; 0 disables caching
 	// entirely. Contiguous reads and writes no larger than a chunk are
@@ -127,6 +140,14 @@ type Client struct {
 	metas  []transport.Conn // one lazy connection per metadata shard
 	conns  []transport.Conn
 	opSpan *trace.Span // current operation's span (single logical thread)
+
+	// suspect[phys] is a virtual-time deadline until which physical
+	// server phys is presumed dead (it failed a connection-class
+	// attempt): replicated reads skip it and replicated writes probe it
+	// with a single cheap attempt instead of the full retry ladder.
+	// Zero means healthy. Atomics because sibling threads of one
+	// operation touch different servers concurrently.
+	suspect []atomic.Int64
 
 	cc *clientCache // extent cache state; nil until first cached op
 	// Messages that arrived on the meta connection out of turn. A grant
@@ -160,7 +181,42 @@ func NewShardedClient(net transport.Network, metaAddrs []string, serverAddrs []s
 		id:          clientIDs.Add(1),
 		metas:       make([]transport.Conn, m.N()),
 		conns:       make([]transport.Conn, len(serverAddrs)),
+		suspect:     make([]atomic.Int64, len(serverAddrs)),
 	}
+}
+
+// k reports the replica group size (always >= 1).
+func (c *Client) k() int {
+	if c.Replicas > 1 {
+		return c.Replicas
+	}
+	return 1
+}
+
+func (c *Client) picker() replica.Picker {
+	if c.ReplicaPicker != nil {
+		return c.ReplicaPicker
+	}
+	return replica.Rendezvous{}
+}
+
+// suspectTTL is how long a failed member is skipped before being
+// re-probed. Short: a probe against a still-dead member costs one
+// instant dial failure, while a long memo would hide a restarted
+// member from reads unnecessarily.
+const suspectTTL = 100 * time.Millisecond
+
+func (c *Client) isSuspect(env transport.Env, phys int) bool {
+	d := c.suspect[phys].Load()
+	return d != 0 && int64(env.Now()) < d
+}
+
+func (c *Client) markSuspect(env transport.Env, phys int) {
+	c.suspect[phys].Store(int64(env.Now() + suspectTTL))
+}
+
+func (c *Client) clearSuspect(phys int) {
+	c.suspect[phys].Store(0)
 }
 
 // MetaShards reports the number of metadata shards in the mount.
@@ -434,8 +490,9 @@ func (c *Client) fileOf(name string, r *wire.MetaResp) (*File, error) {
 	if err := lay.Validate(); err != nil {
 		return nil, err
 	}
-	if lay.NServers > len(c.serverAddrs) {
-		return nil, fmt.Errorf("pvfs: file needs %d servers, cluster has %d", lay.NServers, len(c.serverAddrs))
+	if lay.NServers*c.k() > len(c.serverAddrs) {
+		return nil, fmt.Errorf("pvfs: file needs %d servers x%d replicas, cluster has %d",
+			lay.NServers, c.k(), len(c.serverAddrs))
 	}
 	return &File{c: c, name: name, handle: r.Handle, layout: lay}, nil
 }
@@ -455,14 +512,16 @@ func (c *Client) Remove(env transport.Env, name string) error {
 		return err
 	}
 	tag := c.tag()
-	servers := make([]int, f.layout.NServers)
-	reqs := make([][]byte, f.layout.NServers)
-	for i := 0; i < f.layout.NServers; i++ {
-		servers[i] = i
-		reqs[i] = wire.EncodeRemoveObj(&wire.RemoveObjReq{Tag: tag, Layout: f.wireLayout(i)})
+	groups := make([]int, f.layout.NServers)
+	for i := range groups {
+		groups[i] = i
 	}
-	_, err = c.sendRecv(env, servers, reqs, nil, tag.Seq)
-	return err
+	// Removal mutates every replica member, so it rides the write
+	// fan-out path (with no payload to carry).
+	return c.writeAll(env, groups, make([][]byte, f.layout.NServers),
+		func(g, m int, _ []byte) []byte {
+			return wire.EncodeRemoveObj(&wire.RemoveObjReq{Tag: tag, Layout: f.wireLayoutAt(g, m)})
+		}, tag.Seq)
 }
 
 // ListNames returns the namespace contents: each shard's partition,
@@ -575,13 +634,30 @@ func (f *File) Cost() CostModel { return f.c.cost }
 func (f *File) Layout() striping.Layout { return f.layout }
 
 func (f *File) wireLayout(serverIdx int) wire.FileLayout {
+	return f.wireLayoutAt(serverIdx, 0)
+}
+
+// wireLayoutAt names one replica member's object: the file's layout
+// plus which logical stripe server this request is for and which group
+// member it is addressed to. The object a member stores is identical
+// across its group (same ServerIdx, same striping math), which is what
+// makes any member able to serve a group's reads.
+func (f *File) wireLayoutAt(serverIdx, member int) wire.FileLayout {
 	return wire.FileLayout{
 		Handle:    f.handle,
 		StripSize: f.layout.StripSize,
 		NServers:  int32(f.layout.NServers),
 		Base:      int32(f.layout.Base),
 		ServerIdx: int32(serverIdx),
+		Replicas:  int32(f.c.k()),
+		Member:    int32(member),
 	}
+}
+
+// phys maps (logical stripe server, group member) to the physical
+// cluster server index: groups are k consecutive addresses.
+func (c *Client) phys(serverIdx, member int) int {
+	return serverIdx*c.k() + member
 }
 
 // sendRecv sends one request per server and collects the responses, in
@@ -645,7 +721,16 @@ func (c *Client) sendRecv(env transport.Env, servers []int, reqs [][]byte, dataL
 // frame. payLen is the request's trailing payload length, counted as
 // replayed bytes on each resend.
 func (c *Client) exchange(env transport.Env, s int, req []byte, descLen, payLen int64, seq uint64) (*wire.IOResp, error) {
-	attempts := c.Retry.Attempts
+	return c.exchangeN(env, s, req, descLen, payLen, seq, 0)
+}
+
+// exchangeN is exchange with an explicit attempt budget (0 = the retry
+// policy's); the write fan-out path probes suspected-dead members with
+// a single attempt instead of the full ladder.
+func (c *Client) exchangeN(env transport.Env, s int, req []byte, descLen, payLen int64, seq uint64, attempts int) (*wire.IOResp, error) {
+	if attempts < 1 {
+		attempts = c.Retry.Attempts
+	}
 	if attempts < 1 {
 		attempts = 1
 	}
@@ -819,17 +904,145 @@ func (c *Client) dropConn(s int) {
 	}
 }
 
-// writeAll issues one write request per involved server, streaming any
+// sendRecvRead issues one read-class request per involved replica
+// group and collects the responses in group order. With k == 1 it is
+// exactly sendRecv; otherwise each group's request is served by any
+// live member (DESIGN.md §16). off keys the picker so repeated reads
+// of one region keep hitting the member whose page cache has it.
+// mkReq builds the frame addressed to one member.
+func (f *File) sendRecvRead(env transport.Env, off int64, groups []int, mkReq func(g, member int) []byte, seq uint64) ([]*wire.IOResp, error) {
+	c := f.c
+	if c.k() == 1 {
+		reqs := make([][]byte, len(groups))
+		for i, g := range groups {
+			reqs[i] = mkReq(g, 0)
+		}
+		return c.sendRecv(env, groups, reqs, nil, seq)
+	}
+	out := make([]*wire.IOResp, len(groups))
+	if len(groups) == 1 {
+		r, err := c.readAny(env, f.handle, off, groups[0], mkReq, seq)
+		if err != nil {
+			return nil, err
+		}
+		out[0] = r
+		return out, nil
+	}
+	fns := make([]func(transport.Env) error, len(groups))
+	for i, g := range groups {
+		i, g := i, g
+		fns[i] = func(env transport.Env) error {
+			r, err := c.readAny(env, f.handle, off, g, mkReq, seq)
+			if err != nil {
+				return err
+			}
+			out[i] = r
+			return nil
+		}
+	}
+	if err := env.Parallel("pvfs-read-any", fns...); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// readAny performs one replicated read exchange with group g. The
+// picker names a preferred member; suspected-dead members are skipped
+// up front, and each failed attempt rotates to the next member, so
+// failover from a freshly-dead server costs one failed attempt, not a
+// retry ladder. A member-level rejection (e.g. a repairing replica)
+// rotates too, but a full cycle of rejections fails the operation —
+// the servers are answering, and every answer is no.
+func (c *Client) readAny(env transport.Env, handle uint64, off int64, g int, mkReq func(g, member int) []byte, seq uint64) (*wire.IOResp, error) {
+	k := c.k()
+	first := c.picker().Pick(handle, off, g, k)
+	start := first
+	for j := 0; j < k; j++ {
+		if m := (first + j) % k; !c.isSuspect(env, c.phys(g, m)) {
+			start = m
+			break
+		}
+	}
+	attempts := c.Retry.Attempts
+	if attempts < k {
+		attempts = k
+	}
+	backoff := c.Retry.Backoff
+	var firstFail time.Duration
+	sawFail := false
+	rejected := 0 // consecutive member-level rejections
+	for a := 1; ; a++ {
+		m := (start + a - 1) % k
+		phys := c.phys(g, m)
+		req := mkReq(g, m)
+		asp := c.Tracer.Begin(env, c.track(), "attempt", c.opSpan.SID())
+		asp.SetAttr("server", int64(phys))
+		asp.SetAttr("try", int64(a))
+		lo, _ := c.picker().(interface{ Observe(phys int, delta int64) })
+		if lo != nil {
+			lo.Observe(phys, 1)
+		}
+		r, err := c.tryExchange(env, phys, req, int64(len(req)), seq)
+		if lo != nil {
+			lo.Observe(phys, -1)
+		}
+		asp.End(env)
+		if err == nil {
+			c.clearSuspect(phys)
+			if st := c.stats(); st != nil {
+				if m != first {
+					st.AddDegradedRead()
+				}
+				if sawFail {
+					st.AddFailover(int64(env.Now() - firstFail))
+				}
+			}
+			return r, nil
+		}
+		if !retryable(err) {
+			rejected++
+			if rejected >= k {
+				return nil, err
+			}
+			continue // next member answers; no backoff, the server is up
+		}
+		rejected = 0
+		c.dropConn(phys)
+		c.markSuspect(env, phys)
+		if a >= attempts {
+			return nil, fmt.Errorf("pvfs: group %d: gave up after %d attempts: %w", g, a, err)
+		}
+		if !sawFail {
+			sawFail = true
+			firstFail = env.Now()
+		}
+		if st := c.stats(); st != nil {
+			st.AddRetry()
+			if errors.Is(err, transport.ErrTimeout) {
+				st.AddTimeout()
+			}
+		}
+		backoff = c.sleepBackoff(env, backoff)
+	}
+}
+
+// writeAll issues one write per involved replica group, streaming any
 // payload larger than the segment size so the servers' disks overlap
-// the network transfer, and waits for all responses. payloads is
-// indexed by server id; mkReq builds the (inline or inner) request and
-// must embed the tag whose sequence is seq, so retries of either form
-// hit the server's replay cache.
-func (c *Client) writeAll(env transport.Env, servers []int, payloads [][]byte, mkReq func(s int, data []byte) []byte, seq uint64) error {
+// the network transfer, and waits for the acks. payloads is indexed by
+// group (= server id when k == 1); mkReq builds the (inline or inner)
+// request for one member and must embed the tag whose sequence is seq,
+// so retries of either form hit the server's replay cache. With k > 1
+// every member of each group receives the group's full payload under
+// that same tag (the per-client replay rings make the k copies
+// independently at-most-once).
+func (c *Client) writeAll(env transport.Env, groups []int, payloads [][]byte, mkReq func(g, member int, data []byte) []byte, seq uint64) error {
 	seg, window := streamParams(c.StreamChunkBytes, c.StreamWindow)
+	if c.k() > 1 {
+		return c.writeFanout(env, groups, payloads, mkReq, seg, window, seq)
+	}
 	stream := false
 	if !c.DisableStreaming {
-		for _, s := range servers {
+		for _, s := range groups {
 			if int64(len(payloads[s])) > seg {
 				stream = true
 				break
@@ -837,45 +1050,126 @@ func (c *Client) writeAll(env transport.Env, servers []int, payloads [][]byte, m
 		}
 	}
 	if !stream {
-		reqs := make([][]byte, len(servers))
-		dataLens := make([]int64, len(servers))
-		for i, s := range servers {
-			reqs[i] = mkReq(s, payloads[s])
+		reqs := make([][]byte, len(groups))
+		dataLens := make([]int64, len(groups))
+		for i, s := range groups {
+			reqs[i] = mkReq(s, 0, payloads[s])
 			dataLens[i] = int64(len(payloads[s]))
 		}
-		_, err := c.sendRecv(env, servers, reqs, dataLens, seq)
+		_, err := c.sendRecv(env, groups, reqs, dataLens, seq)
 		return err
 	}
 	// Pre-dial best-effort so the per-server transfers can proceed
 	// concurrently; a credit-window stall against one server must not
 	// serialize others, and a dead server is left for the retry loops.
-	for _, s := range servers {
+	for _, s := range groups {
 		_, _ = c.conn(env, s)
 	}
-	fns := make([]func(transport.Env) error, len(servers))
-	for i, s := range servers {
+	fns := make([]func(transport.Env) error, len(groups))
+	for i, s := range groups {
 		s := s
 		fns[i] = func(env transport.Env) error {
-			return c.writeOne(env, s, payloads[s], mkReq, seg, window, seq)
+			return c.writeOne(env, s, 0, payloads[s], mkReq, seg, window, seq, 0)
 		}
 	}
 	return env.Parallel("pvfs-write", fns...)
 }
 
-// writeOne performs one server's write: inline when the payload fits a
-// single segment, streamed otherwise.
-func (c *Client) writeOne(env transport.Env, s int, payload []byte, mkReq func(int, []byte) []byte, seg, window int64, seq uint64) error {
-	total := int64(len(payload))
-	if total <= seg {
-		req := mkReq(s, payload)
-		_, err := c.exchange(env, s, req, int64(len(req))-total, total, seq)
+// writeFanout is writeAll's replicated path: one sibling thread per
+// (group, member), every member receiving its group's full payload.
+// Every reachable member must ack. A member that exhausts its retries
+// with connection-class failures is abandoned — marked suspect, its
+// copy left for the wipe+repair path to rebuild — as long as at least
+// one copy of the group's data landed; if a whole group is
+// unreachable, or any member rejects the request outright, the
+// operation fails. Writes to an already-suspected member probe with a
+// single attempt, so a dead server taxes each write one instant dial
+// failure instead of a retry ladder.
+//
+// Consistency note: abandoning a member is only safe because a member
+// that missed acks while unreachable can only rejoin service through
+// the kill path (wipe, then re-replicate from a surviving peer). A
+// plain crash-restart shorter than the retry ladder is ridden out by
+// the retries themselves, exactly as in the unreplicated client.
+func (c *Client) writeFanout(env transport.Env, groups []int, payloads [][]byte, mkReq func(g, member int, data []byte) []byte, seg, window int64, seq uint64) error {
+	k := c.k()
+	for _, g := range groups {
+		for j := 0; j < k; j++ {
+			if !c.isSuspect(env, c.phys(g, j)) {
+				_, _ = c.conn(env, c.phys(g, j))
+			}
+		}
+	}
+	errs := make([][]error, len(groups))
+	fns := make([]func(transport.Env) error, 0, len(groups)*k)
+	for gi, g := range groups {
+		errs[gi] = make([]error, k)
+		gi, g := gi, g
+		for j := 0; j < k; j++ {
+			j := j
+			fns = append(fns, func(env transport.Env) error {
+				phys := c.phys(g, j)
+				attempts := 0 // retry-policy default
+				if c.isSuspect(env, phys) {
+					attempts = 1
+				}
+				err := c.writeOne(env, g, j, payloads[g], mkReq, seg, window, seq, attempts)
+				if err == nil {
+					c.clearSuspect(phys)
+				} else if retryable(err) {
+					c.markSuspect(env, phys)
+				}
+				errs[gi][j] = err
+				return nil
+			})
+		}
+	}
+	if err := env.Parallel("pvfs-write-fanout", fns...); err != nil {
 		return err
 	}
-	return c.writeStream(env, s, payload, mkReq(s, nil), seg, window, seq)
+	st := c.stats()
+	for gi := range groups {
+		acked := 0
+		var connErr error
+		for j := 0; j < k; j++ {
+			switch e := errs[gi][j]; {
+			case e == nil:
+				acked++
+			case !retryable(e):
+				return e
+			default:
+				connErr = e
+			}
+		}
+		if acked == 0 {
+			return connErr
+		}
+		if st != nil {
+			for x := 1; x < acked; x++ {
+				st.AddFanoutWrite()
+			}
+		}
+	}
+	return nil
+}
+
+// writeOne performs one member's write: inline when the payload fits a
+// single segment, streamed otherwise. attempts overrides the retry
+// policy's budget when nonzero.
+func (c *Client) writeOne(env transport.Env, g, member int, payload []byte, mkReq func(int, int, []byte) []byte, seg, window int64, seq uint64, attempts int) error {
+	phys := c.phys(g, member)
+	total := int64(len(payload))
+	if c.DisableStreaming || total <= seg {
+		req := mkReq(g, member, payload)
+		_, err := c.exchangeN(env, phys, req, int64(len(req))-total, total, seq, attempts)
+		return err
+	}
+	return c.writeStream(env, phys, payload, mkReq(g, member, nil), seg, window, seq, attempts, c.k() == 1)
 }
 
 // writeStream sends one server's payload as a flow-controlled segment
-// stream, retrying per c.Retry. A failed attempt resumes from the last
+// stream, retrying per c.Retry (or the explicit attempts budget when
+// nonzero). When resumable, a failed attempt resumes from the last
 // acknowledged segment: ack a proves every segment before a reached the
 // disk (the server flushes segment k's runs before receiving k+1 and
 // acks k on receipt), so the retry re-sends the header with StartSeg=a
@@ -883,8 +1177,15 @@ func (c *Client) writeOne(env transport.Env, s int, payload []byte, mkReq func(i
 // been applied; re-writing the same bytes is idempotent, and the
 // server's replay cache catches the case where the whole write finished
 // and only the response was lost.
-func (c *Client) writeStream(env transport.Env, s int, payload, inner []byte, seg, window int64, seq uint64) error {
-	attempts := c.Retry.Attempts
+//
+// Replicated writes pass resumable=false: a member wiped by a kill
+// mid-stream lost its acknowledged prefix, so every retry restarts
+// from segment 0 (still idempotent, and a fully-applied duplicate is
+// suppressed by the replay ring).
+func (c *Client) writeStream(env transport.Env, s int, payload, inner []byte, seg, window int64, seq uint64, attempts int, resumable bool) error {
+	if attempts < 1 {
+		attempts = c.Retry.Attempts
+	}
 	if attempts < 1 {
 		attempts = 1
 	}
@@ -907,7 +1208,7 @@ func (c *Client) writeStream(env transport.Env, s int, payload, inner []byte, se
 			}
 			return nil
 		}
-		if next > resume {
+		if next > resume && resumable {
 			resume = next
 		}
 		if !retryable(err) {
@@ -1020,11 +1321,9 @@ func (f *File) ReadContig(env transport.Env, off int64, buf []byte) error {
 	defer f.c.clearOp()
 	tag := f.c.tag()
 	servers := f.involvedServers(func(emit func(off, n int64)) { emit(off, n) })
-	reqs := make([][]byte, len(servers))
-	for i, s := range servers {
-		reqs[i] = wire.EncodeContig(&wire.ContigReq{Tag: tag, Layout: f.wireLayout(s), Off: off, N: n}, false)
-	}
-	resps, err := f.c.sendRecv(env, servers, reqs, nil, tag.Seq)
+	resps, err := f.sendRecvRead(env, off, servers, func(g, m int) []byte {
+		return wire.EncodeContig(&wire.ContigReq{Tag: tag, Layout: f.wireLayoutAt(g, m), Off: off, N: n}, false)
+	}, tag.Seq)
 	if err != nil {
 		return err
 	}
@@ -1088,9 +1387,9 @@ func (f *File) WriteContig(env transport.Env, off int64, data []byte) error {
 		payloads[s] = payload
 	}
 	tag := f.c.tag()
-	err := f.c.writeAll(env, servers, payloads, func(s int, data []byte) []byte {
+	err := f.c.writeAll(env, servers, payloads, func(g, m int, data []byte) []byte {
 		return wire.EncodeContig(&wire.ContigReq{
-			Tag: tag, Layout: f.wireLayout(s), Off: off, N: n, Data: data,
+			Tag: tag, Layout: f.wireLayoutAt(g, m), Off: off, N: n, Data: data,
 		}, true)
 	}, tag.Seq)
 	if err != nil {
@@ -1250,15 +1549,15 @@ func (f *File) ReadList(env transport.Env, fileRegions, memRegions []flatten.Reg
 	tag := f.c.tag()
 	perServer := f.splitRegions(fileRegions)
 	var servers []int
-	var reqs [][]byte
 	for s, regs := range perServer {
 		if regs == nil {
 			continue
 		}
 		servers = append(servers, s)
-		reqs = append(reqs, wire.EncodeListIO(&wire.ListIOReq{Tag: tag, Layout: f.wireLayout(s), Regions: regs}, false))
 	}
-	resps, err := f.c.sendRecv(env, servers, reqs, nil, tag.Seq)
+	resps, err := f.sendRecvRead(env, fileRegions[0].Off, servers, func(g, m int) []byte {
+		return wire.EncodeListIO(&wire.ListIOReq{Tag: tag, Layout: f.wireLayoutAt(g, m), Regions: perServer[g]}, false)
+	}, tag.Seq)
 	if err != nil {
 		return err
 	}
@@ -1345,9 +1644,9 @@ func (f *File) WriteList(env transport.Env, fileRegions, memRegions []flatten.Re
 		servers = append(servers, s)
 	}
 	tag := f.c.tag()
-	err = f.c.writeAll(env, servers, bufs, func(s int, data []byte) []byte {
+	err = f.c.writeAll(env, servers, bufs, func(g, m int, data []byte) []byte {
 		return wire.EncodeListIO(&wire.ListIOReq{
-			Tag: tag, Layout: f.wireLayout(s), Regions: perServer[s], Data: data,
+			Tag: tag, Layout: f.wireLayoutAt(g, m), Regions: perServer[g], Data: data,
 		}, true)
 	}, tag.Seq)
 	if err != nil {
@@ -1432,10 +1731,10 @@ func (f *File) dtypeOp(env transport.Env, a *DtypeAccess, write bool) error {
 	o.sp.SetAttr("tiles", tiles)
 	loopBytes := a.FileLoop.Encode(nil)
 	tag := f.c.tag()
-	mkReq := func(s int, data []byte) []byte {
+	mkReq := func(g, m int, data []byte) []byte {
 		return wire.EncodeDtype(&wire.DtypeReq{
 			Tag:        tag,
-			Layout:     f.wireLayout(s),
+			Layout:     f.wireLayoutAt(g, m),
 			Loop:       loopBytes,
 			Count:      tiles,
 			Disp:       a.Disp,
@@ -1482,10 +1781,6 @@ func (f *File) dtypeOp(env transport.Env, a *DtypeAccess, write bool) error {
 		f.c.endOp(env, o, nbytes)
 		return nil
 	}
-	reqs := make([][]byte, len(servers))
-	for i, s := range servers {
-		reqs[i] = mkReq(s, nil)
-	}
 	// Pre-count pieces so the scatter's job-build CPU can be charged
 	// overlapped with the transfer: real clients scatter each flow
 	// buffer as it arrives.
@@ -1500,7 +1795,9 @@ func (f *File) dtypeOp(env transport.Env, a *DtypeAccess, write bool) error {
 	}
 	cpu := f.c.cost.PerRegionClient * time.Duration(pieces)
 	err = env.Overlap(cpu, func() error {
-		resps, err := f.c.sendRecv(env, servers, reqs, nil, tag.Seq)
+		resps, err := f.sendRecvRead(env, a.Disp+a.Pos, servers, func(g, m int) []byte {
+			return mkReq(g, m, nil)
+		}, tag.Seq)
 		if err != nil {
 			return err
 		}
@@ -1547,12 +1844,12 @@ func (f *File) Size(env transport.Env) (int64, error) {
 	}
 	tag := f.c.tag()
 	servers := make([]int, f.layout.NServers)
-	reqs := make([][]byte, f.layout.NServers)
-	for i := 0; i < f.layout.NServers; i++ {
+	for i := range servers {
 		servers[i] = i
-		reqs[i] = wire.EncodeLocalSize(&wire.LocalSizeReq{Tag: tag, Layout: f.wireLayout(i)})
 	}
-	resps, err := f.c.sendRecv(env, servers, reqs, nil, tag.Seq)
+	resps, err := f.sendRecvRead(env, 0, servers, func(g, m int) []byte {
+		return wire.EncodeLocalSize(&wire.LocalSizeReq{Tag: tag, Layout: f.wireLayoutAt(g, m)})
+	}, tag.Seq)
 	if err != nil {
 		return 0, err
 	}
@@ -1575,14 +1872,16 @@ func (f *File) Truncate(env transport.Env, size int64) error {
 		}
 	}
 	tag := f.c.tag()
-	servers := make([]int, f.layout.NServers)
-	reqs := make([][]byte, f.layout.NServers)
-	for i := 0; i < f.layout.NServers; i++ {
-		servers[i] = i
-		reqs[i] = wire.EncodeTruncate(&wire.TruncateReq{Tag: tag, Layout: f.wireLayout(i), Size: size})
+	groups := make([]int, f.layout.NServers)
+	for i := range groups {
+		groups[i] = i
 	}
-	_, err := f.c.sendRecv(env, servers, reqs, nil, tag.Seq)
-	return err
+	// Truncation mutates every replica member, so it rides the write
+	// fan-out path (with no payload to carry).
+	return f.c.writeAll(env, groups, make([][]byte, f.layout.NServers),
+		func(g, m int, _ []byte) []byte {
+			return wire.EncodeTruncate(&wire.TruncateReq{Tag: tag, Layout: f.wireLayoutAt(g, m), Size: size})
+		}, tag.Seq)
 }
 
 // Admin sends a fault-administration request to I/O server s: stall,

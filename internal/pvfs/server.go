@@ -4,11 +4,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"dtio/internal/cache"
 	"dtio/internal/dataloop"
 	"dtio/internal/flatten"
 	"dtio/internal/iostats"
@@ -94,6 +96,25 @@ type Server struct {
 	diskScale  atomic.Int64
 	dedup      map[uint64]*clientHistory
 
+	// Replica repair state (DESIGN.md §16). ReplicaPeers lists the
+	// addresses of this server's group siblings; after a Kill (crash
+	// with data loss) the restart comes back empty and re-replicates
+	// every object from the first reachable peer. While repairing, the
+	// member refuses replicated reads (clients fail over to surviving
+	// peers) but accepts writes, recording their physical ranges in
+	// written so the background copy never clobbers post-restart data.
+	ReplicaPeers []string
+	wipe         bool                      // set by Kill: next restart loses all objects
+	repairing    bool                      // rebuilding from peers; guarded by mu
+	repairLive   atomic.Bool               // lock-free mirror of repairing for hot paths
+	incarnation  uint64                    // bumped on every wiped restart
+	written      map[uint64]cache.RangeSet // physical ranges written since the wipe
+	// pendingWrites counts write-class requests currently being
+	// serviced. Reported to rebuilding group peers in ReplicaListResp:
+	// a repair pass is only final once the source reports none in
+	// flight, so a write racing the copy forces another pass.
+	pendingWrites atomic.Int64
+
 	// loopCache memoizes decoded dataloops AND their compiled run
 	// programs by wire bytes: the datatype-caching extension the paper's
 	// §5 proposes ("datatype caching ... could boost the performance of
@@ -171,7 +192,9 @@ func NewServer(net transport.Network, addr string, index int, cost CostModel) *S
 // injected locally or by an admin request) makes the current incarnation
 // return; Serve then waits out the downtime and listens again, which is
 // exactly a daemon restart — local objects persist across it, standing
-// in for the server's disk.
+// in for the server's disk. A Kill restart instead comes back empty (a
+// blank spare replacing a dead machine) and, when the server has
+// replica peers, starts background re-replication from its group.
 func (s *Server) Serve(env transport.Env) error {
 	for {
 		if err := s.serveOnce(env); err != nil {
@@ -184,9 +207,25 @@ func (s *Server) Serve(env transport.Env) error {
 		sleepBoth(env, down)
 		s.mu.Lock()
 		closed := s.closed
+		wiped := s.wipe && !closed
+		if wiped {
+			s.wipe = false
+			s.objects = make(map[uint64]storage.Store)
+			s.dedup = nil // the at-most-once history died with the data
+			s.written = nil
+			s.incarnation++
+			if len(s.ReplicaPeers) > 0 {
+				s.repairing = true
+				s.repairLive.Store(true)
+			}
+		}
+		inc := s.incarnation
 		s.mu.Unlock()
 		if closed {
 			return nil
+		}
+		if wiped && len(s.ReplicaPeers) > 0 {
+			env.Go("replica-repair", func(env transport.Env) { s.runRepair(env, inc) })
 		}
 	}
 }
@@ -297,6 +336,18 @@ func (s *Server) Crash(down time.Duration) {
 	for _, c := range conns {
 		c.c.Close()
 	}
+}
+
+// Kill simulates permanent server death followed by a blank spare at
+// the same address: a Crash whose restart loses every local object
+// (fault.Kill, wire.AdminKill). Unreplicated data is simply gone —
+// reads return holes; with replica peers configured the restart
+// re-builds the member from its surviving group (DESIGN.md §16).
+func (s *Server) Kill(down time.Duration) {
+	s.mu.Lock()
+	s.wipe = true
+	s.mu.Unlock()
+	s.Crash(down)
 }
 
 // takeRestart consumes a pending crash-restart downtime.
@@ -425,11 +476,22 @@ func (s *Server) remember(tag wire.ReqTag, resp []byte) {
 	h.pos = (h.pos + 1) % dedupPerClient
 }
 
-// layoutOf validates and converts the wire layout.
+// layoutOf validates and converts the wire layout. Unreplicated files
+// address cluster servers directly; replicated ones address (group,
+// member) pairs, with group g's member j living at physical server
+// g*k + j, so the striping math below stays in group space either way.
 func (s *Server) layoutOf(l wire.FileLayout) (striping.Layout, error) {
 	lay := striping.Layout{StripSize: l.StripSize, NServers: int(l.NServers), Base: int(l.Base)}
 	if err := lay.Validate(); err != nil {
 		return lay, err
+	}
+	if l.Replicas > 1 {
+		if l.Member < 0 || l.Member >= l.Replicas || int(l.ServerIdx) >= int(l.NServers) ||
+			int(l.ServerIdx)*int(l.Replicas)+int(l.Member) != s.index {
+			return lay, fmt.Errorf("request for group %d/%d member %d/%d arrived at cluster server %d",
+				l.ServerIdx, l.NServers, l.Member, l.Replicas, s.index)
+		}
+		return lay, nil
 	}
 	// A file's server list is cluster servers 0..NServers-1, so a
 	// participating server's index within the file equals its cluster
@@ -439,6 +501,31 @@ func (s *Server) layoutOf(l wire.FileLayout) (striping.Layout, error) {
 			l.ServerIdx, l.NServers, s.index)
 	}
 	return lay, nil
+}
+
+// repairGate refuses a replicated read while this member is rebuilding
+// — its bytes are incomplete, and the client's failover path fetches
+// them from a surviving peer. Unreplicated requests pass: their data
+// has no other copy, so holes are the honest answer. Returns nil when
+// the request may proceed.
+func (s *Server) repairGate(l wire.FileLayout, seq uint64) []byte {
+	if l.Replicas <= 1 || !s.repairLive.Load() {
+		return nil
+	}
+	return ioErrSeq(seq, "server %d repairing", s.index)
+}
+
+// noteWrite records a physical range written while repairing, so the
+// background copy never overwrites post-restart client data.
+func (s *Server) noteWrite(handle uint64, off, n int64) {
+	s.mu.Lock()
+	if s.repairing {
+		if s.written == nil {
+			s.written = make(map[uint64]cache.RangeSet)
+		}
+		s.written[handle] = s.written[handle].Add(off, n)
+	}
+	s.mu.Unlock()
 }
 
 // tagOf extracts the request tag carried by a decoded I/O request (zero
@@ -491,8 +578,18 @@ func (s *Server) handle(env transport.Env, conn transport.Conn, msg []byte) ([]b
 // parent to it.
 func (s *Server) dispatch(env transport.Env, conn transport.Conn, t wire.MsgType, v any, sp *trace.Span) ([]byte, error) {
 	switch t {
+	case wire.MTWriteContigReq, wire.MTWriteListReq, wire.MTWriteDtypeReq,
+		wire.MTWriteStreamHdr, wire.MTTruncateReq:
+		s.pendingWrites.Add(1)
+		defer s.pendingWrites.Add(-1)
+	}
+	switch t {
 	case wire.MTReadContigReq:
-		return s.contig(env, conn, v.(*wire.ContigReq), nil, sp)
+		r := v.(*wire.ContigReq)
+		if resp := s.repairGate(r.Layout, r.Tag.Seq); resp != nil {
+			return resp, nil
+		}
+		return s.contig(env, conn, r, nil, sp)
 	case wire.MTWriteContigReq:
 		r := v.(*wire.ContigReq)
 		if cached, ok := s.replay(r.Tag); ok {
@@ -506,7 +603,11 @@ func (s *Server) dispatch(env transport.Env, conn transport.Conn, t wire.MsgType
 		s.remember(r.Tag, resp)
 		return resp, err
 	case wire.MTReadListReq:
-		return s.list(env, conn, v.(*wire.ListIOReq), nil, sp)
+		r := v.(*wire.ListIOReq)
+		if resp := s.repairGate(r.Layout, r.Tag.Seq); resp != nil {
+			return resp, nil
+		}
+		return s.list(env, conn, r, nil, sp)
 	case wire.MTWriteListReq:
 		r := v.(*wire.ListIOReq)
 		if cached, ok := s.replay(r.Tag); ok {
@@ -520,7 +621,11 @@ func (s *Server) dispatch(env transport.Env, conn transport.Conn, t wire.MsgType
 		s.remember(r.Tag, resp)
 		return resp, err
 	case wire.MTReadDtypeReq:
-		return s.dtype(env, conn, v.(*wire.DtypeReq), nil, sp)
+		r := v.(*wire.DtypeReq)
+		if resp := s.repairGate(r.Layout, r.Tag.Seq); resp != nil {
+			return resp, nil
+		}
+		return s.dtype(env, conn, r, nil, sp)
 	case wire.MTWriteDtypeReq:
 		r := v.(*wire.DtypeReq)
 		if cached, ok := s.replay(r.Tag); ok {
@@ -537,6 +642,9 @@ func (s *Server) dispatch(env transport.Env, conn transport.Conn, t wire.MsgType
 		return s.streamedWrite(env, conn, v.(*wire.WriteStreamHdr), sp)
 	case wire.MTLocalSizeReq:
 		r := v.(*wire.LocalSizeReq)
+		if resp := s.repairGate(r.Layout, r.Tag.Seq); resp != nil {
+			return resp, nil // size is a read: a rebuilding object undercounts
+		}
 		if _, err := s.layoutOf(r.Layout); err != nil {
 			return ioErrSeq(r.Tag.Seq, "%v", err), nil
 		}
@@ -559,6 +667,12 @@ func (s *Server) dispatch(env transport.Env, conn transport.Conn, t wire.MsgType
 		return wire.EncodeIOResp(&wire.IOResp{Seq: r.Tag.Seq, OK: true}), nil
 	case wire.MTAdminReq:
 		return s.admin(env, conn, v.(*wire.AdminReq))
+	case wire.MTReplicaListReq:
+		return s.replicaList(), nil
+	case wire.MTReplicaFetchReq:
+		return s.replicaFetch(v.(*wire.ReplicaFetchReq)), nil
+	case wire.MTReplicaSumReq:
+		return s.replicaSums(v.(*wire.ReplicaSumReq)), nil
 	default:
 		return ioErr("unexpected message %s", t), nil
 	}
@@ -595,6 +709,7 @@ type ServerSnapshot struct {
 	CacheMisses     int64                `json:"loop_cache_misses"`
 	CacheEvictions  int64                `json:"loop_cache_evictions"`
 	CompiledReplays int64                `json:"compiled_replays"`
+	Repairing       bool                 `json:"repairing,omitempty"`
 }
 
 // StatsSnapshot assembles the live introspection state an AdminStats
@@ -615,6 +730,7 @@ func (s *Server) StatsSnapshot() ServerSnapshot {
 	cs := s.LoopCacheStats()
 	snap.CacheHits, snap.CacheMisses, snap.CacheEvictions = cs.Hits, cs.Misses, cs.Evictions
 	snap.CompiledReplays = s.CompiledReplays()
+	snap.Repairing = s.repairLive.Load()
 	return snap
 }
 
@@ -640,9 +756,312 @@ func (s *Server) admin(env transport.Env, conn transport.Conn, r *wire.AdminReq)
 		conn.Send(env, wire.EncodeIOResp(&wire.IOResp{OK: true}))
 		s.Crash(time.Duration(r.Dur))
 		return nil, errors.New("pvfs: crashed by admin request")
+	case wire.AdminKill:
+		conn.Send(env, wire.EncodeIOResp(&wire.IOResp{OK: true}))
+		s.Kill(time.Duration(r.Dur))
+		return nil, errors.New("pvfs: killed by admin request")
 	default:
 		return ioErr("unknown admin op %d", r.Op), nil
 	}
+}
+
+// repairChunkBytes bounds one repair fetch, so rebuilding a large
+// member pulls bounded frames instead of whole objects.
+const repairChunkBytes = 256 * 1024
+
+// repairRecvTimeout bounds each wait for a peer's repair response.
+const repairRecvTimeout = 2 * time.Second
+
+// replicaList answers a peer's MTReplicaListReq with this member's
+// local objects. A member that is itself mid-repair refuses, so a
+// rebuild never copies from an incomplete source.
+func (s *Server) replicaList() []byte {
+	s.mu.Lock()
+	if s.repairing {
+		s.mu.Unlock()
+		return wire.EncodeReplicaListResp(&wire.ReplicaListResp{Err: fmt.Sprintf("server %d repairing", s.index)})
+	}
+	handles := make([]uint64, 0, len(s.objects))
+	for h := range s.objects {
+		handles = append(handles, h)
+	}
+	s.mu.Unlock()
+	sort.Slice(handles, func(i, j int) bool { return handles[i] < handles[j] })
+	resp := &wire.ReplicaListResp{OK: true, Pending: s.pendingWrites.Load(),
+		Handles: handles, Sizes: make([]int64, len(handles))}
+	for i, h := range handles {
+		resp.Sizes[i] = s.object(h).Size()
+	}
+	return wire.EncodeReplicaListResp(resp)
+}
+
+// replicaSums answers a peer's MTReplicaSumReq with per-chunk FNV-1a
+// checksums of one local object's physical bytes. A rebuilding peer
+// diffs consecutive sweeps: only chunks whose checksum changed (or
+// were never copied) are re-fetched, so stabilization passes cost
+// traffic proportional to churn, not object size.
+func (s *Server) replicaSums(r *wire.ReplicaSumReq) []byte {
+	s.mu.Lock()
+	if s.repairing {
+		s.mu.Unlock()
+		return wire.EncodeReplicaSumResp(&wire.ReplicaSumResp{Err: fmt.Sprintf("server %d repairing", s.index)})
+	}
+	st := s.objects[r.Handle]
+	s.mu.Unlock()
+	resp := &wire.ReplicaSumResp{OK: true}
+	if st == nil {
+		return wire.EncodeReplicaSumResp(resp)
+	}
+	size := st.Size()
+	buf := make([]byte, repairChunkBytes)
+	for off := int64(0); off < size; off += repairChunkBytes {
+		n := size - off
+		if n > repairChunkBytes {
+			n = repairChunkBytes
+		}
+		if err := st.ReadAt(buf[:n], off); err != nil {
+			return wire.EncodeReplicaSumResp(&wire.ReplicaSumResp{Err: fmt.Sprintf("sum read: %v", err)})
+		}
+		h := fnv.New64a()
+		h.Write(buf[:n])
+		resp.Sums = append(resp.Sums, h.Sum64())
+	}
+	return wire.EncodeReplicaSumResp(resp)
+}
+
+// replicaFetch serves one bounded piece of a local object's physical
+// byte space to a rebuilding peer.
+func (s *Server) replicaFetch(r *wire.ReplicaFetchReq) []byte {
+	if r.Off < 0 || r.N < 0 || r.N > repairChunkBytes {
+		return ioErr("bad repair fetch off=%d n=%d", r.Off, r.N)
+	}
+	st := s.object(r.Handle)
+	n := r.N
+	if sz := st.Size(); r.Off+n > sz {
+		n = sz - r.Off
+		if n < 0 {
+			n = 0
+		}
+	}
+	buf := make([]byte, n)
+	if err := st.ReadAt(buf, r.Off); err != nil {
+		return ioErr("repair read: %v", err)
+	}
+	return wire.EncodeIOResp(&wire.IOResp{OK: true, Size: n, Data: buf})
+}
+
+// stale reports whether a repair goroutine belongs to a dead
+// incarnation (the server was wiped again, or closed for good).
+func (s *Server) stale(inc uint64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed || s.incarnation != inc
+}
+
+// runRepair rebuilds this member from its first reachable group peer,
+// then lifts the repair gate. Sweeps retry until a peer serves a full
+// copy (peers may be down or themselves repairing); the sweep cap only
+// bounds pathological clusters where no peer ever comes back — the
+// member then stays degraded, which reads already tolerate.
+func (s *Server) runRepair(env transport.Env, inc uint64) {
+	for sweep := 0; sweep < 500; sweep++ {
+		if s.stale(inc) {
+			return
+		}
+		for _, addr := range s.ReplicaPeers {
+			if s.repairFrom(env, addr, inc) {
+				s.mu.Lock()
+				if s.incarnation == inc {
+					s.repairing = false
+					s.written = nil
+					s.repairLive.Store(false)
+				}
+				s.mu.Unlock()
+				return
+			}
+		}
+		sleepBoth(env, 2*time.Millisecond)
+	}
+}
+
+// repairMaxPasses bounds the stabilization loop. Under sustained
+// client writes a pass may never see a quiet peer; after this many
+// sweeps the member lifts the gate anyway — by then every copied range
+// is one the fan-out path is also keeping current, so accepting the
+// last sweep narrows the exposure to in-flight pre-restart stragglers.
+const repairMaxPasses = 64
+
+// repairFrom copies every object a peer holds onto this member,
+// skipping ranges clients wrote since the restart (those are already
+// newer than anything the peer can serve), then keeps sweeping until a
+// pass finds the peer quiet: no write requests in flight and every
+// chunk checksum unchanged since the previous sweep. The loop closes
+// the divergence race where a write abandoned on this (then-dead)
+// member was still in flight to the peer when an earlier sweep read
+// past its range — the late write flips a checksum, and the next sweep
+// re-fetches exactly that chunk. Reports whether the copy completed
+// and stabilized.
+func (s *Server) repairFrom(env transport.Env, addr string, inc uint64) bool {
+	conn, err := s.net.Dial(env, addr)
+	if err != nil {
+		return false
+	}
+	defer conn.Close()
+	prev := make(map[uint64][]uint64)
+	for pass := 0; pass < repairMaxPasses; pass++ {
+		if s.stale(inc) {
+			return false
+		}
+		list, ok := s.repairList(env, conn)
+		if !ok {
+			return false
+		}
+		cur := make(map[uint64][]uint64, len(list.Handles))
+		for _, h := range list.Handles {
+			sums, ok := s.repairSums(env, conn, h)
+			if !ok {
+				return false
+			}
+			cur[h] = sums
+		}
+		if pass > 0 && list.Pending == 0 && sumsStable(prev, cur) {
+			return true
+		}
+		for _, h := range list.Handles {
+			for ci, sum := range cur[h] {
+				if old := prev[h]; ci < len(old) && old[ci] == sum {
+					continue // copied last sweep and unchanged since
+				}
+				if s.stale(inc) {
+					return false
+				}
+				if !s.repairChunk(env, conn, h, int64(ci)*repairChunkBytes, inc) {
+					return false
+				}
+			}
+		}
+		prev = cur
+		sleepBoth(env, 2*time.Millisecond)
+	}
+	return true
+}
+
+// repairList asks the repair peer for its object list and in-flight
+// write count.
+func (s *Server) repairList(env transport.Env, conn transport.Conn) (*wire.ReplicaListResp, bool) {
+	if err := conn.Send(env, wire.EncodeReplicaList()); err != nil {
+		return nil, false
+	}
+	msg, err := transport.RecvTimeout(env, conn, repairRecvTimeout)
+	if err != nil {
+		return nil, false
+	}
+	_, v, err := wire.DecodeMsg(msg)
+	if err != nil {
+		return nil, false
+	}
+	list, ok := v.(*wire.ReplicaListResp)
+	if !ok || !list.OK || len(list.Handles) != len(list.Sizes) {
+		return nil, false
+	}
+	return list, true
+}
+
+// repairSums asks the repair peer for one object's chunk checksums.
+func (s *Server) repairSums(env transport.Env, conn transport.Conn, h uint64) ([]uint64, bool) {
+	if err := conn.Send(env, wire.EncodeReplicaSum(&wire.ReplicaSumReq{Handle: h})); err != nil {
+		return nil, false
+	}
+	msg, err := transport.RecvTimeout(env, conn, repairRecvTimeout)
+	if err != nil {
+		return nil, false
+	}
+	_, v, err := wire.DecodeMsg(msg)
+	if err != nil {
+		return nil, false
+	}
+	resp, ok := v.(*wire.ReplicaSumResp)
+	if !ok || !resp.OK {
+		return nil, false
+	}
+	return resp.Sums, true
+}
+
+// sumsStable reports whether two consecutive checksum sweeps saw
+// identical peer content (same objects, same chunks, same sums).
+func sumsStable(prev, cur map[uint64][]uint64) bool {
+	if len(prev) != len(cur) {
+		return false
+	}
+	for h, cs := range cur {
+		ps, ok := prev[h]
+		if !ok || len(ps) != len(cs) {
+			return false
+		}
+		for i := range cs {
+			if ps[i] != cs[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// repairChunk fetches one repair-chunk-sized piece of a peer object
+// and applies it locally, skipping ranges clients wrote since the
+// restart. Reports false only on transport or store failure (a short
+// or empty fetch — the peer's object shrank — is fine).
+func (s *Server) repairChunk(env transport.Env, conn transport.Conn, h uint64, off int64, inc uint64) bool {
+	if err := conn.Send(env, wire.EncodeReplicaFetch(&wire.ReplicaFetchReq{Handle: h, Off: off, N: repairChunkBytes})); err != nil {
+		return false
+	}
+	msg, err := transport.RecvTimeout(env, conn, repairRecvTimeout)
+	if err != nil {
+		return false
+	}
+	_, v, err := wire.DecodeMsg(msg)
+	if err != nil {
+		return false
+	}
+	resp, ok := v.(*wire.IOResp)
+	if !ok || !resp.OK {
+		return false
+	}
+	if len(resp.Data) == 0 {
+		return true // the peer's object shrank; nothing to copy here
+	}
+	// Apply only the parts no client re-wrote since the restart, under
+	// mu so a concurrent write cannot slip between the written-set check
+	// and the store write and then be clobbered by stale peer bytes
+	// (noteWrite precedes the client's store write, so whichever side
+	// takes mu second wins correctly).
+	s.mu.Lock()
+	if s.closed || s.incarnation != inc {
+		s.mu.Unlock()
+		return false
+	}
+	todo := cache.RangeSet{}.Add(off, int64(len(resp.Data)))
+	for _, w := range s.written[h] {
+		todo = todo.Sub(w.Off, w.N)
+	}
+	st := s.objects[h]
+	if st == nil {
+		st = s.NewStore(h)
+		s.objects[h] = st
+	}
+	var copied int64
+	var werr error
+	for _, reg := range todo {
+		if werr = st.WriteAt(resp.Data[reg.Off-off:reg.End()-off], reg.Off); werr != nil {
+			break
+		}
+		copied += reg.N
+	}
+	s.mu.Unlock()
+	if s.Stats != nil && copied > 0 {
+		s.Stats.AddRepair(copied)
+	}
+	return werr == nil
 }
 
 // streamedWrite unwraps a streamed write request and dispatches it with
@@ -733,16 +1152,20 @@ type regionsFn func(emit func(off, n int64) error) error
 // seek-aware disk cost. An inline payload dispatches as one batch; a
 // streamed one dispatches a batch at every flow-control segment
 // boundary, before the segment buffer is reused.
-func (s *Server) applyWrite(env transport.Env, lay striping.Layout, idx int, st storage.Store, regions regionsFn, src *writeSrc, seq uint64, sp *trace.Span) ([]byte, error) {
+func (s *Server) applyWrite(env transport.Env, lay striping.Layout, idx int, handle uint64, st storage.Store, regions regionsFn, src *writeSrc, seq uint64, sp *trace.Span) ([]byte, error) {
 	sd := s.newSched(true)
 	defer putSched(sd)
 	if src.stream != nil {
 		src.flush = func(env transport.Env) error { return s.flushTraced(env, sd, st, sp) }
 	}
+	repairing := s.repairLive.Load()
 	var nPieces int64
 	err := regions(func(off, n int64) error {
 		var inner error
 		lay.ServerPieces(idx, off, n, func(phys, _, ln int64) bool {
+			if repairing {
+				s.noteWrite(handle, phys, ln)
+			}
 			for rem := ln; rem > 0; {
 				b, skipped, e := src.next(env, rem)
 				if e != nil {
@@ -858,7 +1281,7 @@ func (s *Server) contig(env transport.Env, conn transport.Conn, r *wire.ContigRe
 		return emit(r.Off, r.N)
 	}
 	if src != nil {
-		return s.applyWrite(env, lay, idx, st, regions, src, seq, sp)
+		return s.applyWrite(env, lay, idx, r.Layout.Handle, st, regions, src, seq, sp)
 	}
 	return s.readReply(env, conn, lay, idx, st, regions, seq, sp)
 }
@@ -884,7 +1307,7 @@ func (s *Server) list(env transport.Env, conn transport.Conn, r *wire.ListIOReq,
 		return nil
 	}
 	if src != nil {
-		return s.applyWrite(env, lay, idx, st, regions, src, seq, sp)
+		return s.applyWrite(env, lay, idx, r.Layout.Handle, st, regions, src, seq, sp)
 	}
 	return s.readReply(env, conn, lay, idx, st, regions, seq, sp)
 }
@@ -1032,7 +1455,7 @@ func (s *Server) dtype(env transport.Env, conn transport.Conn, r *wire.DtypeReq,
 		}
 	}
 	if src != nil {
-		return s.applyWrite(env, lay, idx, st, regions, src, seq, sp)
+		return s.applyWrite(env, lay, idx, r.Layout.Handle, st, regions, src, seq, sp)
 	}
 	return s.readReply(env, conn, lay, idx, st, regions, seq, sp)
 }

@@ -1,0 +1,197 @@
+// Package replica organizes the I/O servers into k-way replica groups
+// layered *under* the striping math (DESIGN.md §16). The striping
+// layout is computed over replica groups, not physical servers: a
+// layout with NServers = G addresses groups 0..G-1, and each group g
+// owns k consecutive physical servers g*k .. g*k+k-1. Every stripe
+// piece the striping math assigns to group g is written to all k
+// members and may be read from any one of them.
+//
+// The placement is pure arithmetic — no directory, no membership
+// protocol. A killed server changes which members are *live*, never
+// which group a piece belongs to, so repair is "copy the group's
+// pieces back onto the same slot", and k=1 collapses to the identity:
+// group i is exactly server i, byte-identical to the pre-replication
+// layout.
+//
+// Read placement goes through a Picker. The default is rendezvous
+// (highest-random-weight) hashing over (handle, offset window, member)
+// — deterministic, stateless, and uniform across members — mirroring
+// the shard package's name routing. A least-loaded picker is also
+// provided, fed by per-server outstanding-request counts (the same
+// signal the PR5 server histograms expose), with rendezvous order as
+// the tie-break so it degenerates to the default when idle.
+package replica
+
+import "sync/atomic"
+
+// Map describes a static replica placement: G groups of K consecutive
+// physical servers. The zero value is invalid; use NewMap.
+type Map struct {
+	groups int
+	k      int
+}
+
+// NewMap builds a placement of `groups` replica groups of size k.
+// k < 1 is treated as 1 (no replication).
+func NewMap(groups, k int) Map {
+	if groups < 1 {
+		panic("replica: no groups")
+	}
+	if k < 1 {
+		k = 1
+	}
+	return Map{groups: groups, k: k}
+}
+
+// Groups reports the group count — the NServers the striping math sees.
+func (m Map) Groups() int { return m.groups }
+
+// K reports the replication factor.
+func (m Map) K() int { return m.k }
+
+// Servers reports the physical server count (groups × k).
+func (m Map) Servers() int { return m.groups * m.k }
+
+// Member reports the physical server index of member j of group g.
+func (m Map) Member(g, j int) int { return g*m.k + j }
+
+// Members returns group g's physical server indices in member order.
+func (m Map) Members(g int) []int {
+	out := make([]int, m.k)
+	for j := range out {
+		out[j] = g*m.k + j
+	}
+	return out
+}
+
+// GroupOf reports which (group, member) slot a physical server fills.
+func (m Map) GroupOf(phys int) (g, member int) {
+	return phys / m.k, phys % m.k
+}
+
+// Peers returns the physical indices of phys's group siblings (every
+// member of its group except itself) — the servers a restarted member
+// repairs from.
+func (m Map) Peers(phys int) []int {
+	g, me := m.GroupOf(phys)
+	out := make([]int, 0, m.k-1)
+	for j := 0; j < m.k; j++ {
+		if j != me {
+			out = append(out, g*m.k+j)
+		}
+	}
+	return out
+}
+
+// Picker chooses which member of a group should serve a read. Pick
+// returns the preferred member index in [0, k); the caller fails over
+// to (pick+1)%k, (pick+2)%k, … when the preferred member is down, so a
+// picker only ever chooses the *first* attempt.
+type Picker interface {
+	Pick(handle uint64, off int64, group, k int) int
+}
+
+// pickWindow quantizes the read offset for rendezvous keying: reads
+// within the same 64 KiB window of a file agree on a member (locality
+// for small sequential reads), while distinct windows, files, and
+// groups spread uniformly across members.
+const pickWindow = 16 // log2(64 KiB)
+
+// Rendezvous is the default stateless picker: member with the highest
+// (handle, offset window, member) weight wins, ties to the lower
+// member. Deterministic across processes and runs.
+type Rendezvous struct{}
+
+// Pick implements Picker.
+func (Rendezvous) Pick(handle uint64, off int64, group, k int) int {
+	if k <= 1 {
+		return 0
+	}
+	key := splitmix(handle) ^ splitmix(uint64(off>>pickWindow)) ^ splitmix(uint64(group)*0x9e3779b97f4a7c15)
+	best, pick := uint64(0), 0
+	for j := 0; j < k; j++ {
+		w := splitmix(key + uint64(j+1)*0x9e3779b97f4a7c15)
+		if j == 0 || w > best {
+			best, pick = w, j
+		}
+	}
+	return pick
+}
+
+// LeastLoaded picks the group member with the fewest outstanding
+// requests, breaking ties by rendezvous order so an idle system
+// behaves exactly like the default picker. Load is whatever the caller
+// feeds it: the pvfs client counts its own in-flight requests per
+// physical server, and anything with access to the PR5 server
+// histograms can overwrite the counts with observed queue depths.
+type LeastLoaded struct {
+	loads []atomic.Int64 // indexed by physical server
+}
+
+// NewLeastLoaded sizes the picker for `servers` physical servers.
+func NewLeastLoaded(servers int) *LeastLoaded {
+	return &LeastLoaded{loads: make([]atomic.Int64, servers)}
+}
+
+// Observe adjusts a physical server's load by delta (+1 on dispatch,
+// -1 on completion).
+func (p *LeastLoaded) Observe(phys int, delta int64) {
+	if phys >= 0 && phys < len(p.loads) {
+		p.loads[phys].Add(delta)
+	}
+}
+
+// SetLoad overwrites a physical server's load with an externally
+// observed value (e.g. a histogram count delta).
+func (p *LeastLoaded) SetLoad(phys int, v int64) {
+	if phys >= 0 && phys < len(p.loads) {
+		p.loads[phys].Store(v)
+	}
+}
+
+// Load reports a physical server's current load.
+func (p *LeastLoaded) Load(phys int) int64 {
+	if phys >= 0 && phys < len(p.loads) {
+		return p.loads[phys].Load()
+	}
+	return 0
+}
+
+// Pick implements Picker: least-loaded member, rendezvous tie-break.
+func (p *LeastLoaded) Pick(handle uint64, off int64, group, k int) int {
+	if k <= 1 {
+		return 0
+	}
+	first := Rendezvous{}.Pick(handle, off, group, k)
+	pick, min := first, int64(0)
+	for i := 0; i < k; i++ {
+		// Walk members in rendezvous-rotated order so equal loads
+		// resolve to the stateless picker's choice.
+		j := (first + i) % k
+		phys := group*k + j
+		var l int64
+		if phys < len(p.loads) {
+			l = p.loads[phys].Load()
+		}
+		if i == 0 || l < min {
+			min, pick = l, j
+		}
+	}
+	return pick
+}
+
+// splitmix is one full splitmix64 step (additive constant + finalizer),
+// used to turn (handle, window, member) into a rendezvous weight. The
+// finalizer alone (shard.mix64) is visibly biased on the small
+// structured integers this picker hashes — file offsets stride group
+// windows arithmetically — so the weight needs the extra odd-constant
+// diffusion to keep member counts binomial.
+func splitmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

@@ -13,9 +13,15 @@ import (
 type FileLayout struct {
 	Handle    uint64
 	StripSize int64
-	NServers  int32
+	NServers  int32 // replica groups when Replicas > 1 (DESIGN.md §16)
 	Base      int32
-	ServerIdx int32 // index of the addressed server in the file's list
+	ServerIdx int32 // index of the addressed group in the file's list
+	// Replicas is the replica-group size k (0 and 1 both mean
+	// unreplicated); Member addresses one of the group's k physical
+	// servers. The striping math sees only ServerIdx; (ServerIdx,
+	// Member) names physical server ServerIdx*Replicas+Member.
+	Replicas int32
+	Member   int32
 }
 
 func (l FileLayout) encode(e *Enc) {
@@ -24,6 +30,8 @@ func (l FileLayout) encode(e *Enc) {
 	e.U32(uint32(l.NServers))
 	e.U32(uint32(l.Base))
 	e.U32(uint32(l.ServerIdx))
+	e.U32(uint32(l.Replicas))
+	e.U32(uint32(l.Member))
 }
 
 func decodeLayout(d *Dec) FileLayout {
@@ -33,6 +41,8 @@ func decodeLayout(d *Dec) FileLayout {
 		NServers:  int32(d.U32()),
 		Base:      int32(d.U32()),
 		ServerIdx: int32(d.U32()),
+		Replicas:  int32(d.U32()),
+		Member:    int32(d.U32()),
 	}
 }
 
@@ -225,6 +235,11 @@ const (
 	// (iostats counters, latency quantiles, cache stats), returned in the
 	// IOResp's Data.
 	AdminStats
+	// AdminKill crashes the server like AdminCrash but marks its local
+	// objects lost: the restart comes back empty (a dead machine replaced
+	// by a blank spare) and, when the server has replica peers, triggers
+	// background re-replication from the surviving group members.
+	AdminKill
 )
 
 // AdminReq drives fault administration; answered with an MTIOResp. The
@@ -241,6 +256,97 @@ func EncodeAdmin(r *AdminReq) []byte {
 	e.U8(uint8(r.Op))
 	e.I64(r.Dur)
 	e.I64(r.Factor)
+	return e.B
+}
+
+// ReplicaListResp answers MTReplicaListReq with the serving member's
+// local objects: parallel handle/size slices in handle order. The
+// requester intersects this with what it can fetch; a peer that is
+// itself repairing refuses with OK=false so repair never copies from
+// an incomplete member. Pending counts the write requests the peer is
+// servicing at the snapshot instant: a rebuilding member keeps
+// sweeping until a pass sees Pending == 0 and unchanged checksums, so
+// a write racing the copy cannot leave the members diverged.
+type ReplicaListResp struct {
+	OK      bool
+	Err     string
+	Pending int64
+	Handles []uint64
+	Sizes   []int64
+}
+
+// ReplicaSumReq asks a group peer for one local object's per-chunk
+// checksums (FNV-1a over repair-chunk-sized pieces of its physical
+// byte space). Repair passes diff these against the previous pass and
+// re-fetch only the chunks that changed.
+type ReplicaSumReq struct {
+	Handle uint64
+}
+
+// ReplicaSumResp carries the chunk checksums in chunk order (the last
+// chunk may cover a short tail).
+type ReplicaSumResp struct {
+	OK   bool
+	Err  string
+	Sums []uint64
+}
+
+// ReplicaFetchReq pulls [Off, Off+N) of one local object's *physical*
+// byte space from a group peer during repair; answered with an
+// MTIOResp whose Data holds the bytes (short when the object ends
+// inside the range). Repair traffic is untagged: fetches are
+// idempotent reads and never enter the at-most-once dedup ring.
+type ReplicaFetchReq struct {
+	Handle uint64
+	Off    int64
+	N      int64
+}
+
+// EncodeReplicaList marshals a replica object-listing request.
+func EncodeReplicaList() []byte { return NewEnc(MTReplicaListReq).B }
+
+// EncodeReplicaListResp marshals a ReplicaListResp.
+func EncodeReplicaListResp(r *ReplicaListResp) []byte {
+	e := NewEnc(MTReplicaListResp)
+	e.U8(b2u(r.OK))
+	e.Str(r.Err)
+	e.I64(r.Pending)
+	e.U32(uint32(len(r.Handles)))
+	for _, h := range r.Handles {
+		e.I64(int64(h))
+	}
+	e.U32(uint32(len(r.Sizes)))
+	for _, s := range r.Sizes {
+		e.I64(s)
+	}
+	return e.B
+}
+
+// EncodeReplicaFetch marshals a ReplicaFetchReq.
+func EncodeReplicaFetch(r *ReplicaFetchReq) []byte {
+	e := NewEnc(MTReplicaFetchReq)
+	e.I64(int64(r.Handle))
+	e.I64(r.Off)
+	e.I64(r.N)
+	return e.B
+}
+
+// EncodeReplicaSum marshals a ReplicaSumReq.
+func EncodeReplicaSum(r *ReplicaSumReq) []byte {
+	e := NewEnc(MTReplicaSumReq)
+	e.I64(int64(r.Handle))
+	return e.B
+}
+
+// EncodeReplicaSumResp marshals a ReplicaSumResp.
+func EncodeReplicaSumResp(r *ReplicaSumResp) []byte {
+	e := NewEnc(MTReplicaSumResp)
+	e.U8(b2u(r.OK))
+	e.Str(r.Err)
+	e.U32(uint32(len(r.Sums)))
+	for _, s := range r.Sums {
+		e.I64(int64(s))
+	}
 	return e.B
 }
 
@@ -552,6 +658,50 @@ func DecodeMsg(b []byte) (MsgType, any, error) {
 		v = &LeaseRevoke{Handle: uint64(d.I64()), LockID: uint64(d.I64()), Off: d.I64(), N: d.I64()}
 	case MTMetaStatsReq:
 		v = &struct{}{}
+	case MTReplicaListReq:
+		v = &struct{}{}
+	case MTReplicaListResp:
+		r := &ReplicaListResp{}
+		r.OK = d.U8() != 0
+		r.Err = d.Str()
+		r.Pending = d.I64()
+		nh := int(d.U32())
+		if nh > len(b) { // handles are 8 bytes each on the wire
+			d.fail()
+			break
+		}
+		r.Handles = make([]uint64, 0, nh)
+		for i := 0; i < nh && d.Err == nil; i++ {
+			r.Handles = append(r.Handles, uint64(d.I64()))
+		}
+		ns := int(d.U32())
+		if ns > len(b) {
+			d.fail()
+			break
+		}
+		r.Sizes = make([]int64, 0, ns)
+		for i := 0; i < ns && d.Err == nil; i++ {
+			r.Sizes = append(r.Sizes, d.I64())
+		}
+		v = r
+	case MTReplicaFetchReq:
+		v = &ReplicaFetchReq{Handle: uint64(d.I64()), Off: d.I64(), N: d.I64()}
+	case MTReplicaSumReq:
+		v = &ReplicaSumReq{Handle: uint64(d.I64())}
+	case MTReplicaSumResp:
+		r := &ReplicaSumResp{}
+		r.OK = d.U8() != 0
+		r.Err = d.Str()
+		ns := int(d.U32())
+		if ns > len(b) { // sums are 8 bytes each on the wire
+			d.fail()
+			break
+		}
+		r.Sums = make([]uint64, 0, ns)
+		for i := 0; i < ns && d.Err == nil; i++ {
+			r.Sums = append(r.Sums, uint64(d.I64()))
+		}
+		v = r
 	default:
 		return t, nil, fmt.Errorf("wire: unknown message type %d", uint8(t))
 	}

@@ -61,12 +61,22 @@ func reEncode(typ MsgType, v any) ([]byte, error) {
 		return EncodeLockGrant(r), nil
 	case *LeaseRevoke:
 		return EncodeLeaseRevoke(r), nil
+	case *ReplicaListResp:
+		return EncodeReplicaListResp(r), nil
+	case *ReplicaFetchReq:
+		return EncodeReplicaFetch(r), nil
+	case *ReplicaSumReq:
+		return EncodeReplicaSum(r), nil
+	case *ReplicaSumResp:
+		return EncodeReplicaSumResp(r), nil
 	case *struct{}:
 		switch typ {
 		case MTListReq:
 			return EncodeListNames(), nil
 		case MTMetaStatsReq:
 			return EncodeMetaStats(), nil
+		case MTReplicaListReq:
+			return EncodeReplicaList(), nil
 		}
 	}
 	return nil, fmt.Errorf("no encoder for %s (%T)", typ, v)
@@ -99,7 +109,7 @@ func reRoundTrip(t *testing.T, b []byte) {
 // MsgType enum so adding a message without a round-trip case fails.
 func TestRoundTripEveryMessage(t *testing.T) {
 	tag := ReqTag{Client: 7, Seq: 42, Span: 99}
-	lay := FileLayout{Handle: 12, StripSize: 65536, NServers: 16, Base: 3, ServerIdx: 5}
+	lay := FileLayout{Handle: 12, StripSize: 65536, NServers: 16, Base: 3, ServerIdx: 5, Replicas: 3, Member: 1}
 	cases := []struct {
 		typ MsgType
 		b   []byte
@@ -139,13 +149,21 @@ func TestRoundTripEveryMessage(t *testing.T) {
 		{MTAdminReq, EncodeAdmin(&AdminReq{Op: AdminDegrade, Dur: 5e8, Factor: 250})},
 		{MTLeaseRevoke, EncodeLeaseRevoke(&LeaseRevoke{Handle: 5, LockID: 77, Off: 64, N: 128})},
 		{MTMetaStatsReq, EncodeMetaStats()},
+		{MTAdminReq, EncodeAdmin(&AdminReq{Op: AdminKill, Dur: 2e8})},
+		{MTReplicaListReq, EncodeReplicaList()},
+		{MTReplicaListResp, EncodeReplicaListResp(&ReplicaListResp{OK: true, Pending: 2, Handles: []uint64{3, 9}, Sizes: []int64{4096, 0}})},
+		{MTReplicaListResp, EncodeReplicaListResp(&ReplicaListResp{Err: "repairing"})},
+		{MTReplicaFetchReq, EncodeReplicaFetch(&ReplicaFetchReq{Handle: 9, Off: 1 << 20, N: 65536})},
+		{MTReplicaSumReq, EncodeReplicaSum(&ReplicaSumReq{Handle: 9})},
+		{MTReplicaSumResp, EncodeReplicaSumResp(&ReplicaSumResp{OK: true, Sums: []uint64{0, 1 << 63, 0xdeadbeef}})},
+		{MTReplicaSumResp, EncodeReplicaSumResp(&ReplicaSumResp{Err: "repairing"})},
 	}
 	covered := map[MsgType]bool{}
 	for _, c := range cases {
 		reRoundTrip(t, c.b)
 		covered[c.typ] = true
 	}
-	for typ := MTCreateReq; typ <= MTMetaStatsReq; typ++ {
+	for typ := MTCreateReq; typ <= MTReplicaSumResp; typ++ {
 		if !covered[typ] {
 			t.Errorf("message type %s has no round-trip case", typ)
 		}
@@ -236,5 +254,17 @@ func TestRoundTripQuick(t *testing.T) {
 	})
 	check("leaserevoke", func(h, id uint64, off, n int64) bool {
 		return rt(EncodeLeaseRevoke(&LeaseRevoke{Handle: h, LockID: id, Off: off, N: n}))
+	})
+	check("replicalistresp", func(ok bool, errs string, pending int64, handles []uint64, sizes []int64) bool {
+		return rt(EncodeReplicaListResp(&ReplicaListResp{OK: ok, Err: errs, Pending: pending, Handles: handles, Sizes: sizes}))
+	})
+	check("replicafetch", func(h uint64, off, n int64) bool {
+		return rt(EncodeReplicaFetch(&ReplicaFetchReq{Handle: h, Off: off, N: n}))
+	})
+	check("replicasum", func(h uint64) bool {
+		return rt(EncodeReplicaSum(&ReplicaSumReq{Handle: h}))
+	})
+	check("replicasumresp", func(ok bool, errs string, sums []uint64) bool {
+		return rt(EncodeReplicaSumResp(&ReplicaSumResp{OK: ok, Err: errs, Sums: sums}))
 	})
 }

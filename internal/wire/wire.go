@@ -74,6 +74,18 @@ const (
 	// grants/revocations/expiries). Answered with an MTIOResp carrying the
 	// JSON in Data, mirroring the I/O server AdminStats path.
 	MTMetaStatsReq
+
+	// Replica repair (server↔server, DESIGN.md §16): a member restarting
+	// after a kill asks a group peer to enumerate its local objects
+	// (MTReplicaListReq → MTReplicaListResp), compares per-chunk
+	// checksums (MTReplicaSumReq → MTReplicaSumResp) across passes, and
+	// pulls changed chunks with MTReplicaFetchReq, answered by an
+	// ordinary MTIOResp carrying the piece in Data.
+	MTReplicaListReq
+	MTReplicaListResp
+	MTReplicaFetchReq
+	MTReplicaSumReq
+	MTReplicaSumResp
 )
 
 func (t MsgType) String() string {
@@ -90,6 +102,9 @@ func (t MsgType) String() string {
 		MTLockAcquireReq: "lockacquire", MTLockReleaseReq: "lockrelease",
 		MTLockGrant: "lockgrant", MTAdminReq: "admin",
 		MTLeaseRevoke: "leaserevoke", MTMetaStatsReq: "metastats",
+		MTReplicaListReq: "replicalist", MTReplicaListResp: "replicalistresp",
+		MTReplicaFetchReq: "replicafetch", MTReplicaSumReq: "replicasum",
+		MTReplicaSumResp: "replicasumresp",
 	}
 	if s, ok := names[t]; ok {
 		return s
