@@ -107,3 +107,18 @@ go test -race -timeout 120s \
 	-run 'TestMapK1Identity|TestMapRoundTrip|TestStripingPieceToGroupMapping|TestMembershipStableUnderKill|TestRendezvousDeterministicAndUniform|TestLeastLoaded|TestReplicated|TestKillWipesUnreplicatedData|TestAdminKillOverWire' \
 	./internal/replica/ ./internal/pvfs/
 go run ./cmd/dtbench -exp pr9-smoke
+# Observability-always-on pass (PR10): flight-recorder unit suite and
+# the wire/SIGQUIT/post-mortem dump paths under -race, the alloc bound
+# with the ring armed (race-free so the count is exact), tail-sampling
+# retention invariants, the health aggregator's detect latencies
+# (degrade within one interval, stall within four) with the picker
+# shift asserted, and the Prometheus naming lint over the daemons' real
+# registries; then the pr10 smoke run, which exits nonzero unless the
+# observed probe still answers, injected degrade/stall are flagged on
+# schedule with reads shifted off the victim, and a killed server's
+# post-mortem carries its final events.
+go test -race -timeout 120s \
+	-run 'TestRing|TestDump|TestFlight|TestTail|TestAdaptiveThreshold|TestHealth|TestClusterSnapshot|TestFetchCluster|TestLintName|TestRegistryLint|TestPrometheus' \
+	./internal/flightrec/ ./internal/trace/ ./internal/metrics/ ./internal/pvfs/ ./internal/bench/
+go test -timeout 60s -run 'TestServerReadHotPathAllocsWithFlight' ./internal/pvfs/
+go run ./cmd/dtbench -exp pr10-smoke

@@ -70,6 +70,8 @@ func experiments() []experiment {
 		{"pr8-smoke", "pr8 quick CI gate (no JSON)", func() { runPR8("", true) }},
 		{"pr9", "replica groups / kill-failover report (BENCH_PR9.json)", func() { runPR9(jsonPath("BENCH_PR9.json"), false) }},
 		{"pr9-smoke", "pr9 quick CI gate (no JSON)", func() { runPR9("", true) }},
+		{"pr10", "flight recorder / tail tracing / straggler detection report (BENCH_PR10.json)", func() { runPR10(jsonPath("BENCH_PR10.json"), false) }},
+		{"pr10-smoke", "pr10 quick CI gate (no JSON)", func() { runPR10("", true) }},
 		{"all", "E1-E3 plus every ablation", func() {
 			runTile()
 			runBlock3D()

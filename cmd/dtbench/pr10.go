@@ -1,0 +1,382 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"dtio/internal/bench"
+	"dtio/internal/fault"
+	"dtio/internal/flightrec"
+	"dtio/internal/pvfs"
+	"dtio/internal/trace"
+	"dtio/internal/wire"
+	"dtio/internal/workloads"
+)
+
+// PR10 measures the observability stack end to end: what the flight
+// recorder + tail-sampled tracing cost on the real-disk hot path
+// (wall-clock, must stay under 2%), how fast the cluster health
+// aggregator detects an injected straggler and shifts reads off it
+// (deterministic virtual time), and that a killed server's flight
+// recorder survives as a post-mortem of its final requests.
+
+// pr10Overhead is one probe measurement of the real-TCP hot path.
+type pr10Overhead struct {
+	Mode        string  `json:"mode"` // bare | observed
+	ProbeSecs   float64 `json:"probe_wall_s"`
+	OverheadPct float64 `json:"overhead_pct,omitempty"` // observed row only
+	// Proof the observed row actually observed.
+	Requests     int64 `json:"server_requests,omitempty"`
+	FlightEvents int64 `json:"flight_events,omitempty"`
+	TailRoots    int64 `json:"tail_roots,omitempty"`
+	TailDropped  int64 `json:"tail_dropped_spans,omitempty"`
+	SpansKept    int64 `json:"spans_retained,omitempty"`
+}
+
+// pr10Detect is one straggler-detection measurement.
+type pr10Detect struct {
+	Fault       string  `json:"fault"` // degrade | stall
+	IntervalMs  float64 `json:"aggregation_interval_ms"`
+	InjectedMs  float64 `json:"injected_at_ms"`
+	FlaggedMs   float64 `json:"flagged_at_ms"`
+	Intervals   float64 `json:"intervals_to_detect"`
+	Reads       []int64 `json:"reads_per_server"`
+	VictimShare float64 `json:"victim_group_read_share"` // victim / its group total
+	Ticks       int     `json:"aggregation_ticks"`
+}
+
+// pr10PostMortem is the kill-path cell: the victim's flight-recorder
+// dump captured at the moment it died.
+type pr10PostMortem struct {
+	Victim      int      `json:"victim"`
+	KilledAtMs  float64  `json:"killed_at_ms"`
+	EventsTotal int64    `json:"events_total"`
+	Retained    int      `json:"events_retained"`
+	Dropped     int64    `json:"events_dropped"`
+	LastEvents  string   `json:"last_events"`
+	Unaffected  []string `json:"-"`
+}
+
+// pr10ObserveCluster arms full observability on an idle pr8 cluster:
+// per-server request metrics, a flight recorder, and a tail-sampling
+// tracer whose threshold follows that server's rolling p99 — exactly
+// the pvfs-server -flightrec -tailtrace wiring.
+func pr10ObserveCluster(tc *pr8Cluster) ([]*pvfs.ServerMetrics, []*flightrec.Ring, []*trace.Tracer) {
+	mets := make([]*pvfs.ServerMetrics, len(tc.servers))
+	rings := make([]*flightrec.Ring, len(tc.servers))
+	tracers := make([]*trace.Tracer, len(tc.servers))
+	for i, s := range tc.servers {
+		mets[i] = &pvfs.ServerMetrics{}
+		s.Metrics = mets[i]
+		rings[i] = flightrec.New(4096)
+		s.Flight = rings[i]
+		tr := trace.New()
+		ring, sm, idx := rings[i], s.Metrics, i
+		at := pvfs.NewAdaptiveThreshold(sm, time.Millisecond)
+		tr.EnableTailSampling(trace.TailConfig{
+			Threshold: at.Threshold,
+			Every:     128,
+			OnKeepSlow: func(root *trace.Span) {
+				d := flightrec.NewDump(idx, ring)
+				root.SetStr("flight", d.TailText(func(op uint8) string {
+					return wire.MsgType(op).String()
+				}, 8))
+			},
+		})
+		s.Tracer = tr
+		tracers[i] = tr
+	}
+	return mets, rings, tracers
+}
+
+// pr10MeasureOverhead brings up one pr8 cluster, lays down the probe
+// file, and times the probe in both modes on the same warmed cluster:
+// bare (every observation hook nil — the three-nil-checks fast path)
+// and fully observed. The per-request observation cost is deep
+// sub-microsecond (BenchmarkTailRootDecision) against a ~100µs
+// TCP+disk request, so the signal is far below wall-clock drift on
+// this box; the modes therefore run as interleaved bare/observed
+// pairs with the minimum taken per mode, so slow system phases hit
+// both modes instead of whichever ran later. Reconfiguration happens
+// only while the cluster is idle, the same discipline pr8 uses to
+// swap clean histograms in.
+func pr10MeasureOverhead(scale pr8Scale, smoke bool) (bare, observed pr10Overhead) {
+	tc, err := startPR8Cluster(scale.servers, pr8Variant{"compiled+vectored", true, true})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dtbench: pr10 overhead: %v\n", err)
+		os.Exit(1)
+	}
+	defer tc.stop()
+	if _, err := pr8Block3D(tc, scale.b3, "pr8-"); err != nil {
+		fmt.Fprintf(os.Stderr, "dtbench: pr10 overhead setup: %v\n", err)
+		os.Exit(1)
+	}
+	// The probe shape pr8 uses: the block3d file read back through a
+	// byte-granular view, run-dense on every server. The per-request
+	// observation cost is well under a microsecond against a ~100µs
+	// TCP+disk request, so the probe must run long enough that loopback
+	// and scheduler jitter (easily ±5% on a sub-100ms wall window)
+	// amortizes below the 2% bar — hence 4x pr8's iteration count.
+	probeCfg := workloads.Block3DConfig{N: scale.b3.N, ElemSize: 1, Procs: scale.b3.Procs}
+	iters := scale.probeIters * 4
+	probe := func() time.Duration {
+		start := time.Now()
+		if err := pr8Probe(tc, probeCfg, iters); err != nil {
+			fmt.Fprintf(os.Stderr, "dtbench: pr10 probe: %v\n", err)
+			os.Exit(1)
+		}
+		return time.Since(start)
+	}
+
+	mets, rings, tracers := pr10ObserveCluster(tc)
+	disarm := func() {
+		for _, s := range tc.servers {
+			s.Metrics, s.Flight, s.Tracer = nil, nil, nil
+		}
+	}
+	arm := func() {
+		for i, s := range tc.servers {
+			s.Metrics, s.Flight, s.Tracer = mets[i], rings[i], tracers[i]
+		}
+	}
+
+	disarm()
+	probe() // warmup: page everything in before any timed pass
+	arm()
+	probe() // warm the observed path too (histograms, ring, tracer)
+	pairs := 3
+	if smoke {
+		pairs = 1
+	}
+	bare = pr10Overhead{Mode: "bare"}
+	observed = pr10Overhead{Mode: "observed"}
+	for pair := 0; pair < pairs; pair++ {
+		disarm()
+		if d := probe().Seconds(); pair == 0 || d < bare.ProbeSecs {
+			bare.ProbeSecs = d
+		}
+		arm()
+		if d := probe().Seconds(); pair == 0 || d < observed.ProbeSecs {
+			observed.ProbeSecs = d
+		}
+	}
+	for i := range tc.servers {
+		observed.Requests += mets[i].Lat().Count
+		observed.FlightEvents += rings[i].Total()
+		roots, _, _, dropped := tracers[i].TailStats()
+		observed.TailRoots += roots
+		observed.TailDropped += dropped
+		observed.SpansKept += int64(tracers[i].Len())
+	}
+	return bare, observed
+}
+
+// pr10Sweep runs the staggered replica-read sweep under the health
+// aggregator with one injected fault and reports when the victim was
+// flagged. Everything is deterministic virtual time.
+func pr10Sweep(kind string, interval time.Duration, ev fault.Event, fileBytes int64, passes int) (pr10Detect, *bench.Cluster) {
+	cfg := bench.DefaultConfig(4, 1)
+	cfg.Servers = 8
+	cfg.Replicas = 2
+	cfg.LeastLoadedReads = true
+	cfg.HealthInterval = interval
+	cfg.FlightEvents = 256
+	cfg.Fault = &fault.Plan{Events: []fault.Event{ev}}
+	cfg.Retry = pvfs.RetryPolicy{Attempts: 12, Timeout: 250 * time.Millisecond,
+		Backoff: 5 * time.Millisecond, MaxBackoff: 160 * time.Millisecond}
+	cl := bench.NewCluster(cfg)
+	_, _, err := cl.Run(func(r *bench.Rank) error {
+		var f *pvfs.File
+		var err error
+		if r.ID == 0 {
+			f, err = r.FS.Create(r.Env, "detect.dat", cfg.StripSize, 0)
+			if err == nil {
+				err = f.WriteContig(r.Env, fileBytes-1, []byte{0})
+			}
+		}
+		r.Comm.Barrier(r.Env)
+		if r.ID != 0 {
+			f, err = r.FS.Open(r.Env, "detect.dat")
+		}
+		if err != nil {
+			return err
+		}
+		// Staggered start offsets: in lockstep from 0 every rank's first
+		// picks pile onto the same cold member.
+		const window = 64 * 1024
+		windows := fileBytes / window
+		buf := make([]byte, 4096)
+		for p := 0; p < passes; p++ {
+			for i := int64(0); i < windows; i++ {
+				w := (i + int64(r.ID)*windows/4) % windows
+				off := w * window
+				if off+int64(len(buf)) > fileBytes {
+					continue
+				}
+				if err := f.ReadContig(r.Env, off, buf); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dtbench: pr10 %s sweep: %v\n", kind, err)
+		os.Exit(1)
+	}
+	d := pr10Detect{
+		Fault:      kind,
+		IntervalMs: float64(interval) / 1e6,
+		InjectedMs: float64(ev.At) / 1e6,
+		FlaggedMs:  -1,
+		Reads:      cl.ServerReadCounts(),
+		Ticks:      cl.HealthTicks(),
+	}
+	if at, ok := cl.StragglerFlaggedAt(ev.Server); ok {
+		d.FlaggedMs = float64(at) / 1e6
+		d.Intervals = (d.FlaggedMs - d.InjectedMs) / d.IntervalMs
+	}
+	if g := d.Reads[0] + d.Reads[1]; g > 0 {
+		d.VictimShare = float64(d.Reads[ev.Server]) / float64(g)
+	}
+	return d, cl
+}
+
+// runPR10 runs the observability report and writes BENCH_PR10.json.
+func runPR10(jsonPath string, smoke bool) {
+	fmt.Println("=== PR10: flight recorder + tail-sampled tracing + live straggler detection ===")
+	fail := false
+	guard := func(cond bool, format string, args ...any) {
+		if !cond {
+			fmt.Fprintf(os.Stderr, "dtbench: pr10 guard: "+format+"\n", args...)
+			fail = true
+		}
+	}
+	report := struct {
+		Description string           `json:"description"`
+		Note        string           `json:"note"`
+		Overhead    []pr10Overhead   `json:"overhead"`
+		Detect      []pr10Detect     `json:"detect"`
+		PostMortem  []pr10PostMortem `json:"post_mortem"`
+	}{
+		Description: "Observability stack: wall-clock cost of the always-on flight recorder plus tail-sampled tracing on the real-disk hot path, time-to-detect for injected degrade/stall faults under the cluster health aggregator (with the read shift off the straggler), and the kill-path post-mortem dump.",
+		Note: "The overhead rows time the pr8 latency probe on warmed TCP clusters in two modes: " +
+			"bare (every observation hook nil) and fully observed (per-server metrics + 4096-event " +
+			"flight ring + tail-sampling tracer at the rolling-p99 threshold). The modes run as " +
+			"interleaved bare/observed pairs with the minimum wall time taken per mode — the " +
+			"per-request cost is deep sub-microsecond (BenchmarkTailRootDecision), far below " +
+			"wall-clock drift, so sequential timing would mostly measure which mode ran during a " +
+			"slow system phase. The observed row must stay within 2% of bare (the ≤32-allocation " +
+			"hot-path bound behind that number is asserted by `go test ./internal/pvfs`). The " +
+			"detect rows run a staggered replica-read sweep (8 servers, k=2, least-loaded reads) " +
+			"in deterministic virtual time with the aggregator ticking every interval: a disk " +
+			"degrade is server-reported state and must be flagged within ONE interval; a stall is " +
+			"statistical silence (queued requests, empty completion window) and is flagged once a " +
+			"full window sits inside it plus one debounce tick — within four intervals. " +
+			"victim_group_read_share shows the health-fed pickers shifting reads onto the group " +
+			"sibling. The post-mortem row kills a server mid-run and ships the flight-recorder " +
+			"dump captured at the moment of death.",
+	}
+
+	// --- Overhead: bare vs observed on the real-disk probe. ---
+	scale := pr8FullScale()
+	reps := 5
+	if smoke {
+		scale = pr8SmokeScale()
+		reps = 1
+	}
+	var bare, observed pr10Overhead
+	for rep := 0; rep < reps; rep++ {
+		b, o := pr10MeasureOverhead(scale, smoke)
+		if rep == 0 || b.ProbeSecs < bare.ProbeSecs {
+			bare = b
+		}
+		if rep == 0 || o.ProbeSecs < observed.ProbeSecs {
+			observed = o
+		}
+	}
+	observed.OverheadPct = 100 * (observed.ProbeSecs - bare.ProbeSecs) / bare.ProbeSecs
+	report.Overhead = []pr10Overhead{bare, observed}
+	fmt.Printf("  overhead: bare %.4fs vs observed %.4fs = %+.2f%%  (%d reqs, %d flight events, %d tail roots, %d spans kept)\n",
+		bare.ProbeSecs, observed.ProbeSecs, observed.OverheadPct,
+		observed.Requests, observed.FlightEvents, observed.TailRoots, observed.SpansKept)
+	guard(observed.Requests > 0, "observed cell served no requests")
+	guard(observed.FlightEvents > 0, "flight recorder recorded nothing")
+	guard(observed.TailRoots > 0, "tail sampler decided no roots")
+	guard(observed.TailDropped > 0, "tail sampler dropped nothing — retain-everything cost, not tail cost")
+	if !smoke {
+		// Wall-clock ordering is only stable at full scale.
+		guard(observed.OverheadPct < 2.0,
+			"observability overhead %.2f%% >= 2%% on the hot path", observed.OverheadPct)
+	}
+
+	// --- Time-to-detect: degrade (state) and stall (silence). ---
+	const interval = 10 * time.Millisecond
+	const faultAt = 50 * time.Millisecond
+	sweepBytes, passes := int64(32<<20), 4
+	if smoke {
+		sweepBytes, passes = 8<<20, 2
+	}
+	deg, _ := pr10Sweep("degrade", interval,
+		fault.Event{At: faultAt, Server: 0, Kind: fault.Degrade, Factor: 800}, sweepBytes, passes)
+	report.Detect = append(report.Detect, deg)
+	fmt.Printf("  detect %-7s injected %.0fms flagged %.0fms (%.1f intervals), victim read share %.1f%%, reads %v\n",
+		deg.Fault, deg.InjectedMs, deg.FlaggedMs, deg.Intervals, 100*deg.VictimShare, deg.Reads)
+	guard(deg.FlaggedMs >= 0, "degraded server never flagged")
+	guard(deg.FlaggedMs >= deg.InjectedMs && deg.Intervals <= 1,
+		"degrade flagged %.1f intervals after injection, want <= 1", deg.Intervals)
+	guard(deg.Reads[0] < deg.Reads[1],
+		"reads did not shift off the degraded server: %v", deg.Reads)
+	guard(deg.VictimShare < 0.35,
+		"victim still served %.0f%% of its group's reads", 100*deg.VictimShare)
+
+	stall, _ := pr10Sweep("stall", interval,
+		fault.Event{At: faultAt, Server: 0, Kind: fault.Stall, Dur: 80 * time.Millisecond}, sweepBytes, passes)
+	report.Detect = append(report.Detect, stall)
+	fmt.Printf("  detect %-7s injected %.0fms flagged %.0fms (%.1f intervals), reads %v\n",
+		stall.Fault, stall.InjectedMs, stall.FlaggedMs, stall.Intervals, stall.Reads)
+	guard(stall.FlaggedMs >= 0, "stalled server never flagged")
+	guard(stall.FlaggedMs >= stall.InjectedMs && stall.Intervals <= 4,
+		"stall flagged %.1f intervals after injection, want <= 4", stall.Intervals)
+
+	// --- Post-mortem: kill a replica member mid-run, read its dump. ---
+	_, cl := pr10Sweep("kill", interval,
+		fault.Event{At: faultAt, Server: 1, Kind: fault.Kill, Dur: 50 * time.Millisecond}, sweepBytes, passes)
+	dump, ok := cl.PostMortem(1)
+	guard(ok, "killed server captured no post-mortem")
+	cell := pr10PostMortem{Victim: 1, KilledAtMs: float64(faultAt) / 1e6}
+	if ok {
+		cell.EventsTotal = dump.Total
+		cell.Retained = len(dump.Events)
+		cell.Dropped = dump.Dropped
+		cell.LastEvents = dump.TailText(func(op uint8) string {
+			return wire.MsgType(op).String()
+		}, 6)
+		guard(dump.Total > 0 && len(dump.Events) > 0,
+			"post-mortem dump empty: %d total, %d retained", dump.Total, len(dump.Events))
+	}
+	report.PostMortem = []pr10PostMortem{cell}
+	fmt.Printf("  post-mortem: victim 1 killed at %.0fms, %d events (%d retained); last: %s\n",
+		cell.KilledAtMs, cell.EventsTotal, cell.Retained, cell.LastEvents)
+
+	if fail {
+		os.Exit(1)
+	}
+	if smoke {
+		fmt.Println("\npr10 smoke OK")
+		return
+	}
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dtbench: %v\n", err)
+		os.Exit(1)
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(jsonPath, out, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "dtbench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\nwrote %s\n\n", jsonPath)
+}

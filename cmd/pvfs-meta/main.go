@@ -62,18 +62,7 @@ func main() {
 	m.LeaseTimeout = *lease
 	if *httpAddr != "" {
 		reg := metrics.NewRegistry()
-		reg.Gauge("pvfs_meta_locks_held", "byte-range locks currently held",
-			func() int64 { return int64(m.LockStats().Held) })
-		reg.Gauge("pvfs_meta_locks_queued", "lock requests currently waiting",
-			func() int64 { return int64(m.LockStats().Queued) })
-		reg.Gauge("pvfs_meta_lock_acquires", "lock acquisitions accepted",
-			func() int64 { return m.LockStats().Acquires })
-		reg.Gauge("pvfs_meta_lock_waits", "acquisitions that had to queue",
-			func() int64 { return m.LockStats().Waits })
-		reg.Gauge("pvfs_meta_lock_wait_ns", "total queued time of completed waits",
-			func() int64 { return int64(m.LockStats().WaitTime) })
-		reg.Gauge("pvfs_meta_lock_expired", "leases reclaimed by the watchdog",
-			func() int64 { return m.LockStats().Expired })
+		pvfs.RegisterMetaMetrics(reg, m)
 		metrics.PublishExpvar("pvfs_meta", reg)
 		lis, err := metrics.ServeDebug(*httpAddr, reg)
 		if err != nil {

@@ -10,6 +10,12 @@
 // /debug/pprof. With -trace, a Chrome trace-event JSON of every request
 // span is written on SIGINT/SIGTERM.
 //
+// The flight recorder (-flightrec, on by default) keeps the last N
+// per-request completion events in an alloc-free ring; SIGQUIT dumps
+// it to stderr without stopping the daemon, a crash or kill dumps it
+// automatically, and `pvfsctl flight` fetches it over the wire
+// (DESIGN.md §17).
+//
 // In a replicated cluster (pvfs-meta -replicas k) each member of a
 // replica group names its group siblings with -peers, so a restart
 // after `pvfsctl kill` can rebuild its wiped objects from them
@@ -28,13 +34,16 @@ import (
 	"path/filepath"
 	"strings"
 	"syscall"
+	"time"
 
+	"dtio/internal/flightrec"
 	"dtio/internal/iostats"
 	"dtio/internal/metrics"
 	"dtio/internal/pvfs"
 	"dtio/internal/storage"
 	"dtio/internal/trace"
 	"dtio/internal/transport"
+	"dtio/internal/wire"
 )
 
 func main() {
@@ -52,6 +61,10 @@ func main() {
 	httpAddr := flag.String("http", "", "debug listener address (/metrics, /healthz, /debug/pprof); empty: off")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON here on SIGINT/SIGTERM; empty: off")
 	peers := flag.String("peers", "", "comma-separated addresses of this server's replica group siblings; empty: unreplicated")
+	flightN := flag.Int("flightrec", 4096,
+		"flight recorder depth in events (dumped by `pvfsctl flight`, SIGQUIT, and crash/kill); 0: off")
+	tailTrace := flag.Bool("tailtrace", false,
+		"tail-sample the -trace tracer: keep only request trees slower than the rolling p99 plus a 1-in-128 uniform sample, so tracing can stay on permanently")
 	flag.Parse()
 	if *index < 0 {
 		log.Fatal("pvfs-server: -index must be non-negative")
@@ -70,13 +83,30 @@ func main() {
 		s.ReplicaPeers = strings.Split(*peers, ",")
 		log.Printf("pvfs-server %d: replica peers %v", *index, s.ReplicaPeers)
 	}
+	if *flightN > 0 {
+		s.Flight = flightrec.New(*flightN)
+		// Crash/kill post-mortems go to stderr as they happen — the dump
+		// is the daemon's black box, and stderr is where an operator (or
+		// the harness collecting daemon output) will find it.
+		idx := *index
+		s.OnCrashDump = func(d flightrec.Dump) {
+			log.Printf("pvfs-server %d: crash post-mortem follows", idx)
+			d.WriteText(os.Stderr, func(op uint8) string { return wire.MsgType(op).String() })
+		}
+		// SIGQUIT dumps the recorder without stopping the daemon (the
+		// classic "what are you doing right now" signal).
+		quit := make(chan os.Signal, 1)
+		signal.Notify(quit, syscall.SIGQUIT)
+		go func() {
+			for range quit {
+				flightrec.NewDump(idx, s.Flight).WriteText(os.Stderr,
+					func(op uint8) string { return wire.MsgType(op).String() })
+			}
+		}()
+	}
 	if *httpAddr != "" {
 		reg := metrics.NewRegistry()
-		reg.Hist("pvfs_server_read_latency", "read request service time", &s.Metrics.ReadLat)
-		reg.Hist("pvfs_server_write_latency", "write request service time", &s.Metrics.WriteLat)
-		reg.Gauge("pvfs_server_replays", "requests answered from the replay cache",
-			func() int64 { return s.Metrics.Replays.Value() })
-		metrics.RegisterIOStats(reg, "pvfs_server", s.Stats.Snapshot)
+		pvfs.RegisterServerMetrics(reg, s)
 		metrics.PublishExpvar("pvfs_server", reg)
 		lis, err := metrics.ServeDebug(*httpAddr, reg)
 		if err != nil {
@@ -87,6 +117,25 @@ func main() {
 	if *traceOut != "" {
 		tr := trace.New()
 		s.Tracer = tr
+		if *tailTrace {
+			// Keep only slow request trees (rolling p99, floored at 1ms)
+			// plus 1-in-128 uniform samples; slow spans get the flight
+			// window of the same moment stamped on them (DESIGN.md §17).
+			at := pvfs.NewAdaptiveThreshold(s.Metrics, time.Millisecond)
+			tr.EnableTailSampling(trace.TailConfig{
+				Threshold: at.Threshold,
+				Every:     128,
+				OnKeepSlow: func(root *trace.Span) {
+					if s.Flight == nil {
+						return
+					}
+					d := flightrec.NewDump(*index, s.Flight)
+					root.SetStr("flight", d.TailText(
+						func(op uint8) string { return wire.MsgType(op).String() }, 8))
+				},
+			})
+			log.Printf("pvfs-server %d: tail-sampled tracing on (rolling-p99 threshold, 1/128 uniform)", *index)
+		}
 		out := *traceOut
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

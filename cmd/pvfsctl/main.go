@@ -19,6 +19,14 @@
 //	get <name> <local>      copy a file out
 //	stats [idx]             print meta shard + I/O server stats (all, or just server idx);
 //	                        with no idx, a cluster-total line follows the per-server list
+//	stats -all              print the merged ClusterSnapshot (every shard + server + the
+//	                        health table) as one JSON document; exits nonzero if any
+//	                        daemon is unreachable (the snapshot still prints, partial)
+//	top                     live cluster health: a table of per-server p99 / queue depth /
+//	                        state / health score, refreshed every -refresh, stragglers
+//	                        marked; ctrl-C to stop
+//	flight <idx>            dump I/O server idx's flight recorder (the last-N per-request
+//	                        completion events) human-readable
 //	stall <idx> <dur>       freeze I/O server idx for dur (e.g. 500ms)
 //	crash <idx> <down>      fail-stop I/O server idx; it restarts after down
 //	kill <idx> <down>       fail-stop server idx AND wipe its objects; the restart after
@@ -31,6 +39,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -41,6 +50,7 @@ import (
 	"time"
 
 	"dtio/internal/iostats"
+	"dtio/internal/metrics"
 	"dtio/internal/pvfs"
 	"dtio/internal/transport"
 	"dtio/internal/wire"
@@ -54,6 +64,8 @@ func main() {
 	strip := flag.Int64("strip", 64*1024, "strip size for created files")
 	cacheSize := flag.Int64("cachesize", 0, "client extent cache budget in bytes (0 = uncached)")
 	replicas := flag.Int("replicas", 1, "replica group size k the -io list is arranged in (1 = unreplicated)")
+	refresh := flag.Duration("refresh", 2*time.Second, "top: refresh interval")
+	iterations := flag.Int("iterations", 0, "top: refresh this many times then exit (0 = forever)")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
@@ -153,6 +165,20 @@ func main() {
 		}
 		fmt.Printf("get %s -> %s (%d bytes)\n", args[1], args[2], size)
 	case "stats":
+		// `stats -all` is the machine-readable path: one merged JSON
+		// document (every shard, every server, the health table), with a
+		// nonzero exit when any daemon did not answer — the shape a
+		// monitoring scraper wants.
+		if len(args) >= 2 && args[1] == "-all" {
+			cs, err := client.FetchCluster(env)
+			out, merr := json.MarshalIndent(cs, "", "  ")
+			fail(merr)
+			fmt.Println(string(out))
+			if err != nil {
+				log.Fatalf("pvfsctl: partial snapshot: %v", err)
+			}
+			return
+		}
 		// Control plane first: every metadata shard's namespace and
 		// lock-service counters, then the I/O servers.
 		for s := 0; s < client.MetaShards(); s++ {
@@ -196,6 +222,67 @@ func main() {
 			fmt.Printf("cluster total (%d servers): %d reqs, %d replays\n", len(idxs), totalReqs, totalReplays)
 			fmt.Printf("  %s\n", total)
 		}
+	case "top":
+		// Live health view: each refresh windows every server's service
+		// histogram against the previous fetch (the same rolling scoring
+		// the bench aggregator runs) and rebuilds the health table, so
+		// the scores react to what happened since the last screen, not
+		// to all-time averages.
+		prev := map[int]metrics.HistSnapshot{}
+		for it := 0; *iterations == 0 || it < *iterations; it++ {
+			cs, err := client.FetchCluster(env)
+			servers := make([]pvfs.ServerSnapshot, len(cs.Servers))
+			for i, ss := range cs.Servers {
+				win := ss.Lat.Sub(prev[ss.Server])
+				prev[ss.Server] = ss.Lat
+				ss.Lat = win
+				ss.P99Us = win.Quantile(0.99).Microseconds()
+				servers[i] = ss
+			}
+			wcs := pvfs.BuildClusterSnapshot(servers, cs.Metas)
+			fmt.Print("\x1b[H\x1b[2J")
+			fmt.Printf("pvfs top — %s  (refresh %v, window p99)\n", time.Now().Format(time.TimeOnly), *refresh)
+			files := 0
+			for _, m := range wcs.Metas {
+				files += m.Files
+			}
+			fmt.Printf("%d meta shards, %d files; cluster window p50/p95/p99 %d/%d/%d us (median server p99 %d us)\n\n",
+				len(wcs.Metas), files, wcs.P50Us, wcs.P95Us, wcs.P99Us, wcs.MedianP99Us)
+			fmt.Printf("%-7s %10s %9s %8s %7s  %s\n", "SERVER", "P99(us)", "REQS/WIN", "INFLIGHT", "SCORE", "STATE")
+			for i, h := range wcs.Health {
+				state := ""
+				if h.Degraded {
+					state += " degraded"
+				}
+				if h.Repairing {
+					state += " repairing"
+				}
+				if h.Stalled {
+					state += " stalled"
+				}
+				if h.Straggler {
+					state += "  <-- STRAGGLER"
+				}
+				// Health rows are built in servers order, so index i pairs
+				// the row with its windowed snapshot.
+				fmt.Printf("%-7d %10d %9d %8d %7.2f %s\n",
+					h.Server, h.P99Us, servers[i].Lat.Count, h.InFlight, h.Score, state)
+			}
+			for _, u := range cs.Unreachable {
+				fmt.Printf("%-7s %s\n", "??", u+"  UNREACHABLE")
+			}
+			if err != nil {
+				fmt.Printf("\nfetch error: %v\n", err)
+			}
+			if *iterations == 0 || it < *iterations-1 {
+				time.Sleep(*refresh)
+			}
+		}
+	case "flight":
+		need(args, 2)
+		d, err := client.FetchFlight(env, serverIdx(args[1]))
+		fail(err)
+		fail(d.WriteText(os.Stdout, func(op uint8) string { return wire.MsgType(op).String() }))
 	case "stall":
 		need(args, 3)
 		d, err := time.ParseDuration(args[2])

@@ -9,9 +9,12 @@ import (
 	"fmt"
 	"hash/fnv"
 	"os"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"dtio/internal/fault"
+	"dtio/internal/flightrec"
 	"dtio/internal/iostats"
 	"dtio/internal/locks"
 	"dtio/internal/metrics"
@@ -101,6 +104,21 @@ type Config struct {
 	// CacheChunkBytes overrides the cache chunk/lease granularity
 	// (0 = cache.DefaultChunkBytes).
 	CacheChunkBytes int64
+	// HealthInterval, when positive, runs the in-sim cluster health
+	// aggregator (DESIGN.md §17): every interval it scores each server
+	// over the window since the last tick — windowed p99 (via
+	// HistSnapshot.Sub) against the cluster median, live queue depth,
+	// degrade/repair state — records when a server first crosses the
+	// straggler cutoff, and writes the scores into every rank's
+	// least-loaded read picker so reads shift away from a straggler
+	// within one interval. 0 disables it.
+	HealthInterval time.Duration
+	// FlightEvents, when positive, gives every I/O server a flight
+	// recorder retaining the last N request completions (DESIGN.md
+	// §17), so crash/kill events capture a post-mortem
+	// (Cluster.PostMortem). 0 runs without recorders, byte-identical to
+	// a pre-flightrec cluster.
+	FlightEvents int
 	// DigestFile, when non-empty, names a file to hash after every rank
 	// has finished (still inside the simulation, before the servers shut
 	// down): a fresh client reads it contiguously and folds every byte
@@ -256,6 +274,15 @@ type Cluster struct {
 	digestErr   error
 
 	inj *fault.Injector // nil when cfg.Fault is not live
+
+	// Health aggregator state (cfg.HealthInterval > 0; DESIGN.md §17).
+	healthStop  atomic.Bool
+	healthMu    sync.Mutex
+	pickers     []*replica.LeastLoaded // every rank's picker, for load feeding
+	healthTicks int
+	flaggedAt   []time.Duration // virtual time first flagged straggler; -1 never
+	stragRuns   []int           // consecutive straggler ticks, for debounce
+	lastHealth  []pvfs.ServerHealth
 }
 
 // NewCluster builds the simulated cluster: server nodes first (their
@@ -340,6 +367,9 @@ func NewCluster(cfg Config) *Cluster {
 		srv.Stats = c.diskStats
 		srv.Tracer = cfg.Trace
 		srv.Metrics = &pvfs.ServerMetrics{}
+		if cfg.FlightEvents > 0 {
+			srv.Flight = flightrec.New(cfg.FlightEvents)
+		}
 		c.srvMetrics = append(c.srvMetrics, srv.Metrics)
 		if cfg.Discard {
 			srv.NewStore = func(uint64) storage.Store { return storage.NewDiscard() }
@@ -372,6 +402,24 @@ func NewCluster(cfg Config) *Cluster {
 				}
 			})
 		}
+	}
+
+	if cfg.HealthInterval > 0 {
+		c.flaggedAt = make([]time.Duration, cfg.Servers)
+		for i := range c.flaggedAt {
+			c.flaggedAt[i] = -1
+		}
+		c.stragRuns = make([]int, cfg.Servers)
+		// The aggregator is a sim proc like the fault events: it wakes
+		// every interval, scores the window, and exits at the first tick
+		// after the controller raises healthStop (run teardown).
+		c.net.Spawn("health-agg", serverNodes[0], func(env transport.Env) {
+			prev := make([]metrics.HistSnapshot, cfg.Servers)
+			for !c.healthStop.Load() {
+				env.Sleep(cfg.HealthInterval)
+				c.healthTick(env.Now(), prev)
+			}
+		})
 	}
 
 	nClientNodes := (cfg.Clients + cfg.ProcsPerNode - 1) / cfg.ProcsPerNode
@@ -418,8 +466,15 @@ func (c *Cluster) Run(fn func(r *Rank) error) (time.Duration, iostats.Snapshot, 
 			fs.Replicas = c.cfg.Replicas
 			if c.cfg.LeastLoadedReads && c.cfg.Replicas > 1 {
 				// Per-rank picker: each client balances on its own
-				// outstanding requests, as a real library would.
-				fs.ReplicaPicker = replica.NewLeastLoaded(len(c.addrs))
+				// outstanding requests, as a real library would. The
+				// health aggregator (if on) also writes cluster-observed
+				// scores into it, shifting reads off stragglers the rank
+				// hasn't personally hit yet.
+				lp := replica.NewLeastLoaded(len(c.addrs))
+				fs.ReplicaPicker = lp
+				c.healthMu.Lock()
+				c.pickers = append(c.pickers, lp)
+				c.healthMu.Unlock()
 			}
 			fs.StreamChunkBytes = c.cfg.SimCfg.ChunkBytes
 			fs.DisableStreaming = c.cfg.NoStreaming
@@ -444,6 +499,7 @@ func (c *Cluster) Run(fn func(r *Rank) error) (time.Duration, iostats.Snapshot, 
 	// simulation drains instead of deadlocking on idle Accept loops.
 	c.net.Spawn("controller", c.rankNodes[0], func(env transport.Env) {
 		wg.Wait(env.(*transport.SimEnv).Proc())
+		c.healthStop.Store(true) // aggregator exits at its next tick
 		if c.cfg.DigestFile != "" {
 			// Hash over the plain network (no injected message faults —
 			// the scheduled server events have already fired), with
@@ -652,6 +708,101 @@ func (c *Cluster) Repairing() []bool {
 		out[i] = s.StatsSnapshot().Repairing
 	}
 	return out
+}
+
+// healthTick scores one aggregation interval: each server's service
+// histogram is windowed against the previous tick (HistSnapshot.Sub),
+// the window's p99 plus live queue depth and degrade/repair state fold
+// into a health score against the cluster median, first-flag times are
+// recorded, and the scores are written into every rank's least-loaded
+// picker as a base load so reads drift off stragglers.
+func (c *Cluster) healthTick(now time.Duration, prev []metrics.HistSnapshot) {
+	snaps := make([]pvfs.ServerSnapshot, len(c.servers))
+	for i, s := range c.servers {
+		ss := s.StatsSnapshot()
+		win := ss.Lat.Sub(prev[i])
+		prev[i] = ss.Lat
+		ss.Lat = win
+		ss.P99Us = win.Quantile(0.99).Microseconds()
+		snaps[i] = ss
+	}
+	cs := pvfs.BuildClusterSnapshot(snaps, nil)
+	if os.Getenv("DTIO_DEBUG_HEALTH") != "" {
+		for _, h := range cs.Health {
+			if h.Score >= pvfs.StragglerScore {
+				fmt.Fprintf(os.Stderr, "tick %v: srv%d score=%.2f p99us=%d med=%d n=%d inflight=%d deg=%v stall=%v\n",
+					now, h.Server, h.Score, h.P99Us, cs.MedianP99Us, snaps[h.Server].Lat.Count, h.InFlight, h.Degraded, h.Stalled)
+			}
+		}
+	}
+	c.healthMu.Lock()
+	c.healthTicks++
+	c.lastHealth = cs.Health
+	for _, h := range cs.Health {
+		// Server-reported states (degraded disk, live repair) are
+		// noise-free and flag on their first tick; statistical evidence
+		// (tail ratio, queue depth, window silence) must hold for two
+		// consecutive ticks so a one-window blip doesn't count as a
+		// detection.
+		if h.Straggler {
+			c.stragRuns[h.Server]++
+		} else {
+			c.stragRuns[h.Server] = 0
+		}
+		immediate := h.Degraded || h.Repairing
+		if c.flaggedAt[h.Server] < 0 && ((immediate && h.Straggler) || c.stragRuns[h.Server] >= 2) {
+			c.flaggedAt[h.Server] = now
+		}
+	}
+	pickers := append([]*replica.LeastLoaded(nil), c.pickers...)
+	c.healthMu.Unlock()
+	for _, h := range cs.Health {
+		// A healthy server scores ~1 → base 16; a straggler ≥2 → ≥32.
+		// The gap dwarfs a rank's own ±in-flight jitter, so the picker's
+		// comparison is dominated by cluster-observed health.
+		bias := int64(h.Score * 16)
+		for _, p := range pickers {
+			p.SetLoad(h.Server, bias)
+		}
+	}
+}
+
+// HealthTicks reports how many aggregation intervals have run (call
+// after Run; 0 when Config.HealthInterval was 0).
+func (c *Cluster) HealthTicks() int {
+	c.healthMu.Lock()
+	defer c.healthMu.Unlock()
+	return c.healthTicks
+}
+
+// StragglerFlaggedAt reports the virtual time at which the aggregator
+// first flagged server i as a straggler, and whether it ever did.
+func (c *Cluster) StragglerFlaggedAt(server int) (time.Duration, bool) {
+	c.healthMu.Lock()
+	defer c.healthMu.Unlock()
+	if c.flaggedAt == nil || server < 0 || server >= len(c.flaggedAt) || c.flaggedAt[server] < 0 {
+		return 0, false
+	}
+	return c.flaggedAt[server], true
+}
+
+// PostMortem returns server i's flight-recorder dump captured at its
+// last crash or kill, and whether one exists (requires
+// Config.FlightEvents > 0 and the server to have died). Call after
+// Run.
+func (c *Cluster) PostMortem(server int) (flightrec.Dump, bool) {
+	if server < 0 || server >= len(c.servers) {
+		return flightrec.Dump{}, false
+	}
+	return c.servers[server].PostMortem()
+}
+
+// LastHealth returns the most recent health table (nil before the
+// first tick).
+func (c *Cluster) LastHealth() []pvfs.ServerHealth {
+	c.healthMu.Lock()
+	defer c.healthMu.Unlock()
+	return c.lastHealth
 }
 
 // ServerReplays sums the servers' replay-suppression counters.

@@ -1,0 +1,255 @@
+// Package flightrec is the always-on flight recorder: a fixed-size,
+// alloc-free ring buffer of compact per-request event records that
+// every server writes on request completion. The ring is cheap enough
+// to leave permanently enabled (one atomic claim plus a handful of
+// atomic stores per event, no allocation, no lock), and its last-N
+// window is exactly what a post-mortem needs: when a daemon crashes,
+// is killed, or receives SIGQUIT, the final events — op, handle,
+// bytes, service time, queue depth at arrival, and the
+// retry/replay/degraded flags — ship with the dump. See DESIGN.md §17
+// for the record layout and how the recorder composes with
+// tail-sampled tracing.
+package flightrec
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+)
+
+// Flag bits carried by Event.Flags. A record describes the request as
+// the server finished it: Replay means the response came from the
+// at-most-once dedup cache, Degraded that the disk was running under
+// an admin degrade factor, Repairing that a replica repair pass was
+// live on the server, Error that the request was answered with an
+// error response.
+const (
+	FlagReplay    = 1 << 0
+	FlagDegraded  = 1 << 1
+	FlagRepairing = 1 << 2
+	FlagError     = 1 << 3
+)
+
+// Event is one completed request. The struct is fixed-size and flat
+// so a ring slot never allocates and a snapshot is a plain copy.
+type Event struct {
+	Span      uint64 `json:"span"`       // wire span ID (0 when untraced)
+	Handle    uint64 `json:"handle"`     // file handle, when the op carries one
+	Bytes     int64  `json:"bytes"`      // payload bytes moved (request-declared)
+	ServiceNs int64  `json:"service_ns"` // completion - arrival, server clock
+	Op        uint8  `json:"op"`         // wire.MsgType of the request
+	Flags     uint8  `json:"flags"`      // Flag* bits
+	Depth     uint16 `json:"depth"`      // requests in flight at arrival, saturating
+}
+
+// slot is one ring cell. seq publishes the slot: a reader accepts the
+// payload only if seq reads the same odd "committed" value before and
+// after the field loads, so a writer racing through the cell mid-copy
+// is detected and the cell skipped rather than returned torn. The
+// payload fields are atomics only so concurrent writers claiming the
+// same cell a lap apart are race-clean; the seq bracket is what makes
+// the protocol correct (sequences are unique, so the committed value
+// can never recur — no ABA).
+type slot struct {
+	seq  atomic.Uint64 // claimed<<1, committed = claimed<<1|1
+	span atomic.Uint64
+	hdl  atomic.Uint64
+	nby  atomic.Int64
+	svc  atomic.Int64
+	ofd  atomic.Uint64 // op | flags<<8 | depth<<16
+}
+
+// Ring is a fixed-capacity multi-writer ring of Events. Writers claim
+// a slot with one atomic increment and never block; when the ring is
+// full the oldest event is overwritten and Record reports the
+// truncation so the caller can count drops (iostats.EventsDropped).
+// Snapshot and Dump are safe to call while writers are recording.
+type Ring struct {
+	mask  uint64
+	next  atomic.Uint64 // next sequence to claim
+	slots []slot
+}
+
+// New returns a ring holding the last n events, with n rounded up to
+// a power of two (minimum 8) so slot indexing is a mask.
+func New(n int) *Ring {
+	size := 8
+	for size < n {
+		size <<= 1
+	}
+	return &Ring{mask: uint64(size - 1), slots: make([]slot, size)}
+}
+
+// Cap is the number of events the ring retains.
+func (r *Ring) Cap() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.slots)
+}
+
+// Record appends ev, overwriting the oldest event when full, and
+// reports whether an event was lost to make room. Safe for concurrent
+// writers; nil-safe (a nil ring records nothing) so callers can leave
+// the recorder unset without branching. The write path allocates
+// nothing.
+func (r *Ring) Record(ev Event) (dropped bool) {
+	if r == nil {
+		return false
+	}
+	seq := r.next.Add(1) - 1
+	s := &r.slots[seq&r.mask]
+	// Mark the slot in-progress (even value) so concurrent readers
+	// reject it, store the payload, then publish with the committed
+	// odd value derived from seq.
+	s.seq.Store(seq << 1)
+	s.span.Store(ev.Span)
+	s.hdl.Store(ev.Handle)
+	s.nby.Store(ev.Bytes)
+	s.svc.Store(ev.ServiceNs)
+	s.ofd.Store(uint64(ev.Op) | uint64(ev.Flags)<<8 | uint64(ev.Depth)<<16)
+	s.seq.Store(seq<<1 | 1)
+	return seq >= uint64(len(r.slots))
+}
+
+// Total is the number of events ever recorded.
+func (r *Ring) Total() int64 {
+	if r == nil {
+		return 0
+	}
+	return int64(r.next.Load())
+}
+
+// Dropped is the number of events overwritten to make room: total
+// minus capacity once the ring has lapped, zero before.
+func (r *Ring) Dropped() int64 {
+	if r == nil {
+		return 0
+	}
+	d := int64(r.next.Load()) - int64(len(r.slots))
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// Snapshot copies the retained events oldest-first. It is safe while
+// writers are recording: any slot a writer is racing through — either
+// mid-store or already claimed for a newer sequence — fails the
+// seq-check bracket and is skipped, so every returned event is a
+// complete record from the window observed at entry. The result may
+// therefore be slightly shorter than Cap under heavy concurrent
+// writes, but never torn.
+func (r *Ring) Snapshot() []Event {
+	if r == nil {
+		return nil
+	}
+	head := r.next.Load()
+	n := uint64(len(r.slots))
+	lo := uint64(0)
+	if head > n {
+		lo = head - n
+	}
+	out := make([]Event, 0, head-lo)
+	for seq := lo; seq < head; seq++ {
+		s := &r.slots[seq&r.mask]
+		want := seq<<1 | 1
+		if s.seq.Load() != want {
+			continue // being written, or already overwritten by a newer claim
+		}
+		ofd := s.ofd.Load()
+		ev := Event{
+			Span:      s.span.Load(),
+			Handle:    s.hdl.Load(),
+			Bytes:     s.nby.Load(),
+			ServiceNs: s.svc.Load(),
+			Op:        uint8(ofd),
+			Flags:     uint8(ofd >> 8),
+			Depth:     uint16(ofd >> 16),
+		}
+		if s.seq.Load() != want {
+			continue // writer raced through mid-copy
+		}
+		out = append(out, ev)
+	}
+	return out
+}
+
+// Dump is the JSON document a flight-recorder dump ships: who it came
+// from, how much history was lost, and the retained events
+// oldest-first.
+type Dump struct {
+	Server  int     `json:"server"`
+	Total   int64   `json:"events_total"`
+	Dropped int64   `json:"events_dropped"`
+	Events  []Event `json:"events"`
+}
+
+// NewDump snapshots the ring into a Dump for server id.
+func NewDump(id int, r *Ring) Dump {
+	return Dump{Server: id, Total: r.Total(), Dropped: r.Dropped(), Events: r.Snapshot()}
+}
+
+// WriteText renders the dump human-readable, one event per line,
+// using opName to label the op byte (nil falls back to the number).
+func (d Dump) WriteText(w io.Writer, opName func(uint8) string) error {
+	if _, err := fmt.Fprintf(w, "flight recorder: server %d, %d events retained (%d total, %d dropped)\n",
+		d.Server, len(d.Events), d.Total, d.Dropped); err != nil {
+		return err
+	}
+	for _, ev := range d.Events {
+		op := fmt.Sprintf("op%d", ev.Op)
+		if opName != nil {
+			op = opName(ev.Op)
+		}
+		flags := ""
+		if ev.Flags&FlagReplay != 0 {
+			flags += " replay"
+		}
+		if ev.Flags&FlagDegraded != 0 {
+			flags += " degraded"
+		}
+		if ev.Flags&FlagRepairing != 0 {
+			flags += " repairing"
+		}
+		if ev.Flags&FlagError != 0 {
+			flags += " error"
+		}
+		if _, err := fmt.Fprintf(w, "  %-18s handle=%d bytes=%d service=%v depth=%d span=%x%s\n",
+			op, ev.Handle, ev.Bytes, time.Duration(ev.ServiceNs), ev.Depth, ev.Span, flags); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// JSON is the dump as a compact JSON document, for wire responses.
+func (d Dump) JSON() ([]byte, error) { return json.Marshal(d) }
+
+// TailText renders the newest n events as one compact line — the
+// flight context tail-sampled tracing stamps onto a slow-op span, so
+// the trace shows what else the server was doing in the same window.
+func (d Dump) TailText(opName func(uint8) string, n int) string {
+	evs := d.Events
+	if len(evs) > n {
+		evs = evs[len(evs)-n:]
+	}
+	var b []byte
+	for i, ev := range evs {
+		if i > 0 {
+			b = append(b, "; "...)
+		}
+		op := fmt.Sprintf("op%d", ev.Op)
+		if opName != nil {
+			op = opName(ev.Op)
+		}
+		b = fmt.Appendf(b, "%s h=%d b=%d svc=%v d=%d", op, ev.Handle, ev.Bytes,
+			time.Duration(ev.ServiceNs), ev.Depth)
+		if ev.Flags != 0 {
+			b = fmt.Appendf(b, " f=%#x", ev.Flags)
+		}
+	}
+	return string(b)
+}

@@ -1,0 +1,215 @@
+package flightrec
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestRingOrderAndContents: a single writer's events come back
+// oldest-first with every field intact, before and after wrap.
+func TestRingOrderAndContents(t *testing.T) {
+	r := New(16)
+	if r.Cap() != 16 {
+		t.Fatalf("cap = %d, want 16", r.Cap())
+	}
+	for i := 0; i < 5; i++ {
+		r.Record(Event{Span: uint64(i), Handle: 100 + uint64(i), Bytes: int64(i) * 10,
+			ServiceNs: int64(i) * 1000, Op: uint8(i), Flags: FlagReplay, Depth: uint16(i)})
+	}
+	evs := r.Snapshot()
+	if len(evs) != 5 {
+		t.Fatalf("snapshot len = %d, want 5", len(evs))
+	}
+	for i, ev := range evs {
+		want := Event{Span: uint64(i), Handle: 100 + uint64(i), Bytes: int64(i) * 10,
+			ServiceNs: int64(i) * 1000, Op: uint8(i), Flags: FlagReplay, Depth: uint16(i)}
+		if ev != want {
+			t.Fatalf("event %d = %+v, want %+v", i, ev, want)
+		}
+	}
+
+	// Wrap: after 40 total events a 16-slot ring retains the last 16.
+	for i := 5; i < 40; i++ {
+		r.Record(Event{Span: uint64(i)})
+	}
+	evs = r.Snapshot()
+	if len(evs) != 16 {
+		t.Fatalf("post-wrap snapshot len = %d, want 16", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Span != uint64(24+i) {
+			t.Fatalf("post-wrap event %d span = %d, want %d (oldest-first)", i, ev.Span, 24+i)
+		}
+	}
+}
+
+// TestRingRoundsUpAndNilSafe: capacity rounds to a power of two and a
+// nil ring is inert on every method.
+func TestRingRoundsUpAndNilSafe(t *testing.T) {
+	if got := New(100).Cap(); got != 128 {
+		t.Fatalf("New(100).Cap() = %d, want 128", got)
+	}
+	if got := New(1).Cap(); got != 8 {
+		t.Fatalf("New(1).Cap() = %d, want 8", got)
+	}
+	var r *Ring
+	if r.Record(Event{}) || r.Snapshot() != nil || r.Total() != 0 || r.Dropped() != 0 || r.Cap() != 0 {
+		t.Fatal("nil ring is not inert")
+	}
+}
+
+// TestRingRecordAllocFree: the write path allocates nothing — the
+// property that lets the recorder stay inside the server's ≤32-alloc
+// hot-path bound.
+func TestRingRecordAllocFree(t *testing.T) {
+	r := New(64)
+	allocs := testing.AllocsPerRun(100, func() {
+		r.Record(Event{Span: 1, Handle: 2, Bytes: 3, ServiceNs: 4, Op: 5, Flags: 6, Depth: 7})
+	})
+	if allocs != 0 {
+		t.Fatalf("Record allocates %.1f per call, want 0", allocs)
+	}
+}
+
+// TestTruncationCounter: Dropped counts exactly the events overwritten
+// to make room — total minus capacity once lapped, zero before — and
+// Record's return value flags precisely those writes.
+func TestTruncationCounter(t *testing.T) {
+	r := New(8)
+	var flagged int64
+	for i := 0; i < 8; i++ {
+		if r.Record(Event{Span: uint64(i)}) {
+			flagged++
+		}
+	}
+	if r.Dropped() != 0 || flagged != 0 {
+		t.Fatalf("before wrap: Dropped=%d flagged=%d, want 0/0", r.Dropped(), flagged)
+	}
+	for i := 8; i < 30; i++ {
+		if r.Record(Event{Span: uint64(i)}) {
+			flagged++
+		}
+	}
+	if r.Total() != 30 {
+		t.Fatalf("Total = %d, want 30", r.Total())
+	}
+	if r.Dropped() != 22 || flagged != 22 {
+		t.Fatalf("after 30 records into 8 slots: Dropped=%d flagged=%d, want 22/22", r.Dropped(), flagged)
+	}
+}
+
+// TestConcurrentWritersNearWrap: many writers hammering a tiny ring —
+// every record straddles the wrap boundary — must stay race-clean
+// (run under -race) and account for every event: total exact,
+// dropped = total - cap, and the snapshot's events all carry
+// internally consistent field sets (each writer writes a recognizable
+// pattern; a torn read would mix patterns).
+func TestConcurrentWritersNearWrap(t *testing.T) {
+	r := New(8) // tiny: with 8 writers x 1000 events, nearly every write wraps
+	const writers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				v := uint64(w)*per + uint64(i)
+				r.Record(Event{Span: v, Handle: v, Bytes: int64(v), ServiceNs: int64(v),
+					Op: uint8(w), Flags: uint8(w), Depth: uint16(w)})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if r.Total() != writers*per {
+		t.Fatalf("Total = %d, want %d", r.Total(), writers*per)
+	}
+	if want := int64(writers*per - r.Cap()); r.Dropped() != want {
+		t.Fatalf("Dropped = %d, want %d", r.Dropped(), want)
+	}
+	evs := r.Snapshot()
+	if len(evs) == 0 {
+		t.Fatal("quiescent ring snapshot empty")
+	}
+	for _, ev := range evs {
+		if ev.Handle != ev.Span || ev.Bytes != int64(ev.Span) || ev.ServiceNs != int64(ev.Span) {
+			t.Fatalf("torn event: %+v", ev)
+		}
+		w := ev.Span / per
+		if uint64(ev.Op) != w || uint64(ev.Flags) != w || uint64(ev.Depth) != w {
+			t.Fatalf("event fields mix writers: %+v (writer %d)", ev, w)
+		}
+	}
+}
+
+// TestSnapshotWhileRecording: dumps taken while writers are live never
+// return a torn event and never exceed capacity; a dump after
+// quiescence returns a full window.
+func TestSnapshotWhileRecording(t *testing.T) {
+	r := New(32)
+	const writers, per = 4, 2000
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				v := uint64(w)*per + uint64(i)
+				r.Record(Event{Span: v, Handle: ^v, Bytes: int64(v), Op: uint8(w)})
+			}
+		}(w)
+	}
+	var dumps int
+	go func() {
+		defer close(stop)
+		wg.Wait()
+	}()
+	for {
+		select {
+		case <-stop:
+			if dumps == 0 {
+				t.Fatal("no dumps ran concurrently with writers")
+			}
+			// Quiescent: the final snapshot is a full window.
+			evs := r.Snapshot()
+			if len(evs) != r.Cap() {
+				t.Fatalf("quiescent snapshot len = %d, want %d", len(evs), r.Cap())
+			}
+			return
+		default:
+		}
+		evs := r.Snapshot()
+		dumps++
+		if len(evs) > r.Cap() {
+			t.Fatalf("snapshot len %d exceeds cap %d", len(evs), r.Cap())
+		}
+		for _, ev := range evs {
+			if ev.Handle != ^ev.Span || ev.Bytes != int64(ev.Span) {
+				t.Fatalf("torn event in live dump: %+v", ev)
+			}
+		}
+	}
+}
+
+// TestDumpText: the human rendering carries the header counters and
+// flag labels.
+func TestDumpText(t *testing.T) {
+	r := New(8)
+	r.Record(Event{Span: 0xabc, Handle: 7, Bytes: 512, ServiceNs: 1500, Op: 3, Flags: FlagReplay | FlagDegraded, Depth: 2})
+	d := NewDump(4, r)
+	var sb strings.Builder
+	if err := d.WriteText(&sb, func(op uint8) string { return "ReadDtype" }); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"server 4", "1 events retained", "ReadDtype", "replay", "degraded", "handle=7", "depth=2"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("dump text missing %q:\n%s", want, out)
+		}
+	}
+	js, err := d.JSON()
+	if err != nil || !strings.Contains(string(js), `"events_total":1`) {
+		t.Fatalf("dump JSON: %v / %s", err, js)
+	}
+}

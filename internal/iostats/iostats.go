@@ -42,6 +42,7 @@ type Stats struct {
 	degraded   atomic.Int64 // reads served by a non-preferred replica member
 	fanout     atomic.Int64 // replica write copies beyond the first member
 	repair     atomic.Int64 // bytes re-replicated onto a restarted member
+	evDropped  atomic.Int64 // flight-recorder events overwritten before dump
 }
 
 // AddDesired records application-requested bytes.
@@ -129,6 +130,10 @@ func (s *Stats) AddFanoutWrite() { s.fanout.Add(1) }
 // surviving group peers during background re-replication.
 func (s *Stats) AddRepair(n int64) { s.repair.Add(n) }
 
+// AddEventDropped records a flight-recorder event overwritten before
+// it could be dumped (the ring lapped it).
+func (s *Stats) AddEventDropped() { s.evDropped.Add(1) }
+
 // Snapshot is an immutable copy of the counters.
 type Snapshot struct {
 	DesiredBytes  int64
@@ -158,6 +163,9 @@ type Snapshot struct {
 	// ReplicaRepairBytes counts bytes re-replicated onto a restarted
 	// member (server-side counter; see DESIGN.md §16).
 	ReplicaRepairBytes int64
+	// EventsDropped counts flight-recorder events the ring overwrote
+	// before a dump could read them (server-side; DESIGN.md §17).
+	EventsDropped int64
 }
 
 // Snapshot copies the current counters.
@@ -188,6 +196,7 @@ func (s *Stats) Snapshot() Snapshot {
 		DegradedReads:      s.degraded.Load(),
 		FanoutWrites:       s.fanout.Load(),
 		ReplicaRepairBytes: s.repair.Load(),
+		EventsDropped:      s.evDropped.Load(),
 	}
 }
 
@@ -222,6 +231,7 @@ func (s *Stats) Reset() {
 		DegradedReads:      s.degraded.Swap(0),
 		FanoutWrites:       s.fanout.Swap(0),
 		ReplicaRepairBytes: s.repair.Swap(0),
+		EventsDropped:      s.evDropped.Swap(0),
 	})
 	s.mu.Unlock()
 }
@@ -263,6 +273,7 @@ func (a Snapshot) Add(b Snapshot) Snapshot {
 		DegradedReads:      a.DegradedReads + b.DegradedReads,
 		FanoutWrites:       a.FanoutWrites + b.FanoutWrites,
 		ReplicaRepairBytes: a.ReplicaRepairBytes + b.ReplicaRepairBytes,
+		EventsDropped:      a.EventsDropped + b.EventsDropped,
 	}
 }
 
@@ -297,6 +308,7 @@ func (a Snapshot) Div(n int64) Snapshot {
 		DegradedReads:      a.DegradedReads / n,
 		FanoutWrites:       a.FanoutWrites / n,
 		ReplicaRepairBytes: a.ReplicaRepairBytes / n,
+		EventsDropped:      a.EventsDropped / n,
 	}
 }
 
@@ -344,6 +356,9 @@ func (s Snapshot) String() string {
 	if s.DegradedReads != 0 || s.FanoutWrites != 0 || s.ReplicaRepairBytes != 0 {
 		str += fmt.Sprintf(" degraded=%d fanout=%d repaired=%s",
 			s.DegradedReads, s.FanoutWrites, MB(s.ReplicaRepairBytes))
+	}
+	if s.EventsDropped != 0 {
+		str += fmt.Sprintf(" evdropped=%d", s.EventsDropped)
 	}
 	return str
 }

@@ -44,11 +44,16 @@ func ServeDebug(addr string, reg *Registry) (net.Listener, error) {
 	return lis, nil
 }
 
-// RegisterIOStats exposes every iostats counter as a prefix_* gauge
-// sampled from fn at scrape time.
+// RegisterIOStats exposes every iostats counter as a prefix_* metric
+// sampled from fn at scrape time. Durations export in base seconds as
+// _seconds_total counters and the cache hit fraction as a 0..1 ratio
+// gauge, per Prometheus naming conventions (enforced by Registry.Lint).
 func RegisterIOStats(reg *Registry, prefix string, fn func() iostats.Snapshot) {
 	g := func(name, help string, pick func(iostats.Snapshot) int64) {
 		reg.Gauge(prefix+"_"+name, help, func() int64 { return pick(fn()) })
+	}
+	secs := func(name, help string, pick func(iostats.Snapshot) int64) {
+		reg.Counter(prefix+"_"+name, help, func() float64 { return float64(pick(fn())) / 1e9 })
 	}
 	g("desired_bytes", "bytes the application asked for", func(s iostats.Snapshot) int64 { return s.DesiredBytes })
 	g("accessed_bytes", "bytes actually moved to/from storage", func(s iostats.Snapshot) int64 { return s.AccessedBytes })
@@ -57,7 +62,7 @@ func RegisterIOStats(reg *Registry, prefix string, fn func() iostats.Snapshot) {
 	g("req_bytes", "request descriptor bytes on the wire", func(s iostats.Snapshot) int64 { return s.ReqBytes })
 	g("resent_bytes", "payload bytes resent by retries", func(s iostats.Snapshot) int64 { return s.ResentBytes })
 	g("lock_waits", "lock acquisitions that waited", func(s iostats.Snapshot) int64 { return s.LockWaits })
-	g("lock_wait_ns", "total time spent waiting for locks", func(s iostats.Snapshot) int64 { return s.LockWaitNs })
+	secs("lock_wait_seconds_total", "total time spent waiting for locks", func(s iostats.Snapshot) int64 { return s.LockWaitNs })
 	g("regions", "noncontiguous regions processed", func(s iostats.Snapshot) int64 { return s.Regions })
 	g("disk_ops", "disk operations dispatched", func(s iostats.Snapshot) int64 { return s.DiskOps })
 	g("disk_ops_merged", "disk operations merged away by the scheduler", func(s iostats.Snapshot) int64 { return s.DiskOpsMerged })
@@ -66,10 +71,10 @@ func RegisterIOStats(reg *Registry, prefix string, fn func() iostats.Snapshot) {
 	g("retries", "request retries", func(s iostats.Snapshot) int64 { return s.Retries })
 	g("timeouts", "request timeouts", func(s iostats.Snapshot) int64 { return s.Timeouts })
 	g("replayed_bytes", "duplicate write bytes suppressed by replay dedup", func(s iostats.Snapshot) int64 { return s.ReplayedBytes })
-	g("failover_ns", "time spent failing over to retries", func(s iostats.Snapshot) int64 { return s.FailoverNs })
+	secs("failover_seconds_total", "time spent failing over to retries", func(s iostats.Snapshot) int64 { return s.FailoverNs })
 	g("cache_hits", "cached operations served from the extent cache", func(s iostats.Snapshot) int64 { return s.CacheHits })
 	g("cache_misses", "cached operations that had to fill from servers", func(s iostats.Snapshot) int64 { return s.CacheMisses })
-	g("cache_hit_pct", "extent cache hit ratio in percent", func(s iostats.Snapshot) int64 { return int64(100 * s.HitRatio()) })
+	reg.GaugeF(prefix+"_cache_hit_ratio", "extent cache hit ratio (0..1)", func() float64 { return fn().HitRatio() })
 	g("cache_flush_ops", "aggregated write-back flushes", func(s iostats.Snapshot) int64 { return s.FlushOps })
 	g("cache_flush_bytes", "dirty bytes written back by flushes", func(s iostats.Snapshot) int64 { return s.FlushBytes })
 	g("cache_invalidations", "cached extents dropped by revocation or expiry", func(s iostats.Snapshot) int64 { return s.Invalidations })
@@ -87,13 +92,23 @@ func PublishExpvar(name string, reg *Registry) {
 	}
 	expvar.Publish(name, expvar.Func(func() any {
 		reg.mu.Lock()
-		out := make(map[string]int64, len(reg.gauges))
 		fns := make(map[string]func() int64, len(reg.gauges))
 		for n, f := range reg.gauges {
 			fns[n] = f
 		}
+		ffns := make(map[string]func() float64, len(reg.gaugesF)+len(reg.counters))
+		for n, f := range reg.gaugesF {
+			ffns[n] = f
+		}
+		for n, f := range reg.counters {
+			ffns[n] = f
+		}
 		reg.mu.Unlock()
+		out := make(map[string]any, len(fns)+len(ffns))
 		for n, f := range fns {
+			out[n] = f()
+		}
+		for n, f := range ffns {
 			out[n] = f()
 		}
 		return out

@@ -11,6 +11,7 @@ import (
 	"io"
 	"math/bits"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -107,6 +108,29 @@ func (s HistSnapshot) Add(o HistSnapshot) HistSnapshot {
 	return s
 }
 
+// Sub subtracts an earlier snapshot o of the same histogram from a
+// copy of s, yielding the window of samples recorded between the two —
+// the basis for rolling quantiles (tail-sampling thresholds, straggler
+// scores). Fields clamp at zero so a reset between snapshots degrades
+// to "empty window" rather than corrupting quantile math.
+func (s HistSnapshot) Sub(o HistSnapshot) HistSnapshot {
+	s.Count -= o.Count
+	s.SumNs -= o.SumNs
+	if s.Count < 0 {
+		s.Count = 0
+	}
+	if s.SumNs < 0 {
+		s.SumNs = 0
+	}
+	for i := range s.Counts {
+		s.Counts[i] -= o.Counts[i]
+		if s.Counts[i] < 0 {
+			s.Counts[i] = 0
+		}
+	}
+	return s
+}
+
 // Mean reports the average sample, 0 if empty.
 func (s HistSnapshot) Mean() time.Duration {
 	if s.Count == 0 {
@@ -178,33 +202,62 @@ func (c *Counter) Value() int64 {
 	return c.v.Load()
 }
 
-// Registry names metrics for the Prometheus text endpoint. Gauges are
-// functions sampled at render time, which is how iostats counters are
-// exposed without double bookkeeping. Registration order does not
-// matter: output is sorted by name for deterministic scrapes.
+// Registry names metrics for the Prometheus text endpoint. Gauges and
+// counters are functions sampled at render time, which is how iostats
+// counters are exposed without double bookkeeping. Registration order
+// does not matter: output is sorted by name for deterministic scrapes.
 type Registry struct {
-	mu     sync.Mutex
-	gauges map[string]func() int64
-	hists  map[string]*Histogram
-	help   map[string]string
+	mu       sync.Mutex
+	gauges   map[string]func() int64
+	gaugesF  map[string]func() float64
+	counters map[string]func() float64
+	hists    map[string]*Histogram
+	help     map[string]string
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		gauges: make(map[string]func() int64),
-		hists:  make(map[string]*Histogram),
-		help:   make(map[string]string),
+		gauges:   make(map[string]func() int64),
+		gaugesF:  make(map[string]func() float64),
+		counters: make(map[string]func() float64),
+		hists:    make(map[string]*Histogram),
+		help:     make(map[string]string),
 	}
 }
 
-// Gauge registers fn under name (rendered as an untyped metric).
+// Gauge registers fn under name (rendered as a gauge metric).
 func (r *Registry) Gauge(name, help string, fn func() int64) {
 	if r == nil {
 		return
 	}
 	r.mu.Lock()
 	r.gauges[name] = fn
+	r.help[name] = help
+	r.mu.Unlock()
+}
+
+// GaugeF registers a float-valued gauge (ratios, seconds).
+func (r *Registry) GaugeF(name, help string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.gaugesF[name] = fn
+	r.help[name] = help
+	r.mu.Unlock()
+}
+
+// Counter registers a monotonically-increasing metric. Counter names
+// must end in _total (enforced by Lint, following Prometheus naming
+// conventions); values are floats so durations can be exported in base
+// seconds rather than integer nanoseconds.
+func (r *Registry) Counter(name, help string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.counters[name] = fn
 	r.help[name] = help
 	r.mu.Unlock()
 }
@@ -227,17 +280,33 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		return nil
 	}
 	r.mu.Lock()
-	gnames := make([]string, 0, len(r.gauges))
-	for n := range r.gauges {
-		gnames = append(gnames, n)
+	// Scalar metrics render uniformly: (name, type, rendered value).
+	// Int gauges keep %d so byte counters never lose precision to
+	// float formatting; float kinds use %g.
+	type scalar struct {
+		kind string
+		fn   func() string
+	}
+	scalars := make(map[string]scalar, len(r.gauges)+len(r.gaugesF)+len(r.counters))
+	for n, f := range r.gauges {
+		fn := f
+		scalars[n] = scalar{"gauge", func() string { return fmt.Sprintf("%d", fn()) }}
+	}
+	for n, f := range r.gaugesF {
+		fn := f
+		scalars[n] = scalar{"gauge", func() string { return fmt.Sprintf("%g", fn()) }}
+	}
+	for n, f := range r.counters {
+		fn := f
+		scalars[n] = scalar{"counter", func() string { return fmt.Sprintf("%g", fn()) }}
+	}
+	snames := make([]string, 0, len(scalars))
+	for n := range scalars {
+		snames = append(snames, n)
 	}
 	hnames := make([]string, 0, len(r.hists))
 	for n := range r.hists {
 		hnames = append(hnames, n)
-	}
-	gauges := make(map[string]func() int64, len(r.gauges))
-	for n, f := range r.gauges {
-		gauges[n] = f
 	}
 	hists := make(map[string]*Histogram, len(r.hists))
 	for n, h := range r.hists {
@@ -248,16 +317,17 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		help[n] = h
 	}
 	r.mu.Unlock()
-	sort.Strings(gnames)
+	sort.Strings(snames)
 	sort.Strings(hnames)
 
-	for _, n := range gnames {
+	for _, n := range snames {
 		if h := help[n]; h != "" {
 			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", n, h); err != nil {
 				return err
 			}
 		}
-		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", n, n, gauges[n]()); err != nil {
+		s := scalars[n]
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n%s %s\n", n, s.kind, n, s.fn()); err != nil {
 			return err
 		}
 	}
@@ -291,4 +361,84 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// nonBaseUnits are unit tokens Prometheus naming conventions reject:
+// durations belong in base seconds, sizes in bytes, and fractions as
+// 0..1 ratios, so scaled or abbreviated unit suffixes flag a metric
+// that dashboards would have to special-case.
+var nonBaseUnits = map[string]string{
+	"ns": "seconds", "nanoseconds": "seconds",
+	"us": "seconds", "microseconds": "seconds",
+	"ms": "seconds", "milliseconds": "seconds",
+	"mins": "seconds", "minutes": "seconds", "hours": "seconds",
+	"kb": "bytes", "kib": "bytes", "mb": "bytes", "mib": "bytes",
+	"gb": "bytes", "gib": "bytes",
+	"pct": "ratio", "percent": "ratio", "percentage": "ratio",
+}
+
+// LintName checks one metric name against the Prometheus naming
+// conventions this repo adopts (a promlint subset): lowercase
+// snake_case, base units only, counters end in _total and nothing
+// else does, and histograms are named in _seconds to match the
+// seconds-valued le labels WritePrometheus emits. Returns one message
+// per violation, empty when clean.
+func LintName(name, kind string) []string {
+	var probs []string
+	for i, c := range name {
+		ok := c == '_' || (c >= 'a' && c <= 'z') || (i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			probs = append(probs, fmt.Sprintf("%s: invalid character %q (want lowercase snake_case)", name, c))
+			break
+		}
+	}
+	for _, tok := range strings.Split(name, "_") {
+		if base, bad := nonBaseUnits[tok]; bad {
+			probs = append(probs, fmt.Sprintf("%s: non-base unit %q (use %s)", name, tok, base))
+		}
+	}
+	total := strings.HasSuffix(name, "_total")
+	switch kind {
+	case "counter":
+		if !total {
+			probs = append(probs, fmt.Sprintf("%s: counter must end in _total", name))
+		}
+	case "histogram":
+		if total {
+			probs = append(probs, fmt.Sprintf("%s: histogram must not end in _total", name))
+		}
+		if !strings.HasSuffix(name, "_seconds") {
+			probs = append(probs, fmt.Sprintf("%s: histogram buckets render in seconds; name must end in _seconds", name))
+		}
+	default: // gauge
+		if total {
+			probs = append(probs, fmt.Sprintf("%s: non-counter must not end in _total", name))
+		}
+	}
+	return probs
+}
+
+// Lint runs LintName over every registered metric and returns the
+// sorted violations; an empty slice means the registry scrapes clean.
+func (r *Registry) Lint() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	var probs []string
+	for n := range r.gauges {
+		probs = append(probs, LintName(n, "gauge")...)
+	}
+	for n := range r.gaugesF {
+		probs = append(probs, LintName(n, "gauge")...)
+	}
+	for n := range r.counters {
+		probs = append(probs, LintName(n, "counter")...)
+	}
+	for n := range r.hists {
+		probs = append(probs, LintName(n, "histogram")...)
+	}
+	r.mu.Unlock()
+	sort.Strings(probs)
+	return probs
 }

@@ -117,6 +117,48 @@ func TestMergeAcrossServers(t *testing.T) {
 	}
 }
 
+// TestWindowedSub: the delta of two snapshots of one histogram is
+// exactly the samples recorded between them — the rolling window the
+// tail-sampling threshold and straggler scores quantile over — and a
+// reset between snapshots clamps to empty instead of going negative.
+func TestWindowedSub(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 60; i++ {
+		h.Observe(100 * time.Microsecond)
+	}
+	before := h.Snapshot()
+	for i := 0; i < 40; i++ {
+		h.Observe(30 * time.Millisecond)
+	}
+	win := h.Snapshot().Sub(before)
+	if win.Count != 40 {
+		t.Fatalf("window count %d, want 40", win.Count)
+	}
+	if got := win.SumNs; got != int64(40*30*time.Millisecond) {
+		t.Fatalf("window sum %d", got)
+	}
+	// All window mass is in the slow mode: its p50 ignores the fast
+	// samples from before the window opened.
+	if p50 := win.Quantile(0.5); p50 < 16*time.Millisecond {
+		t.Fatalf("window p50=%v still sees pre-window samples", p50)
+	}
+	// Identity and clamping.
+	if s := h.Snapshot(); s.Sub(HistSnapshot{}) != s {
+		t.Fatal("sub of empty changed snapshot")
+	}
+	h.Reset()
+	h.Observe(time.Millisecond)
+	clamped := h.Snapshot().Sub(before)
+	if clamped.Count != 0 || clamped.SumNs != 0 {
+		t.Fatalf("sub across a reset went negative: %+v", clamped)
+	}
+	for i, c := range clamped.Counts {
+		if c < 0 {
+			t.Fatalf("bucket %d negative: %d", i, c)
+		}
+	}
+}
+
 func TestResetAndReuse(t *testing.T) {
 	var h Histogram
 	h.Observe(time.Millisecond)

@@ -15,6 +15,7 @@ import (
 	"dtio/internal/dataloop"
 	"dtio/internal/datatype"
 	"dtio/internal/flatten"
+	"dtio/internal/flightrec"
 	"dtio/internal/iostats"
 	"dtio/internal/metrics"
 	"dtio/internal/replica"
@@ -1946,6 +1947,21 @@ func (c *Client) FetchStats(env transport.Env, s int) (*ServerSnapshot, error) {
 		return nil, fmt.Errorf("pvfs: server %d stats payload: %w", s, err)
 	}
 	return &snap, nil
+}
+
+// FetchFlight retrieves I/O server s's flight-recorder dump (the
+// last-N per-request completion events, DESIGN.md §17) over the admin
+// path. A server without a recorder answers with an empty dump.
+func (c *Client) FetchFlight(env transport.Env, s int) (*flightrec.Dump, error) {
+	r, err := c.adminCall(env, s, wire.AdminFlightRec, 0, 0)
+	if err != nil {
+		return nil, err
+	}
+	var d flightrec.Dump
+	if err := json.Unmarshal(r.Data, &d); err != nil {
+		return nil, fmt.Errorf("pvfs: server %d flight payload: %w", s, err)
+	}
+	return &d, nil
 }
 
 // FetchMetaStats retrieves metadata shard s's introspection snapshot

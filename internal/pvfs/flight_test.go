@@ -1,0 +1,198 @@
+package pvfs
+
+import (
+	"testing"
+	"time"
+
+	"dtio/internal/dataloop"
+	"dtio/internal/datatype"
+	"dtio/internal/flightrec"
+	"dtio/internal/iostats"
+	"dtio/internal/transport"
+	"dtio/internal/wire"
+)
+
+// TestServerReadHotPathAllocsWithFlight locks in the PR10 bound: the
+// always-on configuration — flight recorder AND latency histograms —
+// keeps the dtype read hot path within the same ≤32-alloc budget as
+// the unobserved path. Recording is one atomic claim plus atomic
+// stores into a preallocated slot.
+func TestServerReadHotPathAllocsWithFlight(t *testing.T) {
+	env := transport.NewRealEnv()
+	s := NewServer(transport.NewMemNetwork(), "x", 0, CostModel{})
+	s.Metrics = &ServerMetrics{}
+	s.Flight = flightrec.New(256)
+	s.Stats = &iostats.Stats{}
+	fileTy := datatype.Vector(512, 1, 2, datatype.Int64) // 512 pieces
+	loop := dataloop.FromType(fileTy)
+	req := wire.EncodeDtype(&wire.DtypeReq{
+		Layout: wire.FileLayout{Handle: 1, StripSize: 1 << 20, NServers: 1},
+		Loop:   loop.Encode(nil),
+		Count:  1, NBytes: 512 * 8,
+	}, false)
+	if resp, err := s.handle(env, nil, req); err != nil || resp == nil {
+		t.Fatalf("warmup: resp=%v err=%v", resp, err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		resp, err := s.handle(env, nil, req)
+		if err != nil || resp == nil {
+			t.Fatalf("resp=%v err=%v", resp, err)
+		}
+	})
+	if allocs > 32 {
+		t.Fatalf("flight-enabled dtype read hot path allocates %.0f per request", allocs)
+	}
+	if got := s.Flight.Total(); got < 51 {
+		t.Fatalf("flight recorder saw %d events, want >= 51", got)
+	}
+	evs := s.Flight.Snapshot()
+	last := evs[len(evs)-1]
+	if last.Op != uint8(wire.MTReadDtypeReq) || last.Handle != 1 || last.Bytes != 512*8 {
+		t.Fatalf("last event %+v, want readdtype handle=1 bytes=%d", last, 512*8)
+	}
+	if last.Flags != 0 {
+		t.Fatalf("healthy read flagged %#x", last.Flags)
+	}
+}
+
+// TestFlightOverWire drives the AdminFlightRec round trip on a live
+// cluster: real reads and writes, then a dump fetch whose events must
+// carry the ops, handles, byte counts, and replay flags — and whose
+// drop accounting must line up with iostats.EventsDropped.
+func TestFlightOverWire(t *testing.T) {
+	stats := make([]*iostats.Stats, 0, 2)
+	rings := make([]*flightrec.Ring, 0, 2)
+	tc, c := startStreamCluster(t, 2, 64*1024, 4, func(s *Server) {
+		st := &iostats.Stats{}
+		r := flightrec.New(16) // tiny, so the test can exercise lapping
+		s.Stats = st
+		s.Flight = r
+		stats = append(stats, st)
+		rings = append(rings, r)
+	})
+	env := tc.env
+	f, err := c.Create(env, "flight.dat", 4096, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := patterned(10000)
+	if err := f.WriteContig(env, 0, data); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if err := f.ReadContig(env, 0, got); err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 2; s++ {
+		d, err := c.FetchFlight(env, s)
+		if err != nil {
+			t.Fatalf("server %d: %v", s, err)
+		}
+		if d.Server != s {
+			t.Fatalf("server %d dump reports index %d", s, d.Server)
+		}
+		if len(d.Events) == 0 {
+			t.Fatalf("server %d dump empty", s)
+		}
+		var reads, writes int
+		for _, ev := range d.Events {
+			switch wire.MsgType(ev.Op) {
+			case wire.MTReadContigReq:
+				reads++
+				if ev.Handle == 0 || ev.Bytes <= 0 {
+					t.Fatalf("server %d read event missing payload info: %+v", s, ev)
+				}
+			case wire.MTWriteContigReq, wire.MTWriteStreamHdr:
+				writes++
+			}
+			if ev.ServiceNs < 0 {
+				t.Fatalf("server %d event with negative service time: %+v", s, ev)
+			}
+		}
+		if reads == 0 || writes == 0 {
+			t.Fatalf("server %d dump: %d reads, %d writes — want both", s, reads, writes)
+		}
+		// The admin fetch itself is recorded too, so total keeps moving;
+		// the dump's own accounting must agree with the ring's.
+		if d.Total < int64(len(d.Events)) {
+			t.Fatalf("server %d: total %d < retained %d", s, d.Total, len(d.Events))
+		}
+		if want := rings[s].Dropped(); d.Dropped > want {
+			t.Fatalf("server %d: dump dropped %d > ring %d", s, d.Dropped, want)
+		}
+		// The admin fetch is itself recorded after the dump snapshot, so
+		// iostats may run at most one event ahead of the dump's figure.
+		if dropped := stats[s].Snapshot().EventsDropped; dropped < d.Dropped || dropped > d.Dropped+1 {
+			t.Fatalf("server %d: iostats EventsDropped %d != dump %d (±1)", s, dropped, d.Dropped)
+		}
+	}
+	// Lap server 0's tiny ring hard and recheck the truncation counter.
+	for i := 0; i < 50; i++ {
+		if err := f.ReadContig(env, 0, got[:32]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d, err := c.FetchFlight(env, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Dropped == 0 {
+		t.Fatal("tiny ring never lapped under load")
+	}
+	if dropped := stats[0].Snapshot().EventsDropped; dropped < d.Dropped || dropped > d.Dropped+1 {
+		t.Fatalf("iostats EventsDropped %d != dump %d (±1) after lapping", dropped, d.Dropped)
+	}
+}
+
+// TestCrashPostMortem verifies the kill path ships its black box: a
+// server killed mid-run captures the flight window at the instant of
+// death, both through OnCrashDump and the PostMortem accessor, with
+// the victim's final requests in it.
+func TestCrashPostMortem(t *testing.T) {
+	dumped := make(chan flightrec.Dump, 1)
+	tc, c := startStreamCluster(t, 2, 64*1024, 4, func(s *Server) {
+		s.Flight = flightrec.New(64)
+		if s.Index() == 0 {
+			s.OnCrashDump = func(d flightrec.Dump) { dumped <- d }
+		}
+	})
+	env := tc.env
+	f, err := c.Create(env, "pm.dat", 4096, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.WriteContig(env, 0, patterned(9000)); err != nil {
+		t.Fatal(err)
+	}
+	victim := tc.servers[0]
+	if _, ok := victim.PostMortem(); ok {
+		t.Fatal("post-mortem exists before any crash")
+	}
+	victim.Kill(time.Hour)
+	d, ok := victim.PostMortem()
+	if !ok {
+		t.Fatal("no post-mortem after kill")
+	}
+	if len(d.Events) == 0 {
+		t.Fatal("post-mortem dump carries no events")
+	}
+	var sawIO bool
+	for _, ev := range d.Events {
+		mt := wire.MsgType(ev.Op)
+		if mt == wire.MTWriteContigReq || mt == wire.MTWriteStreamHdr || mt == wire.MTReadContigReq {
+			sawIO = true
+		}
+	}
+	if !sawIO {
+		t.Fatalf("post-mortem has no I/O events: %+v", d.Events)
+	}
+	select {
+	case cb := <-dumped:
+		if len(cb.Events) != len(d.Events) || cb.Server != 0 {
+			t.Fatalf("OnCrashDump saw %d events for server %d, PostMortem %d",
+				len(cb.Events), cb.Server, len(d.Events))
+		}
+	default:
+		t.Fatal("OnCrashDump never invoked")
+	}
+}

@@ -1,0 +1,68 @@
+package pvfs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dtio/internal/iostats"
+	"dtio/internal/metrics"
+	"dtio/internal/transport"
+)
+
+// TestPrometheusNamingConformance lints the exact registries the
+// daemons serve on /metrics: every counter must end in _total,
+// durations must export in base seconds, sizes in bytes, fractions as
+// ratios, and histogram names must match their seconds-valued buckets.
+// Registration goes through RegisterServerMetrics/RegisterMetaMetrics,
+// the same path cmd/pvfs-server and cmd/pvfs-meta use, so a
+// nonconforming name added to either daemon fails here.
+func TestPrometheusNamingConformance(t *testing.T) {
+	s := NewServer(transport.NewMemNetwork(), "x", 0, CostModel{})
+	s.Metrics = &ServerMetrics{}
+	s.Stats = &iostats.Stats{}
+	sreg := metrics.NewRegistry()
+	RegisterServerMetrics(sreg, s)
+	for _, p := range sreg.Lint() {
+		t.Errorf("pvfs-server registry: %s", p)
+	}
+
+	m := NewMetaServer(transport.NewMemNetwork(), "meta", 4)
+	mreg := metrics.NewRegistry()
+	RegisterMetaMetrics(mreg, m)
+	for _, p := range mreg.Lint() {
+		t.Errorf("pvfs-meta registry: %s", p)
+	}
+}
+
+// TestPrometheusExpositionRenders: the renamed metrics must actually
+// appear in the text exposition with their declared types — a rename
+// that lints clean but never renders would be worse than the old name.
+func TestPrometheusExpositionRenders(t *testing.T) {
+	s := NewServer(transport.NewMemNetwork(), "x", 0, CostModel{})
+	s.Metrics = &ServerMetrics{}
+	s.Stats = &iostats.Stats{}
+	reg := metrics.NewRegistry()
+	RegisterServerMetrics(reg, s)
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE pvfs_server_read_latency_seconds histogram",
+		"# TYPE pvfs_server_replays_total counter",
+		"# TYPE pvfs_server_lock_wait_seconds_total counter",
+		"# TYPE pvfs_server_failover_seconds_total counter",
+		"# TYPE pvfs_server_cache_hit_ratio gauge",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	for _, gone := range []string{"_ns ", "_pct ", "pvfs_server_replays "} {
+		if strings.Contains(out, gone) {
+			t.Errorf("exposition still serves pre-rename metric %q", gone)
+		}
+	}
+}

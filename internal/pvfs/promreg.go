@@ -1,0 +1,40 @@
+package pvfs
+
+import (
+	"dtio/internal/metrics"
+)
+
+// RegisterServerMetrics wires an I/O server's introspection state into
+// a Prometheus registry: service-time histograms, the replay-cache
+// counter, and every iostats counter under the pvfs_server prefix.
+// Both the pvfs-server daemon and the naming-conformance test build
+// their registries through this function, so the names a lint pass
+// approves are exactly the names a live scrape serves.
+func RegisterServerMetrics(reg *metrics.Registry, s *Server) {
+	if s.Metrics != nil {
+		reg.Hist("pvfs_server_read_latency_seconds", "read request service time", &s.Metrics.ReadLat)
+		reg.Hist("pvfs_server_write_latency_seconds", "write request service time", &s.Metrics.WriteLat)
+		reg.Counter("pvfs_server_replays_total", "requests answered from the replay cache",
+			func() float64 { return float64(s.Metrics.Replays.Value()) })
+	}
+	if s.Stats != nil {
+		metrics.RegisterIOStats(reg, "pvfs_server", s.Stats.Snapshot)
+	}
+}
+
+// RegisterMetaMetrics wires a metadata server's lock-manager counters
+// into a Prometheus registry under the pvfs_meta prefix.
+func RegisterMetaMetrics(reg *metrics.Registry, m *MetaServer) {
+	reg.Gauge("pvfs_meta_locks_held", "byte-range locks currently held",
+		func() int64 { return int64(m.LockStats().Held) })
+	reg.Gauge("pvfs_meta_locks_queued", "lock requests currently waiting",
+		func() int64 { return int64(m.LockStats().Queued) })
+	reg.Counter("pvfs_meta_lock_acquires_total", "lock acquisitions accepted",
+		func() float64 { return float64(m.LockStats().Acquires) })
+	reg.Counter("pvfs_meta_lock_waits_total", "acquisitions that had to queue",
+		func() float64 { return float64(m.LockStats().Waits) })
+	reg.Counter("pvfs_meta_lock_wait_seconds_total", "total queued time of completed waits",
+		func() float64 { return m.LockStats().WaitTime.Seconds() })
+	reg.Counter("pvfs_meta_lock_expired_total", "leases reclaimed by the watchdog",
+		func() float64 { return float64(m.LockStats().Expired) })
+}

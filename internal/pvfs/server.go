@@ -13,6 +13,7 @@ import (
 	"dtio/internal/cache"
 	"dtio/internal/dataloop"
 	"dtio/internal/flatten"
+	"dtio/internal/flightrec"
 	"dtio/internal/iostats"
 	"dtio/internal/metrics"
 	"dtio/internal/storage"
@@ -64,6 +65,66 @@ func (m *ServerMetrics) Lat() metrics.HistSnapshot {
 		return metrics.HistSnapshot{}
 	}
 	return m.ReadLat.Snapshot().Add(m.WriteLat.Snapshot())
+}
+
+// AdaptiveThreshold derives the tail-sampling slow-op cutoff from a
+// server's live latency histograms: a rolling p99 over the window of
+// requests since the previous recompute, floored so an idle or
+// uniformly-fast server doesn't trace everything. Threshold is cheap
+// enough for trace.TailConfig — an atomic load on most calls, with the
+// p99 recomputed once every thresholdRecompute decisions (DESIGN.md
+// §17).
+type AdaptiveThreshold struct {
+	m      *ServerMetrics
+	floor  time.Duration
+	calls  atomic.Int64
+	cached atomic.Int64 // ns; 0 until first recompute succeeds
+
+	mu   sync.Mutex
+	prev metrics.HistSnapshot // merged snapshot at last recompute
+}
+
+// thresholdRecompute is how many Threshold calls share one cached p99,
+// and the minimum window size (in samples) worth recomputing over.
+const thresholdRecompute = 256
+
+// NewAdaptiveThreshold returns a threshold tracking m's merged
+// read+write histogram, never reporting below floor.
+func NewAdaptiveThreshold(m *ServerMetrics, floor time.Duration) *AdaptiveThreshold {
+	if floor <= 0 {
+		floor = time.Millisecond
+	}
+	return &AdaptiveThreshold{m: m, floor: floor}
+}
+
+// Threshold reports the current slow-op cutoff (for trace.TailConfig).
+func (a *AdaptiveThreshold) Threshold() time.Duration {
+	if a == nil {
+		return 0
+	}
+	if n := a.calls.Add(1); n == 1 || n%thresholdRecompute == 0 {
+		a.recompute()
+	}
+	if v := a.cached.Load(); v > 0 {
+		return time.Duration(v)
+	}
+	return a.floor
+}
+
+func (a *AdaptiveThreshold) recompute() {
+	cur := a.m.Lat()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	win := cur.Sub(a.prev)
+	if win.Count < thresholdRecompute/4 {
+		return // too few samples since last time: keep the old cutoff
+	}
+	a.prev = cur
+	p99 := win.Quantile(0.99)
+	if p99 < a.floor {
+		p99 = a.floor
+	}
+	a.cached.Store(int64(p99))
 }
 
 // Server is one I/O server: a map of handle -> local object plus the
@@ -171,6 +232,23 @@ type Server struct {
 	// Metrics (optional) collects request latency histograms and the
 	// replay counter.
 	Metrics *ServerMetrics
+	// Flight (optional) is the always-on flight recorder: a fixed ring
+	// of compact per-request completion events (DESIGN.md §17). Dumped
+	// on demand by wire.AdminFlightRec, on SIGQUIT by the daemon, and
+	// automatically on the crash/kill paths (PostMortem/OnCrashDump).
+	// Lapped events are counted in Stats as EventsDropped.
+	Flight *flightrec.Ring
+	// OnCrashDump (optional) receives the flight-recorder dump captured
+	// at the instant of a Crash or Kill, before connections sever — the
+	// daemon writes it to stderr, the bench keeps it for the report.
+	OnCrashDump func(flightrec.Dump)
+	// inflight counts requests currently inside handle: the queue depth
+	// at arrival stamped into each flight record, and the InFlight
+	// gauge in StatsSnapshot.
+	inflight atomic.Int64
+	// postmortem is the dump captured by the last Crash/Kill (nil until
+	// one happens); guarded by mu.
+	postmortem *flightrec.Dump
 
 	spanTrack string // span track label, fixed at construction
 }
@@ -187,6 +265,9 @@ func NewServer(net transport.Network, addr string, index int, cost CostModel) *S
 		spanTrack: fmt.Sprintf("io-server-%d", index),
 	}
 }
+
+// Index reports this server's position in the cluster's server list.
+func (s *Server) Index() int { return s.index }
 
 // Serve listens and handles connections until Close. A Crash (fail-stop
 // injected locally or by an admin request) makes the current incarnation
@@ -309,6 +390,21 @@ func (s *Server) Close() {
 // restarts the server after down. In-flight requests die; clients
 // recover via retries and stream resume.
 func (s *Server) Crash(down time.Duration) {
+	// Capture the flight recorder first: the dump is the post-mortem of
+	// what this incarnation was doing when it died, so it must precede
+	// the connection cull (and any OnCrashDump side effects see a ring
+	// no longer advanced by requests on the severed connections... or
+	// nearly so; late in-flight completions may still append, which is
+	// fine — the dump is a snapshot, the ring stays live).
+	if s.Flight != nil {
+		d := flightrec.NewDump(s.index, s.Flight)
+		s.mu.Lock()
+		s.postmortem = &d
+		s.mu.Unlock()
+		if f := s.OnCrashDump; f != nil {
+			f(d)
+		}
+	}
 	s.mu.Lock()
 	if s.restartIn == nil {
 		d := down
@@ -348,6 +444,18 @@ func (s *Server) Kill(down time.Duration) {
 	s.wipe = true
 	s.mu.Unlock()
 	s.Crash(down)
+}
+
+// PostMortem returns the flight-recorder dump captured at the moment
+// of the last Crash or Kill, and whether one exists (requires Flight
+// to have been set when the crash happened).
+func (s *Server) PostMortem() (flightrec.Dump, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.postmortem == nil {
+		return flightrec.Dump{}, false
+	}
+	return *s.postmortem, true
 }
 
 // takeRestart consumes a pending crash-restart downtime.
@@ -550,33 +658,110 @@ func tagOf(v any) wire.ReqTag {
 
 // handle services one request. A nil response with nil error means the
 // request was answered entirely by a stream; a non-nil error means the
-// connection is no longer usable and must close. With Tracer and
-// Metrics both nil the observation block is two nil checks — the dtype
-// read hot path stays within PR1's allocation bound.
+// connection is no longer usable and must close. With Tracer, Metrics,
+// and Flight all nil the observation block is three nil checks — the
+// dtype read hot path stays within PR1's allocation bound; with them
+// enabled everything recorded is atomics and preallocated slots, so
+// the bound holds there too (asserted by the observe tests).
 func (s *Server) handle(env transport.Env, conn transport.Conn, msg []byte) ([]byte, error) {
+	if s.Tracer == nil && s.Metrics == nil && s.Flight == nil {
+		s.stallGate(env)
+		t, v, err := wire.DecodeMsg(msg)
+		if err != nil {
+			return ioErr("bad request: %v", err), nil
+		}
+		env.Compute(s.cost.RequestOverhead)
+		resp, _, err := s.dispatch(env, conn, t, v, nil)
+		return resp, err
+	}
+	// Observed path: the queue-depth gauge counts from arrival and the
+	// service clock starts before the stall gate, so a stalled server
+	// shows the health aggregator rising depth and (once it unfreezes)
+	// a p99 spike instead of silence (DESIGN.md §17).
+	depth := s.inflight.Add(1) - 1 // queue depth at arrival: requests already in service
+	start := env.Now()
 	s.stallGate(env)
 	t, v, err := wire.DecodeMsg(msg)
 	if err != nil {
+		s.inflight.Add(-1)
 		return ioErr("bad request: %v", err), nil
 	}
 	env.Compute(s.cost.RequestOverhead)
-	if s.Tracer == nil && s.Metrics == nil {
-		return s.dispatch(env, conn, t, v, nil)
-	}
-	start := env.Now()
 	// t.String() is a map lookup of an interned name: no allocation
 	// when only Metrics is enabled.
 	sp := s.Tracer.Begin(env, s.spanTrack, t.String(), trace.SpanID(tagOf(v).Span))
-	resp, err := s.dispatch(env, conn, t, v, sp)
+	resp, flags, err := s.dispatch(env, conn, t, v, sp)
+	svc := env.Now() - start
 	sp.End(env)
-	s.Metrics.observe(t, env.Now()-start)
+	s.Metrics.observe(t, svc)
+	s.inflight.Add(-1)
+	if s.Flight != nil {
+		s.recordFlight(t, v, svc, depth, flags, resp)
+	}
 	return resp, err
+}
+
+// recordFlight appends one completion event to the flight recorder.
+// Only called with s.Flight set; alloc-free (a type switch, a few
+// atomic loads, the ring's claim+store).
+func (s *Server) recordFlight(t wire.MsgType, v any, svc time.Duration, depth int64, flags uint8, resp []byte) {
+	if sc := s.diskScale.Load(); sc != 0 && sc != 100 {
+		flags |= flightrec.FlagDegraded
+	}
+	if s.repairLive.Load() {
+		flags |= flightrec.FlagRepairing
+	}
+	if wire.RespIsErr(resp) {
+		flags |= flightrec.FlagError
+	}
+	if depth > 65535 {
+		depth = 65535
+	}
+	handle, bytes := flightInfo(v)
+	if s.Flight.Record(flightrec.Event{
+		Span: tagOf(v).Span, Handle: handle, Bytes: bytes,
+		ServiceNs: int64(svc), Op: uint8(t), Flags: flags, Depth: uint16(depth),
+	}) && s.Stats != nil {
+		s.Stats.AddEventDropped()
+	}
+}
+
+// flightInfo extracts the handle and payload byte count a flight
+// record carries, per request kind (zero when the kind has neither).
+func flightInfo(v any) (handle uint64, bytes int64) {
+	switch r := v.(type) {
+	case *wire.ContigReq:
+		return r.Layout.Handle, r.N
+	case *wire.ListIOReq:
+		var n int64
+		for _, reg := range r.Regions {
+			n += reg.Len
+		}
+		return r.Layout.Handle, n
+	case *wire.DtypeReq:
+		return r.Layout.Handle, r.NBytes
+	case *wire.LocalSizeReq:
+		return r.Layout.Handle, 0
+	case *wire.TruncateReq:
+		return r.Layout.Handle, r.Size
+	case *wire.RemoveObjReq:
+		return r.Layout.Handle, 0
+	case *wire.WriteStreamHdr:
+		return 0, r.Total // the handle lives on the inner request
+	case *wire.ReplicaFetchReq:
+		return r.Handle, r.N
+	case *wire.ReplicaSumReq:
+		return r.Handle, 0
+	}
+	return 0, 0
 }
 
 // dispatch routes one decoded request. sp is the request span (nil when
 // tracing is off) threaded down so disk batches and stream segments
-// parent to it.
-func (s *Server) dispatch(env transport.Env, conn transport.Conn, t wire.MsgType, v any, sp *trace.Span) ([]byte, error) {
+// parent to it. The middle return value carries the flight-recorder
+// flags only dispatch can know (FlagReplay today); the caller merges
+// in the server-state flags.
+func (s *Server) dispatch(env transport.Env, conn transport.Conn, t wire.MsgType, v any, sp *trace.Span) ([]byte, uint8, error) {
 	switch t {
 	case wire.MTWriteContigReq, wire.MTWriteListReq, wire.MTWriteDtypeReq,
 		wire.MTWriteStreamHdr, wire.MTTruncateReq:
@@ -587,94 +772,98 @@ func (s *Server) dispatch(env transport.Env, conn transport.Conn, t wire.MsgType
 	case wire.MTReadContigReq:
 		r := v.(*wire.ContigReq)
 		if resp := s.repairGate(r.Layout, r.Tag.Seq); resp != nil {
-			return resp, nil
+			return resp, 0, nil
 		}
-		return s.contig(env, conn, r, nil, sp)
+		resp, err := s.contig(env, conn, r, nil, sp)
+		return resp, 0, err
 	case wire.MTWriteContigReq:
 		r := v.(*wire.ContigReq)
 		if cached, ok := s.replay(r.Tag); ok {
 			s.Metrics.addReplay()
 			sp.SetAttr("replay", 1)
-			return cached, nil
+			return cached, flightrec.FlagReplay, nil
 		}
 		src := inlineSrc(r.Data)
 		resp, err := s.contig(env, conn, r, src, sp)
 		putSrc(src)
 		s.remember(r.Tag, resp)
-		return resp, err
+		return resp, 0, err
 	case wire.MTReadListReq:
 		r := v.(*wire.ListIOReq)
 		if resp := s.repairGate(r.Layout, r.Tag.Seq); resp != nil {
-			return resp, nil
+			return resp, 0, nil
 		}
-		return s.list(env, conn, r, nil, sp)
+		resp, err := s.list(env, conn, r, nil, sp)
+		return resp, 0, err
 	case wire.MTWriteListReq:
 		r := v.(*wire.ListIOReq)
 		if cached, ok := s.replay(r.Tag); ok {
 			s.Metrics.addReplay()
 			sp.SetAttr("replay", 1)
-			return cached, nil
+			return cached, flightrec.FlagReplay, nil
 		}
 		src := inlineSrc(r.Data)
 		resp, err := s.list(env, conn, r, src, sp)
 		putSrc(src)
 		s.remember(r.Tag, resp)
-		return resp, err
+		return resp, 0, err
 	case wire.MTReadDtypeReq:
 		r := v.(*wire.DtypeReq)
 		if resp := s.repairGate(r.Layout, r.Tag.Seq); resp != nil {
-			return resp, nil
+			return resp, 0, nil
 		}
-		return s.dtype(env, conn, r, nil, sp)
+		resp, err := s.dtype(env, conn, r, nil, sp)
+		return resp, 0, err
 	case wire.MTWriteDtypeReq:
 		r := v.(*wire.DtypeReq)
 		if cached, ok := s.replay(r.Tag); ok {
 			s.Metrics.addReplay()
 			sp.SetAttr("replay", 1)
-			return cached, nil
+			return cached, flightrec.FlagReplay, nil
 		}
 		src := inlineSrc(r.Data)
 		resp, err := s.dtype(env, conn, r, src, sp)
 		putSrc(src)
 		s.remember(r.Tag, resp)
-		return resp, err
+		return resp, 0, err
 	case wire.MTWriteStreamHdr:
 		return s.streamedWrite(env, conn, v.(*wire.WriteStreamHdr), sp)
 	case wire.MTLocalSizeReq:
 		r := v.(*wire.LocalSizeReq)
 		if resp := s.repairGate(r.Layout, r.Tag.Seq); resp != nil {
-			return resp, nil // size is a read: a rebuilding object undercounts
+			return resp, 0, nil // size is a read: a rebuilding object undercounts
 		}
 		if _, err := s.layoutOf(r.Layout); err != nil {
-			return ioErrSeq(r.Tag.Seq, "%v", err), nil
+			return ioErrSeq(r.Tag.Seq, "%v", err), 0, nil
 		}
-		return wire.EncodeIOResp(&wire.IOResp{Seq: r.Tag.Seq, OK: true, Size: s.object(r.Layout.Handle).Size()}), nil
+		return wire.EncodeIOResp(&wire.IOResp{Seq: r.Tag.Seq, OK: true, Size: s.object(r.Layout.Handle).Size()}), 0, nil
 	case wire.MTTruncateReq:
 		r := v.(*wire.TruncateReq)
 		if cached, ok := s.replay(r.Tag); ok {
 			s.Metrics.addReplay()
 			sp.SetAttr("replay", 1)
-			return cached, nil
+			return cached, flightrec.FlagReplay, nil
 		}
 		resp := s.truncate(r)
 		s.remember(r.Tag, resp)
-		return resp, nil
+		return resp, 0, nil
 	case wire.MTRemoveObjReq:
 		r := v.(*wire.RemoveObjReq)
 		s.mu.Lock()
 		delete(s.objects, r.Layout.Handle)
 		s.mu.Unlock()
-		return wire.EncodeIOResp(&wire.IOResp{Seq: r.Tag.Seq, OK: true}), nil
+		return wire.EncodeIOResp(&wire.IOResp{Seq: r.Tag.Seq, OK: true}), 0, nil
 	case wire.MTAdminReq:
-		return s.admin(env, conn, v.(*wire.AdminReq))
+		resp, err := s.admin(env, conn, v.(*wire.AdminReq))
+		return resp, 0, err
 	case wire.MTReplicaListReq:
-		return s.replicaList(), nil
+		return s.replicaList(), 0, nil
 	case wire.MTReplicaFetchReq:
-		return s.replicaFetch(v.(*wire.ReplicaFetchReq)), nil
+		return s.replicaFetch(v.(*wire.ReplicaFetchReq)), 0, nil
 	case wire.MTReplicaSumReq:
-		return s.replicaSums(v.(*wire.ReplicaSumReq)), nil
+		return s.replicaSums(v.(*wire.ReplicaSumReq)), 0, nil
 	default:
-		return ioErr("unexpected message %s", t), nil
+		return ioErr("unexpected message %s", t), 0, nil
 	}
 }
 
@@ -710,6 +899,16 @@ type ServerSnapshot struct {
 	CacheEvictions  int64                `json:"loop_cache_evictions"`
 	CompiledReplays int64                `json:"compiled_replays"`
 	Repairing       bool                 `json:"repairing,omitempty"`
+	// InFlight is the number of requests in service at the snapshot
+	// instant — the live queue-depth signal the cluster health score
+	// weighs (DESIGN.md §17).
+	InFlight int64 `json:"inflight"`
+	// Degraded reports a disk running under an admin degrade factor.
+	Degraded bool `json:"degraded,omitempty"`
+	// FlightTotal/FlightDropped are the flight recorder's lifetime
+	// event count and lapped-before-dump count (0/0 without a recorder).
+	FlightTotal   int64 `json:"flight_total,omitempty"`
+	FlightDropped int64 `json:"flight_dropped,omitempty"`
 }
 
 // StatsSnapshot assembles the live introspection state an AdminStats
@@ -731,6 +930,12 @@ func (s *Server) StatsSnapshot() ServerSnapshot {
 	snap.CacheHits, snap.CacheMisses, snap.CacheEvictions = cs.Hits, cs.Misses, cs.Evictions
 	snap.CompiledReplays = s.CompiledReplays()
 	snap.Repairing = s.repairLive.Load()
+	snap.InFlight = s.inflight.Load()
+	if sc := s.diskScale.Load(); sc != 0 && sc != 100 {
+		snap.Degraded = true
+	}
+	snap.FlightTotal = s.Flight.Total()
+	snap.FlightDropped = s.Flight.Dropped()
 	return snap
 }
 
@@ -748,6 +953,15 @@ func (s *Server) admin(env transport.Env, conn transport.Conn, r *wire.AdminReq)
 		data, err := json.Marshal(s.StatsSnapshot())
 		if err != nil {
 			return ioErr("stats: %v", err), nil
+		}
+		return wire.EncodeIOResp(&wire.IOResp{OK: true, Size: int64(len(data)), Data: data}), nil
+	case wire.AdminFlightRec:
+		// NewDump is nil-safe: a server without a recorder answers with
+		// an empty dump rather than an error, so sweeps over mixed
+		// clusters need no special-casing.
+		data, err := flightrec.NewDump(s.index, s.Flight).JSON()
+		if err != nil {
+			return ioErr("flightrec: %v", err), nil
 		}
 		return wire.EncodeIOResp(&wire.IOResp{OK: true, Size: int64(len(data)), Data: data}), nil
 	case wire.AdminCrash:
@@ -1065,8 +1279,10 @@ func (s *Server) repairChunk(env transport.Env, conn transport.Conn, h uint64, o
 }
 
 // streamedWrite unwraps a streamed write request and dispatches it with
-// a stream-backed payload source.
-func (s *Server) streamedWrite(env transport.Env, conn transport.Conn, h *wire.WriteStreamHdr, sp *trace.Span) ([]byte, error) {
+// a stream-backed payload source. The uint8 is the flight-recorder
+// flag set (FlagReplay when the inner request was answered from the
+// dedup cache).
+func (s *Server) streamedWrite(env transport.Env, conn transport.Conn, h *wire.WriteStreamHdr, sp *trace.Span) ([]byte, uint8, error) {
 	seg := int64(h.SegBytes)
 	nseg := int64(0)
 	if seg > 0 {
@@ -1076,7 +1292,7 @@ func (s *Server) streamedWrite(env transport.Env, conn transport.Conn, h *wire.W
 		h.StartSeg < 0 || h.StartSeg >= nseg {
 		// The framing itself is broken; there is no way to know how many
 		// chunks follow, so the connection cannot be salvaged.
-		return nil, fmt.Errorf("pvfs: bad stream header total=%d seg=%d window=%d start=%d",
+		return nil, 0, fmt.Errorf("pvfs: bad stream header total=%d seg=%d window=%d start=%d",
 			h.Total, h.SegBytes, h.Window, h.StartSeg)
 	}
 	// A resumed retry (StartSeg > 0) skips the payload prefix the client
@@ -1093,7 +1309,8 @@ func (s *Server) streamedWrite(env transport.Env, conn transport.Conn, h *wire.W
 	}
 	t, v, err := wire.DecodeMsg(h.Inner)
 	if err != nil {
-		return s.reqFail(env, src, 0, "bad request: %v", err)
+		resp, err := s.reqFail(env, src, 0, "bad request: %v", err)
+		return resp, 0, err
 	}
 	var tag wire.ReqTag
 	switch r := v.(type) {
@@ -1113,9 +1330,9 @@ func (s *Server) streamedWrite(env transport.Env, conn transport.Conn, h *wire.W
 		s.Metrics.addReplay()
 		sp.SetAttr("replay", 1)
 		if err := src.drain(env); err != nil {
-			return nil, err
+			return nil, 0, err
 		}
-		return cached, nil
+		return cached, flightrec.FlagReplay, nil
 	}
 	var resp []byte
 	switch t {
@@ -1126,10 +1343,11 @@ func (s *Server) streamedWrite(env transport.Env, conn transport.Conn, h *wire.W
 	case wire.MTWriteDtypeReq:
 		resp, err = s.dtype(env, conn, v.(*wire.DtypeReq), src, sp)
 	default:
-		return s.reqFail(env, src, 0, "unexpected streamed message %s", t)
+		resp, err := s.reqFail(env, src, 0, "unexpected streamed message %s", t)
+		return resp, 0, err
 	}
 	s.remember(tag, resp)
-	return resp, err
+	return resp, 0, err
 }
 
 // reqFail answers a failed request with an error IOResp, first draining

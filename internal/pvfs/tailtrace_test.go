@@ -1,0 +1,136 @@
+package pvfs
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dtio/internal/flightrec"
+	"dtio/internal/trace"
+)
+
+// TestAdaptiveThresholdTracksP99 drives the rolling-p99 cutoff: it
+// starts at the floor, then follows the latency distribution of the
+// most recent window rather than the all-time histogram.
+func TestAdaptiveThresholdTracksP99(t *testing.T) {
+	m := &ServerMetrics{}
+	at := NewAdaptiveThreshold(m, 50*time.Microsecond)
+
+	// No samples yet: the first call's recompute skips (window too
+	// small) and the floor holds.
+	if got := at.Threshold(); got != 50*time.Microsecond {
+		t.Fatalf("empty threshold %v, want floor", got)
+	}
+
+	// A fast window: p99 lands in the 100µs bucket's range.
+	for i := 0; i < 300; i++ {
+		m.ReadLat.Observe(100 * time.Microsecond)
+	}
+	var thr time.Duration
+	for i := 0; i < thresholdRecompute+1; i++ { // cross a recompute boundary
+		thr = at.Threshold()
+	}
+	if thr < 50*time.Microsecond || thr > time.Millisecond {
+		t.Fatalf("fast-window threshold %v, want ~100µs", thr)
+	}
+
+	// The server degrades: the next window is 30ms ops, and the cutoff
+	// must follow it up even though all-time p99 is dragged down by the
+	// earlier fast samples.
+	for i := 0; i < 300; i++ {
+		m.ReadLat.Observe(30 * time.Millisecond)
+	}
+	for i := 0; i < thresholdRecompute+1; i++ {
+		thr = at.Threshold()
+	}
+	if thr < 10*time.Millisecond {
+		t.Fatalf("degraded-window threshold %v, want >= 10ms (rolling, not all-time)", thr)
+	}
+
+	// Nil is a valid disabled threshold.
+	var nilAT *AdaptiveThreshold
+	if got := nilAT.Threshold(); got != 0 {
+		t.Fatalf("nil threshold %v", got)
+	}
+}
+
+// TestTailTracingOnLiveCluster runs tail-sampled tracing over real
+// cluster traffic: with an unreachable cutoff every tree drops; once
+// ops qualify as slow, the request trees commit with client/server
+// linkage intact and the flight-recorder context stamped on the root.
+func TestTailTracingOnLiveCluster(t *testing.T) {
+	tr := trace.New()
+	var cutoff atomic.Int64
+	cutoff.Store(int64(time.Hour)) // phase 1: nothing is slow
+	var ring *flightrec.Ring
+	tr.EnableTailSampling(trace.TailConfig{ // before any traffic, like a daemon would
+		Threshold: func() time.Duration { return time.Duration(cutoff.Load()) },
+		OnKeepSlow: func(root *trace.Span) {
+			root.SetStr("flight", flightrec.NewDump(0, ring).TailText(nil, 4))
+		},
+	})
+	tc, c := startStreamCluster(t, 2, 64*1024, 4, func(s *Server) {
+		s.Tracer = tr
+		if s.Index() == 0 {
+			ring = flightrec.New(64)
+			s.Flight = ring
+		}
+	})
+	c.Tracer = tr
+	c.TraceTrack = "rank0"
+	env := tc.env
+
+	f, err := c.Create(env, "tail.dat", 4096, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := patterned(9000)
+	if err := f.WriteContig(env, 0, data); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if err := f.ReadContig(env, 0, got); err != nil {
+		t.Fatal(err)
+	}
+	if n := tr.Len(); n != 0 {
+		t.Fatalf("fast traffic retained %d spans under tail sampling", n)
+	}
+	roots, slow, _, dropped := tr.TailStats()
+	if roots == 0 || slow != 0 || dropped == 0 {
+		t.Fatalf("phase-1 stats roots=%d slow=%d dropped=%d", roots, slow, dropped)
+	}
+
+	// Phase 2: every op is now "slow" — trees commit whole.
+	cutoff.Store(1)
+	if err := f.ReadContig(env, 0, got); err != nil {
+		t.Fatal(err)
+	}
+	spans := tr.Spans()
+	if len(spans) == 0 {
+		t.Fatal("slow traffic retained nothing")
+	}
+	byID := map[trace.SpanID]*trace.Span{}
+	for _, sp := range spans {
+		byID[sp.ID] = sp
+	}
+	var reqLinked, flightAttr int
+	for _, sp := range spans {
+		if strings.HasPrefix(sp.Track, "io-server-") && sp.Parent != 0 {
+			if p, ok := byID[sp.Parent]; ok && p.Track == "rank0" {
+				reqLinked++
+			}
+		}
+		for _, a := range sp.Attrs {
+			if a.Key == "flight" && a.IsStr && a.Str != "" {
+				flightAttr++
+			}
+		}
+	}
+	if reqLinked == 0 {
+		t.Fatal("retained trees lost client/server span linkage")
+	}
+	if flightAttr == 0 {
+		t.Fatal("no retained root carries flight-recorder context")
+	}
+}

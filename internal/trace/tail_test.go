@@ -1,0 +1,237 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// tailTracer returns a tracer keeping roots >= thr, with no uniform
+// sample unless every > 0.
+func tailTracer(thr time.Duration, every int, onKeep func(*Span)) *Tracer {
+	t := New()
+	t.EnableTailSampling(TailConfig{
+		Threshold:  func() time.Duration { return thr },
+		Every:      every,
+		OnKeepSlow: onKeep,
+	})
+	return t
+}
+
+// TestTailKeepsSlowTreeDropsFast is the core retention rule: a root
+// ending at or over the threshold commits its whole tree (children
+// included), a fast root drops its whole tree.
+func TestTailKeepsSlowTreeDropsFast(t *testing.T) {
+	clk := &fakeClock{}
+	tr := tailTracer(10*time.Millisecond, 0, nil)
+
+	// Fast tree: root + child, 1ms total.
+	root := tr.Begin(clk, "srv", "req:fast", 0)
+	child := tr.Begin(clk, "srv", "disk", root.SID())
+	clk.t = 1 * time.Millisecond
+	child.End(clk)
+	root.End(clk)
+	if got := tr.Len(); got != 0 {
+		t.Fatalf("fast tree retained %d spans, want 0", got)
+	}
+
+	// Slow tree: root + 2 children, 25ms total.
+	clk.t = 0
+	root = tr.Begin(clk, "srv", "req:slow", 0)
+	c1 := tr.Begin(clk, "srv", "disk", root.SID())
+	clk.t = 20 * time.Millisecond
+	c1.End(clk)
+	c2 := tr.Begin(clk, "srv", "disk", root.SID())
+	clk.t = 25 * time.Millisecond
+	c2.End(clk)
+	root.End(clk)
+
+	spans := tr.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("slow tree retained %d spans, want 3", len(spans))
+	}
+	names := map[string]int{}
+	for _, sp := range spans {
+		names[sp.Name]++
+	}
+	if names["req:slow"] != 1 || names["disk"] != 2 {
+		t.Fatalf("retained wrong spans: %v", names)
+	}
+	roots, slow, sampled, dropped := tr.TailStats()
+	if roots != 2 || slow != 1 || sampled != 0 || dropped != 2 {
+		t.Fatalf("stats roots=%d slow=%d sampled=%d dropped=%d, want 2/1/0/2",
+			roots, slow, sampled, dropped)
+	}
+}
+
+// TestTailUniformSample verifies the 1-in-N sample keeps fast trees at
+// the configured rate even when nothing is slow.
+func TestTailUniformSample(t *testing.T) {
+	clk := &fakeClock{}
+	tr := tailTracer(time.Hour, 4, nil) // nothing will be "slow"
+	for i := 0; i < 16; i++ {
+		sp := tr.Begin(clk, "srv", "req", 0)
+		clk.t += time.Millisecond
+		sp.End(clk)
+	}
+	if got := tr.Len(); got != 4 {
+		t.Fatalf("uniform 1-in-4 kept %d of 16 roots, want 4", got)
+	}
+	_, slow, sampled, dropped := tr.TailStats()
+	if slow != 0 || sampled != 4 || dropped != 12 {
+		t.Fatalf("stats slow=%d sampled=%d dropped=%d, want 0/4/12", slow, sampled, dropped)
+	}
+}
+
+// TestTailRemoteParentIsLocalRoot: a span parented to a wire-carried
+// ID that this tracer never issued (the daemon case: the client span
+// lives on another process's tracer) must be treated as a local root
+// and decided on its own duration.
+func TestTailRemoteParentIsLocalRoot(t *testing.T) {
+	clk := &fakeClock{}
+	tr := tailTracer(10*time.Millisecond, 0, nil)
+	sp := tr.Begin(clk, "io-server-0", "req", SpanID(9999)) // remote parent
+	clk.t = 15 * time.Millisecond
+	sp.End(clk)
+	if got := tr.Len(); got != 1 {
+		t.Fatalf("remote-parented slow root retained %d spans, want 1", got)
+	}
+	if got := tr.Spans()[0].Parent; got != SpanID(9999) {
+		t.Fatalf("retained span lost its wire parent: %d", got)
+	}
+}
+
+// TestTailReparentMergesTrees: SetParent moving a pending root under a
+// live local tree merges them, so the adoptive root decides for both
+// (the streamed-write pattern, where the tag arrives after Begin).
+func TestTailReparentMergesTrees(t *testing.T) {
+	clk := &fakeClock{}
+	tr := tailTracer(10*time.Millisecond, 0, nil)
+
+	op := tr.Begin(clk, "rank0", "op:write", 0)
+	req := tr.Begin(clk, "srv", "req:stream", 0) // opens parentless
+	req.SetParent(op.SID())                      // tag learned later
+	clk.t = 2 * time.Millisecond
+	req.End(clk) // fast — but no longer a root, so no decision here
+	if got := tr.Len(); got != 0 {
+		t.Fatalf("child End leaked %d spans before root decision", got)
+	}
+	clk.t = 30 * time.Millisecond
+	op.End(clk) // slow: both spans commit together
+	if got := tr.Len(); got != 2 {
+		t.Fatalf("merged tree retained %d spans, want 2", got)
+	}
+}
+
+// TestTailRecordRidesWithTree: Record spans attach to a live pending
+// tree and share its fate; parentless Record spans are always kept.
+func TestTailRecordRidesWithTree(t *testing.T) {
+	clk := &fakeClock{}
+	tr := tailTracer(10*time.Millisecond, 0, nil)
+
+	root := tr.Begin(clk, "srv", "req", 0)
+	tr.Record("meta", "lock:wait", root.SID(), 0, time.Millisecond)
+	clk.t = time.Millisecond
+	root.End(clk) // fast: both drop
+	if got := tr.Len(); got != 0 {
+		t.Fatalf("fast tree's Record span leaked: %d spans", got)
+	}
+
+	tr.Record("meta", "lock:wait", 0, 0, time.Millisecond) // parentless
+	if got := tr.Len(); got != 1 {
+		t.Fatalf("parentless Record span dropped: %d spans", got)
+	}
+}
+
+// TestTailOnKeepSlowAttachesContext: the slow hook fires before the
+// tree is published and its attributes land on the exported span.
+func TestTailOnKeepSlowAttachesContext(t *testing.T) {
+	clk := &fakeClock{}
+	var hooked int
+	tr := tailTracer(10*time.Millisecond, 0, func(root *Span) {
+		hooked++
+		root.SetStr("flight", "readcontig h=1 b=64")
+	})
+	sp := tr.Begin(clk, "srv", "req", 0)
+	clk.t = 20 * time.Millisecond
+	sp.End(clk)
+	if hooked != 1 {
+		t.Fatalf("OnKeepSlow fired %d times, want 1", hooked)
+	}
+	spans := tr.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("retained %d spans", len(spans))
+	}
+	var found bool
+	for _, a := range spans[0].Attrs {
+		if a.Key == "flight" && a.IsStr && a.Str == "readcontig h=1 b=64" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("flight context attr missing: %+v", spans[0].Attrs)
+	}
+	var buf strings.Builder
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"flight":"readcontig h=1 b=64"`) {
+		t.Fatalf("chrome export missing flight attr: %s", buf.String())
+	}
+}
+
+// TestTailPassivityWhenDisabled: a tracer without tail sampling must
+// behave exactly as before — every span retained at Begin time.
+func TestTailPassivityWhenDisabled(t *testing.T) {
+	clk := &fakeClock{}
+	tr := New()
+	sp := tr.Begin(clk, "srv", "req", 0)
+	if got := tr.Len(); got != 1 {
+		t.Fatalf("default tracer buffered the span (%d retained)", got)
+	}
+	sp.End(clk)
+	roots, slow, sampled, dropped := tr.TailStats()
+	if roots != 0 || slow != 0 || sampled != 0 || dropped != 0 {
+		t.Fatal("tail stats nonzero on a default tracer")
+	}
+}
+
+// TestTailConcurrent hammers a tail-sampling tracer from many
+// goroutines (run under -race in CI): interleaved trees must each be
+// decided exactly once with no pending-state leaks.
+func TestTailConcurrent(t *testing.T) {
+	clk := &fakeClock{t: time.Millisecond}
+	tr := tailTracer(time.Hour, 2, nil)
+	var wg sync.WaitGroup
+	const workers, per = 8, 200
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				root := tr.Begin(clk, "srv", "req", 0)
+				child := tr.Begin(clk, "srv", "disk", root.SID())
+				child.End(clk)
+				root.End(clk)
+			}
+		}()
+	}
+	wg.Wait()
+	roots, _, sampled, dropped := tr.TailStats()
+	if roots != workers*per {
+		t.Fatalf("decided %d roots, want %d", roots, workers*per)
+	}
+	if got := int64(tr.Len()); got != 2*sampled {
+		t.Fatalf("retained %d spans, want %d (2 per sampled root)", got, 2*sampled)
+	}
+	if sampled != workers*per/2 || dropped != 2*(workers*per-sampled) {
+		t.Fatalf("sampled=%d dropped=%d for %d roots", sampled, dropped, workers*per)
+	}
+	tr.mu.Lock()
+	pending := len(tr.tail.rootOf) + len(tr.tail.trees)
+	tr.mu.Unlock()
+	if pending != 0 {
+		t.Fatalf("%d pending entries leaked after all roots ended", pending)
+	}
+}

@@ -1,0 +1,29 @@
+package trace
+
+import (
+	"testing"
+	"time"
+)
+
+type benchClock struct{ t time.Duration }
+
+func (c *benchClock) Now() time.Duration { c.t += time.Microsecond; return c.t }
+
+// BenchmarkTailRootDecision prices the full tail-sampled span cycle a
+// server pays per observed request — root Begin, child Begin with an
+// attribute, both Ends, and the root drop decision. BENCH_PR10.json's
+// <2% overhead bar assumes this stays deep sub-microsecond against a
+// ~100µs TCP+disk request; a regression here is what would move it.
+func BenchmarkTailRootDecision(b *testing.B) {
+	tr := New()
+	tr.EnableTailSampling(TailConfig{Threshold: func() time.Duration { return time.Hour }, Every: 128})
+	clk := &benchClock{}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := tr.Begin(clk, "io-server-0", "req", 0)
+		child := tr.Begin(clk, "io-server-0", "disk:read", sp.SID())
+		child.SetAttr("bytes", 4096)
+		child.End(clk)
+		sp.End(clk)
+	}
+}

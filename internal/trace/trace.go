@@ -11,6 +11,13 @@
 // A nil *Tracer is the disabled state: every method is a nil-safe no-op
 // that performs no allocation and never touches the clock, so
 // instrumented hot paths pay only a nil check.
+//
+// By default every span is retained. EnableTailSampling switches a
+// tracer to tail-based retention: span trees buffer until their local
+// root ends, and only trees that ended slow (an adaptive threshold,
+// typically a rolling p99) or hit a 1-in-N uniform sample are kept.
+// That bounds memory enough to leave tracing permanently on
+// (DESIGN.md §17).
 package trace
 
 import (
@@ -57,10 +64,81 @@ type Tracer struct {
 	mu    sync.Mutex
 	next  uint64
 	spans []*Span
+	tail  *tailState // nil: retain everything (the default)
 }
 
 // New returns an empty enabled tracer.
 func New() *Tracer { return &Tracer{} }
+
+// TailConfig configures tail-based sampling: the keep/drop decision for
+// a span tree is made at the END of its local root span, when the total
+// duration is known — which is what lets tracing stay permanently on.
+type TailConfig struct {
+	// Threshold returns the current slow-op cutoff: a root whose
+	// duration meets or exceeds it is retained with its whole tree.
+	// Called once per root decision under the tracer lock, so it must
+	// be cheap and must not call back into the tracer (pvfs supplies a
+	// cached rolling-p99 here). Nil or a non-positive return disables
+	// the slow criterion for that decision.
+	Threshold func() time.Duration
+	// Every keeps 1 in Every roots unconditionally (a uniform sample so
+	// the trace always shows what "normal" looks like). 0 disables it.
+	Every int
+	// OnKeepSlow, if set, is called (outside the tracer lock) when a
+	// root is retained as slow, BEFORE its tree is published to the
+	// span list — the hook may still attach attributes race-free. pvfs
+	// daemons use this to stamp the flight-recorder window onto the
+	// slow span (DESIGN.md §17).
+	OnKeepSlow func(root *Span)
+}
+
+// tailState holds the pending (undecided) span trees. A span is a
+// local root when its parent is unknown to this tracer — either 0, or
+// a wire-carried ID that lives on a remote tracer. All fields are
+// guarded by Tracer.mu.
+type tailState struct {
+	cfg    TailConfig
+	rootOf map[SpanID]SpanID // live pending span -> its tree's root
+	trees  map[SpanID][]*Span
+	roots  int64 // root decisions made
+	slow   int64 // roots kept because duration >= Threshold()
+	samp   int64 // roots kept by the 1-in-Every uniform sample
+	drop   int64 // spans discarded with their root
+}
+
+// EnableTailSampling switches the tracer from retain-everything to
+// tail-sampled retention. Spans buffer in per-root trees and commit to
+// the trace only if the root ends slow (>= cfg.Threshold()) or the
+// 1-in-cfg.Every uniform sample fires; otherwise the whole tree is
+// dropped. Trees whose root never ends are never exported. Enable
+// before recording begins; it does not reprocess existing spans.
+func (t *Tracer) EnableTailSampling(cfg TailConfig) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.tail = &tailState{
+		cfg:    cfg,
+		rootOf: make(map[SpanID]SpanID),
+		trees:  make(map[SpanID][]*Span),
+	}
+	t.mu.Unlock()
+}
+
+// TailStats reports tail-sampling bookkeeping: root decisions made,
+// roots kept as slow, roots kept by the uniform sample, and spans
+// dropped. All zero when tail sampling is off.
+func (t *Tracer) TailStats() (roots, slow, sampled, droppedSpans int64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if ts := t.tail; ts != nil {
+		return ts.roots, ts.slow, ts.samp, ts.drop
+	}
+	return
+}
 
 // Begin opens a span at clk.Now() on the given display track, parented
 // to parent (0 for a root). On a nil tracer it returns nil without
@@ -73,7 +151,18 @@ func (t *Tracer) Begin(clk Clock, track, name string, parent SpanID) *Span {
 	t.mu.Lock()
 	t.next++
 	sp.ID = SpanID(t.next)
-	t.spans = append(t.spans, sp)
+	if ts := t.tail; ts != nil {
+		// Buffer in the parent's pending tree; a span whose parent is
+		// unknown here (0, remote, or already decided) starts its own.
+		root := sp.ID
+		if r, ok := ts.rootOf[parent]; ok {
+			root = r
+		}
+		ts.rootOf[sp.ID] = root
+		ts.trees[root] = append(ts.trees[root], sp)
+	} else {
+		t.spans = append(t.spans, sp)
+	}
 	t.mu.Unlock()
 	return sp
 }
@@ -90,16 +179,83 @@ func (t *Tracer) Record(track, name string, parent SpanID, start, end time.Durat
 	t.mu.Lock()
 	t.next++
 	sp.ID = SpanID(t.next)
+	if ts := t.tail; ts != nil {
+		if root, ok := ts.rootOf[parent]; ok {
+			// Rides with its parent's pending tree: complete already, so
+			// it needs no rootOf entry and just flushes (or drops) with
+			// the tree's decision.
+			ts.trees[root] = append(ts.trees[root], sp)
+			t.mu.Unlock()
+			return
+		}
+		// Parentless (or parent already decided): Record spans are rare
+		// out-of-band facts like lock waits — always retain.
+	}
 	t.spans = append(t.spans, sp)
 	t.mu.Unlock()
 }
 
-// End closes the span at clk.Now(). Nil-safe.
+// End closes the span at clk.Now(). Under tail sampling, the End of a
+// pending local root is the sampling decision point. Nil-safe.
 func (sp *Span) End(clk Clock) {
 	if sp == nil {
 		return
 	}
 	sp.Finish = clk.Now()
+	sp.t.tailEnd(sp)
+}
+
+// tailEnd decides a pending tree when its root ends: keep it (slow or
+// uniformly sampled) or drop it. No-op when tail sampling is off or sp
+// is not a pending local root.
+func (t *Tracer) tailEnd(sp *Span) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	ts := t.tail
+	if ts == nil {
+		t.mu.Unlock()
+		return
+	}
+	root, ok := ts.rootOf[sp.ID]
+	if !ok || root != sp.ID {
+		t.mu.Unlock()
+		return // mid-tree span, or already decided: nothing to do yet
+	}
+	tree := ts.trees[root]
+	delete(ts.trees, root)
+	for _, s := range tree {
+		delete(ts.rootOf, s.ID)
+	}
+	ts.roots++
+	slow := false
+	if ts.cfg.Threshold != nil {
+		if thr := ts.cfg.Threshold(); thr > 0 && sp.Finish-sp.Start >= thr {
+			slow = true
+		}
+	}
+	sampled := ts.cfg.Every > 0 && (ts.roots-1)%int64(ts.cfg.Every) == 0
+	if slow {
+		ts.slow++
+	} else if sampled {
+		ts.samp++
+	}
+	keep := slow || sampled
+	if !keep {
+		ts.drop += int64(len(tree))
+	}
+	cb := ts.cfg.OnKeepSlow
+	t.mu.Unlock()
+	if !keep {
+		return
+	}
+	if slow && cb != nil {
+		cb(sp) // tree not yet published: the hook may attach attrs race-free
+	}
+	t.mu.Lock()
+	t.spans = append(t.spans, tree...)
+	t.mu.Unlock()
 }
 
 // SetAttr attaches an integer attribute. Nil-safe.
@@ -112,12 +268,42 @@ func (sp *Span) SetAttr(key string, v int64) {
 
 // SetParent re-parents the span — used when the true parent is only
 // learned after the span opened (e.g. a streamed write whose tag rides
-// inside the stream header's inner request). Nil-safe.
+// inside the stream header's inner request). Under tail sampling, a
+// pending root re-parented under another pending tree merges into it,
+// so the adoptive root makes one decision for the combined tree.
+// Nil-safe.
 func (sp *Span) SetParent(p SpanID) {
 	if sp == nil {
 		return
 	}
 	sp.Parent = p
+	sp.t.tailReparent(sp, p)
+}
+
+func (t *Tracer) tailReparent(sp *Span, p SpanID) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ts := t.tail
+	if ts == nil {
+		return
+	}
+	oldRoot, ok := ts.rootOf[sp.ID]
+	if !ok || oldRoot != sp.ID {
+		return // already decided, or not the root of its tree
+	}
+	newRoot, ok := ts.rootOf[p]
+	if !ok || newRoot == oldRoot {
+		return // new parent is remote or already decided: still a local root
+	}
+	tree := ts.trees[oldRoot]
+	delete(ts.trees, oldRoot)
+	for _, s := range tree {
+		ts.rootOf[s.ID] = newRoot
+	}
+	ts.trees[newRoot] = append(ts.trees[newRoot], tree...)
 }
 
 // SetStr attaches a string attribute. Nil-safe.

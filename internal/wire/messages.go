@@ -240,6 +240,10 @@ const (
 	// by a blank spare) and, when the server has replica peers, triggers
 	// background re-replication from the surviving group members.
 	AdminKill
+	// AdminFlightRec asks the server for its flight-recorder dump (the
+	// last-N per-request completion events, DESIGN.md §17), returned as
+	// JSON in the IOResp's Data.
+	AdminFlightRec
 )
 
 // AdminReq drives fault administration; answered with an MTIOResp. The
@@ -547,6 +551,14 @@ func EncodeIOResp(r *IOResp) []byte {
 	e.I64(r.Size)
 	e.Bytes(r.Data)
 	return e.B
+}
+
+// RespIsErr reports whether an encoded frame is an IOResp carrying an
+// error, by peeking the fixed prefix (type byte, 8-byte Seq, OK byte)
+// without decoding. Used by the flight recorder to flag failed
+// requests without paying a decode on every completion.
+func RespIsErr(b []byte) bool {
+	return len(b) >= 10 && MsgType(b[0]) == MTIOResp && b[9] == 0
 }
 
 // DecodeMsg parses any message, returning its type and the decoded
